@@ -1,0 +1,60 @@
+"""Ablation benches for the design choices DESIGN.md §5 calls out."""
+
+from repro.experiments.ablations import (
+    run_learning_rate_ablation,
+    run_validation_size_ablation,
+    run_weighting_scheme_ablation,
+)
+
+
+def test_bench_validation_size(benchmark):
+    """DIG-FL accuracy vs validation-set size: should stay usable when the
+    validation set shrinks to a few dozen rows."""
+    report = benchmark.pedantic(
+        lambda: run_validation_size_ablation(fractions=(0.02, 0.1, 0.2), epochs=8),
+        rounds=1,
+        iterations=1,
+    )
+    pccs = {row.labels["val_fraction"]: row.metrics["pcc"] for row in report.rows}
+    benchmark.extra_info["pcc_by_fraction"] = {str(k): v for k, v in pccs.items()}
+    assert pccs[0.2] > 0.75
+    assert pccs[0.02] > 0.5  # degraded but still informative
+
+
+def test_bench_learning_rate(benchmark):
+    """First-order quality vs step size: small steps must not be worse."""
+    report = benchmark.pedantic(
+        lambda: run_learning_rate_ablation(lrs=(0.1, 0.5, 1.0), epochs=8),
+        rounds=1,
+        iterations=1,
+    )
+    pccs = {row.labels["lr"]: row.metrics["pcc"] for row in report.rows}
+    benchmark.extra_info["pcc_by_lr"] = {str(k): v for k, v in pccs.items()}
+    assert pccs[0.1] > 0.7
+
+
+def test_bench_fedavg_sweep(benchmark):
+    """DIG-FL accuracy under FedAvg local training (extension)."""
+    from repro.experiments import run_fedavg_sweep
+
+    report = benchmark.pedantic(
+        lambda: run_fedavg_sweep(local_steps=(1, 4, 8), epochs=6),
+        rounds=1,
+        iterations=1,
+    )
+    pccs = {row.labels["local_steps"]: row.metrics["pcc"] for row in report.rows}
+    benchmark.extra_info["pcc_by_local_steps"] = {str(k): v for k, v in pccs.items()}
+    assert min(pccs.values()) > 0.6
+
+
+def test_bench_weighting_scheme(benchmark):
+    """Eq. 17 rectification vs softmax under heavy mislabeling."""
+    report = benchmark.pedantic(
+        lambda: run_weighting_scheme_ablation(m=3, epochs=15),
+        rounds=1,
+        iterations=1,
+    )
+    metrics = report.rows[0].metrics
+    benchmark.extra_info.update(metrics)
+    # Both schemes should beat plain FedSGD in this regime.
+    assert metrics["acc_rectified"] > metrics["acc_fedsgd"]

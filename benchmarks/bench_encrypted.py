@@ -1,0 +1,51 @@
+"""Extension bench: Paillier protocol overhead vs the plaintext fast path."""
+
+import pytest
+
+from repro.data import boston_like, build_vfl_federation
+from repro.experiments.encrypted_overhead import run_encrypted_overhead
+from repro.nn import LRSchedule
+from repro.vfl import VFLTrainer, build_encrypted_session
+
+
+@pytest.fixture(scope="module")
+def tiny_split():
+    dataset = boston_like(seed=0).standardized()
+    return build_vfl_federation(dataset, 3, max_rows=50, seed=1)
+
+
+def test_bench_plaintext_epoch(benchmark, tiny_split):
+    trainer = VFLTrainer("regression", tiny_split.feature_blocks, 1, LRSchedule(0.1))
+    benchmark(trainer.train, tiny_split.train, tiny_split.validation)
+
+
+def test_bench_encrypted_epoch(benchmark, tiny_split):
+    """One full encrypted round (train + validation exchange, 256-bit keys)."""
+    schedule = LRSchedule(0.1)
+    Xb = [tiny_split.train.X[:, b] for b in tiny_split.feature_blocks]
+    Xvb = [tiny_split.validation.X[:, b] for b in tiny_split.feature_blocks]
+
+    def run():
+        session = build_encrypted_session(
+            "regression", Xb, tiny_split.train.y, schedule, 1,
+            key_bits=256, seed=4,
+        )
+        return session.train(tiny_split.train.y, tiny_split.validation.y, Xvb)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["comm_mb"] = result.ledger.total_comm_mb
+
+
+def test_bench_overhead_sweep(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_encrypted_overhead(key_bits=(128, 256), epochs=2, n_rows=40),
+        rounds=1,
+        iterations=1,
+    )
+    by_bits = {row.labels["key_bits"]: row.metrics for row in report.rows}
+    benchmark.extra_info["t_by_key_bits"] = {
+        str(k): v["t_s"] for k, v in by_bits.items()
+    }
+    # Superlinear growth with key size; identical results either way.
+    assert by_bits[256]["t_s"] > 2 * by_bits[128]["t_s"]
+    assert by_bits[256]["pcc_vs_plaintext"] > 0.999

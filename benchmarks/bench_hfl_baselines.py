@@ -1,0 +1,97 @@
+"""Fig. 4 + Table IV: DIG-FL vs TMC / GT / MR / IM in HFL.
+
+Times each method on the same federation at the paper's budgets and
+asserts the comparison's shape: DIG-FL's average PCC at least matches the
+sampling baselines' while costing orders of magnitude less retraining.
+"""
+
+import math
+
+import numpy as np
+
+from repro.experiments.hfl_baselines import run_hfl_baselines
+from repro.metrics import pearson_correlation
+from repro.shapley import (
+    HFLRetrainUtility,
+    gt_shapley,
+    im_scores,
+    mr_shapley,
+    tmc_shapley,
+)
+
+
+def _fresh_utility(w):
+    return HFLRetrainUtility(
+        w.trainer,
+        w.federation.locals,
+        w.federation.validation,
+        init_theta=w.result.log.initial_theta,
+    )
+
+
+def test_bench_tmc(benchmark, hfl_mnist_workload, hfl_mnist_exact):
+    w = hfl_mnist_workload
+    _, exact = hfl_mnist_exact
+    n = 5
+    budget = max(2, int(math.ceil(n * math.log(n))))
+
+    def run():
+        return tmc_shapley(_fresh_utility(w), n_permutations=budget, seed=0)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["pcc"] = pearson_correlation(report.totals, exact.totals)
+
+
+def test_bench_gt(benchmark, hfl_mnist_workload, hfl_mnist_exact):
+    w = hfl_mnist_workload
+    _, exact = hfl_mnist_exact
+    n = 5
+    budget = max(8, int(math.ceil(n * math.log(n) ** 2)))
+
+    def run():
+        return gt_shapley(_fresh_utility(w), n_tests=budget, seed=0)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["pcc"] = pearson_correlation(report.totals, exact.totals)
+
+
+def test_bench_mr(benchmark, hfl_mnist_workload, hfl_mnist_exact):
+    w = hfl_mnist_workload
+    _, exact = hfl_mnist_exact
+
+    def run():
+        return mr_shapley(w.result.log, w.federation.validation, w.model_factory)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["pcc"] = pearson_correlation(report.totals, exact.totals)
+
+
+def test_bench_im(benchmark, hfl_mnist_workload, hfl_mnist_exact):
+    w = hfl_mnist_workload
+    _, exact = hfl_mnist_exact
+    report = benchmark(im_scores, w.result.log)
+    benchmark.extra_info["pcc"] = pearson_correlation(report.totals, exact.totals)
+
+
+def test_bench_table4_shape(benchmark):
+    """Full Table IV sweep: DIG-FL's mean PCC ≥ sampling baselines'."""
+    report = benchmark.pedantic(
+        lambda: run_hfl_baselines(datasets=("mnist", "cifar10"), epochs=8),
+        rounds=1,
+        iterations=1,
+    )
+    by_method: dict[str, list[float]] = {}
+    for row in report.rows:
+        by_method.setdefault(row.labels["method"], []).append(row.metrics["pcc"])
+    means = {m: float(np.mean(v)) for m, v in by_method.items()}
+    benchmark.extra_info.update(means)
+    assert means["DIG-FL"] > 0.7
+    assert means["DIG-FL"] >= means["TMC-shapley"] - 0.05
+    assert means["DIG-FL"] >= means["GT-shapley"] - 0.05
+    assert means["DIG-FL"] >= means["IM"] - 0.05
+    # Cost shape: the log-based methods pay zero communication.
+    for row in report.rows:
+        if row.labels["method"] in ("DIG-FL", "MR", "IM"):
+            assert row.metrics["comm_mb"] == 0.0
+        if row.labels["method"] in ("TMC-shapley", "GT-shapley"):
+            assert row.metrics["comm_mb"] > 0.0

@@ -1,0 +1,101 @@
+"""Microbenchmarks of the substrates DIG-FL's cost model rests on.
+
+The complexity claims of Sec. II-E — O(τnp) for the first term, HVPs
+instead of p×p Hessians for the second, ciphertext ops dominating VFL —
+are only meaningful if the substrate costs behave; these benches pin them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, hvp
+from repro.crypto import generate_keypair
+from repro.hfl import flat_gradient
+from repro.models import LinearRegressionModel, LogisticRegressionModel
+from repro.nn import make_mlp_classifier
+
+RNG = np.random.default_rng(0)
+
+
+@pytest.fixture(scope="module")
+def mlp_batch():
+    model = make_mlp_classifier(100, 10, hidden=(32,), seed=0)
+    X = RNG.normal(size=(256, 100))
+    y = RNG.integers(0, 10, size=256)
+    return model, X, y
+
+
+def test_bench_autodiff_gradient(benchmark, mlp_batch):
+    """One full-batch gradient — the per-participant per-epoch unit cost."""
+    model, X, y = mlp_batch
+    g = benchmark(flat_gradient, model, X, y)
+    assert g.shape == (model.num_parameters(),)
+
+
+def test_bench_autodiff_hvp(benchmark, mlp_batch):
+    """One HVP — Algorithm 1's per-participant per-epoch extra cost.
+
+    Must be a small multiple of a gradient, NOT O(p²) like forming the
+    Hessian.
+    """
+    model, X, y = mlp_batch
+    params = model.parameters()
+    vectors = [Tensor(RNG.normal(size=p.shape)) for p in params]
+
+    def loss_fn(ps):
+        del ps
+        return model.loss(X, y)
+
+    out = benchmark(hvp, loss_fn, params, vectors)
+    assert len(out) == len(params)
+
+
+def test_bench_analytic_linreg_gradient(benchmark):
+    """VFL per-epoch unit cost: closed-form gradient on 2000×14."""
+    model = LinearRegressionModel()
+    X = RNG.normal(size=(2000, 14))
+    y = RNG.normal(size=2000)
+    theta = RNG.normal(size=14)
+    g = benchmark(model.gradient, theta, X, y)
+    assert g.shape == (14,)
+
+
+def test_bench_analytic_logreg_hvp(benchmark):
+    model = LogisticRegressionModel()
+    X = RNG.normal(size=(2000, 20))
+    y = (RNG.random(2000) > 0.5).astype(float)
+    theta = RNG.normal(size=20)
+    v = RNG.normal(size=20)
+    out = benchmark(model.hvp, theta, X, y, v)
+    assert out.shape == (20,)
+
+
+@pytest.fixture(scope="module")
+def paillier_key():
+    return generate_keypair(256, seed=0)
+
+
+def test_bench_paillier_encrypt(benchmark, paillier_key):
+    pk, _ = paillier_key
+    benchmark(pk.encrypt, 3.14159)
+
+
+def test_bench_paillier_add(benchmark, paillier_key):
+    pk, _ = paillier_key
+    a = pk.encrypt(1.5)
+    b = pk.encrypt(-2.5)
+    benchmark(lambda: a + b)
+
+
+def test_bench_paillier_scalar_mul(benchmark, paillier_key):
+    """Ciphertext × plaintext — the inner loop of the VFL protocol's step 4."""
+    pk, _ = paillier_key
+    c = pk.encrypt(1.5)
+    benchmark(lambda: c * 0.73)
+
+
+def test_bench_paillier_decrypt(benchmark, paillier_key):
+    pk, sk = paillier_key
+    c = pk.encrypt(42.0)
+    value = benchmark(sk.decrypt, c)
+    assert value == pytest.approx(42.0, abs=1e-8)

@@ -1,0 +1,59 @@
+"""Fig. 6: estimated vs actual Shapley value for each epoch.
+
+Times the per-round exact computation (2^n validation evaluations per
+round — the expensive side of Fig. 6) against DIG-FL's per-epoch pass, and
+asserts the figure's two claims: the curves track each other (high pooled
+PCC) and clean participants dominate corrupted ones in most epochs.
+"""
+
+import numpy as np
+
+from repro.core import estimate_hfl_resource_saving
+from repro.experiments.per_epoch import run_per_epoch
+from repro.metrics import pearson_correlation
+from repro.shapley import per_round_exact_shapley
+
+
+def test_bench_per_round_exact(benchmark, hfl_mnist_workload):
+    """Time the reconstruction-based exact per-round Shapley (32/round)."""
+    w = hfl_mnist_workload
+    per_epoch = benchmark.pedantic(
+        per_round_exact_shapley,
+        args=(w.result.log, w.federation.validation, w.model_factory),
+        rounds=1,
+        iterations=1,
+    )
+    assert per_epoch.shape == (10, 5)
+
+
+def test_bench_digfl_per_epoch_tracks_actual(benchmark, hfl_mnist_workload):
+    w = hfl_mnist_workload
+    actual = per_round_exact_shapley(
+        w.result.log, w.federation.validation, w.model_factory
+    )
+    estimated = benchmark(
+        estimate_hfl_resource_saving,
+        w.result.log,
+        w.federation.validation,
+        w.model_factory,
+    ).per_epoch
+    pcc = pearson_correlation(estimated.ravel(), actual.ravel())
+    benchmark.extra_info["per_epoch_pcc"] = pcc
+    assert pcc > 0.75
+
+
+def test_bench_fig6_participant_type_ordering(benchmark):
+    """Clean participants should out-contribute corrupted ones in most epochs."""
+    report = benchmark.pedantic(
+        lambda: run_per_epoch(datasets=("mnist",), epochs=8),
+        rounds=1,
+        iterations=1,
+    )
+    epoch_rows = [r for r in report.rows if r.labels["epoch"] != "all"]
+    clean_beats_mislabeled = [
+        r.metrics["est_clean"] > r.metrics["est_mislabeled"] for r in epoch_rows
+    ]
+    assert np.mean(clean_beats_mislabeled) > 0.6
+    summary = next(r for r in report.rows if r.labels["epoch"] == "all")
+    benchmark.extra_info["pooled_pcc"] = summary.metrics["pcc"]
+    assert summary.metrics["pcc"] > 0.7

@@ -1,0 +1,41 @@
+"""Sec. II-E complexity census: cost scaling in participants and model size."""
+
+from repro.experiments import run_model_size_scaling, run_participant_scaling
+
+
+def test_bench_participant_scaling(benchmark):
+    """DIG-FL linear vs exact-Shapley exponential growth in n."""
+    report = benchmark.pedantic(
+        lambda: run_participant_scaling(party_counts=(3, 5, 7), epochs=4),
+        rounds=1,
+        iterations=1,
+    )
+    rows = {row.labels["n"]: row.metrics for row in report.rows}
+    benchmark.extra_info["t_exact_by_n"] = {
+        str(n): m["t_exact_s"] for n, m in rows.items()
+    }
+    # Exponential ground truth: each +2 participants ~4x the retrainings.
+    assert rows[5]["retrainings"] == 4 * rows[3]["retrainings"]
+    assert rows[7]["retrainings"] == 4 * rows[5]["retrainings"]
+    assert rows[7]["t_exact_s"] > rows[3]["t_exact_s"] * 4
+    # DIG-FL stays within a small constant factor across the sweep.
+    assert rows[7]["t_digfl_s"] < rows[3]["t_digfl_s"] * 10
+
+
+def test_bench_model_size_scaling(benchmark):
+    """DIG-FL estimation cost is roughly linear in parameter count."""
+    report = benchmark.pedantic(
+        lambda: run_model_size_scaling(hidden_sizes=(8, 64), epochs=4),
+        rounds=1,
+        iterations=1,
+    )
+    rows = {row.labels["hidden"]: row for row in report.rows}
+    params_ratio = rows[64].labels["params"] / rows[8].labels["params"]
+    time_ratio = rows[64].metrics["t_digfl_s"] / max(
+        rows[8].metrics["t_digfl_s"], 1e-9
+    )
+    benchmark.extra_info["params_ratio"] = params_ratio
+    benchmark.extra_info["time_ratio"] = time_ratio
+    # Sub-quadratic: time grows no faster than ~params^1.5 at this scale
+    # (BLAS constant factors dominate small models).
+    assert time_ratio < params_ratio**1.5

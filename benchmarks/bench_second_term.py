@@ -1,0 +1,93 @@
+"""Fig. 2 + Table II: cost and accuracy of the second-order term.
+
+Times Algorithm 2 (first-order only) against Algorithm 1 (with
+participant-local HVPs) on the same log, and asserts the Table II claim:
+the relative error of dropping the Hessian term stays single-digit percent
+in the small-step regime.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    estimate_hfl_interactive,
+    estimate_hfl_resource_saving,
+    estimate_vfl_first_order,
+    estimate_vfl_second_order,
+)
+from repro.experiments.second_term import run_second_term
+from repro.experiments.workloads import build_hfl_workload, build_vfl_workload
+from repro.metrics import relative_error
+
+
+@pytest.fixture(scope="module")
+def small_step_hfl():
+    return build_hfl_workload("mnist", epochs=8, lr=0.05, seed=0)
+
+
+@pytest.fixture(scope="module")
+def small_step_vfl():
+    return build_vfl_workload("boston", epochs=20, lr=0.025, seed=0)
+
+
+def test_bench_algorithm2_resource_saving(benchmark, small_step_hfl):
+    """Time the first-order estimator (the deployed fast path)."""
+    w = small_step_hfl
+    report = benchmark(
+        estimate_hfl_resource_saving,
+        w.result.log,
+        w.federation.validation,
+        w.model_factory,
+    )
+    assert report.per_epoch.shape == (8, 5)
+
+
+def test_bench_algorithm1_interactive(benchmark, small_step_hfl):
+    """Time the HVP-corrected estimator; assert the Table II error bound."""
+    w = small_step_hfl
+
+    def run():
+        full = estimate_hfl_interactive(
+            w.result.log, w.federation.validation, w.model_factory,
+            w.federation.locals,
+        )
+        approx = estimate_hfl_resource_saving(
+            w.result.log, w.federation.validation, w.model_factory
+        )
+        return full, approx
+
+    full, approx = benchmark.pedantic(run, rounds=2, iterations=1)
+    err = relative_error(
+        float(np.abs(full.totals).sum()), float(np.abs(approx.totals).sum())
+    )
+    benchmark.extra_info["rel_error"] = err
+    assert err < 0.10, f"second-term error {err:.3f} above single-digit percent"
+
+
+def test_bench_vfl_second_order(benchmark, small_step_vfl):
+    """Time Eq. 26 vs Eq. 27 on a vertical log; assert the error bound."""
+    w = small_step_vfl
+
+    def run():
+        full = estimate_vfl_second_order(w.result.log, w.trainer.model, w.split.train)
+        approx = estimate_vfl_first_order(w.result.log)
+        return full, approx
+
+    full, approx = benchmark.pedantic(run, rounds=2, iterations=1)
+    err = relative_error(
+        float(np.abs(full.totals).sum()), float(np.abs(approx.totals).sum())
+    )
+    benchmark.extra_info["rel_error"] = err
+    assert err < 0.10
+
+
+def test_bench_table2_full_sweep(benchmark):
+    """Regenerate the whole Table II (14 datasets) and bound the mean error."""
+    report = benchmark.pedantic(
+        lambda: run_second_term(), rounds=1, iterations=1
+    )
+    errors = [row.metrics["rel_error"] for row in report.rows]
+    benchmark.extra_info["mean_rel_error"] = float(np.mean(errors))
+    benchmark.extra_info["max_rel_error"] = float(np.max(errors))
+    assert np.mean(errors) < 0.08, "mean Table II error should be single-digit %"
+    assert max(errors) < 0.20

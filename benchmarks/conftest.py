@@ -1,0 +1,53 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every bench regenerates one of the paper's tables/figures at laptop scale
+(see DESIGN.md §4) and asserts its *shape* criteria: who wins, by roughly
+what factor.  Timing numbers land in the pytest-benchmark table; the
+qualitative metrics (PCC, accuracies) are attached as ``extra_info`` and
+asserted inline.
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.workloads import build_hfl_workload, build_vfl_workload
+from repro.shapley import HFLRetrainUtility, VFLRetrainUtility, exact_shapley
+
+
+@pytest.fixture(scope="session")
+def hfl_mnist_workload():
+    """Shared MNIST-like HFL cell (5 parties, 1 mislabeled, 1 non-IID)."""
+    return build_hfl_workload(
+        "mnist", n_parties=5, n_mislabeled=1, n_noniid=1, epochs=10, seed=0
+    )
+
+
+@pytest.fixture(scope="session")
+def hfl_mnist_exact(hfl_mnist_workload):
+    """Ground-truth Shapley values for the shared HFL cell (32 retrains)."""
+    w = hfl_mnist_workload
+    utility = HFLRetrainUtility(
+        w.trainer,
+        w.federation.locals,
+        w.federation.validation,
+        init_theta=w.result.log.initial_theta,
+    )
+    report = exact_shapley(utility)
+    return utility, report
+
+
+@pytest.fixture(scope="session")
+def vfl_boston_workload():
+    """Shared Boston-like VFL cell at a bench-friendly 8 parties."""
+    return build_vfl_workload("boston", n_parties=8, epochs=30, seed=0)
+
+
+@pytest.fixture(scope="session")
+def vfl_boston_exact(vfl_boston_workload):
+    w = vfl_boston_workload
+    utility = VFLRetrainUtility(w.trainer, w.split.train, w.split.validation)
+    report = exact_shapley(utility)
+    return utility, report

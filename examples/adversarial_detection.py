@@ -1,0 +1,76 @@
+"""Detecting protocol-level adversaries with per-epoch contributions.
+
+Scenario: a 6-member federation where one member runs gradient ascent
+(sign-flipped updates) and one free-rides (zero updates).  The server uses
+DIG-FL per-epoch contributions to (a) spot both from the very first
+epochs, (b) quantify how differently the two misbehave — the attacker's
+contribution is strongly *negative*, the free-rider's exactly zero — and
+(c) neutralise them with the reweight mechanism, all without ever seeing
+local data.
+
+Run:  python examples/adversarial_detection.py
+"""
+
+import numpy as np
+
+from repro.core import DIGFLReweighter, estimate_hfl_resource_saving, flag_low_quality
+from repro.data import build_hfl_federation, mnist_like
+from repro.hfl import AdversarialHFLTrainer, sign_flip, zero_update
+from repro.nn import LRSchedule, make_hfl_model
+
+ATTACKER, FREE_RIDER = 1, 4
+
+
+def main() -> None:
+    federation = build_hfl_federation(mnist_like(2400, seed=21), 6, seed=21)
+
+    def factory():
+        return make_hfl_model("mnist", seed=21)
+
+    trainer = AdversarialHFLTrainer(
+        factory,
+        epochs=15,
+        lr_schedule=LRSchedule(0.5),
+        attacks={ATTACKER: sign_flip(1.0), FREE_RIDER: zero_update()},
+    )
+    result = trainer.train(
+        federation.locals, federation.validation, track_validation=True
+    )
+    report = estimate_hfl_resource_saving(
+        result.log, federation.validation, factory
+    )
+
+    roles = {ATTACKER: "sign-flip attacker", FREE_RIDER: "free-rider"}
+    print("participant  role                total φ   first-3-epoch φ")
+    for i in range(6):
+        early = report.per_epoch[:3, i].sum()
+        print(
+            f"{i:>11}  {roles.get(i, 'honest'):<18} {report.totals[i]:+9.4f}"
+            f"   {early:+9.4f}"
+        )
+
+    flagged = flag_low_quality(report, threshold=1.5)
+    print(f"\nflagged by the robust outlier rule: {flagged}")
+    print(f"ground truth misbehaving members:   {sorted(roles)}")
+
+    # Defence: reweight by per-epoch contributions.
+    defended = trainer.train(
+        federation.locals,
+        federation.validation,
+        reweighter=DIGFLReweighter(federation.validation),
+        track_validation=True,
+    )
+    acc_attacked = result.log.records[-1].val_accuracy
+    acc_defended = defended.log.records[-1].val_accuracy
+    print(f"\nvalidation accuracy under attack : {acc_attacked:.3f}")
+    print(f"validation accuracy with reweight: {acc_defended:.3f}")
+
+    mean_attacker_weight = float(
+        np.mean([rec.weights[ATTACKER] for rec in defended.log.records])
+    )
+    print(f"attacker's mean aggregation weight after defence: "
+          f"{mean_attacker_weight:.4f} (uniform would be {1/6:.3f})")
+
+
+if __name__ == "__main__":
+    main()

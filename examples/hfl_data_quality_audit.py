@@ -1,0 +1,82 @@
+"""Data-quality audit for a cross-silo federation.
+
+Scenario: ten clinics jointly train a diagnostic model.  Two clinics have
+labelling problems and one has a heavily skewed patient mix.  The server
+wants to (a) rank clinics by contribution without seeing their data, and
+(b) sanity-check the cheap estimate against the exact Shapley value before
+acting on it.
+
+The exact Shapley value needs 2^10 = 1024 federated retrainings — feasible
+here only because the example is scaled down; DIG-FL reads the training log
+it already has.
+
+Run:  python examples/hfl_data_quality_audit.py
+"""
+
+import numpy as np
+
+from repro.core import estimate_hfl_resource_saving
+from repro.data import build_hfl_federation, real_like
+from repro.hfl import HFLTrainer
+from repro.metrics import pearson_correlation, top_k_overlap
+from repro.nn import LRSchedule, make_hfl_model
+from repro.shapley import HFLRetrainUtility, exact_shapley
+
+
+def main() -> None:
+    federation = build_hfl_federation(
+        real_like(3000, seed=1),
+        n_parties=10,
+        n_mislabeled=2,
+        n_noniid=1,
+        mislabel_fraction=0.5,
+        seed=1,
+    )
+
+    def model_factory():
+        return make_hfl_model("real", seed=1)
+
+    trainer = HFLTrainer(model_factory, epochs=12, lr_schedule=LRSchedule(0.5))
+    result = trainer.train(federation.locals, federation.validation)
+
+    digfl = estimate_hfl_resource_saving(
+        result.log, federation.validation, model_factory
+    )
+    print(f"DIG-FL estimation: {digfl.ledger.compute_seconds:.2f}s")
+
+    utility = HFLRetrainUtility(
+        trainer,
+        federation.locals,
+        federation.validation,
+        init_theta=result.log.initial_theta,
+    )
+    actual = exact_shapley(utility)
+    print(
+        f"exact Shapley:     {utility.ledger.compute_seconds:.2f}s "
+        f"({utility.evaluations} retrainings)"
+    )
+
+    print("\nclinic  quality      DIG-FL     exact")
+    for i in range(10):
+        print(
+            f"{i:>6}  {federation.qualities[i]:<11} "
+            f"{digfl.totals[i]:+.4f}  {actual.totals[i]:+.4f}"
+        )
+
+    pcc = pearson_correlation(digfl.totals, actual.totals)
+    overlap = top_k_overlap(digfl.totals, actual.totals, k=5)
+    print(f"\nPCC(DIG-FL, exact) = {pcc:.3f}")
+    print(f"top-5 clinic overlap = {overlap:.0%}")
+
+    flagged = [
+        i for i in range(10) if digfl.totals[i] < 0.8 * np.median(digfl.totals)
+    ]
+    print(f"clinics flagged for data review: {flagged}")
+    print(
+        "ground truth low-quality clinics:",
+        [i for i, q in enumerate(federation.qualities) if q != "clean"],
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Quickstart: estimate participant contributions in 30 lines.
+
+Builds a 5-participant horizontal federation on synthetic MNIST-like data
+(one participant's labels half-corrupted, one holding class-skewed data),
+trains FedSGD, and prints each participant's DIG-FL contribution next to
+its ground-truth data quality.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import estimate_hfl_resource_saving
+from repro.data import build_hfl_federation, mnist_like
+from repro.hfl import HFLTrainer
+from repro.nn import LRSchedule, make_hfl_model
+
+
+def main() -> None:
+    federation = build_hfl_federation(
+        mnist_like(2000, seed=0),
+        n_parties=5,
+        n_mislabeled=1,  # one participant gets 50% wrong labels
+        n_noniid=1,  # one participant holds only a few classes
+        seed=0,
+    )
+
+    def model_factory():
+        return make_hfl_model("mnist", seed=0)
+
+    trainer = HFLTrainer(model_factory, epochs=15, lr_schedule=LRSchedule(0.5))
+    result = trainer.train(
+        federation.locals, federation.validation, track_validation=True
+    )
+    print(f"final validation accuracy: {result.log.records[-1].val_accuracy:.3f}")
+
+    # DIG-FL Algorithm 2: contributions from the training log alone —
+    # no retraining, no access to any participant's data.
+    report = estimate_hfl_resource_saving(
+        result.log, federation.validation, model_factory
+    )
+
+    print("\nparticipant  quality      contribution")
+    for i, (quality, phi) in enumerate(zip(federation.qualities, report.totals)):
+        print(f"{i:>11}  {quality:<11}  {phi:+.4f}")
+    print(f"\nranking (best first): {report.ranking()}")
+    print(f"estimation took {report.ledger.compute_seconds*1000:.1f} ms, "
+          f"{report.ledger.total_comm_bytes} extra bytes of communication")
+
+
+if __name__ == "__main__":
+    main()

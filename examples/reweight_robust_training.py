@@ -1,0 +1,74 @@
+"""Robust federated training with the DIG-FL reweight mechanism.
+
+Scenario: a crowd-sourced image federation where 4 of 5 contributors have
+mislabeled data.  Plain FedSGD stalls; the DIG-FL reweight mechanism
+(Eq. 17-18) silences harmful updates epoch by epoch and recovers accuracy —
+the Fig. 7 effect, rendered as ASCII convergence curves.
+
+Run:  python examples/reweight_robust_training.py
+"""
+
+from repro.core import DIGFLReweighter
+from repro.data import build_hfl_federation, motor_like
+from repro.hfl import HFLTrainer
+from repro.nn import LRSchedule, make_hfl_model
+
+EPOCHS = 25
+
+
+def sparkline(values, lo=0.4, hi=1.0, width=50) -> str:
+    """Render an accuracy curve as a row of block characters."""
+    blocks = " .:-=+*#%@"
+    cells = []
+    step = max(1, len(values) // width)
+    for v in values[::step]:
+        frac = min(max((v - lo) / (hi - lo), 0.0), 1.0)
+        cells.append(blocks[int(frac * (len(blocks) - 1))])
+    return "".join(cells)
+
+
+def main() -> None:
+    federation = build_hfl_federation(
+        motor_like(2000, seed=5),
+        n_parties=5,
+        n_mislabeled=4,  # >80% of participants hold low-quality data
+        mislabel_fraction=0.5,
+        seed=5,
+    )
+
+    def model_factory():
+        return make_hfl_model("motor", seed=5)
+
+    trainer = HFLTrainer(model_factory, epochs=EPOCHS, lr_schedule=LRSchedule(0.5))
+
+    plain = trainer.train(
+        federation.locals, federation.validation, track_validation=True
+    )
+    reweighter = DIGFLReweighter(federation.validation)
+    robust = trainer.train(
+        federation.locals,
+        federation.validation,
+        reweighter=reweighter,
+        track_validation=True,
+    )
+
+    plain_curve = plain.log.val_accuracy_curve()
+    robust_curve = robust.log.val_accuracy_curve()
+
+    print("validation accuracy over epochs (scale 0.4 .. 1.0)")
+    print(f"  FedSGD   |{sparkline(plain_curve)}|  final {plain_curve[-1]:.3f}")
+    print(f"  DIG-FL   |{sparkline(robust_curve)}|  final {robust_curve[-1]:.3f}")
+
+    # How much weight did the corrupted participants actually receive?
+    import numpy as np
+
+    mean_weights = np.mean(
+        [rec.weights for rec in robust.log.records], axis=0
+    )
+    print("\nmean aggregation weight per participant (uniform would be 0.200):")
+    for i, (quality, w) in enumerate(zip(federation.qualities, mean_weights)):
+        print(f"  participant {i} ({quality:<10}): {w:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for offline editable installs (`pip install -e . --no-use-pep517`).
+
+The environment has no network access and no `wheel` package, so the modern
+PEP 517 editable path (which builds a wheel) is unavailable; this file lets
+pip fall back to `setup.py develop`.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

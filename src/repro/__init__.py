@@ -1,0 +1,63 @@
+"""DIG-FL: efficient participant contribution evaluation for HFL and VFL.
+
+Reproduction of Wang et al., *Efficient Participant Contribution Evaluation
+for Horizontal and Vertical Federated Learning* (ICDE 2022).
+
+Public API tour
+---------------
+* :mod:`repro.core` — the DIG-FL estimators (Algorithms 1 and 2, the VFL
+  estimator of Eq. 27) and the reweight mechanism (Eq. 17–18).
+* :mod:`repro.hfl` / :mod:`repro.vfl` — federated training simulators that
+  produce the training logs DIG-FL consumes; :mod:`repro.vfl.encrypted` runs
+  the paper's Paillier protocol end to end.
+* :mod:`repro.shapley` — exact Shapley ground truth plus the TMC / GT / MR /
+  IM baselines of Sec. V-D.
+* :mod:`repro.data` — synthetic stand-ins for the paper's 14 datasets,
+  partitioners and data-quality corruption.
+* :mod:`repro.autodiff`, :mod:`repro.nn`, :mod:`repro.models`,
+  :mod:`repro.crypto` — the substrates (autodiff with double-backward,
+  neural layers, analytic models, Paillier encryption).
+
+Quickstart::
+
+    from repro.data import mnist_like, build_hfl_federation
+    from repro.hfl import HFLTrainer
+    from repro.nn import LRSchedule, make_hfl_model
+    from repro.core import estimate_hfl_resource_saving
+
+    fed = build_hfl_federation(mnist_like(2000, seed=0), n_parties=5,
+                               n_mislabeled=1, n_noniid=1, seed=0)
+    trainer = HFLTrainer(lambda: make_hfl_model("mnist", seed=0),
+                         epochs=15, lr_schedule=LRSchedule(0.5))
+    result = trainer.train(fed.locals, fed.validation)
+    report = estimate_hfl_resource_saving(
+        result.log, fed.validation, lambda: make_hfl_model("mnist", seed=0))
+    print(dict(zip(report.participant_ids, report.totals)))
+"""
+
+from repro.core import (
+    ContributionReport,
+    DIGFLReweighter,
+    VFLDIGFLReweighter,
+    estimate_hfl_interactive,
+    estimate_hfl_resource_saving,
+    estimate_vfl_first_order,
+    estimate_vfl_second_order,
+)
+from repro.scenario import HFLScenario, VFLScenario, quick_audit
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ContributionReport",
+    "DIGFLReweighter",
+    "HFLScenario",
+    "VFLDIGFLReweighter",
+    "VFLScenario",
+    "__version__",
+    "estimate_hfl_interactive",
+    "estimate_hfl_resource_saving",
+    "estimate_vfl_first_order",
+    "estimate_vfl_second_order",
+    "quick_audit",
+]

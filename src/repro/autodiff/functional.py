@@ -1,0 +1,142 @@
+"""Composite differentiable functions built from autodiff primitives.
+
+Everything here is expressed through :mod:`repro.autodiff.tensor` primitives,
+so all functions support double-backward and can appear inside losses whose
+Hessian-vector products DIG-FL's Algorithm 1 evaluates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.tensor import (
+    Tensor,
+    absolute,
+    add,
+    as_tensor,
+    broadcast_to,
+    exp,
+    log,
+    mul,
+    neg,
+    relu,
+    reshape,
+    sub,
+    take,
+    tmean,
+    tsum,
+)
+
+__all__ = [
+    "binary_cross_entropy_with_logits",
+    "cross_entropy_with_logits",
+    "log_softmax",
+    "logsumexp",
+    "mse_loss",
+    "softmax",
+    "softplus",
+]
+
+
+def softplus(z) -> Tensor:
+    """Numerically stable ``log(1 + exp(z))``.
+
+    Uses the identity ``softplus(z) = relu(z) + log(1 + exp(-|z|))`` so the
+    exponential never overflows.
+    """
+    z = as_tensor(z)
+    return add(relu(z), log(add(1.0, exp(neg(absolute(z))))))
+
+
+def logsumexp(z, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Stable ``log(sum(exp(z), axis))`` via the max-shift trick.
+
+    The shift is treated as a constant (detached), which leaves the gradient
+    exact: d/dz logsumexp = softmax regardless of the shift.
+    """
+    z = as_tensor(z)
+    axis = axis % z.ndim
+    shift = Tensor(np.max(z.data, axis=axis, keepdims=True))
+    shifted = sub(z, broadcast_to(shift, z.shape))
+    out = add(
+        log(tsum(exp(shifted), axis=axis, keepdims=True)),
+        shift,
+    )
+    if not keepdims:
+        new_shape = tuple(s for i, s in enumerate(z.shape) if i != axis)
+        out = reshape(out, new_shape)
+    return out
+
+
+def softmax(z, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` (stable, differentiable)."""
+    z = as_tensor(z)
+    axis = axis % z.ndim
+    lse = logsumexp(z, axis=axis, keepdims=True)
+    return exp(sub(z, broadcast_to(lse, z.shape)))
+
+
+def log_softmax(z, axis: int = -1) -> Tensor:
+    """``z - logsumexp(z)`` along ``axis`` — stable log-probabilities."""
+    z = as_tensor(z)
+    axis = axis % z.ndim
+    lse = logsumexp(z, axis=axis, keepdims=True)
+    return sub(z, broadcast_to(lse, z.shape))
+
+
+def mse_loss(pred, target) -> Tensor:
+    """Mean squared error ``mean((pred - target)^2)``."""
+    pred = as_tensor(pred)
+    target = as_tensor(target).detach()
+    diff = sub(pred, target)
+    return tmean(mul(diff, diff))
+
+
+def binary_cross_entropy_with_logits(logits, target) -> Tensor:
+    """Mean of ``softplus(z) - y*z`` — stable logistic loss.
+
+    Identity: ``-y log σ(z) - (1-y) log(1-σ(z)) = softplus(z) - y z``.
+    """
+    logits = as_tensor(logits)
+    target = as_tensor(target).detach()
+    return tmean(sub(softplus(logits), mul(target, logits)))
+
+
+def cross_entropy_with_logits(logits, labels: np.ndarray) -> Tensor:
+    """Mean softmax cross-entropy for integer class labels.
+
+    ``logits`` has shape (batch, classes); ``labels`` is an int vector.
+    """
+    logits = as_tensor(logits)
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    if labels.ndim != 1 or labels.shape[0] != logits.shape[0]:
+        raise ValueError(
+            f"labels shape {labels.shape} incompatible with logits {logits.shape}"
+        )
+    lse = logsumexp(logits, axis=1)
+    picked = take(logits, (np.arange(logits.shape[0]), labels.astype(np.int64)))
+    return tmean(sub(lse, picked))
+
+
+def l2_penalty(params) -> Tensor:
+    """Sum of squared parameter entries, ``Σ θ²`` (no 1/2 factor)."""
+    total = None
+    for p in params:
+        term = tsum(mul(p, p))
+        total = term if total is None else add(total, term)
+    if total is None:
+        return Tensor(0.0)
+    return total
+
+
+def accuracy(logits, labels: np.ndarray) -> float:
+    """Fraction of argmax predictions matching integer labels."""
+    data = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    labels = np.asarray(labels)
+    if data.ndim == 1:
+        pred = (data > 0).astype(labels.dtype)
+    else:
+        pred = np.argmax(data, axis=1)
+    return float(np.mean(pred == labels))

@@ -1,0 +1,161 @@
+"""Functional gradient computation, double-backward and Hessian products.
+
+``grad(output, inputs, create_graph=True)`` returns gradients that are
+themselves graph-connected tensors, which is exactly what the HVP trick of
+Pearlmutter (1994) — used by DIG-FL's Algorithm 1 — requires:
+
+    H v = d/dθ [ ⟨∇loss(θ), v⟩ ]
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autodiff.tensor import (
+    Tensor,
+    add,
+    as_tensor,
+    enable_grad,
+    mul,
+    no_grad,
+    tsum,
+)
+
+
+def _toposort(root: Tensor) -> list[Tensor]:
+    """Reverse topological order of the graph reachable from ``root``."""
+    order: list[Tensor] = []
+    visited: set[int] = set()
+    stack: list[tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if parent.requires_grad and id(parent) not in visited:
+                stack.append((parent, False))
+    order.reverse()
+    return order
+
+
+def grad(
+    output: Tensor,
+    inputs: Sequence[Tensor],
+    grad_output: Tensor | None = None,
+    create_graph: bool = False,
+    allow_unused: bool = False,
+) -> list[Tensor]:
+    """Gradients of ``output`` with respect to each tensor in ``inputs``.
+
+    Parameters
+    ----------
+    output:
+        The tensor to differentiate (any shape; scalar for a plain loss).
+    inputs:
+        Leaf (or intermediate) tensors to differentiate with respect to.
+    grad_output:
+        Adjoint seed; defaults to ones, i.e. ``d(output.sum())``.
+    create_graph:
+        When true, the returned gradients carry their own graph so they can
+        be differentiated again (double-backward).
+    allow_unused:
+        When true, inputs unreachable from ``output`` yield zero gradients
+        instead of raising.
+    """
+    if not isinstance(output, Tensor):
+        raise TypeError("output must be a Tensor")
+    if not output.requires_grad:
+        raise ValueError("output does not require grad; nothing to differentiate")
+    seed = Tensor(1.0) if output.ndim == 0 else Tensor(np.ones(output.shape))
+    if grad_output is not None:
+        seed = as_tensor(grad_output)
+        if seed.shape != output.shape:
+            raise ValueError(
+                f"grad_output shape {seed.shape} != output shape {output.shape}"
+            )
+
+    adjoints: dict[int, Tensor] = {id(output): seed}
+    context = enable_grad() if create_graph else no_grad()
+    with context:
+        for node in _toposort(output):
+            node_adj = adjoints.get(id(node))
+            if node_adj is None or node._vjp is None:
+                continue
+            parent_adjs = node._vjp(node_adj)
+            for parent, padj in zip(node._parents, parent_adjs):
+                if padj is None or not parent.requires_grad:
+                    continue
+                existing = adjoints.get(id(parent))
+                adjoints[id(parent)] = padj if existing is None else add(existing, padj)
+
+    results: list[Tensor] = []
+    for inp in inputs:
+        adj = adjoints.get(id(inp))
+        if adj is None:
+            if not allow_unused:
+                raise ValueError(
+                    "an input is not reachable from output; "
+                    "pass allow_unused=True for zero gradients"
+                )
+            adj = Tensor(np.zeros(inp.shape))
+        results.append(adj)
+    return results
+
+
+def backward(output: Tensor, grad_output: Tensor | None = None) -> None:
+    """Populate ``.grad`` on every reachable ``requires_grad`` leaf.
+
+    Convenience wrapper over :func:`grad` matching the familiar
+    ``loss.backward()`` workflow; gradients accumulate across calls.
+    """
+    leaves = [
+        node
+        for node in _toposort(output)
+        if node.requires_grad and node._vjp is None
+    ]
+    grads = grad(output, leaves, grad_output=grad_output, allow_unused=True)
+    for leaf, g in zip(leaves, grads):
+        leaf.grad = g if leaf.grad is None else add(leaf.grad, g)
+
+
+def hvp(
+    loss_fn: Callable[[Sequence[Tensor]], Tensor],
+    params: Sequence[Tensor],
+    vectors: Sequence[Tensor],
+) -> list[Tensor]:
+    """Exact Hessian-vector product ``H(params) @ vectors``.
+
+    ``loss_fn`` is re-evaluated at ``params`` with graph recording on, its
+    gradient is contracted against ``vectors`` and differentiated again —
+    Pearlmutter's trick, costing two backward passes instead of building the
+    p×p Hessian (the optimisation Sec. III-A of the paper relies on).
+    """
+    if len(params) != len(vectors):
+        raise ValueError("params and vectors must have equal length")
+    with enable_grad():
+        loss = loss_fn(params)
+        grads = grad(loss, list(params), create_graph=True)
+        dot = None
+        for g, v in zip(grads, vectors):
+            term = tsum(mul(g, as_tensor(v).detach()))
+            dot = term if dot is None else add(dot, term)
+        assert dot is not None
+        return grad(dot, list(params), allow_unused=True)
+
+
+def value_and_grad(
+    loss_fn: Callable[[Sequence[Tensor]], Tensor],
+    params: Sequence[Tensor],
+) -> tuple[float, list[Tensor]]:
+    """Evaluate ``loss_fn`` and its gradient in one pass."""
+    with enable_grad():
+        loss = loss_fn(params)
+        grads = grad(loss, list(params))
+    return loss.item(), grads

@@ -1,0 +1,626 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This is the gradient substrate the paper obtains from PyTorch.  DIG-FL's
+interactive estimator (Algorithm 1) needs Hessian-vector products, i.e.
+gradients of gradients, so every primitive here expresses its vector-Jacobian
+product *in terms of other tensor operations*.  Running the backward pass
+with ``create_graph=True`` therefore yields a differentiable graph and exact
+double-backward — the same mechanism ``torch.autograd.grad`` provides.
+
+Design notes
+------------
+* ``Tensor`` wraps a float64 ``numpy.ndarray``.  Graph edges are stored on
+  the output tensor as ``(_parents, _vjp)`` where ``_vjp(g)`` maps the output
+  adjoint to a tuple of parent adjoints (``None`` for non-differentiable
+  parents).
+* A module-level switch (:func:`no_grad` / :func:`enable_grad`) controls
+  whether new operations record graph edges, mirroring PyTorch semantics.
+* Gradient computation lives in :mod:`repro.autodiff.grad` as a functional
+  ``grad(output, inputs)`` — the form Hessian-vector products need.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Sequence
+
+import numpy as np
+
+_GRAD_ENABLED = True
+
+
+@contextmanager
+def no_grad():
+    """Disable graph recording inside the ``with`` block."""
+    global _GRAD_ENABLED
+    prev = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = prev
+
+
+@contextmanager
+def enable_grad():
+    """Re-enable graph recording (used by double-backward internals)."""
+    global _GRAD_ENABLED
+    prev = _GRAD_ENABLED
+    _GRAD_ENABLED = True
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = prev
+
+
+def is_grad_enabled() -> bool:
+    """Whether new operations currently record graph edges."""
+    return _GRAD_ENABLED
+
+
+class Tensor:
+    """A numpy array with an optional autodiff graph edge.
+
+    Leaves are created with ``Tensor(data, requires_grad=True)``; every
+    operation involving at least one graph-connected tensor produces a new
+    graph-connected tensor while grad mode is enabled.
+    """
+
+    __slots__ = ("data", "requires_grad", "grad", "_parents", "_vjp", "_op")
+    __array_priority__ = 100  # numpy defers binary ops to Tensor
+
+    def __init__(self, data, requires_grad: bool = False):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad)
+        self.grad: Tensor | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self._vjp: Callable[[Tensor], tuple] | None = None
+        self._op: str = "leaf"
+
+    # -- basic introspection ------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4)}{flag})"
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """A defensive copy of the underlying array."""
+        return self.data.copy()
+
+    def detach(self) -> "Tensor":
+        """A new leaf tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    # -- operator sugar -----------------------------------------------------
+
+    def __add__(self, other):
+        return add(self, other)
+
+    def __radd__(self, other):
+        return add(other, self)
+
+    def __sub__(self, other):
+        return sub(self, other)
+
+    def __rsub__(self, other):
+        return sub(other, self)
+
+    def __mul__(self, other):
+        return mul(self, other)
+
+    def __rmul__(self, other):
+        return mul(other, self)
+
+    def __truediv__(self, other):
+        return div(self, other)
+
+    def __rtruediv__(self, other):
+        return div(other, self)
+
+    def __neg__(self):
+        return neg(self)
+
+    def __pow__(self, exponent):
+        return power(self, exponent)
+
+    def __matmul__(self, other):
+        return matmul(self, other)
+
+    def __rmatmul__(self, other):
+        return matmul(other, self)
+
+    def __getitem__(self, idx):
+        return take(self, idx)
+
+    # Comparisons yield plain boolean arrays (non-differentiable).
+    def __gt__(self, other):
+        return self.data > _as_array(other)
+
+    def __lt__(self, other):
+        return self.data < _as_array(other)
+
+    def __ge__(self, other):
+        return self.data >= _as_array(other)
+
+    def __le__(self, other):
+        return self.data <= _as_array(other)
+
+    # -- method-style ops ---------------------------------------------------
+
+    def sum(self, axis=None, keepdims: bool = False):
+        return tsum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False):
+        return tmean(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return reshape(self, shape)
+
+    def transpose(self, axes=None):
+        return transpose(self, axes)
+
+    @property
+    def T(self):
+        return transpose(self)
+
+
+def _as_array(value) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=np.float64)
+
+
+def as_tensor(value) -> Tensor:
+    """Coerce scalars / arrays / tensors into a :class:`Tensor` leaf."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def _make(
+    data: np.ndarray,
+    parents: tuple[Tensor, ...],
+    vjp_builder: Callable[["Tensor"], Callable[[Tensor], tuple]],
+    op: str,
+) -> Tensor:
+    """Create an op output, recording a graph edge when grad mode is on.
+
+    ``vjp_builder(out)`` receives the freshly built output tensor so VJPs of
+    ops like ``exp`` can reference their own result.
+    """
+    out = Tensor(data)
+    if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+        out.requires_grad = True
+        out._parents = parents
+        out._vjp = vjp_builder(out)
+        out._op = op
+    return out
+
+
+def _unbroadcast(g: Tensor, shape: tuple[int, ...]) -> Tensor:
+    """Reduce adjoint ``g`` back to ``shape`` after numpy broadcasting.
+
+    Composed entirely of differentiable ops (sum / reshape) so that
+    double-backward through broadcasting works.
+    """
+    while g.ndim > len(shape):
+        g = tsum(g, axis=0)
+    axes = tuple(
+        i for i, (gd, sd) in enumerate(zip(g.shape, shape)) if sd == 1 and gd != 1
+    )
+    if axes:
+        g = tsum(g, axis=axes, keepdims=True)
+    if g.shape != shape:
+        g = reshape(g, shape)
+    return g
+
+
+# ---------------------------------------------------------------------------
+# arithmetic primitives
+# ---------------------------------------------------------------------------
+
+
+def add(a, b) -> Tensor:
+    """Elementwise ``a + b`` with numpy broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+
+    def build(_out):
+        def vjp(g):
+            return _unbroadcast(g, a.shape), _unbroadcast(g, b.shape)
+
+        return vjp
+
+    return _make(a.data + b.data, (a, b), build, "add")
+
+
+def sub(a, b) -> Tensor:
+    """Elementwise ``a - b`` with numpy broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+
+    def build(_out):
+        def vjp(g):
+            return _unbroadcast(g, a.shape), _unbroadcast(neg(g), b.shape)
+
+        return vjp
+
+    return _make(a.data - b.data, (a, b), build, "sub")
+
+
+def mul(a, b) -> Tensor:
+    """Elementwise ``a * b`` with numpy broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+
+    def build(_out):
+        def vjp(g):
+            return _unbroadcast(mul(g, b), a.shape), _unbroadcast(mul(g, a), b.shape)
+
+        return vjp
+
+    return _make(a.data * b.data, (a, b), build, "mul")
+
+
+def div(a, b) -> Tensor:
+    """Elementwise ``a / b`` with numpy broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+
+    def build(_out):
+        def vjp(g):
+            ga = _unbroadcast(div(g, b), a.shape)
+            gb = _unbroadcast(neg(div(mul(g, a), mul(b, b))), b.shape)
+            return ga, gb
+
+        return vjp
+
+    return _make(a.data / b.data, (a, b), build, "div")
+
+
+def neg(a) -> Tensor:
+    """Elementwise negation ``-a``."""
+    a = as_tensor(a)
+
+    def build(_out):
+        def vjp(g):
+            return (neg(g),)
+
+        return vjp
+
+    return _make(-a.data, (a,), build, "neg")
+
+
+def power(a, exponent: float) -> Tensor:
+    """Elementwise ``a ** exponent`` for a constant scalar exponent."""
+    a = as_tensor(a)
+    c = float(exponent)
+
+    def build(_out):
+        def vjp(g):
+            return (mul(g, mul(c, power(a, c - 1.0))),)
+
+        return vjp
+
+    return _make(a.data**c, (a,), build, "pow")
+
+
+# ---------------------------------------------------------------------------
+# elementwise nonlinearities
+# ---------------------------------------------------------------------------
+
+
+def exp(a) -> Tensor:
+    """Elementwise exponential ``e**a``."""
+    a = as_tensor(a)
+
+    def build(out):
+        def vjp(g):
+            return (mul(g, out),)
+
+        return vjp
+
+    return _make(np.exp(a.data), (a,), build, "exp")
+
+
+def log(a) -> Tensor:
+    """Elementwise natural logarithm."""
+    a = as_tensor(a)
+
+    def build(_out):
+        def vjp(g):
+            return (div(g, a),)
+
+        return vjp
+
+    return _make(np.log(a.data), (a,), build, "log")
+
+
+def sqrt(a) -> Tensor:
+    """Elementwise square root (``a ** 0.5``)."""
+    return power(a, 0.5)
+
+
+def tanh(a) -> Tensor:
+    """Elementwise hyperbolic tangent."""
+    a = as_tensor(a)
+
+    def build(out):
+        def vjp(g):
+            return (mul(g, sub(1.0, mul(out, out))),)
+
+        return vjp
+
+    return _make(np.tanh(a.data), (a,), build, "tanh")
+
+
+def sigmoid(a) -> Tensor:
+    """Elementwise logistic function ``1 / (1 + e**-a)`` (overflow-safe)."""
+    a = as_tensor(a)
+    # Numerically stable logistic: exponentiate only non-positive values.
+    x = np.asarray(a.data, dtype=np.float64)
+    data = np.empty_like(x)
+    pos = x >= 0
+    data[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ez = np.exp(x[~pos])
+    data[~pos] = ez / (1.0 + ez)
+    data = data.reshape(x.shape)
+
+    def build(out):
+        def vjp(g):
+            return (mul(g, mul(out, sub(1.0, out))),)
+
+        return vjp
+
+    return _make(data, (a,), build, "sigmoid")
+
+
+def relu(a) -> Tensor:
+    """Elementwise ``max(a, 0)``; subgradient 0 at the kink."""
+    a = as_tensor(a)
+    mask = (a.data > 0).astype(np.float64)
+
+    def build(_out):
+        def vjp(g):
+            # The mask is constant w.r.t. the inputs: second derivative of
+            # relu is zero almost everywhere, matching PyTorch behaviour.
+            return (mul(g, Tensor(mask)),)
+
+        return vjp
+
+    return _make(a.data * mask, (a,), build, "relu")
+
+
+def absolute(a) -> Tensor:
+    """Elementwise ``|a|``; subgradient 0 at zero."""
+    a = as_tensor(a)
+    sign = np.sign(a.data)
+
+    def build(_out):
+        def vjp(g):
+            return (mul(g, Tensor(sign)),)
+
+        return vjp
+
+    return _make(np.abs(a.data), (a,), build, "abs")
+
+
+# ---------------------------------------------------------------------------
+# reductions and shape ops
+# ---------------------------------------------------------------------------
+
+
+def _keepdims_shape(shape: tuple[int, ...], axis) -> tuple[int, ...]:
+    if axis is None:
+        return (1,) * len(shape)
+    axes = axis if isinstance(axis, tuple) else (axis,)
+    axes = tuple(ax % len(shape) for ax in axes)
+    return tuple(1 if i in axes else s for i, s in enumerate(shape))
+
+
+def tsum(a, axis=None, keepdims: bool = False) -> Tensor:
+    """Sum over ``axis`` (int, tuple or None for all)."""
+    a = as_tensor(a)
+    if isinstance(axis, list):
+        axis = tuple(axis)
+
+    def build(_out):
+        def vjp(g):
+            if not keepdims and a.ndim > 0:
+                g = reshape(g, _keepdims_shape(a.shape, axis))
+            return (broadcast_to(g, a.shape),)
+
+        return vjp
+
+    return _make(np.sum(a.data, axis=axis, keepdims=keepdims), (a,), build, "sum")
+
+
+def tmean(a, axis=None, keepdims: bool = False) -> Tensor:
+    """Mean over ``axis`` (sum divided by the reduced element count)."""
+    a = as_tensor(a)
+    if axis is None:
+        count = a.size
+    else:
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        count = int(np.prod([a.shape[ax] for ax in axes]))
+    return div(tsum(a, axis=axis, keepdims=keepdims), float(count))
+
+
+def reshape(a, shape: tuple[int, ...]) -> Tensor:
+    """View ``a`` with a new shape (same element count)."""
+    a = as_tensor(a)
+    old_shape = a.shape
+
+    def build(_out):
+        def vjp(g):
+            return (reshape(g, old_shape),)
+
+        return vjp
+
+    return _make(a.data.reshape(shape), (a,), build, "reshape")
+
+
+def transpose(a, axes=None) -> Tensor:
+    """Permute axes (numpy semantics; ``None`` reverses them)."""
+    a = as_tensor(a)
+    if axes is None:
+        inverse = None
+    else:
+        inverse = tuple(np.argsort(axes))
+
+    def build(_out):
+        def vjp(g):
+            return (transpose(g, inverse),)
+
+        return vjp
+
+    return _make(np.transpose(a.data, axes), (a,), build, "transpose")
+
+
+def broadcast_to(a, shape: tuple[int, ...]) -> Tensor:
+    """Broadcast ``a`` to ``shape``; the adjoint sums over expanded axes."""
+    a = as_tensor(a)
+    old_shape = a.shape
+
+    def build(_out):
+        def vjp(g):
+            return (_unbroadcast(g, old_shape),)
+
+        return vjp
+
+    return _make(
+        np.broadcast_to(a.data, shape).copy(), (a,), build, "broadcast_to"
+    )
+
+
+def matmul(a, b) -> Tensor:
+    """Matrix product of two 2-D tensors (vectors are promoted like numpy)."""
+    a, b = as_tensor(a), as_tensor(b)
+    if a.ndim == 1 and b.ndim == 1:
+        return tsum(mul(a, b))
+    if a.ndim == 1:
+        return reshape(matmul(reshape(a, (1, a.shape[0])), b), (b.shape[-1],))
+    if b.ndim == 1:
+        return reshape(matmul(a, reshape(b, (b.shape[0], 1))), (a.shape[0],))
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError(
+            f"matmul supports 1-D/2-D operands, got {a.ndim}-D and {b.ndim}-D"
+        )
+
+    def build(_out):
+        def vjp(g):
+            return matmul(g, transpose(b)), matmul(transpose(a), g)
+
+        return vjp
+
+    return _make(a.data @ b.data, (a, b), build, "matmul")
+
+
+# ---------------------------------------------------------------------------
+# indexing
+# ---------------------------------------------------------------------------
+
+
+def take(a, idx) -> Tensor:
+    """``a[idx]`` with gradient support; ``idx`` may be any numpy index."""
+    a = as_tensor(a)
+    shape = a.shape
+
+    def build(_out):
+        def vjp(g):
+            return (put(g, idx, shape),)
+
+        return vjp
+
+    return _make(np.array(a.data[idx], dtype=np.float64), (a,), build, "take")
+
+
+def put(g, idx, shape: tuple[int, ...]) -> Tensor:
+    """Scatter-add ``g`` into a zero tensor of ``shape`` at ``idx``.
+
+    This is the adjoint of :func:`take`; its own adjoint is :func:`take`
+    again, so indexing survives double-backward.
+    """
+    g = as_tensor(g)
+
+    def build(_out):
+        def vjp(gg):
+            return (take(gg, idx),)
+
+        return vjp
+
+    data = np.zeros(shape, dtype=np.float64)
+    np.add.at(data, idx, g.data)
+    return _make(data, (g,), build, "put")
+
+
+def concatenate(tensors: Sequence, axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` (differentiable)."""
+    ts = [as_tensor(t) for t in tensors]
+    sizes = [t.shape[axis] for t in ts]
+    offsets = np.cumsum([0, *sizes])
+
+    def build(_out):
+        def vjp(g):
+            grads = []
+            for i in range(len(ts)):
+                index = [slice(None)] * g.ndim
+                index[axis] = slice(int(offsets[i]), int(offsets[i + 1]))
+                grads.append(take(g, tuple(index)))
+            return tuple(grads)
+
+        return vjp
+
+    return _make(
+        np.concatenate([t.data for t in ts], axis=axis), tuple(ts), build, "concat"
+    )
+
+
+def maximum_const(a, threshold: float = 0.0) -> Tensor:
+    """Elementwise ``max(a, threshold)`` with subgradient mask."""
+    a = as_tensor(a)
+    mask = (a.data > threshold).astype(np.float64)
+
+    def build(_out):
+        def vjp(g):
+            return (mul(g, Tensor(mask)),)
+
+        return vjp
+
+    return _make(np.maximum(a.data, threshold), (a,), build, "maximum_const")
+
+
+def amax(a, axis: int, keepdims: bool = False) -> Tensor:
+    """Max along one axis; gradient flows to the (first) argmax entries."""
+    a = as_tensor(a)
+    data = np.max(a.data, axis=axis, keepdims=True)
+    mask = (a.data == data).astype(np.float64)
+    # Split ties evenly so the subgradient sums to one per reduced slice.
+    mask /= np.sum(mask, axis=axis, keepdims=True)
+
+    def build(_out):
+        def vjp(g):
+            if not keepdims:
+                g = reshape(g, _keepdims_shape(a.shape, axis))
+            return (mul(broadcast_to(g, a.shape), Tensor(mask)),)
+
+        return vjp
+
+    out_data = data if keepdims else np.squeeze(data, axis=axis)
+    return _make(out_data, (a,), build, "amax")

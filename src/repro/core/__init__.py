@@ -1,0 +1,74 @@
+"""DIG-FL: the paper's contribution estimators and the reweight mechanism."""
+
+from repro.core.contribution import ContributionReport, from_per_epoch
+from repro.core.digfl_hfl import (
+    estimate_hfl_interactive,
+    estimate_hfl_resource_saving,
+)
+from repro.core.digfl_vfl import (
+    estimate_vfl_first_order,
+    estimate_vfl_second_order,
+)
+from repro.core.convergence import (
+    RateFit,
+    fit_inverse_power_rate,
+    is_monotone_decreasing,
+    running_min,
+    validation_gradient_norms,
+    violation_fraction,
+)
+from repro.core.payments import (
+    payment_summary,
+    proportional_payments,
+    shapley_payments,
+    streaming_payments,
+)
+from repro.core.sample_influence import (
+    SampleInfluenceReport,
+    mislabel_detection_score,
+    sample_influences,
+)
+from repro.core.reweight import (
+    DIGFLReweighter,
+    VFLDIGFLReweighter,
+    rectified_weights,
+    softmax_weights,
+)
+from repro.core.selection import (
+    SelectionResult,
+    flag_low_quality,
+    select_covering_fraction,
+    select_top_k,
+    select_under_budget,
+)
+
+__all__ = [
+    "ContributionReport",
+    "DIGFLReweighter",
+    "RateFit",
+    "SampleInfluenceReport",
+    "SelectionResult",
+    "VFLDIGFLReweighter",
+    "estimate_hfl_interactive",
+    "estimate_hfl_resource_saving",
+    "estimate_vfl_first_order",
+    "estimate_vfl_second_order",
+    "fit_inverse_power_rate",
+    "flag_low_quality",
+    "from_per_epoch",
+    "is_monotone_decreasing",
+    "mislabel_detection_score",
+    "payment_summary",
+    "proportional_payments",
+    "rectified_weights",
+    "running_min",
+    "sample_influences",
+    "select_covering_fraction",
+    "select_top_k",
+    "select_under_budget",
+    "shapley_payments",
+    "softmax_weights",
+    "streaming_payments",
+    "validation_gradient_norms",
+    "violation_fraction",
+]

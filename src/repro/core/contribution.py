@@ -1,0 +1,85 @@
+"""Contribution report container shared by all estimators and baselines.
+
+Every estimator — DIG-FL, the exact Shapley value, TMC/GT/MR/IM — returns a
+:class:`ContributionReport`, so benchmarks compare them uniformly: totals
+for the whole training process (Eq. 15) and, where available, the per-epoch
+matrix (Eq. 14) that drives the reweight mechanism and Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.metrics.cost import CostLedger
+
+
+@dataclass
+class ContributionReport:
+    """Per-participant contribution estimates.
+
+    ``per_epoch`` is ``(τ, n)`` when the method produces per-epoch values
+    (DIG-FL, per-epoch exact Shapley); methods that only yield whole-process
+    values (TMC, GT, exact) leave it ``None`` and set ``totals`` directly.
+    """
+
+    method: str
+    participant_ids: list[int]
+    totals: np.ndarray
+    per_epoch: np.ndarray | None = None
+    ledger: CostLedger = field(default_factory=CostLedger)
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.totals = np.asarray(self.totals, dtype=np.float64)
+        if self.totals.shape != (len(self.participant_ids),):
+            raise ValueError(
+                f"totals shape {self.totals.shape} does not match "
+                f"{len(self.participant_ids)} participants"
+            )
+        if self.per_epoch is not None:
+            self.per_epoch = np.asarray(self.per_epoch, dtype=np.float64)
+            if self.per_epoch.ndim != 2 or self.per_epoch.shape[1] != len(
+                self.participant_ids
+            ):
+                raise ValueError(
+                    f"per_epoch shape {self.per_epoch.shape} does not match "
+                    f"{len(self.participant_ids)} participants"
+                )
+
+    @property
+    def n_participants(self) -> int:
+        return len(self.participant_ids)
+
+    def ranking(self) -> list[int]:
+        """Participant ids sorted by contribution, best first."""
+        order = np.argsort(self.totals)[::-1]
+        return [self.participant_ids[i] for i in order]
+
+    def aligned_with(self, other: "ContributionReport") -> tuple[np.ndarray, np.ndarray]:
+        """Totals of self and other aligned on common participant ids."""
+        common = [i for i in self.participant_ids if i in set(other.participant_ids)]
+        mine = np.array([self.totals[self.participant_ids.index(i)] for i in common])
+        theirs = np.array([other.totals[other.participant_ids.index(i)] for i in common])
+        return mine, theirs
+
+
+def from_per_epoch(
+    method: str,
+    participant_ids: list[int],
+    per_epoch: np.ndarray,
+    *,
+    ledger: CostLedger | None = None,
+    extra: dict | None = None,
+) -> ContributionReport:
+    """Build a report from a per-epoch matrix (totals = column sums, Eq. 15)."""
+    per_epoch = np.asarray(per_epoch, dtype=np.float64)
+    return ContributionReport(
+        method=method,
+        participant_ids=list(participant_ids),
+        totals=per_epoch.sum(axis=0),
+        per_epoch=per_epoch,
+        ledger=ledger or CostLedger(),
+        extra=extra or {},
+    )

@@ -1,0 +1,100 @@
+"""Empirical verification helpers for Lemmas 4 and 5.
+
+The reweighting lemmas claim, for a sufficiently small learning rate:
+
+1. monotone decrease — ``loss^v(θ_{t+1}) ≤ loss^v(θ_t)``;
+2. a sublinear rate — ``min_{1≤t≤τ} ‖∇loss^v(θ_t)‖ ≤ ξ/√τ``.
+
+These helpers extract both quantities from a finished run so tests and
+benches can check the claims against actual trajectories rather than take
+the proofs on faith.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.hfl.log import TrainingLog
+from repro.hfl.trainer import validation_gradient
+from repro.nn.models import Classifier
+
+
+def validation_gradient_norms(
+    log: TrainingLog,
+    validation: Dataset,
+    model_factory: Callable[[], Classifier],
+) -> np.ndarray:
+    """``‖∇loss^v(θ_t)‖`` after every epoch of the run, shape (τ,)."""
+    if log.n_epochs == 0:
+        raise ValueError("training log is empty")
+    model = model_factory()
+    norms = np.empty(log.n_epochs)
+    for t, record in enumerate(log.records):
+        grad = validation_gradient(model, record.theta_after, validation)
+        norms[t] = float(np.linalg.norm(grad))
+    return norms
+
+
+def running_min(values: np.ndarray) -> np.ndarray:
+    """``min_{1≤s≤t} values[s]`` — the quantity Lemma 4/5 bound."""
+    return np.minimum.accumulate(np.asarray(values, dtype=np.float64))
+
+
+def is_monotone_decreasing(curve: np.ndarray, *, tolerance: float = 1e-9) -> bool:
+    """True when the loss curve never increases beyond ``tolerance``."""
+    curve = np.asarray(curve, dtype=np.float64)
+    if curve.ndim != 1 or len(curve) < 2:
+        raise ValueError("need a 1-D curve with at least two points")
+    return bool(np.all(np.diff(curve) <= tolerance))
+
+
+def violation_fraction(curve: np.ndarray, *, tolerance: float = 1e-9) -> float:
+    """Fraction of steps where the curve increases (0.0 = perfectly monotone)."""
+    curve = np.asarray(curve, dtype=np.float64)
+    if len(curve) < 2:
+        return 0.0
+    increases = np.diff(curve) > tolerance
+    return float(increases.mean())
+
+
+@dataclass(frozen=True)
+class RateFit:
+    """Least-squares fit of ``min‖∇‖ ≈ ξ / τ^ρ`` on log-log axes.
+
+    Lemma 4/5 predict ρ ≥ 0.5 (the bound allows faster decay); ``r2``
+    reports the fit quality.
+    """
+
+    xi: float
+    rho: float
+    r2: float
+
+    def bound_at(self, tau: int) -> float:
+        return self.xi / tau**self.rho
+
+
+def fit_inverse_power_rate(min_norms: np.ndarray) -> RateFit:
+    """Fit the running-min gradient-norm curve to ``ξ/τ^ρ``.
+
+    Expects the output of :func:`running_min` over
+    :func:`validation_gradient_norms`; constant or near-constant curves
+    yield ``rho ≈ 0``.
+    """
+    min_norms = np.asarray(min_norms, dtype=np.float64)
+    if len(min_norms) < 3:
+        raise ValueError("need at least 3 epochs to fit a rate")
+    if np.any(min_norms <= 0):
+        raise ValueError("gradient norms must be positive to fit on log axes")
+    taus = np.arange(1, len(min_norms) + 1, dtype=np.float64)
+    X = np.stack([np.ones_like(taus), -np.log(taus)], axis=1)
+    y = np.log(min_norms)
+    coef, *_ = np.linalg.lstsq(X, y, rcond=None)
+    predictions = X @ coef
+    ss_res = float(np.sum((y - predictions) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 1e-300 else 1.0
+    return RateFit(xi=float(np.exp(coef[0])), rho=float(coef[1]), r2=r2)

@@ -1,0 +1,150 @@
+"""DIG-FL contribution estimation for horizontal FL (Algorithms 1 and 2).
+
+Both estimators consume the FedSGD :class:`~repro.hfl.log.TrainingLog` and
+the server's validation set — no retraining, no access to local data.
+
+**Algorithm 2 — resource-saving** (Eq. 16):
+
+    φ̂_{t,i} = (1/n) ⟨∇loss^v(θ_{t-1}), δ_{t,i}⟩
+
+The server already holds every δ, so the only extra work is one validation
+gradient per epoch and ``n`` dot products: O(τ·n·p) server-side, zero extra
+communication (level-2 privacy).
+
+**Algorithm 1 — interactive** adds the second-order correction.  Expanding
+the removal of participant ``z`` to first order around the joint training
+trajectory (the paper's Eq. 6 with ε = −1/n) gives the recursion
+
+    ΔG_t^{-z} = −(1/n)·δ_{t,z} − α_t · H_{θ_{t-1}} ( Σ_{j<t} ΔG_j^{-z} )
+    φ_{t,z}   = −⟨∇loss^v(θ_{t-1}), ΔG_t^{-z}⟩
+
+(The paper's Lemma 1 / Eq. 19 / Algorithm 1 disagree with each other on the
+sign of the Hessian term — a typo chain; the form above is the one all
+three reduce to when re-derived from Eq. 6, and it is what we implement.)
+
+Each participant evaluates the Hessian-vector product ``Ĥ_i·v`` on its own
+local data (cheap HVPs, never a p×p matrix) as an unbiased estimator of the
+global ``H·v``, and uploads the p-vector — level-1 privacy, O(τ·n·p) compute.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autodiff.grad import hvp
+from repro.autodiff.tensor import Tensor
+from repro.core.contribution import ContributionReport, from_per_epoch
+from repro.data.dataset import Dataset
+from repro.hfl.log import TrainingLog
+from repro.hfl.trainer import flat_gradient
+from repro.metrics.cost import FLOAT64_BYTES, CostLedger
+from repro.nn.models import Classifier
+from repro.utils.packing import unflatten_params
+
+
+def _validation_gradients(
+    log: TrainingLog, validation: Dataset, model: Classifier
+) -> np.ndarray:
+    """``∇loss^v(θ_{t-1})`` for every epoch, shape (τ, p)."""
+    grads = np.empty((log.n_epochs, log.records[0].theta_before.size))
+    for t, record in enumerate(log.records):
+        model.set_flat(record.theta_before)
+        grads[t] = flat_gradient(model, validation.X, validation.y)
+    return grads
+
+
+def estimate_hfl_resource_saving(
+    log: TrainingLog,
+    validation: Dataset,
+    model_factory: Callable[[], Classifier],
+    *,
+    use_logged_weights: bool = False,
+    ledger: CostLedger | None = None,
+) -> ContributionReport:
+    """Algorithm 2: first-order per-epoch contributions from the log only.
+
+    ``use_logged_weights`` replaces the paper's uniform ``1/n`` with the
+    aggregation weights the server actually applied (recorded per epoch in
+    the log) — the consistent choice when training used FedAvg data-size
+    weights or the reweight mechanism, since removing participant ``i``
+    then removes ``ω_{t,i}·δ_{t,i}`` from the aggregate.
+    """
+    if log.n_epochs == 0:
+        raise ValueError("training log is empty")
+    ledger = ledger or CostLedger()
+    model = model_factory()
+    n = log.n_participants
+    with ledger.computing():
+        val_grads = _validation_gradients(log, validation, model)
+        per_epoch = np.empty((log.n_epochs, n))
+        for t, record in enumerate(log.records):
+            raw = record.local_updates @ val_grads[t]
+            if use_logged_weights:
+                per_epoch[t] = record.weights * raw
+            else:
+                per_epoch[t] = raw / n
+    return from_per_epoch(
+        "digfl-resource-saving", log.participant_ids, per_epoch, ledger=ledger
+    )
+
+
+def estimate_hfl_interactive(
+    log: TrainingLog,
+    validation: Dataset,
+    model_factory: Callable[[], Classifier],
+    locals_: Sequence[Dataset],
+    *,
+    ledger: CostLedger | None = None,
+) -> ContributionReport:
+    """Algorithm 1: adds the Hessian correction via participant-local HVPs.
+
+    ``locals_`` indexes the full federation; only the participants present
+    in the log are queried (they compute ``Ĥ_{θ_{t-1}}·Σ_{j<t}ΔG_j^{-i}`` on
+    their own data, exactly the quantity they upload in Algorithm 1).
+    """
+    if log.n_epochs == 0:
+        raise ValueError("training log is empty")
+    ledger = ledger or CostLedger()
+    model = model_factory()
+    spec = model.param_spec()
+    n = log.n_participants
+    p = log.records[0].theta_before.size
+
+    def local_hvp(participant: int, theta: np.ndarray, vector: np.ndarray) -> np.ndarray:
+        """Participant-side HVP of its local loss at θ against ``vector``."""
+        data = locals_[participant]
+        model.set_flat(theta)
+        params = model.parameters()
+        v_parts = unflatten_params(vector, spec)
+
+        def loss_fn(ps):
+            del ps  # hvp re-reads the live parameters
+            return model.loss(data.X, data.y)
+
+        hv = hvp(loss_fn, params, [Tensor(vp) for vp in v_parts])
+        return np.concatenate([h.data.ravel() for h in hv])
+
+    with ledger.computing():
+        val_grads = _validation_gradients(log, validation, model)
+        per_epoch = np.empty((log.n_epochs, n))
+        # running Σ_j ΔG_j^{-i} per participant
+        delta_g_sum = np.zeros((n, p))
+        for t, record in enumerate(log.records):
+            v_t = val_grads[t]
+            for row, participant in enumerate(log.participant_ids):
+                omega = np.zeros(p)
+                if t > 0 and np.any(delta_g_sum[row]):
+                    omega = local_hvp(
+                        participant, record.theta_before, delta_g_sum[row]
+                    )
+                    # Participant uploads the HVP vector (the only extra
+                    # communication of Algorithm 1).
+                    ledger.record_bytes("participant->server", p * FLOAT64_BYTES)
+                delta_g = -record.local_updates[row] / n - record.lr * omega
+                per_epoch[t, row] = -float(v_t @ delta_g)
+                delta_g_sum[row] += delta_g
+    return from_per_epoch(
+        "digfl-interactive", log.participant_ids, per_epoch, ledger=ledger
+    )

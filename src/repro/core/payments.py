@@ -1,0 +1,89 @@
+"""Contribution-based payment mechanisms.
+
+"For the commercial use of FL, fair credit/reward allocation for
+participants based on their contributions is needed" (Sec. I).  The Shapley
+value is the canonical fair division, and DIG-FL makes it cheap enough to
+compute per round — so payments can be allocated once at the end
+(:func:`shapley_payments`) or streamed round by round
+(:func:`streaming_payments`), which pays participants for *when* they
+helped, not just how much overall.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.contribution import ContributionReport
+from repro.core.reweight import rectified_weights
+from repro.utils.validation import check_positive_float
+
+
+def proportional_payments(
+    report: ContributionReport, budget: float
+) -> dict[int, float]:
+    """Split ``budget`` proportionally to rectified total contributions.
+
+    Non-positive contributors receive nothing; if *nobody* contributed
+    positively the budget is withheld (all-zero payout) rather than spread
+    over harmful participants.
+    """
+    check_positive_float(budget, "budget")
+    clipped = np.maximum(report.totals, 0.0)
+    total = clipped.sum()
+    if total <= 0:
+        return {pid: 0.0 for pid in report.participant_ids}
+    shares = clipped / total * budget
+    return dict(zip(report.participant_ids, shares.astype(float)))
+
+
+def shapley_payments(
+    report: ContributionReport, budget: float, *, allow_negative: bool = False
+) -> dict[int, float]:
+    """Budget-balanced payments proportional to signed Shapley estimates.
+
+    With ``allow_negative`` the division follows the signed values —
+    participants with negative contribution owe the pool (a "penalty"
+    reading some incentive designs use); the payments still sum to
+    ``budget``.  Without it, this is :func:`proportional_payments`.
+    """
+    check_positive_float(budget, "budget")
+    if not allow_negative:
+        return proportional_payments(report, budget)
+    total = report.totals.sum()
+    if abs(total) < 1e-12:
+        raise ValueError(
+            "signed contributions sum to ~0; signed division is undefined "
+            "— use proportional_payments instead"
+        )
+    shares = report.totals / total * budget
+    return dict(zip(report.participant_ids, shares.astype(float)))
+
+
+def streaming_payments(
+    report: ContributionReport, round_budget: float
+) -> dict[int, float]:
+    """Pay ``round_budget`` per epoch, split by that epoch's contributions.
+
+    Requires a per-epoch report (DIG-FL, MR); whole-process-only estimators
+    cannot stream.  Each round's budget goes to that round's positive
+    contributors (Eq. 17 weights); rounds where nobody helped fall back to
+    a uniform split, mirroring the reweight mechanism's degenerate case.
+    """
+    check_positive_float(round_budget, "round_budget")
+    if report.per_epoch is None:
+        raise ValueError(
+            f"method {report.method!r} has no per-epoch contributions to stream"
+        )
+    payments = np.zeros(report.n_participants)
+    for t in range(report.per_epoch.shape[0]):
+        payments += round_budget * rectified_weights(report.per_epoch[t])
+    return dict(zip(report.participant_ids, payments.astype(float)))
+
+
+def payment_summary(payments: dict[int, float]) -> str:
+    """Human-readable, stable-ordered payment table."""
+    lines = ["participant  payment"]
+    for pid in sorted(payments):
+        lines.append(f"{pid:>11}  {payments[pid]:>10,.2f}")
+    lines.append(f"{'total':>11}  {sum(payments.values()):>10,.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""DIG-FL based participant reweighting (Sec. II-F, III-C, IV-D).
+
+In every epoch the server computes per-epoch contributions with the
+resource-saving estimator, rectifies negatives to zero and normalises
+(Eq. 17):
+
+    ω_{t,i} = max(φ_{t,i}, 0) / Σ_j max(φ_{t,j}, 0)
+
+and aggregates the reweighted updates (Eq. 18).  Participants whose updates
+point *against* the validation gradient — mislabeled or heavily non-IID
+data — are silenced for that epoch.  Lemmas 4/5 guarantee monotone
+validation-loss decrease for small enough learning rates; the fallback to
+uniform weights when every contribution is non-positive keeps training
+alive in the degenerate case (e.g. all-noise epochs near convergence).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.hfl.trainer import flat_gradient
+from repro.nn.models import Classifier
+
+
+def rectified_weights(contributions: np.ndarray, *, epsilon: float = 1e-12) -> np.ndarray:
+    """Eq. 17: clip at zero and normalise to a probability vector.
+
+    Falls back to uniform weights when no participant has a positive
+    contribution, so the aggregation never divides by zero.
+    """
+    contributions = np.asarray(contributions, dtype=np.float64)
+    clipped = np.maximum(contributions, 0.0)
+    total = clipped.sum()
+    if total <= epsilon:
+        return np.full(len(contributions), 1.0 / len(contributions))
+    return clipped / total
+
+
+def softmax_weights(contributions: np.ndarray, temperature: float = 1.0) -> np.ndarray:
+    """Ablation alternative to Eq. 17: softmax over contributions.
+
+    Unlike rectification it never zeroes a participant entirely, which
+    trades robustness against corrupted updates for smoother aggregation.
+    """
+    contributions = np.asarray(contributions, dtype=np.float64)
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    z = contributions / temperature
+    z = z - z.max()
+    expz = np.exp(z)
+    return expz / expz.sum()
+
+
+class DIGFLReweighter:
+    """HFL reweighter plugging into :class:`repro.hfl.trainer.HFLTrainer`.
+
+    Computes φ̂_{t,i} with the resource-saving estimator (one validation
+    gradient, ``n`` dot products — Algorithm 2's per-epoch step) and maps
+    them through the chosen weighting scheme.
+    """
+
+    def __init__(
+        self,
+        validation: Dataset,
+        *,
+        scheme: str = "rectified",
+        temperature: float = 1.0,
+    ) -> None:
+        if scheme not in ("rectified", "softmax"):
+            raise ValueError(f"scheme must be 'rectified' or 'softmax', got {scheme!r}")
+        self.validation = validation
+        self.scheme = scheme
+        self.temperature = temperature
+        self.history: list[np.ndarray] = []  # per-epoch contributions observed
+
+    def weights(
+        self,
+        model: Classifier,
+        theta_before: np.ndarray,
+        local_updates: np.ndarray,
+        lr: float,
+        epoch: int,
+    ) -> np.ndarray:
+        del lr, epoch
+        saved = model.get_flat()
+        model.set_flat(theta_before)
+        try:
+            val_grad = flat_gradient(model, self.validation.X, self.validation.y)
+        finally:
+            model.set_flat(saved)
+        n = len(local_updates)
+        contributions = local_updates @ val_grad / n
+        self.history.append(contributions)
+        if self.scheme == "softmax":
+            return softmax_weights(contributions, self.temperature)
+        return rectified_weights(contributions)
+
+
+class VFLDIGFLReweighter:
+    """VFL reweighter for :class:`repro.vfl.trainer.VFLTrainer` (Eq. 31).
+
+    Receives the block-partitioned training and validation gradients the
+    trainer already computed, derives φ̂_{t,i} per Eq. 27 and returns
+    weights over *all* parties (inactive parties get weight 0).
+    """
+
+    def __init__(
+        self,
+        feature_blocks: Sequence[np.ndarray],
+        *,
+        scheme: str = "rectified",
+        temperature: float = 1.0,
+    ) -> None:
+        if scheme not in ("rectified", "softmax"):
+            raise ValueError(f"scheme must be 'rectified' or 'softmax', got {scheme!r}")
+        self.feature_blocks = [np.asarray(b) for b in feature_blocks]
+        self.scheme = scheme
+        self.temperature = temperature
+        self.history: list[np.ndarray] = []
+
+    def weights(
+        self,
+        theta_before: np.ndarray,
+        train_gradient: np.ndarray,
+        val_gradient: np.ndarray,
+        lr: float,
+        epoch: int,
+        active_parties: Sequence[int],
+    ) -> np.ndarray:
+        del theta_before, epoch
+        contributions = np.array(
+            [
+                lr * float(val_gradient[block] @ train_gradient[block])
+                for block in self.feature_blocks
+            ]
+        )
+        self.history.append(contributions)
+        active = list(active_parties)
+        if self.scheme == "softmax":
+            active_weights = softmax_weights(contributions[active], self.temperature)
+        else:
+            active_weights = rectified_weights(contributions[active])
+        # Scale so that uniform contributions reproduce plain descent
+        # (weight 1 per active party), matching Eq. 31 where ω multiplies
+        # each block's gradient rather than redistributing a unit budget.
+        weights = np.zeros(len(self.feature_blocks))
+        weights[active] = active_weights * len(active)
+        return weights

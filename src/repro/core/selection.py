@@ -1,0 +1,139 @@
+"""Participant selection driven by DIG-FL contributions.
+
+Sec. II-F lists "optimal participant selection under budget constraint" as
+a direct application of per-epoch contributions.  This module implements
+the selection policies the paper sketches:
+
+* :func:`select_top_k` — keep the k highest contributors,
+* :func:`select_under_budget` — greedy knapsack by contribution density,
+* :func:`select_covering_fraction` — smallest prefix covering a fraction of
+  the total positive contribution,
+* :func:`flag_low_quality` — robust outlier detection (median/MAD) over the
+  contribution vector, the "localise low-quality participants" use case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.contribution import ContributionReport
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Chosen participant ids plus the book-keeping selectors report."""
+
+    selected: list[int]
+    total_contribution: float
+    total_cost: float
+
+    def __contains__(self, participant_id: int) -> bool:
+        return participant_id in self.selected
+
+
+def select_top_k(report: ContributionReport, k: int) -> SelectionResult:
+    """The ``k`` participants with the highest total contribution."""
+    check_positive_int(k, "k")
+    if k > report.n_participants:
+        raise ValueError(
+            f"k={k} exceeds the {report.n_participants} participants in the report"
+        )
+    order = np.argsort(report.totals)[::-1][:k]
+    chosen = [report.participant_ids[i] for i in order]
+    return SelectionResult(
+        selected=sorted(chosen),
+        total_contribution=float(report.totals[order].sum()),
+        total_cost=float(len(chosen)),
+    )
+
+
+def select_under_budget(
+    report: ContributionReport,
+    costs: np.ndarray,
+    budget: float,
+) -> SelectionResult:
+    """Greedy knapsack: pick by contribution-per-cost until the budget runs out.
+
+    Participants with non-positive contribution are never selected —
+    paying for harmful data is worse than leaving budget unspent.
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    if costs.shape != (report.n_participants,):
+        raise ValueError(
+            f"costs shape {costs.shape} does not match {report.n_participants} participants"
+        )
+    if np.any(costs <= 0):
+        raise ValueError("all participant costs must be positive")
+    if budget <= 0:
+        raise ValueError(f"budget must be positive, got {budget}")
+
+    density = report.totals / costs
+    order = np.argsort(density)[::-1]
+    chosen: list[int] = []
+    spent = 0.0
+    gained = 0.0
+    for i in order:
+        if report.totals[i] <= 0:
+            break  # density sorted: everything after is also non-positive
+        if spent + costs[i] > budget:
+            continue
+        chosen.append(report.participant_ids[i])
+        spent += float(costs[i])
+        gained += float(report.totals[i])
+    return SelectionResult(
+        selected=sorted(chosen), total_contribution=gained, total_cost=spent
+    )
+
+
+def select_covering_fraction(
+    report: ContributionReport, fraction: float
+) -> SelectionResult:
+    """Smallest top-contributor prefix covering ``fraction`` of total value.
+
+    "Value" is the sum of positive contributions; negative contributors are
+    never included.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    positive_total = float(np.maximum(report.totals, 0).sum())
+    if positive_total == 0.0:
+        return SelectionResult(selected=[], total_contribution=0.0, total_cost=0.0)
+    target = fraction * positive_total
+    order = np.argsort(report.totals)[::-1]
+    chosen: list[int] = []
+    covered = 0.0
+    for i in order:
+        if covered >= target or report.totals[i] <= 0:
+            break
+        chosen.append(report.participant_ids[i])
+        covered += float(report.totals[i])
+    return SelectionResult(
+        selected=sorted(chosen),
+        total_contribution=covered,
+        total_cost=float(len(chosen)),
+    )
+
+
+def flag_low_quality(
+    report: ContributionReport, *, threshold: float = 2.5
+) -> list[int]:
+    """Participants whose contribution is a robust low outlier.
+
+    Uses the modified z-score ``0.6745·(x − median)/MAD``; values below
+    ``−threshold`` are flagged.  With a constant-ish contribution vector
+    (MAD ≈ 0) nothing is flagged — no corruption signal, no alarm.
+    """
+    totals = report.totals
+    median = float(np.median(totals))
+    mad = float(np.median(np.abs(totals - median)))
+    if mad < 1e-12:
+        return []
+    scores = 0.6745 * (totals - median) / mad
+    return [
+        report.participant_ids[i]
+        for i in range(report.n_participants)
+        if scores[i] < -threshold
+    ]

@@ -1,0 +1,29 @@
+"""Cryptographic substrate for the VFL protocol (Paillier + masking)."""
+
+from repro.crypto.masking import MaskGenerator
+from repro.crypto.paillier import (
+    FRACTIONAL_BITS,
+    EncryptedNumber,
+    PrivateKey,
+    PublicKey,
+    add_vectors,
+    decrypt_vector,
+    encrypt_vector,
+    generate_keypair,
+)
+from repro.crypto.primes import generate_prime, generate_prime_pair, is_probable_prime
+
+__all__ = [
+    "EncryptedNumber",
+    "FRACTIONAL_BITS",
+    "MaskGenerator",
+    "PrivateKey",
+    "PublicKey",
+    "add_vectors",
+    "decrypt_vector",
+    "encrypt_vector",
+    "generate_keypair",
+    "generate_prime",
+    "generate_prime_pair",
+    "is_probable_prime",
+]

@@ -1,0 +1,47 @@
+"""Additive random masks for hiding gradients from the trusted third-party.
+
+Step 4 of the paper's running-example protocol has each participant add an
+encrypted random mask ``M_i`` to its encrypted gradient before the
+third-party decrypts, so the third-party only ever sees ``grad + M_i``; the
+participant strips the mask locally afterwards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+
+class MaskGenerator:
+    """Produces and remembers additive masks per (round, tag)."""
+
+    def __init__(self, scale: float = 1.0, *, seed=None) -> None:
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self._rng = make_rng(seed)
+        self._scale = scale
+        self._masks: dict[tuple[int, str], np.ndarray] = {}
+
+    def mask_for(self, round_index: int, tag: str, size: int) -> np.ndarray:
+        """Fresh mask for (round, tag); re-querying returns the same mask."""
+        key = (round_index, tag)
+        if key not in self._masks:
+            self._masks[key] = self._rng.uniform(-self._scale, self._scale, size=size)
+        mask = self._masks[key]
+        if len(mask) != size:
+            raise ValueError(
+                f"mask for {key} has size {len(mask)}, requested {size}"
+            )
+        return mask
+
+    def unmask(self, round_index: int, tag: str, masked: np.ndarray) -> np.ndarray:
+        """Remove a previously issued mask from ``masked``."""
+        key = (round_index, tag)
+        if key not in self._masks:
+            raise KeyError(f"no mask was issued for {key}")
+        return np.asarray(masked) - self._masks[key]
+
+    def discard(self, round_index: int, tag: str) -> None:
+        """Forget a mask once the round is complete."""
+        self._masks.pop((round_index, tag), None)

@@ -1,0 +1,79 @@
+"""Probabilistic prime generation for Paillier key pairs.
+
+Miller–Rabin with a small-prime sieve; entirely self-contained so the VFL
+protocol substrate has no dependency beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import random
+
+# Primes below 1000 — cheap trial division rejects ~90% of candidates before
+# any modular exponentiation happens.
+_SMALL_PRIMES: list[int] = []
+
+
+def _small_primes() -> list[int]:
+    if not _SMALL_PRIMES:
+        sieve = bytearray([1]) * 1000
+        sieve[0] = sieve[1] = 0
+        for i in range(2, 32):
+            if sieve[i]:
+                sieve[i * i :: i] = bytearray(len(sieve[i * i :: i]))
+        _SMALL_PRIMES.extend(i for i, flag in enumerate(sieve) if flag)
+    return _SMALL_PRIMES
+
+
+def is_probable_prime(n: int, rounds: int = 40, rng: random.Random | None = None) -> bool:
+    """Miller–Rabin primality test with ``rounds`` random bases.
+
+    Error probability is at most ``4**-rounds`` for composite ``n``.
+    """
+    if n < 2:
+        return False
+    for p in _small_primes():
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    rng = rng or random.Random()
+    # Write n-1 = d * 2^r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random | None = None) -> int:
+    """A random probable prime with exactly ``bits`` bits."""
+    if bits < 8:
+        raise ValueError(f"bits must be >= 8, got {bits}")
+    rng = rng or random.Random()
+    while True:
+        # Force the top bit (exact size) and the bottom bit (odd).
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+
+
+def generate_prime_pair(bits: int, rng: random.Random | None = None) -> tuple[int, int]:
+    """Two distinct primes of ``bits`` bits each (for an RSA-style modulus)."""
+    rng = rng or random.Random()
+    p = generate_prime(bits, rng)
+    q = generate_prime(bits, rng)
+    while q == p:
+        q = generate_prime(bits, rng)
+    return p, q

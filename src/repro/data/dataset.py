@@ -1,0 +1,106 @@
+"""Dataset container shared by HFL and VFL experiments.
+
+A :class:`Dataset` is an in-memory design matrix plus targets, tagged with a
+task type so models and utility functions can be selected generically.  The
+``validation_split`` helper mirrors the paper's protocol: 10% of the data is
+held out on the server as the validation set ``D^v`` and the remainder is
+distributed to participants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Literal
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+Task = Literal["regression", "binary", "multiclass"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Features + targets + metadata.
+
+    ``X`` is ``(n, d)`` for tabular data or ``(n, C, H, W)`` for images;
+    ``y`` is float for regression and integer class indices otherwise.
+    """
+
+    name: str
+    X: np.ndarray
+    y: np.ndarray
+    task: Task
+    num_classes: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.X) != len(self.y):
+            raise ValueError(
+                f"X has {len(self.X)} rows but y has {len(self.y)} entries"
+            )
+        if self.task in ("binary", "multiclass") and self.num_classes < 2:
+            raise ValueError(
+                f"{self.task} dataset needs num_classes >= 2, got {self.num_classes}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.X)
+
+    @property
+    def n_features(self) -> int:
+        """Feature count for tabular data; flattened size for images."""
+        return int(np.prod(self.X.shape[1:]))
+
+    def subset(self, indices: np.ndarray, name: str | None = None) -> "Dataset":
+        """A new dataset restricted to ``indices`` (copies)."""
+        indices = np.asarray(indices)
+        return replace(
+            self,
+            name=name or self.name,
+            X=self.X[indices].copy(),
+            y=self.y[indices].copy(),
+        )
+
+    def feature_slice(self, columns: np.ndarray, name: str | None = None) -> "Dataset":
+        """Restrict tabular data to the given feature columns (for VFL)."""
+        if self.X.ndim != 2:
+            raise ValueError("feature_slice only applies to tabular (2-D) data")
+        columns = np.asarray(columns)
+        return replace(
+            self,
+            name=name or self.name,
+            X=self.X[:, columns].copy(),
+            y=self.y.copy(),
+        )
+
+    def validation_split(
+        self, fraction: float = 0.1, *, seed=None
+    ) -> tuple["Dataset", "Dataset"]:
+        """Random ``(train, validation)`` split; validation gets ``fraction``.
+
+        Matches Sec. V-A: "we first randomly extracted 10% of the training
+        data as the validation dataset".
+        """
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+        rng = make_rng(seed)
+        perm = rng.permutation(len(self))
+        n_val = max(1, int(round(fraction * len(self))))
+        val_idx, train_idx = perm[:n_val], perm[n_val:]
+        return (
+            self.subset(train_idx, name=f"{self.name}/train"),
+            self.subset(val_idx, name=f"{self.name}/val"),
+        )
+
+    def standardized(self) -> "Dataset":
+        """Zero-mean / unit-variance feature scaling (tabular only).
+
+        Constant features are left centred with unit divisor to avoid
+        division by zero.
+        """
+        if self.X.ndim != 2:
+            raise ValueError("standardized only applies to tabular (2-D) data")
+        mean = self.X.mean(axis=0)
+        std = self.X.std(axis=0)
+        std = np.where(std < 1e-12, 1.0, std)
+        return replace(self, X=(self.X - mean) / std)

@@ -1,0 +1,98 @@
+"""Registry mapping the paper's dataset keys to generators and settings.
+
+Table I of the paper names each dataset with a subscripted key
+(``D_M`` … ``D_A``); Table III fixes the VFL party count ``n`` per dataset.
+Benchmarks iterate this registry so every table/figure touches exactly the
+datasets the paper used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.data import synthetic, tabular
+from repro.data.dataset import Dataset
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """Metadata for one paper dataset."""
+
+    key: str  # paper key, e.g. "D_M"
+    name: str
+    maker: Callable[..., Dataset]
+    task: str
+    setting: str  # "hfl" or "vfl"
+    paper_size: str
+    vfl_parties: int = 0  # n column of Table III (VFL only)
+    vfl_model: str = ""  # "linreg" or "logreg" (VFL only)
+
+    def make(self, *, seed=None, **kwargs) -> Dataset:
+        return self.maker(seed=seed, **kwargs)
+
+
+HFL_DATASETS: dict[str, DatasetInfo] = {
+    "mnist": DatasetInfo("D_M", "mnist", synthetic.mnist_like, "multiclass", "hfl", "70,000"),
+    "cifar10": DatasetInfo("D_C", "cifar10", synthetic.cifar_like, "multiclass", "hfl", "60,000"),
+    "motor": DatasetInfo("D_O", "motor", synthetic.motor_like, "multiclass", "hfl", "11,000"),
+    "real": DatasetInfo("D_R", "real", synthetic.real_like, "multiclass", "hfl", "110,000"),
+}
+
+VFL_DATASETS: dict[str, DatasetInfo] = {
+    "boston": DatasetInfo(
+        "D_B", "boston", tabular.boston_like, "regression", "vfl", "506*14",
+        vfl_parties=13, vfl_model="linreg",
+    ),
+    "diabetes": DatasetInfo(
+        "D_D", "diabetes", tabular.diabetes_like, "regression", "vfl", "442*11",
+        vfl_parties=10, vfl_model="linreg",
+    ),
+    "wine_quality": DatasetInfo(
+        "D_Wq", "wine_quality", tabular.wine_quality_like, "regression", "vfl",
+        "4898*12", vfl_parties=11, vfl_model="linreg",
+    ),
+    "seoul_bike": DatasetInfo(
+        "D_S", "seoul_bike", tabular.seoul_bike_like, "regression", "vfl",
+        "17379*15", vfl_parties=14, vfl_model="linreg",
+    ),
+    "california": DatasetInfo(
+        "D_Ca", "california", tabular.california_like, "regression", "vfl",
+        "20641*9", vfl_parties=8, vfl_model="linreg",
+    ),
+    "iris": DatasetInfo(
+        "D_I", "iris", tabular.iris_like, "binary", "vfl", "150*5",
+        vfl_parties=4, vfl_model="logreg",
+    ),
+    "wine": DatasetInfo(
+        "D_W", "wine", tabular.wine_like, "binary", "vfl", "173*14",
+        vfl_parties=13, vfl_model="logreg",
+    ),
+    "breast_cancer": DatasetInfo(
+        "D_Bc", "breast_cancer", tabular.breast_cancer_like, "binary", "vfl",
+        "569*31", vfl_parties=15, vfl_model="logreg",
+    ),
+    "credit_card": DatasetInfo(
+        "D_Cc", "credit_card", tabular.credit_card_like, "binary", "vfl",
+        "30000*23", vfl_parties=11, vfl_model="logreg",
+    ),
+    "adult": DatasetInfo(
+        "D_A", "adult", tabular.adult_like, "binary", "vfl", "48842*15",
+        vfl_parties=14, vfl_model="logreg",
+    ),
+}
+
+ALL_DATASETS: dict[str, DatasetInfo] = {**HFL_DATASETS, **VFL_DATASETS}
+
+
+def get_dataset_info(name: str) -> DatasetInfo:
+    """Look up a dataset by short name (e.g. ``"mnist"``) or paper key (``"D_M"``)."""
+    if name in ALL_DATASETS:
+        return ALL_DATASETS[name]
+    for info in ALL_DATASETS.values():
+        if info.key == name:
+            return info
+    raise KeyError(
+        f"unknown dataset {name!r}; known: {sorted(ALL_DATASETS)} "
+        f"or keys {[i.key for i in ALL_DATASETS.values()]}"
+    )

@@ -1,0 +1,190 @@
+"""Synthetic stand-ins for the paper's ten VFL tabular datasets.
+
+Table I lists five regression sets (Boston, Diabetes, Wine quality, Seoul
+bike sharing, California housing) used with vertical linear regression and
+five classification sets (Iris, Wine, Breast cancer, Credit-card default,
+Adult) used with vertical logistic regression.  What the VFL experiments
+exercise is the *vertical* structure: features are split across parties whose
+informativeness differs, and DIG-FL must rank the parties by contribution.
+
+Each generator below preserves the paper dataset's shape (rows × columns)
+and task, and produces features with heterogeneous signal strength:
+
+* the ground-truth coefficient for feature ``j`` decays geometrically, so
+  some features (and hence some parties) carry much more signal,
+* features are mildly correlated through a random low-rank mixing matrix,
+  as in real tabular data,
+* targets carry additive Gaussian noise (regression) or logistic sampling
+  noise (classification).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_positive_int
+
+
+def _correlated_features(
+    rng: np.random.Generator, n_samples: int, n_features: int, mixing: float = 0.3
+) -> np.ndarray:
+    """Standard-normal features with mild cross-correlation."""
+    latent = rng.normal(size=(n_samples, n_features))
+    mix = np.eye(n_features) + mixing * rng.normal(size=(n_features, n_features)) / np.sqrt(
+        n_features
+    )
+    X = latent @ mix
+    X -= X.mean(axis=0)
+    X /= X.std(axis=0) + 1e-12
+    return X
+
+
+def _signal_coefficients(
+    rng: np.random.Generator, n_features: int, decay: float
+) -> np.ndarray:
+    """Ground-truth weights with geometrically decaying magnitude.
+
+    A random permutation decides *which* features are the strong ones, so
+    vertical splits assign parties genuinely different contributions.
+    """
+    magnitudes = decay ** np.arange(n_features)
+    signs = rng.choice([-1.0, 1.0], size=n_features)
+    coef = magnitudes * signs
+    return coef[rng.permutation(n_features)]
+
+
+def make_tabular_regression(
+    name: str,
+    n_samples: int,
+    n_features: int,
+    *,
+    noise: float = 0.3,
+    decay: float = 0.75,
+    seed=None,
+) -> Dataset:
+    """Linear-ground-truth regression dataset with heterogeneous features."""
+    check_positive_int(n_samples, "n_samples")
+    check_positive_int(n_features, "n_features")
+    rng = make_rng(seed)
+    X = _correlated_features(rng, n_samples, n_features)
+    coef = _signal_coefficients(rng, n_features, decay)
+    y = X @ coef + noise * rng.normal(size=n_samples)
+    return Dataset(name=name, X=X, y=y.astype(np.float64), task="regression")
+
+
+def make_tabular_classification(
+    name: str,
+    n_samples: int,
+    n_features: int,
+    *,
+    temperature: float = 1.0,
+    decay: float = 0.75,
+    seed=None,
+) -> Dataset:
+    """Binary dataset with a logistic ground truth.
+
+    ``temperature`` scales the logits before sampling labels: smaller means
+    cleaner labels.
+    """
+    check_positive_int(n_samples, "n_samples")
+    check_positive_int(n_features, "n_features")
+    rng = make_rng(seed)
+    X = _correlated_features(rng, n_samples, n_features)
+    coef = _signal_coefficients(rng, n_features, decay)
+    logits = (X @ coef) / max(temperature, 1e-9)
+    probs = 1.0 / (1.0 + np.exp(-np.clip(logits, -500, 500)))
+    y = (rng.random(n_samples) < probs).astype(np.int64)
+    return Dataset(name=name, X=X, y=y, task="binary", num_classes=2)
+
+
+def make_tabular_multiclass(
+    name: str,
+    n_samples: int,
+    n_features: int,
+    n_classes: int,
+    *,
+    temperature: float = 1.0,
+    decay: float = 0.75,
+    seed=None,
+) -> Dataset:
+    """Multiclass dataset with a softmax ground truth.
+
+    Extends the paper's binary VFL datasets to multiclass for the
+    :class:`~repro.models.SoftmaxRegressionModel` vertical extension; the
+    per-feature signal decay keeps parties heterogeneous.
+    """
+    check_positive_int(n_samples, "n_samples")
+    check_positive_int(n_features, "n_features")
+    check_positive_int(n_classes, "n_classes")
+    if n_classes < 2:
+        raise ValueError(f"n_classes must be >= 2, got {n_classes}")
+    rng = make_rng(seed)
+    X = _correlated_features(rng, n_samples, n_features)
+    # One decaying coefficient column per class, independently permuted.
+    W = np.stack(
+        [_signal_coefficients(rng, n_features, decay) for _ in range(n_classes)],
+        axis=1,
+    )
+    logits = (X @ W) / max(temperature, 1e-9)
+    logits -= logits.max(axis=1, keepdims=True)
+    probs = np.exp(logits)
+    probs /= probs.sum(axis=1, keepdims=True)
+    y = np.array([rng.choice(n_classes, p=p) for p in probs], dtype=np.int64)
+    return Dataset(name=name, X=X, y=y, task="multiclass", num_classes=n_classes)
+
+
+# --- paper datasets (shape-preserving), keyed as in Table I ----------------
+# Sizes follow Table I: "rows*cols" where cols includes the target column,
+# so the feature count is cols-1.
+
+
+def boston_like(*, seed=None) -> Dataset:
+    """Boston house prices: 506 rows, 13 features, regression."""
+    return make_tabular_regression("boston", 506, 13, seed=seed)
+
+
+def diabetes_like(*, seed=None) -> Dataset:
+    """Diabetes progression: 442 rows, 10 features, regression."""
+    return make_tabular_regression("diabetes", 442, 10, seed=seed)
+
+
+def wine_quality_like(*, seed=None) -> Dataset:
+    """Wine quality: 4898 rows, 11 features, regression."""
+    return make_tabular_regression("wine_quality", 4898, 11, seed=seed)
+
+
+def seoul_bike_like(*, seed=None) -> Dataset:
+    """Seoul bike sharing demand: 17379 rows, 14 features, regression."""
+    return make_tabular_regression("seoul_bike", 17379, 14, seed=seed)
+
+
+def california_like(*, seed=None) -> Dataset:
+    """California housing: 20641 rows, 8 features, regression."""
+    return make_tabular_regression("california", 20641, 8, seed=seed)
+
+
+def iris_like(*, seed=None) -> Dataset:
+    """Iris (binarised as in vertical logistic regression): 150 rows, 4 features."""
+    return make_tabular_classification("iris", 150, 4, temperature=0.5, seed=seed)
+
+
+def wine_like(*, seed=None) -> Dataset:
+    """Wine: 173 rows, 13 features, binary."""
+    return make_tabular_classification("wine", 173, 13, temperature=0.7, seed=seed)
+
+
+def breast_cancer_like(*, seed=None) -> Dataset:
+    """Breast cancer: 569 rows, 30 features, binary."""
+    return make_tabular_classification("breast_cancer", 569, 30, seed=seed)
+
+
+def credit_card_like(*, seed=None) -> Dataset:
+    """Default of credit-card clients: 30000 rows, 22 features, binary."""
+    return make_tabular_classification("credit_card", 30000, 22, temperature=1.5, seed=seed)
+
+
+def adult_like(*, seed=None) -> Dataset:
+    """Adult income: 48842 rows, 14 features, binary."""
+    return make_tabular_classification("adult", 48842, 14, temperature=1.2, seed=seed)

@@ -1,0 +1,66 @@
+"""Paper-reproduction experiments: one module per table/figure.
+
+Run everything with ``python -m repro.experiments`` (writes
+``experiments_output.txt``), or call the ``run_*`` functions directly.
+"""
+
+from repro.experiments.ablations import (
+    run_learning_rate_ablation,
+    run_validation_size_ablation,
+    run_weighting_scheme_ablation,
+)
+from repro.experiments.budget_curves import run_estimator_budget_curves
+from repro.experiments.common import ExperimentReport, Row, format_table
+from repro.experiments.degradation import (
+    run_compression_sweep,
+    run_heterogeneity_sweep,
+)
+from repro.experiments.encrypted_overhead import run_encrypted_overhead
+from repro.experiments.fedavg_variant import run_fedavg_sweep
+from repro.experiments.hfl_accuracy import run_hfl_accuracy
+from repro.experiments.hfl_baselines import run_hfl_baselines
+from repro.experiments.per_epoch import run_per_epoch
+from repro.experiments.reweight import run_reweight
+from repro.experiments.robustness import run_attack_detection
+from repro.experiments.scalability import (
+    run_model_size_scaling,
+    run_participant_scaling,
+)
+from repro.experiments.second_term import run_second_term, run_second_term_per_epoch
+from repro.experiments.vfl_accuracy import run_vfl_accuracy
+from repro.experiments.vfl_baselines import run_vfl_baselines
+from repro.experiments.workloads import (
+    HFLWorkload,
+    VFLWorkload,
+    build_hfl_workload,
+    build_vfl_workload,
+)
+
+__all__ = [
+    "ExperimentReport",
+    "HFLWorkload",
+    "Row",
+    "VFLWorkload",
+    "build_hfl_workload",
+    "build_vfl_workload",
+    "format_table",
+    "run_attack_detection",
+    "run_compression_sweep",
+    "run_encrypted_overhead",
+    "run_estimator_budget_curves",
+    "run_fedavg_sweep",
+    "run_heterogeneity_sweep",
+    "run_hfl_accuracy",
+    "run_hfl_baselines",
+    "run_learning_rate_ablation",
+    "run_model_size_scaling",
+    "run_participant_scaling",
+    "run_per_epoch",
+    "run_reweight",
+    "run_second_term",
+    "run_second_term_per_epoch",
+    "run_validation_size_ablation",
+    "run_vfl_accuracy",
+    "run_vfl_baselines",
+    "run_weighting_scheme_ablation",
+]

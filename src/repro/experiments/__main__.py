@@ -1,0 +1,109 @@
+"""Regenerate every table and figure of the paper at laptop scale.
+
+Usage::
+
+    python -m repro.experiments            # quick pass (minutes)
+    python -m repro.experiments --full     # paper-scale party counts (slower)
+
+Writes a consolidated text report to ``experiments_output.txt`` in the
+current directory and prints it as it goes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    run_attack_detection,
+    run_compression_sweep,
+    run_encrypted_overhead,
+    run_heterogeneity_sweep,
+    run_estimator_budget_curves,
+    run_fedavg_sweep,
+    run_hfl_accuracy,
+    run_hfl_baselines,
+    run_learning_rate_ablation,
+    run_model_size_scaling,
+    run_participant_scaling,
+    run_per_epoch,
+    run_reweight,
+    run_second_term,
+    run_second_term_per_epoch,
+    run_validation_size_ablation,
+    run_vfl_accuracy,
+    run_vfl_baselines,
+    run_weighting_scheme_ablation,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the paper's Table III party counts (up to 2^15 retrainings)",
+    )
+    parser.add_argument(
+        "--output", default="experiments_output.txt", help="report file path"
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        metavar="NAME",
+        help="run only the named experiment(s); repeatable "
+             "(names as printed, e.g. --only reweight --only hfl-accuracy)",
+    )
+    args = parser.parse_args(argv)
+
+    max_parties = None if args.full else 10
+    experiments = [
+        ("second-term", lambda: run_second_term()),
+        ("second-term-per-epoch", lambda: run_second_term_per_epoch()),
+        ("hfl-accuracy", lambda: run_hfl_accuracy()),
+        ("vfl-accuracy", lambda: run_vfl_accuracy(max_parties=max_parties)),
+        ("per-epoch", lambda: run_per_epoch()),
+        ("hfl-baselines", lambda: run_hfl_baselines()),
+        ("vfl-baselines", lambda: run_vfl_baselines(max_parties=max_parties)),
+        ("reweight", lambda: run_reweight()),
+        ("ablation-val-size", lambda: run_validation_size_ablation()),
+        ("ablation-lr", lambda: run_learning_rate_ablation()),
+        ("ablation-weighting", lambda: run_weighting_scheme_ablation()),
+        ("scaling-participants", lambda: run_participant_scaling()),
+        ("scaling-model-size", lambda: run_model_size_scaling()),
+        ("attack-detection", lambda: run_attack_detection()),
+        ("encrypted-overhead", lambda: run_encrypted_overhead()),
+        ("fedavg-local-steps", lambda: run_fedavg_sweep()),
+        ("estimator-budget-curves", lambda: run_estimator_budget_curves()),
+        ("compression-sweep", lambda: run_compression_sweep()),
+        ("heterogeneity-sweep", lambda: run_heterogeneity_sweep()),
+    ]
+
+    if args.only:
+        known = {name for name, _ in experiments}
+        unknown = [name for name in args.only if name not in known]
+        if unknown:
+            parser.error(
+                f"unknown experiment(s) {unknown}; choose from {sorted(known)}"
+            )
+        experiments = [(n, r) for n, r in experiments if n in set(args.only)]
+
+    sections: list[str] = []
+    for name, runner in experiments:
+        start = time.perf_counter()
+        print(f"running {name} ...", flush=True)
+        report = runner()
+        elapsed = time.perf_counter() - start
+        section = report.format() + f"\n(ran in {elapsed:.1f}s)\n"
+        print(section, flush=True)
+        sections.append(section)
+
+    with open(args.output, "w") as fh:
+        fh.write("\n".join(sections))
+    print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""Extension experiment: sampling-estimator accuracy as a function of budget.
+
+Figs. 4–5 compare the estimators at one budget each.  This sweep traces the
+whole accuracy–cost curve: for a fixed federation (utility values memoised,
+so the sweep itself is cheap), each sampling estimator — TMC, GT,
+stratified, KernelSHAP — is run at growing evaluation budgets and scored
+against the exact Shapley value.  DIG-FL appears as a horizontal line: its
+accuracy is budget-independent because it never evaluates a coalition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import estimate_hfl_resource_saving
+from repro.experiments.common import ExperimentReport
+from repro.experiments.workloads import build_hfl_workload
+from repro.metrics import pearson_correlation
+from repro.shapley import (
+    CallableUtility,
+    HFLRetrainUtility,
+    exact_shapley_values,
+    gt_shapley_values,
+    kernel_shapley_values,
+    stratified_shapley_values,
+    tmc_shapley_values,
+)
+
+
+def run_estimator_budget_curves(
+    *,
+    dataset: str = "mnist",
+    n_parties: int = 5,
+    epochs: int = 8,
+    budgets: tuple[int, ...] = (8, 16, 32, 64, 128),
+    n_repeats: int = 3,
+    seed: int = 0,
+) -> ExperimentReport:
+    """PCC vs exact value at each sampling budget (mean over repeats).
+
+    ``budget`` counts *distinct utility evaluations allowed*; since the
+    utility is memoised across the whole sweep, the wall-clock cost of this
+    experiment is one exact-Shapley enumeration plus bookkeeping.
+    """
+    report = ExperimentReport(
+        name="estimator-budget-curves", paper_reference="Figs. 4-5 extension"
+    )
+    workload = build_hfl_workload(
+        dataset, n_parties=n_parties, n_mislabeled=1, n_noniid=1,
+        epochs=epochs, seed=seed,
+    )
+    fed = workload.federation
+    utility = HFLRetrainUtility(
+        workload.trainer, fed.locals, fed.validation,
+        init_theta=workload.result.log.initial_theta,
+    )
+    exact = exact_shapley_values(utility)  # caches every coalition
+
+    digfl = estimate_hfl_resource_saving(
+        workload.result.log, fed.validation, workload.model_factory
+    )
+    report.add(
+        {"method": "DIG-FL", "budget": 0},
+        {"pcc": pearson_correlation(digfl.totals, exact)},
+    )
+
+    # Serve every estimator from the fully enumerated value table through a
+    # fresh counting wrapper, so the reported cost is the number of DISTINCT
+    # coalitions each configuration actually evaluates (what retraining
+    # would cost) rather than a nominal knob value.
+    value_table = {frozenset(k): utility(k) for k in _all_coalitions(n_parties)}
+
+    def fresh_counting_utility() -> CallableUtility:
+        return CallableUtility(n_parties, lambda s: value_table[frozenset(s)])
+
+    estimators = {
+        "TMC": lambda u, b, s: tmc_shapley_values(
+            u, n_permutations=max(1, b // n_parties), tolerance=0.0, seed=s
+        ),
+        "GT": lambda u, b, s: gt_shapley_values(u, n_tests=b, seed=s),
+        "stratified": lambda u, b, s: stratified_shapley_values(
+            u,
+            samples_per_stratum=max(1, b // (n_parties * n_parties)),
+            seed=s,
+        )[0],
+        "kernel": lambda u, b, s: kernel_shapley_values(u, n_samples=b, seed=s),
+    }
+    for method, runner in estimators.items():
+        for budget in budgets:
+            pccs = []
+            evals = []
+            for r in range(n_repeats):
+                wrapper = fresh_counting_utility()
+                estimate = runner(wrapper, budget, seed * 1000 + r)
+                pccs.append(pearson_correlation(np.asarray(estimate), exact))
+                evals.append(wrapper.evaluations)
+            report.add(
+                {"method": method, "budget": budget},
+                {
+                    "pcc": float(np.nanmean(pccs)),
+                    "distinct_evals": float(np.mean(evals)),
+                },
+            )
+    report.notes.append(
+        "Expected shape: every sampling estimator climbs towards PCC≈1 as "
+        "the budget grows; DIG-FL sits at high PCC with zero coalition "
+        "evaluations — the whole point of the paper.  distinct_evals counts "
+        "unique coalitions touched (= retrainings a real run would pay; at "
+        "n=5 it saturates at 2^5)."
+    )
+    return report
+
+
+def _all_coalitions(n: int):
+    """Every subset of range(n) as a frozenset (2^n of them)."""
+    from itertools import combinations
+
+    for size in range(n + 1):
+        for members in combinations(range(n), size):
+            yield frozenset(members)

@@ -1,0 +1,73 @@
+"""Shared plumbing for the paper-reproduction experiments.
+
+Each experiment module builds the paper's workload (scaled to laptop size),
+runs DIG-FL plus whatever it is compared against, and returns rows that
+mirror the corresponding table or figure.  The benchmarks in
+``benchmarks/`` time these entry points; ``python -m repro.experiments``
+regenerates everything as a text report.
+
+Scaling note: the paper trains on full MNIST/CIFAR with up to 10
+participants and computes the exact Shapley value by 2^n retrainings on a
+GPU testbed.  The default ``scale`` here shrinks datasets and participant
+counts so the *entire* suite (including every 2^n ground-truth enumeration)
+finishes in minutes on one CPU; the qualitative claims — who wins, by
+roughly what factor, where the crossovers are — are what we reproduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Row:
+    """One printable result row (a table line or a figure series point)."""
+
+    experiment: str
+    labels: dict
+    metrics: dict
+
+    def format(self) -> str:
+        label_part = " ".join(f"{k}={v}" for k, v in self.labels.items())
+        metric_part = " ".join(
+            f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in self.metrics.items()
+        )
+        return f"[{self.experiment}] {label_part} | {metric_part}"
+
+
+@dataclass
+class ExperimentReport:
+    """All rows of one table/figure plus free-form notes."""
+
+    name: str
+    paper_reference: str
+    rows: list[Row] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, labels: dict, metrics: dict) -> None:
+        self.rows.append(Row(experiment=self.name, labels=labels, metrics=metrics))
+
+    def format(self) -> str:
+        lines = [f"== {self.name} ({self.paper_reference}) =="]
+        lines.extend(row.format() for row in self.rows)
+        lines.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def format_table(rows: Sequence[Row], columns: Sequence[str]) -> str:
+    """Fixed-width text table over the given metric/label columns."""
+    header = " | ".join(f"{c:>14}" for c in columns)
+    out = [header, "-" * len(header)]
+    for row in rows:
+        cells = []
+        merged = {**row.labels, **row.metrics}
+        for c in columns:
+            value = merged.get(c, "")
+            if isinstance(value, float):
+                cells.append(f"{value:>14.4g}")
+            else:
+                cells.append(f"{str(value):>14}")
+        out.append(" | ".join(cells))
+    return "\n".join(out)

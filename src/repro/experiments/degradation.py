@@ -1,0 +1,146 @@
+"""Extension experiments: DIG-FL under update compression and Dirichlet skew.
+
+Two deployment realities the paper does not evaluate:
+
+* **Compression** — participants sparsify/quantise updates to save
+  bandwidth; the server-side log then contains compressed ``δ`` and the
+  estimator inherits the distortion.
+* **Continuous heterogeneity** — real federations are not "m corrupted,
+  n−m clean" but a spectrum; the Dirichlet(α) partition dials label skew
+  continuously, and both the estimator's fidelity and the reweighting
+  benefit should vary smoothly with it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import DIGFLReweighter, estimate_hfl_resource_saving
+from repro.data import HFL_DATASETS, dirichlet_label_partition
+from repro.data.dataset import Dataset
+from repro.data.partition import FederatedSplit
+from repro.experiments.common import ExperimentReport
+from repro.experiments.workloads import build_hfl_workload
+from repro.hfl import AdversarialHFLTrainer, HFLTrainer, quantize, topk_sparsify
+from repro.metrics import pearson_correlation
+from repro.nn import LRSchedule, make_hfl_model
+from repro.shapley import HFLRetrainUtility, exact_shapley
+from repro.utils.rng import derive_seed
+
+
+def run_compression_sweep(
+    *,
+    dataset: str = "mnist",
+    topk_fractions: tuple[float, ...] = (0.5, 0.1, 0.02),
+    quantize_bits: tuple[int, ...] = (8, 4, 2),
+    n_parties: int = 5,
+    epochs: int = 8,
+    seed: int = 0,
+) -> ExperimentReport:
+    """DIG-FL fidelity (PCC vs exact) as updates get more compressed."""
+    report = ExperimentReport(
+        name="compression-sweep", paper_reference="deployment extension"
+    )
+    base = build_hfl_workload(
+        dataset, n_parties=n_parties, n_mislabeled=1, n_noniid=1,
+        epochs=epochs, seed=seed,
+    )
+    fed = base.federation
+
+    configs = [("none", None)]
+    configs += [(f"topk-{f}", topk_sparsify(f)) for f in topk_fractions]
+    configs += [(f"quant-{b}bit", quantize(b)) for b in quantize_bits]
+
+    for label, transform in configs:
+        attacks = {} if transform is None else {i: transform for i in range(n_parties)}
+        trainer = AdversarialHFLTrainer(
+            base.model_factory, epochs, LRSchedule(0.5), attacks=attacks
+        )
+        result = trainer.train(fed.locals, fed.validation, track_validation=True)
+        digfl = estimate_hfl_resource_saving(
+            result.log, fed.validation, base.model_factory
+        )
+        utility = HFLRetrainUtility(
+            trainer, fed.locals, fed.validation,
+            init_theta=result.log.initial_theta,
+        )
+        exact = exact_shapley(utility)
+        report.add(
+            {"dataset": dataset, "compression": label},
+            {
+                "pcc": pearson_correlation(digfl.totals, exact.totals),
+                "final_acc": float(result.log.records[-1].val_accuracy),
+            },
+        )
+    report.notes.append(
+        "Expected shape: mild compression (8-bit, top-50%) leaves PCC near "
+        "the uncompressed value; aggressive compression degrades both the "
+        "model and the estimate together."
+    )
+    return report
+
+
+def _dirichlet_federation(
+    dataset: str, n_parties: int, alpha: float, seed: int
+) -> FederatedSplit:
+    """Federation whose parties are Dirichlet(α)-label-skewed."""
+    info = HFL_DATASETS[dataset]
+    data = info.make(n_samples=1500, seed=derive_seed(seed, 1))
+    train, validation = data.validation_split(0.1, seed=derive_seed(seed, 2))
+    parts = dirichlet_label_partition(
+        train.y, n_parties, alpha, num_classes=data.num_classes,
+        seed=derive_seed(seed, 3),
+    )
+    locals_ = [train.subset(p, name=f"{dataset}/party{i}") for i, p in enumerate(parts)]
+    return FederatedSplit(
+        locals=locals_, qualities=["clean"] * n_parties, validation=validation
+    )
+
+
+def run_heterogeneity_sweep(
+    *,
+    dataset: str = "cifar10",
+    alphas: tuple[float, ...] = (100.0, 1.0, 0.1),
+    n_parties: int = 5,
+    epochs: int = 15,
+    seed: int = 0,
+) -> ExperimentReport:
+    """Reweighting benefit and estimator fidelity vs Dirichlet skew α."""
+    report = ExperimentReport(
+        name="heterogeneity-sweep", paper_reference="non-IID extension"
+    )
+    for alpha in alphas:
+        fed = _dirichlet_federation(dataset, n_parties, alpha, seed)
+
+        def factory():
+            return make_hfl_model(dataset, seed=derive_seed(seed, 4))
+
+        trainer = HFLTrainer(factory, epochs, LRSchedule(0.5))
+        plain = trainer.train(fed.locals, fed.validation, track_validation=True)
+        reweighted = trainer.train(
+            fed.locals,
+            fed.validation,
+            reweighter=DIGFLReweighter(fed.validation),
+            track_validation=True,
+        )
+        digfl = estimate_hfl_resource_saving(plain.log, fed.validation, factory)
+        utility = HFLRetrainUtility(
+            trainer, fed.locals, fed.validation, init_theta=plain.log.initial_theta
+        )
+        exact = exact_shapley(utility)
+        report.add(
+            {"dataset": dataset, "alpha": alpha},
+            {
+                "pcc": pearson_correlation(digfl.totals, exact.totals),
+                "acc_fedsgd": float(plain.log.records[-1].val_accuracy),
+                "acc_digfl": float(reweighted.log.records[-1].val_accuracy),
+                "contribution_spread": float(np.std(exact.totals)),
+            },
+        )
+    report.notes.append(
+        "Expected shape: near-IID (large α) federations have tightly "
+        "clustered contributions and no reweighting benefit; strong skew "
+        "(small α) spreads contributions and opens an accuracy gap that "
+        "reweighting partially recovers."
+    )
+    return report

@@ -1,0 +1,89 @@
+"""Extension experiment: the price of the encrypted VFL protocol.
+
+The paper's VFL cost numbers come from a Paillier-based framework; our
+benchmarks use the plaintext simulator (verified equivalent).  This
+experiment quantifies what the encryption layer itself costs — per-epoch
+wall-clock and bytes for Algorithm 3 versus the plaintext fast path, as a
+function of key size — and confirms the DIG-FL contributions are identical
+through either path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import estimate_vfl_first_order
+from repro.data import boston_like, build_vfl_federation
+from repro.experiments.common import ExperimentReport
+from repro.metrics import CostLedger, pearson_correlation
+from repro.nn import LRSchedule
+from repro.vfl import VFLTrainer, build_encrypted_session
+from repro.utils.rng import derive_seed
+
+
+def run_encrypted_overhead(
+    *,
+    key_bits: tuple[int, ...] = (128, 256, 512),
+    n_parties: int = 3,
+    n_rows: int = 60,
+    epochs: int = 3,
+    seed: int = 0,
+) -> ExperimentReport:
+    """Plaintext vs encrypted cost per training run, by key size."""
+    report = ExperimentReport(
+        name="encrypted-overhead", paper_reference="Sec. IV-B (extension)"
+    )
+    dataset = boston_like(seed=derive_seed(seed, 1)).standardized()
+    split = build_vfl_federation(
+        dataset, n_parties, max_rows=n_rows, seed=derive_seed(seed, 2)
+    )
+    schedule = LRSchedule(0.1)
+
+    plain_ledger = CostLedger()
+    trainer = VFLTrainer("regression", split.feature_blocks, epochs, schedule)
+    with plain_ledger.computing():
+        plain = trainer.train(split.train, split.validation, ledger=plain_ledger)
+    plain_digfl = estimate_vfl_first_order(plain.log)
+    report.add(
+        {"mode": "plaintext", "key_bits": 0},
+        {
+            "t_s": plain_ledger.compute_seconds,
+            "comm_mb": plain_ledger.total_comm_mb,
+            "pcc_vs_plaintext": 1.0,
+        },
+    )
+
+    train_blocks = [split.train.X[:, b] for b in split.feature_blocks]
+    val_blocks = [split.validation.X[:, b] for b in split.feature_blocks]
+    for bits in key_bits:
+        session = build_encrypted_session(
+            "regression", train_blocks, split.train.y, schedule, epochs,
+            key_bits=bits, seed=derive_seed(seed, 3, bits),
+        )
+        result = session.train(split.train.y, split.validation.y, val_blocks)
+        pcc = pearson_correlation(result.contributions, plain_digfl.totals)
+        report.add(
+            {"mode": "paillier", "key_bits": bits},
+            {
+                "t_s": result.ledger.compute_seconds,
+                "comm_mb": result.ledger.total_comm_mb,
+                "pcc_vs_plaintext": pcc,
+                "theta_err": float(
+                    np.max(
+                        np.abs(
+                            result.theta
+                            - np.concatenate(
+                                [plain.theta[b] for b in split.feature_blocks]
+                            )
+                        )
+                    )
+                ),
+            },
+        )
+    report.notes.append(
+        "Expected shape: encrypted time and bytes grow superlinearly with "
+        "key size while the learned model and contributions stay identical "
+        "to fixed-point precision — encryption is pure overhead, never a "
+        "results change."
+    )
+    return report

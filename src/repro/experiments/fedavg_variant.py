@@ -1,0 +1,76 @@
+"""Extension experiment: does DIG-FL survive FedAvg local training?
+
+The paper evaluates on FedSGD, where ``δ_{t,i}`` is exactly one local
+gradient step and the Lemma 1 linearisation is tightest.  Real deployments
+run FedAvg — several mini-batch steps per round — and the accumulated
+update is no longer a single gradient.  DIG-FL still consumes ``δ``
+unchanged; this sweep measures how its agreement with the exact Shapley
+value degrades as local work per round grows.
+"""
+
+from __future__ import annotations
+
+from repro.core import estimate_hfl_resource_saving
+from repro.data import HFL_DATASETS, build_hfl_federation
+from repro.experiments.common import ExperimentReport
+from repro.hfl import HFLTrainer, LocalTrainingConfig
+from repro.metrics import pearson_correlation
+from repro.nn import LRSchedule, make_hfl_model
+from repro.shapley import HFLRetrainUtility, exact_shapley
+from repro.utils.rng import derive_seed
+
+
+def run_fedavg_sweep(
+    *,
+    dataset: str = "mnist",
+    local_steps: tuple[int, ...] = (1, 2, 4, 8),
+    batch_size: int | None = 64,
+    n_parties: int = 5,
+    epochs: int = 8,
+    lr: float = 0.2,
+    seed: int = 0,
+) -> ExperimentReport:
+    """PCC vs exact Shapley as a function of local steps per round.
+
+    The exact Shapley retraining uses the *same* FedAvg configuration, so
+    both sides of the comparison see identical dynamics.
+    """
+    report = ExperimentReport(
+        name="fedavg-local-steps", paper_reference="FedSGD→FedAvg extension"
+    )
+    info = HFL_DATASETS[dataset]
+    data = info.make(n_samples=1200, seed=derive_seed(seed, 1))
+    fed = build_hfl_federation(
+        data, n_parties, n_mislabeled=1, n_noniid=1, seed=derive_seed(seed, 2)
+    )
+
+    def factory():
+        return make_hfl_model(dataset, seed=derive_seed(seed, 3))
+
+    for steps in local_steps:
+        config = LocalTrainingConfig(
+            local_steps=steps, batch_size=batch_size, seed=derive_seed(seed, 4)
+        )
+        trainer = HFLTrainer(
+            factory, epochs=epochs, lr_schedule=LRSchedule(lr), local_config=config
+        )
+        result = trainer.train(fed.locals, fed.validation, track_validation=True)
+        digfl = estimate_hfl_resource_saving(result.log, fed.validation, factory)
+        utility = HFLRetrainUtility(
+            trainer, fed.locals, fed.validation,
+            init_theta=result.log.initial_theta,
+        )
+        actual = exact_shapley(utility)
+        report.add(
+            {"dataset": dataset, "local_steps": steps},
+            {
+                "pcc": pearson_correlation(digfl.totals, actual.totals),
+                "final_acc": float(result.log.records[-1].val_accuracy),
+            },
+        )
+    report.notes.append(
+        "Expected shape: PCC stays usable across moderate local-step counts "
+        "— the estimator reads whatever δ the protocol produced — with "
+        "gradual degradation as updates drift from single gradients."
+    )
+    return report

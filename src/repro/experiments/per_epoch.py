@@ -1,0 +1,66 @@
+"""Fig. 6: estimated vs actual Shapley value for each epoch (HFL).
+
+Per the paper, the actual per-epoch Shapley value uses the validation
+improvement caused by aggregating each subset of the uploaded gradients as
+the round utility; a participant leaving an epoch means its gradient is
+ignored in that round's aggregation.  The federation has 5 participants:
+one mislabeled, one non-IID, three clean — the three colour groups of
+Fig. 6.
+"""
+
+from __future__ import annotations
+
+
+from repro.core import estimate_hfl_resource_saving
+from repro.data import HFL_DATASETS
+from repro.experiments.common import ExperimentReport
+from repro.experiments.workloads import build_hfl_workload
+from repro.metrics import pearson_correlation
+from repro.shapley import per_round_exact_shapley
+
+
+def run_per_epoch(
+    *,
+    datasets: tuple[str, ...] = tuple(HFL_DATASETS),
+    epochs: int = 10,
+    seed: int = 0,
+) -> ExperimentReport:
+    """Per-epoch curves by participant type + pooled per-epoch PCC."""
+    report = ExperimentReport(
+        name="per-epoch-shapley", paper_reference="Fig. 6"
+    )
+    for dataset in datasets:
+        workload = build_hfl_workload(
+            dataset, n_parties=5, n_mislabeled=1, n_noniid=1, epochs=epochs, seed=seed
+        )
+        fed = workload.federation
+        estimated = estimate_hfl_resource_saving(
+            workload.result.log, fed.validation, workload.model_factory
+        ).per_epoch
+        actual = per_round_exact_shapley(
+            workload.result.log, fed.validation, workload.model_factory
+        )
+
+        groups = {"clean": [], "mislabeled": [], "noniid": []}
+        for i, quality in enumerate(fed.qualities):
+            groups[quality].append(i)
+        for t in range(epochs):
+            metrics: dict = {}
+            for quality, members in groups.items():
+                if not members:
+                    continue
+                metrics[f"actual_{quality}"] = float(actual[t, members].mean())
+                metrics[f"est_{quality}"] = float(estimated[t, members].mean())
+            report.add({"dataset": dataset, "epoch": t + 1}, metrics)
+
+        report.add(
+            {"dataset": dataset, "epoch": "all"},
+            {
+                "pcc": pearson_correlation(estimated.ravel(), actual.ravel()),
+            },
+        )
+    report.notes.append(
+        "Expected ordering per the paper: clean > mislabeled and clean > "
+        "non-IID in most epochs; pooled per-epoch PCC high."
+    )
+    return report

@@ -1,0 +1,108 @@
+"""Extension experiment: detecting update-level adversaries with DIG-FL.
+
+The paper motivates contribution measurement as a way to "localize
+low-quality participants and … avoid adversarial sample attacks" (Sec. I).
+This experiment quantifies that for *protocol-level* adversaries (not in
+the paper's evaluation): federations with sign-flippers, free-riders and
+noise uploaders, scored by DIG-FL, flagged by the robust outlier rule.
+
+Reported per (attack, #attackers): detection precision/recall of
+``flag_low_quality`` and the accuracy recovered by the reweight mechanism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import DIGFLReweighter, estimate_hfl_resource_saving
+from repro.core.selection import flag_low_quality
+from repro.data import HFL_DATASETS, build_hfl_federation
+from repro.experiments.common import ExperimentReport
+from repro.hfl import AdversarialHFLTrainer, random_update, sign_flip, zero_update
+from repro.nn import LRSchedule, make_hfl_model
+from repro.utils.rng import derive_seed
+
+ATTACKS = {
+    "sign_flip": lambda seed: sign_flip(1.0),
+    "free_rider": lambda seed: zero_update(),
+    "noise": lambda seed: random_update(0.5, seed=seed),
+}
+
+
+def run_attack_detection(
+    *,
+    dataset: str = "mnist",
+    attacks: tuple[str, ...] = ("sign_flip", "free_rider", "noise"),
+    n_parties: int = 6,
+    n_attackers: int = 2,
+    epochs: int = 12,
+    seed: int = 0,
+) -> ExperimentReport:
+    """Precision/recall of DIG-FL-based attacker flagging, plus recovery."""
+    report = ExperimentReport(
+        name="attack-detection", paper_reference="Sec. I motivation (extension)"
+    )
+    if not 0 < n_attackers < n_parties:
+        raise ValueError(
+            f"need 0 < n_attackers < n_parties, got {n_attackers}/{n_parties}"
+        )
+    info = HFL_DATASETS[dataset]
+    for attack_name in attacks:
+        if attack_name not in ATTACKS:
+            raise KeyError(f"unknown attack {attack_name!r}; known: {sorted(ATTACKS)}")
+        data = info.make(n_samples=250 * n_parties, seed=derive_seed(seed, 1))
+        fed = build_hfl_federation(data, n_parties, seed=derive_seed(seed, 2))
+        attackers = list(range(n_attackers))  # ids are arbitrary post-shuffle
+        attack_map = {
+            i: ATTACKS[attack_name](derive_seed(seed, 3, i)) for i in attackers
+        }
+
+        def factory():
+            return make_hfl_model(dataset, seed=derive_seed(seed, 4))
+
+        trainer = AdversarialHFLTrainer(
+            factory, epochs, LRSchedule(0.5), attacks=attack_map
+        )
+        result = trainer.train(fed.locals, fed.validation, track_validation=True)
+        digfl = estimate_hfl_resource_saving(result.log, fed.validation, factory)
+        flagged = set(flag_low_quality(digfl, threshold=1.5))
+        truth = set(attackers)
+        tp = len(flagged & truth)
+        precision = tp / len(flagged) if flagged else float("nan")
+        recall = tp / len(truth)
+
+        defended = trainer.train(
+            fed.locals,
+            fed.validation,
+            reweighter=DIGFLReweighter(fed.validation),
+            track_validation=True,
+        )
+        report.add(
+            {"dataset": dataset, "attack": attack_name, "attackers": n_attackers},
+            {
+                "precision": precision,
+                "recall": recall,
+                "acc_attacked": float(result.log.records[-1].val_accuracy),
+                "acc_defended": float(defended.log.records[-1].val_accuracy),
+                "mean_attacker_phi": float(np.mean(digfl.totals[attackers])),
+                "mean_honest_phi": float(
+                    np.mean(
+                        [digfl.totals[i] for i in range(n_parties) if i not in truth]
+                    )
+                ),
+            },
+        )
+    report.notes.append(
+        "Expected shape: honest mean φ ≫ attacker mean φ; sign-flip recall "
+        "1.0; the free-rider sits at φ≈0 (flagged only when honest spread "
+        "is tight); reweighting recovers accuracy under sign-flip and "
+        "free-riding."
+    )
+    report.notes.append(
+        "Limitation surfaced by the noise attack: Eq. 17 weights by "
+        "contribution but does not bound update *norms*, so rare epochs "
+        "where huge noise updates correlate positively with the validation "
+        "gradient still pass through — norm clipping would compose "
+        "naturally with DIG-FL here."
+    )
+    return report

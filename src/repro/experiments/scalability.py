@@ -1,0 +1,106 @@
+"""Scalability study: cost vs participant count and model size.
+
+Not a numbered figure in the paper, but the quantitative core of its
+complexity claims (Sec. II-E): DIG-FL's cost is **O(τ·n·p)** — linear in
+participants and parameters — while the exact Shapley value needs **2^n**
+retrainings and MR needs **2^n** validation evaluations per round.  These
+sweeps make the crossover visible at laptop scale.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import estimate_hfl_resource_saving
+from repro.data import build_hfl_federation
+from repro.data.registry import HFL_DATASETS
+from repro.experiments.common import ExperimentReport
+from repro.hfl import HFLTrainer
+from repro.nn import LRSchedule, make_mlp_classifier
+from repro.shapley import HFLRetrainUtility, exact_shapley_values, mr_shapley
+from repro.utils.rng import derive_seed
+
+
+def run_participant_scaling(
+    *,
+    dataset: str = "mnist",
+    party_counts: tuple[int, ...] = (3, 5, 7, 9),
+    epochs: int = 6,
+    seed: int = 0,
+) -> ExperimentReport:
+    """DIG-FL vs exact vs MR wall-clock as the federation grows."""
+    report = ExperimentReport(
+        name="scaling-participants", paper_reference="Sec. II-E complexity"
+    )
+    info = HFL_DATASETS[dataset]
+    for n in party_counts:
+        data = info.make(n_samples=200 * n, seed=derive_seed(seed, n))
+        fed = build_hfl_federation(data, n, seed=derive_seed(seed, n, 1))
+
+        def factory():
+            return make_mlp_classifier(100, 10, hidden=(16,), seed=0)
+
+        trainer = HFLTrainer(factory, epochs=epochs, lr_schedule=LRSchedule(0.5))
+        result = trainer.train(fed.locals, fed.validation)
+
+        start = time.perf_counter()
+        estimate_hfl_resource_saving(result.log, fed.validation, factory)
+        t_digfl = time.perf_counter() - start
+
+        start = time.perf_counter()
+        mr_shapley(result.log, fed.validation, factory)
+        t_mr = time.perf_counter() - start
+
+        utility = HFLRetrainUtility(
+            trainer, fed.locals, fed.validation,
+            init_theta=result.log.initial_theta,
+        )
+        start = time.perf_counter()
+        exact_shapley_values(utility)
+        t_exact = time.perf_counter() - start
+
+        report.add(
+            {"dataset": dataset, "n": n},
+            {
+                "t_digfl_s": t_digfl,
+                "t_mr_s": t_mr,
+                "t_exact_s": t_exact,
+                "retrainings": utility.evaluations,
+            },
+        )
+    report.notes.append(
+        "Expected shape: t_digfl grows linearly in n, t_mr and t_exact "
+        "double (2^n) with every added participant."
+    )
+    return report
+
+
+def run_model_size_scaling(
+    *,
+    hidden_sizes: tuple[int, ...] = (8, 32, 128),
+    n_parties: int = 5,
+    epochs: int = 6,
+    seed: int = 0,
+) -> ExperimentReport:
+    """DIG-FL estimation cost as the parameter count p grows (O(τ·n·p))."""
+    report = ExperimentReport(
+        name="scaling-model-size", paper_reference="Sec. II-E complexity"
+    )
+    info = HFL_DATASETS["mnist"]
+    data = info.make(n_samples=1000, seed=derive_seed(seed, 1))
+    fed = build_hfl_federation(data, n_parties, seed=derive_seed(seed, 2))
+    for hidden in hidden_sizes:
+
+        def factory(h=hidden):
+            return make_mlp_classifier(100, 10, hidden=(h,), seed=0)
+
+        trainer = HFLTrainer(factory, epochs=epochs, lr_schedule=LRSchedule(0.5))
+        result = trainer.train(fed.locals, fed.validation)
+        start = time.perf_counter()
+        estimate_hfl_resource_saving(result.log, fed.validation, factory)
+        t_digfl = time.perf_counter() - start
+        report.add(
+            {"hidden": hidden, "params": factory().num_parameters()},
+            {"t_digfl_s": t_digfl},
+        )
+    return report

@@ -1,0 +1,42 @@
+"""Horizontal federated learning simulator (FedSGD/FedAvg + training logs)."""
+
+from repro.hfl.attacks import (
+    AdversarialHFLTrainer,
+    gaussian_noise,
+    random_update,
+    scale,
+    sign_flip,
+    zero_update,
+)
+from repro.hfl.compression import quantize, random_sparsify, topk_sparsify
+from repro.hfl.log import EpochRecord, TrainingLog
+from repro.hfl.secure import SecureAggregationSession
+from repro.hfl.trainer import (
+    HFLResult,
+    HFLTrainer,
+    LocalTrainingConfig,
+    Reweighter,
+    flat_gradient,
+    validation_gradient,
+)
+
+__all__ = [
+    "AdversarialHFLTrainer",
+    "EpochRecord",
+    "HFLResult",
+    "HFLTrainer",
+    "LocalTrainingConfig",
+    "Reweighter",
+    "SecureAggregationSession",
+    "TrainingLog",
+    "flat_gradient",
+    "gaussian_noise",
+    "quantize",
+    "random_sparsify",
+    "random_update",
+    "scale",
+    "sign_flip",
+    "topk_sparsify",
+    "validation_gradient",
+    "zero_update",
+]

@@ -1,0 +1,130 @@
+"""Adversarial update transforms for HFL robustness experiments.
+
+Sec. I motivates contribution measurement partly as a defence: it can
+"localize low-quality participants and thus reduce their impact to …
+avoid adversarial sample attacks".  Label corruption (``repro.data``)
+covers *data-level* adversaries; this module covers *update-level* ones —
+participants that run the protocol but ship manipulated updates:
+
+* :func:`sign_flip` — gradient ascent: pushes the global model uphill,
+* :func:`scale` — boosting/attenuation (model-replacement style when large),
+* :func:`gaussian_noise` — jamming with seeded noise,
+* :func:`zero_update` — the free-rider, contributing nothing,
+* :func:`random_update` — uploads noise unrelated to its data.
+
+The :class:`AdversarialHFLTrainer` applies a per-participant transform to
+the honest update before it reaches the server; everything else (logging,
+aggregation, DIG-FL) is inherited unchanged, so the estimators can be
+evaluated against these adversaries directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.hfl.trainer import HFLTrainer
+from repro.nn.models import Classifier
+from repro.utils.rng import derive_seed
+
+# An attack maps (honest_update, epoch) -> shipped_update.
+UpdateTransform = Callable[[np.ndarray, int], np.ndarray]
+
+
+def sign_flip(strength: float = 1.0) -> UpdateTransform:
+    """Ship ``−strength · δ`` — straight gradient ascent on the global loss."""
+    if strength <= 0:
+        raise ValueError(f"strength must be positive, got {strength}")
+
+    def transform(update: np.ndarray, epoch: int) -> np.ndarray:
+        del epoch
+        return -strength * update
+
+    return transform
+
+
+def scale(factor: float) -> UpdateTransform:
+    """Ship ``factor · δ`` (boosting for factor > 1, soft free-riding < 1)."""
+
+    def transform(update: np.ndarray, epoch: int) -> np.ndarray:
+        del epoch
+        return factor * update
+
+    return transform
+
+
+def gaussian_noise(sigma: float, *, seed: int = 0) -> UpdateTransform:
+    """Add seeded N(0, σ²) noise to the honest update."""
+    if sigma < 0:
+        raise ValueError(f"sigma must be non-negative, got {sigma}")
+
+    def transform(update: np.ndarray, epoch: int) -> np.ndarray:
+        rng = np.random.default_rng(derive_seed(seed, epoch))
+        return update + sigma * rng.normal(size=update.shape)
+
+    return transform
+
+
+def zero_update() -> UpdateTransform:
+    """The free-rider: always ships a zero vector."""
+
+    def transform(update: np.ndarray, epoch: int) -> np.ndarray:
+        del epoch
+        return np.zeros_like(update)
+
+    return transform
+
+
+def random_update(sigma: float = 1.0, *, seed: int = 0) -> UpdateTransform:
+    """Ship pure noise of the honest update's shape (no local training)."""
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+
+    def transform(update: np.ndarray, epoch: int) -> np.ndarray:
+        rng = np.random.default_rng(derive_seed(seed, epoch))
+        return sigma * rng.normal(size=update.shape)
+
+    return transform
+
+
+class AdversarialHFLTrainer(HFLTrainer):
+    """HFLTrainer where selected participants manipulate their updates.
+
+    ``attacks`` maps participant index → transform.  Honest participants
+    are untouched; the server (and hence the training log DIG-FL reads)
+    sees only the manipulated updates — exactly the threat model in which
+    contribution scores must expose the attackers.
+    """
+
+    def __init__(
+        self,
+        *args,
+        attacks: Mapping[int, UpdateTransform] | None = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.attacks = dict(attacks or {})
+
+    def _local_update(
+        self,
+        model: Classifier,
+        theta_before: np.ndarray,
+        data: Dataset,
+        lr: float,
+        epoch: int,
+        participant: int,
+    ) -> np.ndarray:
+        update = super()._local_update(
+            model, theta_before, data, lr, epoch, participant
+        )
+        attack = self.attacks.get(participant)
+        if attack is not None:
+            update = attack(update, epoch)
+            if update.shape != theta_before.shape:
+                raise ValueError(
+                    f"attack for participant {participant} changed the update "
+                    f"shape to {update.shape}"
+                )
+        return update

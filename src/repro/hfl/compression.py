@@ -1,0 +1,68 @@
+"""Update compression for communication-constrained participants.
+
+Real federations often sparsify or quantise updates before upload.  DIG-FL
+reads whatever the server received, so compression directly perturbs the
+contribution signal; these transforms (same shape as the adversarial ones
+in :mod:`repro.hfl.attacks` — ``(update, epoch) → update``) let the
+experiments quantify how much accuracy the estimator keeps.
+
+* :func:`topk_sparsify` — keep only the k largest-magnitude coordinates,
+* :func:`random_sparsify` — keep a random fraction, rescaled to be unbiased,
+* :func:`quantize` — uniform scalar quantisation to a given bit width.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hfl.attacks import UpdateTransform
+from repro.utils.rng import derive_seed
+from repro.utils.validation import check_fraction, check_positive_int
+
+
+def topk_sparsify(fraction: float) -> UpdateTransform:
+    """Keep the top-``fraction`` coordinates by magnitude, zero the rest."""
+    check_fraction(fraction, "fraction", inclusive=False)
+
+    def transform(update: np.ndarray, epoch: int) -> np.ndarray:
+        del epoch
+        k = max(1, int(round(fraction * update.size)))
+        out = np.zeros_like(update)
+        idx = np.argpartition(np.abs(update), -k)[-k:]
+        out[idx] = update[idx]
+        return out
+
+    return transform
+
+
+def random_sparsify(fraction: float, *, seed: int = 0) -> UpdateTransform:
+    """Keep a random ``fraction`` of coordinates, scaled by 1/fraction.
+
+    The scaling makes the compressed update an unbiased estimator of the
+    original, the property convergence analyses of sparsified SGD rely on.
+    """
+    check_fraction(fraction, "fraction", inclusive=False)
+
+    def transform(update: np.ndarray, epoch: int) -> np.ndarray:
+        rng = np.random.default_rng(derive_seed(seed, epoch))
+        keep = rng.random(update.shape) < fraction
+        return np.where(keep, update / fraction, 0.0)
+
+    return transform
+
+
+def quantize(bits: int) -> UpdateTransform:
+    """Uniform scalar quantisation to ``2^bits`` levels over [-max, max]."""
+    check_positive_int(bits, "bits")
+    levels = 2**bits - 1
+
+    def transform(update: np.ndarray, epoch: int) -> np.ndarray:
+        del epoch
+        scale = np.max(np.abs(update))
+        if scale < 1e-300:
+            return update.copy()
+        normalized = (update / scale + 1.0) / 2.0  # -> [0, 1]
+        quantized = np.round(normalized * levels) / levels
+        return (quantized * 2.0 - 1.0) * scale
+
+    return transform

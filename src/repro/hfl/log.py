@@ -1,0 +1,84 @@
+"""Training-log records — the only input DIG-FL needs besides validation data.
+
+Sec. II-B: "we propose to use only the training log (local gradients from all
+participants) to estimate the marginal contribution".  The HFL trainer
+records, per epoch, the global model it started from, every participant's
+local update ``δ_{t,i}``, the learning rate ``α_t`` and the aggregation
+weights actually applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """Everything the server observed in one FedSGD epoch.
+
+    ``local_updates`` has one row per *active* participant, aligned with the
+    log's ``participant_ids``.
+    """
+
+    epoch: int  # 1-indexed, as in the paper
+    lr: float
+    theta_before: np.ndarray  # global model θ_{t-1}, flat
+    local_updates: np.ndarray  # (k, p): δ_{t,i} = α_t ∇loss(i, θ_{t-1})
+    weights: np.ndarray  # aggregation weights (k,), uniform = 1/k
+    val_loss: float = float("nan")
+    val_accuracy: float = float("nan")
+
+    @property
+    def global_update(self) -> np.ndarray:
+        """The aggregated update ``G_t`` that was applied this epoch."""
+        return self.weights @ self.local_updates
+
+    @property
+    def theta_after(self) -> np.ndarray:
+        return self.theta_before - self.global_update
+
+
+@dataclass
+class TrainingLog:
+    """Full FedSGD history for one (coalition of) participants."""
+
+    participant_ids: list[int]
+    records: list[EpochRecord] = field(default_factory=list)
+
+    @property
+    def n_participants(self) -> int:
+        return len(self.participant_ids)
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.records)
+
+    @property
+    def initial_theta(self) -> np.ndarray:
+        if not self.records:
+            raise ValueError("log has no records")
+        return self.records[0].theta_before
+
+    @property
+    def final_theta(self) -> np.ndarray:
+        if not self.records:
+            raise ValueError("log has no records")
+        return self.records[-1].theta_after
+
+    def val_loss_curve(self) -> np.ndarray:
+        return np.array([r.val_loss for r in self.records])
+
+    def val_accuracy_curve(self) -> np.ndarray:
+        return np.array([r.val_accuracy for r in self.records])
+
+    def updates_of(self, participant_id: int) -> np.ndarray:
+        """All epochs' local updates of one participant, shape (τ, p)."""
+        try:
+            row = self.participant_ids.index(participant_id)
+        except ValueError:
+            raise KeyError(
+                f"participant {participant_id} not in log ({self.participant_ids})"
+            ) from None
+        return np.stack([r.local_updates[row] for r in self.records])

@@ -1,0 +1,81 @@
+"""Pairwise-mask secure aggregation — and why DIG-FL needs to opt out.
+
+A simplified Bonawitz et al. (CCS'17) scheme: every participant pair
+(i, j) shares a seed; party i adds ``+PRG(s_ij)`` for each j > i and
+``−PRG(s_ji)`` for each j < i to its update before upload.  The masks
+cancel in the server's sum, so the server learns **only the aggregate**.
+
+This is a deliberate boundary demonstration for the paper's Sec. II-A
+privacy discussion: DIG-FL's estimators need the *individual* updates
+``δ_{t,i}`` (that is precisely the training log), so under full secure
+aggregation the contribution signal is destroyed — the masked per-party
+uploads are indistinguishable from noise while their sum is untouched.
+Deployments must choose: per-participant accountability (DIG-FL) or
+aggregate-only visibility (secure aggregation), or hybrid designs outside
+this paper's scope.  ``tests/test_hfl_secure.py`` verifies both sides of
+the trade-off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import derive_seed
+from repro.utils.validation import check_positive_int
+
+
+class SecureAggregationSession:
+    """Pairwise-mask secure aggregation over flat update vectors.
+
+    All parties are assumed online for every round (no dropout recovery —
+    the full protocol's secret-sharing machinery is out of scope here).
+    """
+
+    def __init__(self, n_parties: int, dim: int, *, seed: int = 0) -> None:
+        self.n_parties = check_positive_int(n_parties, "n_parties")
+        self.dim = check_positive_int(dim, "dim")
+        self.seed = seed
+
+    def _pair_mask(self, i: int, j: int, round_index: int) -> np.ndarray:
+        """The shared mask of the (unordered) pair {i, j} for one round."""
+        lo, hi = (i, j) if i < j else (j, i)
+        rng = np.random.default_rng(derive_seed(self.seed, round_index, lo, hi))
+        return rng.normal(size=self.dim)
+
+    def mask_update(
+        self, participant: int, update: np.ndarray, round_index: int
+    ) -> np.ndarray:
+        """The masked vector participant ``i`` uploads."""
+        if not 0 <= participant < self.n_parties:
+            raise ValueError(f"unknown participant {participant}")
+        update = np.asarray(update, dtype=np.float64)
+        if update.shape != (self.dim,):
+            raise ValueError(f"update shape {update.shape} != ({self.dim},)")
+        masked = update.copy()
+        for other in range(self.n_parties):
+            if other == participant:
+                continue
+            mask = self._pair_mask(participant, other, round_index)
+            if participant < other:
+                masked += mask
+            else:
+                masked -= mask
+        return masked
+
+    def aggregate(self, masked_updates: np.ndarray) -> np.ndarray:
+        """Server-side sum; the pairwise masks cancel exactly."""
+        masked_updates = np.asarray(masked_updates, dtype=np.float64)
+        if masked_updates.shape != (self.n_parties, self.dim):
+            raise ValueError(
+                f"expected ({self.n_parties}, {self.dim}), got {masked_updates.shape}"
+            )
+        return masked_updates.sum(axis=0)
+
+    def mask_all(
+        self, updates: np.ndarray, round_index: int
+    ) -> np.ndarray:
+        """Convenience: mask every row of an (n, dim) update matrix."""
+        updates = np.asarray(updates, dtype=np.float64)
+        return np.stack(
+            [self.mask_update(i, updates[i], round_index) for i in range(self.n_parties)]
+        )

@@ -1,0 +1,266 @@
+"""FedSGD / FedAvg trainer for horizontal federated learning.
+
+Implements the protocol of Sec. III-A: in epoch ``t`` every participant
+computes a local update ``δ_{t,i} = θ_{t-1} - θ_{t-1,i}`` from the current
+global model and its local dataset, the server aggregates
+``G_t = Σ_i ω_{t,i} δ_{t,i}`` (uniform ``1/n`` for plain FedSGD) and applies
+``θ_t = θ_{t-1} - G_t``.
+
+By default a participant takes a single full-batch gradient step
+(``δ_{t,i} = α_t ∇loss(i, θ_{t-1})`` — FedSGD, the algorithm the paper
+evaluates).  Passing a :class:`LocalTrainingConfig` turns this into FedAvg
+(McMahan et al.): several mini-batch SGD steps per round, after which the
+*accumulated* local update is shipped.  DIG-FL is agnostic to the choice —
+it consumes ``δ_{t,i}`` whatever produced it.
+
+The trainer doubles as the retraining engine for the exact-Shapley and
+TMC/GT baselines via the ``participants`` coalition argument, and hosts the
+DIG-FL reweight mechanism via the ``reweighter`` hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, Sequence
+
+import numpy as np
+
+from repro.autodiff.grad import grad
+from repro.data.dataset import Dataset
+from repro.hfl.log import EpochRecord, TrainingLog
+from repro.metrics.cost import FLOAT64_BYTES, CostLedger
+from repro.nn.models import Classifier
+from repro.nn.optim import LRSchedule
+from repro.utils.rng import derive_seed
+from repro.utils.validation import check_positive_int
+
+
+class Reweighter(Protocol):
+    """Server-side hook choosing per-epoch aggregation weights.
+
+    Receives the state the DIG-FL reweight mechanism needs (Sec. II-F) and
+    returns one non-negative weight per active participant, summing to 1.
+    """
+
+    def weights(
+        self,
+        model: Classifier,
+        theta_before: np.ndarray,
+        local_updates: np.ndarray,
+        lr: float,
+        epoch: int,
+    ) -> np.ndarray: ...
+
+
+def flat_gradient(model: Classifier, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Gradient of the model's loss on (X, y), flattened to one vector."""
+    loss = model.loss(X, y)
+    grads = grad(loss, model.parameters(), allow_unused=True)
+    return np.concatenate([g.data.ravel() for g in grads])
+
+
+def validation_gradient(
+    model: Classifier, theta: np.ndarray, validation: Dataset
+) -> np.ndarray:
+    """``∇loss^v(θ)`` evaluated by temporarily loading ``θ`` into the model."""
+    saved = model.get_flat()
+    model.set_flat(theta)
+    try:
+        return flat_gradient(model, validation.X, validation.y)
+    finally:
+        model.set_flat(saved)
+
+
+@dataclass(frozen=True)
+class LocalTrainingConfig:
+    """FedAvg-style local training: several mini-batch steps per round.
+
+    ``local_steps=1`` with ``batch_size=None`` reproduces FedSGD exactly.
+    Mini-batch sampling is seeded per (epoch, participant), so runs are
+    reproducible and coalitions see identical local draws.
+    """
+
+    local_steps: int = 1
+    batch_size: int | None = None
+    momentum: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.local_steps, "local_steps")
+        if self.batch_size is not None:
+            check_positive_int(self.batch_size, "batch_size")
+        if not 0.0 <= self.momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {self.momentum}")
+
+
+@dataclass
+class HFLResult:
+    """Outcome of one federated training run."""
+
+    model: Classifier
+    log: TrainingLog
+
+    @property
+    def final_theta(self) -> np.ndarray:
+        return self.model.get_flat()
+
+
+class HFLTrainer:
+    """FedSGD (default) or FedAvg over a fixed federation of local datasets."""
+
+    def __init__(
+        self,
+        model_factory: Callable[[], Classifier],
+        epochs: int,
+        lr_schedule: LRSchedule,
+        local_config: LocalTrainingConfig | None = None,
+    ) -> None:
+        self.model_factory = model_factory
+        self.epochs = check_positive_int(epochs, "epochs")
+        self.lr_schedule = lr_schedule
+        self.local_config = local_config
+
+    def _local_update(
+        self,
+        model: Classifier,
+        theta_before: np.ndarray,
+        data: Dataset,
+        lr: float,
+        epoch: int,
+        participant: int,
+    ) -> np.ndarray:
+        """One participant's update ``δ = θ_{t-1} − θ_{t-1,i}`` for this round."""
+        config = self.local_config
+        if config is None or (config.local_steps == 1 and config.batch_size is None):
+            # FedSGD fast path: one full-batch gradient step.
+            return lr * flat_gradient(model, data.X, data.y)
+        rng = np.random.default_rng(
+            derive_seed(config.seed, epoch, participant)
+        )
+        theta = theta_before.copy()
+        velocity = np.zeros_like(theta)
+        for _ in range(config.local_steps):
+            if config.batch_size is not None and config.batch_size < len(data):
+                idx = rng.choice(len(data), size=config.batch_size, replace=False)
+                X, y = data.X[idx], data.y[idx]
+            else:
+                X, y = data.X, data.y
+            model.set_flat(theta)
+            g = flat_gradient(model, X, y)
+            if config.momentum:
+                velocity = config.momentum * velocity + g
+                g = velocity
+            theta = theta - lr * g
+        model.set_flat(theta_before)  # restore the global model
+        return theta_before - theta
+
+    def train(
+        self,
+        locals_: Sequence[Dataset],
+        validation: Dataset | None = None,
+        *,
+        participants: Sequence[int] | None = None,
+        reweighter: Reweighter | None = None,
+        init_theta: np.ndarray | None = None,
+        ledger: CostLedger | None = None,
+        track_validation: bool = False,
+        weight_by_samples: bool = False,
+    ) -> HFLResult:
+        """Run FedSGD and return the final model plus the training log.
+
+        Parameters
+        ----------
+        locals_:
+            Local datasets, one per participant in the full federation.
+        validation:
+            Server-held validation set; required when ``track_validation``
+            or a reweighter needs it.
+        participants:
+            Coalition to train with (defaults to everyone).  Used by the
+            leave-one-out / exact Shapley baselines.
+        reweighter:
+            Optional DIG-FL reweight mechanism; defaults to uniform 1/n.
+        init_theta:
+            Starting global model; defaults to the factory's fresh
+            initialisation.  Passing the same vector across runs makes
+            coalition utilities comparable (same ``θ_0`` in Eq. 2).
+        ledger:
+            Optional cost ledger; model up/downloads are recorded on it.
+        track_validation:
+            Record validation loss/accuracy per epoch (used for Fig. 7
+            convergence curves).
+        weight_by_samples:
+            Aggregate with FedAvg's data-size weights ``|D_i| / Σ|D_j|``
+            instead of the paper's uniform ``1/n``.  Ignored when a
+            reweighter is supplied (it owns the weights).  The weights are
+            recorded in the log, and the DIG-FL estimators read them from
+            there, so contribution accounting stays consistent.
+        """
+        if participants is None:
+            participants = list(range(len(locals_)))
+        else:
+            participants = list(participants)
+        if not participants:
+            raise ValueError("coalition must contain at least one participant")
+        bad = [i for i in participants if not 0 <= i < len(locals_)]
+        if bad:
+            raise ValueError(f"unknown participant indices {bad}")
+        if (track_validation or reweighter is not None) and validation is None:
+            raise ValueError("validation dataset required for tracking / reweighting")
+
+        model = self.model_factory()
+        if init_theta is not None:
+            model.set_flat(init_theta)
+        p = model.num_parameters()
+        k = len(participants)
+        log = TrainingLog(participant_ids=participants)
+
+        for epoch in range(1, self.epochs + 1):
+            lr = self.lr_schedule.lr_at(epoch)
+            theta_before = model.get_flat()
+
+            local_updates = np.empty((k, p), dtype=np.float64)
+            for row, i in enumerate(participants):
+                local_updates[row] = self._local_update(
+                    model, theta_before, locals_[i], lr, epoch, i
+                )
+            if ledger is not None:
+                # Each participant downloads θ and uploads its local model.
+                ledger.record_bytes("server->participant", k * p * FLOAT64_BYTES)
+                ledger.record_bytes("participant->server", k * p * FLOAT64_BYTES)
+
+            if reweighter is not None:
+                weights = np.asarray(
+                    reweighter.weights(model, theta_before, local_updates, lr, epoch),
+                    dtype=np.float64,
+                )
+                if weights.shape != (k,):
+                    raise ValueError(
+                        f"reweighter returned shape {weights.shape}, expected ({k},)"
+                    )
+            elif weight_by_samples:
+                sizes = np.array([len(locals_[i]) for i in participants], dtype=float)
+                weights = sizes / sizes.sum()
+            else:
+                weights = np.full(k, 1.0 / k)
+
+            global_update = weights @ local_updates
+            model.set_flat(theta_before - global_update)
+
+            val_loss = val_acc = float("nan")
+            if track_validation:
+                val_loss = model.loss(validation.X, validation.y).item()
+                val_acc = model.accuracy(validation.X, validation.y)
+
+            log.records.append(
+                EpochRecord(
+                    epoch=epoch,
+                    lr=lr,
+                    theta_before=theta_before,
+                    local_updates=local_updates,
+                    weights=weights,
+                    val_loss=val_loss,
+                    val_accuracy=val_acc,
+                )
+            )
+        return HFLResult(model=model, log=log)

@@ -1,0 +1,172 @@
+"""Persistence for training logs and contribution reports.
+
+DIG-FL's whole premise is "evaluate from the training log", so the log must
+outlive the training process: the server archives it per round and any
+auditor replays the estimators later.  Logs serialise to a single ``.npz``
+(arrays stay binary, metadata rides along as JSON); contribution reports
+serialise to plain JSON for downstream dashboards.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.contribution import ContributionReport
+from repro.hfl.log import EpochRecord, TrainingLog
+from repro.vfl.log import VFLEpochRecord, VFLTrainingLog
+
+_HFL_FORMAT = "repro.hfl.training_log.v1"
+_VFL_FORMAT = "repro.vfl.training_log.v1"
+_REPORT_FORMAT = "repro.contribution_report.v1"
+
+
+def save_training_log(log: TrainingLog, path: str | Path) -> None:
+    """Write an HFL training log to ``path`` (``.npz``)."""
+    if log.n_epochs == 0:
+        raise ValueError("refusing to save an empty training log")
+    meta = {
+        "format": _HFL_FORMAT,
+        "participant_ids": log.participant_ids,
+        "epochs": [r.epoch for r in log.records],
+        "lrs": [r.lr for r in log.records],
+        "val_losses": [r.val_loss for r in log.records],
+        "val_accuracies": [r.val_accuracy for r in log.records],
+    }
+    np.savez_compressed(
+        path,
+        meta=json.dumps(meta),
+        theta_before=np.stack([r.theta_before for r in log.records]),
+        local_updates=np.stack([r.local_updates for r in log.records]),
+        weights=np.stack([r.weights for r in log.records]),
+    )
+
+
+def load_training_log(path: str | Path) -> TrainingLog:
+    """Read an HFL training log written by :func:`save_training_log`."""
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(str(data["meta"]))
+        if meta.get("format") != _HFL_FORMAT:
+            raise ValueError(
+                f"{path} is not an HFL training log "
+                f"(format={meta.get('format')!r})"
+            )
+        log = TrainingLog(participant_ids=list(meta["participant_ids"]))
+        theta_before = data["theta_before"]
+        local_updates = data["local_updates"]
+        weights = data["weights"]
+    for t in range(len(meta["epochs"])):
+        log.records.append(
+            EpochRecord(
+                epoch=int(meta["epochs"][t]),
+                lr=float(meta["lrs"][t]),
+                theta_before=theta_before[t],
+                local_updates=local_updates[t],
+                weights=weights[t],
+                val_loss=float(meta["val_losses"][t]),
+                val_accuracy=float(meta["val_accuracies"][t]),
+            )
+        )
+    return log
+
+
+def save_vfl_training_log(log: VFLTrainingLog, path: str | Path) -> None:
+    """Write a VFL training log to ``path`` (``.npz``)."""
+    if log.n_epochs == 0:
+        raise ValueError("refusing to save an empty training log")
+    meta = {
+        "format": _VFL_FORMAT,
+        "active_parties": log.active_parties,
+        "feature_blocks": [b.tolist() for b in log.feature_blocks],
+        "epochs": [r.epoch for r in log.records],
+        "lrs": [r.lr for r in log.records],
+        "train_losses": [r.train_loss for r in log.records],
+        "val_losses": [r.val_loss for r in log.records],
+    }
+    np.savez_compressed(
+        path,
+        meta=json.dumps(meta),
+        theta_before=np.stack([r.theta_before for r in log.records]),
+        train_gradient=np.stack([r.train_gradient for r in log.records]),
+        val_gradient=np.stack([r.val_gradient for r in log.records]),
+        weights=np.stack([r.weights for r in log.records]),
+    )
+
+
+def load_vfl_training_log(path: str | Path) -> VFLTrainingLog:
+    """Read a VFL training log written by :func:`save_vfl_training_log`."""
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(str(data["meta"]))
+        if meta.get("format") != _VFL_FORMAT:
+            raise ValueError(
+                f"{path} is not a VFL training log "
+                f"(format={meta.get('format')!r})"
+            )
+        log = VFLTrainingLog(
+            feature_blocks=[np.array(b, dtype=np.int64) for b in meta["feature_blocks"]],
+            active_parties=list(meta["active_parties"]),
+        )
+        theta_before = data["theta_before"]
+        train_gradient = data["train_gradient"]
+        val_gradient = data["val_gradient"]
+        weights = data["weights"]
+    for t in range(len(meta["epochs"])):
+        log.records.append(
+            VFLEpochRecord(
+                epoch=int(meta["epochs"][t]),
+                lr=float(meta["lrs"][t]),
+                theta_before=theta_before[t],
+                train_gradient=train_gradient[t],
+                val_gradient=val_gradient[t],
+                weights=weights[t],
+                train_loss=float(meta["train_losses"][t]),
+                val_loss=float(meta["val_losses"][t]),
+            )
+        )
+    return log
+
+
+def save_report(report: ContributionReport, path: str | Path) -> None:
+    """Write a contribution report as JSON (per-epoch matrix included)."""
+    payload = {
+        "format": _REPORT_FORMAT,
+        "method": report.method,
+        "participant_ids": report.participant_ids,
+        "totals": report.totals.tolist(),
+        "per_epoch": None if report.per_epoch is None else report.per_epoch.tolist(),
+        "cost": report.ledger.summary(),
+        "extra": {k: v for k, v in report.extra.items() if _json_safe(v)},
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_report(path: str | Path) -> ContributionReport:
+    """Read a contribution report written by :func:`save_report`.
+
+    The cost ledger is not round-tripped (wall-clock is not portable);
+    the loaded report carries a fresh empty ledger.
+    """
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != _REPORT_FORMAT:
+        raise ValueError(
+            f"{path} is not a contribution report "
+            f"(format={payload.get('format')!r})"
+        )
+    per_epoch = payload["per_epoch"]
+    return ContributionReport(
+        method=payload["method"],
+        participant_ids=list(payload["participant_ids"]),
+        totals=np.array(payload["totals"], dtype=np.float64),
+        per_epoch=None if per_epoch is None else np.array(per_epoch, dtype=np.float64),
+        extra=dict(payload.get("extra", {})),
+    )
+
+
+def _json_safe(value) -> bool:
+    try:
+        json.dumps(value)
+    except (TypeError, ValueError):
+        return False
+    return True

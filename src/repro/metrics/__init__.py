@@ -1,0 +1,19 @@
+"""Accuracy (correlation) and cost metrics for contribution estimators."""
+
+from repro.metrics.correlation import (
+    pearson_correlation,
+    relative_error,
+    spearman_correlation,
+    top_k_overlap,
+)
+from repro.metrics.cost import FLOAT64_BYTES, CostLedger, nbytes
+
+__all__ = [
+    "CostLedger",
+    "FLOAT64_BYTES",
+    "nbytes",
+    "pearson_correlation",
+    "relative_error",
+    "spearman_correlation",
+    "top_k_overlap",
+]

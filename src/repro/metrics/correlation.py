@@ -1,0 +1,82 @@
+"""Agreement metrics between estimated and actual Shapley values.
+
+The paper's headline accuracy metric is Pearson's correlation coefficient
+(PCC) between DIG-FL's estimates and the exact Shapley values; we add
+Spearman rank correlation and top-k overlap because downstream uses
+(participant selection, reward ranking) care about order, not scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_matching_lengths
+
+
+def pearson_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Pearson's r between two vectors.
+
+    Degenerate inputs (length < 2 or zero variance) return ``nan`` — the
+    caller decides how to report them, matching scipy's behaviour without
+    the warning noise.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    check_matching_lengths("a", a, "b", b)
+    if len(a) < 2:
+        return float("nan")
+    a = a - a.mean()
+    b = b - b.mean()
+    denom = np.linalg.norm(a) * np.linalg.norm(b)
+    if denom < 1e-300:
+        return float("nan")
+    return float(np.clip(np.dot(a, b) / denom, -1.0, 1.0))
+
+
+def spearman_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Spearman's rho: Pearson correlation of the rank transforms."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    check_matching_lengths("a", a, "b", b)
+    return pearson_correlation(_ranks(a), _ranks(b))
+
+
+def _ranks(x: np.ndarray) -> np.ndarray:
+    """Average ranks (ties share the mean rank), like scipy.stats.rankdata."""
+    order = np.argsort(x, kind="stable")
+    ranks = np.empty(len(x), dtype=np.float64)
+    ranks[order] = np.arange(1, len(x) + 1, dtype=np.float64)
+    # Average ranks within tied groups.
+    sorted_x = x[order]
+    i = 0
+    while i < len(x):
+        j = i
+        while j + 1 < len(x) and sorted_x[j + 1] == sorted_x[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = ranks[order[i : j + 1]].mean()
+        i = j + 1
+    return ranks
+
+
+def top_k_overlap(a: np.ndarray, b: np.ndarray, k: int) -> float:
+    """Fraction of the top-k of ``a`` that also appears in the top-k of ``b``.
+
+    Measures whether an estimator would select the same high-contribution
+    participants as the exact Shapley value.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    check_matching_lengths("a", a, "b", b)
+    if not 1 <= k <= len(a):
+        raise ValueError(f"k must be in [1, {len(a)}], got {k}")
+    top_a = set(np.argsort(a)[-k:].tolist())
+    top_b = set(np.argsort(b)[-k:].tolist())
+    return len(top_a & top_b) / k
+
+
+def relative_error(actual: float, estimate: float) -> float:
+    """``|actual - estimate| / |actual|`` — Table II's error metric."""
+    if actual == 0:
+        return float("inf") if estimate != 0 else 0.0
+    return abs(actual - estimate) / abs(actual)

@@ -1,0 +1,95 @@
+"""Computation and communication cost accounting.
+
+The paper quantifies computation cost as algorithm wall-clock seconds and
+communication cost as megabytes exchanged between server and participants.
+A :class:`CostLedger` is threaded through the simulators: every protocol
+message records its payload size, and stopwatch windows accumulate compute
+time, so benchmark tables can print both columns of Figs. 3–5.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.timer import Stopwatch
+
+FLOAT64_BYTES = 8
+
+
+def nbytes(payload) -> int:
+    """Size in bytes of a message payload.
+
+    Arrays count their buffer size; lists/tuples sum their elements;
+    scalars count as one float64.  Ciphertext objects may provide
+    ``payload.nbytes`` (Paillier ciphertexts do).
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (list, tuple)):
+        return sum(nbytes(item) for item in payload)
+    if isinstance(payload, dict):
+        return sum(nbytes(v) for v in payload.values())
+    if hasattr(payload, "nbytes"):
+        return int(payload.nbytes)
+    if isinstance(payload, (int, float, np.floating, np.integer, bool)):
+        return FLOAT64_BYTES
+    raise TypeError(f"cannot size payload of type {type(payload).__name__}")
+
+
+@dataclass
+class CostLedger:
+    """Accumulates seconds of computation and bytes of communication.
+
+    Communication is recorded per logical channel (e.g.
+    ``"participant->server"``) so benches can report the per-direction
+    breakdown as well as the total.
+    """
+
+    stopwatch: Stopwatch = field(default_factory=Stopwatch)
+    comm_bytes: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record_message(self, channel: str, payload) -> None:
+        """Log a message of ``payload``'s size on ``channel``."""
+        self.comm_bytes[channel] += nbytes(payload)
+
+    def record_bytes(self, channel: str, size: int) -> None:
+        """Log ``size`` raw bytes on ``channel``."""
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        self.comm_bytes[channel] += int(size)
+
+    @property
+    def total_comm_bytes(self) -> int:
+        return int(sum(self.comm_bytes.values()))
+
+    @property
+    def total_comm_mb(self) -> float:
+        return self.total_comm_bytes / (1024.0 * 1024.0)
+
+    @property
+    def compute_seconds(self) -> float:
+        return self.stopwatch.elapsed
+
+    def computing(self):
+        """Context manager: count the enclosed block as computation time."""
+        return self.stopwatch.running()
+
+    def merged_with(self, other: "CostLedger") -> "CostLedger":
+        """A new ledger with both cost records summed."""
+        merged = CostLedger()
+        merged.stopwatch._elapsed = self.compute_seconds + other.compute_seconds
+        for src in (self.comm_bytes, other.comm_bytes):
+            for channel, size in src.items():
+                merged.comm_bytes[channel] += size
+        return merged
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "compute_seconds": self.compute_seconds,
+            "comm_mb": self.total_comm_mb,
+        }

@@ -1,0 +1,17 @@
+"""Closed-form models for VFL and the retraining-based Shapley baselines."""
+
+from repro.models.linear import (
+    LinearRegressionModel,
+    LogisticRegressionModel,
+    SoftmaxRegressionModel,
+    expand_feature_blocks,
+    make_vfl_model,
+)
+
+__all__ = [
+    "LinearRegressionModel",
+    "LogisticRegressionModel",
+    "SoftmaxRegressionModel",
+    "expand_feature_blocks",
+    "make_vfl_model",
+]

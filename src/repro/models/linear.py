@@ -1,0 +1,242 @@
+"""Analytic linear and logistic regression.
+
+The VFL experiments (Table III) train vertical linear/logistic regression
+where every party owns a block of the coefficient vector.  Closed-form
+losses, gradients and Hessians keep the 2^n-retraining exact-Shapley
+baselines tractable, and give an independent check of the autodiff engine.
+
+Conventions
+-----------
+* The model is the coefficient vector ``θ ∈ R^d`` (no intercept — synthetic
+  targets are centred; an intercept column can be appended to ``X``).
+* Losses are *means* over samples, so learning rates transfer across
+  dataset sizes.  (The paper writes sums; the two differ by the constant
+  ``1/m`` absorbed into the learning rate.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LinearRegressionModel:
+    """``loss(θ) = mean((Xθ - y)^2) + l2·‖θ‖²`` — Eq. 28 normalised.
+
+    ``l2`` adds ridge regularisation (common in deployed vertical linear
+    regression; 0 by default matches the paper's formulation).
+    """
+
+    task = "regression"
+
+    def __init__(self, l2: float = 0.0) -> None:
+        if l2 < 0:
+            raise ValueError(f"l2 must be non-negative, got {l2}")
+        self.l2 = l2
+
+    def n_coefficients(self, X: np.ndarray) -> int:
+        return X.shape[1]
+
+    def loss(self, theta: np.ndarray, X: np.ndarray, y: np.ndarray) -> float:
+        residual = X @ theta - y
+        return float(np.mean(residual**2) + self.l2 * theta @ theta)
+
+    def gradient(self, theta: np.ndarray, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        residual = X @ theta - y
+        return 2.0 * (X.T @ residual) / len(y) + 2.0 * self.l2 * theta
+
+    def residual(self, theta: np.ndarray, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """``Xθ - y`` — the quantity the encrypted protocol exchanges."""
+        return X @ theta - y
+
+    def hessian(self, theta: np.ndarray, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        del theta, y  # quadratic loss: Hessian is data-only
+        d = X.shape[1]
+        return 2.0 * (X.T @ X) / len(X) + 2.0 * self.l2 * np.eye(d)
+
+    def hvp(self, theta: np.ndarray, X: np.ndarray, y: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Hessian-vector product without forming the d×d matrix."""
+        del theta, y
+        return 2.0 * (X.T @ (X @ v)) / len(X) + 2.0 * self.l2 * v
+
+    def predict(self, theta: np.ndarray, X: np.ndarray) -> np.ndarray:
+        return X @ theta
+
+    def score(self, theta: np.ndarray, X: np.ndarray, y: np.ndarray) -> float:
+        """R² coefficient of determination."""
+        pred = self.predict(theta, X)
+        ss_res = float(np.sum((y - pred) ** 2))
+        ss_tot = float(np.sum((y - y.mean()) ** 2))
+        if ss_tot < 1e-300:
+            return 0.0
+        return 1.0 - ss_res / ss_tot
+
+
+class LogisticRegressionModel:
+    """Mean binary cross-entropy with logits (+ optional L2), labels {0, 1}."""
+
+    task = "binary"
+
+    def __init__(self, l2: float = 0.0) -> None:
+        if l2 < 0:
+            raise ValueError(f"l2 must be non-negative, got {l2}")
+        self.l2 = l2
+
+    def n_coefficients(self, X: np.ndarray) -> int:
+        return X.shape[1]
+
+    @staticmethod
+    def _sigmoid(z: np.ndarray) -> np.ndarray:
+        out = np.empty_like(z)
+        pos = z >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+        ez = np.exp(z[~pos])
+        out[~pos] = ez / (1.0 + ez)
+        return out
+
+    def loss(self, theta: np.ndarray, X: np.ndarray, y: np.ndarray) -> float:
+        z = X @ theta
+        # softplus(z) - y z, computed stably.
+        softplus = np.maximum(z, 0.0) + np.log1p(np.exp(-np.abs(z)))
+        return float(np.mean(softplus - y * z) + self.l2 * theta @ theta)
+
+    def gradient(self, theta: np.ndarray, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        probs = self._sigmoid(X @ theta)
+        return X.T @ (probs - y) / len(y) + 2.0 * self.l2 * theta
+
+    def residual(self, theta: np.ndarray, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """``σ(Xθ) - y`` — plays the role of ``d`` in the encrypted protocol.
+
+        The paper's VFL-LogReg (following Hardy et al.) uses this (or its
+        Taylor approximation) as the per-sample residual that parties
+        multiply by their local features.
+        """
+        return self._sigmoid(X @ theta) - y
+
+    def hessian(self, theta: np.ndarray, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        del y
+        probs = self._sigmoid(X @ theta)
+        weights = probs * (1.0 - probs)
+        return (X.T * weights) @ X / len(X) + 2.0 * self.l2 * np.eye(X.shape[1])
+
+    def hvp(self, theta: np.ndarray, X: np.ndarray, y: np.ndarray, v: np.ndarray) -> np.ndarray:
+        del y
+        probs = self._sigmoid(X @ theta)
+        weights = probs * (1.0 - probs)
+        return X.T @ (weights * (X @ v)) / len(X) + 2.0 * self.l2 * v
+
+    def predict(self, theta: np.ndarray, X: np.ndarray) -> np.ndarray:
+        return (X @ theta > 0).astype(np.int64)
+
+    def score(self, theta: np.ndarray, X: np.ndarray, y: np.ndarray) -> float:
+        """Classification accuracy."""
+        return float(np.mean(self.predict(theta, X) == y))
+
+
+class SoftmaxRegressionModel:
+    """Multinomial logistic regression over a *flat* coefficient vector.
+
+    Extends the paper's VFL pair (linear/binary-logistic) to multiclass —
+    a natural next model in the same GLM family, so the whole vertical
+    stack (trainer, DIG-FL estimator, exact Shapley) works unchanged.
+
+    The weight matrix ``W ∈ R^{d×C}`` is stored row-major as ``θ ∈ R^{dC}``,
+    so the coefficients of feature ``f`` occupy the contiguous block
+    ``[f·C, (f+1)·C)`` — see :func:`expand_feature_blocks`.
+    """
+
+    task = "multiclass"
+
+    def __init__(self, n_classes: int) -> None:
+        if n_classes < 2:
+            raise ValueError(f"n_classes must be >= 2, got {n_classes}")
+        self.n_classes = n_classes
+
+    def n_coefficients(self, X: np.ndarray) -> int:
+        return X.shape[1] * self.n_classes
+
+    def _weights(self, theta: np.ndarray, X: np.ndarray) -> np.ndarray:
+        return theta.reshape(X.shape[1], self.n_classes)
+
+    def _probs(self, theta: np.ndarray, X: np.ndarray) -> np.ndarray:
+        logits = X @ self._weights(theta, X)
+        logits -= logits.max(axis=1, keepdims=True)
+        expz = np.exp(logits)
+        return expz / expz.sum(axis=1, keepdims=True)
+
+    def loss(self, theta: np.ndarray, X: np.ndarray, y: np.ndarray) -> float:
+        logits = X @ self._weights(theta, X)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        return float(-np.mean(log_probs[np.arange(len(y)), y.astype(np.int64)]))
+
+    def gradient(self, theta: np.ndarray, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        probs = self._probs(theta, X)
+        probs[np.arange(len(y)), y.astype(np.int64)] -= 1.0
+        return (X.T @ probs / len(y)).ravel()
+
+    def residual(self, theta: np.ndarray, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """``softmax(XW) − onehot(y)``, shape (m, C)."""
+        probs = self._probs(theta, X)
+        probs[np.arange(len(y)), y.astype(np.int64)] -= 1.0
+        return probs
+
+    def hvp(self, theta: np.ndarray, X: np.ndarray, y: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """GLM Hessian-vector product: ``H = (1/m) Σ x xᵀ ⊗ (diag(p)−ppᵀ)``."""
+        del y
+        probs = self._probs(theta, X)
+        direction = v.reshape(X.shape[1], self.n_classes)
+        activation = X @ direction  # (m, C)
+        weighted = probs * activation
+        weighted -= probs * weighted.sum(axis=1, keepdims=True)
+        return (X.T @ weighted / len(X)).ravel()
+
+    def hessian(self, theta: np.ndarray, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Dense (dC × dC) Hessian — test-sized problems only."""
+        d = X.shape[1]
+        size = d * self.n_classes
+        H = np.empty((size, size))
+        for k in range(size):
+            e = np.zeros(size)
+            e[k] = 1.0
+            H[:, k] = self.hvp(theta, X, y, e)
+        return H
+
+    def predict(self, theta: np.ndarray, X: np.ndarray) -> np.ndarray:
+        return np.argmax(X @ self._weights(theta, X), axis=1)
+
+    def score(self, theta: np.ndarray, X: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(theta, X) == y))
+
+
+def expand_feature_blocks(
+    feature_blocks: list[np.ndarray], n_classes: int
+) -> list[np.ndarray]:
+    """Map per-party *feature* blocks to flat softmax *coefficient* blocks."""
+    if n_classes < 2:
+        raise ValueError(f"n_classes must be >= 2, got {n_classes}")
+    expanded = []
+    for block in feature_blocks:
+        block = np.asarray(block)
+        coeffs = (block[:, None] * n_classes + np.arange(n_classes)[None, :]).ravel()
+        expanded.append(np.sort(coeffs))
+    return expanded
+
+
+def make_vfl_model(task: str, *, n_classes: int = 0, l2: float = 0.0):
+    """Model for a VFL dataset.
+
+    ``regression`` → linear, ``binary`` → logistic, ``multiclass`` →
+    softmax (requires ``n_classes``).  ``l2`` adds ridge regularisation to
+    the GLM pair (the softmax model does not take it).
+    """
+    if task == "regression":
+        return LinearRegressionModel(l2=l2)
+    if task == "binary":
+        return LogisticRegressionModel(l2=l2)
+    if task == "multiclass":
+        if l2:
+            raise ValueError("l2 regularisation is not implemented for softmax")
+        return SoftmaxRegressionModel(n_classes)
+    raise ValueError(
+        f"VFL supports 'regression', 'binary' or 'multiclass' tasks, got {task!r}"
+    )

@@ -1,0 +1,43 @@
+"""Neural-network layers, model factories and optimisers (numpy substrate)."""
+
+from repro.nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.models import (
+    Classifier,
+    make_cnn_classifier,
+    make_hfl_model,
+    make_mlp_classifier,
+)
+from repro.nn.module import Module
+from repro.nn.optim import Adam, LRSchedule, SGD
+
+__all__ = [
+    "Adam",
+    "AvgPool2d",
+    "Classifier",
+    "Conv2d",
+    "Dropout",
+    "Flatten",
+    "LRSchedule",
+    "Linear",
+    "MaxPool2d",
+    "Module",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Sigmoid",
+    "Tanh",
+    "make_cnn_classifier",
+    "make_hfl_model",
+    "make_mlp_classifier",
+]

@@ -1,0 +1,263 @@
+"""Neural-network layers on the autodiff substrate.
+
+Convolution is implemented with an im2col gather (the :func:`take` primitive)
+followed by an ordinary matrix product, so its gradient — and the
+Hessian-vector products DIG-FL Algorithm 1 needs — come for free from the
+autodiff engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.tensor import (
+    Tensor,
+    add,
+    amax,
+    as_tensor,
+    broadcast_to,
+    matmul,
+    relu,
+    reshape,
+    sigmoid,
+    take,
+    tanh,
+    transpose,
+)
+from repro.nn.module import Module
+from repro.utils.rng import make_rng
+
+
+class Linear(Module):
+    """Affine map ``x @ W + b`` with Glorot-uniform initialisation."""
+
+    def __init__(self, in_features: int, out_features: int, *, seed=None) -> None:
+        super().__init__()
+        rng = make_rng(seed)
+        bound = np.sqrt(6.0 / (in_features + out_features))
+        self.weight = Tensor(
+            rng.uniform(-bound, bound, size=(in_features, out_features)),
+            requires_grad=True,
+        )
+        self.bias = Tensor(np.zeros(out_features), requires_grad=True)
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, x):
+        x = as_tensor(x)
+        out = matmul(x, self.weight)
+        return add(out, broadcast_to(reshape(self.bias, (1, self.out_features)), out.shape))
+
+
+class ReLU(Module):
+    """Elementwise ``max(x, 0)`` activation."""
+
+    def forward(self, x):
+        return relu(x)
+
+
+class Tanh(Module):
+    """Elementwise hyperbolic-tangent activation."""
+
+    def forward(self, x):
+        return tanh(x)
+
+
+class Sigmoid(Module):
+    """Elementwise logistic activation."""
+
+    def forward(self, x):
+        return sigmoid(x)
+
+
+class Flatten(Module):
+    """Collapse all but the batch dimension."""
+
+    def forward(self, x):
+        x = as_tensor(x)
+        return reshape(x, (x.shape[0], int(np.prod(x.shape[1:]))))
+
+
+class Sequential(Module):
+    """Run child modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._order: list[str] = []
+        for i, module in enumerate(modules):
+            name = f"layer{i}"
+            setattr(self, name, module)
+            self._order.append(name)
+
+    def forward(self, x):
+        for name in self._order:
+            x = getattr(self, name)(x)
+        return x
+
+    def __iter__(self):
+        return (getattr(self, name) for name in self._order)
+
+
+def _im2col_indices(
+    channels: int, height: int, width: int, kernel: int, stride: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Index arrays mapping an image to its unfolded patch matrix.
+
+    Returns ``(c_idx, i_idx, j_idx, out_h, out_w)`` where each index array has
+    shape ``(channels*kernel*kernel, out_h*out_w)``.
+    """
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    c = np.repeat(np.arange(channels), kernel * kernel)
+    ki = np.tile(np.repeat(np.arange(kernel), kernel), channels)
+    kj = np.tile(np.arange(kernel), kernel * channels)
+    base_i = stride * np.repeat(np.arange(out_h), out_w)
+    base_j = stride * np.tile(np.arange(out_w), out_h)
+    c_idx = c[:, None] * np.ones((1, out_h * out_w), dtype=np.int64)
+    i_idx = ki[:, None] + base_i[None, :]
+    j_idx = kj[:, None] + base_j[None, :]
+    return c_idx.astype(np.int64), i_idx, j_idx, out_h, out_w
+
+
+class Conv2d(Module):
+    """2-D convolution (valid padding) via im2col + matmul.
+
+    Input shape ``(batch, in_channels, H, W)``; output
+    ``(batch, out_channels, out_H, out_W)``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        *,
+        seed=None,
+    ) -> None:
+        super().__init__()
+        rng = make_rng(seed)
+        fan_in = in_channels * kernel_size * kernel_size
+        bound = np.sqrt(6.0 / (fan_in + out_channels))
+        self.weight = Tensor(
+            rng.uniform(-bound, bound, size=(fan_in, out_channels)),
+            requires_grad=True,
+        )
+        self.bias = Tensor(np.zeros(out_channels), requires_grad=True)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self._index_cache: dict[tuple[int, int], tuple] = {}
+
+    def _indices(self, height: int, width: int):
+        key = (height, width)
+        if key not in self._index_cache:
+            self._index_cache[key] = _im2col_indices(
+                self.in_channels, height, width, self.kernel_size, self.stride
+            )
+        return self._index_cache[key]
+
+    def forward(self, x):
+        x = as_tensor(x)
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected (batch, {self.in_channels}, H, W), got {x.shape}"
+            )
+        batch = x.shape[0]
+        c_idx, i_idx, j_idx, out_h, out_w = self._indices(x.shape[2], x.shape[3])
+        # (batch, fan_in, out_h*out_w) gathered in one differentiable take.
+        patches = take(x, (slice(None), c_idx, i_idx, j_idx))
+        # -> (batch*out_positions, fan_in) for a single 2-D matmul.
+        cols = reshape(
+            transpose(patches, (0, 2, 1)), (batch * out_h * out_w, c_idx.shape[0])
+        )
+        out = add(
+            matmul(cols, self.weight),
+            broadcast_to(
+                reshape(self.bias, (1, self.out_channels)),
+                (batch * out_h * out_w, self.out_channels),
+            ),
+        )
+        out = reshape(out, (batch, out_h, out_w, self.out_channels))
+        return transpose(out, (0, 3, 1, 2))
+
+
+class MaxPool2d(Module):
+    """Non-overlapping max pooling (kernel == stride)."""
+
+    def __init__(self, kernel_size: int) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x):
+        x = as_tensor(x)
+        k = self.kernel_size
+        batch, channels, height, width = x.shape
+        if height % k or width % k:
+            raise ValueError(
+                f"spatial dims {height}x{width} not divisible by kernel {k}"
+            )
+        x = reshape(x, (batch, channels, height // k, k, width // k, k))
+        x = amax(x, axis=3)
+        x = amax(x, axis=4)
+        return x
+
+
+class Dropout(Module):
+    """Inverted dropout with an explicit train/eval switch.
+
+    Masks are drawn from a module-owned seeded generator so runs are
+    reproducible; at evaluation time (``.eval()``) the layer is the
+    identity, so federated aggregation and DIG-FL's validation gradients
+    see the deterministic network.
+    """
+
+    def __init__(self, p: float = 0.5, *, seed=None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.training = True
+        self._rng = make_rng(seed)
+
+    def train(self) -> "Dropout":
+        self.training = True
+        return self
+
+    def eval(self) -> "Dropout":
+        self.training = False
+        return self
+
+    def forward(self, x):
+        x = as_tensor(x)
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(np.float64) / keep
+        from repro.autodiff.tensor import Tensor, mul
+
+        return mul(x, Tensor(mask))
+
+
+class AvgPool2d(Module):
+    """Non-overlapping average pooling (kernel == stride).
+
+    Smooth everywhere, so models built with it have well-defined Hessians —
+    handy for stress-testing the second-order term of DIG-FL.
+    """
+
+    def __init__(self, kernel_size: int) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x):
+        x = as_tensor(x)
+        k = self.kernel_size
+        batch, channels, height, width = x.shape
+        if height % k or width % k:
+            raise ValueError(
+                f"spatial dims {height}x{width} not divisible by kernel {k}"
+            )
+        x = reshape(x, (batch, channels, height // k, k, width // k, k))
+        return x.mean(axis=(3, 5))

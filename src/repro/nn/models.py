@@ -1,0 +1,134 @@
+"""Model factories matching the paper's four HFL image models.
+
+The paper trains HFL-CNN-{MNIST,CIFAR,MOTOR,REAL}.  Our synthetic image
+datasets (see :mod:`repro.data.synthetic`) keep the class counts and relative
+difficulty; the factories below build proportionally sized networks.  A pure
+MLP variant is provided because the benchmarks run hundreds of retrainings
+(for the exact-Shapley baselines) and the conv nets, while fully functional,
+are reserved for the integration tests and examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.functional import cross_entropy_with_logits
+from repro.autodiff.tensor import Tensor
+from repro.nn.layers import (
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    Tanh,
+)
+from repro.nn.module import Module
+from repro.utils.rng import spawn_rngs
+
+
+class Classifier(Module):
+    """A feature extractor + head, with the softmax cross-entropy loss bound in.
+
+    This is the unit of model state the HFL simulator replicates across
+    participants: ``loss(X, y)`` is everything FedSGD and DIG-FL need.
+    """
+
+    def __init__(self, network: Sequential, num_classes: int) -> None:
+        super().__init__()
+        self.network = network
+        self.num_classes = num_classes
+
+    def forward(self, x):
+        return self.network(x)
+
+    def loss(self, inputs: np.ndarray, labels: np.ndarray) -> Tensor:
+        return cross_entropy_with_logits(self.forward(Tensor(inputs)), labels)
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        logits = self.forward(Tensor(inputs))
+        return np.argmax(logits.data, axis=1)
+
+    def accuracy(self, inputs: np.ndarray, labels: np.ndarray) -> float:
+        return float(np.mean(self.predict(inputs) == np.asarray(labels)))
+
+
+def make_mlp_classifier(
+    input_dim: int,
+    num_classes: int,
+    hidden: tuple[int, ...] = (32,),
+    *,
+    activation: str = "tanh",
+    seed=None,
+) -> Classifier:
+    """Fully connected classifier on flattened inputs.
+
+    ``tanh`` is the default activation so that the loss is twice
+    differentiable everywhere — the assumption under which Lemmas 1–3 hold.
+    """
+    act = {"tanh": Tanh, "relu": ReLU}[activation]
+    dims = [input_dim, *hidden]
+    rngs = spawn_rngs(seed, len(dims))
+    layers: list[Module] = [Flatten()]
+    for i in range(len(dims) - 1):
+        layers.append(Linear(dims[i], dims[i + 1], seed=rngs[i]))
+        layers.append(act())
+    layers.append(Linear(dims[-1], num_classes, seed=rngs[-1]))
+    return Classifier(Sequential(*layers), num_classes)
+
+
+def make_cnn_classifier(
+    image_shape: tuple[int, int, int],
+    num_classes: int,
+    channels: int = 8,
+    *,
+    seed=None,
+) -> Classifier:
+    """Small conv net: Conv(3x3) → ReLU → MaxPool(2) → Flatten → Linear.
+
+    ``image_shape`` is ``(C, H, W)``; H and W must leave the pooled feature
+    map with integer dimensions.
+    """
+    in_c, height, width = image_shape
+    conv_h, conv_w = height - 2, width - 2
+    if conv_h % 2 or conv_w % 2:
+        raise ValueError(
+            f"image {height}x{width} leaves odd conv output {conv_h}x{conv_w}; "
+            "pick H, W with (H-2), (W-2) even"
+        )
+    rngs = spawn_rngs(seed, 2)
+    feat_dim = channels * (conv_h // 2) * (conv_w // 2)
+    network = Sequential(
+        Conv2d(in_c, channels, kernel_size=3, seed=rngs[0]),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        Linear(feat_dim, num_classes, seed=rngs[1]),
+    )
+    return Classifier(network, num_classes)
+
+
+# Factories keyed like the paper's model names. Image shapes follow the
+# synthetic datasets in repro.data.synthetic (channel-count and class-count
+# preserved from MNIST / CIFAR10 / MOTOR / REAL).
+def make_hfl_model(name: str, *, arch: str = "mlp", seed=None) -> Classifier:
+    """Build the HFL model for one of the paper's four image datasets.
+
+    ``name`` is one of ``mnist``, ``cifar10``, ``motor``, ``real``;
+    ``arch`` selects ``mlp`` (fast, used by benchmarks) or ``cnn``.
+    """
+    specs = {
+        "mnist": ((1, 10, 10), 10),
+        "cifar10": ((3, 8, 8), 10),
+        "motor": ((3, 8, 8), 2),
+        "real": ((3, 8, 8), 10),
+    }
+    if name not in specs:
+        raise KeyError(f"unknown HFL dataset {name!r}; expected one of {sorted(specs)}")
+    image_shape, num_classes = specs[name]
+    if arch == "cnn":
+        return make_cnn_classifier(image_shape, num_classes, seed=seed)
+    if arch == "mlp":
+        input_dim = int(np.prod(image_shape))
+        return make_mlp_classifier(input_dim, num_classes, hidden=(32,), seed=seed)
+    raise ValueError(f"arch must be 'mlp' or 'cnn', got {arch!r}")

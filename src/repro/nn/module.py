@@ -1,0 +1,87 @@
+"""Module base class: parameter registration and flat-vector views.
+
+Federated algorithms in this library ship model state around as flat float64
+vectors (the ``θ`` of the paper), so every module exposes
+``get_flat``/``set_flat`` built on :mod:`repro.utils.packing`.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Iterator
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+from repro.utils.packing import ParamSpec, flatten_params, unflatten_params
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses assign :class:`Tensor` attributes (parameters) and
+    :class:`Module` attributes (children); both are discovered automatically
+    in attribute-assignment order, giving a deterministic parameter layout —
+    essential when participants exchange flat update vectors.
+    """
+
+    def __init__(self) -> None:
+        self._params: dict[str, Tensor] = {}
+        self._children: dict[str, Module] = {}
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Tensor):
+            self.__dict__.setdefault("_params", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_children", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    # -- parameter access ----------------------------------------------------
+
+    def parameters(self) -> list[Tensor]:
+        """All trainable tensors, depth-first in registration order."""
+        out: list[Tensor] = list(self._params.values())
+        for child in self._children.values():
+            out.extend(child.parameters())
+        return out
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        for name, p in self._params.items():
+            yield f"{prefix}{name}", p
+        for cname, child in self._children.items():
+            yield from child.named_parameters(prefix=f"{prefix}{cname}.")
+
+    def num_parameters(self) -> int:
+        return int(sum(p.size for p in self.parameters()))
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+    # -- flat-vector state ----------------------------------------------------
+
+    def param_spec(self) -> ParamSpec:
+        return ParamSpec.of([p.data for p in self.parameters()])
+
+    def get_flat(self) -> np.ndarray:
+        """Current parameters as one float64 vector (a copy)."""
+        flat, _ = flatten_params([p.data for p in self.parameters()])
+        return flat
+
+    def set_flat(self, flat: np.ndarray) -> None:
+        """Load parameters from a flat vector produced by :meth:`get_flat`."""
+        arrays = unflatten_params(flat, self.param_spec())
+        for p, arr in zip(self.parameters(), arrays):
+            p.data = arr
+
+    def clone(self) -> "Module":
+        """Deep copy with independent parameter storage."""
+        return copy.deepcopy(self)
+
+    # -- forward --------------------------------------------------------------
+
+    def forward(self, x):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, x):
+        return self.forward(x)

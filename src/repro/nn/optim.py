@@ -1,0 +1,126 @@
+"""Optimisers for local training steps.
+
+FedSGD only needs plain gradient descent, but participants in the examples
+also use momentum locally; both operate in-place on a module's parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: list[Tensor],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        self.params = list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        """Apply one update using each parameter's ``.grad``."""
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            g = p.grad.data
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += g
+                g = v
+            p.data = p.data - self.lr * g
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+
+class Adam:
+    """Adam optimiser (Kingma & Ba) for local training in the examples.
+
+    FedSGD/FedAvg aggregation is optimiser-agnostic on the participant
+    side: whatever produces the local model, the shipped update is
+    ``θ_{t-1} − θ_{t-1,i}``.
+    """
+
+    def __init__(
+        self,
+        params: list[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        self.params = list(params)
+        self.lr = lr
+        self.beta1, self.beta2 = beta1, beta2
+        self.eps = eps
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        """One Adam update from each parameter's ``.grad``."""
+        self._step += 1
+        bias1 = 1.0 - self.beta1**self._step
+        bias2 = 1.0 - self.beta2**self._step
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+
+class LRSchedule:
+    """Per-epoch learning rates ``α_t`` (constant or decaying).
+
+    DIG-FL's contribution formulas multiply the second-order term by ``α_t``,
+    so the schedule is shared between the trainer and the estimator.
+    """
+
+    def __init__(self, base_lr: float, decay: float = 1.0) -> None:
+        if base_lr <= 0:
+            raise ValueError(f"base_lr must be positive, got {base_lr}")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.base_lr = base_lr
+        self.decay = decay
+
+    def lr_at(self, epoch: int) -> float:
+        """Learning rate for 1-indexed ``epoch``."""
+        if epoch < 1:
+            raise ValueError(f"epoch is 1-indexed, got {epoch}")
+        return self.base_lr * (self.decay ** (epoch - 1))

@@ -1,0 +1,129 @@
+"""Plotting-free rendering of contribution reports and training curves.
+
+Terminal-friendly output for the CLI and examples: horizontal bar charts
+for contribution vectors, sparklines for convergence curves, and markdown
+tables for dashboards — no matplotlib dependency anywhere in the library.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.contribution import ContributionReport
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def bar_chart(
+    values: Sequence[float],
+    labels: Sequence[str] | None = None,
+    *,
+    width: int = 40,
+) -> str:
+    """Horizontal bar chart with a zero axis; negative bars point left.
+
+    Bars are scaled to the largest absolute value; each line reads
+    ``label |bars| value``.
+    """
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("nothing to chart")
+    if labels is None:
+        labels = [str(i) for i in range(len(values))]
+    if len(labels) != len(values):
+        raise ValueError(f"{len(labels)} labels for {len(values)} values")
+    scale = np.max(np.abs(values))
+    if scale < 1e-300:
+        scale = 1.0
+    half = width // 2
+    label_width = max(len(str(l)) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        cells = int(round(abs(value) / scale * half))
+        if value >= 0:
+            bar = " " * half + "|" + "█" * cells + " " * (half - cells)
+        else:
+            bar = " " * (half - cells) + "░" * cells + "|" + " " * half
+        lines.append(f"{str(label):>{label_width}} {bar} {value:+.4g}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], *, width: int | None = None) -> str:
+    """One-line unicode chart of a curve (min..max normalised)."""
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("nothing to chart")
+    if width is not None and width > 0 and len(values) > width:
+        # Downsample by block means.
+        edges = np.linspace(0, len(values), width + 1).astype(int)
+        values = np.array(
+            [values[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a]
+        )
+    lo, hi = float(values.min()), float(values.max())
+    span = hi - lo
+    if span < 1e-300:
+        return _SPARK_BLOCKS[0] * len(values)
+    indices = ((values - lo) / span * (len(_SPARK_BLOCKS) - 1)).round().astype(int)
+    return "".join(_SPARK_BLOCKS[i] for i in indices)
+
+
+def contribution_bars(
+    report: ContributionReport,
+    *,
+    qualities: Sequence[str] | None = None,
+    width: int = 40,
+) -> str:
+    """Bar chart of a report's totals, labelled by participant (and quality)."""
+    if qualities is not None and len(qualities) != report.n_participants:
+        raise ValueError("qualities length mismatch")
+    labels = []
+    for row, pid in enumerate(report.participant_ids):
+        label = f"p{pid}"
+        if qualities is not None:
+            label += f" ({qualities[row]})"
+        labels.append(label)
+    return bar_chart(report.totals, labels, width=width)
+
+
+def report_markdown(
+    report: ContributionReport,
+    *,
+    qualities: Sequence[str] | None = None,
+) -> str:
+    """Markdown table of a report: participant, contribution, share."""
+    positive_total = float(np.maximum(report.totals, 0).sum())
+    header = "| participant | contribution | share |"
+    divider = "|---|---|---|"
+    if qualities is not None:
+        header = "| participant | quality | contribution | share |"
+        divider = "|---|---|---|---|"
+    lines = [f"**method:** `{report.method}`", "", header, divider]
+    for row, pid in enumerate(report.participant_ids):
+        share = (
+            max(report.totals[row], 0.0) / positive_total
+            if positive_total > 0
+            else 0.0
+        )
+        cells = [str(pid)]
+        if qualities is not None:
+            cells.append(str(qualities[row]))
+        cells.extend([f"{report.totals[row]:+.5f}", f"{share:.1%}"])
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def per_epoch_sparklines(report: ContributionReport) -> str:
+    """One sparkline per participant over its per-epoch contributions."""
+    if report.per_epoch is None:
+        raise ValueError(f"method {report.method!r} has no per-epoch matrix")
+    label_width = max(len(str(pid)) for pid in report.participant_ids)
+    lines = []
+    for row, pid in enumerate(report.participant_ids):
+        curve = report.per_epoch[:, row]
+        lines.append(
+            f"p{str(pid):<{label_width}} {sparkline(curve)} "
+            f"(Σ {report.totals[row]:+.4g})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,271 @@
+"""One-call scenario runner: federation → training → estimation → summary.
+
+The experiment modules each wire the pipeline by hand; downstream users
+usually want a single declarative entry point:
+
+    from repro.scenario import HFLScenario
+
+    result = HFLScenario(
+        dataset="mnist", n_parties=6, n_mislabeled=2,
+        epochs=12, compute_exact=True,
+    ).run()
+    print(result.summary())
+
+A scenario builds the synthetic federation, trains (optionally under
+attack / reweighting), runs DIG-FL, optionally computes the exact Shapley
+ground truth, and returns everything in one result object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.core import (
+    DIGFLReweighter,
+    estimate_hfl_resource_saving,
+    flag_low_quality,
+)
+from repro.core.contribution import ContributionReport
+from repro.data import HFL_DATASETS, build_hfl_federation
+from repro.data.partition import FederatedSplit
+from repro.hfl import AdversarialHFLTrainer, HFLResult, LocalTrainingConfig
+from repro.hfl.attacks import UpdateTransform
+from repro.metrics import pearson_correlation
+from repro.nn import LRSchedule, make_hfl_model
+from repro.shapley import HFLRetrainUtility, exact_shapley
+from repro.utils.rng import derive_seed
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one HFL scenario produced."""
+
+    federation: FederatedSplit
+    training: HFLResult
+    digfl: ContributionReport
+    exact: ContributionReport | None = None
+    reweighted_training: HFLResult | None = None
+
+    @property
+    def qualities(self) -> list[str]:
+        return list(self.federation.qualities)
+
+    @property
+    def pcc(self) -> float | None:
+        """PCC between DIG-FL and the exact Shapley value, if computed."""
+        if self.exact is None:
+            return None
+        return pearson_correlation(self.digfl.totals, self.exact.totals)
+
+    def flagged(self, threshold: float = 2.5) -> list[int]:
+        return flag_low_quality(self.digfl, threshold=threshold)
+
+    def summary(self) -> dict:
+        """Compact, JSON-friendly description of the run."""
+        out: dict = {
+            "n_parties": self.federation.n_parties,
+            "qualities": self.qualities,
+            "final_accuracy": float(self.training.log.records[-1].val_accuracy),
+            "contributions": self.digfl.totals.tolist(),
+            "ranking": self.digfl.ranking(),
+            "flagged": self.flagged(),
+        }
+        if self.exact is not None:
+            out["exact_shapley"] = self.exact.totals.tolist()
+            out["pcc"] = self.pcc
+        if self.reweighted_training is not None:
+            out["reweighted_accuracy"] = float(
+                self.reweighted_training.log.records[-1].val_accuracy
+            )
+        return out
+
+
+@dataclass
+class HFLScenario:
+    """Declarative HFL experiment configuration.
+
+    Attributes mirror the knobs the paper's evaluation sweeps: dataset,
+    federation size and corruption, training length, plus the extensions
+    (attacks, FedAvg local config, reweighting, exact ground truth).
+    """
+
+    dataset: str = "mnist"
+    n_parties: int = 5
+    n_mislabeled: int = 0
+    n_noniid: int = 0
+    mislabel_fraction: float = 0.5
+    noniid_max_classes: int | None = None
+    n_samples: int | None = None
+    epochs: int = 10
+    lr: float = 0.5
+    local_config: LocalTrainingConfig | None = None
+    attacks: Mapping[int, UpdateTransform] = field(default_factory=dict)
+    reweight: bool = False
+    compute_exact: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dataset not in HFL_DATASETS:
+            raise KeyError(
+                f"unknown HFL dataset {self.dataset!r}; known: {sorted(HFL_DATASETS)}"
+            )
+        check_positive_int(self.n_parties, "n_parties")
+        check_positive_int(self.epochs, "epochs")
+        bad = [i for i in self.attacks if not 0 <= i < self.n_parties]
+        if bad:
+            raise ValueError(f"attack targets {bad} outside the federation")
+
+    def model_factory(self):
+        """Fresh model with the scenario's deterministic init."""
+        return make_hfl_model(self.dataset, seed=derive_seed(self.seed, 3))
+
+    def run(self) -> ScenarioResult:
+        """Execute the full pipeline and return the result bundle."""
+        info = HFL_DATASETS[self.dataset]
+        n_samples = self.n_samples or 250 * self.n_parties
+        data = info.make(n_samples=n_samples, seed=derive_seed(self.seed, 1))
+        federation = build_hfl_federation(
+            data,
+            self.n_parties,
+            n_mislabeled=self.n_mislabeled,
+            n_noniid=self.n_noniid,
+            mislabel_fraction=self.mislabel_fraction,
+            noniid_max_classes=self.noniid_max_classes,
+            seed=derive_seed(self.seed, 2),
+        )
+        trainer = AdversarialHFLTrainer(
+            self.model_factory,
+            self.epochs,
+            LRSchedule(self.lr),
+            local_config=self.local_config,
+            attacks=dict(self.attacks),
+        )
+        training = trainer.train(
+            federation.locals, federation.validation, track_validation=True
+        )
+        digfl = estimate_hfl_resource_saving(
+            training.log, federation.validation, self.model_factory
+        )
+
+        exact = None
+        if self.compute_exact:
+            utility = HFLRetrainUtility(
+                trainer,
+                federation.locals,
+                federation.validation,
+                init_theta=training.log.initial_theta,
+            )
+            exact = exact_shapley(utility)
+
+        reweighted = None
+        if self.reweight:
+            reweighted = trainer.train(
+                federation.locals,
+                federation.validation,
+                reweighter=DIGFLReweighter(federation.validation),
+                track_validation=True,
+            )
+        return ScenarioResult(
+            federation=federation,
+            training=training,
+            digfl=digfl,
+            exact=exact,
+            reweighted_training=reweighted,
+        )
+
+
+@dataclass
+class VFLScenarioResult:
+    """Everything one VFL scenario produced."""
+
+    theta: np.ndarray
+    digfl: ContributionReport
+    exact: ContributionReport | None = None
+    validation_score: float = float("nan")
+
+    @property
+    def pcc(self) -> float | None:
+        if self.exact is None:
+            return None
+        return pearson_correlation(self.digfl.totals, self.exact.totals)
+
+    def summary(self) -> dict:
+        out: dict = {
+            "n_parties": self.digfl.n_participants,
+            "contributions": self.digfl.totals.tolist(),
+            "ranking": self.digfl.ranking(),
+            "validation_score": self.validation_score,
+        }
+        if self.exact is not None:
+            out["exact_shapley"] = self.exact.totals.tolist()
+            out["pcc"] = self.pcc
+        return out
+
+
+@dataclass
+class VFLScenario:
+    """Declarative vertical-FL experiment configuration.
+
+    ``n_parties=None`` uses the paper's Table III party count for the
+    dataset; ``max_rows`` keeps the optional exact-Shapley ground truth
+    (2^n retrainings) tractable.
+    """
+
+    dataset: str = "boston"
+    n_parties: int | None = None
+    epochs: int = 30
+    lr: float | None = None
+    max_rows: int | None = 1200
+    compute_exact: bool = False
+    seed: int = 0
+
+    def run(self) -> VFLScenarioResult:
+        """Execute the vertical pipeline and return the result bundle."""
+        from repro.core import estimate_vfl_first_order
+        from repro.experiments.workloads import build_vfl_workload
+        from repro.shapley import VFLRetrainUtility
+
+        workload = build_vfl_workload(
+            self.dataset,
+            n_parties=self.n_parties,
+            epochs=self.epochs,
+            lr=self.lr,
+            max_rows=self.max_rows,
+            seed=self.seed,
+        )
+        digfl = estimate_vfl_first_order(workload.result.log)
+        exact = None
+        if self.compute_exact:
+            utility = VFLRetrainUtility(
+                workload.trainer, workload.split.train, workload.split.validation
+            )
+            exact = exact_shapley(utility)
+        score = workload.trainer.model.score(
+            workload.result.theta,
+            workload.split.validation.X,
+            workload.split.validation.y,
+        )
+        return VFLScenarioResult(
+            theta=workload.result.theta,
+            digfl=digfl,
+            exact=exact,
+            validation_score=float(score),
+        )
+
+
+def quick_audit(dataset: str = "mnist", *, seed: int = 0) -> dict:
+    """The one-liner: a default corrupted federation, audited end to end."""
+    scenario = HFLScenario(
+        dataset=dataset,
+        n_parties=5,
+        n_mislabeled=1,
+        n_noniid=1,
+        epochs=10,
+        compute_exact=True,
+        seed=seed,
+    )
+    return scenario.run().summary()

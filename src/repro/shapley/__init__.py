@@ -1,0 +1,47 @@
+"""Shapley-value ground truth and the baselines the paper compares against."""
+
+from repro.shapley.banzhaf import (
+    exact_banzhaf,
+    exact_banzhaf_values,
+    mc_banzhaf,
+    mc_banzhaf_values,
+)
+from repro.shapley.exact import exact_shapley, exact_shapley_values
+from repro.shapley.group_testing import gt_shapley, gt_shapley_values
+from repro.shapley.kernel import kernel_shapley, kernel_shapley_values
+from repro.shapley.montecarlo import tmc_shapley, tmc_shapley_values
+from repro.shapley.one_round import or_shapley
+from repro.shapley.projection import im_scores
+from repro.shapley.reconstruction import mr_shapley, per_round_exact_shapley
+from repro.shapley.stratified import stratified_shapley, stratified_shapley_values
+from repro.shapley.utility import (
+    CallableUtility,
+    CoalitionUtility,
+    HFLRetrainUtility,
+    VFLRetrainUtility,
+)
+
+__all__ = [
+    "CallableUtility",
+    "CoalitionUtility",
+    "HFLRetrainUtility",
+    "VFLRetrainUtility",
+    "exact_banzhaf",
+    "exact_banzhaf_values",
+    "exact_shapley",
+    "exact_shapley_values",
+    "gt_shapley",
+    "gt_shapley_values",
+    "im_scores",
+    "kernel_shapley",
+    "kernel_shapley_values",
+    "mc_banzhaf",
+    "mc_banzhaf_values",
+    "mr_shapley",
+    "or_shapley",
+    "per_round_exact_shapley",
+    "stratified_shapley",
+    "stratified_shapley_values",
+    "tmc_shapley",
+    "tmc_shapley_values",
+]

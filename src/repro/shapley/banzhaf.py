@@ -1,0 +1,94 @@
+"""Banzhaf values — the other canonical power index, exact and sampled.
+
+The Banzhaf value replaces the Shapley value's size-dependent weighting
+with a uniform average over all coalitions not containing the player:
+
+    β_i = (1 / 2^{n-1}) Σ_{S ⊆ N∖{i}} [ V(S∪{i}) − V(S) ]
+
+It drops the efficiency axiom (Σβ ≠ V(N) in general) but is more robust to
+noisy utilities — the argument behind "Data Banzhaf" (Wang & Jia, 2023) —
+which makes it a natural companion metric for FL contribution scoring.
+DIG-FL's additive utility-change model makes the two coincide up to the
+common factor: under Lemma 3 every marginal is the same, so Shapley and
+Banzhaf agree exactly — a structural sanity check the tests exercise.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.core.contribution import ContributionReport
+from repro.shapley.utility import CoalitionUtility
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_positive_int
+
+
+def exact_banzhaf_values(utility: CoalitionUtility) -> np.ndarray:
+    """β by direct enumeration (2^n coalition evaluations, memoised)."""
+    n = utility.n_players
+    values = np.zeros(n)
+    for i in range(n):
+        others = [j for j in range(n) if j != i]
+        total = 0.0
+        count = 0
+        for size in range(n):
+            for subset in combinations(others, size):
+                s = frozenset(subset)
+                total += utility(s | {i}) - utility(s)
+                count += 1
+        values[i] = total / count
+    return values
+
+
+def mc_banzhaf_values(
+    utility: CoalitionUtility,
+    *,
+    n_samples: int = 100,
+    seed=None,
+) -> np.ndarray:
+    """Monte-Carlo β: coalitions drawn by independent fair coin flips.
+
+    Each sample costs two utility evaluations per player; unlike
+    permutation sampling there is no coupling across players, which is the
+    source of Banzhaf's noise robustness.
+    """
+    check_positive_int(n_samples, "n_samples")
+    rng = make_rng(seed)
+    n = utility.n_players
+    totals = np.zeros(n)
+    for _ in range(n_samples):
+        membership = rng.random(n) < 0.5
+        for i in range(n):
+            coalition = frozenset(
+                j for j in range(n) if j != i and membership[j]
+            )
+            totals[i] += utility(coalition | {i}) - utility(coalition)
+    return totals / n_samples
+
+
+def exact_banzhaf(utility: CoalitionUtility) -> ContributionReport:
+    """Exact Banzhaf values wrapped in a report."""
+    values = exact_banzhaf_values(utility)
+    return ContributionReport(
+        method="banzhaf",
+        participant_ids=list(range(utility.n_players)),
+        totals=values,
+        ledger=utility.ledger,
+        extra={"coalition_evaluations": utility.evaluations},
+    )
+
+
+def mc_banzhaf(
+    utility: CoalitionUtility, *, n_samples: int = 100, seed=None
+) -> ContributionReport:
+    """Monte-Carlo Banzhaf values wrapped in a report."""
+    values = mc_banzhaf_values(utility, n_samples=n_samples, seed=seed)
+    return ContributionReport(
+        method="banzhaf-mc",
+        participant_ids=list(range(utility.n_players)),
+        totals=values,
+        ledger=utility.ledger,
+        extra={"coalition_evaluations": utility.evaluations},
+    )

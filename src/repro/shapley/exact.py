@@ -1,0 +1,49 @@
+"""Exact Shapley values by full enumeration (Eq. 1).
+
+This is the ground truth the paper compares every estimator against: it
+retrains the model for all ``2^n`` coalitions — hence the ``8.9×10^5``
+seconds on MNIST the paper reports, versus DIG-FL's ``1.1×10^3``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+
+import numpy as np
+
+from repro.core.contribution import ContributionReport
+from repro.shapley.utility import CoalitionUtility
+
+
+def exact_shapley_values(utility: CoalitionUtility) -> np.ndarray:
+    """Eq. 1 by direct enumeration of all coalitions.
+
+    Equivalent formulation used here: for each player ``i`` and each subset
+    ``S ⊆ N∖{i}``, the marginal ``V(S∪{i}) − V(S)`` is weighted by
+    ``|S|!(n−|S|−1)!/n!``.  Utility memoisation means each of the ``2^n``
+    coalitions is trained exactly once.
+    """
+    n = utility.n_players
+    values = np.zeros(n)
+    players = list(range(n))
+    for i in players:
+        others = [j for j in players if j != i]
+        for size in range(n):
+            weight = 1.0 / (n * comb(n - 1, size))
+            for subset in combinations(others, size):
+                s = frozenset(subset)
+                values[i] += weight * (utility(s | {i}) - utility(s))
+    return values
+
+
+def exact_shapley(utility: CoalitionUtility, method: str = "exact") -> ContributionReport:
+    """Exact Shapley values wrapped in a :class:`ContributionReport`."""
+    values = exact_shapley_values(utility)
+    return ContributionReport(
+        method=method,
+        participant_ids=list(range(utility.n_players)),
+        totals=values,
+        ledger=utility.ledger,
+        extra={"coalition_evaluations": utility.evaluations},
+    )

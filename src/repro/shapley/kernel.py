@@ -1,0 +1,104 @@
+"""KernelSHAP-style weighted-least-squares Shapley estimation.
+
+The Shapley value is the solution of a weighted linear regression (Lundberg
+& Lee 2017; Charnes et al. 1988): fit an additive surrogate
+``V(S) ≈ v_0 + Σ_{i∈S} φ_i`` over coalitions drawn with the Shapley kernel
+weight
+
+    π(s) = (n − 1) / ( C(n, s) · s · (n − s) ),   0 < s < n,
+
+under the constraints ``v_0 = V(∅)`` and ``v_0 + Σφ = V(N)``.  Solved here
+in closed form via the constrained normal equations.
+
+Included as a third member of the sampling-baseline family: like TMC/GT it
+needs real coalition evaluations (retraining in FL), unlike DIG-FL.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+import numpy as np
+
+from repro.core.contribution import ContributionReport
+from repro.shapley.utility import CoalitionUtility
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_positive_int
+
+
+def _kernel_size_distribution(n: int) -> np.ndarray:
+    """Probability of each coalition size 1..n-1 under the Shapley kernel.
+
+    π(s)·C(n,s) ∝ (n−1)/(s(n−s)) — the C(n,s) cancels because we sample a
+    size first and a uniform subset of that size second.
+    """
+    sizes = np.arange(1, n)
+    raw = (n - 1) / (sizes * (n - sizes))
+    return raw / raw.sum()
+
+
+def kernel_shapley_values(
+    utility: CoalitionUtility,
+    *,
+    n_samples: int | None = None,
+    ridge: float = 1e-10,
+    seed=None,
+) -> np.ndarray:
+    """Weighted-least-squares Shapley estimates from sampled coalitions."""
+    n = utility.n_players
+    if n == 1:
+        return np.array([utility(frozenset({0})) - utility(frozenset())])
+    if n_samples is None:
+        n_samples = max(2 * n, 10 * n)
+    check_positive_int(n_samples, "n_samples")
+    rng = make_rng(seed)
+
+    size_probs = _kernel_size_distribution(n)
+    masks = np.zeros((n_samples, n))
+    values = np.zeros(n_samples)
+    for t in range(n_samples):
+        size = int(rng.choice(np.arange(1, n), p=size_probs))
+        members = rng.choice(n, size=size, replace=False)
+        masks[t, members] = 1.0
+        values[t] = utility(frozenset(int(m) for m in members))
+
+    v_empty = utility(frozenset())
+    v_full = utility(utility.grand_coalition)
+
+    # Solve min ||Z φ − (y − v_0)||²  s.t. 1ᵀφ = V(N) − V(∅)
+    # via elimination of the constraint: φ_n = c − Σ φ_{1..n-1}.
+    target = values - v_empty
+    constraint = v_full - v_empty
+    z_reduced = masks[:, :-1] - masks[:, [-1]]
+    y_reduced = target - masks[:, -1] * constraint
+    gram = z_reduced.T @ z_reduced + ridge * np.eye(n - 1)
+    phi_head = np.linalg.solve(gram, z_reduced.T @ y_reduced)
+    phi = np.empty(n)
+    phi[:-1] = phi_head
+    phi[-1] = constraint - phi_head.sum()
+    return phi
+
+
+def kernel_shapley(
+    utility: CoalitionUtility,
+    *,
+    n_samples: int | None = None,
+    seed=None,
+) -> ContributionReport:
+    """KernelSHAP estimator wrapped in a :class:`ContributionReport`."""
+    values = kernel_shapley_values(utility, n_samples=n_samples, seed=seed)
+    return ContributionReport(
+        method="kernel-shap",
+        participant_ids=list(range(utility.n_players)),
+        totals=values,
+        ledger=utility.ledger,
+        extra={"coalition_evaluations": utility.evaluations},
+    )
+
+
+def exact_kernel_weights(n: int) -> dict[int, float]:
+    """The exact Shapley kernel π(s) for each size (diagnostic helper)."""
+    return {
+        s: (n - 1) / (comb(n, s) * s * (n - s))
+        for s in range(1, n)
+    }

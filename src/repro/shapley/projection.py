@@ -1,0 +1,38 @@
+"""IM — influence measurement by gradient projection (Zhang et al., WWW 2021).
+
+Scores each HFL participant by projecting its local updates onto the
+direction the global model actually moved over the whole run:
+
+    φ_i = Σ_t ⟨δ_{t,i}, ĝ⟩,   ĝ = (θ_0 − θ_τ) / ‖θ_0 − θ_τ‖
+
+Requires only the training log — but, as the paper's Table IV shows, it is
+not a Shapley approximation (no efficiency/symmetry/null-player properties)
+and correlates poorly with the exact values; it is included as the weakest
+baseline of Fig. 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.contribution import ContributionReport, from_per_epoch
+from repro.hfl.log import TrainingLog
+from repro.metrics.cost import CostLedger
+
+
+def im_scores(log: TrainingLog, *, ledger: CostLedger | None = None) -> ContributionReport:
+    """Projection-based contribution scores from the training log."""
+    if log.n_epochs == 0:
+        raise ValueError("training log is empty")
+    ledger = ledger or CostLedger()
+    with ledger.computing():
+        direction = log.initial_theta - log.final_theta
+        norm = np.linalg.norm(direction)
+        if norm < 1e-300:
+            direction = np.zeros_like(direction)
+        else:
+            direction = direction / norm
+        per_epoch = np.stack(
+            [record.local_updates @ direction for record in log.records]
+        )
+    return from_per_epoch("im", log.participant_ids, per_epoch, ledger=ledger)

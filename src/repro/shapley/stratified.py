@@ -1,0 +1,119 @@
+"""Stratified-sampling Shapley estimation (part of Jia et al.'s repertoire).
+
+The Shapley value is an average of per-size strata:
+
+    φ_i = (1/n) Σ_{k=0}^{n-1}  E_{|S|=k, S ⊆ N∖{i}} [ V(S∪{i}) − V(S) ]
+
+Sampling each stratum separately removes the size-imbalance variance of
+plain permutation sampling.  Two allocation policies:
+
+* ``uniform`` — the same number of samples per stratum,
+* ``neyman`` — a pilot round estimates per-stratum variance, then the
+  remaining budget is allocated proportionally to the sample standard
+  deviation (Neyman allocation).
+
+Returns per-player standard errors alongside the estimates, which the
+paper's qualitative "still requires exponentially many evaluations"
+critique makes tangible: tight errors need budgets far beyond DIG-FL's
+zero-retraining cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.contribution import ContributionReport
+from repro.shapley.utility import CoalitionUtility
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_positive_int
+
+
+def _sample_marginal(
+    utility: CoalitionUtility, player: int, size: int, rng: np.random.Generator
+) -> float:
+    """One marginal of ``player`` joining a random size-``size`` coalition."""
+    others = [j for j in range(utility.n_players) if j != player]
+    members = rng.choice(len(others), size=size, replace=False) if size else []
+    coalition = frozenset(others[m] for m in members)
+    return utility(coalition | {player}) - utility(coalition)
+
+
+def stratified_shapley_values(
+    utility: CoalitionUtility,
+    *,
+    samples_per_stratum: int = 10,
+    allocation: str = "uniform",
+    pilot_samples: int = 3,
+    seed=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stratified estimates and their standard errors, shape (n,) each.
+
+    ``samples_per_stratum`` is the *average* per-stratum budget; Neyman
+    allocation redistributes the same total budget by pilot variance.
+    """
+    check_positive_int(samples_per_stratum, "samples_per_stratum")
+    if allocation not in ("uniform", "neyman"):
+        raise ValueError(
+            f"allocation must be 'uniform' or 'neyman', got {allocation!r}"
+        )
+    rng = make_rng(seed)
+    n = utility.n_players
+    estimates = np.zeros(n)
+    std_errors = np.zeros(n)
+
+    for player in range(n):
+        strata_samples: list[list[float]] = [[] for _ in range(n)]
+        if allocation == "neyman":
+            for k in range(n):
+                for _ in range(min(pilot_samples, samples_per_stratum)):
+                    strata_samples[k].append(
+                        _sample_marginal(utility, player, k, rng)
+                    )
+            sds = np.array(
+                [np.std(s) if len(s) > 1 else 1.0 for s in strata_samples]
+            )
+            total_budget = samples_per_stratum * n
+            remaining = max(0, total_budget - sum(len(s) for s in strata_samples))
+            weights = sds / sds.sum() if sds.sum() > 0 else np.full(n, 1.0 / n)
+            extra = np.floor(weights * remaining).astype(int)
+        else:
+            extra = np.full(n, samples_per_stratum, dtype=int)
+
+        for k in range(n):
+            for _ in range(int(extra[k])):
+                strata_samples[k].append(_sample_marginal(utility, player, k, rng))
+
+        stratum_means = np.array([np.mean(s) for s in strata_samples])
+        stratum_vars = np.array(
+            [np.var(s, ddof=1) / len(s) if len(s) > 1 else 0.0 for s in strata_samples]
+        )
+        estimates[player] = stratum_means.mean()
+        # Var of a mean of stratum means.
+        std_errors[player] = float(np.sqrt(stratum_vars.sum()) / n)
+    return estimates, std_errors
+
+
+def stratified_shapley(
+    utility: CoalitionUtility,
+    *,
+    samples_per_stratum: int = 10,
+    allocation: str = "uniform",
+    seed=None,
+) -> ContributionReport:
+    """Stratified estimator wrapped in a report (std errors in ``extra``)."""
+    values, std_errors = stratified_shapley_values(
+        utility,
+        samples_per_stratum=samples_per_stratum,
+        allocation=allocation,
+        seed=seed,
+    )
+    return ContributionReport(
+        method=f"stratified-{allocation}",
+        participant_ids=list(range(utility.n_players)),
+        totals=values,
+        ledger=utility.ledger,
+        extra={
+            "std_errors": std_errors.tolist(),
+            "coalition_evaluations": utility.evaluations,
+        },
+    )

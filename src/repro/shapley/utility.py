@@ -1,0 +1,147 @@
+"""Coalition utility functions backed by real model retraining.
+
+The utility of a coalition ``S`` is the paper's Eq. 2:
+
+    V(S) = loss^v(θ_0) − loss^v(θ_τ(S))
+
+where ``θ_τ(S)`` is the final model trained *by S alone* from the same
+initialisation.  Every retraining-based baseline (exact Shapley, TMC, GT)
+evaluates coalitions through the classes here, which memoise results —
+the exact Shapley value touches every subset twice, so caching halves the
+work honestly without hiding the exponential blow-up.
+
+Evaluation counts and wall-clock are recorded so the cost columns of
+Figs. 3–5 come out of the same run as the accuracy columns.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.hfl.trainer import HFLTrainer
+from repro.metrics.cost import FLOAT64_BYTES, CostLedger
+from repro.nn.models import Classifier
+from repro.vfl.trainer import VFLTrainer
+
+
+class CoalitionUtility:
+    """Base class: memoised ``V : 2^N → R`` with cost accounting."""
+
+    def __init__(self, n_players: int) -> None:
+        self.n_players = n_players
+        self._cache: dict[frozenset[int], float] = {}
+        self.evaluations = 0  # number of *uncached* coalition evaluations
+        self.ledger = CostLedger()
+
+    def __call__(self, coalition) -> float:
+        key = frozenset(coalition)
+        bad = [i for i in key if not 0 <= i < self.n_players]
+        if bad:
+            raise ValueError(f"unknown players {bad}")
+        if key not in self._cache:
+            self.evaluations += 1
+            if key:
+                with self.ledger.computing():
+                    self._cache[key] = self._evaluate(key)
+            else:
+                self._cache[key] = 0.0  # V(∅) = 0 by Eq. 2
+        return self._cache[key]
+
+    def _evaluate(self, coalition: frozenset[int]) -> float:  # pragma: no cover
+        raise NotImplementedError
+
+    @property
+    def grand_coalition(self) -> frozenset[int]:
+        return frozenset(range(self.n_players))
+
+
+class HFLRetrainUtility(CoalitionUtility):
+    """Retrains FedSGD with the coalition's participants (Eq. 2 for HFL).
+
+    All coalitions start from the same ``init_theta`` so utilities are
+    comparable; communication for each retraining is charged to the ledger
+    by the trainer itself.
+    """
+
+    def __init__(
+        self,
+        trainer: HFLTrainer,
+        locals_: Sequence[Dataset],
+        validation: Dataset,
+        *,
+        init_theta: np.ndarray | None = None,
+    ) -> None:
+        super().__init__(len(locals_))
+        self.trainer = trainer
+        self.locals_ = list(locals_)
+        self.validation = validation
+        self._probe = trainer.model_factory()
+        if init_theta is None:
+            init_theta = self._probe.get_flat()
+        self.init_theta = np.asarray(init_theta, dtype=np.float64)
+        self._probe.set_flat(self.init_theta)
+        self.base_loss = self._probe.loss(validation.X, validation.y).item()
+
+    def _evaluate(self, coalition: frozenset[int]) -> float:
+        result = self.trainer.train(
+            self.locals_,
+            self.validation,
+            participants=sorted(coalition),
+            init_theta=self.init_theta,
+            ledger=self.ledger,
+        )
+        final_loss = result.model.loss(self.validation.X, self.validation.y).item()
+        return self.base_loss - final_loss
+
+
+class VFLRetrainUtility(CoalitionUtility):
+    """Retrains the vertical model with the coalition's parties.
+
+    Removal semantics follow Sec. II-C2: θ_0 = 0 and excluded parties'
+    blocks never update, so the coalition's training is exactly the model
+    those parties would train alone.
+    """
+
+    def __init__(
+        self,
+        trainer: VFLTrainer,
+        train: Dataset,
+        validation: Dataset,
+    ) -> None:
+        super().__init__(trainer.n_parties)
+        self.trainer = trainer
+        self.train = train
+        self.validation = validation
+        zero = np.zeros(trainer.model.n_coefficients(train.X))
+        self.base_loss = trainer.model.loss(zero, validation.X, validation.y)
+
+    def _evaluate(self, coalition: frozenset[int]) -> float:
+        result = self.trainer.train(
+            self.train,
+            self.validation,
+            parties=sorted(coalition),
+            ledger=self.ledger,
+        )
+        final_loss = self.trainer.model.loss(
+            result.theta, self.validation.X, self.validation.y
+        )
+        return self.base_loss - final_loss
+
+
+class CallableUtility(CoalitionUtility):
+    """Wrap an arbitrary ``f(frozenset) -> float`` (used by tests/games)."""
+
+    def __init__(self, n_players: int, fn: Callable[[frozenset[int]], float]) -> None:
+        super().__init__(n_players)
+        self._fn = fn
+
+    def _evaluate(self, coalition: frozenset[int]) -> float:
+        return self._fn(coalition)
+
+
+def model_bytes(model: Classifier) -> int:
+    """Wire size of one flat model/update vector."""
+    return model.num_parameters() * FLOAT64_BYTES

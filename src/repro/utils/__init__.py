@@ -1,0 +1,27 @@
+"""Shared utilities: seeded RNG helpers, parameter vector packing, timers.
+
+These helpers are deliberately free of any FL- or Shapley-specific logic so
+that every other subpackage can depend on them without cycles.
+"""
+
+from repro.utils.packing import ParamSpec, flatten_params, unflatten_params
+from repro.utils.rng import SeedSequence, make_rng, spawn_rngs
+from repro.utils.timer import Stopwatch
+from repro.utils.validation import (
+    check_fraction,
+    check_positive_int,
+    check_probability_vector,
+)
+
+__all__ = [
+    "ParamSpec",
+    "SeedSequence",
+    "Stopwatch",
+    "check_fraction",
+    "check_positive_int",
+    "check_probability_vector",
+    "flatten_params",
+    "make_rng",
+    "spawn_rngs",
+    "unflatten_params",
+]

@@ -1,0 +1,71 @@
+"""Flattening model parameters to a single vector and back.
+
+DIG-FL treats the model as one parameter vector: local updates, global
+gradients and validation gradients are all elements of R^p.  Models in this
+library expose their parameters as lists of numpy arrays; these helpers pack
+them into a contiguous float64 vector and restore the original shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """Shapes and sizes of a parameter list, enough to invert flattening."""
+
+    shapes: tuple[tuple[int, ...], ...]
+    sizes: tuple[int, ...]
+
+    @property
+    def total_size(self) -> int:
+        return int(sum(self.sizes))
+
+    @classmethod
+    def of(cls, params: list[np.ndarray]) -> "ParamSpec":
+        shapes = tuple(tuple(p.shape) for p in params)
+        sizes = tuple(int(p.size) for p in params)
+        return cls(shapes=shapes, sizes=sizes)
+
+
+def flatten_params(params: list[np.ndarray]) -> tuple[np.ndarray, ParamSpec]:
+    """Concatenate a list of arrays into one float64 vector.
+
+    Returns the vector and a :class:`ParamSpec` that
+    :func:`unflatten_params` uses to restore shapes.  An empty list yields a
+    zero-length vector.
+    """
+    spec = ParamSpec.of(params)
+    if not params:
+        return np.zeros(0, dtype=np.float64), spec
+    flat = np.concatenate([np.asarray(p, dtype=np.float64).ravel() for p in params])
+    return flat, spec
+
+
+def unflatten_params(flat: np.ndarray, spec: ParamSpec) -> list[np.ndarray]:
+    """Inverse of :func:`flatten_params`."""
+    flat = np.asarray(flat, dtype=np.float64)
+    if flat.ndim != 1:
+        raise ValueError(f"expected 1-D vector, got shape {flat.shape}")
+    if flat.size != spec.total_size:
+        raise ValueError(
+            f"vector has {flat.size} elements but spec expects {spec.total_size}"
+        )
+    out: list[np.ndarray] = []
+    offset = 0
+    for shape, size in zip(spec.shapes, spec.sizes):
+        out.append(flat[offset : offset + size].reshape(shape).copy())
+        offset += size
+    return out
+
+
+def params_close(a: list[np.ndarray], b: list[np.ndarray], atol: float = 1e-10) -> bool:
+    """True when two parameter lists match shape-wise and element-wise."""
+    if len(a) != len(b):
+        return False
+    return all(
+        x.shape == y.shape and np.allclose(x, y, atol=atol) for x, y in zip(a, b)
+    )

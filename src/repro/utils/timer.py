@@ -1,0 +1,61 @@
+"""Wall-clock measurement used by the cost benchmarks.
+
+The paper reports computation cost as seconds of algorithm runtime.  The
+:class:`Stopwatch` accumulates time across several start/stop windows so the
+benchmarks can exclude setup (data generation) from the measured cost.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+
+class Stopwatch:
+    """Accumulating wall-clock timer.
+
+    Example::
+
+        sw = Stopwatch()
+        with sw.running():
+            expensive_call()
+        print(sw.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self._elapsed = 0.0
+        self._started_at: float | None = None
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds accumulated so far (includes a currently open window)."""
+        extra = 0.0
+        if self._started_at is not None:
+            extra = time.perf_counter() - self._started_at
+        return self._elapsed + extra
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        """Close the current window; returns total elapsed seconds."""
+        if self._started_at is None:
+            raise RuntimeError("stopwatch is not running")
+        self._elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self._elapsed
+
+    def reset(self) -> None:
+        self._elapsed = 0.0
+        self._started_at = None
+
+    @contextmanager
+    def running(self):
+        """Context manager measuring the enclosed block."""
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()

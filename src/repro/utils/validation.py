@@ -1,0 +1,69 @@
+"""Argument validation helpers.
+
+Small, explicit checks raising ``ValueError`` with actionable messages.  The
+library is driven by benchmark sweeps, so a bad parameter should fail loudly
+at the call site rather than corrupt a long-running experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an integer >= 1 and return it."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return int(value)
+
+
+def check_non_negative_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an integer >= 0 and return it."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return int(value)
+
+
+def check_fraction(value: float, name: str, *, inclusive: bool = True) -> float:
+    """Validate that ``value`` lies in [0, 1] (or (0, 1) when not inclusive)."""
+    value = float(value)
+    if inclusive:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {value}")
+    else:
+        if not 0.0 < value < 1.0:
+            raise ValueError(f"{name} must be in (0, 1), got {value}")
+    return value
+
+
+def check_positive_float(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite float > 0 and return it."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise ValueError(f"{name} must be a finite positive number, got {value}")
+    return value
+
+
+def check_probability_vector(vec: np.ndarray, name: str, atol: float = 1e-8) -> np.ndarray:
+    """Validate a non-negative vector summing to one and return it as float64."""
+    vec = np.asarray(vec, dtype=np.float64)
+    if vec.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {vec.shape}")
+    if np.any(vec < -atol):
+        raise ValueError(f"{name} must be non-negative")
+    total = float(vec.sum())
+    if abs(total - 1.0) > atol:
+        raise ValueError(f"{name} must sum to 1, sums to {total}")
+    return vec
+
+
+def check_matching_lengths(name_a: str, a, name_b: str, b) -> None:
+    """Raise when two sized collections differ in length."""
+    if len(a) != len(b):
+        raise ValueError(
+            f"{name_a} and {name_b} must have equal length: {len(a)} != {len(b)}"
+        )

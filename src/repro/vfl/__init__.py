@@ -1,0 +1,24 @@
+"""Vertical federated learning: plaintext simulator + encrypted protocol."""
+
+from repro.vfl.encrypted import (
+    EncryptedParty,
+    EncryptedVFLResult,
+    EncryptedVFLSession,
+    TrustedThirdParty,
+    build_encrypted_session,
+)
+from repro.vfl.log import VFLEpochRecord, VFLTrainingLog
+from repro.vfl.trainer import VFLResult, VFLReweighter, VFLTrainer
+
+__all__ = [
+    "EncryptedParty",
+    "EncryptedVFLResult",
+    "EncryptedVFLSession",
+    "TrustedThirdParty",
+    "VFLEpochRecord",
+    "VFLResult",
+    "VFLReweighter",
+    "VFLTrainer",
+    "VFLTrainingLog",
+    "build_encrypted_session",
+]

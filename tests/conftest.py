@@ -1,0 +1,87 @@
+"""Shared fixtures: small federations and trained logs reused across tests.
+
+Session-scoped fixtures cache the expensive artifacts (trained FedSGD logs,
+exact Shapley values) so the suite exercises realistic end-to-end state
+without retraining in every test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.data import (
+    boston_like,
+    build_hfl_federation,
+    build_vfl_federation,
+    mnist_like,
+)
+from repro.hfl import HFLTrainer
+from repro.nn import LRSchedule, make_mlp_classifier
+from repro.vfl import VFLTrainer
+
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+# --- HFL world --------------------------------------------------------------
+
+
+def small_model_factory():
+    """Tiny MNIST-like classifier shared by the HFL fixtures."""
+    return make_mlp_classifier(100, 10, hidden=(16,), seed=0)
+
+
+@pytest.fixture(scope="session")
+def hfl_federation():
+    """5 participants over MNIST-like data: 1 mislabeled, 1 non-IID."""
+    dataset = mnist_like(1000, seed=0)
+    return build_hfl_federation(
+        dataset, 5, n_mislabeled=1, n_noniid=1, mislabel_fraction=0.5, seed=7
+    )
+
+
+@pytest.fixture(scope="session")
+def hfl_trainer():
+    return HFLTrainer(small_model_factory, epochs=8, lr_schedule=LRSchedule(0.5))
+
+
+@pytest.fixture(scope="session")
+def hfl_result(hfl_federation, hfl_trainer):
+    """One full FedSGD run with validation tracking."""
+    return hfl_trainer.train(
+        hfl_federation.locals, hfl_federation.validation, track_validation=True
+    )
+
+
+# --- VFL world --------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def vfl_split():
+    """Boston-like regression split vertically across 5 parties."""
+    dataset = boston_like(seed=0).standardized()
+    return build_vfl_federation(dataset, 5, max_rows=200, seed=3)
+
+
+@pytest.fixture(scope="session")
+def vfl_trainer(vfl_split):
+    return VFLTrainer(
+        "regression", vfl_split.feature_blocks, epochs=25, lr_schedule=LRSchedule(0.1)
+    )
+
+
+@pytest.fixture(scope="session")
+def vfl_result(vfl_split, vfl_trainer):
+    return vfl_trainer.train(vfl_split.train, vfl_split.validation, track_losses=True)

@@ -1,0 +1,79 @@
+"""End-to-end auditor workflow: scenario → persist → reload → replay → render.
+
+The product story in one test module: an operator runs a scenario, archives
+the training log, and an independent auditor later reloads the artefacts,
+reproduces the contribution estimates bit-for-bit and renders a report —
+without retraining and without touching any participant's data.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import estimate_hfl_resource_saving, proportional_payments
+from repro.io import load_report, load_training_log, save_report, save_training_log
+from repro.render import contribution_bars, report_markdown
+from repro.scenario import HFLScenario
+
+
+@pytest.fixture(scope="module")
+def operator_run(tmp_path_factory):
+    """The operator's side: run, audit, archive."""
+    workdir = tmp_path_factory.mktemp("audit")
+    scenario = HFLScenario(
+        dataset="mnist", n_parties=5, n_mislabeled=1, n_noniid=1,
+        epochs=8, seed=99,
+    )
+    result = scenario.run()
+    log_path = workdir / "training_log.npz"
+    report_path = workdir / "contributions.json"
+    save_training_log(result.training.log, log_path)
+    save_report(result.digfl, report_path)
+    return scenario, result, log_path, report_path
+
+
+class TestAuditorReplay:
+    def test_reloaded_log_reproduces_estimates(self, operator_run):
+        scenario, result, log_path, _ = operator_run
+        log = load_training_log(log_path)
+        # The auditor replays the estimator on the archived log against the
+        # server-held validation set — no retraining, no local data.
+        report = estimate_hfl_resource_saving(
+            log, result.federation.validation, scenario.model_factory
+        )
+        np.testing.assert_allclose(report.totals, result.digfl.totals, atol=1e-12)
+
+    def test_saved_report_matches(self, operator_run):
+        _, result, _, report_path = operator_run
+        loaded = load_report(report_path)
+        np.testing.assert_allclose(loaded.totals, result.digfl.totals)
+        assert loaded.method == "digfl-resource-saving"
+
+    def test_report_json_is_plain(self, operator_run):
+        _, _, _, report_path = operator_run
+        payload = json.loads(report_path.read_text())
+        assert payload["format"] == "repro.contribution_report.v1"
+        assert len(payload["totals"]) == 5
+
+    def test_rendered_outputs(self, operator_run):
+        _, result, _, report_path = operator_run
+        loaded = load_report(report_path)
+        bars = contribution_bars(loaded, qualities=result.qualities)
+        markdown = report_markdown(loaded, qualities=result.qualities)
+        assert bars.count("\n") == 4
+        assert "| participant | quality | contribution | share |" in markdown
+
+    def test_payments_from_reloaded_report(self, operator_run):
+        _, result, _, report_path = operator_run
+        loaded = load_report(report_path)
+        payments = proportional_payments(loaded, 10_000.0)
+        assert sum(payments.values()) == pytest.approx(10_000.0)
+        # The corrupted participants are paid less than the clean mean.
+        clean_ids = [
+            pid for pid, q in zip(loaded.participant_ids, result.qualities)
+            if q == "clean"
+        ]
+        bad_ids = [p for p in loaded.participant_ids if p not in clean_ids]
+        clean_mean = np.mean([payments[p] for p in clean_ids])
+        assert all(payments[p] < clean_mean for p in bad_ids)

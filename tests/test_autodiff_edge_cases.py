@@ -1,0 +1,145 @@
+"""Edge cases for the autodiff engine beyond the basic gradchecks."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    Tensor,
+    amax,
+    as_tensor,
+    concatenate,
+    enable_grad,
+    grad,
+    hvp,
+    is_grad_enabled,
+    mul,
+    no_grad,
+    take,
+    tsum,
+)
+
+
+class TestGradModeNesting:
+    def test_nested_contexts_restore(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with enable_grad():
+                assert is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_exception_restores_mode(self):
+        try:
+            with no_grad():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert is_grad_enabled()
+
+    def test_graph_built_inside_enable_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            with enable_grad():
+                y = x * 2.0
+        assert y.requires_grad
+
+    def test_hvp_works_inside_no_grad(self):
+        """hvp must force grad mode internally (re-entrancy guard)."""
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        with no_grad():
+            (hv,) = hvp(lambda ps: tsum(ps[0] * ps[0] * ps[0]), [x], [Tensor([1.0])])
+        np.testing.assert_allclose(hv.data, [12.0])
+
+
+class TestIndexingEdgeCases:
+    def test_boolean_mask_take(self):
+        x = Tensor(np.array([1.0, 2.0, 3.0, 4.0]), requires_grad=True)
+        mask = np.array([True, False, True, False])
+        (g,) = grad(tsum(take(x, mask) * 2.0), [x])
+        np.testing.assert_allclose(g.data, [2.0, 0.0, 2.0, 0.0])
+
+    def test_take_single_scalar_index(self):
+        x = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        y = take(x, 1)
+        assert y.shape == ()
+        (g,) = grad(y, [x])
+        np.testing.assert_allclose(g.data, [0.0, 1.0, 0.0])
+
+    def test_negative_indices(self):
+        x = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        (g,) = grad(take(x, -1) * 5.0, [x])
+        np.testing.assert_allclose(g.data, [0.0, 0.0, 5.0])
+
+    def test_repeated_indices_accumulate(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        idx = np.array([0, 0, 0, 1])
+        (g,) = grad(tsum(take(x, idx)), [x])
+        np.testing.assert_allclose(g.data, [3.0, 1.0])
+
+
+class TestConcatenate:
+    def test_three_tensors(self):
+        parts = [Tensor(np.full(2, float(i)), requires_grad=True) for i in range(3)]
+        out = concatenate(parts)
+        np.testing.assert_allclose(out.data, [0, 0, 1, 1, 2, 2])
+        grads = grad(tsum(mul(out, out)), parts)
+        for i, g in enumerate(grads):
+            np.testing.assert_allclose(g.data, 2.0 * i)
+
+    def test_mixed_requires_grad(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        b = Tensor(np.ones(2))  # constant
+        out = concatenate([a, b])
+        (ga,) = grad(tsum(out), [a])
+        np.testing.assert_allclose(ga.data, 1.0)
+
+
+class TestAmaxEdgeCases:
+    def test_negative_axis(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3))
+        np.testing.assert_allclose(amax(x, axis=-1).data, [2.0, 5.0])
+
+    def test_all_equal_gradient_splits(self):
+        x = Tensor(np.ones((1, 4)), requires_grad=True)
+        (g,) = grad(tsum(amax(x, axis=1)), [x])
+        np.testing.assert_allclose(g.data, [[0.25, 0.25, 0.25, 0.25]])
+
+
+class TestAsTensorAndScalars:
+    def test_as_tensor_passthrough(self):
+        t = Tensor(np.ones(2))
+        assert as_tensor(t) is t
+
+    def test_python_scalar(self):
+        t = as_tensor(3.5)
+        assert t.shape == ()
+        assert t.item() == 3.5
+
+    def test_scalar_arithmetic_chain(self):
+        x = Tensor(np.array(2.0), requires_grad=True)
+        y = ((x + 1.0) * 3.0 - 1.0) / 2.0  # (3*3-1)/2 = 4
+        assert y.item() == pytest.approx(4.0)
+        (g,) = grad(y, [x])
+        np.testing.assert_allclose(g.data, 1.5)
+
+    def test_len_of_vector(self):
+        assert len(Tensor(np.zeros(7))) == 7
+
+
+class TestGradReuseOfGraph:
+    def test_two_grad_calls_same_graph(self):
+        """Calling grad twice on the same output must give the same result
+        (the graph is not consumed)."""
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        y = tsum(x * x)
+        (g1,) = grad(y, [x])
+        (g2,) = grad(y, [x])
+        np.testing.assert_allclose(g1.data, g2.data)
+
+    def test_grad_wrt_subset_of_leaves(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        b = Tensor(np.array([2.0]), requires_grad=True)
+        y = tsum(a * b)
+        (ga,) = grad(y, [a])
+        np.testing.assert_allclose(ga.data, [2.0])

@@ -1,0 +1,154 @@
+"""Tests for composite losses against closed-form references."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    Tensor,
+    accuracy,
+    binary_cross_entropy_with_logits,
+    cross_entropy_with_logits,
+    grad,
+    l2_penalty,
+    log_softmax,
+    logsumexp,
+    mse_loss,
+    softmax,
+    softplus,
+    tsum,
+)
+
+RNG = np.random.default_rng(7)
+
+
+class TestSoftplus:
+    def test_matches_reference(self):
+        z = RNG.normal(size=10) * 3
+        out = softplus(Tensor(z))
+        np.testing.assert_allclose(out.data, np.logaddexp(0.0, z), atol=1e-12)
+
+    def test_large_values_stable(self):
+        out = softplus(Tensor(np.array([-1000.0, 1000.0])))
+        np.testing.assert_allclose(out.data, [0.0, 1000.0], atol=1e-9)
+
+    def test_gradient_is_sigmoid(self):
+        z = Tensor(RNG.normal(size=6), requires_grad=True)
+        (g,) = grad(tsum(softplus(z)), [z])
+        np.testing.assert_allclose(g.data, 1 / (1 + np.exp(-z.data)), atol=1e-10)
+
+
+class TestLogsumexp:
+    def test_matches_scipy_style_reference(self):
+        z = RNG.normal(size=(4, 5)) * 5
+        out = logsumexp(Tensor(z), axis=1)
+        ref = np.log(np.sum(np.exp(z - z.max(axis=1, keepdims=True)), axis=1))
+        ref += z.max(axis=1)
+        np.testing.assert_allclose(out.data, ref, atol=1e-12)
+
+    def test_keepdims(self):
+        z = Tensor(RNG.normal(size=(3, 4)))
+        assert logsumexp(z, axis=1, keepdims=True).shape == (3, 1)
+
+    def test_huge_logits_no_overflow(self):
+        z = Tensor(np.array([[1000.0, 999.0]]))
+        out = logsumexp(z, axis=1)
+        assert np.isfinite(out.data).all()
+
+    def test_gradient_is_softmax(self):
+        z = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        (g,) = grad(tsum(logsumexp(z, axis=1)), [z])
+        ez = np.exp(z.data - z.data.max(axis=1, keepdims=True))
+        np.testing.assert_allclose(g.data, ez / ez.sum(axis=1, keepdims=True), atol=1e-10)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        out = softmax(Tensor(RNG.normal(size=(5, 7))), axis=1)
+        np.testing.assert_allclose(out.data.sum(axis=1), np.ones(5), atol=1e-12)
+
+    def test_log_softmax_consistency(self):
+        z = Tensor(RNG.normal(size=(3, 4)))
+        np.testing.assert_allclose(
+            np.exp(log_softmax(z, axis=1).data), softmax(z, axis=1).data, atol=1e-12
+        )
+
+
+class TestMSE:
+    def test_value(self):
+        pred = Tensor(np.array([1.0, 2.0, 3.0]))
+        target = np.array([1.0, 1.0, 1.0])
+        assert mse_loss(pred, target).item() == pytest.approx((0 + 1 + 4) / 3)
+
+    def test_gradient(self):
+        pred = Tensor(RNG.normal(size=4), requires_grad=True)
+        target = RNG.normal(size=4)
+        (g,) = grad(mse_loss(pred, target), [pred])
+        np.testing.assert_allclose(g.data, 2 * (pred.data - target) / 4, atol=1e-12)
+
+
+class TestBCE:
+    def test_matches_reference(self):
+        z = RNG.normal(size=20)
+        y = (RNG.random(20) > 0.5).astype(float)
+        out = binary_cross_entropy_with_logits(Tensor(z), y).item()
+        p = 1 / (1 + np.exp(-z))
+        ref = -np.mean(y * np.log(p) + (1 - y) * np.log(1 - p))
+        assert out == pytest.approx(ref, abs=1e-10)
+
+    def test_extreme_logits_finite(self):
+        z = Tensor(np.array([-2000.0, 2000.0]))
+        y = np.array([0.0, 1.0])
+        assert np.isfinite(binary_cross_entropy_with_logits(z, y).item())
+
+
+class TestCrossEntropy:
+    def test_matches_reference(self):
+        logits = RNG.normal(size=(6, 4)) * 3
+        labels = RNG.integers(0, 4, size=6)
+        out = cross_entropy_with_logits(Tensor(logits), labels).item()
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        logp = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        ref = -np.mean(logp[np.arange(6), labels])
+        assert out == pytest.approx(ref, abs=1e-10)
+
+    def test_gradient_is_softmax_minus_onehot(self):
+        logits = Tensor(RNG.normal(size=(5, 3)), requires_grad=True)
+        labels = RNG.integers(0, 3, size=5)
+        (g,) = grad(cross_entropy_with_logits(logits, labels), [logits])
+        ez = np.exp(logits.data - logits.data.max(axis=1, keepdims=True))
+        sm = ez / ez.sum(axis=1, keepdims=True)
+        onehot = np.zeros((5, 3))
+        onehot[np.arange(5), labels] = 1.0
+        np.testing.assert_allclose(g.data, (sm - onehot) / 5, atol=1e-10)
+
+    def test_1d_logits_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            cross_entropy_with_logits(Tensor(np.zeros(3)), np.array([0, 1, 2]))
+
+    def test_label_length_mismatch(self):
+        with pytest.raises(ValueError, match="incompatible"):
+            cross_entropy_with_logits(Tensor(np.zeros((3, 2))), np.array([0, 1]))
+
+
+class TestL2Penalty:
+    def test_value(self):
+        params = [Tensor(np.array([1.0, 2.0])), Tensor(np.array([[3.0]]))]
+        assert l2_penalty(params).item() == pytest.approx(14.0)
+
+    def test_empty(self):
+        assert l2_penalty([]).item() == 0.0
+
+
+class TestAccuracy:
+    def test_multiclass(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [2.0, 1.0]])
+        labels = np.array([0, 1, 1])
+        assert accuracy(logits, labels) == pytest.approx(2 / 3)
+
+    def test_binary_logits(self):
+        logits = np.array([1.5, -0.5, 3.0])
+        labels = np.array([1, 0, 1])
+        assert accuracy(logits, labels) == 1.0
+
+    def test_accepts_tensor(self):
+        assert accuracy(Tensor(np.array([[5.0, 0.0]])), np.array([0])) == 1.0

@@ -1,0 +1,208 @@
+"""Tests for the functional grad API, double-backward and HVPs."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    Tensor,
+    backward,
+    grad,
+    hvp,
+    mul,
+    tsum,
+    value_and_grad,
+)
+
+
+class TestGradAPI:
+    def test_scalar_output(self):
+        x = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        (g,) = grad(tsum(mul(x, x)), [x])
+        np.testing.assert_allclose(g.data, 2 * x.data)
+
+    def test_nonscalar_output_defaults_to_ones_seed(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        (g,) = grad(mul(x, x), [x])
+        np.testing.assert_allclose(g.data, 2 * x.data)
+
+    def test_explicit_grad_output(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        seed = Tensor(np.array([10.0, 0.1]))
+        (g,) = grad(mul(x, x), [x], grad_output=seed)
+        np.testing.assert_allclose(g.data, 2 * x.data * seed.data)
+
+    def test_grad_output_shape_mismatch(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError, match="grad_output shape"):
+            grad(mul(x, x), [x], grad_output=Tensor(np.ones(2)))
+
+    def test_unreachable_input_raises(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        y = Tensor(np.ones(2), requires_grad=True)
+        with pytest.raises(ValueError, match="not reachable"):
+            grad(tsum(x), [y])
+
+    def test_allow_unused_gives_zeros(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        y = Tensor(np.ones(3), requires_grad=True)
+        _, gy = grad(tsum(x), [x, y], allow_unused=True)
+        np.testing.assert_allclose(gy.data, np.zeros(3))
+
+    def test_non_grad_output_raises(self):
+        x = Tensor(np.ones(2))
+        with pytest.raises(ValueError, match="does not require grad"):
+            grad(tsum(x), [x])
+
+    def test_non_tensor_output_raises(self):
+        with pytest.raises(TypeError):
+            grad(np.ones(3), [Tensor(np.ones(3), requires_grad=True)])
+
+    def test_fanout_accumulates(self):
+        """A tensor consumed twice receives the sum of both adjoints."""
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        y = x * 2.0
+        z = y + y  # y used twice
+        (g,) = grad(tsum(z), [x])
+        np.testing.assert_allclose(g.data, [4.0])
+
+    def test_diamond_graph(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        a = x * 3.0
+        b = x * 5.0
+        (g,) = grad(tsum(a + b), [x])
+        np.testing.assert_allclose(g.data, [8.0])
+
+    def test_grad_of_intermediate(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * 3.0
+        z = y * y
+        (gy,) = grad(tsum(z), [y])
+        np.testing.assert_allclose(gy.data, [12.0])
+
+    def test_deep_chain_iterative_toposort(self):
+        """1000-op chain must not hit Python's recursion limit."""
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(1000):
+            y = y + 0.001
+        (g,) = grad(tsum(y), [x])
+        np.testing.assert_allclose(g.data, [1.0])
+
+
+class TestBackward:
+    def test_populates_leaf_grads(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        backward(tsum(mul(x, x)))
+        np.testing.assert_allclose(x.grad.data, 2 * x.data)
+
+    def test_accumulates_across_calls(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        backward(tsum(x * 2.0))
+        backward(tsum(x * 3.0))
+        np.testing.assert_allclose(x.grad.data, [5.0])
+
+
+class TestValueAndGrad:
+    def test_returns_both(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        value, (g,) = value_and_grad(lambda ps: tsum(mul(ps[0], ps[0])), [x])
+        assert value == pytest.approx(9.0)
+        np.testing.assert_allclose(g.data, [6.0])
+
+
+class TestDoubleBackward:
+    def test_grad_of_grad_scalar(self):
+        """d²/dx² of x³ is 6x."""
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * x * x
+        (g1,) = grad(tsum(y), [x], create_graph=True)
+        (g2,) = grad(tsum(g1), [x])
+        np.testing.assert_allclose(g2.data, [12.0])
+
+    def test_third_derivative(self):
+        """d³/dx³ of x³ is 6."""
+        x = Tensor(np.array([5.0]), requires_grad=True)
+        y = x * x * x
+        (g1,) = grad(tsum(y), [x], create_graph=True)
+        (g2,) = grad(tsum(g1), [x], create_graph=True)
+        (g3,) = grad(tsum(g2), [x])
+        np.testing.assert_allclose(g3.data, [6.0])
+
+    def test_without_create_graph_grads_are_leaves(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        (g,) = grad(tsum(x * x), [x])
+        assert not g.requires_grad
+
+
+class TestHVP:
+    def _quadratic(self, A):
+        """f(x) = 0.5 xᵀAx has Hessian exactly A."""
+
+        def loss_fn(params):
+            (x,) = params
+            Ax = Tensor(A) @ x
+            return tsum(mul(x, Ax)) * 0.5
+
+        return loss_fn
+
+    def test_quadratic_hessian(self):
+        rng = np.random.default_rng(0)
+        M = rng.normal(size=(4, 4))
+        A = M + M.T  # symmetric
+        x = Tensor(rng.normal(size=4), requires_grad=True)
+        v = Tensor(rng.normal(size=4))
+        (hv,) = hvp(self._quadratic(A), [x], [v])
+        np.testing.assert_allclose(hv.data, A @ v.data, atol=1e-10)
+
+    def test_hvp_linear_in_v(self):
+        rng = np.random.default_rng(1)
+        M = rng.normal(size=(3, 3))
+        A = M + M.T
+        x = Tensor(rng.normal(size=3), requires_grad=True)
+        v1 = rng.normal(size=3)
+        v2 = rng.normal(size=3)
+        (h1,) = hvp(self._quadratic(A), [x], [Tensor(v1)])
+        (h2,) = hvp(self._quadratic(A), [x], [Tensor(v2)])
+        (h12,) = hvp(self._quadratic(A), [x], [Tensor(v1 + v2)])
+        np.testing.assert_allclose(h12.data, h1.data + h2.data, atol=1e-10)
+
+    def test_hvp_matches_finite_difference_on_nonquadratic(self):
+        rng = np.random.default_rng(2)
+        W = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        X = Tensor(rng.normal(size=(6, 3)))
+
+        def loss_fn(params):
+            from repro.autodiff import tanh
+
+            (w,) = params
+            return tsum(mul(tanh(X @ w), tanh(X @ w)))
+
+        v = rng.normal(size=(3, 2))
+        (hv,) = hvp(loss_fn, [W], [Tensor(v)])
+
+        eps = 1e-6
+        Wp = Tensor(W.data + eps * v, requires_grad=True)
+        Wm = Tensor(W.data - eps * v, requires_grad=True)
+        gp = grad(loss_fn([Wp]), [Wp])[0].data
+        gm = grad(loss_fn([Wm]), [Wm])[0].data
+        np.testing.assert_allclose(hv.data, (gp - gm) / (2 * eps), atol=1e-5)
+
+    def test_multi_param_hvp(self):
+        rng = np.random.default_rng(3)
+        a = Tensor(rng.normal(size=2), requires_grad=True)
+        b = Tensor(rng.normal(size=2), requires_grad=True)
+
+        def loss_fn(params):
+            pa, pb = params
+            return tsum(mul(pa, pa)) * 0.5 + tsum(mul(pa, pb)) + tsum(mul(pb, pb))
+
+        va, vb = rng.normal(size=2), rng.normal(size=2)
+        ha, hb = hvp(loss_fn, [a, b], [Tensor(va), Tensor(vb)])
+        # H = [[I, I], [I, 2I]]
+        np.testing.assert_allclose(ha.data, va + vb, atol=1e-10)
+        np.testing.assert_allclose(hb.data, va + 2 * vb, atol=1e-10)
+
+    def test_length_mismatch(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        with pytest.raises(ValueError, match="equal length"):
+            hvp(lambda ps: tsum(ps[0]), [x], [])

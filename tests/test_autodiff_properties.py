@@ -1,0 +1,153 @@
+"""Property-based tests of autodiff algebraic identities (hypothesis)."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.autodiff import (
+    Tensor,
+    exp,
+    grad,
+    hvp,
+    log,
+    matmul,
+    mul,
+    sigmoid,
+    softplus,
+    tanh,
+    tsum,
+)
+
+small_floats = st.floats(-3.0, 3.0, allow_nan=False, allow_infinity=False)
+
+
+def vec(seed, size, offset=0.0):
+    return np.random.default_rng(seed).normal(size=size) + offset
+
+
+class TestLinearity:
+    @given(seed=st.integers(0, 10_000), a=small_floats, b=small_floats)
+    def test_grad_is_linear_in_output_combination(self, seed, a, b):
+        """∇(a·f + b·g) = a·∇f + b·∇g."""
+        x = Tensor(vec(seed, 5), requires_grad=True)
+        f = tsum(mul(x, x))
+        g = tsum(exp(x * 0.3))
+        (grad_f,) = grad(f, [x])
+        (grad_g,) = grad(g, [x])
+        combined = a * f + b * g
+        if not combined.requires_grad:  # a == b == 0 degenerate graph still ok
+            return
+        (grad_combined,) = grad(combined, [x])
+        np.testing.assert_allclose(
+            grad_combined.data, a * grad_f.data + b * grad_g.data, atol=1e-10
+        )
+
+    @given(seed=st.integers(0, 10_000))
+    def test_sum_rule(self, seed):
+        """∇Σ(f+g) = ∇Σf + ∇Σg."""
+        x = Tensor(vec(seed, 4), requires_grad=True)
+        (g1,) = grad(tsum(tanh(x)) + tsum(mul(x, x)), [x])
+        (g2a,) = grad(tsum(tanh(x)), [x])
+        (g2b,) = grad(tsum(mul(x, x)), [x])
+        np.testing.assert_allclose(g1.data, g2a.data + g2b.data, atol=1e-10)
+
+
+class TestChainAndProductRules:
+    @given(seed=st.integers(0, 10_000))
+    def test_product_rule(self, seed):
+        """d(f·g) = f'·g + f·g' pointwise for elementwise factors."""
+        x = Tensor(vec(seed, 6), requires_grad=True)
+        f = tanh(x)
+        g = sigmoid(x)
+        (grad_prod,) = grad(tsum(mul(f, g)), [x])
+        expected = (1 - np.tanh(x.data) ** 2) * (
+            1 / (1 + np.exp(-x.data))
+        ) + np.tanh(x.data) * (
+            np.exp(-x.data) / (1 + np.exp(-x.data)) ** 2
+        )
+        np.testing.assert_allclose(grad_prod.data, expected, atol=1e-10)
+
+    @given(seed=st.integers(0, 10_000))
+    def test_log_exp_inverse(self, seed):
+        """∇ Σ log(exp(x)) = 1."""
+        x = Tensor(vec(seed, 5), requires_grad=True)
+        (g,) = grad(tsum(log(exp(x))), [x])
+        np.testing.assert_allclose(g.data, 1.0, atol=1e-10)
+
+    @given(seed=st.integers(0, 10_000))
+    def test_softplus_derivative_is_sigmoid(self, seed):
+        x = Tensor(vec(seed, 7), requires_grad=True)
+        (g,) = grad(tsum(softplus(x)), [x])
+        np.testing.assert_allclose(g.data, 1 / (1 + np.exp(-x.data)), atol=1e-10)
+
+
+class TestMatmulIdentities:
+    @given(seed=st.integers(0, 10_000))
+    def test_trace_like_gradient(self, seed):
+        """∇_A Σ(A@B) = 1·Bᵀ (outer of ones with row sums)."""
+        rng = np.random.default_rng(seed)
+        A = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        B = Tensor(rng.normal(size=(4, 2)))
+        (g,) = grad(tsum(matmul(A, B)), [A])
+        expected = np.ones((3, 2)) @ B.data.T
+        np.testing.assert_allclose(g.data, expected, atol=1e-10)
+
+    @given(seed=st.integers(0, 10_000))
+    def test_quadratic_form_gradient(self, seed):
+        """∇_x xᵀAx = (A + Aᵀ)x."""
+        rng = np.random.default_rng(seed)
+        A = rng.normal(size=(4, 4))
+        x = Tensor(rng.normal(size=4), requires_grad=True)
+        (g,) = grad(matmul(x, matmul(Tensor(A), x)), [x])
+        np.testing.assert_allclose(g.data, (A + A.T) @ x.data, atol=1e-9)
+
+
+class TestHessianProperties:
+    @given(seed=st.integers(0, 10_000))
+    def test_hessian_symmetry_via_hvp(self, seed):
+        """⟨u, H v⟩ = ⟨v, H u⟩ for a smooth nonquadratic loss."""
+        rng = np.random.default_rng(seed)
+        W = Tensor(rng.normal(size=6), requires_grad=True)
+        X = Tensor(rng.normal(size=(8, 6)))
+
+        def loss_fn(params):
+            (w,) = params
+            return tsum(softplus(matmul(X, w)))
+
+        u = rng.normal(size=6)
+        v = rng.normal(size=6)
+        (hv,) = hvp(loss_fn, [W], [Tensor(v)])
+        (hu,) = hvp(loss_fn, [W], [Tensor(u)])
+        np.testing.assert_allclose(
+            np.dot(u, hv.data), np.dot(v, hu.data), atol=1e-8
+        )
+
+    @given(seed=st.integers(0, 10_000), scale=st.floats(0.1, 3.0))
+    def test_hvp_homogeneous_in_v(self, seed, scale):
+        """H(c·v) = c·H(v)."""
+        rng = np.random.default_rng(seed)
+        W = Tensor(rng.normal(size=5), requires_grad=True)
+        X = Tensor(rng.normal(size=(7, 5)))
+
+        def loss_fn(params):
+            (w,) = params
+            return tsum(tanh(matmul(X, w)) ** 2.0)
+
+        v = rng.normal(size=5)
+        (hv,) = hvp(loss_fn, [W], [Tensor(v)])
+        (hcv,) = hvp(loss_fn, [W], [Tensor(scale * v)])
+        np.testing.assert_allclose(hcv.data, scale * hv.data, atol=1e-8)
+
+
+class TestNumericalStability:
+    @given(value=st.floats(-745.0, 709.0, allow_nan=False))
+    def test_sigmoid_always_finite_and_bounded(self, value):
+        out = sigmoid(Tensor(np.array([value])))
+        assert np.isfinite(out.data).all()
+        assert 0.0 <= out.data[0] <= 1.0
+
+    @given(value=st.floats(-1e6, 1e6, allow_nan=False))
+    def test_softplus_always_finite_nonnegative(self, value):
+        out = softplus(Tensor(np.array([value])))
+        assert np.isfinite(out.data).all()
+        assert out.data[0] >= 0.0

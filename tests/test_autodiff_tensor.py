@@ -1,0 +1,286 @@
+"""Gradient checks for every autodiff primitive against finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    Tensor,
+    absolute,
+    amax,
+    broadcast_to,
+    concatenate,
+    exp,
+    grad,
+    log,
+    matmul,
+    maximum_const,
+    mul,
+    no_grad,
+    power,
+    put,
+    relu,
+    reshape,
+    sigmoid,
+    sqrt,
+    take,
+    tanh,
+    tmean,
+    transpose,
+    tsum,
+)
+
+RNG = np.random.default_rng(20240701)
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite differences of a scalar-valued fn at x."""
+    out = np.zeros_like(x, dtype=np.float64)
+    flat = x.ravel()
+    grad_flat = out.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn(Tensor(x)).item()
+        flat[i] = orig - eps
+        down = fn(Tensor(x)).item()
+        flat[i] = orig
+        grad_flat[i] = (up - down) / (2 * eps)
+    return out
+
+
+def check_grad(fn, x: np.ndarray, atol: float = 1e-6) -> None:
+    """Assert autodiff gradient of scalar fn matches finite differences."""
+    leaf = Tensor(x.copy(), requires_grad=True)
+    (g,) = grad(fn(leaf), [leaf])
+    expected = numeric_grad(fn, x.copy())
+    np.testing.assert_allclose(g.data, expected, atol=atol, rtol=1e-4)
+
+
+class TestArithmetic:
+    def test_add(self):
+        y = Tensor(RNG.normal(size=(3, 4)))
+        check_grad(lambda x: tsum(x + y), RNG.normal(size=(3, 4)))
+
+    def test_add_scalar(self):
+        check_grad(lambda x: tsum(x + 3.5), RNG.normal(size=(5,)))
+
+    def test_radd(self):
+        check_grad(lambda x: tsum(2.0 + x), RNG.normal(size=(5,)))
+
+    def test_sub(self):
+        y = Tensor(RNG.normal(size=(3,)))
+        check_grad(lambda x: tsum(x - y), RNG.normal(size=(3,)))
+
+    def test_rsub(self):
+        check_grad(lambda x: tsum(1.0 - x), RNG.normal(size=(3,)))
+
+    def test_mul(self):
+        y = Tensor(RNG.normal(size=(2, 3)))
+        check_grad(lambda x: tsum(mul(x, y)), RNG.normal(size=(2, 3)))
+
+    def test_mul_both_sides_same_tensor(self):
+        check_grad(lambda x: tsum(mul(x, x)), RNG.normal(size=(4,)))
+
+    def test_div(self):
+        y = Tensor(RNG.normal(size=(3,)) + 3.0)
+        check_grad(lambda x: tsum(x / y), RNG.normal(size=(3,)))
+
+    def test_div_denominator_grad(self):
+        y = Tensor(RNG.normal(size=(3,)))
+        check_grad(lambda x: tsum(y / x), RNG.normal(size=(3,)) + 2.5)
+
+    def test_neg(self):
+        check_grad(lambda x: tsum(-x), RNG.normal(size=(3,)))
+
+    def test_pow(self):
+        check_grad(lambda x: tsum(power(x, 3.0)), RNG.normal(size=(4,)))
+
+    def test_pow_fractional(self):
+        check_grad(lambda x: tsum(power(x, 0.5)), RNG.random(4) + 0.5)
+
+    def test_sqrt(self):
+        check_grad(lambda x: tsum(sqrt(x)), RNG.random(4) + 0.5)
+
+
+class TestElementwise:
+    def test_exp(self):
+        check_grad(lambda x: tsum(exp(x)), RNG.normal(size=(3, 2)))
+
+    def test_log(self):
+        check_grad(lambda x: tsum(log(x)), RNG.random((3,)) + 0.5)
+
+    def test_tanh(self):
+        check_grad(lambda x: tsum(tanh(x)), RNG.normal(size=(6,)))
+
+    def test_sigmoid(self):
+        check_grad(lambda x: tsum(sigmoid(x)), RNG.normal(size=(6,)))
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = sigmoid(Tensor(np.array([-800.0, 800.0])))
+        assert np.all(np.isfinite(out.data))
+        np.testing.assert_allclose(out.data, [0.0, 1.0], atol=1e-12)
+
+    def test_relu(self):
+        # Keep values away from the kink for finite differences.
+        x = RNG.normal(size=(8,))
+        x[np.abs(x) < 0.1] = 0.5
+        check_grad(lambda t: tsum(relu(t)), x)
+
+    def test_abs(self):
+        x = RNG.normal(size=(8,))
+        x[np.abs(x) < 0.1] = 0.5
+        check_grad(lambda t: tsum(absolute(t)), x)
+
+    def test_maximum_const(self):
+        x = RNG.normal(size=(8,))
+        x[np.abs(x - 0.3) < 0.1] = 1.0
+        check_grad(lambda t: tsum(maximum_const(t, 0.3)), x)
+
+
+class TestReductionsAndShapes:
+    def test_sum_all(self):
+        check_grad(lambda x: tsum(x), RNG.normal(size=(3, 4)))
+
+    def test_sum_axis(self):
+        check_grad(lambda x: tsum(tsum(x, axis=0) * 2.0), RNG.normal(size=(3, 4)))
+
+    def test_sum_axis_keepdims(self):
+        check_grad(
+            lambda x: tsum(mul(tsum(x, axis=1, keepdims=True), x)),
+            RNG.normal(size=(3, 4)),
+        )
+
+    def test_sum_tuple_axis(self):
+        check_grad(
+            lambda x: tsum(tsum(x, axis=(1, 3)) ** 2.0), RNG.normal(size=(2, 3, 2, 3))
+        )
+
+    def test_mean(self):
+        check_grad(lambda x: tmean(x) * 7.0, RNG.normal(size=(4, 5)))
+
+    def test_mean_axis(self):
+        check_grad(lambda x: tsum(tmean(x, axis=1) ** 2.0), RNG.normal(size=(3, 4)))
+
+    def test_reshape(self):
+        check_grad(
+            lambda x: tsum(reshape(x, (6,)) * Tensor(np.arange(6.0))),
+            RNG.normal(size=(2, 3)),
+        )
+
+    def test_transpose_default(self):
+        y = Tensor(RNG.normal(size=(4, 3)))
+        check_grad(lambda x: tsum(mul(transpose(x), y)), RNG.normal(size=(3, 4)))
+
+    def test_transpose_axes(self):
+        check_grad(
+            lambda x: tsum(transpose(x, (2, 0, 1)) ** 2.0),
+            RNG.normal(size=(2, 3, 4)),
+        )
+
+    def test_broadcast_to(self):
+        y = Tensor(RNG.normal(size=(4, 3)))
+        check_grad(
+            lambda x: tsum(mul(broadcast_to(x, (4, 3)), y)), RNG.normal(size=(1, 3))
+        )
+
+    def test_broadcasting_in_add(self):
+        y = Tensor(RNG.normal(size=(4, 3)))
+        check_grad(lambda x: tsum(mul(x + y, x + y)), RNG.normal(size=(3,)))
+
+    def test_amax(self):
+        x = RNG.normal(size=(4, 5)) * 3  # distinct values with high probability
+        check_grad(lambda t: tsum(amax(t, axis=1) ** 2.0), x)
+
+    def test_amax_keepdims_shape(self):
+        out = amax(Tensor(RNG.normal(size=(2, 3))), axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+
+    def test_amax_ties_split_gradient(self):
+        x = Tensor(np.array([[2.0, 2.0, 1.0]]), requires_grad=True)
+        (g,) = grad(tsum(amax(x, axis=1)), [x])
+        np.testing.assert_allclose(g.data, [[0.5, 0.5, 0.0]])
+
+
+class TestMatmul:
+    def test_2d(self):
+        y = Tensor(RNG.normal(size=(4, 2)))
+        check_grad(lambda x: tsum(matmul(x, y)), RNG.normal(size=(3, 4)))
+
+    def test_right_operand(self):
+        x = Tensor(RNG.normal(size=(3, 4)))
+        check_grad(lambda y: tsum(matmul(x, y) ** 2.0), RNG.normal(size=(4, 2)))
+
+    def test_vector_vector(self):
+        y = Tensor(RNG.normal(size=(5,)))
+        check_grad(lambda x: matmul(x, y), RNG.normal(size=(5,)))
+
+    def test_vector_matrix(self):
+        m = Tensor(RNG.normal(size=(5, 3)))
+        check_grad(lambda x: tsum(matmul(x, m)), RNG.normal(size=(5,)))
+
+    def test_matrix_vector(self):
+        m = Tensor(RNG.normal(size=(3, 5)))
+        check_grad(lambda x: tsum(matmul(m, x)), RNG.normal(size=(5,)))
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError, match="matmul"):
+            matmul(Tensor(np.zeros((2, 2, 2))), Tensor(np.zeros((2, 2, 2))))
+
+
+class TestIndexing:
+    def test_take_basic_slice(self):
+        check_grad(lambda x: tsum(x[1:3] ** 2.0), RNG.normal(size=(5,)))
+
+    def test_take_fancy(self):
+        idx = np.array([0, 2, 2, 1])
+        check_grad(lambda x: tsum(take(x, idx) ** 2.0), RNG.normal(size=(4,)))
+
+    def test_take_pair_index(self):
+        rows = np.array([0, 1])
+        cols = np.array([2, 0])
+        check_grad(
+            lambda x: tsum(take(x, (rows, cols)) * 3.0), RNG.normal(size=(2, 3))
+        )
+
+    def test_put_scatter_adds_duplicates(self):
+        g = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        out = put(g, np.array([0, 0, 1]), (3,))
+        np.testing.assert_allclose(out.data, [3.0, 3.0, 0.0])
+
+    def test_put_gradient_is_gather(self):
+        idx = np.array([0, 0, 1])
+        check_grad(lambda g: tsum(put(g, idx, (3,)) ** 2.0), RNG.normal(size=(3,)))
+
+    def test_concatenate(self):
+        y = Tensor(RNG.normal(size=(2, 3)))
+        check_grad(
+            lambda x: tsum(concatenate([x, y], axis=0) ** 2.0),
+            RNG.normal(size=(2, 3)),
+        )
+
+    def test_concatenate_axis1(self):
+        y = Tensor(RNG.normal(size=(2, 2)))
+        check_grad(
+            lambda x: tsum(concatenate([y, x], axis=1) ** 2.0),
+            RNG.normal(size=(2, 3)),
+        )
+
+
+class TestGradMode:
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_detach(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x * 2.0).detach()
+        assert not y.requires_grad
+
+    def test_comparison_returns_numpy(self):
+        x = Tensor(np.array([1.0, -1.0]))
+        assert isinstance(x > 0, np.ndarray)
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad" in repr(Tensor(np.ones(2), requires_grad=True))

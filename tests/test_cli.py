@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import load_report, load_training_log
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_datasets_command(self):
+        args = build_parser().parse_args(["datasets"])
+        assert args.command == "datasets"
+
+    def test_audit_hfl_defaults(self):
+        args = build_parser().parse_args(["audit-hfl"])
+        assert args.dataset == "mnist"
+        assert args.parties == 5
+        assert not args.exact
+
+
+class TestDatasets:
+    def test_lists_all_14(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for key in ("D_M", "D_C", "D_O", "D_R", "D_B", "D_A"):
+            assert key in out
+        assert out.count("\n") == 15  # header + 14 rows
+
+
+class TestAuditHFL:
+    def test_basic_run(self, capsys):
+        code = main(
+            ["audit-hfl", "--dataset", "mnist", "--parties", "3",
+             "--mislabeled", "1", "--noniid", "0", "--epochs", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "participant" in out
+        assert "mislabeled" in out
+
+    def test_unknown_dataset(self, capsys):
+        code = main(["audit-hfl", "--dataset", "boston"])
+        assert code == 2
+        assert "not an HFL dataset" in capsys.readouterr().err
+
+    def test_exact_flag(self, capsys):
+        code = main(
+            ["audit-hfl", "--parties", "3", "--epochs", "2", "--noniid", "0",
+             "--mislabeled", "0", "--exact"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PCC(DIG-FL, exact)" in out
+        assert "8 retrainings" in out
+
+    def test_save_outputs(self, tmp_path, capsys):
+        log_path = tmp_path / "run.npz"
+        report_path = tmp_path / "run.json"
+        code = main(
+            ["audit-hfl", "--parties", "3", "--epochs", "2", "--noniid", "0",
+             "--save-log", str(log_path), "--save-report", str(report_path)]
+        )
+        assert code == 0
+        log = load_training_log(log_path)
+        assert log.n_epochs == 2
+        report = load_report(report_path)
+        assert report.method == "digfl-resource-saving"
+        payload = json.loads(report_path.read_text())
+        assert len(payload["totals"]) == 3
+
+
+class TestAuditVFL:
+    def test_basic_run(self, capsys):
+        code = main(["audit-vfl", "--dataset", "iris", "--epochs", "5"])
+        assert code == 0
+        assert "participant" in capsys.readouterr().out
+
+    def test_unknown_dataset(self, capsys):
+        code = main(["audit-vfl", "--dataset", "mnist"])
+        assert code == 2
+        assert "not a VFL dataset" in capsys.readouterr().err
+
+    def test_exact_and_party_override(self, capsys):
+        code = main(
+            ["audit-vfl", "--dataset", "diabetes", "--parties", "4",
+             "--epochs", "5", "--exact"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "16 retrainings" in out
+        assert "PCC" in out
+
+    def test_save_vfl_log(self, tmp_path, capsys):
+        from repro.io import load_vfl_training_log
+
+        path = tmp_path / "vfl.npz"
+        code = main(
+            ["audit-vfl", "--dataset", "iris", "--epochs", "4",
+             "--save-log", str(path)]
+        )
+        assert code == 0
+        log = load_vfl_training_log(path)
+        assert log.n_epochs == 4

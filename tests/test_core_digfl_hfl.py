@@ -1,0 +1,145 @@
+"""Tests for the HFL DIG-FL estimators (Algorithms 1 and 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import estimate_hfl_interactive, estimate_hfl_resource_saving
+from repro.hfl import TrainingLog, validation_gradient
+from repro.metrics import CostLedger, pearson_correlation
+
+from tests.conftest import small_model_factory
+
+
+class TestResourceSaving:
+    def test_per_epoch_shape(self, hfl_result, hfl_federation):
+        report = estimate_hfl_resource_saving(
+            hfl_result.log, hfl_federation.validation, small_model_factory
+        )
+        assert report.per_epoch.shape == (hfl_result.log.n_epochs, 5)
+
+    def test_totals_are_epoch_sums(self, hfl_result, hfl_federation):
+        report = estimate_hfl_resource_saving(
+            hfl_result.log, hfl_federation.validation, small_model_factory
+        )
+        np.testing.assert_allclose(report.totals, report.per_epoch.sum(axis=0))
+
+    def test_matches_manual_formula(self, hfl_result, hfl_federation):
+        """φ̂_{t,i} must equal (1/n)·⟨∇loss^v(θ_{t-1}), δ_{t,i}⟩ exactly."""
+        report = estimate_hfl_resource_saving(
+            hfl_result.log, hfl_federation.validation, small_model_factory
+        )
+        model = small_model_factory()
+        record = hfl_result.log.records[2]
+        v = validation_gradient(model, record.theta_before, hfl_federation.validation)
+        for i in range(5):
+            expected = (record.local_updates[i] @ v) / 5
+            assert report.per_epoch[2, i] == pytest.approx(expected, abs=1e-12)
+
+    def test_corrupted_participants_rank_lowest(self, hfl_result, hfl_federation):
+        report = estimate_hfl_resource_saving(
+            hfl_result.log, hfl_federation.validation, small_model_factory
+        )
+        order = np.argsort(report.totals)
+        worst_two = {hfl_federation.qualities[i] for i in order[:2]}
+        assert worst_two <= {"mislabeled", "noniid"}
+
+    def test_no_extra_communication(self, hfl_result, hfl_federation):
+        """Algorithm 2 is server-only: level-2 privacy, zero extra bytes."""
+        ledger = CostLedger()
+        estimate_hfl_resource_saving(
+            hfl_result.log, hfl_federation.validation, small_model_factory,
+            ledger=ledger,
+        )
+        assert ledger.total_comm_bytes == 0
+
+    def test_empty_log_rejected(self, hfl_federation):
+        with pytest.raises(ValueError, match="empty"):
+            estimate_hfl_resource_saving(
+                TrainingLog(participant_ids=[0]),
+                hfl_federation.validation,
+                small_model_factory,
+            )
+
+    def test_method_name(self, hfl_result, hfl_federation):
+        report = estimate_hfl_resource_saving(
+            hfl_result.log, hfl_federation.validation, small_model_factory
+        )
+        assert report.method == "digfl-resource-saving"
+
+
+class TestInteractive:
+    def test_first_epoch_matches_resource_saving(self, hfl_result, hfl_federation):
+        """At t=1 there is no accumulated ΔG, so both estimators agree."""
+        rs = estimate_hfl_resource_saving(
+            hfl_result.log, hfl_federation.validation, small_model_factory
+        )
+        inter = estimate_hfl_interactive(
+            hfl_result.log, hfl_federation.validation, small_model_factory,
+            hfl_federation.locals,
+        )
+        np.testing.assert_allclose(inter.per_epoch[0], rs.per_epoch[0], atol=1e-10)
+
+    def test_estimators_strongly_correlated(self, hfl_result, hfl_federation):
+        """Sec. II-E: the second term is small, so φ ≈ φ̂."""
+        rs = estimate_hfl_resource_saving(
+            hfl_result.log, hfl_federation.validation, small_model_factory
+        )
+        inter = estimate_hfl_interactive(
+            hfl_result.log, hfl_federation.validation, small_model_factory,
+            hfl_federation.locals,
+        )
+        assert pearson_correlation(rs.totals, inter.totals) > 0.9
+
+    def test_uploads_hvp_vectors(self, hfl_result, hfl_federation):
+        """Algorithm 1's extra cost: one p-vector upload per participant per
+        epoch after the first (level-1 privacy)."""
+        ledger = CostLedger()
+        estimate_hfl_interactive(
+            hfl_result.log, hfl_federation.validation, small_model_factory,
+            hfl_federation.locals, ledger=ledger,
+        )
+        p = small_model_factory().num_parameters()
+        tau = hfl_result.log.n_epochs
+        expected = (tau - 1) * 5 * p * 8
+        assert ledger.comm_bytes["participant->server"] == expected
+
+    def test_empty_log_rejected(self, hfl_federation):
+        with pytest.raises(ValueError, match="empty"):
+            estimate_hfl_interactive(
+                TrainingLog(participant_ids=[0]),
+                hfl_federation.validation,
+                small_model_factory,
+                hfl_federation.locals,
+            )
+
+
+class TestAdditivityLemma:
+    def test_utility_change_additive_first_order(self, hfl_result, hfl_federation):
+        """Lemma 3: ΔV^{-S} = Σ_{i∈S} ΔV^{-i} holds exactly for the
+        first-order estimator (it is linear in δ)."""
+        report = estimate_hfl_resource_saving(
+            hfl_result.log, hfl_federation.validation, small_model_factory
+        )
+        # Removing {0, 1} vs removing 0 and 1 separately.
+        combined = report.totals[0] + report.totals[1]
+        assert combined == pytest.approx(
+            report.totals[[0, 1]].sum(), abs=1e-12
+        )
+
+    def test_shapley_equals_negative_delta_v(self, hfl_result, hfl_federation):
+        """Eq. 13: with additivity, φ_i reduces to −ΔV^{-i}; check that the
+        estimator's totals equal the per-epoch sums of −⟨v_t, ΔG_t^{-i}⟩
+        with ΔG_t^{-i} = −δ_{t,i}/n."""
+        report = estimate_hfl_resource_saving(
+            hfl_result.log, hfl_federation.validation, small_model_factory
+        )
+        model = small_model_factory()
+        manual = np.zeros(5)
+        for record in hfl_result.log.records:
+            v = validation_gradient(
+                model, record.theta_before, hfl_federation.validation
+            )
+            for i in range(5):
+                delta_g = -record.local_updates[i] / 5
+                manual[i] += -(v @ delta_g)
+        np.testing.assert_allclose(report.totals, manual, atol=1e-10)

@@ -1,0 +1,94 @@
+"""Tests for contribution-based payment mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ContributionReport,
+    from_per_epoch,
+    payment_summary,
+    proportional_payments,
+    shapley_payments,
+    streaming_payments,
+)
+
+
+def report_with_totals(totals):
+    totals = np.asarray(totals, dtype=np.float64)
+    return ContributionReport(
+        method="test", participant_ids=list(range(len(totals))), totals=totals
+    )
+
+
+class TestProportional:
+    def test_budget_balanced(self):
+        payments = proportional_payments(report_with_totals([1.0, 3.0]), 100.0)
+        assert sum(payments.values()) == pytest.approx(100.0)
+        assert payments[1] == pytest.approx(75.0)
+
+    def test_negative_contributor_gets_zero(self):
+        payments = proportional_payments(report_with_totals([2.0, -1.0]), 50.0)
+        assert payments[1] == 0.0
+        assert payments[0] == pytest.approx(50.0)
+
+    def test_all_negative_withholds_budget(self):
+        payments = proportional_payments(report_with_totals([-1.0, -2.0]), 50.0)
+        assert all(v == 0.0 for v in payments.values())
+
+    def test_bad_budget(self):
+        with pytest.raises(ValueError):
+            proportional_payments(report_with_totals([1.0]), 0.0)
+
+
+class TestShapleyPayments:
+    def test_default_is_proportional(self):
+        report = report_with_totals([1.0, -1.0, 2.0])
+        assert shapley_payments(report, 90.0) == proportional_payments(report, 90.0)
+
+    def test_signed_division_budget_balanced(self):
+        report = report_with_totals([3.0, -1.0])
+        payments = shapley_payments(report, 100.0, allow_negative=True)
+        assert sum(payments.values()) == pytest.approx(100.0)
+        assert payments[1] < 0  # the harmful participant owes the pool
+
+    def test_signed_zero_sum_rejected(self):
+        report = report_with_totals([1.0, -1.0])
+        with pytest.raises(ValueError, match="sum to ~0"):
+            shapley_payments(report, 10.0, allow_negative=True)
+
+
+class TestStreaming:
+    def test_per_round_budget_balanced(self):
+        per_epoch = np.array([[1.0, 1.0], [3.0, 1.0], [0.0, 2.0]])
+        report = from_per_epoch("digfl", [0, 1], per_epoch)
+        payments = streaming_payments(report, 10.0)
+        assert sum(payments.values()) == pytest.approx(30.0)
+
+    def test_round_with_no_positive_splits_uniformly(self):
+        per_epoch = np.array([[-1.0, -2.0]])
+        report = from_per_epoch("digfl", [0, 1], per_epoch)
+        payments = streaming_payments(report, 10.0)
+        assert payments[0] == pytest.approx(5.0)
+        assert payments[1] == pytest.approx(5.0)
+
+    def test_requires_per_epoch(self):
+        report = report_with_totals([1.0, 2.0])
+        with pytest.raises(ValueError, match="per-epoch"):
+            streaming_payments(report, 10.0)
+
+    def test_streaming_rewards_timing(self):
+        """A participant helpful only early still gets paid for those rounds."""
+        per_epoch = np.array([[5.0, 0.0], [0.0, 5.0], [0.0, 5.0]])
+        report = from_per_epoch("digfl", [0, 1], per_epoch)
+        payments = streaming_payments(report, 9.0)
+        assert payments[0] == pytest.approx(9.0)
+        assert payments[1] == pytest.approx(18.0)
+
+
+class TestSummary:
+    def test_format(self):
+        text = payment_summary({1: 10.0, 0: 5.0})
+        lines = text.splitlines()
+        assert lines[0].startswith("participant")
+        assert "total" in lines[-1]
+        assert "15.00" in lines[-1]

@@ -1,0 +1,177 @@
+"""Tests for the DIG-FL reweight mechanism (Eq. 17-18, Lemmas 4-5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DIGFLReweighter, VFLDIGFLReweighter, rectified_weights, softmax_weights
+from repro.data import build_hfl_federation, mnist_like
+from repro.hfl import HFLTrainer
+from repro.nn import LRSchedule, make_mlp_classifier
+from repro.vfl import VFLTrainer
+
+from tests.conftest import small_model_factory
+
+
+class TestRectifiedWeights:
+    def test_eq17(self):
+        phi = np.array([2.0, -1.0, 3.0])
+        np.testing.assert_allclose(rectified_weights(phi), [0.4, 0.0, 0.6])
+
+    def test_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            w = rectified_weights(rng.normal(size=6))
+            assert w.sum() == pytest.approx(1.0)
+            assert (w >= 0).all()
+
+    def test_all_negative_falls_back_to_uniform(self):
+        np.testing.assert_allclose(rectified_weights(np.array([-1.0, -2.0])), [0.5, 0.5])
+
+    def test_all_zero_falls_back_to_uniform(self):
+        np.testing.assert_allclose(rectified_weights(np.zeros(4)), np.full(4, 0.25))
+
+    def test_single_positive_takes_all(self):
+        np.testing.assert_allclose(
+            rectified_weights(np.array([-5.0, 1.0, -0.1])), [0.0, 1.0, 0.0]
+        )
+
+
+class TestSoftmaxWeights:
+    def test_sum_to_one(self):
+        w = softmax_weights(np.array([1.0, 2.0, 3.0]))
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_monotone(self):
+        w = softmax_weights(np.array([1.0, 2.0, 3.0]))
+        assert w[0] < w[1] < w[2]
+
+    def test_never_exactly_zero(self):
+        w = softmax_weights(np.array([-100.0, 100.0]))
+        assert (w > 0).all()
+
+    def test_temperature_flattens(self):
+        sharp = softmax_weights(np.array([0.0, 1.0]), temperature=0.1)
+        flat = softmax_weights(np.array([0.0, 1.0]), temperature=10.0)
+        assert sharp.max() > flat.max()
+
+    def test_bad_temperature(self):
+        with pytest.raises(ValueError):
+            softmax_weights(np.ones(2), temperature=0.0)
+
+
+class TestHFLReweighter:
+    def test_weights_shape_and_simplex(self, hfl_federation):
+        reweighter = DIGFLReweighter(hfl_federation.validation)
+        trainer = HFLTrainer(small_model_factory, epochs=3, lr_schedule=LRSchedule(0.5))
+        trainer.train(
+            hfl_federation.locals, hfl_federation.validation, reweighter=reweighter
+        )
+        assert len(reweighter.history) == 3
+        for contributions in reweighter.history:
+            assert contributions.shape == (5,)
+
+    def test_model_restored_after_weighting(self, hfl_federation):
+        """The reweighter must not leave the probe θ loaded in the model."""
+        reweighter = DIGFLReweighter(hfl_federation.validation)
+        model = small_model_factory()
+        before = model.get_flat()
+        updates = np.zeros((5, model.num_parameters()))
+        reweighter.weights(model, before * 0.5, updates, 0.1, 1)
+        np.testing.assert_array_equal(model.get_flat(), before)
+
+    def test_bad_scheme(self, hfl_federation):
+        with pytest.raises(ValueError):
+            DIGFLReweighter(hfl_federation.validation, scheme="magic")
+
+    def test_reweight_recovers_accuracy_under_corruption(self):
+        """Fig. 7's core claim at small scale: with a majority of mislabeled
+        participants, reweighting beats plain FedSGD."""
+        dataset = mnist_like(1500, seed=2)
+        fed = build_hfl_federation(
+            dataset, 5, n_mislabeled=4, mislabel_fraction=0.5, seed=2
+        )
+        factory = lambda: make_mlp_classifier(100, 10, hidden=(16,), seed=0)
+        trainer = HFLTrainer(factory, epochs=20, lr_schedule=LRSchedule(0.5))
+
+        plain = trainer.train(fed.locals, fed.validation, track_validation=True)
+        reweighted = trainer.train(
+            fed.locals,
+            fed.validation,
+            reweighter=DIGFLReweighter(fed.validation),
+            track_validation=True,
+        )
+        acc_plain = plain.log.records[-1].val_accuracy
+        acc_reweighted = reweighted.log.records[-1].val_accuracy
+        assert acc_reweighted > acc_plain
+
+    def test_monotone_validation_loss(self):
+        """Lemma 4: with a small enough learning rate, reweighted FedSGD's
+        validation loss decreases monotonically."""
+        dataset = mnist_like(800, seed=3)
+        fed = build_hfl_federation(dataset, 4, n_mislabeled=2, seed=3)
+        factory = lambda: make_mlp_classifier(100, 10, hidden=(8,), seed=1)
+        trainer = HFLTrainer(factory, epochs=15, lr_schedule=LRSchedule(0.1))
+        result = trainer.train(
+            fed.locals,
+            fed.validation,
+            reweighter=DIGFLReweighter(fed.validation),
+            track_validation=True,
+        )
+        curve = result.log.val_loss_curve()
+        assert np.all(np.diff(curve) <= 1e-6)
+
+
+class TestVFLReweighter:
+    def test_weights_cover_all_parties(self, vfl_split):
+        reweighter = VFLDIGFLReweighter(vfl_split.feature_blocks)
+        trainer = VFLTrainer(
+            "regression", vfl_split.feature_blocks, 5, LRSchedule(0.05)
+        )
+        result = trainer.train(
+            vfl_split.train, vfl_split.validation, reweighter=reweighter
+        )
+        assert len(reweighter.history) == 5
+        for record in result.log.records:
+            assert record.weights.shape == (5,)
+            assert (record.weights >= 0).all()
+
+    def test_inactive_party_zero_weight(self, vfl_split):
+        reweighter = VFLDIGFLReweighter(vfl_split.feature_blocks)
+        trainer = VFLTrainer(
+            "regression", vfl_split.feature_blocks, 3, LRSchedule(0.05)
+        )
+        result = trainer.train(
+            vfl_split.train, vfl_split.validation, parties=[0, 1], reweighter=reweighter
+        )
+        for record in result.log.records:
+            np.testing.assert_allclose(record.weights[2:], 0.0)
+
+    def test_uniform_contributions_reproduce_plain_descent(self, vfl_split):
+        """When all parties contribute equally the weights must be ≈1 each,
+        so reweighted VFL matches plain VFL."""
+        reweighter = VFLDIGFLReweighter(vfl_split.feature_blocks)
+        w = reweighter.weights(
+            np.zeros(13), np.ones(13), np.ones(13), 0.1, 1, list(range(5))
+        )
+        blocks = vfl_split.feature_blocks
+        sizes = np.array([len(b) for b in blocks], dtype=float)
+        expected = sizes / sizes.sum() * 5
+        np.testing.assert_allclose(w, expected, atol=1e-12)
+
+    def test_reweighted_vfl_still_converges(self, vfl_split):
+        reweighter = VFLDIGFLReweighter(vfl_split.feature_blocks)
+        trainer = VFLTrainer(
+            "regression", vfl_split.feature_blocks, 25, LRSchedule(0.05)
+        )
+        result = trainer.train(
+            vfl_split.train,
+            vfl_split.validation,
+            reweighter=reweighter,
+            track_losses=True,
+        )
+        curve = result.log.val_loss_curve()
+        assert curve[-1] < curve[0]
+
+    def test_bad_scheme(self, vfl_split):
+        with pytest.raises(ValueError):
+            VFLDIGFLReweighter(vfl_split.feature_blocks, scheme="magic")

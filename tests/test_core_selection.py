@@ -1,0 +1,130 @@
+"""Tests for participant selection policies."""
+
+import numpy as np
+import pytest
+
+from repro.core import ContributionReport
+from repro.core.selection import (
+    SelectionResult,
+    flag_low_quality,
+    select_covering_fraction,
+    select_top_k,
+    select_under_budget,
+)
+
+
+def make_report(totals, ids=None):
+    totals = np.asarray(totals, dtype=np.float64)
+    if ids is None:
+        ids = list(range(len(totals)))
+    return ContributionReport(method="test", participant_ids=ids, totals=totals)
+
+
+class TestTopK:
+    def test_picks_highest(self):
+        result = select_top_k(make_report([0.1, 0.9, 0.5, 0.7]), 2)
+        assert result.selected == [1, 3]
+
+    def test_contribution_sum(self):
+        result = select_top_k(make_report([0.1, 0.9, 0.5]), 2)
+        assert result.total_contribution == pytest.approx(1.4)
+
+    def test_k_equals_n(self):
+        result = select_top_k(make_report([1.0, 2.0]), 2)
+        assert result.selected == [0, 1]
+
+    def test_k_too_large(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            select_top_k(make_report([1.0]), 2)
+
+    def test_respects_participant_ids(self):
+        result = select_top_k(make_report([0.1, 0.9], ids=[7, 3]), 1)
+        assert result.selected == [3]
+
+    def test_contains(self):
+        result = select_top_k(make_report([0.1, 0.9]), 1)
+        assert 1 in result
+        assert 0 not in result
+
+
+class TestUnderBudget:
+    def test_greedy_density(self):
+        # Participant 1 has best value/cost; 0 second.
+        report = make_report([4.0, 3.0, 1.0])
+        costs = np.array([4.0, 1.0, 1.0])
+        result = select_under_budget(report, costs, budget=2.0)
+        assert result.selected == [1, 2]
+
+    def test_budget_respected(self):
+        report = make_report([5.0, 4.0, 3.0])
+        result = select_under_budget(report, np.ones(3), budget=2.0)
+        assert result.total_cost <= 2.0
+        assert len(result.selected) == 2
+
+    def test_negative_contributors_never_selected(self):
+        report = make_report([-1.0, 2.0, -5.0])
+        result = select_under_budget(report, np.ones(3), budget=10.0)
+        assert result.selected == [1]
+
+    def test_skips_unaffordable_but_continues(self):
+        report = make_report([10.0, 2.0])
+        costs = np.array([100.0, 1.0])
+        result = select_under_budget(report, costs, budget=5.0)
+        assert result.selected == [1]
+
+    def test_bad_costs(self):
+        with pytest.raises(ValueError, match="positive"):
+            select_under_budget(make_report([1.0]), np.array([0.0]), 1.0)
+
+    def test_bad_budget(self):
+        with pytest.raises(ValueError, match="budget"):
+            select_under_budget(make_report([1.0]), np.ones(1), 0.0)
+
+    def test_cost_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            select_under_budget(make_report([1.0, 2.0]), np.ones(3), 1.0)
+
+
+class TestCoveringFraction:
+    def test_covers_target(self):
+        report = make_report([5.0, 3.0, 1.0, 1.0])
+        result = select_covering_fraction(report, 0.8)
+        assert result.total_contribution >= 0.8 * 10.0
+        assert result.selected == [0, 1]
+
+    def test_full_fraction_selects_all_positive(self):
+        report = make_report([5.0, -1.0, 3.0])
+        result = select_covering_fraction(report, 1.0)
+        assert result.selected == [0, 2]
+
+    def test_all_negative(self):
+        result = select_covering_fraction(make_report([-1.0, -2.0]), 0.5)
+        assert result.selected == []
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            select_covering_fraction(make_report([1.0]), 0.0)
+
+
+class TestFlagLowQuality:
+    def test_flags_clear_outlier(self):
+        report = make_report([1.0, 1.01, 0.99, 1.02, -5.0])
+        assert flag_low_quality(report) == [4]
+
+    def test_no_flag_on_uniform(self):
+        assert flag_low_quality(make_report([1.0, 1.0, 1.0])) == []
+
+    def test_high_outliers_not_flagged(self):
+        report = make_report([1.0, 1.01, 0.99, 50.0])
+        assert flag_low_quality(report) == []
+
+    def test_threshold_controls_sensitivity(self):
+        report = make_report([1.0, 1.1, 0.9, 0.2])
+        loose = flag_low_quality(report, threshold=1.5)
+        strict = flag_low_quality(report, threshold=10.0)
+        assert 3 in loose
+        assert strict == []
+
+    def test_result_type(self):
+        result = select_top_k(make_report([1.0, 2.0]), 1)
+        assert isinstance(result, SelectionResult)

@@ -1,0 +1,241 @@
+"""Tests for the crypto substrate: primes, Paillier, masking."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto import (
+    MaskGenerator,
+    add_vectors,
+    decrypt_vector,
+    encrypt_vector,
+    generate_keypair,
+    generate_prime,
+    generate_prime_pair,
+    is_probable_prime,
+)
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(256, seed=1234)
+
+
+class TestPrimes:
+    def test_known_primes(self):
+        for p in (2, 3, 5, 7, 97, 7919, 104729):
+            assert is_probable_prime(p)
+
+    def test_known_composites(self):
+        for c in (1, 4, 100, 7917, 104730, 561, 1105):  # incl. Carmichael numbers
+            assert not is_probable_prime(c)
+
+    def test_large_known_prime(self):
+        assert is_probable_prime(2**61 - 1)  # Mersenne prime
+
+    def test_generate_prime_bit_length(self):
+        rng = random.Random(0)
+        p = generate_prime(64, rng)
+        assert p.bit_length() == 64
+        assert is_probable_prime(p)
+
+    def test_generate_prime_pair_distinct(self):
+        p, q = generate_prime_pair(32, random.Random(0))
+        assert p != q
+
+    def test_too_small_bits(self):
+        with pytest.raises(ValueError):
+            generate_prime(4)
+
+    def test_negative_not_prime(self):
+        assert not is_probable_prime(-7)
+
+
+class TestPaillierRoundtrip:
+    def test_floats(self, keypair):
+        pk, sk = keypair
+        for value in (0.0, 1.0, -1.0, 3.14159, -2.71828, 1e-6, 12345.678):
+            assert sk.decrypt(pk.encrypt(value)) == pytest.approx(value, abs=1e-8)
+
+    def test_vector_roundtrip(self, keypair):
+        pk, sk = keypair
+        xs = np.array([0.5, -0.25, 100.0, -3e-5])
+        out = decrypt_vector(sk, encrypt_vector(pk, xs, random.Random(0)))
+        np.testing.assert_allclose(out, xs, atol=1e-8)
+
+    def test_randomised_ciphertexts(self, keypair):
+        pk, _ = keypair
+        rng = random.Random(0)
+        a = pk.encrypt(5.0, rng=rng)
+        b = pk.encrypt(5.0, rng=rng)
+        assert a.ciphertext != b.ciphertext  # semantic security
+
+    def test_overflow_detected(self, keypair):
+        pk, _ = keypair
+        with pytest.raises(OverflowError):
+            pk.encrypt(float(pk.n))
+
+
+class TestHomomorphism:
+    def test_cipher_plus_cipher(self, keypair):
+        pk, sk = keypair
+        c = pk.encrypt(2.5) + pk.encrypt(-1.25)
+        assert sk.decrypt(c) == pytest.approx(1.25, abs=1e-8)
+
+    def test_cipher_plus_plain(self, keypair):
+        pk, sk = keypair
+        assert sk.decrypt(pk.encrypt(2.0) + 3.5) == pytest.approx(5.5, abs=1e-8)
+
+    def test_cipher_minus_cipher(self, keypair):
+        pk, sk = keypair
+        c = pk.encrypt(2.0) - pk.encrypt(5.0)
+        assert sk.decrypt(c) == pytest.approx(-3.0, abs=1e-8)
+
+    def test_scalar_mul_int(self, keypair):
+        pk, sk = keypair
+        assert sk.decrypt(pk.encrypt(1.5) * 4) == pytest.approx(6.0, abs=1e-8)
+
+    def test_scalar_mul_float_changes_exponent(self, keypair):
+        pk, sk = keypair
+        c = pk.encrypt(2.0)
+        d = c * 0.125
+        assert d.exponent < c.exponent
+        assert sk.decrypt(d) == pytest.approx(0.25, abs=1e-8)
+
+    def test_exponent_alignment_in_add(self, keypair):
+        pk, sk = keypair
+        c = pk.encrypt(1.0) * 0.5 + pk.encrypt(2.0)
+        assert sk.decrypt(c) == pytest.approx(2.5, abs=1e-8)
+
+    def test_cipher_times_cipher_rejected(self, keypair):
+        pk, _ = keypair
+        with pytest.raises(TypeError, match="additively"):
+            pk.encrypt(1.0) * pk.encrypt(2.0)
+
+    def test_cross_key_addition_rejected(self, keypair):
+        pk, _ = keypair
+        pk2, _ = generate_keypair(256, seed=999)
+        with pytest.raises(ValueError, match="different keys"):
+            pk.encrypt(1.0) + pk2.encrypt(1.0)
+
+    def test_cross_key_decrypt_rejected(self, keypair):
+        pk, _ = keypair
+        _, sk2 = generate_keypair(256, seed=999)
+        with pytest.raises(ValueError, match="different key"):
+            sk2.decrypt(pk.encrypt(1.0))
+
+    def test_add_vectors(self, keypair):
+        pk, sk = keypair
+        a = encrypt_vector(pk, [1.0, 2.0])
+        b = encrypt_vector(pk, [10.0, 20.0])
+        out = decrypt_vector(sk, add_vectors(a, b))
+        np.testing.assert_allclose(out, [11.0, 22.0], atol=1e-8)
+
+    def test_add_vectors_length_mismatch(self, keypair):
+        pk, _ = keypair
+        with pytest.raises(ValueError):
+            add_vectors(encrypt_vector(pk, [1.0]), encrypt_vector(pk, [1.0, 2.0]))
+
+    @given(
+        a=st.floats(-1e4, 1e4),
+        b=st.floats(-1e4, 1e4),
+        s=st.floats(-50, 50),
+    )
+    def test_property_affine_homomorphism(self, keypair, a, b, s):
+        """decrypt(enc(a)*s + enc(b)) == a*s + b for bounded floats."""
+        pk, sk = keypair
+        c = pk.encrypt(a) * s + pk.encrypt(b)
+        assert sk.decrypt(c) == pytest.approx(a * s + b, abs=1e-4)
+
+
+class TestEncryptedNumberMisc:
+    def test_nbytes(self, keypair):
+        pk, _ = keypair
+        c = pk.encrypt(1.0)
+        assert c.nbytes == (2 * pk.key_bits + 7) // 8
+
+    def test_rescale_to_coarser_rejected(self, keypair):
+        pk, _ = keypair
+        c = pk.encrypt(1.0)
+        with pytest.raises(ValueError, match="finer"):
+            c._scaled_to(c.exponent + 1)
+
+
+class TestCRTDecryption:
+    def test_matches_textbook_path(self, keypair):
+        from repro.crypto.paillier import PrivateKey
+
+        pk, sk = keypair
+        textbook = PrivateKey(pk, sk.lam, sk.mu)  # no factors stored
+        rng = random.Random(7)
+        for _ in range(20):
+            c = pk.encrypt(rng.uniform(-1e4, 1e4), rng=rng)
+            assert sk.raw_decrypt(c.ciphertext) == textbook.raw_decrypt(c.ciphertext)
+
+    def test_wrong_factors_rejected(self, keypair):
+        from repro.crypto.paillier import PrivateKey
+
+        pk, sk = keypair
+        with pytest.raises(ValueError, match="public modulus"):
+            PrivateKey(pk, sk.lam, sk.mu, p=3, q=5)
+
+    def test_crt_faster_than_textbook(self):
+        """The CRT path must beat full-modulus decryption on a larger key."""
+        import time
+
+        from repro.crypto.paillier import PrivateKey, generate_keypair
+
+        pk, sk = generate_keypair(512, seed=3)
+        textbook = PrivateKey(pk, sk.lam, sk.mu)
+        cipher = pk.encrypt(42.0).ciphertext
+
+        def best_of(fn, repeats=30):
+            times = []
+            for _ in range(3):
+                start = time.perf_counter()
+                for _ in range(repeats):
+                    fn(cipher)
+                times.append(time.perf_counter() - start)
+            return min(times)
+
+        assert best_of(sk.raw_decrypt) < best_of(textbook.raw_decrypt)
+
+
+class TestMaskGenerator:
+    def test_mask_unmask_roundtrip(self):
+        gen = MaskGenerator(scale=5.0, seed=0)
+        data = np.array([1.0, -2.0, 3.0])
+        masked = data + gen.mask_for(1, "grad", 3)
+        np.testing.assert_allclose(gen.unmask(1, "grad", masked), data, atol=1e-12)
+
+    def test_same_key_same_mask(self):
+        gen = MaskGenerator(seed=0)
+        np.testing.assert_array_equal(gen.mask_for(1, "a", 4), gen.mask_for(1, "a", 4))
+
+    def test_different_rounds_different_masks(self):
+        gen = MaskGenerator(seed=0)
+        assert not np.allclose(gen.mask_for(1, "a", 8), gen.mask_for(2, "a", 8))
+
+    def test_unmask_unknown_key(self):
+        with pytest.raises(KeyError):
+            MaskGenerator(seed=0).unmask(1, "nope", np.zeros(2))
+
+    def test_size_mismatch(self):
+        gen = MaskGenerator(seed=0)
+        gen.mask_for(1, "a", 4)
+        with pytest.raises(ValueError):
+            gen.mask_for(1, "a", 5)
+
+    def test_discard(self):
+        gen = MaskGenerator(seed=0)
+        gen.mask_for(1, "a", 2)
+        gen.discard(1, "a")
+        with pytest.raises(KeyError):
+            gen.unmask(1, "a", np.zeros(2))
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            MaskGenerator(scale=0.0)

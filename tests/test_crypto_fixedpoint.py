@@ -1,0 +1,77 @@
+"""Fixed-point codec edge cases for the Paillier layer."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto import generate_keypair
+from repro.crypto.paillier import FRACTIONAL_BITS, _decode, _encode
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(256, seed=777)
+
+
+class TestCodec:
+    def test_roundtrip_precision(self, keypair):
+        pk, _ = keypair
+        for value in (0.0, 1e-9, -1e-9, 123.456, -9876.543):
+            encoded = _encode(value, -FRACTIONAL_BITS, pk)
+            decoded = _decode(encoded, -FRACTIONAL_BITS, pk)
+            assert decoded == pytest.approx(value, abs=2.0**-FRACTIONAL_BITS)
+
+    def test_negative_wraps_to_top(self, keypair):
+        pk, _ = keypair
+        encoded = _encode(-1.0, -FRACTIONAL_BITS, pk)
+        assert encoded > pk.n // 2  # negatives live in the top half
+
+    def test_positive_exponent_rejected(self, keypair):
+        pk, _ = keypair
+        with pytest.raises(ValueError, match="exponent"):
+            _encode(1.0, 1, pk)
+
+    def test_overflow_boundary(self, keypair):
+        pk, _ = keypair
+        limit = pk.max_int * 2.0**-FRACTIONAL_BITS
+        _encode(limit * 0.99, -FRACTIONAL_BITS, pk)  # fits
+        with pytest.raises(OverflowError):
+            _encode(limit * 1.01, -FRACTIONAL_BITS, pk)
+
+    @given(value=st.floats(-1e6, 1e6, allow_nan=False))
+    def test_property_roundtrip(self, keypair, value):
+        pk, _ = keypair
+        encoded = _encode(value, -FRACTIONAL_BITS, pk)
+        decoded = _decode(encoded, -FRACTIONAL_BITS, pk)
+        assert decoded == pytest.approx(value, abs=2.0**-FRACTIONAL_BITS + 1e-12)
+
+
+class TestExponentChains:
+    def test_two_float_multiplications(self, keypair):
+        """Each float multiply deepens the exponent; decoding still exact."""
+        pk, sk = keypair
+        c = pk.encrypt(3.0) * 0.5 * 0.25
+        assert c.exponent == -3 * FRACTIONAL_BITS
+        assert sk.decrypt(c) == pytest.approx(0.375, abs=1e-6)
+
+    def test_deep_chain_alignment(self, keypair):
+        pk, sk = keypair
+        a = pk.encrypt(1.0) * 0.1 * 0.1  # exponent -96
+        b = pk.encrypt(2.0)  # exponent -32
+        total = a + b
+        assert sk.decrypt(total) == pytest.approx(2.01, abs=1e-5)
+
+    def test_sum_of_many_products(self, keypair):
+        """The VFL step-4 pattern: Σ_j [[d_j]]·x_j stays accurate."""
+        pk, sk = keypair
+        rng = random.Random(1)
+        ds = [rng.uniform(-2, 2) for _ in range(25)]
+        xs = [rng.uniform(-2, 2) for _ in range(25)]
+        acc = pk.encrypt(ds[0]) * xs[0]
+        for d, x in zip(ds[1:], xs[1:]):
+            acc = acc + pk.encrypt(d) * x
+        expected = float(np.dot(ds, xs))
+        assert sk.decrypt(acc) == pytest.approx(expected, abs=1e-5)

@@ -1,0 +1,108 @@
+"""Tests for the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, mnist_like
+
+
+def _tabular(n=50, d=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset(
+        name="t", X=rng.normal(size=(n, d)), y=rng.normal(size=n), task="regression"
+    )
+
+
+class TestConstruction:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="rows"):
+            Dataset(name="b", X=np.zeros((3, 2)), y=np.zeros(4), task="regression")
+
+    def test_classification_needs_classes(self):
+        with pytest.raises(ValueError, match="num_classes"):
+            Dataset(name="b", X=np.zeros((3, 2)), y=np.zeros(3, dtype=int), task="binary")
+
+    def test_len(self):
+        assert len(_tabular(17)) == 17
+
+    def test_n_features_tabular(self):
+        assert _tabular(d=6).n_features == 6
+
+    def test_n_features_images(self):
+        ds = mnist_like(10, seed=0)
+        assert ds.n_features == 100
+
+
+class TestSubset:
+    def test_selects_rows(self):
+        ds = _tabular()
+        sub = ds.subset(np.array([1, 3, 5]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.X, ds.X[[1, 3, 5]])
+
+    def test_copies(self):
+        ds = _tabular()
+        sub = ds.subset(np.array([0]))
+        sub.X[0, 0] = 999
+        assert ds.X[0, 0] != 999
+
+    def test_rename(self):
+        assert _tabular().subset(np.array([0]), name="new").name == "new"
+
+
+class TestFeatureSlice:
+    def test_selects_columns(self):
+        ds = _tabular(d=5)
+        sliced = ds.feature_slice(np.array([0, 2]))
+        np.testing.assert_array_equal(sliced.X, ds.X[:, [0, 2]])
+
+    def test_rejects_images(self):
+        with pytest.raises(ValueError, match="tabular"):
+            mnist_like(10, seed=0).feature_slice(np.array([0]))
+
+
+class TestValidationSplit:
+    def test_sizes(self):
+        train, val = _tabular(100).validation_split(0.1, seed=0)
+        assert len(val) == 10
+        assert len(train) == 90
+
+    def test_disjoint_and_complete(self):
+        ds = _tabular(60)
+        ds = Dataset(name="t", X=np.arange(60.0).reshape(60, 1), y=np.zeros(60), task="regression")
+        train, val = ds.validation_split(0.25, seed=1)
+        combined = np.sort(np.concatenate([train.X.ravel(), val.X.ravel()]))
+        np.testing.assert_array_equal(combined, np.arange(60.0))
+
+    def test_deterministic(self):
+        a = _tabular().validation_split(0.2, seed=5)[1].X
+        b = _tabular().validation_split(0.2, seed=5)[1].X
+        np.testing.assert_array_equal(a, b)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            _tabular().validation_split(0.0)
+        with pytest.raises(ValueError):
+            _tabular().validation_split(1.0)
+
+    def test_at_least_one_validation_row(self):
+        _, val = _tabular(20).validation_split(0.01, seed=0)
+        assert len(val) >= 1
+
+
+class TestStandardized:
+    def test_zero_mean_unit_std(self):
+        std = _tabular(200).standardized()
+        np.testing.assert_allclose(std.X.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(std.X.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_safe(self):
+        X = np.ones((10, 2))
+        X[:, 1] = np.arange(10)
+        ds = Dataset(name="c", X=X, y=np.zeros(10), task="regression")
+        std = ds.standardized()
+        assert np.all(np.isfinite(std.X))
+
+    def test_rejects_images(self):
+        with pytest.raises(ValueError, match="tabular"):
+            mnist_like(10, seed=0).standardized()

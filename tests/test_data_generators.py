@@ -1,0 +1,153 @@
+"""Tests for the synthetic image and tabular dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ALL_DATASETS,
+    HFL_DATASETS,
+    VFL_DATASETS,
+    boston_like,
+    cifar_like,
+    get_dataset_info,
+    iris_like,
+    make_image_classification,
+    make_tabular_classification,
+    make_tabular_regression,
+    mnist_like,
+    motor_like,
+    real_like,
+)
+from repro.models import LinearRegressionModel, LogisticRegressionModel
+
+
+class TestImageGenerators:
+    def test_mnist_shape(self):
+        ds = mnist_like(64, seed=0)
+        assert ds.X.shape == (64, 1, 10, 10)
+        assert ds.num_classes == 10
+
+    def test_cifar_shape(self):
+        ds = cifar_like(32, seed=0)
+        assert ds.X.shape == (32, 3, 8, 8)
+
+    def test_motor_binary(self):
+        ds = motor_like(32, seed=0)
+        assert ds.num_classes == 2
+        assert set(np.unique(ds.y)) <= {0, 1}
+
+    def test_real_ten_classes(self):
+        assert real_like(32, seed=0).num_classes == 10
+
+    def test_deterministic(self):
+        a = mnist_like(20, seed=3).X
+        b = mnist_like(20, seed=3).X
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_data(self):
+        assert not np.allclose(mnist_like(20, seed=1).X, mnist_like(20, seed=2).X)
+
+    def test_labels_cover_range(self):
+        ds = mnist_like(500, seed=0)
+        assert set(np.unique(ds.y)) == set(range(10))
+
+    def test_separability_ordering(self):
+        """A linear probe should find MNIST-like easier than REAL-like."""
+
+        def probe_accuracy(ds):
+            X = ds.X.reshape(len(ds), -1)
+            # One-vs-rest least-squares probe.
+            onehot = np.eye(ds.num_classes)[ds.y]
+            W, *_ = np.linalg.lstsq(X, onehot, rcond=None)
+            return float(np.mean(np.argmax(X @ W, axis=1) == ds.y))
+
+        easy = probe_accuracy(mnist_like(1500, seed=0))
+        hard = probe_accuracy(real_like(1500, seed=0))
+        assert easy > hard
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            make_image_classification("x", 0, (1, 4, 4), 2)
+
+
+class TestTabularGenerators:
+    def test_regression_shape(self):
+        ds = boston_like(seed=0)
+        assert ds.X.shape == (506, 13)
+        assert ds.task == "regression"
+
+    def test_classification_binary(self):
+        ds = iris_like(seed=0)
+        assert ds.task == "binary"
+        assert set(np.unique(ds.y)) <= {0, 1}
+
+    def test_regression_learnable(self):
+        """A linear fit must explain most of the variance (linear ground truth)."""
+        ds = make_tabular_regression("t", 400, 8, noise=0.2, seed=1)
+        theta, *_ = np.linalg.lstsq(ds.X, ds.y, rcond=None)
+        assert LinearRegressionModel().score(theta, ds.X, ds.y) > 0.8
+
+    def test_classification_learnable(self):
+        ds = make_tabular_classification("t", 600, 6, temperature=0.5, seed=1)
+        model = LogisticRegressionModel()
+        theta = np.zeros(6)
+        for _ in range(300):
+            theta -= 0.5 * model.gradient(theta, ds.X, ds.y)
+        assert model.score(theta, ds.X, ds.y) > 0.8
+
+    def test_features_standardised(self):
+        ds = boston_like(seed=0)
+        np.testing.assert_allclose(ds.X.mean(axis=0), 0.0, atol=1e-8)
+        np.testing.assert_allclose(ds.X.std(axis=0), 1.0, atol=1e-6)
+
+    def test_heterogeneous_signal(self):
+        """Coefficient magnitudes must differ strongly across features."""
+        ds = make_tabular_regression("t", 2000, 10, noise=0.05, seed=2)
+        theta, *_ = np.linalg.lstsq(ds.X, ds.y, rcond=None)
+        mags = np.sort(np.abs(theta))
+        assert mags[-1] / max(mags[0], 1e-9) > 3.0
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(boston_like(seed=9).X, boston_like(seed=9).X)
+
+
+class TestRegistry:
+    def test_counts_match_paper(self):
+        assert len(HFL_DATASETS) == 4
+        assert len(VFL_DATASETS) == 10
+        assert len(ALL_DATASETS) == 14
+
+    def test_lookup_by_name(self):
+        assert get_dataset_info("mnist").key == "D_M"
+
+    def test_lookup_by_paper_key(self):
+        assert get_dataset_info("D_S").name == "seoul_bike"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_dataset_info("imagenet")
+
+    def test_vfl_party_counts_match_table3(self):
+        expected = {
+            "boston": 13, "diabetes": 10, "wine_quality": 11, "seoul_bike": 14,
+            "california": 8, "iris": 4, "wine": 13, "breast_cancer": 15,
+            "credit_card": 11, "adult": 14,
+        }
+        for name, n in expected.items():
+            assert VFL_DATASETS[name].vfl_parties == n
+
+    def test_all_vfl_datasets_make(self):
+        for name, info in VFL_DATASETS.items():
+            ds = info.make(seed=0)
+            assert len(ds) > 0, name
+            assert ds.task in ("regression", "binary")
+
+    def test_vfl_models_assigned(self):
+        assert VFL_DATASETS["boston"].vfl_model == "linreg"
+        assert VFL_DATASETS["adult"].vfl_model == "logreg"
+
+    def test_party_count_not_exceeding_features(self):
+        """Every Table III party count must fit the dataset's feature count."""
+        for name, info in VFL_DATASETS.items():
+            ds = info.make(seed=0)
+            assert info.vfl_parties <= ds.X.shape[1], name

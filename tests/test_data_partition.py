@@ -1,0 +1,206 @@
+"""Tests for partitioners and data-quality corruption (plus properties)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data import (
+    build_hfl_federation,
+    build_vfl_federation,
+    boston_like,
+    iid_partition,
+    mislabel,
+    mnist_like,
+    noniid_class_partition,
+    vertical_partition,
+)
+
+
+class TestIIDPartition:
+    def test_disjoint_and_complete(self):
+        parts = iid_partition(100, 4, seed=0)
+        merged = np.sort(np.concatenate(parts))
+        np.testing.assert_array_equal(merged, np.arange(100))
+
+    def test_near_equal_sizes(self):
+        parts = iid_partition(103, 4, seed=0)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_deterministic(self):
+        a = iid_partition(50, 3, seed=2)
+        b = iid_partition(50, 3, seed=2)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_more_parties_than_samples(self):
+        with pytest.raises(ValueError):
+            iid_partition(3, 5)
+
+
+class TestNonIIDPartition:
+    def _labels(self, n=1000, classes=10, seed=0):
+        return np.random.default_rng(seed).integers(0, classes, size=n)
+
+    def test_tags_count(self):
+        labels = self._labels()
+        _, qualities = noniid_class_partition(labels, 5, 2, num_classes=10, seed=0)
+        assert qualities.count("noniid") == 2
+        assert qualities.count("clean") == 3
+
+    def test_noniid_parties_have_few_classes(self):
+        labels = self._labels()
+        parts, qualities = noniid_class_partition(
+            labels, 5, 2, num_classes=10, max_classes=3, seed=1
+        )
+        for part, quality in zip(parts, qualities):
+            classes = len(np.unique(labels[part]))
+            if quality == "noniid":
+                assert classes <= 3
+
+    def test_clean_parties_cover_most_classes(self):
+        labels = self._labels(2000)
+        parts, qualities = noniid_class_partition(
+            labels, 4, 1, num_classes=10, seed=2
+        )
+        for part, quality in zip(parts, qualities):
+            if quality == "clean":
+                assert len(np.unique(labels[part])) >= 8
+
+    def test_parts_disjoint(self):
+        labels = self._labels()
+        parts, _ = noniid_class_partition(labels, 6, 3, num_classes=10, seed=3)
+        merged = np.concatenate(parts)
+        assert len(np.unique(merged)) == len(merged)
+
+    def test_all_parties_nonempty(self):
+        labels = self._labels(400)
+        parts, _ = noniid_class_partition(labels, 8, 7, num_classes=10, seed=4)
+        assert all(len(p) > 0 for p in parts)
+
+    def test_bad_args(self):
+        labels = self._labels()
+        with pytest.raises(ValueError):
+            noniid_class_partition(labels, 3, 4, num_classes=10)
+        with pytest.raises(ValueError):
+            noniid_class_partition(labels, 3, 1, num_classes=10, min_classes=0)
+        with pytest.raises(ValueError):
+            noniid_class_partition(labels, 3, 1, num_classes=10, max_classes=10)
+
+
+class TestMislabel:
+    def test_fraction_applied(self):
+        y = np.zeros(100, dtype=int)
+        corrupted, mask = mislabel(y, 0.3, 10, seed=0)
+        assert mask.sum() == 30
+        assert (corrupted[mask] != 0).all()
+
+    def test_corrupted_labels_always_differ(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 5, size=200)
+        corrupted, mask = mislabel(y, 0.5, 5, seed=2)
+        assert (corrupted[mask] != y[mask]).all()
+
+    def test_untouched_labels_identical(self):
+        y = np.arange(50) % 7
+        corrupted, mask = mislabel(y, 0.2, 7, seed=3)
+        np.testing.assert_array_equal(corrupted[~mask], y[~mask])
+
+    def test_zero_fraction(self):
+        y = np.arange(10) % 3
+        corrupted, mask = mislabel(y, 0.0, 3, seed=0)
+        np.testing.assert_array_equal(corrupted, y)
+        assert not mask.any()
+
+    def test_labels_stay_in_range(self):
+        y = np.arange(100) % 4
+        corrupted, _ = mislabel(y, 1.0, 4, seed=0)
+        assert corrupted.min() >= 0 and corrupted.max() < 4
+
+    def test_input_not_mutated(self):
+        y = np.zeros(20, dtype=int)
+        mislabel(y, 0.5, 3, seed=0)
+        assert (y == 0).all()
+
+    @given(
+        fraction=st.floats(0.0, 1.0),
+        classes=st.integers(2, 12),
+        seed=st.integers(0, 1000),
+    )
+    def test_property_corruption_count(self, fraction, classes, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, classes, size=60)
+        corrupted, mask = mislabel(y, fraction, classes, seed=seed)
+        assert mask.sum() == int(round(fraction * 60))
+        assert (corrupted[mask] != y[mask]).all()
+        np.testing.assert_array_equal(corrupted[~mask], y[~mask])
+
+
+class TestVerticalPartition:
+    def test_disjoint_and_complete(self):
+        blocks = vertical_partition(13, 4, seed=0)
+        merged = np.sort(np.concatenate(blocks))
+        np.testing.assert_array_equal(merged, np.arange(13))
+
+    def test_every_party_nonempty(self):
+        blocks = vertical_partition(5, 5, seed=1)
+        assert all(len(b) == 1 for b in blocks)
+
+    def test_too_many_parties(self):
+        with pytest.raises(ValueError):
+            vertical_partition(3, 4)
+
+    @given(d=st.integers(2, 30), seed=st.integers(0, 100))
+    def test_property_partition(self, d, seed):
+        n_parties = max(2, d // 3)
+        blocks = vertical_partition(d, n_parties, seed=seed)
+        merged = np.sort(np.concatenate(blocks))
+        np.testing.assert_array_equal(merged, np.arange(d))
+        assert all(len(b) >= 1 for b in blocks)
+
+
+class TestBuildHFLFederation:
+    def test_quality_counts(self):
+        fed = build_hfl_federation(
+            mnist_like(800, seed=0), 5, n_mislabeled=2, n_noniid=1, seed=0
+        )
+        assert fed.qualities.count("mislabeled") == 2
+        assert fed.qualities.count("noniid") == 1
+        assert fed.qualities.count("clean") == 2
+
+    def test_validation_held_out(self):
+        fed = build_hfl_federation(mnist_like(500, seed=0), 4, seed=0)
+        total_local = sum(len(l) for l in fed.locals)
+        assert total_local + len(fed.validation) <= 500
+        assert len(fed.validation) == 50
+
+    def test_too_many_corrupted(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            build_hfl_federation(mnist_like(300, seed=0), 3, n_mislabeled=2, n_noniid=2)
+
+    def test_regression_rejected(self):
+        with pytest.raises(ValueError, match="classification"):
+            build_hfl_federation(boston_like(seed=0), 3)
+
+    def test_deterministic(self):
+        a = build_hfl_federation(mnist_like(400, seed=0), 4, n_noniid=1, seed=5)
+        b = build_hfl_federation(mnist_like(400, seed=0), 4, n_noniid=1, seed=5)
+        assert a.qualities == b.qualities
+        for la, lb in zip(a.locals, b.locals):
+            np.testing.assert_array_equal(la.y, lb.y)
+
+
+class TestBuildVFLFederation:
+    def test_blocks_partition_features(self):
+        split = build_vfl_federation(boston_like(seed=0), 4, seed=0)
+        merged = np.sort(np.concatenate(split.feature_blocks))
+        np.testing.assert_array_equal(merged, np.arange(13))
+
+    def test_max_rows(self):
+        split = build_vfl_federation(boston_like(seed=0), 4, max_rows=100, seed=0)
+        assert len(split.train) + len(split.validation) == 100
+
+    def test_images_rejected(self):
+        with pytest.raises(ValueError, match="tabular"):
+            build_vfl_federation(mnist_like(100, seed=0), 3)

@@ -1,0 +1,86 @@
+"""Golden-number regression tests.
+
+Fixed-seed end-to-end pipelines whose key metrics are pinned (with small
+tolerances).  A legitimate algorithm change may move these numbers — when
+it does, verify the shape criteria in EXPERIMENTS.md still hold and update
+the goldens deliberately; an *unintentional* drift is a regression in the
+estimator, the simulator or the data generators.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import estimate_hfl_resource_saving, estimate_vfl_first_order
+from repro.experiments.workloads import build_hfl_workload, build_vfl_workload
+from repro.metrics import pearson_correlation
+from repro.shapley import HFLRetrainUtility, VFLRetrainUtility, exact_shapley
+
+
+class TestHFLGolden:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        workload = build_hfl_workload(
+            "mnist", n_parties=5, n_mislabeled=1, n_noniid=1, epochs=10, seed=0
+        )
+        digfl = estimate_hfl_resource_saving(
+            workload.result.log,
+            workload.federation.validation,
+            workload.model_factory,
+        )
+        utility = HFLRetrainUtility(
+            workload.trainer,
+            workload.federation.locals,
+            workload.federation.validation,
+            init_theta=workload.result.log.initial_theta,
+        )
+        exact = exact_shapley(utility)
+        return workload, digfl, exact
+
+    def test_training_accuracy(self, pipeline):
+        workload, _, _ = pipeline
+        acc = workload.result.log.records[-1].val_accuracy
+        assert acc == pytest.approx(0.7417, abs=0.02)
+
+    def test_digfl_totals(self, pipeline):
+        _, digfl, _ = pipeline
+        expected = [0.4027, 0.3956, 0.1348, 0.3874, 0.3733]
+        np.testing.assert_allclose(digfl.totals, expected, atol=0.02)
+
+    def test_exact_totals(self, pipeline):
+        _, _, exact = pipeline
+        expected = [0.4577, 0.4547, 0.1015, 0.4232, 0.1779]
+        np.testing.assert_allclose(exact.totals, expected, atol=0.02)
+
+    def test_pcc(self, pipeline):
+        _, digfl, exact = pipeline
+        pcc = pearson_correlation(digfl.totals, exact.totals)
+        assert pcc == pytest.approx(0.785, abs=0.05)
+
+    def test_qualities_fixed(self, pipeline):
+        workload, _, _ = pipeline
+        assert workload.qualities == ["clean", "clean", "mislabeled", "clean", "noniid"]
+
+
+class TestVFLGolden:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        workload = build_vfl_workload("iris", epochs=30, seed=0)
+        digfl = estimate_vfl_first_order(workload.result.log)
+        utility = VFLRetrainUtility(
+            workload.trainer, workload.split.train, workload.split.validation
+        )
+        exact = exact_shapley(utility)
+        return workload, digfl, exact
+
+    def test_pcc(self, pipeline):
+        _, digfl, exact = pipeline
+        pcc = pearson_correlation(digfl.totals, exact.totals)
+        assert pcc > 0.95  # Table III iris row: 0.981
+
+    def test_party_count_matches_table3(self, pipeline):
+        workload, _, _ = pipeline
+        assert workload.split.n_parties == 4
+
+    def test_best_party_agreement(self, pipeline):
+        _, digfl, exact = pipeline
+        assert int(np.argmax(digfl.totals)) == int(np.argmax(exact.totals))

@@ -1,0 +1,142 @@
+"""Tests for the public gradcheck utilities and GLM L2 regularisation."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, gradcheck, hvpcheck, numeric_gradient, tanh, tsum
+from repro.models import LinearRegressionModel, LogisticRegressionModel, make_vfl_model
+
+RNG = np.random.default_rng(515)
+
+
+class TestGradcheck:
+    def test_passes_on_correct_gradient(self):
+        def fn(ts):
+            (x,) = ts
+            return tsum(tanh(x) * tanh(x))
+
+        assert gradcheck(fn, [RNG.normal(size=(3, 4))])
+
+    def test_two_inputs(self):
+        def fn(ts):
+            a, b = ts
+            return tsum(a * b) + tsum(a * a)
+
+        assert gradcheck(fn, [RNG.normal(size=5), RNG.normal(size=5)])
+
+    def test_fails_on_wrong_gradient(self):
+        """A deliberately broken op must be caught."""
+        from repro.autodiff.tensor import _make, as_tensor
+
+        def broken_double(a):
+            a = as_tensor(a)
+
+            def build(_out):
+                def vjp(g):
+                    return (g,)  # WRONG: should be 2g
+
+                return vjp
+
+            return _make(2.0 * a.data, (a,), build, "broken")
+
+        def fn(ts):
+            return tsum(broken_double(ts[0]))
+
+        with pytest.raises(AssertionError, match="gradcheck failed"):
+            gradcheck(fn, [RNG.normal(size=4)])
+
+    def test_numeric_gradient_shapes(self):
+        def fn(ts):
+            return tsum(ts[0] ** 2.0)
+
+        (g,) = numeric_gradient(fn, [np.ones((2, 3))])
+        np.testing.assert_allclose(g, 2.0, atol=1e-5)
+
+
+class TestHvpcheck:
+    def test_passes_on_smooth_loss(self):
+        X = Tensor(RNG.normal(size=(10, 4)))
+
+        def fn(ts):
+            (w,) = ts
+            return tsum(tanh(X @ ts[0]) ** 2.0)
+
+        assert hvpcheck(fn, [RNG.normal(size=4)], [RNG.normal(size=4)])
+
+
+class TestL2Regularisation:
+    def test_linear_l2_gradient_matches_finite_difference(self):
+        model = LinearRegressionModel(l2=0.3)
+        X = RNG.normal(size=(30, 5))
+        y = RNG.normal(size=30)
+        theta = RNG.normal(size=5)
+        g = model.gradient(theta, X, y)
+        eps = 1e-6
+        for k in range(5):
+            e = np.zeros(5)
+            e[k] = eps
+            numeric = (model.loss(theta + e, X, y) - model.loss(theta - e, X, y)) / (
+                2 * eps
+            )
+            assert g[k] == pytest.approx(numeric, abs=1e-5)
+
+    def test_logistic_l2_gradient_matches_finite_difference(self):
+        model = LogisticRegressionModel(l2=0.1)
+        X = RNG.normal(size=(40, 4))
+        y = (RNG.random(40) > 0.5).astype(float)
+        theta = RNG.normal(size=4)
+        g = model.gradient(theta, X, y)
+        eps = 1e-6
+        for k in range(4):
+            e = np.zeros(4)
+            e[k] = eps
+            numeric = (model.loss(theta + e, X, y) - model.loss(theta - e, X, y)) / (
+                2 * eps
+            )
+            assert g[k] == pytest.approx(numeric, abs=1e-5)
+
+    def test_l2_hvp_consistent_with_hessian(self):
+        model = LinearRegressionModel(l2=0.5)
+        X = RNG.normal(size=(20, 3))
+        y = RNG.normal(size=20)
+        theta = RNG.normal(size=3)
+        v = RNG.normal(size=3)
+        np.testing.assert_allclose(
+            model.hvp(theta, X, y, v), model.hessian(theta, X, y) @ v, atol=1e-12
+        )
+
+    def test_l2_shrinks_solution(self):
+        X = RNG.normal(size=(100, 4))
+        y = X @ np.array([2.0, -1.0, 0.5, 3.0]) + 0.1 * RNG.normal(size=100)
+
+        def solve(l2):
+            model = LinearRegressionModel(l2=l2)
+            theta = np.zeros(4)
+            for _ in range(500):
+                theta -= 0.05 * model.gradient(theta, X, y)
+            return theta
+
+        assert np.linalg.norm(solve(1.0)) < np.linalg.norm(solve(0.0))
+
+    def test_negative_l2_rejected(self):
+        with pytest.raises(ValueError):
+            LinearRegressionModel(l2=-0.1)
+        with pytest.raises(ValueError):
+            LogisticRegressionModel(l2=-0.1)
+
+    def test_factory_passes_l2(self):
+        model = make_vfl_model("regression", l2=0.25)
+        assert model.l2 == 0.25
+
+    def test_factory_rejects_softmax_l2(self):
+        with pytest.raises(ValueError, match="softmax"):
+            make_vfl_model("multiclass", n_classes=3, l2=0.1)
+
+    def test_default_is_unregularised(self):
+        """l2=0 must reproduce the original paper formulation exactly."""
+        X = RNG.normal(size=(20, 3))
+        y = RNG.normal(size=20)
+        theta = RNG.normal(size=3)
+        plain = LinearRegressionModel()
+        residual = X @ theta - y
+        assert plain.loss(theta, X, y) == pytest.approx(float(np.mean(residual**2)))

@@ -1,0 +1,160 @@
+"""Tests for update-level adversaries and DIG-FL's response to them."""
+
+import numpy as np
+import pytest
+
+from repro.core import DIGFLReweighter, estimate_hfl_resource_saving, flag_low_quality
+from repro.hfl import (
+    AdversarialHFLTrainer,
+    gaussian_noise,
+    random_update,
+    scale,
+    sign_flip,
+    zero_update,
+)
+from repro.nn import LRSchedule
+
+from tests.conftest import small_model_factory
+
+
+@pytest.fixture(scope="module")
+def clean_federation():
+    from repro.data import build_hfl_federation, mnist_like
+
+    return build_hfl_federation(mnist_like(1000, seed=10), 5, seed=10)
+
+
+def train_with(fed, attacks, epochs=8, reweighter=None):
+    trainer = AdversarialHFLTrainer(
+        small_model_factory, epochs, LRSchedule(0.5), attacks=attacks
+    )
+    return trainer.train(
+        fed.locals,
+        fed.validation,
+        reweighter=reweighter,
+        track_validation=True,
+    )
+
+
+class TestTransforms:
+    def test_sign_flip(self):
+        update = np.array([1.0, -2.0])
+        np.testing.assert_allclose(sign_flip(2.0)(update, 1), [-2.0, 4.0])
+
+    def test_scale(self):
+        np.testing.assert_allclose(scale(0.5)(np.array([4.0]), 1), [2.0])
+
+    def test_zero(self):
+        np.testing.assert_allclose(zero_update()(np.ones(3), 1), 0.0)
+
+    def test_gaussian_noise_seeded(self):
+        attack = gaussian_noise(0.1, seed=1)
+        a = attack(np.zeros(4), epoch=2)
+        b = gaussian_noise(0.1, seed=1)(np.zeros(4), epoch=2)
+        np.testing.assert_array_equal(a, b)
+
+    def test_gaussian_noise_varies_by_epoch(self):
+        attack = gaussian_noise(0.1, seed=1)
+        assert not np.allclose(attack(np.zeros(4), 1), attack(np.zeros(4), 2))
+
+    def test_random_update_ignores_input(self):
+        attack = random_update(1.0, seed=0)
+        a = attack(np.ones(4), 1)
+        b = attack(np.full(4, 100.0), 1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sign_flip(0.0)
+        with pytest.raises(ValueError):
+            gaussian_noise(-1.0)
+        with pytest.raises(ValueError):
+            random_update(0.0)
+
+
+class TestAdversarialTrainer:
+    def test_no_attacks_equals_plain(self, clean_federation):
+        from repro.hfl import HFLTrainer
+
+        plain = HFLTrainer(small_model_factory, 3, LRSchedule(0.5))
+        adversarial = AdversarialHFLTrainer(
+            small_model_factory, 3, LRSchedule(0.5), attacks={}
+        )
+        a = plain.train(clean_federation.locals, clean_federation.validation)
+        b = adversarial.train(clean_federation.locals, clean_federation.validation)
+        np.testing.assert_allclose(a.model.get_flat(), b.model.get_flat(), atol=1e-12)
+
+    def test_attack_visible_in_log(self, clean_federation):
+        result = train_with(clean_federation, {0: zero_update()}, epochs=2)
+        record = result.log.records[0]
+        np.testing.assert_allclose(record.local_updates[0], 0.0)
+        assert not np.allclose(record.local_updates[1], 0.0)
+
+    def test_shape_changing_attack_rejected(self, clean_federation):
+        bad = lambda update, epoch: update[:3]
+        trainer = AdversarialHFLTrainer(
+            small_model_factory, 1, LRSchedule(0.5), attacks={0: bad}
+        )
+        with pytest.raises(ValueError, match="shape"):
+            trainer.train(clean_federation.locals, clean_federation.validation)
+
+    def test_sign_flip_hurts_accuracy(self, clean_federation):
+        honest = train_with(clean_federation, {})
+        attacked = train_with(
+            clean_federation, {i: sign_flip(1.0) for i in range(2)}
+        )
+        assert (
+            attacked.log.records[-1].val_accuracy
+            < honest.log.records[-1].val_accuracy
+        )
+
+
+class TestDIGFLDetectsAttacks:
+    def test_sign_flipper_has_lowest_contribution(self, clean_federation):
+        result = train_with(clean_federation, {2: sign_flip(1.0)})
+        report = estimate_hfl_resource_saving(
+            result.log, clean_federation.validation, small_model_factory
+        )
+        assert int(np.argmin(report.totals)) == 2
+
+    def test_random_updater_contribution_is_noise(self, clean_federation):
+        """A pure-noise uploader's per-epoch contributions are zero-mean:
+        they flip sign across epochs, unlike honest participants whose
+        contributions stay predominantly positive."""
+        result = train_with(
+            clean_federation, {2: random_update(1.0, seed=3)}, epochs=12
+        )
+        report = estimate_hfl_resource_saving(
+            result.log, clean_federation.validation, small_model_factory
+        )
+        attacker_signs = np.sign(report.per_epoch[:, 2])
+        assert (attacker_signs > 0).any() and (attacker_signs < 0).any()
+        honest_positive = (report.per_epoch[:, [0, 1, 3, 4]] > 0).mean()
+        assert honest_positive > 0.9
+
+    def test_attacker_flagged_as_outlier(self, clean_federation):
+        result = train_with(clean_federation, {1: sign_flip(1.0)})
+        report = estimate_hfl_resource_saving(
+            result.log, clean_federation.validation, small_model_factory
+        )
+        assert flag_low_quality(report, threshold=1.5) == [1]
+
+    def test_free_rider_contribution_near_zero(self, clean_federation):
+        result = train_with(clean_federation, {3: zero_update()})
+        report = estimate_hfl_resource_saving(
+            result.log, clean_federation.validation, small_model_factory
+        )
+        assert abs(report.totals[3]) < 1e-12
+
+    def test_reweighting_neutralises_sign_flip(self, clean_federation):
+        attacks = {0: sign_flip(1.0), 1: sign_flip(1.0)}
+        plain = train_with(clean_federation, attacks)
+        defended = train_with(
+            clean_federation,
+            attacks,
+            reweighter=DIGFLReweighter(clean_federation.validation),
+        )
+        assert (
+            defended.log.records[-1].val_accuracy
+            > plain.log.records[-1].val_accuracy + 0.05
+        )

@@ -1,0 +1,92 @@
+"""Additional TrainingLog / EpochRecord invariants and DIG-FL identities."""
+
+import numpy as np
+import pytest
+
+from repro.core import estimate_hfl_resource_saving, from_per_epoch
+from repro.hfl import EpochRecord, TrainingLog
+
+from tests.conftest import small_model_factory
+
+
+def make_log(n_epochs=3, n_parties=4, p=6, seed=0):
+    rng = np.random.default_rng(seed)
+    log = TrainingLog(participant_ids=list(range(n_parties)))
+    theta = rng.normal(size=p)
+    for t in range(1, n_epochs + 1):
+        updates = 0.1 * rng.normal(size=(n_parties, p))
+        weights = np.full(n_parties, 1.0 / n_parties)
+        log.records.append(
+            EpochRecord(
+                epoch=t,
+                lr=0.1,
+                theta_before=theta.copy(),
+                local_updates=updates,
+                weights=weights,
+            )
+        )
+        theta = theta - weights @ updates
+    return log
+
+
+class TestEpochRecordInvariants:
+    def test_global_update_matches_weights(self):
+        log = make_log()
+        record = log.records[0]
+        np.testing.assert_allclose(
+            record.global_update, record.weights @ record.local_updates
+        )
+
+    def test_theta_after(self):
+        log = make_log()
+        record = log.records[0]
+        np.testing.assert_allclose(
+            record.theta_after, record.theta_before - record.global_update
+        )
+
+    def test_final_theta_telescopes(self):
+        """final_theta equals θ_0 minus the sum of all global updates."""
+        log = make_log(n_epochs=5)
+        total = sum(r.global_update for r in log.records)
+        np.testing.assert_allclose(
+            log.final_theta, log.initial_theta - total, atol=1e-12
+        )
+
+
+class TestContributionReportInvariants:
+    def test_efficiency_identity_of_first_order_estimator(
+        self, hfl_result, hfl_federation
+    ):
+        """Σ_i φ̂_{t,i} = ⟨v_t, G_t⟩ for uniform weights — the estimator
+        splits the aggregate's alignment across participants exactly."""
+        report = estimate_hfl_resource_saving(
+            hfl_result.log, hfl_federation.validation, small_model_factory
+        )
+        from repro.hfl import validation_gradient
+
+        model = small_model_factory()
+        for t, record in enumerate(hfl_result.log.records):
+            v = validation_gradient(
+                model, record.theta_before, hfl_federation.validation
+            )
+            total = report.per_epoch[t].sum()
+            assert total == pytest.approx(float(v @ record.global_update), abs=1e-10)
+
+    def test_aligned_with_subset(self):
+        a = from_per_epoch("x", [0, 1, 2], np.ones((2, 3)))
+        b = from_per_epoch("y", [1, 2, 3], np.full((2, 3), 2.0))
+        mine, theirs = a.aligned_with(b)
+        np.testing.assert_allclose(mine, [2.0, 2.0])
+        np.testing.assert_allclose(theirs, [4.0, 4.0])
+
+    def test_per_epoch_shape_validation(self):
+        with pytest.raises(ValueError):
+            from_per_epoch("x", [0, 1], np.ones((3, 5)))
+
+    def test_totals_shape_validation(self):
+        from repro.core import ContributionReport
+
+        with pytest.raises(ValueError):
+            ContributionReport(
+                method="x", participant_ids=[0, 1], totals=np.ones(3)
+            )

@@ -1,0 +1,175 @@
+"""Tests for secure aggregation (and its DIG-FL incompatibility) and
+update compression."""
+
+import numpy as np
+import pytest
+
+from repro.core import estimate_hfl_resource_saving
+from repro.hfl import (
+    AdversarialHFLTrainer,
+    SecureAggregationSession,
+    quantize,
+    random_sparsify,
+    topk_sparsify,
+)
+from repro.metrics import pearson_correlation
+from repro.nn import LRSchedule
+
+from tests.conftest import small_model_factory
+
+RNG = np.random.default_rng(99)
+
+
+class TestSecureAggregation:
+    def test_masks_cancel_in_sum(self):
+        session = SecureAggregationSession(5, 20, seed=0)
+        updates = RNG.normal(size=(5, 20))
+        masked = session.mask_all(updates, round_index=1)
+        np.testing.assert_allclose(
+            session.aggregate(masked), updates.sum(axis=0), atol=1e-9
+        )
+
+    def test_individual_uploads_hidden(self):
+        """A masked upload must not resemble the true update."""
+        session = SecureAggregationSession(4, 50, seed=1)
+        updates = 0.01 * RNG.normal(size=(4, 50))
+        masked = session.mask_all(updates, round_index=2)
+        for i in range(4):
+            # Mask magnitude dwarfs the update: correlation ~ 0.
+            assert abs(pearson_correlation(masked[i], updates[i])) < 0.5
+            assert np.linalg.norm(masked[i] - updates[i]) > 10 * np.linalg.norm(
+                updates[i]
+            )
+
+    def test_masks_fresh_per_round(self):
+        session = SecureAggregationSession(3, 10, seed=2)
+        update = np.zeros(10)
+        a = session.mask_update(0, update, round_index=1)
+        b = session.mask_update(0, update, round_index=2)
+        assert not np.allclose(a, b)
+
+    def test_deterministic(self):
+        a = SecureAggregationSession(3, 10, seed=3).mask_update(1, np.ones(10), 1)
+        b = SecureAggregationSession(3, 10, seed=3).mask_update(1, np.ones(10), 1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_single_party_no_masks(self):
+        session = SecureAggregationSession(1, 5, seed=0)
+        update = RNG.normal(size=5)
+        np.testing.assert_array_equal(session.mask_update(0, update, 1), update)
+
+    def test_shape_validation(self):
+        session = SecureAggregationSession(3, 10, seed=0)
+        with pytest.raises(ValueError, match="shape"):
+            session.mask_update(0, np.zeros(5), 1)
+        with pytest.raises(ValueError, match="unknown participant"):
+            session.mask_update(9, np.zeros(10), 1)
+        with pytest.raises(ValueError, match="expected"):
+            session.aggregate(np.zeros((2, 10)))
+
+    def test_digfl_incompatible_with_masked_logs(self, hfl_result, hfl_federation):
+        """The documented boundary: masking per-party uploads destroys the
+        contribution signal while the aggregate — hence training — is
+        unchanged."""
+        log = hfl_result.log
+        p = log.initial_theta.size
+        session = SecureAggregationSession(5, p, seed=4)
+
+        clear_report = estimate_hfl_resource_saving(
+            log, hfl_federation.validation, small_model_factory
+        )
+
+        # Build a masked copy of the log (what the server would see).
+        from repro.hfl import EpochRecord, TrainingLog
+
+        masked_log = TrainingLog(participant_ids=log.participant_ids)
+        for record in log.records:
+            masked_updates = session.mask_all(record.local_updates, record.epoch)
+            # Aggregate (mean) is preserved exactly...
+            np.testing.assert_allclose(
+                masked_updates.mean(axis=0),
+                record.local_updates.mean(axis=0),
+                atol=1e-9,
+            )
+            masked_log.records.append(
+                EpochRecord(
+                    epoch=record.epoch,
+                    lr=record.lr,
+                    theta_before=record.theta_before,
+                    local_updates=masked_updates,
+                    weights=record.weights,
+                )
+            )
+        masked_report = estimate_hfl_resource_saving(
+            masked_log, hfl_federation.validation, small_model_factory
+        )
+        # ...but the per-participant signal is gone.
+        assert (
+            abs(pearson_correlation(masked_report.totals, clear_report.totals)) < 0.9
+        )
+        # The *sum* of contributions is preserved (it only depends on the
+        # aggregate) — a nice sanity identity.
+        assert masked_report.totals.sum() == pytest.approx(
+            clear_report.totals.sum(), rel=1e-6
+        )
+
+
+class TestCompressionTransforms:
+    def test_topk_keeps_largest(self):
+        update = np.array([0.1, -5.0, 0.2, 3.0, -0.05])
+        out = topk_sparsify(0.4)(update, 1)
+        np.testing.assert_allclose(out, [0.0, -5.0, 0.0, 3.0, 0.0])
+
+    def test_topk_at_least_one(self):
+        out = topk_sparsify(0.01)(np.array([1.0, 2.0, 3.0]), 1)
+        assert np.count_nonzero(out) == 1
+
+    def test_random_sparsify_unbiased(self):
+        update = np.ones(20_000)
+        transform = random_sparsify(0.25, seed=0)
+        out = transform(update, 1)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+        kept = np.count_nonzero(out) / out.size
+        assert kept == pytest.approx(0.25, abs=0.02)
+
+    def test_random_sparsify_seeded_per_epoch(self):
+        transform = random_sparsify(0.5, seed=1)
+        a = transform(np.ones(100), 1)
+        b = transform(np.ones(100), 2)
+        assert not np.array_equal(a, b)
+        np.testing.assert_array_equal(a, random_sparsify(0.5, seed=1)(np.ones(100), 1))
+
+    def test_quantize_reduces_levels(self):
+        update = RNG.normal(size=1000)
+        out = quantize(3)(update, 1)
+        assert len(np.unique(out)) <= 2**3
+        # Low distortion at 8 bits.
+        out8 = quantize(8)(update, 1)
+        assert np.abs(out8 - update).max() < np.abs(update).max() / 100
+
+    def test_quantize_zero_vector(self):
+        np.testing.assert_array_equal(quantize(4)(np.zeros(5), 1), np.zeros(5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            topk_sparsify(0.0)
+        with pytest.raises(ValueError):
+            random_sparsify(1.0)
+        with pytest.raises(ValueError):
+            quantize(0)
+
+
+class TestDIGFLUnderCompression:
+    def test_contribution_ranking_survives_topk(self, hfl_federation):
+        """With 10% top-k sparsification on every participant, DIG-FL must
+        still put the mislabeled participant at the bottom."""
+        transforms = {i: topk_sparsify(0.1) for i in range(5)}
+        trainer = AdversarialHFLTrainer(
+            small_model_factory, 8, LRSchedule(0.5), attacks=transforms
+        )
+        result = trainer.train(hfl_federation.locals, hfl_federation.validation)
+        report = estimate_hfl_resource_saving(
+            result.log, hfl_federation.validation, small_model_factory
+        )
+        worst = int(np.argmin(report.totals))
+        assert hfl_federation.qualities[worst] in ("mislabeled", "noniid")

@@ -1,0 +1,160 @@
+"""Tests for the FedSGD trainer and training log."""
+
+import numpy as np
+import pytest
+
+from repro.data import build_hfl_federation, mnist_like
+from repro.hfl import HFLTrainer, flat_gradient, validation_gradient
+from repro.metrics import CostLedger
+from repro.nn import LRSchedule, make_mlp_classifier
+
+from tests.conftest import small_model_factory
+
+
+class TestTrainingMechanics:
+    def test_loss_decreases(self, hfl_result):
+        curve = hfl_result.log.val_loss_curve()
+        assert curve[-1] < curve[0]
+
+    def test_log_epoch_count(self, hfl_result, hfl_trainer):
+        assert hfl_result.log.n_epochs == hfl_trainer.epochs
+
+    def test_epochs_one_indexed(self, hfl_result):
+        assert [r.epoch for r in hfl_result.log.records] == list(range(1, 9))
+
+    def test_aggregation_is_weighted_mean(self, hfl_result):
+        record = hfl_result.log.records[0]
+        np.testing.assert_allclose(
+            record.global_update,
+            record.local_updates.mean(axis=0),
+            atol=1e-12,
+        )
+
+    def test_theta_chain_consistent(self, hfl_result):
+        """θ_after of epoch t equals θ_before of epoch t+1."""
+        records = hfl_result.log.records
+        for prev, nxt in zip(records, records[1:]):
+            np.testing.assert_allclose(prev.theta_after, nxt.theta_before, atol=1e-12)
+
+    def test_final_theta_matches_model(self, hfl_result):
+        np.testing.assert_allclose(
+            hfl_result.log.final_theta, hfl_result.model.get_flat(), atol=1e-12
+        )
+
+    def test_local_update_is_lr_times_gradient(self, hfl_federation):
+        trainer = HFLTrainer(small_model_factory, epochs=1, lr_schedule=LRSchedule(0.25))
+        result = trainer.train(hfl_federation.locals, hfl_federation.validation)
+        record = result.log.records[0]
+        model = small_model_factory()
+        model.set_flat(record.theta_before)
+        data = hfl_federation.locals[0]
+        expected = 0.25 * flat_gradient(model, data.X, data.y)
+        np.testing.assert_allclose(record.local_updates[0], expected, atol=1e-12)
+
+    def test_deterministic(self, hfl_federation):
+        trainer = HFLTrainer(small_model_factory, epochs=3, lr_schedule=LRSchedule(0.5))
+        a = trainer.train(hfl_federation.locals, hfl_federation.validation)
+        b = trainer.train(hfl_federation.locals, hfl_federation.validation)
+        np.testing.assert_array_equal(a.model.get_flat(), b.model.get_flat())
+
+
+class TestCoalitions:
+    def test_subset_trains_only_members(self, hfl_federation):
+        trainer = HFLTrainer(small_model_factory, epochs=2, lr_schedule=LRSchedule(0.5))
+        result = trainer.train(
+            hfl_federation.locals, hfl_federation.validation, participants=[1, 3]
+        )
+        assert result.log.participant_ids == [1, 3]
+        assert result.log.records[0].local_updates.shape[0] == 2
+
+    def test_empty_coalition_rejected(self, hfl_federation):
+        trainer = HFLTrainer(small_model_factory, epochs=1, lr_schedule=LRSchedule(0.5))
+        with pytest.raises(ValueError, match="at least one"):
+            trainer.train(hfl_federation.locals, participants=[])
+
+    def test_unknown_participant_rejected(self, hfl_federation):
+        trainer = HFLTrainer(small_model_factory, epochs=1, lr_schedule=LRSchedule(0.5))
+        with pytest.raises(ValueError, match="unknown participant"):
+            trainer.train(hfl_federation.locals, participants=[0, 99])
+
+    def test_init_theta_respected(self, hfl_federation):
+        trainer = HFLTrainer(small_model_factory, epochs=1, lr_schedule=LRSchedule(0.5))
+        theta0 = np.zeros(small_model_factory().num_parameters())
+        result = trainer.train(
+            hfl_federation.locals, hfl_federation.validation, init_theta=theta0
+        )
+        np.testing.assert_allclose(result.log.initial_theta, theta0)
+
+    def test_singleton_coalition(self, hfl_federation):
+        trainer = HFLTrainer(small_model_factory, epochs=2, lr_schedule=LRSchedule(0.5))
+        result = trainer.train(hfl_federation.locals, participants=[2])
+        assert result.log.records[0].weights[0] == pytest.approx(1.0)
+
+
+class TestLedger:
+    def test_communication_accounted(self, hfl_federation):
+        ledger = CostLedger()
+        trainer = HFLTrainer(small_model_factory, epochs=2, lr_schedule=LRSchedule(0.5))
+        trainer.train(hfl_federation.locals, ledger=ledger)
+        p = small_model_factory().num_parameters()
+        expected = 2 * 5 * p * 8  # epochs × participants × params × 8 bytes
+        assert ledger.comm_bytes["participant->server"] == expected
+        assert ledger.comm_bytes["server->participant"] == expected
+
+
+class TestValidationRequirements:
+    def test_tracking_without_validation_rejected(self, hfl_federation):
+        trainer = HFLTrainer(small_model_factory, epochs=1, lr_schedule=LRSchedule(0.5))
+        with pytest.raises(ValueError, match="validation"):
+            trainer.train(hfl_federation.locals, track_validation=True)
+
+    def test_nan_metrics_when_not_tracking(self, hfl_federation):
+        trainer = HFLTrainer(small_model_factory, epochs=1, lr_schedule=LRSchedule(0.5))
+        result = trainer.train(hfl_federation.locals, hfl_federation.validation)
+        assert np.isnan(result.log.records[0].val_loss)
+
+
+class TestLogHelpers:
+    def test_updates_of(self, hfl_result):
+        updates = hfl_result.log.updates_of(2)
+        assert updates.shape == (hfl_result.log.n_epochs, len(hfl_result.log.initial_theta))
+
+    def test_updates_of_unknown(self, hfl_result):
+        with pytest.raises(KeyError):
+            hfl_result.log.updates_of(42)
+
+    def test_empty_log_errors(self):
+        from repro.hfl import TrainingLog
+
+        log = TrainingLog(participant_ids=[0])
+        with pytest.raises(ValueError):
+            _ = log.initial_theta
+        with pytest.raises(ValueError):
+            _ = log.final_theta
+
+
+class TestGradientHelpers:
+    def test_validation_gradient_restores_model(self, hfl_federation):
+        model = small_model_factory()
+        before = model.get_flat()
+        theta = np.zeros_like(before)
+        validation_gradient(model, theta, hfl_federation.validation)
+        np.testing.assert_array_equal(model.get_flat(), before)
+
+    def test_flat_gradient_shape(self, hfl_federation):
+        model = small_model_factory()
+        data = hfl_federation.locals[0]
+        g = flat_gradient(model, data.X, data.y)
+        assert g.shape == (model.num_parameters(),)
+
+
+class TestConvergenceOnCleanData:
+    def test_high_accuracy_when_all_clean(self):
+        fed = build_hfl_federation(mnist_like(1200, seed=1), 4, seed=1)
+        trainer = HFLTrainer(
+            lambda: make_mlp_classifier(100, 10, hidden=(16,), seed=0),
+            epochs=25,
+            lr_schedule=LRSchedule(0.5),
+        )
+        result = trainer.train(fed.locals, fed.validation, track_validation=True)
+        assert result.log.records[-1].val_accuracy > 0.85

@@ -1,0 +1,141 @@
+"""End-to-end HFL integration: DIG-FL vs exact Shapley, as in Fig. 3.
+
+These tests run the full experimental pipeline at small scale: build a
+federation with corrupted participants, train FedSGD, estimate contributions
+with DIG-FL and the baselines, retrain 2^n coalitions for the exact Shapley
+value, and check the paper's qualitative claims.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import estimate_hfl_interactive, estimate_hfl_resource_saving
+from repro.data import build_hfl_federation, mnist_like
+from repro.hfl import HFLTrainer
+from repro.metrics import pearson_correlation, spearman_correlation
+from repro.nn import LRSchedule, make_mlp_classifier
+from repro.shapley import (
+    HFLRetrainUtility,
+    exact_shapley,
+    gt_shapley,
+    im_scores,
+    mr_shapley,
+    tmc_shapley,
+)
+
+
+def factory():
+    return make_mlp_classifier(100, 10, hidden=(16,), seed=0)
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """Shared training run + exact Shapley ground truth (n=5, 32 retrains)."""
+    fed = build_hfl_federation(
+        mnist_like(1200, seed=4), 5, n_mislabeled=1, n_noniid=1, seed=4
+    )
+    trainer = HFLTrainer(factory, epochs=10, lr_schedule=LRSchedule(0.5))
+    result = trainer.train(fed.locals, fed.validation, track_validation=True)
+    utility = HFLRetrainUtility(
+        trainer, fed.locals, fed.validation, init_theta=result.log.initial_theta
+    )
+    exact = exact_shapley(utility)
+    return fed, trainer, result, utility, exact
+
+
+class TestDIGFLvsExact:
+    def test_resource_saving_pcc(self, pipeline):
+        fed, _, result, _, exact = pipeline
+        report = estimate_hfl_resource_saving(result.log, fed.validation, factory)
+        assert pearson_correlation(report.totals, exact.totals) > 0.85
+
+    def test_interactive_pcc(self, pipeline):
+        fed, _, result, _, exact = pipeline
+        report = estimate_hfl_interactive(
+            result.log, fed.validation, factory, fed.locals
+        )
+        assert pearson_correlation(report.totals, exact.totals) > 0.85
+
+    def test_rank_agreement(self, pipeline):
+        fed, _, result, _, exact = pipeline
+        report = estimate_hfl_resource_saving(result.log, fed.validation, factory)
+        assert spearman_correlation(report.totals, exact.totals) > 0.7
+
+    def test_digfl_orders_of_magnitude_cheaper(self, pipeline):
+        """Fig. 3(c): exact needs 2^n retrainings, DIG-FL none."""
+        fed, _, result, utility, _ = pipeline
+        report = estimate_hfl_resource_saving(result.log, fed.validation, factory)
+        assert utility.ledger.compute_seconds > 10 * report.ledger.compute_seconds
+
+    def test_no_communication_overhead(self, pipeline):
+        """Fig. 3(d): Algorithm 2 adds zero communication."""
+        fed, _, result, _, _ = pipeline
+        report = estimate_hfl_resource_saving(result.log, fed.validation, factory)
+        assert report.ledger.total_comm_bytes == 0
+
+    def test_corrupted_participants_have_low_exact_shapley(self, pipeline):
+        fed, _, _, _, exact = pipeline
+        clean_vals = [t for t, q in zip(exact.totals, fed.qualities) if q == "clean"]
+        bad_vals = [t for t, q in zip(exact.totals, fed.qualities) if q != "clean"]
+        assert np.mean(bad_vals) < np.mean(clean_vals)
+
+
+class TestBaselineComparison:
+    """Fig. 4 / Table IV at small scale: DIG-FL ≥ baselines in PCC."""
+
+    def test_all_methods_positive_correlation(self, pipeline):
+        fed, trainer, result, utility, exact = pipeline
+        digfl = estimate_hfl_resource_saving(result.log, fed.validation, factory)
+        tmc = tmc_shapley(utility, n_permutations=8, seed=0)
+        # With n=5 all 32 coalitions are already cached from the exact run,
+        # so a generous GT test budget costs nothing extra here.
+        gt = gt_shapley(utility, n_tests=2000, seed=0)
+        mr = mr_shapley(result.log, fed.validation, factory)
+
+        for report in (digfl, tmc, mr):
+            assert pearson_correlation(report.totals, exact.totals) > 0.5, report.method
+        assert pearson_correlation(gt.totals, exact.totals) > 0.3
+
+    def test_digfl_beats_im(self, pipeline):
+        fed, _, result, _, exact = pipeline
+        digfl = estimate_hfl_resource_saving(result.log, fed.validation, factory)
+        im = im_scores(result.log)
+        pcc_digfl = pearson_correlation(digfl.totals, exact.totals)
+        pcc_im = pearson_correlation(im.totals, exact.totals)
+        assert pcc_digfl >= pcc_im - 0.05  # IM is the weakest baseline in Table IV
+
+    def test_sampling_baselines_cost_more_retraining(self, pipeline):
+        """TMC/GT retrain the model; DIG-FL does not."""
+        fed, trainer, result, _, _ = pipeline
+        fresh_utility = HFLRetrainUtility(
+            trainer, fed.locals, fed.validation, init_theta=result.log.initial_theta
+        )
+        tmc_shapley(fresh_utility, n_permutations=5, seed=1)
+        assert fresh_utility.evaluations > 5
+
+
+@pytest.mark.parametrize("dataset", ["mnist", "cifar10", "motor", "real"])
+class TestAllFourDatasets:
+    """Fig. 3 coverage: the pipeline holds on every paper HFL dataset."""
+
+    def test_digfl_tracks_exact(self, dataset):
+        from repro.scenario import HFLScenario
+
+        result = HFLScenario(
+            dataset=dataset,
+            n_parties=5,
+            n_mislabeled=1,
+            n_noniid=1,
+            epochs=8,
+            compute_exact=True,
+            seed=11,
+        ).run()
+        assert result.pcc > 0.6, f"{dataset}: PCC {result.pcc:.3f}"
+        # Corrupted participants sit below the clean mean in the exact values.
+        clean = [
+            t for t, q in zip(result.exact.totals, result.qualities) if q == "clean"
+        ]
+        bad = [
+            t for t, q in zip(result.exact.totals, result.qualities) if q != "clean"
+        ]
+        assert np.mean(bad) < np.mean(clean)

@@ -1,0 +1,100 @@
+"""End-to-end VFL integration: DIG-FL vs exact Shapley, as in Table III."""
+
+import numpy as np
+import pytest
+
+from repro.core import estimate_vfl_first_order, estimate_vfl_second_order
+from repro.data import build_vfl_federation, iris_like, wine_quality_like
+from repro.metrics import pearson_correlation, relative_error
+from repro.nn import LRSchedule
+from repro.shapley import VFLRetrainUtility, exact_shapley, gt_shapley, tmc_shapley
+from repro.vfl import VFLTrainer
+
+
+@pytest.fixture(scope="module")
+def linreg_pipeline():
+    dataset = wine_quality_like(seed=0).standardized()
+    split = build_vfl_federation(dataset, 6, max_rows=400, seed=0)
+    trainer = VFLTrainer("regression", split.feature_blocks, 30, LRSchedule(0.1))
+    result = trainer.train(split.train, split.validation, track_losses=True)
+    utility = VFLRetrainUtility(trainer, split.train, split.validation)
+    exact = exact_shapley(utility)
+    return split, trainer, result, utility, exact
+
+
+@pytest.fixture(scope="module")
+def logreg_pipeline():
+    dataset = iris_like(seed=0).standardized()
+    split = build_vfl_federation(dataset, 4, seed=0)
+    trainer = VFLTrainer("binary", split.feature_blocks, 40, LRSchedule(0.5))
+    result = trainer.train(split.train, split.validation, track_losses=True)
+    utility = VFLRetrainUtility(trainer, split.train, split.validation)
+    exact = exact_shapley(utility)
+    return split, trainer, result, utility, exact
+
+
+class TestLinReg:
+    def test_pcc_high(self, linreg_pipeline):
+        _, _, result, _, exact = linreg_pipeline
+        report = estimate_vfl_first_order(result.log)
+        assert pearson_correlation(report.totals, exact.totals) > 0.9
+
+    def test_second_order_error_small(self, linreg_pipeline):
+        """Table II row: |φ−φ̂|/φ within a few percent."""
+        split, trainer, result, _, _ = linreg_pipeline
+        fo = estimate_vfl_first_order(result.log)
+        so = estimate_vfl_second_order(result.log, trainer.model, split.train)
+        assert relative_error(float(so.totals.sum()), float(fo.totals.sum())) < 0.15
+
+    def test_digfl_cheaper_than_exact(self, linreg_pipeline):
+        _, _, result, utility, _ = linreg_pipeline
+        report = estimate_vfl_first_order(result.log)
+        assert utility.ledger.compute_seconds > 5 * report.ledger.compute_seconds
+
+    def test_exact_retrains_2_to_n(self, linreg_pipeline):
+        _, _, _, utility, _ = linreg_pipeline
+        assert utility.evaluations == 2**6
+
+
+class TestLogReg:
+    def test_pcc_high(self, logreg_pipeline):
+        _, _, result, _, exact = logreg_pipeline
+        report = estimate_vfl_first_order(result.log)
+        assert pearson_correlation(report.totals, exact.totals) > 0.8
+
+    def test_model_actually_learned(self, logreg_pipeline):
+        split, trainer, result, _, _ = logreg_pipeline
+        acc = trainer.model.score(result.theta, split.validation.X, split.validation.y)
+        assert acc > 0.6
+
+
+class TestVFLBaselines:
+    """Fig. 5 / Table V at small scale."""
+
+    def test_tmc_and_gt_work_on_vfl(self, linreg_pipeline):
+        _, trainer, _, _, exact = linreg_pipeline
+        split = linreg_pipeline[0]
+        fresh = VFLRetrainUtility(trainer, split.train, split.validation)
+        tmc = tmc_shapley(fresh, n_permutations=10, seed=0)
+        gt = gt_shapley(fresh, n_tests=60, seed=0)
+        assert pearson_correlation(tmc.totals, exact.totals) > 0.7
+        assert pearson_correlation(gt.totals, exact.totals) > 0.5
+
+    def test_digfl_no_retraining(self, linreg_pipeline):
+        """DIG-FL's cost comes only from the log pass, not retraining."""
+        _, _, result, _, _ = linreg_pipeline
+        report = estimate_vfl_first_order(result.log)
+        # No coalition evaluations recorded — the estimator never trains.
+        assert "coalition_evaluations" not in report.extra
+
+
+class TestShapleyPartyRanking:
+    def test_high_signal_parties_rank_high(self, linreg_pipeline):
+        """Parties owning high-coefficient features must rank above parties
+        owning noise features, in both exact and DIG-FL rankings."""
+        split, _, result, _, exact = linreg_pipeline
+        report = estimate_vfl_first_order(result.log)
+        # Best party by exact Shapley should be in DIG-FL's top 2.
+        best = int(np.argmax(exact.totals))
+        digfl_rank = list(np.argsort(report.totals)[::-1])
+        assert digfl_rank.index(best) <= 1

@@ -1,0 +1,62 @@
+"""Table III coverage: the VFL pipeline holds on every paper dataset.
+
+Party counts are capped for test speed (the full counts run via
+``python -m repro.experiments --full``); every dataset still goes through
+train → DIG-FL → exact Shapley → PCC.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import VFL_DATASETS
+from repro.scenario import VFLScenario
+
+LINREG = [k for k, v in VFL_DATASETS.items() if v.vfl_model == "linreg"]
+LOGREG = [k for k, v in VFL_DATASETS.items() if v.vfl_model == "logreg"]
+
+
+@pytest.mark.parametrize("dataset", LINREG)
+def test_linreg_datasets(dataset):
+    result = VFLScenario(
+        dataset=dataset,
+        n_parties=min(6, VFL_DATASETS[dataset].vfl_parties),
+        epochs=20,
+        max_rows=400,
+        compute_exact=True,
+        seed=17,
+    ).run()
+    assert result.pcc > 0.85, f"{dataset}: PCC {result.pcc:.3f}"
+    assert result.validation_score > 0.2, f"{dataset}: R² {result.validation_score}"
+
+
+@pytest.mark.parametrize("dataset", LOGREG)
+def test_logreg_datasets(dataset):
+    result = VFLScenario(
+        dataset=dataset,
+        n_parties=min(6, VFL_DATASETS[dataset].vfl_parties),
+        epochs=25,
+        max_rows=400,
+        compute_exact=True,
+        seed=17,
+    ).run()
+    assert result.pcc > 0.75, f"{dataset}: PCC {result.pcc:.3f}"
+    assert result.validation_score > 0.55, f"{dataset}: acc {result.validation_score}"
+
+
+def test_all_ten_datasets_covered():
+    assert len(LINREG) + len(LOGREG) == 10
+
+
+def test_rankings_mostly_agree():
+    """Across datasets, DIG-FL's top party matches the exact top party in
+    the overwhelming majority of cases."""
+    agreements = []
+    for dataset, parties in (("boston", 5), ("iris", 4), ("wine_quality", 5)):
+        result = VFLScenario(
+            dataset=dataset, n_parties=parties, epochs=20, max_rows=300,
+            compute_exact=True, seed=23,
+        ).run()
+        agreements.append(
+            int(np.argmax(result.digfl.totals)) == int(np.argmax(result.exact.totals))
+        )
+    assert sum(agreements) >= 2

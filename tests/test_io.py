@@ -1,0 +1,145 @@
+"""Round-trip tests for training-log and report serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.core import estimate_hfl_resource_saving, estimate_vfl_first_order
+from repro.io import (
+    load_report,
+    load_training_log,
+    load_vfl_training_log,
+    save_report,
+    save_training_log,
+    save_vfl_training_log,
+)
+from repro.hfl import TrainingLog
+from repro.vfl.log import VFLTrainingLog
+
+from tests.conftest import small_model_factory
+
+
+class TestHFLLogRoundtrip:
+    def test_arrays_identical(self, hfl_result, tmp_path):
+        path = tmp_path / "log.npz"
+        save_training_log(hfl_result.log, path)
+        loaded = load_training_log(path)
+        assert loaded.participant_ids == hfl_result.log.participant_ids
+        assert loaded.n_epochs == hfl_result.log.n_epochs
+        for a, b in zip(loaded.records, hfl_result.log.records):
+            np.testing.assert_array_equal(a.theta_before, b.theta_before)
+            np.testing.assert_array_equal(a.local_updates, b.local_updates)
+            np.testing.assert_array_equal(a.weights, b.weights)
+            assert a.epoch == b.epoch
+            assert a.lr == b.lr
+
+    def test_estimates_identical_after_roundtrip(
+        self, hfl_result, hfl_federation, tmp_path
+    ):
+        """The whole point: estimators replayed on a loaded log agree."""
+        path = tmp_path / "log.npz"
+        save_training_log(hfl_result.log, path)
+        loaded = load_training_log(path)
+        original = estimate_hfl_resource_saving(
+            hfl_result.log, hfl_federation.validation, small_model_factory
+        )
+        replayed = estimate_hfl_resource_saving(
+            loaded, hfl_federation.validation, small_model_factory
+        )
+        np.testing.assert_allclose(replayed.totals, original.totals, atol=1e-12)
+
+    def test_val_metrics_survive(self, hfl_result, tmp_path):
+        path = tmp_path / "log.npz"
+        save_training_log(hfl_result.log, path)
+        loaded = load_training_log(path)
+        np.testing.assert_allclose(
+            loaded.val_loss_curve(), hfl_result.log.val_loss_curve()
+        )
+
+    def test_empty_log_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="empty"):
+            save_training_log(TrainingLog(participant_ids=[0]), tmp_path / "x.npz")
+
+    def test_wrong_format_rejected(self, vfl_result, tmp_path):
+        path = tmp_path / "vfl.npz"
+        save_vfl_training_log(vfl_result.log, path)
+        with pytest.raises(ValueError, match="not an HFL"):
+            load_training_log(path)
+
+
+class TestVFLLogRoundtrip:
+    def test_arrays_identical(self, vfl_result, tmp_path):
+        path = tmp_path / "log.npz"
+        save_vfl_training_log(vfl_result.log, path)
+        loaded = load_vfl_training_log(path)
+        assert loaded.active_parties == vfl_result.log.active_parties
+        for a, b in zip(loaded.feature_blocks, vfl_result.log.feature_blocks):
+            np.testing.assert_array_equal(a, b)
+        for a, b in zip(loaded.records, vfl_result.log.records):
+            np.testing.assert_array_equal(a.train_gradient, b.train_gradient)
+            np.testing.assert_array_equal(a.val_gradient, b.val_gradient)
+
+    def test_estimates_identical_after_roundtrip(self, vfl_result, tmp_path):
+        path = tmp_path / "log.npz"
+        save_vfl_training_log(vfl_result.log, path)
+        loaded = load_vfl_training_log(path)
+        original = estimate_vfl_first_order(vfl_result.log)
+        replayed = estimate_vfl_first_order(loaded)
+        np.testing.assert_allclose(replayed.totals, original.totals, atol=1e-12)
+
+    def test_empty_rejected(self, vfl_split, tmp_path):
+        log = VFLTrainingLog(
+            feature_blocks=list(vfl_split.feature_blocks), active_parties=[0]
+        )
+        with pytest.raises(ValueError, match="empty"):
+            save_vfl_training_log(log, tmp_path / "x.npz")
+
+    def test_wrong_format_rejected(self, hfl_result, tmp_path):
+        path = tmp_path / "hfl.npz"
+        save_training_log(hfl_result.log, path)
+        with pytest.raises(ValueError, match="not a VFL"):
+            load_vfl_training_log(path)
+
+
+class TestReportRoundtrip:
+    def test_totals_and_per_epoch(self, hfl_result, hfl_federation, tmp_path):
+        report = estimate_hfl_resource_saving(
+            hfl_result.log, hfl_federation.validation, small_model_factory
+        )
+        path = tmp_path / "report.json"
+        save_report(report, path)
+        loaded = load_report(path)
+        assert loaded.method == report.method
+        assert loaded.participant_ids == report.participant_ids
+        np.testing.assert_allclose(loaded.totals, report.totals)
+        np.testing.assert_allclose(loaded.per_epoch, report.per_epoch)
+
+    def test_report_without_per_epoch(self, tmp_path):
+        from repro.core import ContributionReport
+
+        report = ContributionReport(
+            method="exact", participant_ids=[0, 1], totals=np.array([1.0, 2.0])
+        )
+        path = tmp_path / "r.json"
+        save_report(report, path)
+        loaded = load_report(path)
+        assert loaded.per_epoch is None
+
+    def test_unjsonable_extra_dropped(self, tmp_path):
+        from repro.core import ContributionReport
+
+        report = ContributionReport(
+            method="x",
+            participant_ids=[0],
+            totals=np.array([1.0]),
+            extra={"ok": 5, "bad": object()},
+        )
+        path = tmp_path / "r.json"
+        save_report(report, path)
+        loaded = load_report(path)
+        assert loaded.extra == {"ok": 5}
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError, match="not a contribution report"):
+            load_report(path)

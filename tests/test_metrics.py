@@ -1,0 +1,159 @@
+"""Tests for correlation metrics and the cost ledger."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.metrics import (
+    CostLedger,
+    nbytes,
+    pearson_correlation,
+    relative_error,
+    spearman_correlation,
+    top_k_overlap,
+)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert pearson_correlation(x, 2 * x + 1) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=30), rng.normal(size=30)
+        ref = stats.pearsonr(a, b).statistic
+        assert pearson_correlation(a, b) == pytest.approx(ref, abs=1e-12)
+
+    def test_constant_input_nan(self):
+        assert np.isnan(pearson_correlation(np.ones(5), np.arange(5.0)))
+
+    def test_short_input_nan(self):
+        assert np.isnan(pearson_correlation(np.array([1.0]), np.array([2.0])))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson_correlation(np.ones(3), np.ones(4))
+
+    @given(st.integers(3, 40), st.integers(0, 500))
+    def test_property_bounded(self, n, seed):
+        rng = np.random.default_rng(seed)
+        r = pearson_correlation(rng.normal(size=n), rng.normal(size=n))
+        assert -1.0 <= r <= 1.0
+
+
+class TestSpearman:
+    def test_monotone_map_gives_one(self):
+        x = np.array([1.0, 5.0, 2.0, 8.0])
+        assert spearman_correlation(x, np.exp(x)) == pytest.approx(1.0)
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=25), rng.normal(size=25)
+        ref = stats.spearmanr(a, b).statistic
+        assert spearman_correlation(a, b) == pytest.approx(ref, abs=1e-12)
+
+    def test_ties_match_scipy(self):
+        a = np.array([1.0, 1.0, 2.0, 3.0, 3.0, 3.0])
+        b = np.array([2.0, 1.0, 1.0, 5.0, 4.0, 4.0])
+        ref = stats.spearmanr(a, b).statistic
+        assert spearman_correlation(a, b) == pytest.approx(ref, abs=1e-12)
+
+
+class TestTopK:
+    def test_identical_rankings(self):
+        x = np.array([3.0, 1.0, 2.0, 5.0])
+        assert top_k_overlap(x, x, 2) == 1.0
+
+    def test_disjoint_topk(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        b = np.array([4.0, 3.0, 2.0, 1.0])
+        assert top_k_overlap(a, b, 2) == 0.0
+
+    def test_k_bounds(self):
+        with pytest.raises(ValueError):
+            top_k_overlap(np.ones(3), np.ones(3), 0)
+        with pytest.raises(ValueError):
+            top_k_overlap(np.ones(3), np.ones(3), 4)
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(2.0, 2.1) == pytest.approx(0.05)
+
+    def test_zero_actual_nonzero_estimate(self):
+        assert relative_error(0.0, 1.0) == float("inf")
+
+    def test_zero_both(self):
+        assert relative_error(0.0, 0.0) == 0.0
+
+
+class TestNbytes:
+    def test_array(self):
+        assert nbytes(np.zeros(10)) == 80
+
+    def test_list(self):
+        assert nbytes([np.zeros(2), np.zeros(3)]) == 40
+
+    def test_scalar(self):
+        assert nbytes(3.5) == 8
+
+    def test_none(self):
+        assert nbytes(None) == 0
+
+    def test_dict(self):
+        assert nbytes({"a": np.zeros(4)}) == 32
+
+    def test_nbytes_attribute_object(self):
+        class Cipher:
+            nbytes = 256
+
+        assert nbytes(Cipher()) == 256
+
+    def test_unsupported(self):
+        with pytest.raises(TypeError):
+            nbytes("string payload")
+
+
+class TestCostLedger:
+    def test_record_message(self):
+        ledger = CostLedger()
+        ledger.record_message("up", np.zeros(100))
+        assert ledger.comm_bytes["up"] == 800
+        assert ledger.total_comm_bytes == 800
+
+    def test_record_bytes_negative(self):
+        with pytest.raises(ValueError):
+            CostLedger().record_bytes("up", -1)
+
+    def test_total_mb(self):
+        ledger = CostLedger()
+        ledger.record_bytes("up", 1024 * 1024)
+        assert ledger.total_comm_mb == pytest.approx(1.0)
+
+    def test_computing_context(self):
+        import time
+
+        ledger = CostLedger()
+        with ledger.computing():
+            time.sleep(0.005)
+        assert ledger.compute_seconds >= 0.005
+
+    def test_merged_with(self):
+        a, b = CostLedger(), CostLedger()
+        a.record_bytes("up", 10)
+        b.record_bytes("up", 5)
+        b.record_bytes("down", 7)
+        merged = a.merged_with(b)
+        assert merged.comm_bytes["up"] == 15
+        assert merged.comm_bytes["down"] == 7
+
+    def test_summary_keys(self):
+        summary = CostLedger().summary()
+        assert set(summary) == {"compute_seconds", "comm_mb"}

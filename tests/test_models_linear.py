@@ -1,0 +1,162 @@
+"""Tests for the analytic linear/logistic models vs autodiff and finite diffs."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    Tensor,
+    binary_cross_entropy_with_logits,
+    grad,
+    mse_loss,
+)
+from repro.models import LinearRegressionModel, LogisticRegressionModel, make_vfl_model
+
+RNG = np.random.default_rng(31337)
+
+
+@pytest.fixture(scope="module")
+def regression_data():
+    X = RNG.normal(size=(40, 6))
+    theta_true = RNG.normal(size=6)
+    y = X @ theta_true + 0.1 * RNG.normal(size=40)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def classification_data():
+    X = RNG.normal(size=(50, 5))
+    theta_true = RNG.normal(size=5)
+    y = (X @ theta_true + 0.3 * RNG.normal(size=50) > 0).astype(float)
+    return X, y
+
+
+class TestLinearRegression:
+    def test_loss_matches_autodiff(self, regression_data):
+        X, y = regression_data
+        theta = RNG.normal(size=6)
+        model = LinearRegressionModel()
+        ref = mse_loss(Tensor(X) @ Tensor(theta), y).item()
+        assert model.loss(theta, X, y) == pytest.approx(ref, abs=1e-12)
+
+    def test_gradient_matches_autodiff(self, regression_data):
+        X, y = regression_data
+        theta = RNG.normal(size=6)
+        t = Tensor(theta, requires_grad=True)
+        (g_ref,) = grad(mse_loss(Tensor(X) @ t, y), [t])
+        g = LinearRegressionModel().gradient(theta, X, y)
+        np.testing.assert_allclose(g, g_ref.data, atol=1e-12)
+
+    def test_hessian_is_data_gram(self, regression_data):
+        X, y = regression_data
+        H = LinearRegressionModel().hessian(np.zeros(6), X, y)
+        np.testing.assert_allclose(H, 2 * X.T @ X / len(X), atol=1e-12)
+
+    def test_hessian_psd(self, regression_data):
+        X, y = regression_data
+        H = LinearRegressionModel().hessian(np.zeros(6), X, y)
+        eigvals = np.linalg.eigvalsh(H)
+        assert eigvals.min() >= -1e-10
+
+    def test_hvp_matches_hessian(self, regression_data):
+        X, y = regression_data
+        model = LinearRegressionModel()
+        theta = RNG.normal(size=6)
+        v = RNG.normal(size=6)
+        H = model.hessian(theta, X, y)
+        np.testing.assert_allclose(model.hvp(theta, X, y, v), H @ v, atol=1e-12)
+
+    def test_residual(self, regression_data):
+        X, y = regression_data
+        theta = RNG.normal(size=6)
+        np.testing.assert_allclose(
+            LinearRegressionModel().residual(theta, X, y), X @ theta - y
+        )
+
+    def test_gradient_descent_converges(self, regression_data):
+        X, y = regression_data
+        model = LinearRegressionModel()
+        theta = np.zeros(6)
+        for _ in range(500):
+            theta -= 0.05 * model.gradient(theta, X, y)
+        assert model.score(theta, X, y) > 0.95
+
+    def test_score_of_mean_predictor_is_zero(self):
+        y = RNG.normal(size=30)
+        X = np.zeros((30, 2))
+        assert LinearRegressionModel().score(np.zeros(2), X, y - y.mean()) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+
+class TestLogisticRegression:
+    def test_loss_matches_autodiff(self, classification_data):
+        X, y = classification_data
+        theta = RNG.normal(size=5)
+        ref = binary_cross_entropy_with_logits(Tensor(X) @ Tensor(theta), y).item()
+        assert LogisticRegressionModel().loss(theta, X, y) == pytest.approx(ref, abs=1e-12)
+
+    def test_gradient_matches_autodiff(self, classification_data):
+        X, y = classification_data
+        theta = RNG.normal(size=5)
+        t = Tensor(theta, requires_grad=True)
+        (g_ref,) = grad(binary_cross_entropy_with_logits(Tensor(X) @ t, y), [t])
+        g = LogisticRegressionModel().gradient(theta, X, y)
+        np.testing.assert_allclose(g, g_ref.data, atol=1e-12)
+
+    def test_hessian_matches_finite_difference(self, classification_data):
+        X, y = classification_data
+        model = LogisticRegressionModel()
+        theta = RNG.normal(size=5) * 0.5
+        H = model.hessian(theta, X, y)
+        eps = 1e-6
+        for k in range(5):
+            e = np.zeros(5)
+            e[k] = eps
+            col = (model.gradient(theta + e, X, y) - model.gradient(theta - e, X, y)) / (
+                2 * eps
+            )
+            np.testing.assert_allclose(H[:, k], col, atol=1e-6)
+
+    def test_hvp_matches_hessian(self, classification_data):
+        X, y = classification_data
+        model = LogisticRegressionModel()
+        theta = RNG.normal(size=5)
+        v = RNG.normal(size=5)
+        np.testing.assert_allclose(
+            model.hvp(theta, X, y, v), model.hessian(theta, X, y) @ v, atol=1e-12
+        )
+
+    def test_hessian_psd(self, classification_data):
+        X, y = classification_data
+        H = LogisticRegressionModel().hessian(RNG.normal(size=5), X, y)
+        assert np.linalg.eigvalsh(H).min() >= -1e-10
+
+    def test_sigmoid_extremes(self):
+        model = LogisticRegressionModel()
+        out = model._sigmoid(np.array([-1e4, 0.0, 1e4]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0], atol=1e-12)
+
+    def test_training_improves_accuracy(self, classification_data):
+        X, y = classification_data
+        model = LogisticRegressionModel()
+        theta = np.zeros(5)
+        for _ in range(300):
+            theta -= 0.5 * model.gradient(theta, X, y)
+        assert model.score(theta, X, y) > 0.85
+
+    def test_predict_labels(self, classification_data):
+        X, y = classification_data
+        preds = LogisticRegressionModel().predict(np.zeros(5), X)
+        assert set(np.unique(preds)) <= {0, 1}
+
+
+class TestFactory:
+    def test_regression(self):
+        assert isinstance(make_vfl_model("regression"), LinearRegressionModel)
+
+    def test_binary(self):
+        assert isinstance(make_vfl_model("binary"), LogisticRegressionModel)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_vfl_model("multiclass")

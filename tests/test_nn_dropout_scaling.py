@@ -1,0 +1,83 @@
+"""Tests for Dropout and the scalability experiment helpers."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, backward, grad, tsum
+from repro.nn import Dropout
+
+
+class TestDropout:
+    def test_eval_is_identity(self):
+        layer = Dropout(0.5, seed=0).eval()
+        x = Tensor(np.ones((4, 4)))
+        np.testing.assert_array_equal(layer(x).data, x.data)
+
+    def test_zero_probability_is_identity(self):
+        layer = Dropout(0.0, seed=0)
+        x = Tensor(np.ones((3, 3)))
+        np.testing.assert_array_equal(layer(x).data, x.data)
+
+    def test_training_masks_and_rescales(self):
+        layer = Dropout(0.5, seed=0)
+        x = Tensor(np.ones((100, 100)))
+        out = layer(x).data
+        kept = out[out != 0]
+        np.testing.assert_allclose(kept, 2.0)  # inverted scaling 1/(1-p)
+        assert 0.3 < (out != 0).mean() < 0.7
+
+    def test_expected_value_preserved(self):
+        layer = Dropout(0.3, seed=1)
+        x = Tensor(np.ones(200_00))
+        out = layer(x).data
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_gradient_flows_through_mask(self):
+        layer = Dropout(0.5, seed=2)
+        x = Tensor(np.ones(50), requires_grad=True)
+        out = layer(x)
+        (g,) = grad(tsum(out), [x])
+        # Gradient equals the mask itself (0 or 1/keep).
+        np.testing.assert_array_equal(g.data, out.data)
+
+    def test_train_eval_toggle(self):
+        layer = Dropout(0.5, seed=3)
+        assert layer.training
+        assert not layer.eval().training
+        assert layer.train().training
+
+    def test_bad_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+    def test_usable_in_sequential(self):
+        from repro.nn import Linear, Sequential
+
+        model = Sequential(Linear(4, 8, seed=0), Dropout(0.2, seed=0), Linear(8, 2, seed=1))
+        x = Tensor(np.ones((5, 4)))
+        backward(tsum(model(x)))
+        assert all(p.grad is not None for p in model.parameters())
+
+
+class TestScalabilityExperiments:
+    def test_participant_scaling_shape(self):
+        from repro.experiments import run_participant_scaling
+
+        report = run_participant_scaling(party_counts=(3, 5), epochs=3)
+        assert len(report.rows) == 2
+        r3, r5 = report.rows
+        assert r3.metrics["retrainings"] == 8
+        assert r5.metrics["retrainings"] == 32
+        # Exponential ground-truth cost grows much faster than DIG-FL's.
+        exact_growth = r5.metrics["t_exact_s"] / max(r3.metrics["t_exact_s"], 1e-9)
+        digfl_growth = r5.metrics["t_digfl_s"] / max(r3.metrics["t_digfl_s"], 1e-9)
+        assert exact_growth > digfl_growth
+
+    def test_model_size_scaling_shape(self):
+        from repro.experiments import run_model_size_scaling
+
+        report = run_model_size_scaling(hidden_sizes=(8, 32), epochs=3)
+        params = [row.labels["params"] for row in report.rows]
+        assert params[1] > params[0]

@@ -1,0 +1,150 @@
+"""Layer tests: shapes, gradchecks vs finite differences, error paths."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, grad, tsum
+from repro.nn import AvgPool2d, Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sigmoid, Tanh
+
+RNG = np.random.default_rng(99)
+
+
+def layer_gradcheck(layer, x: np.ndarray, atol=1e-5):
+    """Check input and parameter gradients of ``sum(layer(x)**2)``.
+
+    The loss is recomputed from scratch for every finite-difference probe,
+    perturbing either the input array or a parameter's data in place.
+    """
+
+    def loss_value() -> float:
+        return tsum(layer(Tensor(x)) ** 2.0).item()
+
+    leaf = Tensor(x, requires_grad=True)
+    loss = tsum(layer(leaf) ** 2.0)
+    inputs = [leaf, *layer.parameters()]
+    grads = grad(loss, inputs, allow_unused=True)
+
+    eps = 1e-6
+    for tensor, g in zip(inputs, grads):
+        flat = tensor.data.ravel()  # views x itself for the leaf tensor
+        idx = RNG.choice(flat.size, size=min(5, flat.size), replace=False)
+        for i in idx:
+            orig = flat[i]
+            flat[i] = orig + eps
+            up = loss_value()
+            flat[i] = orig - eps
+            down = loss_value()
+            flat[i] = orig
+            numeric = (up - down) / (2 * eps)
+            assert g.data.ravel()[i] == pytest.approx(numeric, abs=atol, rel=1e-3)
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(5, 3, seed=0)
+        assert layer(Tensor(RNG.normal(size=(7, 5)))).shape == (7, 3)
+
+    def test_affine_formula(self):
+        layer = Linear(4, 2, seed=0)
+        x = RNG.normal(size=(3, 4))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected, atol=1e-12)
+
+    def test_bias_initialised_zero(self):
+        np.testing.assert_allclose(Linear(3, 3, seed=0).bias.data, 0.0)
+
+    def test_glorot_scale(self):
+        layer = Linear(100, 100, seed=0)
+        bound = np.sqrt(6.0 / 200)
+        assert np.abs(layer.weight.data).max() <= bound
+
+    def test_seeded_determinism(self):
+        a = Linear(4, 4, seed=5).weight.data
+        b = Linear(4, 4, seed=5).weight.data
+        np.testing.assert_array_equal(a, b)
+
+    def test_gradcheck(self):
+        layer_gradcheck(Linear(4, 3, seed=1), RNG.normal(size=(5, 4)))
+
+
+class TestActivationsAndFlatten:
+    @pytest.mark.parametrize("cls", [ReLU, Tanh, Sigmoid])
+    def test_shape_preserved(self, cls):
+        layer = cls()
+        x = Tensor(RNG.normal(size=(3, 4)))
+        assert layer(x).shape == (3, 4)
+
+    def test_flatten(self):
+        out = Flatten()(Tensor(RNG.normal(size=(2, 3, 4, 5))))
+        assert out.shape == (2, 60)
+
+    def test_flatten_gradcheck(self):
+        layer_gradcheck(Flatten(), RNG.normal(size=(2, 3, 2)))
+
+
+class TestConv2d:
+    def test_output_shape(self):
+        conv = Conv2d(2, 4, kernel_size=3, seed=0)
+        out = conv(Tensor(RNG.normal(size=(5, 2, 8, 8))))
+        assert out.shape == (5, 4, 6, 6)
+
+    def test_stride(self):
+        conv = Conv2d(1, 1, kernel_size=2, stride=2, seed=0)
+        out = conv(Tensor(RNG.normal(size=(1, 1, 6, 6))))
+        assert out.shape == (1, 1, 3, 3)
+
+    def test_matches_naive_convolution(self):
+        conv = Conv2d(2, 3, kernel_size=3, seed=0)
+        x = RNG.normal(size=(2, 2, 5, 5))
+        out = conv(Tensor(x)).data
+        # Naive direct convolution for reference.
+        w = conv.weight.data  # (fan_in, out_c)
+        for b in range(2):
+            for oc in range(3):
+                for i in range(3):
+                    for j in range(3):
+                        patch = x[b, :, i : i + 3, j : j + 3].ravel()
+                        ref = patch @ w[:, oc] + conv.bias.data[oc]
+                        assert out[b, oc, i, j] == pytest.approx(ref, abs=1e-10)
+
+    def test_wrong_channels_raises(self):
+        conv = Conv2d(3, 1, kernel_size=3, seed=0)
+        with pytest.raises(ValueError, match="expected"):
+            conv(Tensor(RNG.normal(size=(1, 2, 6, 6))))
+
+    def test_gradcheck(self):
+        layer_gradcheck(Conv2d(1, 2, kernel_size=2, seed=2), RNG.normal(size=(2, 1, 4, 4)))
+
+    def test_index_cache_reused(self):
+        conv = Conv2d(1, 1, kernel_size=2, seed=0)
+        conv(Tensor(RNG.normal(size=(1, 1, 4, 4))))
+        conv(Tensor(RNG.normal(size=(1, 1, 4, 4))))
+        assert len(conv._index_cache) == 1
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = MaxPool2d(2)(Tensor(x))
+        np.testing.assert_allclose(out.data[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_maxpool_gradient_goes_to_max(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4), requires_grad=True)
+        (g,) = grad(tsum(MaxPool2d(2)(x)), [x])
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1.0
+        np.testing.assert_allclose(g.data[0, 0], expected)
+
+    def test_avgpool_values(self):
+        x = np.ones((1, 2, 4, 4))
+        out = AvgPool2d(2)(Tensor(x))
+        np.testing.assert_allclose(out.data, 1.0)
+        assert out.shape == (1, 2, 2, 2)
+
+    def test_avgpool_gradcheck(self):
+        layer_gradcheck(AvgPool2d(2), RNG.normal(size=(1, 1, 4, 4)))
+
+    @pytest.mark.parametrize("cls", [MaxPool2d, AvgPool2d])
+    def test_indivisible_raises(self, cls):
+        with pytest.raises(ValueError, match="not divisible"):
+            cls(3)(Tensor(RNG.normal(size=(1, 1, 4, 4))))

@@ -1,0 +1,161 @@
+"""Tests for model factories and optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import backward
+from repro.nn import (
+    LRSchedule,
+    SGD,
+    make_cnn_classifier,
+    make_hfl_model,
+    make_mlp_classifier,
+)
+
+
+def _toy_problem(seed=0, n=150, d=10, classes=3):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    W = rng.normal(size=(d, classes))
+    y = np.argmax(X @ W, axis=1)
+    return X, y
+
+
+class TestMLPFactory:
+    def test_output_shape(self):
+        m = make_mlp_classifier(10, 3, hidden=(8,), seed=0)
+        from repro.autodiff import Tensor
+
+        assert m(Tensor(np.zeros((4, 10)))).shape == (4, 3)
+
+    def test_flattens_images(self):
+        m = make_mlp_classifier(100, 10, seed=0)
+        from repro.autodiff import Tensor
+
+        assert m(Tensor(np.zeros((2, 1, 10, 10)))).shape == (2, 10)
+
+    def test_relu_option(self):
+        m = make_mlp_classifier(4, 2, activation="relu", seed=0)
+        assert m.num_parameters() > 0
+
+    def test_bad_activation(self):
+        with pytest.raises(KeyError):
+            make_mlp_classifier(4, 2, activation="gelu", seed=0)
+
+    def test_training_reduces_loss(self):
+        X, y = _toy_problem()
+        m = make_mlp_classifier(10, 3, hidden=(16,), seed=0)
+        opt = SGD(m.parameters(), lr=0.5)
+        initial = m.loss(X, y).item()
+        for _ in range(40):
+            opt.zero_grad()
+            backward(m.loss(X, y))
+            opt.step()
+        assert m.loss(X, y).item() < initial * 0.5
+        assert m.accuracy(X, y) > 0.8
+
+    def test_predict_shape(self):
+        X, y = _toy_problem()
+        m = make_mlp_classifier(10, 3, seed=0)
+        assert m.predict(X).shape == y.shape
+
+
+class TestCNNFactory:
+    def test_output_shape(self):
+        m = make_cnn_classifier((1, 6, 6), 4, channels=2, seed=0)
+        from repro.autodiff import Tensor
+
+        assert m(Tensor(np.zeros((3, 1, 6, 6)))).shape == (3, 4)
+
+    def test_odd_conv_output_rejected(self):
+        with pytest.raises(ValueError, match="odd conv output"):
+            make_cnn_classifier((1, 5, 5), 2, seed=0)
+
+    def test_loss_differentiable(self):
+        m = make_cnn_classifier((1, 6, 6), 2, channels=2, seed=0)
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(4, 1, 6, 6))
+        y = rng.integers(0, 2, size=4)
+        backward(m.loss(X, y))
+        assert all(p.grad is not None for p in m.parameters())
+
+
+class TestHFLModelRegistry:
+    @pytest.mark.parametrize("name", ["mnist", "cifar10", "motor", "real"])
+    def test_known_models(self, name):
+        m = make_hfl_model(name, seed=0)
+        assert m.num_parameters() > 0
+
+    def test_cnn_arch(self):
+        m = make_hfl_model("mnist", arch="cnn", seed=0)
+        assert m.num_parameters() > 0
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown HFL dataset"):
+            make_hfl_model("imagenet")
+
+    def test_unknown_arch(self):
+        with pytest.raises(ValueError, match="arch"):
+            make_hfl_model("mnist", arch="transformer")
+
+    def test_motor_is_binary(self):
+        assert make_hfl_model("motor", seed=0).num_classes == 2
+
+
+class TestSGD:
+    def test_plain_step(self):
+        from repro.autodiff import Tensor
+
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        p.grad = Tensor(np.array([0.5]))
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95])
+
+    def test_momentum_accumulates(self):
+        from repro.autodiff import Tensor
+
+        p = Tensor(np.array([0.0]), requires_grad=True)
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad = Tensor(np.array([1.0]))
+        opt.step()  # v=1, p=-1
+        p.grad = Tensor(np.array([1.0]))
+        opt.step()  # v=1.9, p=-2.9
+        np.testing.assert_allclose(p.data, [-2.9])
+
+    def test_none_grad_skipped(self):
+        from repro.autodiff import Tensor
+
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.0)
+
+    def test_bad_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1, momentum=1.0)
+
+
+class TestLRSchedule:
+    def test_constant(self):
+        sched = LRSchedule(0.3)
+        assert sched.lr_at(1) == sched.lr_at(50) == 0.3
+
+    def test_decay(self):
+        sched = LRSchedule(1.0, decay=0.5)
+        assert sched.lr_at(1) == 1.0
+        assert sched.lr_at(3) == pytest.approx(0.25)
+
+    def test_epoch_one_indexed(self):
+        with pytest.raises(ValueError, match="1-indexed"):
+            LRSchedule(0.1).lr_at(0)
+
+    def test_bad_base_lr(self):
+        with pytest.raises(ValueError):
+            LRSchedule(-1.0)
+
+    def test_bad_decay(self):
+        with pytest.raises(ValueError):
+            LRSchedule(0.1, decay=0.0)

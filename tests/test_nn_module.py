@@ -1,0 +1,115 @@
+"""Tests for the Module base class: registration, flat state, cloning."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn import Linear, Module, Sequential
+
+
+class TwoLayer(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 3, seed=0)
+        self.fc2 = Linear(3, 2, seed=1)
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x))
+
+
+class TestRegistration:
+    def test_parameters_depth_first_in_order(self):
+        m = TwoLayer()
+        params = m.parameters()
+        assert len(params) == 4  # two weights + two biases
+        assert params[0] is m.fc1.weight
+        assert params[1] is m.fc1.bias
+        assert params[2] is m.fc2.weight
+
+    def test_named_parameters(self):
+        names = [n for n, _ in TwoLayer().named_parameters()]
+        assert names == ["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]
+
+    def test_direct_tensor_attribute(self):
+        class WithScale(Module):
+            def __init__(self):
+                super().__init__()
+                self.scale = Tensor(np.ones(1), requires_grad=True)
+
+            def forward(self, x):
+                return x * self.scale
+
+        assert len(WithScale().parameters()) == 1
+
+    def test_num_parameters(self):
+        m = TwoLayer()
+        assert m.num_parameters() == 4 * 3 + 3 + 3 * 2 + 2
+
+    def test_reassignment_replaces(self):
+        m = TwoLayer()
+        m.fc1 = Linear(4, 3, seed=9)
+        assert len(m.parameters()) == 4
+
+
+class TestFlatState:
+    def test_roundtrip(self):
+        m = TwoLayer()
+        flat = m.get_flat()
+        m2 = TwoLayer()
+        m2.set_flat(flat)
+        np.testing.assert_allclose(m2.get_flat(), flat)
+
+    def test_get_flat_is_copy(self):
+        m = TwoLayer()
+        flat = m.get_flat()
+        flat[:] = 0
+        assert not np.allclose(m.get_flat(), 0)
+
+    def test_set_flat_wrong_size(self):
+        with pytest.raises(ValueError):
+            TwoLayer().set_flat(np.zeros(3))
+
+    def test_set_flat_changes_forward(self):
+        m = TwoLayer()
+        x = np.ones((1, 4))
+        before = m(Tensor(x)).data.copy()
+        m.set_flat(np.zeros(m.num_parameters()))
+        after = m(Tensor(x)).data
+        assert not np.allclose(before, after)
+        np.testing.assert_allclose(after, 0.0)
+
+
+class TestClone:
+    def test_clone_independent(self):
+        m = TwoLayer()
+        c = m.clone()
+        c.set_flat(np.zeros(c.num_parameters()))
+        assert not np.allclose(m.get_flat(), 0)
+
+    def test_clone_same_values(self):
+        m = TwoLayer()
+        np.testing.assert_allclose(m.clone().get_flat(), m.get_flat())
+
+
+class TestZeroGrad:
+    def test_clears(self):
+        from repro.autodiff import backward, tsum
+
+        m = TwoLayer()
+        backward(tsum(m(Tensor(np.ones((2, 4))))))
+        assert any(p.grad is not None for p in m.parameters())
+        m.zero_grad()
+        assert all(p.grad is None for p in m.parameters())
+
+
+class TestSequential:
+    def test_iterates_in_order(self):
+        a, b = Linear(2, 2, seed=0), Linear(2, 2, seed=1)
+        seq = Sequential(a, b)
+        assert list(seq) == [a, b]
+
+    def test_forward_composes(self):
+        a, b = Linear(2, 3, seed=0), Linear(3, 1, seed=1)
+        seq = Sequential(a, b)
+        x = Tensor(np.ones((4, 2)))
+        np.testing.assert_allclose(seq(x).data, b(a(x)).data)

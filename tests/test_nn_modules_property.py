@@ -1,0 +1,78 @@
+"""Property-based tests for random MLP architectures (hypothesis)."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.autodiff import Tensor, backward, grad, tsum
+from repro.nn import make_mlp_classifier
+from repro.utils.packing import flatten_params, unflatten_params
+
+architectures = st.tuples(
+    st.integers(2, 20),  # input dim
+    st.integers(2, 6),  # classes
+    st.lists(st.integers(2, 16), min_size=0, max_size=3),  # hidden layers
+)
+
+
+class TestRandomArchitectures:
+    @given(arch=architectures, seed=st.integers(0, 1000))
+    def test_flat_roundtrip(self, arch, seed):
+        """get_flat → set_flat is the identity for any architecture."""
+        d, c, hidden = arch
+        model = make_mlp_classifier(d, c, hidden=tuple(hidden), seed=seed)
+        flat = model.get_flat()
+        clone = make_mlp_classifier(d, c, hidden=tuple(hidden), seed=seed + 1)
+        clone.set_flat(flat)
+        np.testing.assert_array_equal(clone.get_flat(), flat)
+
+    @given(arch=architectures, seed=st.integers(0, 1000))
+    def test_forward_shape(self, arch, seed):
+        d, c, hidden = arch
+        model = make_mlp_classifier(d, c, hidden=tuple(hidden), seed=seed)
+        x = np.random.default_rng(seed).normal(size=(3, d))
+        assert model(Tensor(x)).shape == (3, c)
+
+    @given(arch=architectures, seed=st.integers(0, 1000))
+    def test_every_parameter_reachable(self, arch, seed):
+        """backward() populates a gradient on every parameter."""
+        d, c, hidden = arch
+        model = make_mlp_classifier(d, c, hidden=tuple(hidden), seed=seed)
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(4, d))
+        y = rng.integers(0, c, size=4)
+        backward(model.loss(X, y))
+        assert all(p.grad is not None for p in model.parameters())
+
+    @given(arch=architectures, seed=st.integers(0, 1000))
+    def test_param_count_formula(self, arch, seed):
+        d, c, hidden = arch
+        model = make_mlp_classifier(d, c, hidden=tuple(hidden), seed=seed)
+        dims = [d, *hidden, c]
+        expected = sum(a * b + b for a, b in zip(dims, dims[1:]))
+        assert model.num_parameters() == expected
+
+    @given(arch=architectures, seed=st.integers(0, 1000))
+    def test_flatten_matches_module_flat(self, arch, seed):
+        """Module.get_flat agrees with the packing utilities."""
+        d, c, hidden = arch
+        model = make_mlp_classifier(d, c, hidden=tuple(hidden), seed=seed)
+        flat, spec = flatten_params([p.data for p in model.parameters()])
+        np.testing.assert_array_equal(flat, model.get_flat())
+        restored = unflatten_params(flat, spec)
+        for p, r in zip(model.parameters(), restored):
+            np.testing.assert_array_equal(p.data, r)
+
+    @given(seed=st.integers(0, 500))
+    def test_loss_gradient_descent_direction(self, seed):
+        """One gradient step with a tiny lr must not increase the loss."""
+        rng = np.random.default_rng(seed)
+        model = make_mlp_classifier(6, 3, hidden=(8,), seed=seed)
+        X = rng.normal(size=(30, 6))
+        y = rng.integers(0, 3, size=30)
+        before = model.loss(X, y).item()
+        grads = grad(model.loss(X, y), model.parameters())
+        for p, g in zip(model.parameters(), grads):
+            p.data = p.data - 1e-3 * g.data
+        after = model.loss(X, y).item()
+        assert after <= before + 1e-9

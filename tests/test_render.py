@@ -1,0 +1,120 @@
+"""Tests for the plotting-free rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import ContributionReport, from_per_epoch
+from repro.render import (
+    bar_chart,
+    contribution_bars,
+    per_epoch_sparklines,
+    report_markdown,
+    sparkline,
+)
+
+
+def sample_report():
+    per_epoch = np.array([[0.5, -0.1, 0.2], [0.3, -0.2, 0.1]])
+    return from_per_epoch("digfl", [0, 1, 2], per_epoch)
+
+
+class TestBarChart:
+    def test_contains_values_and_labels(self):
+        out = bar_chart([1.0, -0.5], ["a", "b"])
+        assert "a" in out and "b" in out
+        assert "+1" in out and "-0.5" in out
+
+    def test_negative_bars_left_of_axis(self):
+        out = bar_chart([1.0, -1.0], ["p", "n"])
+        pos_line, neg_line = out.splitlines()
+        assert "█" in pos_line and "░" not in pos_line
+        assert "░" in neg_line and "█" not in neg_line
+
+    def test_zero_vector_safe(self):
+        out = bar_chart([0.0, 0.0])
+        assert "+0" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([])
+
+    def test_label_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart([1.0], ["a", "b"])
+
+
+class TestSparkline:
+    def test_monotone_curve(self):
+        out = sparkline([1.0, 2.0, 3.0, 4.0])
+        assert out[0] == "▁" and out[-1] == "█"
+        assert len(out) == 4
+
+    def test_constant_curve(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_downsampling(self):
+        out = sparkline(np.linspace(0, 1, 200), width=20)
+        assert len(out) <= 20
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+
+class TestReportRendering:
+    def test_contribution_bars(self):
+        out = contribution_bars(sample_report(), qualities=["clean", "bad", "clean"])
+        assert "p0 (clean)" in out
+        assert "p1 (bad)" in out
+
+    def test_contribution_bars_quality_mismatch(self):
+        with pytest.raises(ValueError):
+            contribution_bars(sample_report(), qualities=["clean"])
+
+    def test_markdown_table(self):
+        out = report_markdown(sample_report())
+        assert out.startswith("**method:** `digfl`")
+        assert "| participant | contribution | share |" in out
+        assert out.count("\n|") >= 4  # header + divider + 3 rows
+
+    def test_markdown_shares_sum_to_one(self):
+        out = report_markdown(sample_report())
+        shares = [
+            float(line.split("|")[-2].strip().rstrip("%"))
+            for line in out.splitlines()
+            if line.startswith("| ") and "%" in line
+        ]
+        assert sum(shares) == pytest.approx(100.0, abs=0.3)
+
+    def test_markdown_with_qualities(self):
+        out = report_markdown(sample_report(), qualities=["a", "b", "c"])
+        assert "| quality |" in out
+
+    def test_per_epoch_sparklines(self):
+        out = per_epoch_sparklines(sample_report())
+        assert out.count("\n") == 2  # three participants
+
+    def test_per_epoch_requires_matrix(self):
+        report = ContributionReport(
+            method="exact", participant_ids=[0], totals=np.array([1.0])
+        )
+        with pytest.raises(ValueError):
+            per_epoch_sparklines(report)
+
+
+class TestExperimentsMainOnly:
+    def test_only_filter(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        out_file = tmp_path / "report.txt"
+        code = main(["--only", "ablation-weighting", "--output", str(out_file)])
+        assert code == 0
+        text = out_file.read_text()
+        assert "ablation-weighting-scheme" in text
+        assert "hfl-vs-actual" not in text
+
+    def test_unknown_only_rejected(self, tmp_path):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["--only", "nope", "--output", str(tmp_path / "r.txt")])

@@ -1,0 +1,147 @@
+"""Tests for the per-sample influence drill-down."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    estimate_hfl_resource_saving,
+    mislabel_detection_score,
+    sample_influences,
+)
+from repro.data import Dataset, build_hfl_federation, mislabel, mnist_like
+from repro.hfl import HFLTrainer
+from repro.nn import LRSchedule
+
+from tests.conftest import small_model_factory
+
+
+@pytest.fixture(scope="module")
+def corrupted_world():
+    """Small federation where party 0's labels are 50% corrupted, with the
+    corruption mask kept for ground truth."""
+    dataset = mnist_like(600, seed=40)
+    fed = build_hfl_federation(dataset, 3, seed=40)
+    locals_ = list(fed.locals)
+    corrupted_y, mask = mislabel(locals_[0].y, 0.5, 10, seed=41)
+    locals_[0] = Dataset(
+        name=locals_[0].name,
+        X=locals_[0].X,
+        y=corrupted_y,
+        task=locals_[0].task,
+        num_classes=locals_[0].num_classes,
+    )
+    trainer = HFLTrainer(small_model_factory, 6, LRSchedule(0.4))
+    result = trainer.train(locals_, fed.validation)
+    return locals_, fed.validation, result, mask
+
+
+class TestSampleInfluences:
+    def test_shapes(self, corrupted_world):
+        locals_, validation, result, _ = corrupted_world
+        report = sample_influences(
+            result.log, 0, locals_[0], validation, small_model_factory
+        )
+        m = len(locals_[0])
+        assert report.scores.shape == (m,)
+        assert report.per_epoch.shape == (6, m)
+
+    def test_decomposition_sums_to_participant_phi(self, corrupted_world):
+        """Per-sample scores must sum to the participant's own DIG-FL
+        contribution — they are its exact decomposition."""
+        locals_, validation, result, _ = corrupted_world
+        report = sample_influences(
+            result.log, 0, locals_[0], validation, small_model_factory
+        )
+        digfl = estimate_hfl_resource_saving(
+            result.log, validation, small_model_factory
+        )
+        # φ̂_{t,0} = (1/n)⟨v, δ⟩; sample scores use α⟨v, g_j⟩/m and
+        # δ = α·mean_j(g_j), so Σ_j s_{t,j} = n·φ̂_{t,0} / n ... = ⟨v, δ⟩.
+        n = result.log.n_participants
+        np.testing.assert_allclose(
+            report.per_epoch.sum(axis=1), digfl.per_epoch[:, 0] * n, atol=1e-10
+        )
+
+    def test_corrupted_samples_score_lower(self, corrupted_world):
+        locals_, validation, result, mask = corrupted_world
+        report = sample_influences(
+            result.log, 0, locals_[0], validation, small_model_factory
+        )
+        auc = mislabel_detection_score(report, mask)
+        assert auc > 0.8, f"corrupted samples should separate, AUC={auc:.3f}"
+
+    def test_worst_k(self, corrupted_world):
+        locals_, validation, result, mask = corrupted_world
+        report = sample_influences(
+            result.log, 0, locals_[0], validation, small_model_factory
+        )
+        worst = report.worst(10)
+        assert mask[worst].mean() > 0.7  # most of the worst-10 are corrupted
+
+    def test_worst_k_bounds(self, corrupted_world):
+        locals_, validation, result, _ = corrupted_world
+        report = sample_influences(
+            result.log, 0, locals_[0], validation, small_model_factory
+        )
+        with pytest.raises(ValueError):
+            report.worst(0)
+        with pytest.raises(ValueError):
+            report.worst(report.n_samples + 1)
+
+    def test_epoch_slice(self, corrupted_world):
+        locals_, validation, result, _ = corrupted_world
+        report = sample_influences(
+            result.log, 0, locals_[0], validation, small_model_factory,
+            epochs=slice(-2, None),
+        )
+        assert report.per_epoch.shape[0] == 2
+
+    def test_unknown_participant(self, corrupted_world):
+        locals_, validation, result, _ = corrupted_world
+        with pytest.raises(KeyError):
+            sample_influences(
+                result.log, 99, locals_[0], validation, small_model_factory
+            )
+
+    def test_empty_epoch_slice(self, corrupted_world):
+        locals_, validation, result, _ = corrupted_world
+        with pytest.raises(ValueError, match="no epochs"):
+            sample_influences(
+                result.log, 0, locals_[0], validation, small_model_factory,
+                epochs=slice(0, 0),
+            )
+
+
+class TestDetectionScore:
+    def test_perfect_separation(self, corrupted_world):
+        locals_, validation, result, mask = corrupted_world
+        report = sample_influences(
+            result.log, 0, locals_[0], validation, small_model_factory
+        )
+        # Construct a synthetic perfectly-separating report.
+        fake = type(report)(
+            participant_id=0,
+            scores=np.where(mask, -1.0, 1.0),
+            per_epoch=report.per_epoch,
+        )
+        assert mislabel_detection_score(fake, mask) == 1.0
+
+    def test_chance_level(self, corrupted_world):
+        locals_, validation, result, mask = corrupted_world
+        report = sample_influences(
+            result.log, 0, locals_[0], validation, small_model_factory
+        )
+        fake = type(report)(
+            participant_id=0,
+            scores=np.zeros_like(report.scores),
+            per_epoch=report.per_epoch,
+        )
+        assert mislabel_detection_score(fake, mask) == pytest.approx(0.5)
+
+    def test_shape_mismatch(self, corrupted_world):
+        locals_, validation, result, mask = corrupted_world
+        report = sample_influences(
+            result.log, 0, locals_[0], validation, small_model_factory
+        )
+        with pytest.raises(ValueError):
+            mislabel_detection_score(report, mask[:-1])

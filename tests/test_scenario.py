@@ -1,0 +1,137 @@
+"""Tests for the declarative scenario runner."""
+
+import numpy as np
+import pytest
+
+from repro.hfl import LocalTrainingConfig, sign_flip
+from repro.scenario import HFLScenario, ScenarioResult, quick_audit
+
+
+class TestConfiguration:
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            HFLScenario(dataset="imagenet")
+
+    def test_attack_target_validated(self):
+        with pytest.raises(ValueError, match="outside the federation"):
+            HFLScenario(n_parties=3, attacks={5: sign_flip(1.0)})
+
+    def test_bad_epochs(self):
+        with pytest.raises(ValueError):
+            HFLScenario(epochs=0)
+
+
+class TestBasicRun:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return HFLScenario(
+            n_parties=4, n_mislabeled=1, epochs=6, compute_exact=True, seed=1
+        ).run()
+
+    def test_result_type(self, result):
+        assert isinstance(result, ScenarioResult)
+
+    def test_qualities(self, result):
+        assert result.qualities.count("mislabeled") == 1
+
+    def test_contributions_shape(self, result):
+        assert result.digfl.totals.shape == (4,)
+
+    def test_pcc_available(self, result):
+        assert result.pcc is not None
+        assert result.pcc > 0.5
+
+    def test_summary_keys(self, result):
+        summary = result.summary()
+        assert {"n_parties", "qualities", "final_accuracy", "contributions",
+                "ranking", "flagged", "exact_shapley", "pcc"} <= set(summary)
+
+    def test_summary_json_safe(self, result):
+        import json
+
+        json.dumps(result.summary())
+
+    def test_deterministic(self):
+        a = HFLScenario(n_parties=3, epochs=3, seed=7).run()
+        b = HFLScenario(n_parties=3, epochs=3, seed=7).run()
+        np.testing.assert_array_equal(a.digfl.totals, b.digfl.totals)
+
+
+class TestOptions:
+    def test_no_exact_by_default(self):
+        result = HFLScenario(n_parties=3, epochs=3, seed=0).run()
+        assert result.exact is None
+        assert result.pcc is None
+        assert "pcc" not in result.summary()
+
+    def test_reweight_adds_run(self):
+        result = HFLScenario(
+            n_parties=4, n_mislabeled=3, epochs=8, reweight=True, seed=2
+        ).run()
+        assert result.reweighted_training is not None
+        summary = result.summary()
+        assert "reweighted_accuracy" in summary
+        assert summary["reweighted_accuracy"] >= summary["final_accuracy"] - 0.05
+
+    def test_attacks_applied(self):
+        result = HFLScenario(
+            n_parties=4, epochs=6, attacks={0: sign_flip(1.0)}, seed=3
+        ).run()
+        assert int(np.argmin(result.digfl.totals)) == 0
+        assert 0 in result.flagged(threshold=1.5)
+
+    def test_fedavg_config(self):
+        result = HFLScenario(
+            n_parties=3, epochs=3,
+            local_config=LocalTrainingConfig(local_steps=2, batch_size=32),
+            seed=4,
+        ).run()
+        assert result.training.log.n_epochs == 3
+
+
+class TestQuickAudit:
+    def test_returns_summary_dict(self):
+        summary = quick_audit(seed=5)
+        assert summary["n_parties"] == 5
+        assert "pcc" in summary
+        assert len(summary["contributions"]) == 5
+
+
+class TestVFLScenario:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.scenario import VFLScenario
+
+        return VFLScenario(
+            dataset="iris", epochs=20, compute_exact=True, seed=2
+        ).run()
+
+    def test_table3_party_count_default(self, result):
+        assert result.digfl.n_participants == 4  # iris row of Table III
+
+    def test_pcc(self, result):
+        assert result.pcc > 0.9
+
+    def test_score(self, result):
+        assert result.validation_score > 0.6
+
+    def test_summary_json_safe(self, result):
+        import json
+
+        json.dumps(result.summary())
+
+    def test_party_override(self):
+        from repro.scenario import VFLScenario
+
+        result = VFLScenario(
+            dataset="boston", n_parties=3, epochs=10, max_rows=120, seed=3
+        ).run()
+        assert result.digfl.n_participants == 3
+        assert result.exact is None
+
+    def test_top_level_reexports(self):
+        import repro
+
+        assert hasattr(repro, "HFLScenario")
+        assert hasattr(repro, "VFLScenario")
+        assert hasattr(repro, "quick_audit")

@@ -1,0 +1,180 @@
+"""Tests for Banzhaf values and their relationship to Shapley values."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import pearson_correlation
+from repro.shapley import (
+    CallableUtility,
+    exact_banzhaf,
+    exact_banzhaf_values,
+    exact_shapley_values,
+    mc_banzhaf,
+    mc_banzhaf_values,
+)
+
+
+def additive_utility(values):
+    values = np.asarray(values, dtype=np.float64)
+    return CallableUtility(len(values), lambda s: float(sum(values[i] for i in s)))
+
+
+def random_game(n, seed):
+    """Monotone-ish game: value grows with size plus bounded noise.
+
+    (Pure-noise utilities have no player structure at all, so the two
+    indices would only correlate by chance there.)
+    """
+    rng = np.random.default_rng(seed)
+    table = {frozenset(): 0.0}
+
+    def fn(coalition):
+        key = frozenset(coalition)
+        if key not in table:
+            table[key] = len(key) + 0.5 * float(rng.normal())
+        return table[key]
+
+    return CallableUtility(n, fn)
+
+
+class TestExactBanzhaf:
+    def test_additive_game_equals_values(self):
+        values = np.array([2.0, -1.0, 0.5])
+        np.testing.assert_allclose(
+            exact_banzhaf_values(additive_utility(values)), values, atol=1e-12
+        )
+
+    def test_additive_game_equals_shapley(self):
+        """For additive games both indices return the item values."""
+        util = additive_utility([1.0, 4.0, -2.0, 0.3])
+        np.testing.assert_allclose(
+            exact_banzhaf_values(util), exact_shapley_values(util), atol=1e-12
+        )
+
+    def test_glove_game_differs_from_shapley(self):
+        """Banzhaf of the glove game: β = (1/4, 1/4, 3/4) ≠ Shapley."""
+
+        def fn(coalition):
+            return float(min(len(coalition & {0, 1}), len(coalition & {2})))
+
+        util = CallableUtility(3, fn)
+        banzhaf = exact_banzhaf_values(util)
+        np.testing.assert_allclose(banzhaf, [0.25, 0.25, 0.75], atol=1e-12)
+        shapley = exact_shapley_values(util)
+        assert not np.allclose(banzhaf, shapley)
+
+    def test_banzhaf_not_efficient(self):
+        """Σβ generally ≠ V(N) — the axiom Banzhaf gives up."""
+
+        def fn(coalition):
+            return float(min(len(coalition & {0, 1}), len(coalition & {2})))
+
+        util = CallableUtility(3, fn)
+        banzhaf = exact_banzhaf_values(util)
+        assert banzhaf.sum() != pytest.approx(util(frozenset({0, 1, 2})))
+
+    def test_null_player_zero(self):
+        def fn(coalition):
+            return float(len(coalition & {1, 2}))
+
+        values = exact_banzhaf_values(CallableUtility(3, fn))
+        assert values[0] == pytest.approx(0.0, abs=1e-12)
+
+    @given(seed=st.integers(0, 5000))
+    def test_symmetry(self, seed):
+        """Interchangeable players get equal Banzhaf values."""
+        rng = np.random.default_rng(seed)
+        base: dict[frozenset, float] = {frozenset(): 0.0}
+
+        def fn(coalition):
+            # Value depends only on |S| and whether 2 ∈ S → players 0, 1
+            # are symmetric by construction.
+            key = (len(coalition), 2 in coalition)
+            if key not in base:
+                base[key] = float(rng.normal())
+            return base[key]
+
+        values = exact_banzhaf_values(CallableUtility(3, fn))
+        assert values[0] == pytest.approx(values[1], abs=1e-12)
+
+    def test_strong_correlation_with_shapley_on_heterogeneous_games(self):
+        """With genuine per-player structure (additive base + bounded
+        interaction noise) the two indices rank players almost identically."""
+        rng = np.random.default_rng(3)
+        weights = np.array([3.0, 1.0, -0.5, 2.0, 0.2])
+        table: dict[frozenset, float] = {}
+
+        def fn(coalition):
+            key = frozenset(coalition)
+            if key not in table:
+                base = float(sum(weights[i] for i in key))
+                table[key] = base + 0.2 * float(rng.normal()) if key else 0.0
+            return table[key]
+
+        util = CallableUtility(5, fn)
+        banzhaf = exact_banzhaf_values(util)
+        shapley = exact_shapley_values(util)
+        assert pearson_correlation(banzhaf, shapley) > 0.95
+
+
+class TestMCBanzhaf:
+    def test_converges_to_exact(self):
+        util = random_game(4, seed=7)
+        exact = exact_banzhaf_values(util)
+        estimate = mc_banzhaf_values(util, n_samples=800, seed=8)
+        np.testing.assert_allclose(estimate, exact, atol=0.25)
+        assert pearson_correlation(estimate, exact) > 0.9
+
+    def test_exact_on_additive(self):
+        values = np.array([1.5, -0.5])
+        estimate = mc_banzhaf_values(additive_utility(values), n_samples=10, seed=0)
+        np.testing.assert_allclose(estimate, values, atol=1e-12)
+
+    def test_deterministic_given_seed(self):
+        util = additive_utility([1.0, 2.0, 3.0])
+        a = mc_banzhaf_values(util, n_samples=20, seed=5)
+        b = mc_banzhaf_values(util, n_samples=20, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_bad_samples(self):
+        with pytest.raises(ValueError):
+            mc_banzhaf_values(additive_utility([1.0]), n_samples=0)
+
+
+class TestReports:
+    def test_exact_report(self):
+        report = exact_banzhaf(additive_utility([1.0, 2.0]))
+        assert report.method == "banzhaf"
+        assert report.extra["coalition_evaluations"] == 4
+
+    def test_mc_report(self):
+        report = mc_banzhaf(additive_utility([1.0, 2.0]), n_samples=10, seed=0)
+        assert report.method == "banzhaf-mc"
+
+
+class TestBanzhafOnFL:
+    def test_agrees_with_shapley_on_federation(self, hfl_result, hfl_federation):
+        """On the real FL utility the two indices rank participants the
+        same way — supporting DIG-FL's additive-model reading where they
+        coincide exactly."""
+        from repro.shapley import HFLRetrainUtility
+
+        from tests.conftest import small_model_factory, small_model_factory as f
+
+        trainer_factory = small_model_factory
+        del f
+        from repro.hfl import HFLTrainer
+        from repro.nn import LRSchedule
+
+        trainer = HFLTrainer(trainer_factory, 4, LRSchedule(0.5))
+        utility = HFLRetrainUtility(
+            trainer,
+            hfl_federation.locals,
+            hfl_federation.validation,
+            init_theta=hfl_result.log.initial_theta,
+        )
+        banzhaf = exact_banzhaf_values(utility)
+        shapley = exact_shapley_values(utility)
+        assert pearson_correlation(banzhaf, shapley) > 0.95

@@ -1,0 +1,176 @@
+"""Tests for TMC-Shapley, GT-Shapley, MR and IM."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import pearson_correlation
+from repro.shapley import (
+    CallableUtility,
+    exact_shapley_values,
+    gt_shapley,
+    gt_shapley_values,
+    im_scores,
+    mr_shapley,
+    tmc_shapley,
+    tmc_shapley_values,
+)
+
+from tests.conftest import small_model_factory
+
+
+def random_game(n, seed):
+    rng = np.random.default_rng(seed)
+    table = {frozenset(): 0.0}
+
+    def fn(coalition):
+        key = frozenset(coalition)
+        if key not in table:
+            # Supermodular-ish: value grows with size plus noise.
+            table[key] = len(key) + 0.5 * float(rng.normal())
+        return table[key]
+
+    return CallableUtility(n, fn)
+
+
+def additive_utility(values):
+    values = np.asarray(values, dtype=np.float64)
+    return CallableUtility(
+        len(values), lambda s: float(sum(values[i] for i in s))
+    )
+
+
+class TestTMC:
+    def test_exact_on_additive_game(self):
+        """Permutation marginals of an additive game are constant, so TMC is
+        exact with a single permutation and no truncation."""
+        values = np.array([2.0, -1.0, 4.0, 0.5])
+        est = tmc_shapley_values(
+            additive_utility(values), n_permutations=1, tolerance=0.0, seed=0
+        )
+        np.testing.assert_allclose(est, values, atol=1e-12)
+
+    def test_converges_on_random_game(self):
+        util = random_game(5, seed=1)
+        exact = exact_shapley_values(util)
+        est = tmc_shapley_values(util, n_permutations=400, tolerance=0.0, seed=2)
+        assert pearson_correlation(est, exact) > 0.9
+
+    def test_truncation_reduces_evaluations(self):
+        util_full = random_game(6, seed=3)
+        tmc_shapley_values(util_full, n_permutations=30, tolerance=0.0, seed=4)
+        full_evals = util_full.evaluations
+
+        util_trunc = random_game(6, seed=3)
+        tmc_shapley_values(util_trunc, n_permutations=30, tolerance=0.5, seed=4)
+        assert util_trunc.evaluations < full_evals
+
+    def test_default_budget(self):
+        util = additive_utility([1.0, 2.0, 3.0])
+        report = tmc_shapley(util, seed=0)
+        assert report.method == "tmc-shapley"
+        assert report.extra["coalition_evaluations"] > 0
+
+    def test_bad_permutations(self):
+        with pytest.raises(ValueError):
+            tmc_shapley_values(additive_utility([1.0, 2.0]), n_permutations=0)
+
+    def test_efficiency_approximate(self):
+        """Without truncation, TMC averages of full permutations satisfy
+        efficiency exactly (telescoping sum)."""
+        util = random_game(4, seed=5)
+        est = tmc_shapley_values(util, n_permutations=50, tolerance=0.0, seed=6)
+        assert est.sum() == pytest.approx(util(util.grand_coalition), abs=1e-9)
+
+
+class TestGT:
+    def test_exact_on_additive_game_in_expectation(self):
+        values = np.array([3.0, 1.0, -0.5, 2.0, 0.0])
+        est = gt_shapley_values(additive_utility(values), n_tests=6000, seed=0)
+        np.testing.assert_allclose(est, values, atol=0.35)
+
+    def test_correlates_with_exact(self):
+        util = random_game(5, seed=7)
+        exact = exact_shapley_values(util)
+        est = gt_shapley_values(util, n_tests=4000, seed=8)
+        assert pearson_correlation(est, exact) > 0.85
+
+    def test_efficiency_exact_by_construction(self):
+        util = random_game(4, seed=9)
+        est = gt_shapley_values(util, n_tests=200, seed=10)
+        assert est.sum() == pytest.approx(util(util.grand_coalition), abs=1e-9)
+
+    def test_single_player(self):
+        util = additive_utility([5.0])
+        np.testing.assert_allclose(gt_shapley_values(util), [5.0])
+
+    def test_bad_tests(self):
+        with pytest.raises(ValueError):
+            gt_shapley_values(additive_utility([1.0, 2.0]), n_tests=0)
+
+    def test_report(self):
+        report = gt_shapley(additive_utility([1.0, 2.0]), n_tests=50, seed=0)
+        assert report.method == "gt-shapley"
+
+
+class TestMR:
+    def test_per_epoch_shape(self, hfl_result, hfl_federation):
+        report = mr_shapley(hfl_result.log, hfl_federation.validation, small_model_factory)
+        assert report.per_epoch.shape == (hfl_result.log.n_epochs, 5)
+
+    def test_correlates_with_digfl(self, hfl_result, hfl_federation):
+        from repro.core import estimate_hfl_resource_saving
+
+        mr = mr_shapley(hfl_result.log, hfl_federation.validation, small_model_factory)
+        digfl = estimate_hfl_resource_saving(
+            hfl_result.log, hfl_federation.validation, small_model_factory
+        )
+        assert pearson_correlation(mr.totals, digfl.totals) > 0.8
+
+    def test_round_efficiency(self, hfl_result, hfl_federation):
+        """Per-round Shapley values sum to the round's grand-coalition
+        utility: loss^v(θ_{t-1}) − loss^v(θ_t)."""
+        report = mr_shapley(hfl_result.log, hfl_federation.validation, small_model_factory)
+        model = small_model_factory()
+        record = hfl_result.log.records[0]
+        model.set_flat(record.theta_before)
+        before = model.loss(hfl_federation.validation.X, hfl_federation.validation.y).item()
+        model.set_flat(record.theta_after)
+        after = model.loss(hfl_federation.validation.X, hfl_federation.validation.y).item()
+        assert report.per_epoch[0].sum() == pytest.approx(before - after, abs=1e-9)
+
+    def test_exponential_eval_count_reported(self, hfl_result, hfl_federation):
+        report = mr_shapley(hfl_result.log, hfl_federation.validation, small_model_factory)
+        assert report.extra["validation_evaluations"] == hfl_result.log.n_epochs * 32
+
+
+class TestIM:
+    def test_shape(self, hfl_result):
+        report = im_scores(hfl_result.log)
+        assert report.totals.shape == (5,)
+
+    def test_projection_formula(self, hfl_result):
+        report = im_scores(hfl_result.log)
+        direction = hfl_result.log.initial_theta - hfl_result.log.final_theta
+        direction /= np.linalg.norm(direction)
+        manual = sum(
+            record.local_updates @ direction for record in hfl_result.log.records
+        )
+        np.testing.assert_allclose(report.totals, manual, atol=1e-10)
+
+    def test_zero_direction_safe(self):
+        """A run that never moves θ must yield zeros, not NaNs."""
+        from repro.hfl import EpochRecord, TrainingLog
+
+        p = 4
+        log = TrainingLog(participant_ids=[0, 1])
+        log.records.append(
+            EpochRecord(
+                epoch=1,
+                lr=0.1,
+                theta_before=np.zeros(p),
+                local_updates=np.zeros((2, p)),
+                weights=np.full(2, 0.5),
+            )
+        )
+        report = im_scores(log)
+        np.testing.assert_allclose(report.totals, 0.0)

@@ -1,0 +1,163 @@
+"""Tests for exact Shapley values: axioms on closed-form games."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.shapley import CallableUtility, exact_shapley, exact_shapley_values
+
+
+def additive_game(values):
+    """V(S) = Σ_{i∈S} v_i — Shapley values are exactly v."""
+    values = np.asarray(values, dtype=np.float64)
+
+    def fn(coalition):
+        return float(sum(values[i] for i in coalition))
+
+    return CallableUtility(len(values), fn)
+
+
+def glove_game():
+    """Classic: players 0,1 hold left gloves, player 2 the right glove."""
+
+    def fn(coalition):
+        lefts = len(coalition & {0, 1})
+        rights = len(coalition & {2})
+        return float(min(lefts, rights))
+
+    return CallableUtility(3, fn)
+
+
+def majority_game(n, quota):
+    def fn(coalition):
+        return 1.0 if len(coalition) >= quota else 0.0
+
+    return CallableUtility(n, fn)
+
+
+class TestClosedFormGames:
+    def test_additive_game(self):
+        values = np.array([3.0, -1.0, 0.5, 2.0])
+        np.testing.assert_allclose(
+            exact_shapley_values(additive_game(values)), values, atol=1e-12
+        )
+
+    def test_glove_game(self):
+        """Known solution: (1/6, 1/6, 4/6)."""
+        np.testing.assert_allclose(
+            exact_shapley_values(glove_game()), [1 / 6, 1 / 6, 4 / 6], atol=1e-12
+        )
+
+    def test_majority_game_symmetric(self):
+        values = exact_shapley_values(majority_game(5, 3))
+        np.testing.assert_allclose(values, 0.2, atol=1e-12)
+
+    def test_unanimity_game(self):
+        """V(S)=1 iff S contains both 0 and 1; player 2 is a null player."""
+
+        def fn(coalition):
+            return 1.0 if {0, 1} <= coalition else 0.0
+
+        values = exact_shapley_values(CallableUtility(3, fn))
+        np.testing.assert_allclose(values, [0.5, 0.5, 0.0], atol=1e-12)
+
+    def test_single_player(self):
+        util = additive_game([7.0])
+        np.testing.assert_allclose(exact_shapley_values(util), [7.0])
+
+
+class TestAxiomsOnRandomGames:
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 5))
+    def test_efficiency(self, seed, n):
+        """Σφ_i = V(N) for any game."""
+        rng = np.random.default_rng(seed)
+        table = {frozenset(): 0.0}
+        values = exact_shapley_values(_random_game(rng, n, table))
+        assert values.sum() == pytest.approx(table[frozenset(range(n))], abs=1e-9)
+
+    @given(seed=st.integers(0, 10_000))
+    def test_symmetry(self, seed):
+        """Two players interchangeable in V get equal Shapley values."""
+        rng = np.random.default_rng(seed)
+        base = {
+            frozenset(): 0.0,
+            frozenset({2}): float(rng.normal()),
+            frozenset({0, 1}): float(rng.normal()),
+            frozenset({0, 2}): float(rng.normal()),
+            frozenset({0, 1, 2}): float(rng.normal()),
+        }
+        solo = float(rng.normal())
+        base[frozenset({0})] = solo
+        base[frozenset({1})] = solo
+        base[frozenset({1, 2})] = base[frozenset({0, 2})]
+
+        util = CallableUtility(3, lambda s: base[s])
+        values = exact_shapley_values(util)
+        assert values[0] == pytest.approx(values[1], abs=1e-9)
+
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 4))
+    def test_null_player(self, seed, n):
+        """A player that never changes any utility gets zero."""
+        rng = np.random.default_rng(seed)
+        table: dict[frozenset, float] = {}
+
+        def fn(coalition):
+            reduced = frozenset(coalition) - {0}  # player 0 is null
+            if reduced not in table:
+                table[reduced] = float(rng.normal()) if reduced else 0.0
+            return table[reduced]
+
+        values = exact_shapley_values(CallableUtility(n, fn))
+        assert values[0] == pytest.approx(0.0, abs=1e-9)
+
+    @given(seed=st.integers(0, 10_000))
+    def test_linearity(self, seed):
+        """Shapley(V + W) = Shapley(V) + Shapley(W)."""
+        rng = np.random.default_rng(seed)
+        table_v: dict[frozenset, float] = {frozenset(): 0.0}
+        table_w: dict[frozenset, float] = {frozenset(): 0.0}
+        util_v = _random_game(rng, 3, table_v)
+        util_w = _random_game(rng, 3, table_w)
+        phi_v = exact_shapley_values(util_v)
+        phi_w = exact_shapley_values(util_w)
+
+        util_sum = CallableUtility(3, lambda s: table_v.get(s, 0.0) + table_w.get(s, 0.0))
+        # Ensure tables fully populated by the prior runs.
+        phi_sum = exact_shapley_values(util_sum)
+        np.testing.assert_allclose(phi_sum, phi_v + phi_w, atol=1e-9)
+
+
+def _random_game(rng, n, table):
+    def fn(coalition):
+        key = frozenset(coalition)
+        if key not in table:
+            table[key] = float(rng.normal()) if key else 0.0
+        return table[key]
+
+    return CallableUtility(n, fn)
+
+
+class TestUtilityMechanics:
+    def test_empty_coalition_zero(self):
+        util = additive_game([1.0, 2.0])
+        assert util(frozenset()) == 0.0
+
+    def test_caching(self):
+        util = additive_game([1.0, 2.0, 3.0])
+        exact_shapley_values(util)
+        assert util.evaluations == 2**3  # every coalition exactly once
+
+    def test_unknown_player_rejected(self):
+        with pytest.raises(ValueError, match="unknown players"):
+            additive_game([1.0])(frozenset({5}))
+
+    def test_report_wrapper(self):
+        report = exact_shapley(additive_game([1.0, -2.0]))
+        assert report.method == "exact"
+        assert report.extra["coalition_evaluations"] == 4
+        np.testing.assert_allclose(report.totals, [1.0, -2.0])
+
+    def test_ranking(self):
+        report = exact_shapley(additive_game([1.0, 5.0, 3.0]))
+        assert report.ranking() == [1, 2, 0]

@@ -1,0 +1,132 @@
+"""Tests for the OR baseline, Dirichlet partitioning and Adam."""
+
+import numpy as np
+import pytest
+
+from repro.core import estimate_hfl_resource_saving
+from repro.data import dirichlet_label_partition
+from repro.hfl import TrainingLog
+from repro.metrics import pearson_correlation
+from repro.nn import Adam
+from repro.shapley import or_shapley
+
+from tests.conftest import small_model_factory
+
+
+class TestORShapley:
+    def test_totals_shape(self, hfl_result, hfl_federation):
+        report = or_shapley(hfl_result.log, hfl_federation.validation, small_model_factory)
+        assert report.totals.shape == (5,)
+        assert report.method == "or"
+
+    def test_no_per_epoch(self, hfl_result, hfl_federation):
+        report = or_shapley(hfl_result.log, hfl_federation.validation, small_model_factory)
+        assert report.per_epoch is None
+
+    def test_eval_count(self, hfl_result, hfl_federation):
+        report = or_shapley(hfl_result.log, hfl_federation.validation, small_model_factory)
+        assert report.extra["validation_evaluations"] == 32
+
+    def test_correlates_with_digfl(self, hfl_result, hfl_federation):
+        or_report = or_shapley(
+            hfl_result.log, hfl_federation.validation, small_model_factory
+        )
+        digfl = estimate_hfl_resource_saving(
+            hfl_result.log, hfl_federation.validation, small_model_factory
+        )
+        assert pearson_correlation(or_report.totals, digfl.totals) > 0.6
+
+    def test_empty_log_rejected(self, hfl_federation):
+        with pytest.raises(ValueError, match="empty"):
+            or_shapley(
+                TrainingLog(participant_ids=[0]),
+                hfl_federation.validation,
+                small_model_factory,
+            )
+
+
+class TestDirichletPartition:
+    def _labels(self, n=1000, classes=10, seed=0):
+        return np.random.default_rng(seed).integers(0, classes, size=n)
+
+    def test_disjoint_and_complete(self):
+        labels = self._labels()
+        parts = dirichlet_label_partition(labels, 5, 0.5, num_classes=10, seed=0)
+        merged = np.sort(np.concatenate(parts))
+        np.testing.assert_array_equal(merged, np.arange(1000))
+
+    def test_all_parties_nonempty(self):
+        labels = self._labels(200)
+        parts = dirichlet_label_partition(labels, 8, 0.1, num_classes=10, seed=1)
+        assert all(len(p) > 0 for p in parts)
+
+    def test_small_alpha_more_skew_than_large(self):
+        """Quantify skew as the mean max-class share per party."""
+        labels = self._labels(4000)
+
+        def skew(alpha):
+            parts = dirichlet_label_partition(
+                labels, 6, alpha, num_classes=10, seed=2
+            )
+            shares = []
+            for part in parts:
+                counts = np.bincount(labels[part], minlength=10)
+                shares.append(counts.max() / counts.sum())
+            return float(np.mean(shares))
+
+        assert skew(0.05) > skew(10.0)
+
+    def test_large_alpha_near_iid(self):
+        labels = self._labels(5000)
+        parts = dirichlet_label_partition(labels, 4, 100.0, num_classes=10, seed=3)
+        for part in parts:
+            counts = np.bincount(labels[part], minlength=10)
+            assert counts.min() > 0  # every class present
+
+    def test_deterministic(self):
+        labels = self._labels()
+        a = dirichlet_label_partition(labels, 4, 0.3, num_classes=10, seed=7)
+        b = dirichlet_label_partition(labels, 4, 0.3, num_classes=10, seed=7)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError, match="alpha"):
+            dirichlet_label_partition(self._labels(), 3, 0.0, num_classes=10)
+
+
+class TestAdam:
+    def test_first_step_is_signed_lr(self):
+        """With bias correction, the first Adam step ≈ lr·sign(grad)."""
+        from repro.autodiff import Tensor
+
+        p = Tensor(np.array([1.0, -1.0]), requires_grad=True)
+        p.grad = Tensor(np.array([0.3, -0.7]))
+        Adam([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.9, -0.9], atol=1e-6)
+
+    def test_converges_on_quadratic(self):
+        from repro.autodiff import Tensor, backward, mul, tsum
+
+        x = Tensor(np.array([5.0, -3.0]), requires_grad=True)
+        opt = Adam([x], lr=0.3)
+        for _ in range(300):
+            opt.zero_grad()
+            backward(tsum(mul(x, x)))
+            opt.step()
+        np.testing.assert_allclose(x.data, 0.0, atol=1e-2)
+
+    def test_none_grad_skipped(self):
+        from repro.autodiff import Tensor
+
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        Adam([p]).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.0)
+        with pytest.raises(ValueError):
+            Adam([], betas=(1.0, 0.999))
+        with pytest.raises(ValueError):
+            Adam([], eps=0.0)

@@ -1,0 +1,121 @@
+"""Tests for the stratified and KernelSHAP estimators."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import pearson_correlation
+from repro.shapley import (
+    CallableUtility,
+    exact_shapley_values,
+    kernel_shapley,
+    kernel_shapley_values,
+    stratified_shapley,
+    stratified_shapley_values,
+)
+from repro.shapley.kernel import exact_kernel_weights
+
+
+def additive_utility(values):
+    values = np.asarray(values, dtype=np.float64)
+    return CallableUtility(len(values), lambda s: float(sum(values[i] for i in s)))
+
+
+def random_game(n, seed):
+    rng = np.random.default_rng(seed)
+    table = {frozenset(): 0.0}
+
+    def fn(coalition):
+        key = frozenset(coalition)
+        if key not in table:
+            table[key] = len(key) + 0.5 * float(rng.normal())
+        return table[key]
+
+    return CallableUtility(n, fn)
+
+
+class TestStratified:
+    def test_exact_on_additive(self):
+        values = np.array([2.0, -1.0, 0.5])
+        est, se = stratified_shapley_values(
+            additive_utility(values), samples_per_stratum=2, seed=0
+        )
+        np.testing.assert_allclose(est, values, atol=1e-12)
+        np.testing.assert_allclose(se, 0.0, atol=1e-12)
+
+    def test_converges_on_random_game(self):
+        util = random_game(5, seed=1)
+        exact = exact_shapley_values(util)
+        est, _ = stratified_shapley_values(util, samples_per_stratum=40, seed=2)
+        assert pearson_correlation(est, exact) > 0.9
+
+    def test_standard_errors_shrink_with_budget(self):
+        _, se_small = stratified_shapley_values(
+            random_game(4, seed=3), samples_per_stratum=5, seed=4
+        )
+        _, se_large = stratified_shapley_values(
+            random_game(4, seed=3), samples_per_stratum=60, seed=4
+        )
+        assert se_large.mean() < se_small.mean()
+
+    def test_neyman_allocation_runs(self):
+        util = random_game(4, seed=5)
+        est, se = stratified_shapley_values(
+            util, samples_per_stratum=10, allocation="neyman", seed=6
+        )
+        assert est.shape == (4,)
+        assert np.all(se >= 0)
+
+    def test_bad_allocation(self):
+        with pytest.raises(ValueError, match="allocation"):
+            stratified_shapley_values(
+                additive_utility([1.0, 2.0]), allocation="magic"
+            )
+
+    def test_report_carries_std_errors(self):
+        report = stratified_shapley(
+            additive_utility([1.0, 2.0]), samples_per_stratum=3, seed=0
+        )
+        assert report.method == "stratified-uniform"
+        assert len(report.extra["std_errors"]) == 2
+
+
+class TestKernelShap:
+    def test_exact_on_additive(self):
+        """An additive game IS the surrogate model: exact for any samples."""
+        values = np.array([3.0, -2.0, 1.0, 0.5])
+        est = kernel_shapley_values(additive_utility(values), n_samples=60, seed=0)
+        np.testing.assert_allclose(est, values, atol=1e-8)
+
+    def test_efficiency_by_construction(self):
+        util = random_game(5, seed=7)
+        est = kernel_shapley_values(util, n_samples=100, seed=8)
+        v_full = util(util.grand_coalition)
+        assert est.sum() == pytest.approx(v_full, abs=1e-8)
+
+    def test_converges_on_random_game(self):
+        util = random_game(5, seed=9)
+        exact = exact_shapley_values(util)
+        est = kernel_shapley_values(util, n_samples=600, seed=10)
+        assert pearson_correlation(est, exact) > 0.85
+
+    def test_single_player(self):
+        np.testing.assert_allclose(
+            kernel_shapley_values(additive_utility([4.0])), [4.0]
+        )
+
+    def test_bad_samples(self):
+        with pytest.raises(ValueError):
+            kernel_shapley_values(additive_utility([1.0, 2.0]), n_samples=0)
+
+    def test_report(self):
+        report = kernel_shapley(additive_utility([1.0, 2.0]), n_samples=30, seed=0)
+        assert report.method == "kernel-shap"
+
+    def test_kernel_weights_symmetric(self):
+        weights = exact_kernel_weights(6)
+        assert weights[1] == pytest.approx(weights[5])
+        assert weights[2] == pytest.approx(weights[4])
+
+    def test_kernel_weights_favor_extremes(self):
+        weights = exact_kernel_weights(8)
+        assert weights[1] > weights[4]

@@ -1,0 +1,151 @@
+"""Tests for repro.utils.timer and repro.utils.validation."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.timer import Stopwatch
+from repro.utils.validation import (
+    check_fraction,
+    check_matching_lengths,
+    check_non_negative_int,
+    check_positive_float,
+    check_positive_int,
+    check_probability_vector,
+)
+
+
+class TestStopwatch:
+    def test_initially_zero(self):
+        assert Stopwatch().elapsed == 0.0
+
+    def test_accumulates(self):
+        sw = Stopwatch()
+        with sw.running():
+            time.sleep(0.01)
+        first = sw.elapsed
+        assert first >= 0.01
+        with sw.running():
+            time.sleep(0.01)
+        assert sw.elapsed >= first + 0.01
+
+    def test_double_start_raises(self):
+        sw = Stopwatch()
+        sw.start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw.running():
+            pass
+        sw.reset()
+        assert sw.elapsed == 0.0
+
+    def test_elapsed_while_running(self):
+        sw = Stopwatch()
+        sw.start()
+        time.sleep(0.005)
+        assert sw.elapsed > 0.0
+        sw.stop()
+
+    def test_exception_inside_context_still_stops(self):
+        sw = Stopwatch()
+        with pytest.raises(RuntimeError, match="boom"):
+            with sw.running():
+                raise RuntimeError("boom")
+        # Can start again: the window was closed.
+        with sw.running():
+            pass
+
+
+class TestCheckPositiveInt:
+    def test_accepts(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_numpy_int(self):
+        assert check_positive_int(np.int64(5), "x") == 5
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "x")
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.0, "x")
+
+
+class TestCheckNonNegativeInt:
+    def test_zero_ok(self):
+        assert check_non_negative_int(0, "x") == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            check_non_negative_int(-1, "x")
+
+
+class TestCheckFraction:
+    def test_bounds_inclusive(self):
+        assert check_fraction(0.0, "f") == 0.0
+        assert check_fraction(1.0, "f") == 1.0
+
+    def test_bounds_exclusive(self):
+        with pytest.raises(ValueError):
+            check_fraction(0.0, "f", inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_fraction(1.5, "f")
+
+
+class TestCheckPositiveFloat:
+    def test_accepts(self):
+        assert check_positive_float(0.5, "x") == 0.5
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            check_positive_float(0.0, "x")
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            check_positive_float(float("nan"), "x")
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError):
+            check_positive_float(float("inf"), "x")
+
+
+class TestCheckProbabilityVector:
+    def test_accepts_uniform(self):
+        v = check_probability_vector(np.full(4, 0.25), "w")
+        assert v.dtype == np.float64
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_probability_vector(np.array([1.5, -0.5]), "w")
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError):
+            check_probability_vector(np.array([0.5, 0.4]), "w")
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            check_probability_vector(np.ones((2, 2)) / 4, "w")
+
+
+class TestCheckMatchingLengths:
+    def test_match(self):
+        check_matching_lengths("a", [1, 2], "b", [3, 4])
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            check_matching_lengths("a", [1], "b", [2, 3])

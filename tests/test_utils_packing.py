@@ -1,0 +1,113 @@
+"""Tests for repro.utils.packing — flatten/unflatten round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.packing import (
+    ParamSpec,
+    flatten_params,
+    params_close,
+    unflatten_params,
+)
+
+
+def _example_params():
+    rng = np.random.default_rng(0)
+    return [rng.normal(size=(3, 4)), rng.normal(size=(4,)), rng.normal(size=(2, 2, 2))]
+
+
+class TestFlatten:
+    def test_roundtrip(self):
+        params = _example_params()
+        flat, spec = flatten_params(params)
+        restored = unflatten_params(flat, spec)
+        assert params_close(params, restored)
+
+    def test_flat_is_1d_float64(self):
+        flat, _ = flatten_params(_example_params())
+        assert flat.ndim == 1
+        assert flat.dtype == np.float64
+        assert flat.size == 12 + 4 + 8
+
+    def test_empty_list(self):
+        flat, spec = flatten_params([])
+        assert flat.size == 0
+        assert unflatten_params(flat, spec) == []
+
+    def test_flat_is_copy(self):
+        params = _example_params()
+        flat, _ = flatten_params(params)
+        flat[0] = 999.0
+        assert params[0].ravel()[0] != 999.0
+
+    def test_unflatten_copies(self):
+        params = _example_params()
+        flat, spec = flatten_params(params)
+        restored = unflatten_params(flat, spec)
+        restored[0][0, 0] = 777.0
+        assert flat[0] != 777.0
+
+    def test_scalar_shaped_param(self):
+        flat, spec = flatten_params([np.array(3.0)])
+        assert flat.shape == (1,)
+        (restored,) = unflatten_params(flat, spec)
+        assert restored.shape == ()
+        assert restored == 3.0
+
+
+class TestUnflattenErrors:
+    def test_wrong_size(self):
+        _, spec = flatten_params(_example_params())
+        with pytest.raises(ValueError, match="spec expects"):
+            unflatten_params(np.zeros(5), spec)
+
+    def test_wrong_ndim(self):
+        _, spec = flatten_params(_example_params())
+        with pytest.raises(ValueError, match="1-D"):
+            unflatten_params(np.zeros((4, 6)), spec)
+
+
+class TestParamSpec:
+    def test_total_size(self):
+        spec = ParamSpec.of(_example_params())
+        assert spec.total_size == 24
+
+    def test_of_records_shapes(self):
+        spec = ParamSpec.of(_example_params())
+        assert spec.shapes == ((3, 4), (4,), (2, 2, 2))
+
+
+class TestParamsClose:
+    def test_equal(self):
+        a = _example_params()
+        assert params_close(a, [p.copy() for p in a])
+
+    def test_length_mismatch(self):
+        a = _example_params()
+        assert not params_close(a, a[:-1])
+
+    def test_shape_mismatch(self):
+        a = [np.zeros((2, 3))]
+        b = [np.zeros((3, 2))]
+        assert not params_close(a, b)
+
+    def test_value_mismatch(self):
+        a = [np.zeros(3)]
+        b = [np.ones(3)]
+        assert not params_close(a, b)
+
+
+@given(
+    shapes=st.lists(
+        st.tuples(st.integers(1, 4), st.integers(1, 4)), min_size=1, max_size=5
+    ),
+    seed=st.integers(0, 2**16),
+)
+def test_roundtrip_property(shapes, seed):
+    """flatten → unflatten is the identity for arbitrary shape lists."""
+    rng = np.random.default_rng(seed)
+    params = [rng.normal(size=s) for s in shapes]
+    flat, spec = flatten_params(params)
+    assert params_close(params, unflatten_params(flat, spec))

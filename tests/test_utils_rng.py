@@ -1,0 +1,90 @@
+"""Tests for repro.utils.rng — determinism and stream independence."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, make_rng, shuffled, spawn_rngs
+
+
+class TestMakeRng:
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = make_rng(42).normal(size=5)
+        b = make_rng(42).normal(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).normal(size=8)
+        b = make_rng(2).normal(size=8)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(9)
+        a = make_rng(seq).normal(size=3)
+        b = make_rng(np.random.SeedSequence(9)).normal(size=3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 7)) == 7
+
+    def test_zero_children(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(5, 3)
+        draws = [c.normal(size=10) for c in children]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_children_deterministic_in_root(self):
+        a = [c.normal(size=4) for c in spawn_rngs(11, 2)]
+        b = [c.normal(size=4) for c in spawn_rngs(11, 2)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(3)
+        children = spawn_rngs(gen, 2)
+        assert len(children) == 2
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, 2, 3) == derive_seed(1, 2, 3)
+
+    def test_salt_changes_seed(self):
+        assert derive_seed(1, 2, 3) != derive_seed(1, 2, 4)
+
+    def test_none_base_seed(self):
+        assert derive_seed(None, 5) == derive_seed(None, 5)
+
+    def test_result_in_range(self):
+        s = derive_seed(123, 456)
+        assert 0 <= s < 2**63
+
+
+class TestShuffled:
+    def test_preserves_elements(self):
+        items = list(range(20))
+        out = shuffled(items, make_rng(0))
+        assert sorted(out) == items
+
+    def test_input_untouched(self):
+        items = [3, 1, 2]
+        shuffled(items, make_rng(0))
+        assert items == [3, 1, 2]
+
+    def test_deterministic(self):
+        assert shuffled(range(10), make_rng(4)) == shuffled(range(10), make_rng(4))

@@ -1,0 +1,245 @@
+"""Tests for the encrypted VFL protocol (Algorithm 3) against plaintext."""
+
+import numpy as np
+import pytest
+
+from repro.data import boston_like, build_vfl_federation
+from repro.nn import LRSchedule
+from repro.vfl import VFLTrainer, build_encrypted_session
+from repro.vfl.encrypted import EncryptedParty, EncryptedVFLSession, TrustedThirdParty
+
+KEY_BITS = 256  # small keys: correctness only, paper uses 1024
+
+
+@pytest.fixture(scope="module")
+def small_split():
+    ds = boston_like(seed=0).standardized()
+    return build_vfl_federation(ds, 3, max_rows=50, seed=1)
+
+
+@pytest.fixture(scope="module")
+def encrypted_run(small_split):
+    sched = LRSchedule(0.1)
+    Xb = [small_split.train.X[:, b] for b in small_split.feature_blocks]
+    Xvb = [small_split.validation.X[:, b] for b in small_split.feature_blocks]
+    session = build_encrypted_session(
+        "regression", Xb, small_split.train.y, sched, epochs=4,
+        key_bits=KEY_BITS, seed=11,
+    )
+    result = session.train(small_split.train.y, small_split.validation.y, Xvb)
+    return small_split, result
+
+
+class TestEquivalenceWithPlaintext:
+    def test_theta_matches(self, encrypted_run):
+        split, enc = encrypted_run
+        trainer = VFLTrainer("regression", split.feature_blocks, 4, LRSchedule(0.1))
+        plain = trainer.train(split.train, split.validation)
+        plain_blocks = np.concatenate([plain.theta[b] for b in split.feature_blocks])
+        np.testing.assert_allclose(enc.theta, plain_blocks, atol=1e-7)
+
+    def test_contributions_match_digfl(self, encrypted_run):
+        """The parties' self-computed φ̂ must equal the plaintext estimator."""
+        from repro.core import estimate_vfl_first_order
+
+        split, enc = encrypted_run
+        trainer = VFLTrainer("regression", split.feature_blocks, 4, LRSchedule(0.1))
+        plain = trainer.train(split.train, split.validation)
+        report = estimate_vfl_first_order(plain.log)
+        np.testing.assert_allclose(enc.contributions, report.totals, atol=1e-6)
+
+    def test_per_epoch_shape(self, encrypted_run):
+        _, enc = encrypted_run
+        assert enc.per_epoch_contributions.shape == (4, 3)
+
+
+class TestCostAccounting:
+    def test_communication_recorded(self, encrypted_run):
+        _, enc = encrypted_run
+        assert enc.ledger.comm_bytes["party->party"] > 0
+        assert enc.ledger.comm_bytes["party->ttp"] > 0
+        assert enc.ledger.comm_bytes["ttp->party"] > 0
+
+    def test_ciphertexts_dominate_traffic(self, encrypted_run):
+        """Encrypted residual chains are ~2×key-size per sample, far above
+        the plaintext floats going back."""
+        _, enc = encrypted_run
+        assert enc.ledger.comm_bytes["party->party"] > enc.ledger.comm_bytes["ttp->party"]
+
+    def test_compute_time_recorded(self, encrypted_run):
+        _, enc = encrypted_run
+        assert enc.ledger.compute_seconds > 0
+
+
+class TestLogisticTaylor:
+    def test_taylor_logreg_matches_plaintext_taylor(self):
+        """Encrypted logistic (Taylor residual) vs a plaintext replica."""
+        rng = np.random.default_rng(5)
+        m, blocks = 40, [np.array([0, 1]), np.array([2, 3])]
+        X = rng.normal(size=(m, 4))
+        y = (X @ np.array([1.0, -1.0, 0.5, 0.0]) > 0).astype(float)
+        sched = LRSchedule(0.2)
+        Xb = [X[:, b] for b in blocks]
+        session = build_encrypted_session(
+            "binary", Xb, y, sched, epochs=3, key_bits=KEY_BITS, seed=2
+        )
+        enc = session.train(y, y, Xb)
+
+        # Plaintext Taylor replica.
+        theta = np.zeros(4)
+        for epoch in range(1, 4):
+            d = 0.25 * (X @ theta) + 0.5 - y
+            grad = X.T @ d / m
+            theta = theta - sched.lr_at(epoch) * grad
+        plain_blocks = np.concatenate([theta[b] for b in blocks])
+        np.testing.assert_allclose(enc.theta, plain_blocks, atol=1e-7)
+
+
+class TestEncryptedReweighting:
+    def test_matches_plaintext_reweighted_trainer(self, small_split):
+        """Encrypted Eq. 31 reweighting == plaintext VFLDIGFLReweighter."""
+        from repro.core import VFLDIGFLReweighter
+
+        sched = LRSchedule(0.1)
+        epochs = 4
+        Xb = [small_split.train.X[:, b] for b in small_split.feature_blocks]
+        Xvb = [small_split.validation.X[:, b] for b in small_split.feature_blocks]
+        session = build_encrypted_session(
+            "regression", Xb, small_split.train.y, sched, epochs,
+            key_bits=KEY_BITS, seed=9,
+        )
+        enc = session.train(
+            small_split.train.y, small_split.validation.y, Xvb, reweight=True
+        )
+
+        trainer = VFLTrainer(
+            "regression", small_split.feature_blocks, epochs, sched
+        )
+        plain = trainer.train(
+            small_split.train,
+            small_split.validation,
+            reweighter=VFLDIGFLReweighter(small_split.feature_blocks),
+        )
+        plain_blocks = np.concatenate(
+            [plain.theta[b] for b in small_split.feature_blocks]
+        )
+        np.testing.assert_allclose(enc.theta, plain_blocks, atol=1e-6)
+
+    def test_weights_recorded(self, small_split):
+        sched = LRSchedule(0.1)
+        Xb = [small_split.train.X[:, b] for b in small_split.feature_blocks]
+        Xvb = [small_split.validation.X[:, b] for b in small_split.feature_blocks]
+        session = build_encrypted_session(
+            "regression", Xb, small_split.train.y, sched, 2,
+            key_bits=KEY_BITS, seed=10,
+        )
+        enc = session.train(
+            small_split.train.y, small_split.validation.y, Xvb, reweight=True
+        )
+        assert enc.weights.shape == (2, 3)
+        # Eq. 31 scaling: weights sum to n when any contribution is positive.
+        for row in enc.weights:
+            assert row.sum() == pytest.approx(3.0, abs=1e-9) or np.allclose(row, 1.0)
+
+    def test_no_reweight_weights_are_ones(self, encrypted_run):
+        _, enc = encrypted_run
+        np.testing.assert_allclose(enc.weights, 1.0)
+
+
+class TestProtocolValidation:
+    def test_label_holder_must_be_party_zero(self):
+        ttp = TrustedThirdParty.create(KEY_BITS, seed=0)
+        parties = [EncryptedParty(0, np.ones((4, 1)), ttp.public_key)]  # no labels
+        with pytest.raises(ValueError, match="labels"):
+            EncryptedVFLSession("regression", parties, ttp, LRSchedule(0.1), 1)
+
+    def test_unknown_task(self):
+        ttp = TrustedThirdParty.create(KEY_BITS, seed=0)
+        parties = [
+            EncryptedParty(0, np.ones((4, 1)), ttp.public_key, y=np.ones(4))
+        ]
+        with pytest.raises(ValueError, match="task"):
+            EncryptedVFLSession("multiclass", parties, ttp, LRSchedule(0.1), 1)
+
+    def test_residual_chain_needs_label_holder(self):
+        ttp = TrustedThirdParty.create(KEY_BITS, seed=0)
+        party = EncryptedParty(1, np.ones((4, 1)), ttp.public_key)
+        with pytest.raises(RuntimeError, match="label holder"):
+            party.start_residual_chain(np.zeros(4))
+
+    def test_gradient_row_mismatch(self):
+        ttp = TrustedThirdParty.create(KEY_BITS, seed=0)
+        party = EncryptedParty(0, np.ones((4, 1)), ttp.public_key, y=np.ones(4))
+        chain = party.start_residual_chain(-np.ones(4))
+        with pytest.raises(ValueError, match="rows"):
+            party.encrypted_gradient(chain[:2], 1, "train", scale=1.0)
+
+
+class TestManyPartyChain:
+    def test_five_party_regression_matches_plaintext(self):
+        """The residual chain generalises beyond the paper's 2-party
+        running example; verify a 5-party ring against the simulator."""
+        from repro.data import boston_like, build_vfl_federation
+
+        dataset = boston_like(seed=3).standardized()
+        split = build_vfl_federation(dataset, 5, max_rows=40, seed=3)
+        sched = LRSchedule(0.1)
+        Xb = [split.train.X[:, b] for b in split.feature_blocks]
+        Xvb = [split.validation.X[:, b] for b in split.feature_blocks]
+        session = build_encrypted_session(
+            "regression", Xb, split.train.y, sched, 3, key_bits=KEY_BITS, seed=12
+        )
+        assert len(session.parties) == 5
+        enc = session.train(split.train.y, split.validation.y, Xvb)
+
+        trainer = VFLTrainer("regression", split.feature_blocks, 3, sched)
+        plain = trainer.train(split.train, split.validation)
+        plain_blocks = np.concatenate([plain.theta[b] for b in split.feature_blocks])
+        np.testing.assert_allclose(enc.theta, plain_blocks, atol=1e-7)
+
+    def test_chain_traffic_grows_with_parties(self):
+        """Each extra party adds one more pass of the encrypted chain."""
+        from repro.data import boston_like, build_vfl_federation
+
+        dataset = boston_like(seed=4).standardized()
+
+        def run(n_parties):
+            split = build_vfl_federation(dataset, n_parties, max_rows=30, seed=4)
+            Xb = [split.train.X[:, b] for b in split.feature_blocks]
+            Xvb = [split.validation.X[:, b] for b in split.feature_blocks]
+            session = build_encrypted_session(
+                "regression", Xb, split.train.y, LRSchedule(0.1), 1,
+                key_bits=KEY_BITS, seed=13,
+            )
+            result = session.train(split.train.y, split.validation.y, Xvb)
+            return result.ledger.comm_bytes["party->party"]
+
+        assert run(4) > run(2)
+
+
+class TestMaskingHidesGradients:
+    def test_ttp_sees_masked_values_only(self, small_split):
+        """What the third-party decrypts differs from the true gradient."""
+        sched = LRSchedule(0.1)
+        Xb = [small_split.train.X[:, b] for b in small_split.feature_blocks]
+        session = build_encrypted_session(
+            "regression", Xb, small_split.train.y, sched, epochs=1,
+            key_bits=KEY_BITS, seed=3,
+        )
+        party = session.parties[0]
+        chain = party.start_residual_chain(-small_split.train.y)
+        for other in session.parties[1:]:
+            chain = other.add_to_chain(chain)
+        m = len(small_split.train.y)
+        enc_grad = party.encrypted_gradient(chain, 1, "train", scale=2.0 / m)
+        masked = session.ttp.decrypt_vector(enc_grad)
+        true_grad = 2.0 / m * Xb[0].T @ (
+            np.concatenate([Xb[i] @ session.parties[i].theta for i in range(3)])
+            .reshape(3, m)
+            .sum(axis=0)
+            - small_split.train.y
+        )
+        assert not np.allclose(masked, true_grad, atol=1e-3)
+        np.testing.assert_allclose(
+            party.unmask(1, "train", masked), true_grad, atol=1e-7
+        )

@@ -1,0 +1,58 @@
+"""Invariants of the VFL training log container."""
+
+import numpy as np
+import pytest
+
+from repro.vfl.log import VFLEpochRecord, VFLTrainingLog
+
+
+def make_log(weights_by_epoch, lr=0.1, d=6):
+    blocks = [np.array([0, 1]), np.array([2, 3]), np.array([4, 5])]
+    rng = np.random.default_rng(0)
+    log = VFLTrainingLog(feature_blocks=blocks, active_parties=[0, 1, 2])
+    theta = np.zeros(d)
+    for t, weights in enumerate(weights_by_epoch, start=1):
+        grad = rng.normal(size=d)
+        log.records.append(
+            VFLEpochRecord(
+                epoch=t,
+                lr=lr,
+                theta_before=theta.copy(),
+                train_gradient=grad,
+                val_gradient=rng.normal(size=d),
+                weights=np.asarray(weights, dtype=np.float64),
+            )
+        )
+        update = np.zeros(d)
+        for party, block in enumerate(blocks):
+            update[block] = weights[party] * grad[block]
+        theta = theta - lr * update
+    return log, theta
+
+
+class TestFinalTheta:
+    def test_uniform_weights(self):
+        log, theta = make_log([np.ones(3)] * 4)
+        np.testing.assert_allclose(log.final_theta, theta, atol=1e-12)
+
+    def test_nonuniform_weights(self):
+        """final_theta must honour the per-party weights of the last epoch."""
+        weights = [np.array([1.0, 1.0, 1.0]), np.array([0.5, 2.0, 0.0])]
+        log, theta = make_log(weights)
+        np.testing.assert_allclose(log.final_theta, theta, atol=1e-12)
+
+    def test_empty_log_raises(self):
+        log = VFLTrainingLog(feature_blocks=[np.array([0])], active_parties=[0])
+        with pytest.raises(ValueError):
+            _ = log.final_theta
+
+
+class TestAccessors:
+    def test_counts(self):
+        log, _ = make_log([np.ones(3)] * 3)
+        assert log.n_parties == 3
+        assert log.n_epochs == 3
+
+    def test_val_loss_curve_nan_when_untracked(self):
+        log, _ = make_log([np.ones(3)])
+        assert np.isnan(log.val_loss_curve()).all()

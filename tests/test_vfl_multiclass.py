@@ -1,0 +1,160 @@
+"""Tests for the multiclass (softmax) VFL extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import estimate_vfl_first_order, estimate_vfl_second_order
+from repro.data import make_tabular_multiclass, vertical_partition
+from repro.metrics import pearson_correlation
+from repro.models import SoftmaxRegressionModel, expand_feature_blocks, make_vfl_model
+from repro.nn import LRSchedule
+from repro.shapley import VFLRetrainUtility, exact_shapley
+from repro.vfl import VFLTrainer
+
+RNG = np.random.default_rng(2024)
+
+
+@pytest.fixture(scope="module")
+def multiclass_data():
+    return make_tabular_multiclass("mc", 400, 9, 4, temperature=0.5, seed=0)
+
+
+@pytest.fixture(scope="module")
+def multiclass_vfl(multiclass_data):
+    train, val = multiclass_data.validation_split(0.15, seed=1)
+    feature_blocks = vertical_partition(9, 3, seed=2)
+    coeff_blocks = expand_feature_blocks(feature_blocks, 4)
+    trainer = VFLTrainer(
+        "multiclass", coeff_blocks, epochs=40, lr_schedule=LRSchedule(0.5),
+        n_classes=4,
+    )
+    result = trainer.train(train, val, track_losses=True)
+    return train, val, trainer, result
+
+
+class TestSoftmaxModel:
+    def test_loss_matches_autodiff(self, multiclass_data):
+        from repro.autodiff import Tensor, cross_entropy_with_logits
+
+        model = SoftmaxRegressionModel(4)
+        theta = RNG.normal(size=9 * 4)
+        X, y = multiclass_data.X, multiclass_data.y
+        ref = cross_entropy_with_logits(
+            Tensor(X) @ Tensor(theta.reshape(9, 4)), y
+        ).item()
+        assert model.loss(theta, X, y) == pytest.approx(ref, abs=1e-10)
+
+    def test_gradient_matches_autodiff(self, multiclass_data):
+        from repro.autodiff import Tensor, cross_entropy_with_logits, grad
+
+        model = SoftmaxRegressionModel(4)
+        theta = RNG.normal(size=9 * 4)
+        X, y = multiclass_data.X, multiclass_data.y
+        t = Tensor(theta.reshape(9, 4), requires_grad=True)
+        (g_ref,) = grad(cross_entropy_with_logits(Tensor(X) @ t, y), [t])
+        np.testing.assert_allclose(
+            model.gradient(theta, X, y), g_ref.data.ravel(), atol=1e-10
+        )
+
+    def test_hvp_matches_finite_difference(self, multiclass_data):
+        model = SoftmaxRegressionModel(4)
+        theta = RNG.normal(size=9 * 4) * 0.3
+        X, y = multiclass_data.X[:100], multiclass_data.y[:100]
+        v = RNG.normal(size=9 * 4)
+        hv = model.hvp(theta, X, y, v)
+        eps = 1e-6
+        numeric = (
+            model.gradient(theta + eps * v, X, y)
+            - model.gradient(theta - eps * v, X, y)
+        ) / (2 * eps)
+        np.testing.assert_allclose(hv, numeric, atol=1e-6)
+
+    def test_hessian_psd(self, multiclass_data):
+        model = SoftmaxRegressionModel(3)
+        X = multiclass_data.X[:80, :4]
+        y = multiclass_data.y[:80] % 3
+        H = model.hessian(RNG.normal(size=12), X, y)
+        assert np.linalg.eigvalsh(H).min() >= -1e-9
+
+    def test_training_learns(self, multiclass_data):
+        model = SoftmaxRegressionModel(4)
+        X, y = multiclass_data.X, multiclass_data.y
+        theta = np.zeros(36)
+        for _ in range(200):
+            theta -= 0.5 * model.gradient(theta, X, y)
+        assert model.score(theta, X, y) > 0.6
+
+    def test_bad_class_count(self):
+        with pytest.raises(ValueError):
+            SoftmaxRegressionModel(1)
+
+    def test_factory(self):
+        assert isinstance(
+            make_vfl_model("multiclass", n_classes=3), SoftmaxRegressionModel
+        )
+
+
+class TestExpandBlocks:
+    def test_contiguous_per_feature(self):
+        blocks = expand_feature_blocks([np.array([0, 2])], 3)
+        np.testing.assert_array_equal(blocks[0], [0, 1, 2, 6, 7, 8])
+
+    def test_partition_property(self):
+        feature_blocks = vertical_partition(7, 3, seed=0)
+        expanded = expand_feature_blocks(feature_blocks, 4)
+        merged = np.sort(np.concatenate(expanded))
+        np.testing.assert_array_equal(merged, np.arange(28))
+
+    def test_bad_classes(self):
+        with pytest.raises(ValueError):
+            expand_feature_blocks([np.array([0])], 1)
+
+
+class TestMulticlassVFL:
+    def test_loss_decreases(self, multiclass_vfl):
+        _, _, _, result = multiclass_vfl
+        curve = result.log.val_loss_curve()
+        assert curve[-1] < curve[0]
+
+    def test_model_accuracy(self, multiclass_vfl):
+        train, val, trainer, result = multiclass_vfl
+        assert trainer.model.score(result.theta, val.X, val.y) > 0.5
+
+    def test_digfl_tracks_exact_shapley(self, multiclass_vfl):
+        train, val, trainer, result = multiclass_vfl
+        digfl = estimate_vfl_first_order(result.log)
+        utility = VFLRetrainUtility(trainer, train, val)
+        exact = exact_shapley(utility)
+        assert pearson_correlation(digfl.totals, exact.totals) > 0.8
+
+    def test_second_order_close(self, multiclass_vfl):
+        train, _, trainer, result = multiclass_vfl
+        fo = estimate_vfl_first_order(result.log)
+        so = estimate_vfl_second_order(result.log, trainer.model, train)
+        assert pearson_correlation(fo.totals, so.totals) > 0.9
+
+    def test_unexpanded_blocks_rejected(self, multiclass_data):
+        train, val = multiclass_data.validation_split(0.15, seed=1)
+        feature_blocks = vertical_partition(9, 3, seed=2)
+        trainer = VFLTrainer(
+            "multiclass", feature_blocks, 5, LRSchedule(0.5), n_classes=4
+        )
+        with pytest.raises(ValueError, match="expand_feature_blocks"):
+            trainer.train(train, val)
+
+
+class TestMulticlassGenerator:
+    def test_shapes(self):
+        ds = make_tabular_multiclass("m", 100, 5, 3, seed=0)
+        assert ds.X.shape == (100, 5)
+        assert ds.num_classes == 3
+        assert set(np.unique(ds.y)) <= {0, 1, 2}
+
+    def test_deterministic(self):
+        a = make_tabular_multiclass("m", 50, 4, 3, seed=5)
+        b = make_tabular_multiclass("m", 50, 4, 3, seed=5)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_bad_classes(self):
+        with pytest.raises(ValueError):
+            make_tabular_multiclass("m", 50, 4, 1)

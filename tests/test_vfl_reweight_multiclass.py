@@ -1,0 +1,76 @@
+"""Cross-feature tests: reweighting + multiclass VFL, renders, CLI bars."""
+
+import numpy as np
+import pytest
+
+from repro.core import VFLDIGFLReweighter, estimate_vfl_first_order
+from repro.data import make_tabular_multiclass, vertical_partition
+from repro.models import expand_feature_blocks
+from repro.nn import LRSchedule
+from repro.render import contribution_bars, per_epoch_sparklines
+from repro.vfl import VFLTrainer
+
+
+@pytest.fixture(scope="module")
+def multiclass_world():
+    dataset = make_tabular_multiclass("mc", 300, 8, 3, temperature=0.5, seed=9)
+    train, val = dataset.validation_split(0.15, seed=9)
+    feature_blocks = vertical_partition(8, 4, seed=9)
+    coeff_blocks = expand_feature_blocks(feature_blocks, 3)
+    return train, val, coeff_blocks
+
+
+class TestMulticlassReweighting:
+    def test_reweighted_training_converges(self, multiclass_world):
+        train, val, blocks = multiclass_world
+        trainer = VFLTrainer(
+            "multiclass", blocks, 30, LRSchedule(0.5), n_classes=3
+        )
+        result = trainer.train(
+            train,
+            val,
+            reweighter=VFLDIGFLReweighter(blocks),
+            track_losses=True,
+        )
+        curve = result.log.val_loss_curve()
+        assert curve[-1] < curve[0]
+
+    def test_weights_positive_and_scaled(self, multiclass_world):
+        train, val, blocks = multiclass_world
+        reweighter = VFLDIGFLReweighter(blocks)
+        trainer = VFLTrainer(
+            "multiclass", blocks, 5, LRSchedule(0.5), n_classes=3
+        )
+        result = trainer.train(train, val, reweighter=reweighter)
+        for record in result.log.records:
+            assert (record.weights >= 0).all()
+            # Eq. 31 scaling: weights sum to n when any φ is positive.
+            assert record.weights.sum() == pytest.approx(4.0, abs=1e-9) or (
+                np.allclose(record.weights, 1.0)
+            )
+
+    def test_estimator_reads_reweighted_log(self, multiclass_world):
+        train, val, blocks = multiclass_world
+        trainer = VFLTrainer(
+            "multiclass", blocks, 10, LRSchedule(0.5), n_classes=3
+        )
+        result = trainer.train(
+            train, val, reweighter=VFLDIGFLReweighter(blocks)
+        )
+        report = estimate_vfl_first_order(result.log)
+        assert report.totals.shape == (4,)
+        assert np.isfinite(report.totals).all()
+
+
+class TestRenderOnRealReports:
+    def test_bars_render_vfl_report(self, multiclass_world):
+        train, val, blocks = multiclass_world
+        trainer = VFLTrainer(
+            "multiclass", blocks, 8, LRSchedule(0.5), n_classes=3
+        )
+        result = trainer.train(train, val)
+        report = estimate_vfl_first_order(result.log)
+        out = contribution_bars(report)
+        assert out.count("\n") == 3  # four parties
+        spark = per_epoch_sparklines(report)
+        assert spark.count("\n") == 3

@@ -1,0 +1,121 @@
+"""Tests for the plaintext VFL trainer and its coalition semantics."""
+
+import numpy as np
+import pytest
+
+from repro.data import build_vfl_federation, iris_like
+from repro.metrics import CostLedger
+from repro.nn import LRSchedule
+from repro.vfl import VFLTrainer
+
+
+class TestTraining:
+    def test_loss_decreases(self, vfl_result):
+        curve = vfl_result.log.val_loss_curve()
+        assert curve[-1] < curve[0]
+
+    def test_theta_zero_init(self, vfl_result):
+        np.testing.assert_allclose(vfl_result.log.records[0].theta_before, 0.0)
+
+    def test_final_theta_consistency(self, vfl_result):
+        np.testing.assert_allclose(
+            vfl_result.log.final_theta, vfl_result.theta, atol=1e-12
+        )
+
+    def test_gradient_is_models_gradient(self, vfl_split, vfl_trainer, vfl_result):
+        record = vfl_result.log.records[0]
+        expected = vfl_trainer.model.gradient(
+            record.theta_before, vfl_split.train.X, vfl_split.train.y
+        )
+        np.testing.assert_allclose(record.train_gradient, expected, atol=1e-12)
+
+    def test_logistic_task(self):
+        ds = iris_like(seed=0).standardized()
+        split = build_vfl_federation(ds, 4, seed=0)
+        trainer = VFLTrainer("binary", split.feature_blocks, 30, LRSchedule(0.5))
+        result = trainer.train(split.train, split.validation, track_losses=True)
+        curve = result.log.val_loss_curve()
+        assert curve[-1] < curve[0]
+        assert trainer.model.score(result.theta, split.validation.X, split.validation.y) > 0.6
+
+
+class TestBlocks:
+    def test_overlapping_blocks_rejected(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            VFLTrainer("regression", [np.array([0, 1]), np.array([1, 2])], 5, LRSchedule(0.1))
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(ValueError, match="no features"):
+            VFLTrainer("regression", [np.array([0]), np.array([], dtype=int)], 5, LRSchedule(0.1))
+
+    def test_party_mask(self, vfl_trainer):
+        mask = vfl_trainer.party_mask([0, 2])
+        blocks = vfl_trainer.feature_blocks
+        for j in blocks[0]:
+            assert mask[j]
+        for j in blocks[1]:
+            assert not mask[j]
+
+
+class TestCoalitions:
+    def test_removed_party_block_stays_zero(self, vfl_split, vfl_trainer):
+        result = vfl_trainer.train(
+            vfl_split.train, vfl_split.validation, parties=[0, 1, 3]
+        )
+        for excluded in (2, 4):
+            block = vfl_split.feature_blocks[excluded]
+            np.testing.assert_allclose(result.theta[block], 0.0)
+
+    def test_removal_equals_feature_deletion(self, vfl_split):
+        """Training a coalition must equal training on only its columns.
+
+        This is the paper's Sec. II-C2 equivalence: with θ_0 = 0 the removed
+        party's output is identically zero.
+        """
+        parties = [0, 2]
+        trainer = VFLTrainer(
+            "regression", vfl_split.feature_blocks, 15, LRSchedule(0.1)
+        )
+        res_masked = trainer.train(vfl_split.train, vfl_split.validation, parties=parties)
+
+        cols = np.concatenate([vfl_split.feature_blocks[i] for i in parties])
+        cols = np.sort(cols)
+        sub_blocks = []
+        for i in parties:
+            sub_blocks.append(
+                np.array([np.searchsorted(cols, c) for c in vfl_split.feature_blocks[i]])
+            )
+        sub_train = vfl_split.train.feature_slice(cols)
+        sub_val = vfl_split.validation.feature_slice(cols)
+        sub_trainer = VFLTrainer("regression", sub_blocks, 15, LRSchedule(0.1))
+        res_direct = sub_trainer.train(sub_train, sub_val)
+
+        np.testing.assert_allclose(res_masked.theta[cols], res_direct.theta, atol=1e-10)
+
+    def test_empty_coalition_rejected(self, vfl_split, vfl_trainer):
+        with pytest.raises(ValueError, match="at least one"):
+            vfl_trainer.train(vfl_split.train, vfl_split.validation, parties=[])
+
+    def test_unknown_party_rejected(self, vfl_split, vfl_trainer):
+        with pytest.raises(ValueError, match="unknown party"):
+            vfl_trainer.train(vfl_split.train, vfl_split.validation, parties=[0, 9])
+
+
+class TestLedger:
+    def test_bytes_recorded(self, vfl_split):
+        trainer = VFLTrainer("regression", vfl_split.feature_blocks, 3, LRSchedule(0.1))
+        ledger = CostLedger()
+        trainer.train(vfl_split.train, vfl_split.validation, ledger=ledger)
+        m = len(vfl_split.train)
+        expected_up = 3 * trainer.n_parties * m * 8
+        assert ledger.comm_bytes["party->coordinator"] == expected_up
+        d = vfl_split.train.X.shape[1]
+        assert ledger.comm_bytes["coordinator->party"] == 3 * d * 8
+
+
+class TestDeterminism:
+    def test_same_run_same_theta(self, vfl_split):
+        trainer = VFLTrainer("regression", vfl_split.feature_blocks, 5, LRSchedule(0.1))
+        a = trainer.train(vfl_split.train, vfl_split.validation)
+        b = trainer.train(vfl_split.train, vfl_split.validation)
+        np.testing.assert_array_equal(a.theta, b.theta)

@@ -1,0 +1,98 @@
+"""Tests for FedAvg data-size weighting and logged-weight estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core import estimate_hfl_resource_saving
+from repro.data import build_hfl_federation, mnist_like
+from repro.hfl import HFLTrainer
+from repro.nn import LRSchedule
+
+from tests.conftest import small_model_factory
+
+
+@pytest.fixture(scope="module")
+def skewed_federation():
+    """Federation with very different local dataset sizes."""
+    dataset = mnist_like(1200, seed=30)
+    fed = build_hfl_federation(dataset, 4, seed=30)
+    # Shrink two parties to a quarter of their data.
+    locals_ = list(fed.locals)
+    for i in (0, 1):
+        keep = np.arange(len(locals_[i]) // 4)
+        locals_[i] = locals_[i].subset(keep)
+    return locals_, fed.validation
+
+
+class TestWeightBySamples:
+    def test_weights_proportional_to_sizes(self, skewed_federation):
+        locals_, validation = skewed_federation
+        trainer = HFLTrainer(small_model_factory, 2, LRSchedule(0.3))
+        result = trainer.train(locals_, validation, weight_by_samples=True)
+        sizes = np.array([len(d) for d in locals_], dtype=float)
+        expected = sizes / sizes.sum()
+        np.testing.assert_allclose(result.log.records[0].weights, expected)
+
+    def test_uniform_by_default(self, skewed_federation):
+        locals_, validation = skewed_federation
+        trainer = HFLTrainer(small_model_factory, 1, LRSchedule(0.3))
+        result = trainer.train(locals_, validation)
+        np.testing.assert_allclose(result.log.records[0].weights, 0.25)
+
+    def test_equal_sizes_match_uniform(self):
+        fed = build_hfl_federation(mnist_like(800, seed=31), 4, seed=31)
+        assert len({len(d) for d in fed.locals}) == 1  # equal IID shares
+        trainer = HFLTrainer(small_model_factory, 2, LRSchedule(0.3))
+        uniform = trainer.train(fed.locals, fed.validation)
+        weighted = trainer.train(fed.locals, fed.validation, weight_by_samples=True)
+        np.testing.assert_allclose(
+            uniform.model.get_flat(), weighted.model.get_flat(), atol=1e-12
+        )
+
+    def test_changes_trajectory_when_skewed(self, skewed_federation):
+        locals_, validation = skewed_federation
+        trainer = HFLTrainer(small_model_factory, 3, LRSchedule(0.3))
+        uniform = trainer.train(locals_, validation)
+        weighted = trainer.train(locals_, validation, weight_by_samples=True)
+        assert not np.allclose(uniform.model.get_flat(), weighted.model.get_flat())
+
+
+class TestLoggedWeightEstimation:
+    def test_matches_paper_form_on_uniform_logs(self, hfl_result, hfl_federation):
+        default = estimate_hfl_resource_saving(
+            hfl_result.log, hfl_federation.validation, small_model_factory
+        )
+        logged = estimate_hfl_resource_saving(
+            hfl_result.log, hfl_federation.validation, small_model_factory,
+            use_logged_weights=True,
+        )
+        np.testing.assert_allclose(logged.totals, default.totals, atol=1e-12)
+
+    def test_uses_recorded_weights_on_weighted_logs(self, skewed_federation):
+        locals_, validation = skewed_federation
+        trainer = HFLTrainer(small_model_factory, 3, LRSchedule(0.3))
+        result = trainer.train(locals_, validation, weight_by_samples=True)
+        logged = estimate_hfl_resource_saving(
+            result.log, validation, small_model_factory, use_logged_weights=True
+        )
+        record = result.log.records[0]
+        model = small_model_factory()
+        from repro.hfl import validation_gradient
+
+        v = validation_gradient(model, record.theta_before, validation)
+        for i in range(4):
+            expected = record.weights[i] * (record.local_updates[i] @ v)
+            assert logged.per_epoch[0, i] == pytest.approx(expected, abs=1e-12)
+
+    def test_big_parties_weighted_up(self, skewed_federation):
+        """With size weights, a big clean party's contribution estimate
+        exceeds a small clean party's (same per-sample quality)."""
+        locals_, validation = skewed_federation
+        trainer = HFLTrainer(small_model_factory, 5, LRSchedule(0.3))
+        result = trainer.train(locals_, validation, weight_by_samples=True)
+        logged = estimate_hfl_resource_saving(
+            result.log, validation, small_model_factory, use_logged_weights=True
+        )
+        small_parties = logged.totals[[0, 1]].mean()
+        big_parties = logged.totals[[2, 3]].mean()
+        assert big_parties > small_parties

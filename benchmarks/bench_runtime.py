@@ -1,0 +1,91 @@
+"""Round throughput of the federated runtime vs. worker count.
+
+The engine's pitch is that local updates are embarrassingly parallel
+within a round: with ``n`` parties and ``w`` pool workers the round's
+critical path shrinks from ``n`` local updates to ``⌈n/w⌉``.  This bench
+measures realised rounds/sec for 1, 2 and 4 workers on an 8-party MNIST
+cell — both as a pytest-benchmark module and as a standalone script::
+
+    PYTHONPATH=src python benchmarks/bench_runtime.py
+    PYTHONPATH=src python -m pytest benchmarks/bench_runtime.py --benchmark-only
+
+Thread-pool scaling is bounded by how much of the local update releases
+the GIL (the BLAS matmuls inside the autodiff ops), so expect sublinear
+but visible gains; the serial executor is the 1-worker reference.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.data import build_hfl_federation, mnist_like
+from repro.hfl import HFLTrainer
+from repro.nn import LRSchedule, make_hfl_model
+from repro.runtime import FederatedRuntime, RuntimeConfig
+
+WORKER_COUNTS = (1, 2, 4)
+N_PARTIES = 8
+EPOCHS = 5
+
+
+def _build_cell(n_samples: int = 1600, seed: int = 0):
+    fed = build_hfl_federation(
+        mnist_like(n_samples, seed=seed), N_PARTIES, seed=seed
+    )
+
+    def factory():
+        return make_hfl_model("mnist", seed=seed)
+
+    trainer = HFLTrainer(factory, epochs=EPOCHS, lr_schedule=LRSchedule(0.5))
+    return fed, trainer
+
+
+def _train_once(workers: int, fed, trainer):
+    config = RuntimeConfig(
+        executor="serial" if workers == 1 else "threads", workers=workers
+    )
+    runtime = FederatedRuntime(config)
+    return runtime.run_hfl(trainer, fed.locals, fed.validation)
+
+
+@pytest.fixture(scope="module")
+def runtime_cell():
+    return _build_cell()
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_bench_runtime_round_throughput(benchmark, runtime_cell, workers):
+    """Rounds/sec of the engine at each worker count (same numbers each way)."""
+    fed, trainer = runtime_cell
+    result = benchmark.pedantic(
+        _train_once, args=(workers, fed, trainer), rounds=1, iterations=1
+    )
+    assert result.log.n_epochs == EPOCHS
+    elapsed = benchmark.stats.stats.mean
+    benchmark.extra_info["rounds_per_sec"] = EPOCHS / elapsed
+    benchmark.extra_info["workers"] = workers
+
+
+def main() -> int:
+    """Standalone report: rounds/sec for each worker count."""
+    fed, trainer = _build_cell()
+    print(f"{N_PARTIES}-party MNIST cell, {EPOCHS} rounds per run")
+    print(f"{'workers':>7}  {'seconds':>8}  {'rounds/sec':>10}  {'speedup':>7}")
+    baseline = None
+    for workers in WORKER_COUNTS:
+        start = time.perf_counter()
+        result = _train_once(workers, fed, trainer)
+        elapsed = time.perf_counter() - start
+        assert result.log.n_epochs == EPOCHS
+        baseline = baseline or elapsed
+        print(
+            f"{workers:>7}  {elapsed:>8.3f}  {EPOCHS / elapsed:>10.2f}  "
+            f"{baseline / elapsed:>6.2f}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,86 @@
+"""Contribution audit of a federation that keeps dropping out.
+
+Scenario: eight edge devices train a shared classifier, but this is not a
+lab — on any round each device has a 20% chance of being offline, the
+online ones finish after an exponential straggler delay, and the server
+aggregates whatever arrived within an 80 ms round deadline.  One device
+also has mislabeled data.  The operator wants to know: do DIG-FL's
+contribution scores still identify the bad device when a fifth of the
+updates never arrive?
+
+The run uses :mod:`repro.runtime`: the thread-pool executor computes the
+round's local updates concurrently, the fault injector replays the same
+dropout/straggler pattern for a given seed, and the training log records
+a participation mask per round so the estimator only credits updates the
+server actually aggregated.
+
+Run:  PYTHONPATH=src python examples/runtime_faulty_federation.py
+"""
+
+import numpy as np
+
+from repro.core import estimate_hfl_resource_saving
+from repro.data import build_hfl_federation, mnist_like
+from repro.hfl import HFLTrainer
+from repro.nn import LRSchedule, make_hfl_model
+from repro.runtime import FaultPlan, FederatedRuntime, RuntimeConfig
+
+N_PARTIES = 8
+EPOCHS = 12
+
+
+def main() -> None:
+    federation = build_hfl_federation(
+        mnist_like(2400, seed=3),
+        n_parties=N_PARTIES,
+        n_mislabeled=1,
+        mislabel_fraction=0.5,
+        seed=3,
+    )
+
+    def model_factory():
+        return make_hfl_model("mnist", seed=3)
+
+    trainer = HFLTrainer(model_factory, epochs=EPOCHS, lr_schedule=LRSchedule(0.5))
+    runtime = FederatedRuntime(
+        RuntimeConfig(
+            executor="threads",
+            workers=4,
+            faults=FaultPlan(dropout_rate=0.2, straggler_ms=25.0, seed=3),
+            round_deadline_ms=80.0,
+        )
+    )
+    result = runtime.run_hfl(trainer, federation.locals, federation.validation)
+
+    stats = runtime.event_log.summary()
+    print(
+        f"ran {stats['rounds']:.0f} rounds in {stats['sim_seconds'] * 1e3:.1f} "
+        f"simulated ms: {stats['completed']:.0f}/{stats['dispatched']:.0f} "
+        f"dispatched updates arrived, {stats['dropouts']:.0f} dropouts, "
+        f"{stats['timeouts']:.0f} deadline misses"
+    )
+
+    attendance = result.log.participation_matrix().mean(axis=0)
+    report = estimate_hfl_resource_saving(
+        result.log, federation.validation, model_factory
+    )
+
+    print("\ndevice  quality     attendance  contribution")
+    for i in range(N_PARTIES):
+        print(
+            f"{i:>6}  {federation.qualities[i]:<10}  "
+            f"{attendance[i]:>9.0%}  {report.totals[i]:+12.5f}"
+        )
+
+    worst = int(np.argmin(report.totals))
+    mislabeled = federation.qualities.index("mislabeled")
+    verdict = "correctly" if worst == mislabeled else "NOT"
+    print(
+        f"\nlowest-ranked device is {worst} — the mislabeled device "
+        f"({mislabeled}) was {verdict} identified despite "
+        f"{1 - attendance.mean():.0%} of updates missing"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -13,49 +13,59 @@ Design notes
   the output tensor as ``(_parents, _vjp)`` where ``_vjp(g)`` maps the output
   adjoint to a tuple of parent adjoints (``None`` for non-differentiable
   parents).
-* A module-level switch (:func:`no_grad` / :func:`enable_grad`) controls
+* A *thread-local* switch (:func:`no_grad` / :func:`enable_grad`) controls
   whether new operations record graph edges, mirroring PyTorch semantics.
+  Thread-locality matters: the runtime's pool executor evaluates several
+  participants' gradients concurrently, and one thread entering
+  ``no_grad()`` for its backward pass must not stop another thread's
+  forward pass from recording its graph.
 * Gradient computation lives in :mod:`repro.autodiff.grad` as a functional
   ``grad(output, inputs)`` — the form Hessian-vector products need.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Callable, Sequence
 
 import numpy as np
 
-_GRAD_ENABLED = True
+
+class _GradMode(threading.local):
+    """Per-thread graph-recording switch (each thread starts enabled)."""
+
+    enabled = True
+
+
+_GRAD_MODE = _GradMode()
 
 
 @contextmanager
 def no_grad():
-    """Disable graph recording inside the ``with`` block."""
-    global _GRAD_ENABLED
-    prev = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Disable graph recording inside the ``with`` block (this thread only)."""
+    prev = _GRAD_MODE.enabled
+    _GRAD_MODE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = prev
+        _GRAD_MODE.enabled = prev
 
 
 @contextmanager
 def enable_grad():
     """Re-enable graph recording (used by double-backward internals)."""
-    global _GRAD_ENABLED
-    prev = _GRAD_ENABLED
-    _GRAD_ENABLED = True
+    prev = _GRAD_MODE.enabled
+    _GRAD_MODE.enabled = True
     try:
         yield
     finally:
-        _GRAD_ENABLED = prev
+        _GRAD_MODE.enabled = prev
 
 
 def is_grad_enabled() -> bool:
-    """Whether new operations currently record graph edges."""
-    return _GRAD_ENABLED
+    """Whether new operations currently record graph edges (this thread)."""
+    return _GRAD_MODE.enabled
 
 
 class Tensor:
@@ -209,7 +219,7 @@ def _make(
     ops like ``exp`` can reference their own result.
     """
     out = Tensor(data)
-    if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+    if _GRAD_MODE.enabled and any(p.requires_grad for p in parents):
         out.requires_grad = True
         out._parents = parents
         out._vjp = vjp_builder(out)

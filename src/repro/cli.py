@@ -7,9 +7,14 @@ Subcommands::
     python -m repro.cli audit-vfl --dataset boston --parties 6
     python -m repro.cli audit-hfl ... --exact          # add 2^n ground truth
     python -m repro.cli audit-hfl ... --save-log run.npz --save-report run.json
+    python -m repro.cli audit-hfl --runtime threads --workers 4 \
+        --dropout-rate 0.2 --straggler-ms 30 --round-deadline 80
 
 Every audit builds the named synthetic dataset, trains the federation,
-runs DIG-FL and prints a contribution table.
+runs DIG-FL and prints a contribution table.  The ``--runtime`` family of
+flags swaps the synchronous loop for the event-driven engine of
+:mod:`repro.runtime` — parallel local updates, dropouts, stragglers and
+deadline-based partial aggregation — and prints the fault summary.
 """
 
 from __future__ import annotations
@@ -26,7 +31,62 @@ from repro.experiments.workloads import build_hfl_workload, build_vfl_workload
 from repro.io import save_report, save_training_log, save_vfl_training_log
 from repro.metrics import pearson_correlation
 from repro.render import contribution_bars
+from repro.runtime import FaultPlan, RuntimeConfig
 from repro.shapley import HFLRetrainUtility, VFLRetrainUtility, exact_shapley
+
+
+def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("runtime", "event-driven execution engine")
+    group.add_argument(
+        "--runtime", choices=("sync", "serial", "threads"), default="sync",
+        help="sync in-process loop (default), serial engine, or thread pool",
+    )
+    group.add_argument("--workers", type=int, default=1,
+                       help="thread-pool size (runtime=threads)")
+    group.add_argument("--dropout-rate", type=float, default=0.0,
+                       help="per-round probability a party skips the round")
+    group.add_argument("--straggler-ms", type=float, default=0.0,
+                       help="mean exponential extra delay per local update")
+    group.add_argument("--round-deadline", type=float, default=None, metavar="MS",
+                       help="aggregate whatever arrived within MS per round")
+
+
+def _runtime_config(args) -> RuntimeConfig | None:
+    """Translate CLI flags into a RuntimeConfig (None = synchronous loop)."""
+    wants_faults = (
+        args.dropout_rate > 0.0
+        or args.straggler_ms > 0.0
+        or args.round_deadline is not None
+    )
+    if args.runtime == "sync":
+        if wants_faults or args.workers != 1:
+            raise SystemExit(
+                "error: --workers / --dropout-rate / --straggler-ms / "
+                "--round-deadline need --runtime serial or threads"
+            )
+        return None
+    return RuntimeConfig(
+        executor="serial" if args.runtime == "serial" else "threads",
+        workers=args.workers if args.runtime == "threads" else 1,
+        faults=FaultPlan(
+            dropout_rate=args.dropout_rate,
+            straggler_ms=args.straggler_ms,
+            seed=args.seed,
+        ),
+        round_deadline_ms=args.round_deadline,
+    )
+
+
+def _print_runtime_summary(workload) -> None:
+    if workload.runtime is None:
+        return
+    stats = workload.runtime.event_log.summary()
+    print(
+        f"runtime: {stats['rounds']:.0f} rounds in {stats['sim_seconds']*1e3:.1f} "
+        f"sim-ms | completed {stats['completed']:.0f}/{stats['dispatched']:.0f} "
+        f"dispatched, {stats['dropouts']:.0f} dropouts, "
+        f"{stats['timeouts']:.0f} deadline misses, {stats['retries']:.0f} retries"
+    )
 
 
 def _cmd_datasets(_args) -> int:
@@ -73,7 +133,9 @@ def _cmd_audit_hfl(args) -> int:
         epochs=args.epochs,
         lr=args.lr,
         seed=args.seed,
+        runtime=_runtime_config(args),
     )
+    _print_runtime_summary(workload)
     fed = workload.federation
     report = estimate_hfl_resource_saving(
         workload.result.log, fed.validation, workload.model_factory
@@ -112,7 +174,9 @@ def _cmd_audit_vfl(args) -> int:
         n_parties=args.parties if args.parties else None,
         epochs=args.epochs,
         seed=args.seed,
+        runtime=_runtime_config(args),
     )
+    _print_runtime_summary(workload)
     report = estimate_vfl_first_order(workload.result.log)
     exact = None
     if args.exact:
@@ -157,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also compute the 2^n-retraining ground truth")
     hfl.add_argument("--save-log", metavar="PATH")
     hfl.add_argument("--save-report", metavar="PATH")
+    _add_runtime_flags(hfl)
     hfl.set_defaults(func=_cmd_audit_hfl)
 
     vfl = sub.add_parser("audit-vfl", help="contribution audit for VFL")
@@ -168,6 +233,7 @@ def build_parser() -> argparse.ArgumentParser:
     vfl.add_argument("--exact", action="store_true")
     vfl.add_argument("--save-log", metavar="PATH")
     vfl.add_argument("--save-report", metavar="PATH")
+    _add_runtime_flags(vfl)
     vfl.set_defaults(func=_cmd_audit_vfl)
     return parser
 

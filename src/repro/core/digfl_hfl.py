@@ -70,6 +70,13 @@ def estimate_hfl_resource_saving(
     the log) — the consistent choice when training used FedAvg data-size
     weights or the reweight mechanism, since removing participant ``i``
     then removes ``ω_{t,i}·δ_{t,i}`` from the aggregate.
+
+    Logs produced by :mod:`repro.runtime` under faults carry per-round
+    participation masks.  A participant absent from round ``t`` shipped no
+    update, so its per-epoch contribution for that round is zero (the
+    paper's per-epoch formulation has no term for it), and the uniform
+    divisor becomes the number of updates the server actually aggregated
+    that round.
     """
     if log.n_epochs == 0:
         raise ValueError("training log is empty")
@@ -82,9 +89,18 @@ def estimate_hfl_resource_saving(
         for t, record in enumerate(log.records):
             raw = record.local_updates @ val_grads[t]
             if use_logged_weights:
+                # Absent participants were renormalised to weight 0, so the
+                # logged weights already zero their round contribution.
                 per_epoch[t] = record.weights * raw
-            else:
+            elif record.participation is None:
                 per_epoch[t] = raw / n
+            else:
+                mask = record.participation
+                arrived = int(mask.sum())
+                if arrived == 0:
+                    per_epoch[t] = 0.0
+                else:
+                    per_epoch[t] = np.where(mask, raw, 0.0) / arrived
     return from_per_epoch(
         "digfl-resource-saving", log.participant_ids, per_epoch, ledger=ledger
     )
@@ -103,6 +119,11 @@ def estimate_hfl_interactive(
     ``locals_`` indexes the full federation; only the participants present
     in the log are queried (they compute ``Ĥ_{θ_{t-1}}·Σ_{j<t}ΔG_j^{-i}`` on
     their own data, exactly the quantity they upload in Algorithm 1).
+
+    Under partial participation (runtime logs), a participant absent from
+    round ``t`` contributes no direct ``−δ_{t,i}/m_t`` term and earns zero
+    per-epoch contribution that round; the Hessian term still propagates
+    its earlier rounds' influence along the trajectory.
     """
     if log.n_epochs == 0:
         raise ValueError("training log is empty")
@@ -133,7 +154,10 @@ def estimate_hfl_interactive(
         delta_g_sum = np.zeros((n, p))
         for t, record in enumerate(log.records):
             v_t = val_grads[t]
+            mask = record.participation
+            divisor = n if mask is None else max(int(mask.sum()), 1)
             for row, participant in enumerate(log.participant_ids):
+                present = mask is None or bool(mask[row])
                 omega = np.zeros(p)
                 if t > 0 and np.any(delta_g_sum[row]):
                     omega = local_hvp(
@@ -142,8 +166,13 @@ def estimate_hfl_interactive(
                     # Participant uploads the HVP vector (the only extra
                     # communication of Algorithm 1).
                     ledger.record_bytes("participant->server", p * FLOAT64_BYTES)
-                delta_g = -record.local_updates[row] / n - record.lr * omega
-                per_epoch[t, row] = -float(v_t @ delta_g)
+                direct = (
+                    -record.local_updates[row] / divisor
+                    if present
+                    else np.zeros(p)
+                )
+                delta_g = direct - record.lr * omega
+                per_epoch[t, row] = -float(v_t @ delta_g) if present else 0.0
                 delta_g_sum[row] += delta_g
     return from_per_epoch(
         "digfl-interactive", log.participant_ids, per_epoch, ledger=ledger

@@ -38,7 +38,13 @@ def estimate_vfl_first_order(
     *,
     ledger: CostLedger | None = None,
 ) -> ContributionReport:
-    """Eq. 27 contributions straight from the vertical training log."""
+    """Eq. 27 contributions straight from the vertical training log.
+
+    Runtime logs under faults carry per-round participation masks: a party
+    whose block update missed round ``t`` applied nothing that round, so
+    its per-epoch contribution is zero — the block term of Eq. 27 only
+    exists for updates that entered ``G_t``.
+    """
     if log.n_epochs == 0:
         raise ValueError("training log is empty")
     ledger = ledger or CostLedger()
@@ -47,6 +53,8 @@ def estimate_vfl_first_order(
     with ledger.computing():
         for t, record in enumerate(log.records):
             for col, party in enumerate(parties):
+                if not record.participated(party):
+                    continue  # per_epoch stays 0 for the missed round
                 block = log.feature_blocks[party]
                 per_epoch[t, col] = record.lr * float(
                     record.val_gradient[block] @ record.train_gradient[block]
@@ -80,10 +88,17 @@ def estimate_vfl_second_order(
             g_t = record.lr * record.train_gradient  # G_t includes α_t
             v_t = record.val_gradient
             for col, party in enumerate(parties):
+                present = record.participated(party)
                 block = log.feature_blocks[party]
                 removed_mask = np.zeros(d, dtype=bool)
                 removed_mask[block] = True
-                first = np.where(removed_mask, g_t, 0.0)  # (E - diag(v_i))·G_t
+                # A party that missed this round applied nothing, so there
+                # is nothing to remove — only the trajectory drift remains.
+                first = (
+                    np.where(removed_mask, g_t, 0.0)  # (E - diag(v_i))·G_t
+                    if present
+                    else np.zeros(d)
+                )
                 omega = np.zeros(d)
                 if t > 0 and np.any(delta_g_sum[col]):
                     hv = model.hvp(
@@ -91,7 +106,7 @@ def estimate_vfl_second_order(
                     )
                     omega = np.where(removed_mask, 0.0, hv)  # diag(v_i)·H·(Σ ΔG)
                 delta_g = -first - record.lr * omega
-                per_epoch[t, col] = -float(v_t @ delta_g)
+                per_epoch[t, col] = -float(v_t @ delta_g) if present else 0.0
                 delta_g_sum[col] += delta_g
     return from_per_epoch(
         "digfl-vfl-second-order", parties, per_epoch, ledger=ledger

@@ -3,6 +3,10 @@
 A *workload* bundles everything one experimental cell needs: the federated
 split, the trainer, a completed training run, and (for HFL) the model
 factory — so the experiment modules stay declarative.
+
+Passing a :class:`repro.runtime.RuntimeConfig` swaps the synchronous
+in-process loop for the event-driven engine: same trainers, same logs,
+but with parallel local updates, fault injection and round deadlines.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from repro.data.partition import FederatedSplit, VerticalSplit
 from repro.hfl import HFLResult, HFLTrainer
 from repro.nn import LRSchedule, make_hfl_model
 from repro.nn.models import Classifier
+from repro.runtime import FederatedRuntime, RuntimeConfig
 from repro.utils.rng import derive_seed
 from repro.vfl import VFLResult, VFLTrainer
 
@@ -34,13 +39,18 @@ VFL_MAX_ROWS = 1500
 
 @dataclass
 class HFLWorkload:
-    """One HFL experimental cell: federation + completed FedSGD run."""
+    """One HFL experimental cell: federation + completed FedSGD run.
+
+    ``runtime`` is the engine the run executed on (``None`` for the
+    synchronous trainer); its event log holds the per-round fault record.
+    """
 
     dataset: str
     federation: FederatedSplit
     trainer: HFLTrainer
     result: HFLResult
     model_factory: Callable[[], Classifier]
+    runtime: FederatedRuntime | None = None
 
     @property
     def qualities(self) -> list[str]:
@@ -59,8 +69,14 @@ def build_hfl_workload(
     lr: float = 0.5,
     n_samples: int | None = None,
     seed: int = 0,
+    runtime: RuntimeConfig | None = None,
 ) -> HFLWorkload:
-    """Build the Sec. V-C HFL cell: corrupt participants, train, log."""
+    """Build the Sec. V-C HFL cell: corrupt participants, train, log.
+
+    With ``runtime`` the federation trains on the event-driven engine
+    (parallel executors, faults, deadlines) instead of the synchronous
+    loop; the returned workload carries the engine for event inspection.
+    """
     info = HFL_DATASETS[dataset]
     n_samples = n_samples or HFL_SAMPLES[dataset]
     data = info.make(n_samples=n_samples, seed=derive_seed(seed, 1))
@@ -78,15 +94,24 @@ def build_hfl_workload(
         return make_hfl_model(dataset, seed=derive_seed(seed, 3))
 
     trainer = HFLTrainer(model_factory, epochs=epochs, lr_schedule=LRSchedule(lr))
-    result = trainer.train(
-        federation.locals, federation.validation, track_validation=True
-    )
+    engine = None
+    if runtime is None:
+        result = trainer.train(
+            federation.locals, federation.validation, track_validation=True
+        )
+    else:
+        engine = FederatedRuntime(runtime)
+        result = engine.run_hfl(
+            trainer, federation.locals, federation.validation,
+            track_validation=True,
+        )
     return HFLWorkload(
         dataset=dataset,
         federation=federation,
         trainer=trainer,
         result=result,
         model_factory=model_factory,
+        runtime=engine,
     )
 
 
@@ -99,6 +124,7 @@ class VFLWorkload:
     split: VerticalSplit
     trainer: VFLTrainer
     result: VFLResult
+    runtime: FederatedRuntime | None = None
 
 
 def build_vfl_workload(
@@ -109,11 +135,13 @@ def build_vfl_workload(
     lr: float | None = None,
     max_rows: int | None = VFL_MAX_ROWS,
     seed: int = 0,
+    runtime: RuntimeConfig | None = None,
 ) -> VFLWorkload:
     """Build the Table III VFL cell with the paper's party count.
 
     ``n_parties=None`` uses the ``n`` column of Table III; ``lr=None``
-    picks 0.1 for linear and 0.5 for logistic regression.
+    picks 0.1 for linear and 0.5 for logistic regression.  ``runtime``
+    swaps the synchronous loop for the event-driven engine.
     """
     info = VFL_DATASETS[dataset]
     if n_parties is None:
@@ -126,7 +154,19 @@ def build_vfl_workload(
     if lr is None:
         lr = 0.1 if task == "regression" else 0.5
     trainer = VFLTrainer(task, split.feature_blocks, epochs, LRSchedule(lr))
-    result = trainer.train(split.train, split.validation, track_losses=True)
+    engine = None
+    if runtime is None:
+        result = trainer.train(split.train, split.validation, track_losses=True)
+    else:
+        engine = FederatedRuntime(runtime)
+        result = engine.run_vfl(
+            trainer, split.train, split.validation, track_losses=True
+        )
     return VFLWorkload(
-        dataset=dataset, task=task, split=split, trainer=trainer, result=result
+        dataset=dataset,
+        task=task,
+        split=split,
+        trainer=trainer,
+        result=result,
+        runtime=engine,
     )

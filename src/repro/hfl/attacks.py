@@ -107,7 +107,7 @@ class AdversarialHFLTrainer(HFLTrainer):
         super().__init__(*args, **kwargs)
         self.attacks = dict(attacks or {})
 
-    def _local_update(
+    def local_update(
         self,
         model: Classifier,
         theta_before: np.ndarray,
@@ -116,7 +116,7 @@ class AdversarialHFLTrainer(HFLTrainer):
         epoch: int,
         participant: int,
     ) -> np.ndarray:
-        update = super()._local_update(
+        update = super().local_update(
             model, theta_before, data, lr, epoch, participant
         )
         attack = self.attacks.get(participant)

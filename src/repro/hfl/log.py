@@ -20,6 +20,12 @@ class EpochRecord:
 
     ``local_updates`` has one row per *active* participant, aligned with the
     log's ``participant_ids``.
+
+    ``participation`` is the per-round arrival mask written by
+    :mod:`repro.runtime` under faults / deadlines: ``participation[row]``
+    is False when that participant's update missed the round (its
+    ``local_updates`` row is zero and its weight was renormalised away).
+    ``None`` — the synchronous trainers' value — means everyone arrived.
     """
 
     epoch: int  # 1-indexed, as in the paper
@@ -29,6 +35,18 @@ class EpochRecord:
     weights: np.ndarray  # aggregation weights (k,), uniform = 1/k
     val_loss: float = float("nan")
     val_accuracy: float = float("nan")
+    participation: np.ndarray | None = None  # (k,) bool; None = all arrived
+
+    def participation_mask(self) -> np.ndarray:
+        """The arrival mask, materialised (all-True when ``None``)."""
+        if self.participation is None:
+            return np.ones(len(self.weights), dtype=bool)
+        return np.asarray(self.participation, dtype=bool)
+
+    @property
+    def n_arrived(self) -> int:
+        """Participants whose update made it into this round's aggregate."""
+        return int(self.participation_mask().sum())
 
     @property
     def global_update(self) -> np.ndarray:
@@ -72,6 +90,24 @@ class TrainingLog:
 
     def val_accuracy_curve(self) -> np.ndarray:
         return np.array([r.val_accuracy for r in self.records])
+
+    def participation_matrix(self) -> np.ndarray:
+        """(τ, k) boolean matrix of who arrived each round (Sec. per-epoch).
+
+        Synchronous logs are all-True; runtime logs under faults show the
+        holes the estimators must zero out.
+        """
+        return np.stack([r.participation_mask() for r in self.records])
+
+    def rounds_attended(self, participant_id: int) -> int:
+        """How many rounds this participant's update actually arrived in."""
+        try:
+            row = self.participant_ids.index(participant_id)
+        except ValueError:
+            raise KeyError(
+                f"participant {participant_id} not in log ({self.participant_ids})"
+            ) from None
+        return int(sum(r.participation_mask()[row] for r in self.records))
 
     def updates_of(self, participant_id: int) -> np.ndarray:
         """All epochs' local updates of one participant, shape (τ, p)."""

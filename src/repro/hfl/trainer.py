@@ -52,6 +52,22 @@ class Reweighter(Protocol):
     ) -> np.ndarray: ...
 
 
+def resolve_coalition(
+    locals_: Sequence[Dataset], participants: Sequence[int] | None
+) -> list[int]:
+    """Validate a coalition against the federation (default: everyone)."""
+    if participants is None:
+        participants = list(range(len(locals_)))
+    else:
+        participants = list(participants)
+    if not participants:
+        raise ValueError("coalition must contain at least one participant")
+    bad = [i for i in participants if not 0 <= i < len(locals_)]
+    if bad:
+        raise ValueError(f"unknown participant indices {bad}")
+    return participants
+
+
 def flat_gradient(model: Classifier, X: np.ndarray, y: np.ndarray) -> np.ndarray:
     """Gradient of the model's loss on (X, y), flattened to one vector."""
     loss = model.loss(X, y)
@@ -120,7 +136,7 @@ class HFLTrainer:
         self.lr_schedule = lr_schedule
         self.local_config = local_config
 
-    def _local_update(
+    def local_update(
         self,
         model: Classifier,
         theta_before: np.ndarray,
@@ -129,7 +145,14 @@ class HFLTrainer:
         epoch: int,
         participant: int,
     ) -> np.ndarray:
-        """One participant's update ``δ = θ_{t-1} − θ_{t-1,i}`` for this round."""
+        """One participant's update ``δ = θ_{t-1} − θ_{t-1,i}`` for this round.
+
+        Pure in its inputs: the result depends only on ``theta_before`` (the
+        model must already hold it), the local data and the (epoch,
+        participant)-seeded mini-batch draw — which is what lets
+        :mod:`repro.runtime` evaluate participants on worker-local model
+        replicas and still match this trainer bit for bit.
+        """
         config = self.local_config
         if config is None or (config.local_steps == 1 and config.batch_size is None):
             # FedSGD fast path: one full-batch gradient step.
@@ -196,15 +219,7 @@ class HFLTrainer:
             recorded in the log, and the DIG-FL estimators read them from
             there, so contribution accounting stays consistent.
         """
-        if participants is None:
-            participants = list(range(len(locals_)))
-        else:
-            participants = list(participants)
-        if not participants:
-            raise ValueError("coalition must contain at least one participant")
-        bad = [i for i in participants if not 0 <= i < len(locals_)]
-        if bad:
-            raise ValueError(f"unknown participant indices {bad}")
+        participants = resolve_coalition(locals_, participants)
         if (track_validation or reweighter is not None) and validation is None:
             raise ValueError("validation dataset required for tracking / reweighting")
 
@@ -221,7 +236,7 @@ class HFLTrainer:
 
             local_updates = np.empty((k, p), dtype=np.float64)
             for row, i in enumerate(participants):
-                local_updates[row] = self._local_update(
+                local_updates[row] = self.local_update(
                     model, theta_before, locals_[i], lr, epoch, i
                 )
             if ledger is not None:

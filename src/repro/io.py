@@ -41,7 +41,22 @@ def save_training_log(log: TrainingLog, path: str | Path) -> None:
         theta_before=np.stack([r.theta_before for r in log.records]),
         local_updates=np.stack([r.local_updates for r in log.records]),
         weights=np.stack([r.weights for r in log.records]),
+        participation=np.stack(
+            [r.participation_mask() for r in log.records]
+        ).astype(np.uint8),
     )
+
+
+def _mask_or_none(participation, t: int) -> np.ndarray | None:
+    """Round ``t``'s stored mask, collapsed to ``None`` when everyone arrived.
+
+    ``participation`` is absent in logs written before the runtime existed
+    (format v1 files predating the mask) — treat those as full attendance.
+    """
+    if participation is None:
+        return None
+    mask = participation[t].astype(bool)
+    return None if mask.all() else mask
 
 
 def load_training_log(path: str | Path) -> TrainingLog:
@@ -57,6 +72,7 @@ def load_training_log(path: str | Path) -> TrainingLog:
         theta_before = data["theta_before"]
         local_updates = data["local_updates"]
         weights = data["weights"]
+        participation = data["participation"] if "participation" in data else None
     for t in range(len(meta["epochs"])):
         log.records.append(
             EpochRecord(
@@ -67,6 +83,7 @@ def load_training_log(path: str | Path) -> TrainingLog:
                 weights=weights[t],
                 val_loss=float(meta["val_losses"][t]),
                 val_accuracy=float(meta["val_accuracies"][t]),
+                participation=_mask_or_none(participation, t),
             )
         )
     return log
@@ -92,6 +109,9 @@ def save_vfl_training_log(log: VFLTrainingLog, path: str | Path) -> None:
         train_gradient=np.stack([r.train_gradient for r in log.records]),
         val_gradient=np.stack([r.val_gradient for r in log.records]),
         weights=np.stack([r.weights for r in log.records]),
+        participation=np.stack(
+            [r.participation_mask() for r in log.records]
+        ).astype(np.uint8),
     )
 
 
@@ -112,6 +132,7 @@ def load_vfl_training_log(path: str | Path) -> VFLTrainingLog:
         train_gradient = data["train_gradient"]
         val_gradient = data["val_gradient"]
         weights = data["weights"]
+        participation = data["participation"] if "participation" in data else None
     for t in range(len(meta["epochs"])):
         log.records.append(
             VFLEpochRecord(
@@ -123,6 +144,7 @@ def load_vfl_training_log(path: str | Path) -> VFLTrainingLog:
                 weights=weights[t],
                 train_loss=float(meta["train_losses"][t]),
                 val_loss=float(meta["val_losses"][t]),
+                participation=_mask_or_none(participation, t),
             )
         )
     return log

@@ -1,0 +1,67 @@
+"""Asynchronous federated execution engine with fault injection.
+
+The synchronous trainers in :mod:`repro.hfl` / :mod:`repro.vfl` assume
+every participant responds instantly and never fails.  This subsystem
+runs the *same* protocols on an event-driven engine with a simulated
+clock, so the reproduction can exercise the conditions DIG-FL targets:
+stragglers, round dropouts, crash-then-retry, and servers that aggregate
+whatever arrived by a deadline.
+
+Layers, bottom-up:
+
+* :mod:`repro.runtime.clock` — :class:`SimulatedClock`, virtual time.
+* :mod:`repro.runtime.events` — :class:`EventLog` of dispatch / complete /
+  timeout / dropout / crash / retry events, feeding cost accounting.
+* :mod:`repro.runtime.faults` — :class:`FaultPlan` statistics sampled into
+  deterministic per-(round, party) :class:`TaskFate` values.
+* :mod:`repro.runtime.executor` — :class:`SerialExecutor` (deterministic
+  reference) and :class:`PoolExecutor` (thread-pool parallelism).
+* :mod:`repro.runtime.scheduler` — :class:`Scheduler`, one round at a
+  time: dispatch, deadline, partial aggregation.
+* :mod:`repro.runtime.engine` — :class:`FederatedRuntime` driving the
+  existing HFL/VFL trainers; with the serial executor and no faults its
+  logs match the synchronous trainers bit for bit.
+
+Quickstart::
+
+    from repro.runtime import FaultPlan, FederatedRuntime, RuntimeConfig
+
+    runtime = FederatedRuntime(RuntimeConfig(
+        executor="threads", workers=4,
+        faults=FaultPlan(dropout_rate=0.2, straggler_ms=30.0, seed=0),
+        round_deadline_ms=80.0,
+    ))
+    result = runtime.run_hfl(trainer, fed.locals, fed.validation)
+    print(runtime.event_log.summary())
+"""
+
+from repro.runtime.clock import SimulatedClock
+from repro.runtime.engine import FederatedRuntime, RuntimeConfig
+from repro.runtime.events import Event, EventLog
+from repro.runtime.executor import (
+    Executor,
+    PoolExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.runtime.faults import NULL_PLAN, FaultInjector, FaultPlan, TaskFate
+from repro.runtime.scheduler import PartyOutcome, RoundOutcome, Scheduler
+
+__all__ = [
+    "Event",
+    "EventLog",
+    "Executor",
+    "FaultInjector",
+    "FaultPlan",
+    "FederatedRuntime",
+    "NULL_PLAN",
+    "PartyOutcome",
+    "PoolExecutor",
+    "RoundOutcome",
+    "RuntimeConfig",
+    "Scheduler",
+    "SerialExecutor",
+    "SimulatedClock",
+    "TaskFate",
+    "make_executor",
+]

@@ -1,0 +1,137 @@
+"""Structured event log of one federated run.
+
+Every scheduling decision — task dispatched, completed, timed out past the
+round deadline, dropped out, crashed and retried — is recorded as an
+:class:`Event` with its simulated timestamp.  The log answers the questions
+the synchronous trainers cannot: which parties made each round, how long
+rounds took, how much work the deadline discarded.  It also feeds
+:class:`repro.metrics.cost.CostLedger` with the bytes actually shipped,
+so cost accounting under faults only charges updates that arrived.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.metrics.cost import CostLedger
+
+# Event kinds, in rough lifecycle order.
+ROUND_BEGIN = "round_begin"
+ROUND_END = "round_end"
+DISPATCH = "dispatch"
+COMPLETE = "complete"
+TIMEOUT = "timeout"
+DROPOUT = "dropout"
+CRASH = "crash"
+RETRY = "retry"
+
+EVENT_KINDS = frozenset(
+    {ROUND_BEGIN, ROUND_END, DISPATCH, COMPLETE, TIMEOUT, DROPOUT, CRASH, RETRY}
+)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped runtime occurrence.
+
+    ``party`` is ``None`` for round-level events; ``detail`` carries
+    kind-specific extras (attempt counts, payload bytes, deadlines).
+    """
+
+    kind: str
+    sim_time: float
+    round: int
+    party: int | None = None
+    detail: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r}")
+
+
+@dataclass
+class EventLog:
+    """Append-only record of everything the scheduler did."""
+
+    events: list[Event] = field(default_factory=list)
+
+    def record(
+        self,
+        kind: str,
+        sim_time: float,
+        round: int,
+        party: int | None = None,
+        **detail,
+    ) -> Event:
+        """Append an event and return it."""
+        event = Event(
+            kind=kind, sim_time=sim_time, round=round, party=party, detail=detail
+        )
+        self.events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def of_kind(self, kind: str) -> list[Event]:
+        """All events of one kind, in order."""
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
+        return [e for e in self.events if e.kind == kind]
+
+    def for_round(self, round: int) -> list[Event]:
+        """All events of one round, in order."""
+        return [e for e in self.events if e.round == round]
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.of_kind(ROUND_END))
+
+    def round_duration(self, round: int) -> float:
+        """Simulated seconds between a round's begin and end events."""
+        begin = [e for e in self.events if e.kind == ROUND_BEGIN and e.round == round]
+        end = [e for e in self.events if e.kind == ROUND_END and e.round == round]
+        if not begin or not end:
+            raise KeyError(f"round {round} is not complete in this log")
+        return end[0].sim_time - begin[0].sim_time
+
+    @property
+    def sim_seconds(self) -> float:
+        """Total simulated wall-clock of the run."""
+        if not self.events:
+            return 0.0
+        return max(e.sim_time for e in self.events) - min(
+            e.sim_time for e in self.events
+        )
+
+    def charge_comm(self, ledger: CostLedger, bytes_per_update: int) -> None:
+        """Record on ``ledger`` the bytes of every update that arrived.
+
+        Each dispatched party downloaded the global model and each
+        completed task uploaded its update; dropped or timed-out parties
+        cost download bandwidth but ship nothing back — exactly the
+        asymmetry the synchronous trainers cannot express.
+        """
+        downloads = len(self.of_kind(DISPATCH))
+        uploads = len(self.of_kind(COMPLETE))
+        ledger.record_bytes("server->participant", downloads * bytes_per_update)
+        ledger.record_bytes("participant->server", uploads * bytes_per_update)
+
+    def summary(self) -> dict[str, float]:
+        """Aggregate counters for dashboards and bench tables."""
+        counts = Counter(e.kind for e in self.events)
+        return {
+            "rounds": float(self.n_rounds),
+            "dispatched": float(counts[DISPATCH]),
+            "completed": float(counts[COMPLETE]),
+            "timeouts": float(counts[TIMEOUT]),
+            "dropouts": float(counts[DROPOUT]),
+            "crashes": float(counts[CRASH]),
+            "retries": float(counts[RETRY]),
+            "sim_seconds": self.sim_seconds,
+        }

@@ -1,0 +1,94 @@
+"""Executors: where party tasks actually run.
+
+The scheduler decides *which* tasks run and *when* they (simulatedly)
+finish; the executor decides *how* the numeric work is evaluated.  Two
+implementations:
+
+* :class:`SerialExecutor` — runs tasks one by one in submission order on
+  the calling thread.  Fully deterministic; the equivalence guarantee
+  (serial + no faults ≡ synchronous trainers, bit for bit) is proved
+  against this executor.
+* :class:`PoolExecutor` — a ``concurrent.futures`` thread pool for real
+  parallel local updates.  Results are gathered back *in submission
+  order*, so aggregation still sums in a fixed order and stays
+  reproducible; only wall-clock changes with worker count.
+
+Threads (not processes) are the default because the numeric kernels
+bottom out in NumPy BLAS calls that release the GIL, and tasks close over
+live model/dataset objects that are costly to pickle.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Protocol, Sequence
+
+from repro.utils.validation import check_positive_int
+
+
+class Executor(Protocol):
+    """Evaluates a batch of thunks, returning results in submission order."""
+
+    @property
+    def workers(self) -> int: ...
+
+    def run_all(self, tasks: Sequence[Callable[[], Any]]) -> list[Any]: ...
+
+    def shutdown(self) -> None: ...
+
+
+class SerialExecutor:
+    """In-order, same-thread execution — the deterministic reference."""
+
+    workers = 1
+
+    def run_all(self, tasks: Sequence[Callable[[], Any]]) -> list[Any]:
+        return [task() for task in tasks]
+
+    def shutdown(self) -> None:  # nothing to release
+        return None
+
+    def __enter__(self) -> "SerialExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+class PoolExecutor:
+    """Thread-pool execution of party tasks within a round."""
+
+    def __init__(self, workers: int) -> None:
+        self._workers = check_positive_int(workers, "workers")
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-runtime"
+        )
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def run_all(self, tasks: Sequence[Callable[[], Any]]) -> list[Any]:
+        # Submission order == result order, whatever order threads finish in.
+        futures = [self._pool.submit(task) for task in tasks]
+        return [future.result() for future in futures]
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "PoolExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+def make_executor(kind: str, workers: int = 1) -> Executor:
+    """Build an executor by name (``"serial"`` or ``"threads"``)."""
+    if kind == "serial":
+        if workers != 1:
+            raise ValueError("the serial executor is single-worker by definition")
+        return SerialExecutor()
+    if kind == "threads":
+        return PoolExecutor(workers)
+    raise ValueError(f"unknown executor kind {kind!r} (use 'serial' or 'threads')")

@@ -1,0 +1,148 @@
+"""Fault model: dropouts, stragglers and crash-then-retry.
+
+A :class:`FaultPlan` declares the failure statistics of a federation; the
+:class:`FaultInjector` turns it into a deterministic per-(round, party)
+:class:`TaskFate` — the sampled outcome of one local-training task.  All
+draws are seeded through :func:`repro.utils.rng.derive_seed`, so a plan
+replays identically across runs and executors, and changing one party's
+fate never perturbs another's (the property the leave-one-out baselines
+rely on elsewhere in the repo).
+
+Fate of one attempt sequence:
+
+1. With probability ``dropout_rate`` the party skips the round outright
+   (device offline — it never downloads the model).
+2. Otherwise each attempt crashes with probability ``crash_rate``; after a
+   crash the party retries with exponential backoff
+   (``backoff_ms · 2^(attempt-1)``) until ``max_retries`` is exhausted,
+   at which point it gives up for the round.
+3. A surviving attempt takes ``base_ms`` of compute plus an
+   exponentially-distributed straggler delay of mean ``straggler_ms``.
+
+Whether a late arrival still counts is the *scheduler's* decision (round
+deadline), not the injector's — the injector only reports timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import derive_seed
+
+MS = 1e-3  # plan fields are milliseconds; simulated time runs in seconds
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Statistical description of a federation's failure behaviour.
+
+    The default plan is fault-free: every task completes after ``base_ms``
+    of simulated compute.  ``NULL_PLAN.is_null()`` is how the engine knows
+    it can promise bit-for-bit equivalence with the synchronous trainers.
+    """
+
+    dropout_rate: float = 0.0
+    straggler_ms: float = 0.0
+    crash_rate: float = 0.0
+    max_retries: int = 3
+    backoff_ms: float = 50.0
+    base_ms: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("dropout_rate", "crash_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {value}")
+        for name in ("straggler_ms", "backoff_ms", "base_ms"):
+            if getattr(self, name) < 0.0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be non-negative, got {self.max_retries}")
+
+    def is_null(self) -> bool:
+        """True when no fault can ever fire (pure timing simulation)."""
+        return (
+            self.dropout_rate == 0.0
+            and self.straggler_ms == 0.0
+            and self.crash_rate == 0.0
+        )
+
+
+NULL_PLAN = FaultPlan()
+
+
+@dataclass(frozen=True)
+class TaskFate:
+    """Sampled outcome of one (round, party) local-training task.
+
+    ``duration_s`` is simulated seconds from dispatch to upload, including
+    crashed attempts and backoff; it is meaningless when ``dropped``.
+    """
+
+    dropped: bool
+    gave_up: bool  # dropped because retries were exhausted, not offline
+    attempts: int  # total attempts made (≥ 1 unless offline-dropped)
+    crashes: int  # failed attempts among them
+    duration_s: float
+
+    @property
+    def completes(self) -> bool:
+        return not self.dropped
+
+
+class FaultInjector:
+    """Deterministic sampler of :class:`TaskFate` from a :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+
+    def _rng(self, round: int, party: int) -> np.random.Generator:
+        return np.random.default_rng(derive_seed(self.plan.seed, round, party))
+
+    def fate(self, round: int, party: int) -> TaskFate:
+        """The fate of ``party``'s task in ``round`` (stable across calls)."""
+        plan = self.plan
+        if plan.is_null():
+            return TaskFate(
+                dropped=False,
+                gave_up=False,
+                attempts=1,
+                crashes=0,
+                duration_s=plan.base_ms * MS,
+            )
+        rng = self._rng(round, party)
+        # Draw order is part of the format: dropout, then per-attempt
+        # crash coins, then one straggler delay.  Keep it fixed.
+        if plan.dropout_rate > 0.0 and rng.random() < plan.dropout_rate:
+            return TaskFate(
+                dropped=True, gave_up=False, attempts=0, crashes=0, duration_s=0.0
+            )
+        duration = 0.0
+        crashes = 0
+        while crashes <= plan.max_retries:
+            duration += plan.base_ms * MS
+            if plan.crash_rate > 0.0 and rng.random() < plan.crash_rate:
+                crashes += 1
+                if crashes > plan.max_retries:
+                    return TaskFate(
+                        dropped=True,
+                        gave_up=True,
+                        attempts=crashes,
+                        crashes=crashes,
+                        duration_s=duration,
+                    )
+                duration += plan.backoff_ms * MS * 2 ** (crashes - 1)
+                continue
+            break
+        if plan.straggler_ms > 0.0:
+            duration += rng.exponential(plan.straggler_ms * MS)
+        return TaskFate(
+            dropped=False,
+            gave_up=False,
+            attempts=crashes + 1,
+            crashes=crashes,
+            duration_s=duration,
+        )

@@ -1,0 +1,200 @@
+"""Round scheduler: dispatch, deadlines and partial aggregation.
+
+One :meth:`Scheduler.run_round` call plays out a full federated round on
+the simulated clock: every party's task is dispatched at the round start,
+its fate (delay / dropout / crash-retry) is sampled from the fault
+injector, and whichever tasks would finish by the round deadline are
+actually evaluated on the executor.  Tasks that miss the deadline are
+*never evaluated* — the server would have discarded their result anyway —
+so fault-heavy simulations get cheaper, not just more realistic.
+
+The server then aggregates whatever arrived: :class:`RoundOutcome` hands
+the engine the results in dispatch order plus the participation mask that
+ends up in the training log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.runtime import events as ev
+from repro.runtime.clock import SimulatedClock
+from repro.runtime.events import EventLog
+from repro.runtime.executor import Executor, SerialExecutor
+from repro.runtime.faults import NULL_PLAN, FaultInjector, TaskFate
+
+
+@dataclass(frozen=True)
+class PartyOutcome:
+    """What happened to one party's task in one round."""
+
+    party: int
+    status: str  # "completed" | "dropout" | "crashed" | "timeout"
+    fate: TaskFate
+    dispatched_at: float
+    finished_at: float | None  # sim time the result arrived (None if it didn't)
+    result: Any = None
+
+    @property
+    def arrived(self) -> bool:
+        return self.status == "completed"
+
+
+@dataclass(frozen=True)
+class RoundOutcome:
+    """All party outcomes of one round, in dispatch order."""
+
+    round: int
+    started_at: float
+    ended_at: float
+    outcomes: tuple[PartyOutcome, ...]
+
+    @property
+    def arrived(self) -> list[PartyOutcome]:
+        return [o for o in self.outcomes if o.arrived]
+
+    @property
+    def arrived_parties(self) -> list[int]:
+        return [o.party for o in self.outcomes if o.arrived]
+
+    @property
+    def duration_s(self) -> float:
+        return self.ended_at - self.started_at
+
+    def result_of(self, party: int) -> Any:
+        for outcome in self.outcomes:
+            if outcome.party == party:
+                return outcome.result
+        raise KeyError(f"party {party} was not scheduled this round")
+
+
+class Scheduler:
+    """Simulated-time dispatcher of per-round party tasks.
+
+    Parameters
+    ----------
+    executor:
+        Where arrived tasks are numerically evaluated.
+    injector:
+        Fault sampler; defaults to the fault-free plan.
+    round_deadline_ms:
+        Server-side aggregation deadline per round.  ``None`` means the
+        server waits for every non-dropped party (classic synchronous
+        FedSGD); with a deadline, late updates are discarded and the
+        round closes at the deadline.
+    clock, event_log:
+        Injectable for tests; fresh instances by default.
+    """
+
+    def __init__(
+        self,
+        executor: Executor | None = None,
+        injector: FaultInjector | None = None,
+        *,
+        round_deadline_ms: float | None = None,
+        clock: SimulatedClock | None = None,
+        event_log: EventLog | None = None,
+    ) -> None:
+        if round_deadline_ms is not None and round_deadline_ms <= 0.0:
+            raise ValueError(
+                f"round_deadline_ms must be positive, got {round_deadline_ms}"
+            )
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.injector = injector if injector is not None else FaultInjector(NULL_PLAN)
+        self.round_deadline_s = (
+            None if round_deadline_ms is None else round_deadline_ms * 1e-3
+        )
+        self.clock = clock if clock is not None else SimulatedClock()
+        # NOTE: an empty EventLog is falsy (len == 0), so `or` would drop it.
+        self.event_log = event_log if event_log is not None else EventLog()
+
+    def run_round(
+        self,
+        round: int,
+        tasks: Mapping[int, Callable[[], Any]] | Sequence[tuple[int, Callable[[], Any]]],
+    ) -> RoundOutcome:
+        """Play one round: sample fates, evaluate survivors, close the round.
+
+        ``tasks`` maps party id → zero-argument callable producing that
+        party's update.  Iteration order fixes dispatch (and therefore
+        aggregation) order.
+        """
+        items = list(tasks.items()) if isinstance(tasks, Mapping) else list(tasks)
+        if not items:
+            raise ValueError("a round needs at least one party task")
+        log = self.event_log
+        t0 = self.clock.now
+        deadline = None if self.round_deadline_s is None else t0 + self.round_deadline_s
+        log.record(ev.ROUND_BEGIN, t0, round, deadline_s=self.round_deadline_s)
+
+        pending: list[tuple[PartyOutcome, Callable[[], Any]]] = []
+        outcomes: list[PartyOutcome] = []
+        for party, task in items:
+            fate = self.injector.fate(round, party)
+            if fate.dropped and not fate.gave_up:
+                # Offline party: never downloads the model, detected at dispatch.
+                log.record(ev.DROPOUT, t0, round, party)
+                outcomes.append(
+                    PartyOutcome(party, "dropout", fate, t0, finished_at=None)
+                )
+                continue
+            log.record(ev.DISPATCH, t0, round, party)
+            for attempt in range(1, fate.crashes + 1):
+                log.record(ev.CRASH, t0, round, party, attempt=attempt)
+                if fate.gave_up and attempt == fate.crashes:
+                    break
+                log.record(ev.RETRY, t0, round, party, attempt=attempt)
+            if fate.dropped:  # retries exhausted
+                outcomes.append(
+                    PartyOutcome(party, "crashed", fate, t0, finished_at=None)
+                )
+                continue
+            finish = t0 + fate.duration_s
+            if deadline is not None and finish > deadline:
+                log.record(
+                    ev.TIMEOUT, deadline, round, party, would_finish_at=finish
+                )
+                outcomes.append(
+                    PartyOutcome(party, "timeout", fate, t0, finished_at=None)
+                )
+                continue
+            outcomes.append(
+                PartyOutcome(party, "completed", fate, t0, finished_at=finish)
+            )
+            pending.append((outcomes[-1], task))
+
+        # Evaluate the survivors (in dispatch order) and attach results.
+        results = self.executor.run_all([task for _, task in pending])
+        by_party = {outcome.party: outcome for outcome, _ in pending}
+        for (outcome, _), result in zip(pending, results):
+            patched = PartyOutcome(
+                party=outcome.party,
+                status=outcome.status,
+                fate=outcome.fate,
+                dispatched_at=outcome.dispatched_at,
+                finished_at=outcome.finished_at,
+                result=result,
+            )
+            by_party[outcome.party] = patched
+            log.record(
+                ev.COMPLETE, outcome.finished_at, round, outcome.party,
+                duration_s=outcome.fate.duration_s,
+            )
+        outcomes = [by_party.get(o.party, o) for o in outcomes]
+
+        # The round ends when the last counted update arrives — or at the
+        # deadline, if the server had to give up on anyone.
+        arrivals = [o.finished_at for o in outcomes if o.finished_at is not None]
+        missed = any(o.status in ("timeout",) for o in outcomes)
+        if deadline is not None and missed:
+            t_end = deadline
+        elif arrivals:
+            t_end = max(arrivals)
+        else:
+            t_end = deadline if deadline is not None else t0
+        self.clock.advance_to(t_end)
+        log.record(ev.ROUND_END, t_end, round, arrived=len(arrivals))
+        return RoundOutcome(
+            round=round, started_at=t0, ended_at=t_end, outcomes=tuple(outcomes)
+        )

@@ -3,6 +3,11 @@
 The paper reports computation cost as seconds of algorithm runtime.  The
 :class:`Stopwatch` accumulates time across several start/stop windows so the
 benchmarks can exclude setup (data generation) from the measured cost.
+
+Timing reads ``time.perf_counter()`` — monotonic and the highest-resolution
+clock Python offers — never ``time.time()``, whose wall clock can jump
+backwards under NTP adjustment and corrupt accumulated cost measurements.
+A regression test pins this choice.
 """
 
 from __future__ import annotations

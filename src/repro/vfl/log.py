@@ -15,7 +15,14 @@ import numpy as np
 
 @dataclass(frozen=True)
 class VFLEpochRecord:
-    """State of one VFL training round."""
+    """State of one VFL training round.
+
+    ``participation`` is the per-round arrival mask over *all* parties
+    written by :mod:`repro.runtime`: ``participation[party]`` is False when
+    that party's block update missed the round (its weight was zeroed, its
+    block stayed frozen).  ``None`` — the synchronous trainer's value —
+    means every coalition party applied its update.
+    """
 
     epoch: int  # 1-indexed
     lr: float
@@ -25,6 +32,19 @@ class VFLEpochRecord:
     weights: np.ndarray  # per-party aggregation weights applied
     train_loss: float = float("nan")
     val_loss: float = float("nan")
+    participation: np.ndarray | None = None  # (n_parties,) bool; None = all
+
+    def participated(self, party: int) -> bool:
+        """Did ``party`` apply its block update this round?"""
+        if self.participation is None:
+            return True
+        return bool(self.participation[party])
+
+    def participation_mask(self) -> np.ndarray:
+        """The arrival mask over all parties (all-True when ``None``)."""
+        if self.participation is None:
+            return np.ones(len(self.weights), dtype=bool)
+        return np.asarray(self.participation, dtype=bool)
 
 
 @dataclass

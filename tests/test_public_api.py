@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.metrics",
     "repro.models",
     "repro.nn",
+    "repro.runtime",
     "repro.shapley",
     "repro.utils",
     "repro.vfl",

@@ -1,0 +1,180 @@
+"""Deterministic-equivalence guarantee of the federated runtime.
+
+With the serial executor, the null fault plan and no round deadline,
+``FederatedRuntime.run_hfl`` / ``run_vfl`` must reproduce the synchronous
+trainers' training logs **bit for bit** — same ``θ_t``, same ``δ_{t,i}``,
+same weights, same validation curves, same cost ledger.  The thread-pool
+executor must produce the same numbers as well (order-independent work,
+order-fixed aggregation); only wall-clock may differ.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import estimate_hfl_resource_saving, estimate_vfl_first_order
+from repro.data import build_hfl_federation, mnist_like
+from repro.experiments.workloads import build_vfl_workload
+from repro.hfl import HFLTrainer, LocalTrainingConfig
+from repro.metrics.cost import CostLedger
+from repro.nn import LRSchedule, make_hfl_model
+from repro.runtime import FederatedRuntime, RuntimeConfig
+
+
+@pytest.fixture(scope="module")
+def federation():
+    return build_hfl_federation(
+        mnist_like(400, seed=0), n_parties=4, n_mislabeled=1, seed=0
+    )
+
+
+def _factory():
+    return make_hfl_model("mnist", seed=0)
+
+
+def _trainer(epochs=4, local_config=None):
+    return HFLTrainer(
+        _factory, epochs=epochs, lr_schedule=LRSchedule(0.5),
+        local_config=local_config,
+    )
+
+
+def assert_hfl_logs_identical(log_a, log_b):
+    assert log_a.participant_ids == log_b.participant_ids
+    assert log_a.n_epochs == log_b.n_epochs
+    for a, b in zip(log_a.records, log_b.records):
+        assert a.epoch == b.epoch and a.lr == b.lr
+        np.testing.assert_array_equal(a.theta_before, b.theta_before)
+        np.testing.assert_array_equal(a.local_updates, b.local_updates)
+        np.testing.assert_array_equal(a.weights, b.weights)
+        assert (a.val_loss == b.val_loss) or (
+            np.isnan(a.val_loss) and np.isnan(b.val_loss)
+        )
+
+
+class TestHFLSerialEquivalence:
+    def test_logs_bit_for_bit(self, federation):
+        trainer = _trainer()
+        sync = trainer.train(
+            federation.locals, federation.validation, track_validation=True
+        )
+        run = FederatedRuntime(RuntimeConfig()).run_hfl(
+            trainer, federation.locals, federation.validation,
+            track_validation=True,
+        )
+        assert_hfl_logs_identical(sync.log, run.log)
+        np.testing.assert_array_equal(sync.final_theta, run.final_theta)
+
+    def test_no_fault_log_has_no_participation_masks(self, federation):
+        run = FederatedRuntime(RuntimeConfig()).run_hfl(
+            _trainer(), federation.locals
+        )
+        assert all(r.participation is None for r in run.log.records)
+        assert run.log.participation_matrix().all()
+
+    def test_fedavg_local_config(self, federation):
+        """The FedAvg path (multi-step, mini-batch) is equivalent too."""
+        config = LocalTrainingConfig(local_steps=3, batch_size=32, seed=7)
+        trainer = _trainer(epochs=3, local_config=config)
+        sync = trainer.train(federation.locals, federation.validation)
+        run = FederatedRuntime(RuntimeConfig()).run_hfl(
+            trainer, federation.locals, federation.validation
+        )
+        assert_hfl_logs_identical(sync.log, run.log)
+
+    def test_weight_by_samples(self, federation):
+        trainer = _trainer(epochs=3)
+        sync = trainer.train(federation.locals, weight_by_samples=True)
+        run = FederatedRuntime(RuntimeConfig()).run_hfl(
+            trainer, federation.locals, weight_by_samples=True
+        )
+        assert_hfl_logs_identical(sync.log, run.log)
+
+    def test_coalition(self, federation):
+        trainer = _trainer(epochs=3)
+        sync = trainer.train(federation.locals, participants=[0, 2])
+        run = FederatedRuntime(RuntimeConfig()).run_hfl(
+            trainer, federation.locals, participants=[0, 2]
+        )
+        assert_hfl_logs_identical(sync.log, run.log)
+
+    def test_cost_ledger_matches(self, federation):
+        trainer = _trainer(epochs=3)
+        sync_ledger, run_ledger = CostLedger(), CostLedger()
+        trainer.train(federation.locals, ledger=sync_ledger)
+        FederatedRuntime(RuntimeConfig()).run_hfl(
+            trainer, federation.locals, ledger=run_ledger
+        )
+        assert dict(sync_ledger.comm_bytes) == dict(run_ledger.comm_bytes)
+
+    def test_estimator_output_identical(self, federation):
+        """DIG-FL scores computed from both logs agree exactly."""
+        trainer = _trainer()
+        sync = trainer.train(federation.locals)
+        run = FederatedRuntime(RuntimeConfig()).run_hfl(trainer, federation.locals)
+        a = estimate_hfl_resource_saving(sync.log, federation.validation, _factory)
+        b = estimate_hfl_resource_saving(run.log, federation.validation, _factory)
+        np.testing.assert_array_equal(a.totals, b.totals)
+
+
+class TestHFLThreadEquivalence:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_pool_matches_sync(self, federation, workers):
+        trainer = _trainer()
+        sync = trainer.train(federation.locals, federation.validation,
+                             track_validation=True)
+        run = FederatedRuntime(
+            RuntimeConfig(executor="threads", workers=workers)
+        ).run_hfl(
+            trainer, federation.locals, federation.validation,
+            track_validation=True,
+        )
+        assert_hfl_logs_identical(sync.log, run.log)
+
+    def test_pool_fedavg_matches_sync(self, federation):
+        config = LocalTrainingConfig(local_steps=2, batch_size=16, seed=3)
+        trainer = _trainer(epochs=3, local_config=config)
+        sync = trainer.train(federation.locals)
+        run = FederatedRuntime(
+            RuntimeConfig(executor="threads", workers=4)
+        ).run_hfl(trainer, federation.locals)
+        assert_hfl_logs_identical(sync.log, run.log)
+
+
+class TestVFLSerialEquivalence:
+    @pytest.fixture(scope="class")
+    def cell(self):
+        return build_vfl_workload("iris", epochs=12, seed=0)
+
+    def test_logs_bit_for_bit(self, cell):
+        run = FederatedRuntime(RuntimeConfig()).run_vfl(
+            cell.trainer, cell.split.train, cell.split.validation,
+            track_losses=True,
+        )
+        sync_log, run_log = cell.result.log, run.log
+        assert sync_log.active_parties == run_log.active_parties
+        for a, b in zip(sync_log.records, run_log.records):
+            assert a.epoch == b.epoch and a.lr == b.lr
+            np.testing.assert_array_equal(a.theta_before, b.theta_before)
+            np.testing.assert_array_equal(a.train_gradient, b.train_gradient)
+            np.testing.assert_array_equal(a.val_gradient, b.val_gradient)
+            np.testing.assert_array_equal(a.weights, b.weights)
+            assert b.participation is None
+        np.testing.assert_array_equal(cell.result.theta, run.theta)
+
+    def test_estimator_output_identical(self, cell):
+        run = FederatedRuntime(RuntimeConfig()).run_vfl(
+            cell.trainer, cell.split.train, cell.split.validation
+        )
+        a = estimate_vfl_first_order(cell.result.log)
+        b = estimate_vfl_first_order(run.log)
+        np.testing.assert_array_equal(a.totals, b.totals)
+
+    def test_vfl_coalition(self, cell):
+        sync = cell.trainer.train(
+            cell.split.train, cell.split.validation, parties=[0, 2]
+        )
+        run = FederatedRuntime(RuntimeConfig()).run_vfl(
+            cell.trainer, cell.split.train, cell.split.validation,
+            parties=[0, 2],
+        )
+        np.testing.assert_array_equal(sync.theta, run.theta)

@@ -1,0 +1,339 @@
+"""Fault injection: dropouts, stragglers, crash-retry, deadlines.
+
+Covers the three layers separately — :class:`FaultInjector` sampling,
+:class:`Scheduler` dispatch decisions, and the full
+:class:`FederatedRuntime` — and ends with the paper-level property: DIG-FL
+still ranks a mislabeled party last when the federation runs with
+dropouts, stragglers and a round deadline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import estimate_hfl_resource_saving, estimate_vfl_first_order
+from repro.data import build_hfl_federation, mnist_like
+from repro.experiments.workloads import build_hfl_workload, build_vfl_workload
+from repro.runtime import (
+    EventLog,
+    FaultInjector,
+    FaultPlan,
+    FederatedRuntime,
+    NULL_PLAN,
+    RuntimeConfig,
+    Scheduler,
+    SerialExecutor,
+)
+from repro.runtime import events as ev
+from repro.runtime.faults import MS
+
+
+class TestFaultPlan:
+    def test_null_plan(self):
+        assert NULL_PLAN.is_null()
+        assert FaultPlan(straggler_ms=1.0).is_null() is False
+        assert FaultPlan(dropout_rate=0.1).is_null() is False
+        assert FaultPlan(crash_rate=0.1).is_null() is False
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dropout_rate": -0.1},
+            {"dropout_rate": 1.0},
+            {"crash_rate": 1.5},
+            {"straggler_ms": -1.0},
+            {"backoff_ms": -1.0},
+            {"base_ms": -1.0},
+            {"max_retries": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPlan(**kwargs)
+
+
+class TestFaultInjector:
+    def test_null_fate_is_base_duration(self):
+        fate = FaultInjector(NULL_PLAN).fate(3, 1)
+        assert fate.completes and fate.attempts == 1 and fate.crashes == 0
+        assert fate.duration_s == NULL_PLAN.base_ms * MS
+
+    def test_fate_is_deterministic(self):
+        plan = FaultPlan(dropout_rate=0.3, straggler_ms=25.0, crash_rate=0.2, seed=7)
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        for round in range(1, 6):
+            for party in range(4):
+                assert a.fate(round, party) == b.fate(round, party)
+                assert a.fate(round, party) == a.fate(round, party)
+
+    def test_fates_vary_across_rounds_and_parties(self):
+        injector = FaultInjector(FaultPlan(straggler_ms=50.0, seed=0))
+        durations = {
+            injector.fate(r, i).duration_s for r in range(1, 5) for i in range(4)
+        }
+        assert len(durations) == 16  # continuous delays never collide
+
+    def test_dropout_rate_is_respected(self):
+        injector = FaultInjector(FaultPlan(dropout_rate=0.4, seed=0))
+        fates = [injector.fate(r, i) for r in range(1, 101) for i in range(5)]
+        dropped = sum(f.dropped for f in fates)
+        assert 0.3 < dropped / len(fates) < 0.5
+        assert all(f.attempts == 0 and f.duration_s == 0.0
+                   for f in fates if f.dropped)
+
+    def test_straggler_adds_exponential_delay(self):
+        plan = FaultPlan(straggler_ms=40.0, seed=1)
+        injector = FaultInjector(plan)
+        delays = [
+            injector.fate(r, i).duration_s - plan.base_ms * MS
+            for r in range(1, 51)
+            for i in range(4)
+        ]
+        assert all(d > 0.0 for d in delays)
+        assert np.mean(delays) == pytest.approx(40.0 * MS, rel=0.25)
+
+    def test_crash_then_retry_charges_backoff(self):
+        plan = FaultPlan(crash_rate=0.5, max_retries=3, backoff_ms=10.0, seed=2)
+        injector = FaultInjector(plan)
+        fates = [injector.fate(r, i) for r in range(1, 40) for i in range(4)]
+        retried = [f for f in fates if f.completes and f.crashes > 0]
+        assert retried, "expected at least one crash-then-success fate"
+        for fate in retried:
+            assert fate.attempts == fate.crashes + 1
+            backoff = sum(
+                plan.backoff_ms * MS * 2 ** (c - 1)
+                for c in range(1, fate.crashes + 1)
+            )
+            expected = fate.attempts * plan.base_ms * MS + backoff
+            assert fate.duration_s == pytest.approx(expected)
+
+    def test_retries_exhausted_gives_up(self):
+        plan = FaultPlan(crash_rate=0.9, max_retries=2, seed=3)
+        injector = FaultInjector(plan)
+        fates = [injector.fate(r, i) for r in range(1, 30) for i in range(4)]
+        exhausted = [f for f in fates if f.gave_up]
+        assert exhausted, "expected at least one retries-exhausted fate"
+        for fate in exhausted:
+            assert fate.dropped and not fate.completes
+            assert fate.crashes == fate.attempts == plan.max_retries + 1
+
+
+class TestScheduler:
+    def _tasks(self, n, calls):
+        def make(i):
+            def task():
+                calls.append(i)
+                return i * 10
+
+            return task
+
+        return [(i, make(i)) for i in range(n)]
+
+    def test_no_fault_round_runs_everyone(self):
+        calls = []
+        scheduler = Scheduler(SerialExecutor())
+        outcome = scheduler.run_round(1, self._tasks(4, calls))
+        assert calls == [0, 1, 2, 3]
+        assert outcome.arrived_parties == [0, 1, 2, 3]
+        assert [o.result for o in outcome.outcomes] == [0, 10, 20, 30]
+        assert outcome.duration_s == NULL_PLAN.base_ms * MS
+
+    def test_empty_round_rejected(self):
+        with pytest.raises(ValueError):
+            Scheduler(SerialExecutor()).run_round(1, [])
+
+    def test_dropped_tasks_are_never_executed(self):
+        calls = []
+        plan = FaultPlan(dropout_rate=0.5, seed=0)
+        scheduler = Scheduler(SerialExecutor(), FaultInjector(plan))
+        outcome = scheduler.run_round(1, self._tasks(8, calls))
+        dropped = [o.party for o in outcome.outcomes if o.status == "dropout"]
+        assert dropped, "seed chosen so at least one party drops"
+        assert set(calls) == set(range(8)) - set(dropped)
+        for o in outcome.outcomes:
+            if o.status == "dropout":
+                assert o.result is None and o.finished_at is None
+
+    def test_straggler_past_deadline_times_out_unexecuted(self):
+        calls = []
+        # base_ms alone exceeds the deadline: deterministic all-timeout round.
+        plan = FaultPlan(straggler_ms=200.0, base_ms=100.0, seed=0)
+        scheduler = Scheduler(
+            SerialExecutor(), FaultInjector(plan), round_deadline_ms=50.0
+        )
+        outcome = scheduler.run_round(1, self._tasks(3, calls))
+        assert calls == []  # the server discarded them, so we never computed
+        assert [o.status for o in outcome.outcomes] == ["timeout"] * 3
+        assert outcome.duration_s == pytest.approx(50.0 * MS)
+
+    def test_deadline_keeps_fast_parties(self):
+        calls = []
+        plan = FaultPlan(straggler_ms=60.0, seed=4)
+        scheduler = Scheduler(
+            SerialExecutor(), FaultInjector(plan), round_deadline_ms=60.0
+        )
+        outcome = scheduler.run_round(1, self._tasks(8, calls))
+        statuses = {o.status for o in outcome.outcomes}
+        assert statuses == {"completed", "timeout"}  # seed gives a mixed round
+        assert sorted(calls) == outcome.arrived_parties
+        assert outcome.ended_at == pytest.approx(60.0 * MS)
+
+    def test_crashed_party_emits_crash_and_retry_events(self):
+        log = EventLog()
+        plan = FaultPlan(crash_rate=0.6, max_retries=2, seed=5)
+        scheduler = Scheduler(
+            SerialExecutor(), FaultInjector(plan), event_log=log
+        )
+        for round in range(1, 6):
+            scheduler.run_round(round, self._tasks(4, []))
+        summary = log.summary()
+        assert summary["crashes"] > 0
+        assert summary["retries"] > 0
+        assert summary["retries"] <= summary["crashes"]
+        # Every completed task was dispatched; nothing completes after a give-up.
+        assert summary["completed"] <= summary["dispatched"]
+
+    def test_clock_advances_across_rounds(self):
+        scheduler = Scheduler(SerialExecutor())
+        first = scheduler.run_round(1, self._tasks(2, []))
+        second = scheduler.run_round(2, self._tasks(2, []))
+        assert second.started_at == first.ended_at
+        assert scheduler.clock.now == second.ended_at
+
+    def test_round_events_bracket_the_round(self):
+        log = EventLog()
+        scheduler = Scheduler(SerialExecutor(), event_log=log)
+        scheduler.run_round(1, self._tasks(3, []))
+        kinds = [e.kind for e in log.for_round(1)]
+        assert kinds[0] == ev.ROUND_BEGIN and kinds[-1] == ev.ROUND_END
+        assert log.n_rounds == 1
+        assert log.round_duration(1) == pytest.approx(NULL_PLAN.base_ms * MS)
+
+
+class TestRuntimeUnderFaults:
+    @pytest.fixture(scope="class")
+    def federation(self):
+        return build_hfl_federation(
+            mnist_like(400, seed=0), n_parties=4, n_mislabeled=1, seed=0
+        )
+
+    def _run(self, federation, plan, deadline=None, executor="serial", workers=1):
+        from repro.hfl import HFLTrainer
+        from repro.nn import LRSchedule, make_hfl_model
+
+        trainer = HFLTrainer(
+            lambda: make_hfl_model("mnist", seed=0),
+            epochs=6,
+            lr_schedule=LRSchedule(0.5),
+        )
+        runtime = FederatedRuntime(
+            RuntimeConfig(
+                executor=executor,
+                workers=workers,
+                faults=plan,
+                round_deadline_ms=deadline,
+            )
+        )
+        result = runtime.run_hfl(trainer, federation.locals, federation.validation)
+        return result, runtime
+
+    def test_dropout_zeroes_update_rows_and_renormalises(self, federation):
+        result, runtime = self._run(
+            federation, FaultPlan(dropout_rate=0.4, seed=1)
+        )
+        masked = [r for r in result.log.records if r.participation is not None]
+        assert masked, "40% dropout over 6 rounds must mask some round"
+        for record in masked:
+            mask = record.participation
+            absent = ~mask
+            assert not record.local_updates[absent].any()
+            assert record.weights[absent].sum() == 0.0
+            if mask.any():
+                assert record.weights.sum() == pytest.approx(1.0)
+                np.testing.assert_allclose(
+                    record.weights[mask], 1.0 / mask.sum()
+                )
+        assert runtime.event_log.summary()["dropouts"] > 0
+
+    def test_deadline_discards_stragglers_end_to_end(self, federation):
+        result, runtime = self._run(
+            federation,
+            FaultPlan(straggler_ms=50.0, seed=2),
+            deadline=60.0,
+        )
+        summary = runtime.event_log.summary()
+        assert summary["timeouts"] > 0
+        assert summary["completed"] < summary["dispatched"]
+        masked = [r for r in result.log.records if r.participation is not None]
+        assert masked
+        # Rounds with a miss close exactly at the deadline.
+        timed_out_rounds = {e.round for e in runtime.event_log.of_kind(ev.TIMEOUT)}
+        for round in timed_out_rounds:
+            assert runtime.event_log.round_duration(round) == pytest.approx(
+                60.0 * MS
+            )
+
+    def test_crash_retry_end_to_end(self, federation):
+        _, runtime = self._run(
+            federation,
+            FaultPlan(crash_rate=0.3, max_retries=3, backoff_ms=5.0, seed=3),
+        )
+        summary = runtime.event_log.summary()
+        assert summary["crashes"] > 0 and summary["retries"] > 0
+        # Retries make the run survivable: most tasks still complete.
+        assert summary["completed"] > summary["dispatched"] * 0.7
+
+    def test_faulty_run_differs_from_clean_run(self, federation):
+        clean, _ = self._run(federation, FaultPlan())
+        faulty, _ = self._run(federation, FaultPlan(dropout_rate=0.4, seed=1))
+        assert not np.array_equal(clean.final_theta, faulty.final_theta)
+
+    def test_same_plan_replays_identically(self, federation):
+        plan = FaultPlan(dropout_rate=0.3, straggler_ms=10.0, seed=9)
+        a, _ = self._run(federation, plan, deadline=40.0)
+        b, _ = self._run(federation, plan, deadline=40.0, executor="threads",
+                         workers=4)
+        np.testing.assert_array_equal(a.final_theta, b.final_theta)
+        for ra, rb in zip(a.log.records, b.log.records):
+            np.testing.assert_array_equal(
+                ra.participation_mask(), rb.participation_mask()
+            )
+
+
+class TestPaperPropertyUnderFaults:
+    def test_hfl_mislabeled_party_ranked_last_under_faults(self):
+        workload = build_hfl_workload(
+            "mnist",
+            n_parties=5,
+            n_mislabeled=1,
+            epochs=10,
+            seed=0,
+            runtime=RuntimeConfig(
+                executor="threads",
+                workers=4,
+                faults=FaultPlan(dropout_rate=0.2, straggler_ms=30.0, seed=0),
+                round_deadline_ms=80.0,
+            ),
+        )
+        summary = workload.runtime.event_log.summary()
+        assert summary["dropouts"] > 0  # the faults actually fired
+        report = estimate_hfl_resource_saving(
+            workload.result.log,
+            workload.federation.validation,
+            workload.model_factory,
+        )
+        mislabeled = workload.federation.qualities.index("mislabeled")
+        assert int(np.argmin(report.totals)) == mislabeled
+
+    def test_vfl_estimator_runs_under_dropouts(self):
+        workload = build_vfl_workload(
+            "iris",
+            epochs=15,
+            seed=0,
+            runtime=RuntimeConfig(faults=FaultPlan(dropout_rate=0.3, seed=1)),
+        )
+        masked = [
+            r for r in workload.result.log.records if r.participation is not None
+        ]
+        assert masked
+        report = estimate_vfl_first_order(workload.result.log)
+        assert np.isfinite(report.totals).all()

@@ -63,6 +63,29 @@ class TestStopwatch:
         with sw.running():
             pass
 
+    def test_uses_perf_counter_not_wall_clock(self, monkeypatch):
+        """A wall-clock jump (NTP stepping time.time backwards) must not
+        corrupt measurements — the stopwatch reads perf_counter only."""
+        wall = iter([1000.0, 500.0, 0.0])  # time.time going backwards
+        monkeypatch.setattr(time, "time", lambda: next(wall, 0.0))
+        sw = Stopwatch()
+        with sw.running():
+            time.sleep(0.002)
+        assert sw.elapsed >= 0.002  # unaffected by the rogue wall clock
+
+    def test_implementation_never_calls_wall_clock(self):
+        import inspect
+
+        assert "time.time(" not in inspect.getsource(Stopwatch)
+        assert "perf_counter" in inspect.getsource(Stopwatch)
+
+    def test_elapsed_is_monotonic_across_reads(self):
+        sw = Stopwatch()
+        sw.start()
+        reads = [sw.elapsed for _ in range(50)]
+        sw.stop()
+        assert all(b >= a for a, b in zip(reads, reads[1:]))
+
 
 class TestCheckPositiveInt:
     def test_accepts(self):

@@ -1,0 +1,60 @@
+"""Microbenchmarks of the repro.robust defense layer.
+
+Robust aggregation and screening sit inside the per-round server loop, so
+their cost must stay a small multiple of the weighted mean they replace —
+otherwise "turn the defense on for long audits" is not practical advice.
+Krum is the known outlier: its pairwise-distance matrix is O(m²p), and
+the bench pins that it is the *only* super-linear rule at audit scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.robust import ScreenConfig, UpdateScreener, make_aggregator
+
+M_PARTIES = 32
+DIM = 20_000  # ~ the 100->16->10 MLP used across the test suite, x10
+RNG = np.random.default_rng(0)
+
+
+@pytest.fixture(scope="module")
+def cohort():
+    updates = RNG.normal(size=(M_PARTIES, DIM))
+    weights = np.full(M_PARTIES, 1.0 / M_PARTIES)
+    mask = np.ones(M_PARTIES, dtype=bool)
+    return updates, weights, mask
+
+
+@pytest.mark.parametrize(
+    "name, kwargs",
+    [
+        ("mean", {}),
+        ("median", {}),
+        ("trimmed", {"trim_ratio": 0.2}),
+        ("clip", {}),
+        ("krum", {"n_byzantine": 3}),
+        ("multikrum", {"n_byzantine": 3, "multi": 5}),
+    ],
+)
+def test_bench_aggregator(benchmark, cohort, name, kwargs):
+    """One aggregation round at 32 parties x 20k parameters."""
+    updates, weights, mask = cohort
+    agg = make_aggregator(name, **kwargs)
+    out = benchmark(agg.aggregate, updates, weights, mask)
+    assert out.shape == (DIM,)
+    assert np.isfinite(out).all()
+
+
+def test_bench_screening_pass(benchmark, cohort):
+    """One full screening pass (all three rules) over a warm cohort."""
+    updates, _, mask = cohort
+    screener = UpdateScreener(ScreenConfig())
+    screener.observe_norms([1.0] * 10)  # arm the norm rule
+
+    def run():
+        return screener.screen(
+            1, list(range(M_PARTIES)), updates, mask.copy()
+        )
+
+    verdict = benchmark(run)
+    assert verdict.all()  # homogeneous Gaussian cohort: nobody quarantined

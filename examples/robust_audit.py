@@ -1,0 +1,155 @@
+"""Crash-safe contribution audit of a federation with an active attacker.
+
+Scenario: ten participants train a shared classifier, but participant 9
+is hostile — it boosts its update by ×500 (a model-replacement attempt)
+every round.  The operator runs the audit with the :mod:`repro.robust`
+defense/recovery layer on:
+
+* the **screening pass** quarantines the boosted updates before they
+  reach the aggregate, records each incident in the quarantine ledger
+  and marks the attacker absent in the round's participation mask;
+* the **trimmed-mean aggregator** bounds whatever screening misses;
+* **checkpointing** persists the training log after every round — and
+  halfway through, this demo *kills the run* to prove it, then resumes
+  from the checkpoint and finishes with a log that is bit-for-bit the
+  one an uninterrupted run produces;
+* DIG-FL, reading that log, ranks the attacker last.
+
+Run:  PYTHONPATH=src python examples/robust_audit.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import estimate_hfl_resource_saving
+from repro.data import build_hfl_federation, mnist_like
+from repro.hfl.attacks import AdversarialHFLTrainer, scale
+from repro.nn import LRSchedule, make_mlp_classifier
+from repro.robust import (
+    CheckpointManager,
+    QuarantineLedger,
+    ScreenConfig,
+    UpdateScreener,
+    make_aggregator,
+)
+
+N_PARTIES = 10
+ATTACKER = 9
+EPOCHS = 8
+SEED = 0
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised to kill the first run mid-training."""
+
+
+class CrashingCheckpoint(CheckpointManager):
+    """Checkpoint manager that pulls the plug after round ``crash_after``."""
+
+    def __init__(self, directory, crash_after):
+        super().__init__(directory, kind="hfl")
+        self.crash_after = crash_after
+
+    def save(self, log):
+        super().save(log)
+        if log.n_epochs == self.crash_after:
+            raise SimulatedCrash(f"power lost after round {log.n_epochs}")
+
+
+def model_factory():
+    return make_mlp_classifier(100, 10, hidden=(16,), seed=SEED)
+
+
+def make_trainer():
+    return AdversarialHFLTrainer(
+        model_factory,
+        epochs=EPOCHS,
+        lr_schedule=LRSchedule(0.5),
+        attacks={ATTACKER: scale(500.0)},  # ×500 boosting attack
+    )
+
+
+def main() -> None:
+    federation = build_hfl_federation(
+        mnist_like(1500, seed=SEED), n_parties=N_PARTIES, seed=SEED
+    )
+    screen_config = ScreenConfig(norm_factor=5.0)
+    checkpoint_dir = Path(tempfile.mkdtemp(prefix="robust_audit_"))
+
+    print(f"federation: {N_PARTIES} participants, "
+          f"participant {ATTACKER} ships x500 boosted updates")
+    print(f"defense: screening (norm_factor=5) + trimmed-mean aggregation")
+    print(f"checkpoints: {checkpoint_dir}\n")
+
+    # --- first run: killed after round 4 ------------------------------
+    crashing = CrashingCheckpoint(checkpoint_dir, crash_after=EPOCHS // 2)
+    try:
+        make_trainer().train(
+            federation.locals,
+            federation.validation,
+            track_validation=True,
+            aggregator=make_aggregator("trimmed", trim_ratio=0.2),
+            screener=UpdateScreener(screen_config),
+            checkpoint=crashing,
+        )
+    except SimulatedCrash as crash:
+        print(f"CRASH: {crash}")
+
+    saved = CheckpointManager(checkpoint_dir).resume()
+    print(f"checkpoint holds {saved.n_epochs} complete rounds "
+          f"(validated checksum)\n")
+
+    # --- resume: continue from the checkpoint to the full run ---------
+    ledger = QuarantineLedger()
+    resumed = make_trainer().train(
+        federation.locals,
+        federation.validation,
+        track_validation=True,
+        aggregator=make_aggregator("trimmed", trim_ratio=0.2),
+        screener=UpdateScreener(screen_config, ledger),
+        checkpoint=CheckpointManager(checkpoint_dir),
+        resume=True,
+    )
+    print(f"resumed and finished: {resumed.log.n_epochs} rounds, "
+          f"final val loss {resumed.log.val_loss_curve()[-1]:.4f}")
+
+    # --- prove the resume was lossless --------------------------------
+    reference = make_trainer().train(
+        federation.locals,
+        federation.validation,
+        track_validation=True,
+        aggregator=make_aggregator("trimmed", trim_ratio=0.2),
+        screener=UpdateScreener(screen_config),
+    )
+    identical = all(
+        np.array_equal(a.theta_before, b.theta_before)
+        and np.array_equal(a.local_updates, b.local_updates)
+        for a, b in zip(reference.log.records, resumed.log.records)
+    ) and np.array_equal(reference.final_theta, resumed.final_theta)
+    print(f"resumed log bit-for-bit equals an uninterrupted run: {identical}\n")
+
+    # --- the quarantine ledger: who was excluded, when, why -----------
+    # (the ledger covers the resumed rounds; the checkpointed rounds'
+    # exclusions are already in the log's participation masks)
+    matrix = resumed.log.participation_matrix()
+    quarantined_rounds = [t + 1 for t in range(EPOCHS) if not matrix[t, ATTACKER]]
+    print(f"participation mask: participant {ATTACKER} excluded in rounds "
+          f"{quarantined_rounds}")
+    for incident in ledger:
+        detail = ", ".join(f"{k}={v:.3g}" for k, v in incident.detail.items())
+        print(f"  ledger: round {incident.round} party {incident.party} "
+              f"rule={incident.rule} ({detail})")
+
+    # --- DIG-FL still ranks the attacker last --------------------------
+    report = estimate_hfl_resource_saving(
+        resumed.log, federation.validation, model_factory
+    )
+    ranking = [int(i) for i in np.argsort(report.totals)[::-1]]
+    print(f"\nDIG-FL contribution ranking (best first): {ranking}")
+    print(f"attacker ranked last: {ranking[-1] == ATTACKER}")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,12 +9,18 @@ Subcommands::
     python -m repro.cli audit-hfl ... --save-log run.npz --save-report run.json
     python -m repro.cli audit-hfl --runtime threads --workers 4 \
         --dropout-rate 0.2 --straggler-ms 30 --round-deadline 80
+    python -m repro.cli audit-hfl --robust-agg trimmed --screen \
+        --checkpoint-dir ckpt            # re-run with --resume after a crash
 
 Every audit builds the named synthetic dataset, trains the federation,
 runs DIG-FL and prints a contribution table.  The ``--runtime`` family of
 flags swaps the synchronous loop for the event-driven engine of
 :mod:`repro.runtime` — parallel local updates, dropouts, stragglers and
-deadline-based partial aggregation — and prints the fault summary.
+deadline-based partial aggregation — and prints the fault summary.  The
+robust flags activate :mod:`repro.robust`: ``--robust-agg`` picks a
+Byzantine-robust aggregation rule, ``--screen`` quarantines bad updates
+before aggregation (and prints the quarantine summary), and
+``--checkpoint-dir`` / ``--resume`` give crash-safe audits.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from repro.experiments.workloads import build_hfl_workload, build_vfl_workload
 from repro.io import save_report, save_training_log, save_vfl_training_log
 from repro.metrics import pearson_correlation
 from repro.render import contribution_bars
+from repro.robust import AGGREGATOR_NAMES, RobustConfig
 from repro.runtime import FaultPlan, RuntimeConfig
 from repro.shapley import HFLRetrainUtility, VFLRetrainUtility, exact_shapley
 
@@ -49,6 +56,53 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
                        help="mean exponential extra delay per local update")
     group.add_argument("--round-deadline", type=float, default=None, metavar="MS",
                        help="aggregate whatever arrived within MS per round")
+
+
+def _add_robust_flags(parser: argparse.ArgumentParser, *, vfl: bool = False) -> None:
+    group = parser.add_argument_group("robust", "defense and recovery layer")
+    if not vfl:
+        group.add_argument(
+            "--robust-agg", choices=AGGREGATOR_NAMES, default="mean",
+            help="Byzantine-robust aggregation rule (default: weighted mean)",
+        )
+    group.add_argument(
+        "--screen", action="store_true",
+        help="quarantine non-finite / norm-blowup / cosine-outlier updates",
+    )
+    group.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="persist the training log per round for crash-safe resume",
+    )
+    group.add_argument(
+        "--resume", action="store_true",
+        help="continue from the last complete round in --checkpoint-dir",
+    )
+
+
+def _robust_config(args) -> RobustConfig:
+    """Translate CLI flags into a RobustConfig (default = seed regime)."""
+    if args.resume and args.checkpoint_dir is None:
+        raise SystemExit("error: --resume needs --checkpoint-dir")
+    return RobustConfig(
+        aggregator=getattr(args, "robust_agg", "mean"),
+        screen=args.screen,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    )
+
+
+def _print_quarantine_summary(workload) -> None:
+    if workload.quarantine is None:
+        return
+    stats = workload.quarantine.summary()
+    if not stats["incidents"]:
+        print("screening: no updates quarantined")
+        return
+    rules = ", ".join(f"{rule}={n}" for rule, n in sorted(stats["by_rule"].items()))
+    print(
+        f"screening: {stats['incidents']} updates quarantined "
+        f"from parties {stats['parties']} ({rules})"
+    )
 
 
 def _runtime_config(args) -> RuntimeConfig | None:
@@ -134,8 +188,10 @@ def _cmd_audit_hfl(args) -> int:
         lr=args.lr,
         seed=args.seed,
         runtime=_runtime_config(args),
+        robust=_robust_config(args),
     )
     _print_runtime_summary(workload)
+    _print_quarantine_summary(workload)
     fed = workload.federation
     report = estimate_hfl_resource_saving(
         workload.result.log, fed.validation, workload.model_factory
@@ -175,8 +231,10 @@ def _cmd_audit_vfl(args) -> int:
         epochs=args.epochs,
         seed=args.seed,
         runtime=_runtime_config(args),
+        robust=_robust_config(args),
     )
     _print_runtime_summary(workload)
+    _print_quarantine_summary(workload)
     report = estimate_vfl_first_order(workload.result.log)
     exact = None
     if args.exact:
@@ -222,6 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
     hfl.add_argument("--save-log", metavar="PATH")
     hfl.add_argument("--save-report", metavar="PATH")
     _add_runtime_flags(hfl)
+    _add_robust_flags(hfl)
     hfl.set_defaults(func=_cmd_audit_hfl)
 
     vfl = sub.add_parser("audit-vfl", help="contribution audit for VFL")
@@ -234,6 +293,7 @@ def build_parser() -> argparse.ArgumentParser:
     vfl.add_argument("--save-log", metavar="PATH")
     vfl.add_argument("--save-report", metavar="PATH")
     _add_runtime_flags(vfl)
+    _add_robust_flags(vfl, vfl=True)
     vfl.set_defaults(func=_cmd_audit_vfl)
     return parser
 

@@ -16,6 +16,7 @@ alive in the degenerate case (e.g. all-noise epochs near convergence).
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
 import numpy as np
@@ -25,13 +26,38 @@ from repro.hfl.trainer import flat_gradient
 from repro.nn.models import Classifier
 
 
+def _finite_or_uniform(contributions: np.ndarray, scheme: str) -> np.ndarray | None:
+    """Uniform-fallback guard shared by the Eq. 17 projection and softmax.
+
+    A single NaN/Inf contribution — one poisoned update dotted with the
+    validation gradient — would otherwise propagate through the
+    normalisation and corrupt *every* party's weight.  Uniform weights
+    keep training alive for the round; screening (``repro.robust``)
+    removes the source.
+    """
+    if np.all(np.isfinite(contributions)):
+        return None
+    warnings.warn(
+        f"non-finite contributions passed to {scheme} weighting; "
+        "falling back to uniform weights for this round "
+        "(enable repro.robust screening to quarantine the source)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return np.full(len(contributions), 1.0 / len(contributions))
+
+
 def rectified_weights(contributions: np.ndarray, *, epsilon: float = 1e-12) -> np.ndarray:
     """Eq. 17: clip at zero and normalise to a probability vector.
 
     Falls back to uniform weights when no participant has a positive
-    contribution, so the aggregation never divides by zero.
+    contribution, so the aggregation never divides by zero — and likewise
+    when any contribution is non-finite (with a ``RuntimeWarning``).
     """
     contributions = np.asarray(contributions, dtype=np.float64)
+    fallback = _finite_or_uniform(contributions, "rectified")
+    if fallback is not None:
+        return fallback
     clipped = np.maximum(contributions, 0.0)
     total = clipped.sum()
     if total <= epsilon:
@@ -48,6 +74,9 @@ def softmax_weights(contributions: np.ndarray, temperature: float = 1.0) -> np.n
     contributions = np.asarray(contributions, dtype=np.float64)
     if temperature <= 0:
         raise ValueError(f"temperature must be positive, got {temperature}")
+    fallback = _finite_or_uniform(contributions, "softmax")
+    if fallback is not None:
+        return fallback
     z = contributions / temperature
     z = z - z.max()
     expz = np.exp(z)

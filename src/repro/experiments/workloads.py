@@ -25,6 +25,7 @@ from repro.data.partition import FederatedSplit, VerticalSplit
 from repro.hfl import HFLResult, HFLTrainer
 from repro.nn import LRSchedule, make_hfl_model
 from repro.nn.models import Classifier
+from repro.robust import QuarantineLedger, RobustConfig
 from repro.runtime import FederatedRuntime, RuntimeConfig
 from repro.utils.rng import derive_seed
 from repro.vfl import VFLResult, VFLTrainer
@@ -51,6 +52,7 @@ class HFLWorkload:
     result: HFLResult
     model_factory: Callable[[], Classifier]
     runtime: FederatedRuntime | None = None
+    quarantine: QuarantineLedger | None = None
 
     @property
     def qualities(self) -> list[str]:
@@ -70,12 +72,16 @@ def build_hfl_workload(
     n_samples: int | None = None,
     seed: int = 0,
     runtime: RuntimeConfig | None = None,
+    robust: RobustConfig | None = None,
 ) -> HFLWorkload:
     """Build the Sec. V-C HFL cell: corrupt participants, train, log.
 
     With ``runtime`` the federation trains on the event-driven engine
     (parallel executors, faults, deadlines) instead of the synchronous
     loop; the returned workload carries the engine for event inspection.
+    ``robust`` activates the :mod:`repro.robust` layer (robust
+    aggregation, update screening, checkpoint/resume); the workload then
+    carries the run's quarantine ledger.
     """
     info = HFL_DATASETS[dataset]
     n_samples = n_samples or HFL_SAMPLES[dataset]
@@ -94,16 +100,26 @@ def build_hfl_workload(
         return make_hfl_model(dataset, seed=derive_seed(seed, 3))
 
     trainer = HFLTrainer(model_factory, epochs=epochs, lr_schedule=LRSchedule(lr))
+    robust = robust if robust is not None else RobustConfig()
+    ledger = QuarantineLedger()
+    screener = robust.make_screener(ledger)
+    robust_kwargs = dict(
+        aggregator=robust.make_aggregator(),
+        screener=screener,
+        checkpoint=robust.make_checkpoint("hfl"),
+        resume=robust.resume,
+    )
     engine = None
     if runtime is None:
         result = trainer.train(
-            federation.locals, federation.validation, track_validation=True
+            federation.locals, federation.validation, track_validation=True,
+            **robust_kwargs,
         )
     else:
         engine = FederatedRuntime(runtime)
         result = engine.run_hfl(
             trainer, federation.locals, federation.validation,
-            track_validation=True,
+            track_validation=True, **robust_kwargs,
         )
     return HFLWorkload(
         dataset=dataset,
@@ -112,6 +128,7 @@ def build_hfl_workload(
         result=result,
         model_factory=model_factory,
         runtime=engine,
+        quarantine=ledger if screener is not None else None,
     )
 
 
@@ -125,6 +142,7 @@ class VFLWorkload:
     trainer: VFLTrainer
     result: VFLResult
     runtime: FederatedRuntime | None = None
+    quarantine: QuarantineLedger | None = None
 
 
 def build_vfl_workload(
@@ -136,12 +154,16 @@ def build_vfl_workload(
     max_rows: int | None = VFL_MAX_ROWS,
     seed: int = 0,
     runtime: RuntimeConfig | None = None,
+    robust: RobustConfig | None = None,
 ) -> VFLWorkload:
     """Build the Table III VFL cell with the paper's party count.
 
     ``n_parties=None`` uses the ``n`` column of Table III; ``lr=None``
     picks 0.1 for linear and 0.5 for logistic regression.  ``runtime``
-    swaps the synchronous loop for the event-driven engine.
+    swaps the synchronous loop for the event-driven engine.  ``robust``
+    activates screening and checkpoint/resume; the cross-party robust
+    aggregators are an HFL concept (VFL parties own disjoint coordinate
+    blocks), so any ``aggregator`` other than ``"mean"`` is rejected.
     """
     info = VFL_DATASETS[dataset]
     if n_parties is None:
@@ -154,13 +176,29 @@ def build_vfl_workload(
     if lr is None:
         lr = 0.1 if task == "regression" else 0.5
     trainer = VFLTrainer(task, split.feature_blocks, epochs, LRSchedule(lr))
+    robust = robust if robust is not None else RobustConfig()
+    if robust.aggregator != "mean":
+        raise ValueError(
+            "robust aggregators apply to HFL updates; VFL parties own "
+            f"disjoint feature blocks (got aggregator={robust.aggregator!r})"
+        )
+    ledger = QuarantineLedger()
+    screener = robust.make_screener(ledger)
+    robust_kwargs = dict(
+        screener=screener,
+        checkpoint=robust.make_checkpoint("vfl"),
+        resume=robust.resume,
+    )
     engine = None
     if runtime is None:
-        result = trainer.train(split.train, split.validation, track_losses=True)
+        result = trainer.train(
+            split.train, split.validation, track_losses=True, **robust_kwargs
+        )
     else:
         engine = FederatedRuntime(runtime)
         result = engine.run_vfl(
-            trainer, split.train, split.validation, track_losses=True
+            trainer, split.train, split.validation, track_losses=True,
+            **robust_kwargs,
         )
     return VFLWorkload(
         dataset=dataset,
@@ -169,4 +207,5 @@ def build_vfl_workload(
         trainer=trainer,
         result=result,
         runtime=engine,
+        quarantine=ledger if screener is not None else None,
     )

@@ -22,10 +22,17 @@ class EpochRecord:
     log's ``participant_ids``.
 
     ``participation`` is the per-round arrival mask written by
-    :mod:`repro.runtime` under faults / deadlines: ``participation[row]``
-    is False when that participant's update missed the round (its
-    ``local_updates`` row is zero and its weight was renormalised away).
-    ``None`` — the synchronous trainers' value — means everyone arrived.
+    :mod:`repro.runtime` under faults / deadlines, and by the screening
+    pass of :mod:`repro.robust` under quarantine: ``participation[row]``
+    is False when that participant's update missed the round or was
+    quarantined (its ``local_updates`` row is zero and its weight was
+    renormalised away).  ``None`` — the synchronous trainers' value —
+    means everyone arrived.
+
+    ``applied_update`` is the global update the server *actually applied*
+    when a non-linear robust aggregator (coordinate-wise median, trimmed
+    mean, Krum, …) produced something other than ``weights @
+    local_updates``.  ``None`` — the common case — means the linear rule.
     """
 
     epoch: int  # 1-indexed, as in the paper
@@ -36,6 +43,7 @@ class EpochRecord:
     val_loss: float = float("nan")
     val_accuracy: float = float("nan")
     participation: np.ndarray | None = None  # (k,) bool; None = all arrived
+    applied_update: np.ndarray | None = None  # robust G_t; None = weights @ updates
 
     def participation_mask(self) -> np.ndarray:
         """The arrival mask, materialised (all-True when ``None``)."""
@@ -51,6 +59,8 @@ class EpochRecord:
     @property
     def global_update(self) -> np.ndarray:
         """The aggregated update ``G_t`` that was applied this epoch."""
+        if self.applied_update is not None:
+            return self.applied_update
         return self.weights @ self.local_updates
 
     @property

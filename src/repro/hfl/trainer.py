@@ -21,7 +21,7 @@ DIG-FL reweight mechanism via the ``reweighter`` hook.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Protocol, Sequence
+from typing import TYPE_CHECKING, Callable, Protocol, Sequence
 
 import numpy as np
 
@@ -33,6 +33,11 @@ from repro.nn.models import Classifier
 from repro.nn.optim import LRSchedule
 from repro.utils.rng import derive_seed
 from repro.utils.validation import check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (robust -> io -> log)
+    from repro.robust.aggregators import Aggregator
+    from repro.robust.checkpoint import CheckpointManager
+    from repro.robust.screening import UpdateScreener
 
 
 class Reweighter(Protocol):
@@ -66,6 +71,20 @@ def resolve_coalition(
     if bad:
         raise ValueError(f"unknown participant indices {bad}")
     return participants
+
+
+def masked_weights(mask: np.ndarray, base_weights: np.ndarray) -> np.ndarray:
+    """Zero absent/quarantined parties and renormalise the survivors.
+
+    An all-zero surviving mass returns zero weights (the round applies no
+    update) — shared by the synchronous trainers and the runtime engine so
+    partial rounds aggregate identically everywhere.
+    """
+    weights = np.where(mask, base_weights, 0.0)
+    total = weights.sum()
+    if total > 0.0:
+        weights = weights / total
+    return weights
 
 
 def flat_gradient(model: Classifier, X: np.ndarray, y: np.ndarray) -> np.ndarray:
@@ -188,6 +207,10 @@ class HFLTrainer:
         ledger: CostLedger | None = None,
         track_validation: bool = False,
         weight_by_samples: bool = False,
+        aggregator: "Aggregator | None" = None,
+        screener: "UpdateScreener | None" = None,
+        checkpoint: "CheckpointManager | None" = None,
+        resume: bool = False,
     ) -> HFLResult:
         """Run FedSGD and return the final model plus the training log.
 
@@ -218,10 +241,31 @@ class HFLTrainer:
             reweighter is supplied (it owns the weights).  The weights are
             recorded in the log, and the DIG-FL estimators read them from
             there, so contribution accounting stays consistent.
+        aggregator:
+            Server-side aggregation rule from :mod:`repro.robust` (default
+            and ``WeightedMean``: the seed ``weights @ updates``, bit for
+            bit).  Non-linear rules store their applied ``G_t`` on the
+            :class:`~repro.hfl.log.EpochRecord`.
+        screener:
+            Pre-aggregation :class:`~repro.robust.screening.UpdateScreener`;
+            quarantined updates are zeroed, weight-renormalised away and
+            marked absent in the round's participation mask (so DIG-FL
+            attributes them zero for that round), with each incident on
+            the screener's quarantine ledger.
+        checkpoint:
+            :class:`~repro.robust.checkpoint.CheckpointManager`; when set,
+            the training log is atomically persisted after every round.
+        resume:
+            Continue from ``checkpoint``'s last complete round instead of
+            round 1 (fresh start when no checkpoint file exists yet).
+            Deterministic local updates make the resumed run bit-for-bit
+            identical to an uninterrupted one.
         """
         participants = resolve_coalition(locals_, participants)
         if (track_validation or reweighter is not None) and validation is None:
             raise ValueError("validation dataset required for tracking / reweighting")
+        if resume and checkpoint is None:
+            raise ValueError("resume=True requires a checkpoint manager")
 
         model = self.model_factory()
         if init_theta is not None:
@@ -229,8 +273,22 @@ class HFLTrainer:
         p = model.num_parameters()
         k = len(participants)
         log = TrainingLog(participant_ids=participants)
+        start_epoch = 1
+        if resume:
+            prior = checkpoint.resume()
+            if prior is not None:
+                if list(prior.participant_ids) != list(participants):
+                    raise ValueError(
+                        f"checkpoint trained participants {prior.participant_ids}, "
+                        f"cannot resume with {participants}"
+                    )
+                log = prior
+                model.set_flat(log.final_theta)
+                start_epoch = log.n_epochs + 1
+                if screener is not None:
+                    screener.warm_start(log)
 
-        for epoch in range(1, self.epochs + 1):
+        for epoch in range(start_epoch, self.epochs + 1):
             lr = self.lr_schedule.lr_at(epoch)
             theta_before = model.get_flat()
 
@@ -244,6 +302,12 @@ class HFLTrainer:
                 ledger.record_bytes("server->participant", k * p * FLOAT64_BYTES)
                 ledger.record_bytes("participant->server", k * p * FLOAT64_BYTES)
 
+            mask = None
+            if screener is not None:
+                mask = screener.screen(epoch, participants, local_updates)
+                if not mask.all():
+                    local_updates[~mask] = 0.0
+
             if reweighter is not None:
                 weights = np.asarray(
                     reweighter.weights(model, theta_before, local_updates, lr, epoch),
@@ -253,13 +317,30 @@ class HFLTrainer:
                     raise ValueError(
                         f"reweighter returned shape {weights.shape}, expected ({k},)"
                     )
+                if mask is not None and not mask.all():
+                    weights = masked_weights(mask, weights)
             elif weight_by_samples:
                 sizes = np.array([len(locals_[i]) for i in participants], dtype=float)
-                weights = sizes / sizes.sum()
+                if mask is not None and not mask.all():
+                    weights = masked_weights(mask, sizes)
+                else:
+                    weights = sizes / sizes.sum()
+            elif mask is not None and not mask.all():
+                # Same float expression as the runtime engine's fault path,
+                # so screened sync and engine logs stay bit-for-bit equal.
+                arrived = int(mask.sum())
+                weights = mask / arrived if arrived else np.zeros(k, dtype=np.float64)
             else:
                 weights = np.full(k, 1.0 / k)
 
-            global_update = weights @ local_updates
+            applied = None
+            if aggregator is None:
+                global_update = weights @ local_updates
+            else:
+                arrived = mask if mask is not None else np.ones(k, dtype=bool)
+                global_update = aggregator.aggregate(local_updates, weights, arrived)
+                if not aggregator.linear:
+                    applied = global_update
             model.set_flat(theta_before - global_update)
 
             val_loss = val_acc = float("nan")
@@ -276,6 +357,10 @@ class HFLTrainer:
                     weights=weights,
                     val_loss=val_loss,
                     val_accuracy=val_acc,
+                    participation=None if mask is None or mask.all() else mask,
+                    applied_update=applied,
                 )
             )
+            if checkpoint is not None:
+                checkpoint.save(log)
         return HFLResult(model=model, log=log)

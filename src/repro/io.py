@@ -5,11 +5,22 @@ outlive the training process: the server archives it per round and any
 auditor replays the estimators later.  Logs serialise to a single ``.npz``
 (arrays stay binary, metadata rides along as JSON); contribution reports
 serialise to plain JSON for downstream dashboards.
+
+Saved logs embed a SHA-256 content checksum over every array, verified on
+load — a silently bit-rotted or truncated log would otherwise surface as
+subtly wrong contribution scores rather than an error.  Files written
+before the checksum existed still load, with a :class:`UserWarning`;
+unreadable or mismatching files raise
+:class:`TrainingLogIntegrityError`, which the checkpoint/resume machinery
+in :mod:`repro.robust.checkpoint` relies on to refuse corrupt state.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import warnings
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -23,8 +34,53 @@ _VFL_FORMAT = "repro.vfl.training_log.v1"
 _REPORT_FORMAT = "repro.contribution_report.v1"
 
 
+class TrainingLogIntegrityError(ValueError):
+    """A training-log file is unreadable, truncated, or fails its checksum."""
+
+
+def _content_checksum(arrays: dict[str, np.ndarray]) -> str:
+    """SHA-256 over every array's name, dtype, shape and raw bytes."""
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        array = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode())
+        digest.update(str(array.dtype).encode())
+        digest.update(str(array.shape).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def _open_npz(path: str | Path):
+    """``np.load`` with unreadable/truncated files mapped to a clear error."""
+    try:
+        return np.load(path, allow_pickle=False)
+    except (zipfile.BadZipFile, EOFError, OSError, ValueError) as exc:
+        raise TrainingLogIntegrityError(
+            f"{path} is not a readable training log (corrupt or truncated): {exc}"
+        ) from exc
+
+
+def _verify_checksum(path: str | Path, meta: dict, arrays: dict[str, np.ndarray]) -> None:
+    """Check the embedded checksum; warn on legacy files that lack one."""
+    expected = meta.get("checksum")
+    if expected is None:
+        warnings.warn(
+            f"{path} has no embedded checksum (written before integrity "
+            "checking existed); loading without verification",
+            UserWarning,
+            stacklevel=3,
+        )
+        return
+    actual = _content_checksum(arrays)
+    if actual != expected:
+        raise TrainingLogIntegrityError(
+            f"{path} failed its integrity check "
+            f"(checksum {actual[:12]}… != recorded {expected[:12]}…)"
+        )
+
+
 def save_training_log(log: TrainingLog, path: str | Path) -> None:
-    """Write an HFL training log to ``path`` (``.npz``)."""
+    """Write an HFL training log to ``path`` (``.npz``), checksummed."""
     if log.n_epochs == 0:
         raise ValueError("refusing to save an empty training log")
     meta = {
@@ -35,16 +91,29 @@ def save_training_log(log: TrainingLog, path: str | Path) -> None:
         "val_losses": [r.val_loss for r in log.records],
         "val_accuracies": [r.val_accuracy for r in log.records],
     }
-    np.savez_compressed(
-        path,
-        meta=json.dumps(meta),
-        theta_before=np.stack([r.theta_before for r in log.records]),
-        local_updates=np.stack([r.local_updates for r in log.records]),
-        weights=np.stack([r.weights for r in log.records]),
-        participation=np.stack(
+    arrays = {
+        "theta_before": np.stack([r.theta_before for r in log.records]),
+        "local_updates": np.stack([r.local_updates for r in log.records]),
+        "weights": np.stack([r.weights for r in log.records]),
+        "participation": np.stack(
             [r.participation_mask() for r in log.records]
         ).astype(np.uint8),
-    )
+    }
+    if any(r.applied_update is not None for r in log.records):
+        # Robust aggregators apply a G_t that is not weights @ updates; the
+        # stored vector (with per-round presence flags) keeps the loaded
+        # trajectory exact.  Rounds without one store their linear G_t.
+        arrays["applied_update"] = np.stack(
+            [
+                r.applied_update if r.applied_update is not None else r.global_update
+                for r in log.records
+            ]
+        )
+        arrays["applied_mask"] = np.array(
+            [r.applied_update is not None for r in log.records], dtype=np.uint8
+        )
+    meta["checksum"] = _content_checksum(arrays)
+    np.savez_compressed(path, meta=json.dumps(meta), **arrays)
 
 
 def _mask_or_none(participation, t: int) -> np.ndarray | None:
@@ -60,19 +129,28 @@ def _mask_or_none(participation, t: int) -> np.ndarray | None:
 
 
 def load_training_log(path: str | Path) -> TrainingLog:
-    """Read an HFL training log written by :func:`save_training_log`."""
-    with np.load(path, allow_pickle=False) as data:
+    """Read an HFL training log written by :func:`save_training_log`.
+
+    Verifies the embedded content checksum (legacy files without one load
+    with a warning); unreadable or mismatching files raise
+    :class:`TrainingLogIntegrityError`.
+    """
+    with _open_npz(path) as data:
         meta = json.loads(str(data["meta"]))
         if meta.get("format") != _HFL_FORMAT:
             raise ValueError(
                 f"{path} is not an HFL training log "
                 f"(format={meta.get('format')!r})"
             )
-        log = TrainingLog(participant_ids=list(meta["participant_ids"]))
-        theta_before = data["theta_before"]
-        local_updates = data["local_updates"]
-        weights = data["weights"]
-        participation = data["participation"] if "participation" in data else None
+        arrays = {name: data[name] for name in data.files if name != "meta"}
+    _verify_checksum(path, meta, arrays)
+    log = TrainingLog(participant_ids=list(meta["participant_ids"]))
+    theta_before = arrays["theta_before"]
+    local_updates = arrays["local_updates"]
+    weights = arrays["weights"]
+    participation = arrays.get("participation")
+    applied = arrays.get("applied_update")
+    applied_mask = arrays.get("applied_mask")
     for t in range(len(meta["epochs"])):
         log.records.append(
             EpochRecord(
@@ -84,13 +162,18 @@ def load_training_log(path: str | Path) -> TrainingLog:
                 val_loss=float(meta["val_losses"][t]),
                 val_accuracy=float(meta["val_accuracies"][t]),
                 participation=_mask_or_none(participation, t),
+                applied_update=(
+                    applied[t]
+                    if applied is not None and bool(applied_mask[t])
+                    else None
+                ),
             )
         )
     return log
 
 
 def save_vfl_training_log(log: VFLTrainingLog, path: str | Path) -> None:
-    """Write a VFL training log to ``path`` (``.npz``)."""
+    """Write a VFL training log to ``path`` (``.npz``), checksummed."""
     if log.n_epochs == 0:
         raise ValueError("refusing to save an empty training log")
     meta = {
@@ -102,37 +185,44 @@ def save_vfl_training_log(log: VFLTrainingLog, path: str | Path) -> None:
         "train_losses": [r.train_loss for r in log.records],
         "val_losses": [r.val_loss for r in log.records],
     }
-    np.savez_compressed(
-        path,
-        meta=json.dumps(meta),
-        theta_before=np.stack([r.theta_before for r in log.records]),
-        train_gradient=np.stack([r.train_gradient for r in log.records]),
-        val_gradient=np.stack([r.val_gradient for r in log.records]),
-        weights=np.stack([r.weights for r in log.records]),
-        participation=np.stack(
+    arrays = {
+        "theta_before": np.stack([r.theta_before for r in log.records]),
+        "train_gradient": np.stack([r.train_gradient for r in log.records]),
+        "val_gradient": np.stack([r.val_gradient for r in log.records]),
+        "weights": np.stack([r.weights for r in log.records]),
+        "participation": np.stack(
             [r.participation_mask() for r in log.records]
         ).astype(np.uint8),
-    )
+    }
+    meta["checksum"] = _content_checksum(arrays)
+    np.savez_compressed(path, meta=json.dumps(meta), **arrays)
 
 
 def load_vfl_training_log(path: str | Path) -> VFLTrainingLog:
-    """Read a VFL training log written by :func:`save_vfl_training_log`."""
-    with np.load(path, allow_pickle=False) as data:
+    """Read a VFL training log written by :func:`save_vfl_training_log`.
+
+    Integrity semantics match :func:`load_training_log`: checksums are
+    verified, legacy files warn, corruption raises
+    :class:`TrainingLogIntegrityError`.
+    """
+    with _open_npz(path) as data:
         meta = json.loads(str(data["meta"]))
         if meta.get("format") != _VFL_FORMAT:
             raise ValueError(
                 f"{path} is not a VFL training log "
                 f"(format={meta.get('format')!r})"
             )
-        log = VFLTrainingLog(
-            feature_blocks=[np.array(b, dtype=np.int64) for b in meta["feature_blocks"]],
-            active_parties=list(meta["active_parties"]),
-        )
-        theta_before = data["theta_before"]
-        train_gradient = data["train_gradient"]
-        val_gradient = data["val_gradient"]
-        weights = data["weights"]
-        participation = data["participation"] if "participation" in data else None
+        arrays = {name: data[name] for name in data.files if name != "meta"}
+    _verify_checksum(path, meta, arrays)
+    log = VFLTrainingLog(
+        feature_blocks=[np.array(b, dtype=np.int64) for b in meta["feature_blocks"]],
+        active_parties=list(meta["active_parties"]),
+    )
+    theta_before = arrays["theta_before"]
+    train_gradient = arrays["train_gradient"]
+    val_gradient = arrays["val_gradient"]
+    weights = arrays["weights"]
+    participation = arrays.get("participation")
     for t in range(len(meta["epochs"])):
         log.records.append(
             VFLEpochRecord(

@@ -1,0 +1,71 @@
+"""Defense and recovery for long-running contribution audits.
+
+PR 1 gave the runtime a *timing-plane* fault model (dropouts, stragglers,
+crash-retry).  This package hardens the *data plane* and the server
+itself — the two ways a long audit still dies:
+
+* **Defense** — a corrupted local update (NaN bomb, sign flip, ×100
+  boosting; all constructible via :mod:`repro.hfl.attacks`) silently
+  poisons ``θ_t``, the training log and every downstream DIG-FL score.
+  :mod:`repro.robust.aggregators` bounds the damage (coordinate-wise
+  median, trimmed mean, norm clipping, Krum/multi-Krum behind one
+  :class:`Aggregator` interface, weighted mean being the seed behaviour);
+  :mod:`repro.robust.screening` removes bad updates outright, records
+  each exclusion in a :class:`QuarantineLedger`, and marks the party
+  absent in the round's participation mask so the estimators already
+  attribute correctly.
+* **Recovery** — a server crash used to throw the whole log away.
+  :mod:`repro.robust.checkpoint` appends the log per round to a
+  checksummed, atomically-renamed file and resumes from the last
+  complete round, bit-for-bit.
+
+Quickstart::
+
+    from repro.robust import CheckpointManager, TrimmedMean, UpdateScreener
+
+    screener = UpdateScreener()
+    checkpoint = CheckpointManager("run_dir")
+    result = trainer.train(
+        fed.locals, fed.validation,
+        aggregator=TrimmedMean(0.2), screener=screener,
+        checkpoint=checkpoint, resume=True,
+    )
+    print(screener.ledger.summary())
+
+CLI: ``python -m repro.cli audit-hfl --robust-agg trimmed --screen
+--checkpoint-dir run_dir --resume``.
+"""
+
+from repro.robust.aggregators import (
+    AGGREGATOR_NAMES,
+    Aggregator,
+    CoordinateMedian,
+    Krum,
+    NormClipping,
+    TrimmedMean,
+    WeightedMean,
+    make_aggregator,
+)
+from repro.robust.checkpoint import CheckpointError, CheckpointManager
+from repro.robust.config import RobustConfig
+from repro.robust.quarantine import QuarantineIncident, QuarantineLedger
+from repro.robust.screening import ScreenConfig, UpdateScreener, rms_norm
+
+__all__ = [
+    "AGGREGATOR_NAMES",
+    "Aggregator",
+    "CheckpointError",
+    "CheckpointManager",
+    "CoordinateMedian",
+    "Krum",
+    "NormClipping",
+    "QuarantineIncident",
+    "QuarantineLedger",
+    "RobustConfig",
+    "ScreenConfig",
+    "TrimmedMean",
+    "UpdateScreener",
+    "WeightedMean",
+    "make_aggregator",
+    "rms_norm",
+]

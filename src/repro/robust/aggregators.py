@@ -1,0 +1,218 @@
+"""Byzantine-robust server-side aggregation rules for HFL.
+
+The FedSGD server of Sec. III-A aggregates ``G_t = Σ_i ω_{t,i} δ_{t,i}`` —
+a weighted mean, which a *single* corrupted update can drive arbitrarily
+far (breakdown point 0).  This module packages the weighted mean behind an
+:class:`Aggregator` interface and adds the classic robust alternatives:
+
+* :class:`CoordinateMedian` — coordinate-wise median (breakdown ½),
+* :class:`TrimmedMean` — coordinate-wise β-trimmed mean (breakdown β),
+* :class:`NormClipping` — scale every update down to a norm cap before the
+  weighted mean (bounds, rather than removes, an attacker's pull),
+* :class:`Krum` — Blanchard et al.'s update-selection rule (and multi-Krum
+  when ``multi > 1``): keep the update(s) closest to their peers.
+
+All aggregators receive the same inputs the plain server uses — the
+``(k, p)`` matrix of local updates, the aggregation weights, and the
+round's arrival mask — and return the global update ``G_t`` to apply.
+Rows where ``mask`` is False (dropouts, deadline misses, quarantined
+updates) are zero in the matrix and carry zero weight; robust rules must
+ignore them entirely rather than treat the zero rows as votes.
+
+Only :class:`WeightedMean` is *linear* in the updates (``G_t`` expressible
+as logged weights times logged updates); the trainers store the applied
+update on the :class:`~repro.hfl.log.EpochRecord` for the non-linear rules
+so the logged trajectory stays exact.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class Aggregator(abc.ABC):
+    """One server-side aggregation rule ``(updates, weights, mask) → G_t``."""
+
+    #: Registry name (also what the CLI's ``--robust-agg`` accepts).
+    name: str = ""
+    #: True when the result is exactly ``weights @ local_updates`` — the
+    #: trainers then skip storing a separate applied update in the log.
+    linear: bool = False
+
+    @abc.abstractmethod
+    def aggregate(
+        self,
+        local_updates: np.ndarray,
+        weights: np.ndarray,
+        mask: np.ndarray,
+    ) -> np.ndarray:
+        """The global update ``G_t`` for one round.
+
+        ``local_updates`` is ``(k, p)`` with zero rows for absent parties,
+        ``weights`` sums to 1 over the arrived parties (all-zero when no
+        one arrived), ``mask`` is the ``(k,)`` boolean arrival mask.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class WeightedMean(Aggregator):
+    """The paper's server: ``G_t = Σ_i ω_{t,i} δ_{t,i}`` (seed behaviour)."""
+
+    name = "mean"
+    linear = True
+
+    def aggregate(
+        self, local_updates: np.ndarray, weights: np.ndarray, mask: np.ndarray
+    ) -> np.ndarray:
+        del mask  # absent rows already have zero weight
+        return weights @ local_updates
+
+
+class CoordinateMedian(Aggregator):
+    """Coordinate-wise median over the arrived updates (breakdown point ½)."""
+
+    name = "median"
+
+    def aggregate(
+        self, local_updates: np.ndarray, weights: np.ndarray, mask: np.ndarray
+    ) -> np.ndarray:
+        del weights
+        arrived = local_updates[mask]
+        if len(arrived) == 0:
+            return np.zeros(local_updates.shape[1])
+        return np.median(arrived, axis=0)
+
+
+class TrimmedMean(Aggregator):
+    """Coordinate-wise trimmed mean: drop the ``⌊β·m⌋`` extremes per side.
+
+    ``trim_ratio`` is β; with ``m`` arrivals the rule survives up to
+    ``⌊β·m⌋`` Byzantine parties.  When trimming would remove everything
+    the trim count is clamped so at least one value per coordinate
+    remains (the median, effectively).
+    """
+
+    name = "trimmed"
+
+    def __init__(self, trim_ratio: float = 0.2) -> None:
+        if not 0.0 <= trim_ratio < 0.5:
+            raise ValueError(f"trim_ratio must be in [0, 0.5), got {trim_ratio}")
+        self.trim_ratio = trim_ratio
+
+    def aggregate(
+        self, local_updates: np.ndarray, weights: np.ndarray, mask: np.ndarray
+    ) -> np.ndarray:
+        del weights
+        arrived = local_updates[mask]
+        m = len(arrived)
+        if m == 0:
+            return np.zeros(local_updates.shape[1])
+        g = int(np.floor(self.trim_ratio * m))
+        g = min(g, (m - 1) // 2)
+        if g == 0:
+            return arrived.mean(axis=0)
+        ordered = np.sort(arrived, axis=0)
+        return ordered[g : m - g].mean(axis=0)
+
+
+class NormClipping(Aggregator):
+    """Clip every arrived update to a norm cap, then take the weighted mean.
+
+    ``clip_norm=None`` uses the round's median arrived-update norm as the
+    cap — an attacker can still point the wrong way, but can no longer
+    out-shout the honest majority by norm alone.
+    """
+
+    name = "clip"
+
+    def __init__(self, clip_norm: float | None = None) -> None:
+        if clip_norm is not None and clip_norm <= 0.0:
+            raise ValueError(f"clip_norm must be positive, got {clip_norm}")
+        self.clip_norm = clip_norm
+
+    def aggregate(
+        self, local_updates: np.ndarray, weights: np.ndarray, mask: np.ndarray
+    ) -> np.ndarray:
+        arrived = local_updates[mask]
+        if len(arrived) == 0:
+            return np.zeros(local_updates.shape[1])
+        norms = np.linalg.norm(local_updates, axis=1)
+        cap = self.clip_norm
+        if cap is None:
+            cap = float(np.median(norms[mask]))
+        if cap <= 0.0:
+            return weights @ local_updates
+        scales = np.ones(len(local_updates))
+        blown = norms > cap
+        scales[blown] = cap / norms[blown]
+        return weights @ (local_updates * scales[:, None])
+
+
+class Krum(Aggregator):
+    """Krum / multi-Krum (Blanchard et al., NeurIPS 2017).
+
+    Scores every arrived update by the summed squared distance to its
+    ``m − f − 2`` nearest peers and keeps the ``multi`` best-scoring
+    updates (averaged uniformly).  ``n_byzantine=None`` assumes the
+    largest ``f`` with ``m ≥ 2f + 3``; fewer than three arrivals fall
+    back to the weighted mean (no redundancy to exploit).
+    """
+
+    name = "krum"
+
+    def __init__(self, n_byzantine: int | None = None, multi: int = 1) -> None:
+        if n_byzantine is not None and n_byzantine < 0:
+            raise ValueError(f"n_byzantine must be non-negative, got {n_byzantine}")
+        if multi < 1:
+            raise ValueError(f"multi must be at least 1, got {multi}")
+        self.n_byzantine = n_byzantine
+        self.multi = multi
+
+    def aggregate(
+        self, local_updates: np.ndarray, weights: np.ndarray, mask: np.ndarray
+    ) -> np.ndarray:
+        arrived = local_updates[mask]
+        m = len(arrived)
+        if m == 0:
+            return np.zeros(local_updates.shape[1])
+        if m <= 2:
+            return weights @ local_updates
+        f = self.n_byzantine if self.n_byzantine is not None else max((m - 3) // 2, 0)
+        neighbours = max(m - f - 2, 1)
+        sq = np.sum((arrived[:, None, :] - arrived[None, :, :]) ** 2, axis=2)
+        np.fill_diagonal(sq, np.inf)
+        scores = np.sort(sq, axis=1)[:, :neighbours].sum(axis=1)
+        keep = min(self.multi, m)
+        chosen = np.sort(np.argsort(scores, kind="stable")[:keep])
+        return arrived[chosen].mean(axis=0)
+
+
+def make_aggregator(name: str, **params) -> Aggregator:
+    """Build an aggregator by registry name (the CLI's ``--robust-agg``).
+
+    ``multikrum`` is ``krum`` with ``multi`` defaulting to 3.
+    """
+    if name == "mean":
+        return WeightedMean()
+    if name == "median":
+        return CoordinateMedian()
+    if name == "trimmed":
+        return TrimmedMean(**params)
+    if name == "clip":
+        return NormClipping(**params)
+    if name == "krum":
+        return Krum(**params)
+    if name == "multikrum":
+        params.setdefault("multi", 3)
+        return Krum(**params)
+    raise ValueError(
+        f"unknown aggregator {name!r} "
+        "(choose from mean, median, trimmed, clip, krum, multikrum)"
+    )
+
+
+AGGREGATOR_NAMES = ("mean", "median", "trimmed", "clip", "krum", "multikrum")

@@ -1,0 +1,126 @@
+"""Crash-safe checkpointing of training logs, and resume.
+
+DIG-FL's premise is "evaluate from the training log" — so losing the log
+to a mid-run crash forfeits every contribution score of the run.  The
+:class:`CheckpointManager` makes the log durable round by round:
+
+* after every round the trainer hands the manager the full log so far;
+* the manager serialises it through :mod:`repro.io` (which embeds a
+  content checksum) into a **temporary file in the same directory**,
+  flushes it to disk, and ``os.replace``s it over the checkpoint — so the
+  checkpoint file on disk is always a *complete, self-consistent prefix*
+  of the run.  A crash mid-write leaves the previous round's file intact;
+  a crash between rounds loses at most the round in flight.
+
+:meth:`CheckpointManager.resume` is the recovery entry point: it
+validates integrity (the checksum check in :mod:`repro.io`) and returns
+the log of the last complete round, from which the trainers continue —
+bit-for-bit identically to a run that never crashed, because FedSGD's
+trajectory depends only on ``θ`` and the (epoch, participant)-seeded
+local draws.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.hfl.log import TrainingLog
+from repro.io import (
+    TrainingLogIntegrityError,
+    load_training_log,
+    load_vfl_training_log,
+    save_training_log,
+    save_vfl_training_log,
+)
+from repro.vfl.log import VFLTrainingLog
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint exists but cannot be trusted or does not match the run."""
+
+
+class CheckpointManager:
+    """Atomic, checksummed persistence of one training run's log.
+
+    ``kind`` is ``"hfl"`` or ``"vfl"`` and fixes the serialisation format;
+    one manager owns one checkpoint file (``training_log.npz`` inside
+    ``directory``), created on first :meth:`save`.
+    """
+
+    FILENAME = "training_log.npz"
+
+    def __init__(self, directory: str | Path, *, kind: str = "hfl") -> None:
+        if kind not in ("hfl", "vfl"):
+            raise ValueError(f"kind must be 'hfl' or 'vfl', got {kind!r}")
+        self.directory = Path(directory)
+        self.kind = kind
+
+    @property
+    def path(self) -> Path:
+        return self.directory / self.FILENAME
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    # ------------------------------------------------------------------ save
+
+    def save(self, log: TrainingLog | VFLTrainingLog) -> None:
+        """Atomically persist the log (all complete rounds so far)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        # The tmp name must keep the .npz suffix: np.savez appends it
+        # otherwise and the rename source would not exist.
+        tmp = self.path.with_name("." + self.path.stem + ".tmp.npz")
+        if self.kind == "hfl":
+            save_training_log(log, tmp)
+        else:
+            save_vfl_training_log(log, tmp)
+        with open(tmp, "rb+") as fh:
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self._fsync_directory()
+
+    def _fsync_directory(self) -> None:
+        """Make the rename itself durable (best effort off POSIX)."""
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - non-POSIX platforms
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover
+            pass
+        finally:
+            os.close(fd)
+
+    # ---------------------------------------------------------------- resume
+
+    def resume(self) -> TrainingLog | VFLTrainingLog | None:
+        """Validated log of the last complete round (None: no checkpoint).
+
+        Raises :class:`CheckpointError` when the file exists but fails the
+        integrity check or is the wrong log format — a corrupt checkpoint
+        must never be silently discarded (that would throw away the very
+        rounds checkpointing exists to protect).
+        """
+        if not self.exists():
+            return None
+        try:
+            if self.kind == "hfl":
+                return load_training_log(self.path)
+            return load_vfl_training_log(self.path)
+        except TrainingLogIntegrityError as exc:
+            raise CheckpointError(
+                f"checkpoint {self.path} failed integrity validation: {exc}. "
+                "Move the file aside to restart from scratch."
+            ) from exc
+        except ValueError as exc:
+            raise CheckpointError(
+                f"checkpoint {self.path} is not a {self.kind.upper()} "
+                f"training log: {exc}"
+            ) from exc
+
+    def clear(self) -> None:
+        """Delete the checkpoint (e.g. after the run completed and was archived)."""
+        if self.exists():
+            self.path.unlink()

@@ -1,0 +1,74 @@
+"""One-stop configuration for the defense/recovery layer.
+
+:class:`RobustConfig` is what the CLI flags (``--robust-agg``,
+``--screen``, ``--checkpoint-dir``, ``--resume``) and the workload
+builders speak; its ``make_*`` factories translate the declarative fields
+into the live objects the trainers take.  The default configuration is
+the *seed regime* — weighted-mean aggregation, screening off, no
+checkpointing — under which the trainers are bit-for-bit identical to
+the pre-robust code (pinned by ``tests/test_runtime_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.robust.aggregators import Aggregator, make_aggregator
+from repro.robust.checkpoint import CheckpointManager
+from repro.robust.quarantine import QuarantineLedger
+from repro.robust.screening import ScreenConfig, UpdateScreener
+
+
+@dataclass(frozen=True)
+class RobustConfig:
+    """Declarative description of the robustness features of one run."""
+
+    aggregator: str = "mean"
+    trim_ratio: float = 0.2  # TrimmedMean
+    clip_norm: float | None = None  # NormClipping (None = median norm)
+    krum_byzantine: int | None = None  # Krum/multi-Krum assumed f
+    krum_multi: int = 1  # updates multi-Krum averages
+    screen: bool = False
+    screen_config: ScreenConfig = field(default_factory=ScreenConfig)
+    checkpoint_dir: str | Path | None = None
+    resume: bool = False
+
+    def __post_init__(self) -> None:
+        if self.resume and self.checkpoint_dir is None:
+            raise ValueError("resume=True requires a checkpoint_dir")
+
+    def is_default(self) -> bool:
+        """True in the seed regime (no robust feature active)."""
+        return (
+            self.aggregator == "mean"
+            and not self.screen
+            and self.checkpoint_dir is None
+        )
+
+    def make_aggregator(self) -> Aggregator | None:
+        """The aggregator, or ``None`` for the seed weighted-mean path."""
+        if self.aggregator == "mean":
+            return None
+        if self.aggregator == "trimmed":
+            return make_aggregator("trimmed", trim_ratio=self.trim_ratio)
+        if self.aggregator == "clip":
+            return make_aggregator("clip", clip_norm=self.clip_norm)
+        if self.aggregator in ("krum", "multikrum"):
+            params: dict = {"n_byzantine": self.krum_byzantine}
+            if self.aggregator == "multikrum" or self.krum_multi > 1:
+                params["multi"] = max(self.krum_multi, 3 if self.aggregator == "multikrum" else 1)
+            return make_aggregator("krum", **params)
+        return make_aggregator(self.aggregator)
+
+    def make_screener(self, ledger: QuarantineLedger | None = None) -> UpdateScreener | None:
+        """A fresh screener (None when screening is off)."""
+        if not self.screen:
+            return None
+        return UpdateScreener(self.screen_config, ledger)
+
+    def make_checkpoint(self, kind: str) -> CheckpointManager | None:
+        """The checkpoint manager (None when checkpointing is off)."""
+        if self.checkpoint_dir is None:
+            return None
+        return CheckpointManager(self.checkpoint_dir, kind=kind)

@@ -1,0 +1,119 @@
+"""Structured quarantine ledger: every excluded update, with its reason.
+
+Screening (``repro.robust.screening``) never silently drops an update —
+each exclusion becomes a :class:`QuarantineIncident` on a
+:class:`QuarantineLedger`, the audit trail that lets an operator answer
+*who was excluded, when, and why*, and lets the DIG-FL reports be
+cross-checked against the participation masks in the training log (a
+quarantined party is marked absent for that round, so its per-epoch
+contribution is zero by construction).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Mapping
+
+_LEDGER_FORMAT = "repro.quarantine_ledger.v1"
+
+# Screening rules, by incident ``rule`` value.
+RULE_NONFINITE = "nonfinite"
+RULE_NORM = "norm"
+RULE_COSINE = "cosine"
+
+
+@dataclass(frozen=True)
+class QuarantineIncident:
+    """One update excluded from one round.
+
+    ``rule`` names the screening rule that fired; ``detail`` carries the
+    rule-specific numbers (the offending norm and the scale estimate, the
+    cosine against the cohort median, …) so incidents are auditable
+    without re-running the screen.
+    """
+
+    round: int
+    party: int
+    rule: str
+    detail: Mapping[str, float] = field(default_factory=dict)
+
+    def to_payload(self) -> dict:
+        return {
+            "round": self.round,
+            "party": self.party,
+            "rule": self.rule,
+            "detail": dict(self.detail),
+        }
+
+
+@dataclass
+class QuarantineLedger:
+    """Append-only record of every quarantined update."""
+
+    incidents: list[QuarantineIncident] = field(default_factory=list)
+
+    def record(
+        self, round: int, party: int, rule: str, **detail: float
+    ) -> QuarantineIncident:
+        """Append an incident and return it."""
+        incident = QuarantineIncident(
+            round=round, party=party, rule=rule, detail=detail
+        )
+        self.incidents.append(incident)
+        return incident
+
+    def __len__(self) -> int:
+        return len(self.incidents)
+
+    def __iter__(self) -> Iterator[QuarantineIncident]:
+        return iter(self.incidents)
+
+    def parties(self) -> list[int]:
+        """Every party that was quarantined at least once, sorted."""
+        return sorted({i.party for i in self.incidents})
+
+    def rounds_of(self, party: int) -> list[int]:
+        """The rounds in which ``party`` was quarantined, in order."""
+        return [i.round for i in self.incidents if i.party == party]
+
+    def by_rule(self) -> dict[str, int]:
+        """Incident counts per screening rule."""
+        return dict(Counter(i.rule for i in self.incidents))
+
+    def summary(self) -> dict[str, object]:
+        """Aggregate view for dashboards and the CLI."""
+        return {
+            "incidents": len(self.incidents),
+            "parties": self.parties(),
+            "by_rule": self.by_rule(),
+        }
+
+    def save(self, path: str | Path) -> None:
+        """Write the ledger as JSON (the auditor-facing artifact)."""
+        payload = {
+            "format": _LEDGER_FORMAT,
+            "incidents": [i.to_payload() for i in self.incidents],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "QuarantineLedger":
+        """Read a ledger written by :meth:`save`."""
+        payload = json.loads(Path(path).read_text())
+        if payload.get("format") != _LEDGER_FORMAT:
+            raise ValueError(
+                f"{path} is not a quarantine ledger "
+                f"(format={payload.get('format')!r})"
+            )
+        ledger = cls()
+        for item in payload["incidents"]:
+            ledger.record(
+                int(item["round"]),
+                int(item["party"]),
+                str(item["rule"]),
+                **{k: float(v) for k, v in item.get("detail", {}).items()},
+            )
+        return ledger

@@ -1,0 +1,224 @@
+"""Pre-aggregation update screening: quarantine bad updates before ``G_t``.
+
+Robust aggregators bound how far a corrupted update can pull the global
+model; screening removes the update entirely *and says so*.  Three rules,
+cheapest first:
+
+1. **Non-finite** — any NaN/Inf coordinate.  One such update would
+   otherwise poison ``θ_t``, the training log, and every downstream
+   DIG-FL score in a single round.
+2. **Norm blow-up** — the update's RMS norm exceeds ``norm_factor`` times
+   a running *robust scale estimate* (the median of recently accepted RMS
+   norms plus the current round's cohort).  Catches model-replacement /
+   boosting attacks and diverging parties; RMS (norm over √p) keeps the
+   scale comparable across VFL feature blocks of different sizes.
+3. **Cosine outlier** — the update points against the cohort: its cosine
+   similarity to the coordinate-wise median of the surviving updates is
+   below ``cosine_threshold``.  Catches sign-flip attacks that match the
+   honest norm exactly.  Needs a homogeneous cohort (same dimension, at
+   least ``min_cohort`` survivors), so it is skipped for VFL blocks.
+
+A quarantined update is zeroed, its party is marked absent in that
+round's participation mask (so all four DIG-FL estimators already
+attribute correctly — absent ⇒ zero per-epoch contribution, arrived-count
+divisor), and the incident lands in the
+:class:`~repro.robust.quarantine.QuarantineLedger`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.robust.quarantine import (
+    RULE_COSINE,
+    RULE_NONFINITE,
+    RULE_NORM,
+    QuarantineLedger,
+)
+
+
+def rms_norm(update: np.ndarray) -> float:
+    """``‖u‖₂ / √p`` — dimension-free scale of an update."""
+    u = np.asarray(update)
+    if u.size == 0:
+        return 0.0
+    return float(np.linalg.norm(u) / np.sqrt(u.size))
+
+
+@dataclass(frozen=True)
+class ScreenConfig:
+    """Thresholds of the screening pass.
+
+    The defaults are deliberately loose: honest non-IID parties disagree
+    with the cohort *direction* mildly (cosine stays far above −0.5) and
+    their norms sit within a small factor of the cohort median, while the
+    attacks worth screening (NaN bombs, ×100 boosting, sign flips) sit
+    orders of magnitude outside.  ``history_window`` bounds the memory of
+    the running scale estimate so a slowly decaying gradient norm (normal
+    late in training) does not make old large norms look like the rule.
+    """
+
+    check_nonfinite: bool = True
+    norm_factor: float = 10.0  # quarantine when rms > factor × scale
+    min_scale_samples: int = 3  # accepted norms needed before the norm rule arms
+    cosine_threshold: float | None = -0.5  # None disables the direction rule
+    min_cohort: int = 3  # survivors needed for cross-party rules
+    history_window: int = 200  # accepted RMS norms retained
+
+    def __post_init__(self) -> None:
+        if self.norm_factor <= 1.0:
+            raise ValueError(f"norm_factor must exceed 1, got {self.norm_factor}")
+        if self.cosine_threshold is not None and not -1.0 <= self.cosine_threshold <= 1.0:
+            raise ValueError(
+                f"cosine_threshold must be in [-1, 1], got {self.cosine_threshold}"
+            )
+        if self.min_cohort < 2:
+            raise ValueError(f"min_cohort must be at least 2, got {self.min_cohort}")
+        if self.history_window < 1:
+            raise ValueError(
+                f"history_window must be positive, got {self.history_window}"
+            )
+
+
+class UpdateScreener:
+    """Stateful screening pass shared by the HFL/VFL trainers and the runtime.
+
+    State is just the rolling history of accepted RMS norms (the robust
+    scale estimate); :meth:`warm_start` rebuilds it from a checkpointed
+    training log so a resumed run screens exactly like an uninterrupted
+    one.
+    """
+
+    def __init__(
+        self,
+        config: ScreenConfig | None = None,
+        ledger: QuarantineLedger | None = None,
+    ) -> None:
+        self.config = config if config is not None else ScreenConfig()
+        self.ledger = ledger if ledger is not None else QuarantineLedger()
+        self._norms: deque[float] = deque(maxlen=self.config.history_window)
+
+    # ------------------------------------------------------------------ screen
+
+    def screen(
+        self,
+        round: int,
+        party_ids: Sequence[int],
+        updates: Sequence[np.ndarray] | np.ndarray,
+        mask: np.ndarray | None = None,
+        *,
+        homogeneous: bool = True,
+    ) -> np.ndarray:
+        """Screen one round's updates; returns the surviving arrival mask.
+
+        ``updates[row]`` is party ``party_ids[row]``'s candidate update
+        (matrix rows for HFL, per-party gradient blocks for VFL — shapes
+        may differ when ``homogeneous=False``, which also disables the
+        cosine rule).  ``mask`` marks the rows that actually arrived this
+        round (faults); screening only ever *clears* mask bits.
+        """
+        rows = [np.asarray(u) for u in updates]
+        k = len(rows)
+        if len(party_ids) != k:
+            raise ValueError(
+                f"{len(party_ids)} party ids for {k} updates"
+            )
+        verdict = (
+            np.ones(k, dtype=bool) if mask is None else np.asarray(mask, dtype=bool).copy()
+        )
+        config = self.config
+
+        # Rule 1: non-finite coordinates.
+        if config.check_nonfinite:
+            for row in range(k):
+                if verdict[row] and not np.all(np.isfinite(rows[row])):
+                    bad = int(np.size(rows[row]) - np.sum(np.isfinite(rows[row])))
+                    verdict[row] = False
+                    self.ledger.record(
+                        round, party_ids[row], RULE_NONFINITE,
+                        nonfinite_coordinates=float(bad),
+                    )
+
+        # Rule 2: norm blow-up against the running robust scale.
+        norms = np.array(
+            [rms_norm(rows[row]) if verdict[row] else 0.0 for row in range(k)]
+        )
+        pool = list(self._norms) + [norms[row] for row in range(k) if verdict[row]]
+        if len(pool) >= config.min_scale_samples:
+            scale = float(np.median(pool))
+            if scale > 0.0:
+                for row in range(k):
+                    if verdict[row] and norms[row] > config.norm_factor * scale:
+                        verdict[row] = False
+                        self.ledger.record(
+                            round, party_ids[row], RULE_NORM,
+                            rms_norm=norms[row], scale=scale,
+                            factor=norms[row] / scale,
+                        )
+
+        # Rule 3: cosine outlier against the surviving cohort median.
+        if (
+            homogeneous
+            and config.cosine_threshold is not None
+            and int(verdict.sum()) >= config.min_cohort
+            and len({rows[row].shape for row in range(k)}) == 1
+        ):
+            survivors = np.stack([rows[row] for row in range(k) if verdict[row]])
+            reference = np.median(survivors, axis=0)
+            ref_norm = float(np.linalg.norm(reference))
+            if ref_norm > 0.0:
+                for row in range(k):
+                    if not verdict[row]:
+                        continue
+                    u_norm = float(np.linalg.norm(rows[row]))
+                    if u_norm == 0.0:
+                        continue
+                    cosine = float(rows[row].ravel() @ reference.ravel()) / (
+                        u_norm * ref_norm
+                    )
+                    if cosine < config.cosine_threshold:
+                        verdict[row] = False
+                        self.ledger.record(
+                            round, party_ids[row], RULE_COSINE, cosine=cosine
+                        )
+
+        # Feed the scale estimate with what was finally accepted.
+        for row in range(k):
+            if verdict[row]:
+                self._norms.append(norms[row])
+        return verdict
+
+    # --------------------------------------------------------------- warm start
+
+    def observe_norms(self, norms: Sequence[float]) -> None:
+        """Append already-accepted RMS norms to the scale history."""
+        for value in norms:
+            self._norms.append(float(value))
+
+    def warm_start(self, log) -> None:
+        """Rebuild the scale history from a checkpointed training log.
+
+        Accepts either an HFL :class:`~repro.hfl.log.TrainingLog` (update
+        rows) or a VFL :class:`~repro.vfl.log.VFLTrainingLog` (per-party
+        gradient blocks), replaying only the updates that were accepted —
+        quarantined/absent rounds are holes in the participation mask and
+        contribute nothing, so a resumed screener matches an
+        uninterrupted one exactly.
+        """
+        if hasattr(log, "feature_blocks"):  # VFL log
+            for record in log.records:
+                arrived = record.participation_mask()
+                for party in log.active_parties:
+                    if arrived[party]:
+                        block = log.feature_blocks[party]
+                        self._norms.append(rms_norm(record.train_gradient[block]))
+        else:  # HFL log
+            for record in log.records:
+                arrived = record.participation_mask()
+                for row in range(len(arrived)):
+                    if arrived[row]:
+                        self._norms.append(rms_norm(record.local_updates[row]))

@@ -26,20 +26,32 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.hfl.log import EpochRecord, TrainingLog
-from repro.hfl.trainer import HFLResult, HFLTrainer, Reweighter, resolve_coalition
+from repro.hfl.trainer import (
+    HFLResult,
+    HFLTrainer,
+    Reweighter,
+    masked_weights,
+    resolve_coalition,
+)
 from repro.metrics.cost import FLOAT64_BYTES, CostLedger
+from repro.runtime import events as ev
 from repro.runtime.events import EventLog
 from repro.runtime.executor import Executor, make_executor
 from repro.runtime.faults import NULL_PLAN, FaultInjector, FaultPlan
 from repro.runtime.scheduler import RoundOutcome, Scheduler
 from repro.vfl.log import VFLEpochRecord, VFLTrainingLog
 from repro.vfl.trainer import VFLResult, VFLReweighter, VFLTrainer
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.robust.aggregators import Aggregator
+    from repro.robust.checkpoint import CheckpointManager
+    from repro.robust.screening import UpdateScreener
 
 
 @dataclass(frozen=True)
@@ -83,17 +95,6 @@ class _ModelReplicas:
         return model
 
 
-def _participation_weights(
-    mask: np.ndarray, base_weights: np.ndarray
-) -> np.ndarray:
-    """Zero absent parties and renormalise; all-zero mask → zero weights."""
-    weights = np.where(mask, base_weights, 0.0)
-    total = weights.sum()
-    if total > 0.0:
-        weights = weights / total
-    return weights
-
-
 class FederatedRuntime:
     """Executes HFL / VFL federations on the event-driven scheduler."""
 
@@ -129,11 +130,27 @@ class FederatedRuntime:
         ledger: CostLedger | None = None,
         track_validation: bool = False,
         weight_by_samples: bool = False,
+        aggregator: "Aggregator | None" = None,
+        screener: "UpdateScreener | None" = None,
+        checkpoint: "CheckpointManager | None" = None,
+        resume: bool = False,
     ) -> HFLResult:
-        """FedSGD/FedAvg on the engine; signature mirrors ``HFLTrainer.train``."""
+        """FedSGD/FedAvg on the engine; signature mirrors ``HFLTrainer.train``.
+
+        The robust arguments behave exactly as on the synchronous trainer;
+        additionally every quarantine incident is emitted as a
+        ``quarantine`` event on the runtime's event log, and screening
+        composes with the fault plane (an update must both *arrive* and
+        *survive screening* to enter ``G_t``).  Resuming restarts the
+        simulated clock at zero, but fault fates are keyed on (round,
+        party), so the resumed training log is bit-for-bit the
+        uninterrupted one.
+        """
         participants = resolve_coalition(locals_, participants)
         if (track_validation or reweighter is not None) and validation is None:
             raise ValueError("validation dataset required for tracking / reweighting")
+        if resume and checkpoint is None:
+            raise ValueError("resume=True requires a checkpoint manager")
 
         model = trainer.model_factory()
         if init_theta is not None:
@@ -141,11 +158,25 @@ class FederatedRuntime:
         p = model.num_parameters()
         k = len(participants)
         log = TrainingLog(participant_ids=participants)
+        start_epoch = 1
+        if resume:
+            prior = checkpoint.resume()
+            if prior is not None:
+                if list(prior.participant_ids) != list(participants):
+                    raise ValueError(
+                        f"checkpoint trained participants {prior.participant_ids}, "
+                        f"cannot resume with {participants}"
+                    )
+                log = prior
+                model.set_flat(log.final_theta)
+                start_epoch = log.n_epochs + 1
+                if screener is not None:
+                    screener.warm_start(log)
         replicas = _ModelReplicas(trainer.model_factory)
         executor = self.config.make_executor()
         scheduler = self._scheduler(executor)
         try:
-            for epoch in range(1, trainer.epochs + 1):
+            for epoch in range(start_epoch, trainer.epochs + 1):
                 lr = trainer.lr_schedule.lr_at(epoch)
                 theta_before = model.get_flat()
 
@@ -170,6 +201,13 @@ class FederatedRuntime:
                 if ledger is not None:
                     self._charge_round(ledger, outcome, p)
 
+                if screener is not None:
+                    mask = self._screen_round(
+                        screener, epoch, participants, local_updates, mask,
+                        sim_time=outcome.ended_at,
+                    )
+                    local_updates[~mask] = 0.0
+
                 if reweighter is not None:
                     weights = np.asarray(
                         reweighter.weights(
@@ -183,19 +221,27 @@ class FederatedRuntime:
                             f"expected ({k},)"
                         )
                     if not mask.all():
-                        weights = _participation_weights(mask, weights)
+                        weights = masked_weights(mask, weights)
                 elif weight_by_samples:
                     sizes = np.array(
                         [len(locals_[i]) for i in participants], dtype=float
                     )
-                    weights = _participation_weights(mask, sizes)
+                    weights = masked_weights(mask, sizes)
                 else:
                     arrived = int(mask.sum())
                     weights = (
                         mask / arrived if arrived else np.zeros(k, dtype=np.float64)
                     )
 
-                global_update = weights @ local_updates
+                applied = None
+                if aggregator is None:
+                    global_update = weights @ local_updates
+                else:
+                    global_update = aggregator.aggregate(
+                        local_updates, weights, mask
+                    )
+                    if not aggregator.linear:
+                        applied = global_update
                 model.set_flat(theta_before - global_update)
 
                 val_loss = val_acc = float("nan")
@@ -213,8 +259,11 @@ class FederatedRuntime:
                         val_loss=val_loss,
                         val_accuracy=val_acc,
                         participation=None if mask.all() else mask,
+                        applied_update=applied,
                     )
                 )
+                if checkpoint is not None:
+                    checkpoint.save(log)
         finally:
             executor.shutdown()
         return HFLResult(model=model, log=log)
@@ -231,6 +280,9 @@ class FederatedRuntime:
         reweighter: VFLReweighter | None = None,
         ledger: CostLedger | None = None,
         track_losses: bool = False,
+        screener: "UpdateScreener | None" = None,
+        checkpoint: "CheckpointManager | None" = None,
+        resume: bool = False,
     ) -> VFLResult:
         """Vertical training on the engine; mirrors ``VFLTrainer.train``.
 
@@ -240,7 +292,16 @@ class FederatedRuntime:
         coordinator's cached values stay exact — dropping an update is the
         *whole* effect of the fault, which is why this path can share the
         plaintext trainer's single full-gradient evaluation.
+
+        ``screener`` runs the :mod:`repro.robust` screening pass over the
+        per-party gradient blocks of the parties that arrived (cosine rule
+        disabled across disjoint blocks); quarantined parties are treated
+        exactly like deadline misses and each incident is emitted as a
+        ``quarantine`` event.  ``checkpoint`` / ``resume`` behave as on
+        :meth:`run_hfl`.
         """
+        if resume and checkpoint is None:
+            raise ValueError("resume=True requires a checkpoint manager")
         if parties is None:
             parties = list(range(trainer.n_parties))
         else:
@@ -270,10 +331,24 @@ class FederatedRuntime:
             active_parties=list(parties),
         )
         m = len(train)
+        start_epoch = 1
+        if resume:
+            prior = checkpoint.resume()
+            if prior is not None:
+                if list(prior.active_parties) != list(parties):
+                    raise ValueError(
+                        f"checkpoint trained parties {prior.active_parties}, "
+                        f"cannot resume with {parties}"
+                    )
+                log = prior
+                theta = log.final_theta
+                start_epoch = log.n_epochs + 1
+                if screener is not None:
+                    screener.warm_start(log)
         executor = self.config.make_executor()
         scheduler = self._scheduler(executor)
         try:
-            for epoch in range(1, trainer.epochs + 1):
+            for epoch in range(start_epoch, trainer.epochs + 1):
                 lr = trainer.lr_schedule.lr_at(epoch)
                 grad = model.gradient(theta, train.X, train.y)
                 grad = np.where(active_mask, grad, 0.0)
@@ -295,6 +370,22 @@ class FederatedRuntime:
                     epoch, [(i, make_task(i)) for i in parties]
                 )
                 arrived = set(outcome.arrived_parties)
+                if screener is not None:
+                    arrival_mask = np.array(
+                        [i in arrived for i in parties], dtype=bool
+                    )
+                    blocks = [grad[trainer.feature_blocks[i]] for i in parties]
+                    verdict = self._screen_round(
+                        screener, epoch, parties, blocks, arrival_mask,
+                        sim_time=outcome.ended_at, homogeneous=False,
+                    )
+                    survived = {i for i, ok in zip(parties, verdict) if ok}
+                    for i in arrived - survived:
+                        # Freeze the quarantined block: zero its recorded
+                        # gradient so reconstructed θ never multiplies a
+                        # non-finite value by its zero weight.
+                        grad[trainer.feature_blocks[i]] = 0.0
+                    arrived = survived
                 if ledger is not None:
                     for o in outcome.outcomes:
                         if o.status == "dropout":
@@ -355,11 +446,40 @@ class FederatedRuntime:
                     block = trainer.feature_blocks[i]
                     update[block] = weights[i] * outcome.result_of(i)
                 theta = theta - lr * update
+                if checkpoint is not None:
+                    checkpoint.save(log)
         finally:
             executor.shutdown()
         return VFLResult(theta=theta, log=log, model=model)
 
     # ------------------------------------------------------------- plumbing
+
+    def _screen_round(
+        self,
+        screener: "UpdateScreener",
+        round: int,
+        party_ids: Sequence[int],
+        updates,
+        mask: np.ndarray,
+        *,
+        sim_time: float,
+        homogeneous: bool = True,
+    ) -> np.ndarray:
+        """Run the screening pass, emitting one ``quarantine`` event per incident."""
+        before = len(screener.ledger)
+        verdict = screener.screen(
+            round, party_ids, updates, mask, homogeneous=homogeneous
+        )
+        for incident in screener.ledger.incidents[before:]:
+            self.event_log.record(
+                ev.QUARANTINE,
+                sim_time,
+                round,
+                incident.party,
+                rule=incident.rule,
+                **incident.detail,
+            )
+        return verdict
 
     def _charge_round(
         self, ledger: CostLedger, outcome: RoundOutcome, p: int

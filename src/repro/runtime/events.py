@@ -26,9 +26,22 @@ TIMEOUT = "timeout"
 DROPOUT = "dropout"
 CRASH = "crash"
 RETRY = "retry"
+# An update arrived but was excluded by the pre-aggregation screening pass
+# of repro.robust (detail carries the rule and its numbers).
+QUARANTINE = "quarantine"
 
 EVENT_KINDS = frozenset(
-    {ROUND_BEGIN, ROUND_END, DISPATCH, COMPLETE, TIMEOUT, DROPOUT, CRASH, RETRY}
+    {
+        ROUND_BEGIN,
+        ROUND_END,
+        DISPATCH,
+        COMPLETE,
+        TIMEOUT,
+        DROPOUT,
+        CRASH,
+        RETRY,
+        QUARANTINE,
+    }
 )
 
 
@@ -133,5 +146,6 @@ class EventLog:
             "dropouts": float(counts[DROPOUT]),
             "crashes": float(counts[CRASH]),
             "retries": float(counts[RETRY]),
+            "quarantines": float(counts[QUARANTINE]),
             "sim_seconds": self.sim_seconds,
         }

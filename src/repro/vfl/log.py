@@ -75,3 +75,11 @@ class VFLTrainingLog:
 
     def val_loss_curve(self) -> np.ndarray:
         return np.array([r.val_loss for r in self.records])
+
+    def participation_matrix(self) -> np.ndarray:
+        """(τ, n_parties) boolean matrix of who applied each round.
+
+        Mirrors :meth:`repro.hfl.log.TrainingLog.participation_matrix`;
+        holes come from runtime faults or :mod:`repro.robust` quarantine.
+        """
+        return np.stack([r.participation_mask() for r in self.records])

@@ -15,7 +15,7 @@ parties train exactly the model they would have trained alone.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol, Sequence
+from typing import TYPE_CHECKING, Protocol, Sequence
 
 import numpy as np
 
@@ -25,6 +25,10 @@ from repro.models.linear import make_vfl_model
 from repro.nn.optim import LRSchedule
 from repro.utils.validation import check_positive_int
 from repro.vfl.log import VFLEpochRecord, VFLTrainingLog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (robust -> io -> log)
+    from repro.robust.checkpoint import CheckpointManager
+    from repro.robust.screening import UpdateScreener
 
 
 class VFLReweighter(Protocol):
@@ -101,13 +105,28 @@ class VFLTrainer:
         reweighter: VFLReweighter | None = None,
         ledger: CostLedger | None = None,
         track_losses: bool = False,
+        screener: "UpdateScreener | None" = None,
+        checkpoint: "CheckpointManager | None" = None,
+        resume: bool = False,
     ) -> VFLResult:
         """Gradient-descent training restricted to a coalition of parties.
 
         The recorded ``train_gradient``/``val_gradient`` are the *full*
         vectors with excluded parties' blocks zeroed — matching the
         ``diag(v_z)`` masking of Lemma 2.
+
+        ``screener`` runs the :mod:`repro.robust` screening pass on each
+        party's gradient block before the block update is applied (the
+        non-finite and norm rules; the cosine rule is meaningless across
+        disjoint feature blocks and is disabled).  A quarantined party's
+        block stays frozen that round, its weight is zeroed and it is
+        marked absent in the round's participation mask — exactly the
+        dropout semantics Eq. 27 already handles.  ``checkpoint`` /
+        ``resume`` persist the log per round and continue from the last
+        complete round, as in :meth:`repro.hfl.trainer.HFLTrainer.train`.
         """
+        if resume and checkpoint is None:
+            raise ValueError("resume=True requires a checkpoint manager")
         if parties is None:
             parties = list(range(self.n_parties))
         else:
@@ -135,13 +154,35 @@ class VFLTrainer:
             feature_blocks=list(self.feature_blocks), active_parties=list(parties)
         )
         m = len(train)
+        start_epoch = 1
+        if resume:
+            prior = checkpoint.resume()
+            if prior is not None:
+                if list(prior.active_parties) != list(parties):
+                    raise ValueError(
+                        f"checkpoint trained parties {prior.active_parties}, "
+                        f"cannot resume with {parties}"
+                    )
+                log = prior
+                theta = log.final_theta
+                start_epoch = log.n_epochs + 1
+                if screener is not None:
+                    screener.warm_start(log)
 
-        for epoch in range(1, self.epochs + 1):
+        for epoch in range(start_epoch, self.epochs + 1):
             lr = self.lr_schedule.lr_at(epoch)
             grad = self.model.gradient(theta, train.X, train.y)
             grad = np.where(active_mask, grad, 0.0)
             val_grad = self.model.gradient(theta, validation.X, validation.y)
             val_grad = np.where(active_mask, val_grad, 0.0)
+
+            quarantined: list[int] = []
+            if screener is not None:
+                blocks = [grad[self.feature_blocks[i]] for i in parties]
+                verdict = screener.screen(
+                    epoch, parties, blocks, homogeneous=False
+                )
+                quarantined = [i for i, ok in zip(parties, verdict) if not ok]
 
             if ledger is not None:
                 # Per round each party ships its local result u_i (m values)
@@ -164,6 +205,18 @@ class VFLTrainer:
                         f"expected ({self.n_parties},)"
                     )
 
+            participation = None
+            if quarantined:
+                # Frozen blocks ship nothing: zero the recorded gradient
+                # block and the weight, and mark the party absent so the
+                # estimators give it zero contribution this round.
+                participation = np.zeros(self.n_parties, dtype=bool)
+                participation[list(parties)] = True
+                for i in quarantined:
+                    participation[i] = False
+                    weights[i] = 0.0
+                    grad[self.feature_blocks[i]] = 0.0
+
             train_loss = val_loss = float("nan")
             if track_losses:
                 train_loss = self.model.loss(theta, train.X, train.y)
@@ -179,6 +232,7 @@ class VFLTrainer:
                     weights=weights,
                     train_loss=train_loss,
                     val_loss=val_loss,
+                    participation=participation,
                 )
             )
 
@@ -187,5 +241,7 @@ class VFLTrainer:
                 block = self.feature_blocks[i]
                 update[block] = weights[i] * grad[block]
             theta = theta - lr * update
+            if checkpoint is not None:
+                checkpoint.save(log)
 
         return VFLResult(theta=theta, log=log, model=self.model)

@@ -1,5 +1,7 @@
 """Tests for the DIG-FL reweight mechanism (Eq. 17-18, Lemmas 4-5)."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -35,6 +37,18 @@ class TestRectifiedWeights:
             rectified_weights(np.array([-5.0, 1.0, -0.1])), [0.0, 1.0, 0.0]
         )
 
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_nonfinite_contribution_falls_back_to_uniform(self, bad):
+        """A poisoned φ̂ must not silently corrupt every party's weight."""
+        with pytest.warns(RuntimeWarning, match="non-finite contributions"):
+            w = rectified_weights(np.array([0.3, bad, 0.7]))
+        np.testing.assert_allclose(w, np.full(3, 1.0 / 3.0))
+
+    def test_finite_contributions_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            rectified_weights(np.array([0.3, -0.1, 0.7]))
+
 
 class TestSoftmaxWeights:
     def test_sum_to_one(self):
@@ -57,6 +71,11 @@ class TestSoftmaxWeights:
     def test_bad_temperature(self):
         with pytest.raises(ValueError):
             softmax_weights(np.ones(2), temperature=0.0)
+
+    def test_nonfinite_contribution_falls_back_to_uniform(self):
+        with pytest.warns(RuntimeWarning, match="non-finite contributions"):
+            w = softmax_weights(np.array([np.nan, 1.0]))
+        np.testing.assert_allclose(w, [0.5, 0.5])
 
 
 class TestHFLReweighter:

@@ -56,3 +56,11 @@ class TestFastExamplesRun:
         load_example("adversarial_detection.py").main()
         out = capsys.readouterr().out
         assert "flagged by the robust outlier rule: [1, 4]" in out
+
+    def test_robust_audit(self, capsys):
+        load_example("robust_audit.py").main()
+        out = capsys.readouterr().out
+        assert "CRASH: power lost after round 4" in out
+        assert "bit-for-bit equals an uninterrupted run: True" in out
+        assert "rule=norm" in out
+        assert "attacker ranked last: True" in out

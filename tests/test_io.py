@@ -1,10 +1,13 @@
 """Round-trip tests for training-log and report serialisation."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.core import estimate_hfl_resource_saving, estimate_vfl_first_order
 from repro.io import (
+    TrainingLogIntegrityError,
     load_report,
     load_training_log,
     load_vfl_training_log,
@@ -13,6 +16,7 @@ from repro.io import (
     save_vfl_training_log,
 )
 from repro.hfl import TrainingLog
+from repro.hfl.log import EpochRecord
 from repro.vfl.log import VFLTrainingLog
 
 from tests.conftest import small_model_factory
@@ -98,6 +102,114 @@ class TestVFLLogRoundtrip:
         save_training_log(hfl_result.log, path)
         with pytest.raises(ValueError, match="not a VFL"):
             load_vfl_training_log(path)
+
+
+class TestContentChecksums:
+    def test_checksum_embedded_on_save(self, hfl_result, tmp_path):
+        path = tmp_path / "log.npz"
+        save_training_log(hfl_result.log, path)
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(str(data["meta"]))
+        assert len(meta["checksum"]) == 64  # sha256 hex digest
+
+    @pytest.mark.parametrize("kind", ["hfl", "vfl"])
+    def test_truncated_file_detected(self, hfl_result, vfl_result, tmp_path, kind):
+        """Corruption-detection: a partially written file must not load."""
+        path = tmp_path / "log.npz"
+        if kind == "hfl":
+            save_training_log(hfl_result.log, path)
+        else:
+            save_vfl_training_log(vfl_result.log, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: int(len(raw) * 0.7)])
+        loader = load_training_log if kind == "hfl" else load_vfl_training_log
+        with pytest.raises(TrainingLogIntegrityError):
+            loader(path)
+
+    def test_flipped_array_bytes_detected(self, hfl_result, tmp_path):
+        """A bit-rot file that still unzips must fail the checksum."""
+        path = tmp_path / "log.npz"
+        save_training_log(hfl_result.log, path)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {k: data[k] for k in data.files}
+        tampered = np.array(arrays["local_updates"])
+        tampered[0, 0, 0] += 1.0
+        arrays["local_updates"] = tampered
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(TrainingLogIntegrityError, match="integrity"):
+            load_training_log(path)
+
+    @pytest.mark.parametrize("kind", ["hfl", "vfl"])
+    def test_legacy_file_without_checksum_warns_and_loads(
+        self, hfl_result, vfl_result, tmp_path, kind
+    ):
+        """Back-compat: pre-checksum files load with a warning."""
+        path = tmp_path / "log.npz"
+        if kind == "hfl":
+            save_training_log(hfl_result.log, path)
+        else:
+            save_vfl_training_log(vfl_result.log, path)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {k: data[k] for k in data.files}
+        meta = json.loads(str(arrays["meta"]))
+        del meta["checksum"]
+        arrays["meta"] = json.dumps(meta)
+        np.savez_compressed(path, **arrays)
+        loader = load_training_log if kind == "hfl" else load_vfl_training_log
+        with pytest.warns(UserWarning, match="no embedded checksum"):
+            loaded = loader(path)
+        assert loaded.n_epochs > 0
+
+    def test_not_a_zipfile_reported_as_integrity_error(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(TrainingLogIntegrityError, match="corrupt or truncated"):
+            load_training_log(path)
+
+
+class TestAppliedUpdateRoundtrip:
+    def _log_with_applied(self):
+        rng = np.random.default_rng(0)
+        log = TrainingLog(participant_ids=[0, 1, 2])
+        for epoch in (1, 2):
+            updates = rng.normal(size=(3, 4))
+            log.records.append(
+                EpochRecord(
+                    epoch=epoch,
+                    lr=0.5,
+                    theta_before=rng.normal(size=4),
+                    local_updates=updates,
+                    weights=np.full(3, 1 / 3),
+                    # Round 2 used a non-linear aggregator.
+                    applied_update=(
+                        np.median(updates, axis=0) if epoch == 2 else None
+                    ),
+                )
+            )
+        return log
+
+    def test_applied_update_survives(self, tmp_path):
+        log = self._log_with_applied()
+        path = tmp_path / "log.npz"
+        save_training_log(log, path)
+        loaded = load_training_log(path)
+        assert loaded.records[0].applied_update is None
+        np.testing.assert_array_equal(
+            loaded.records[1].applied_update, log.records[1].applied_update
+        )
+        # global_update must reconstruct from the applied value, not w @ U.
+        np.testing.assert_array_equal(
+            loaded.records[1].global_update, log.records[1].global_update
+        )
+        np.testing.assert_array_equal(loaded.final_theta, log.final_theta)
+
+    def test_log_without_applied_updates_stores_no_extra_arrays(
+        self, hfl_result, tmp_path
+    ):
+        path = tmp_path / "log.npz"
+        save_training_log(hfl_result.log, path)
+        with np.load(path, allow_pickle=False) as data:
+            assert "applied_update" not in data.files
 
 
 class TestReportRoundtrip:

@@ -1,0 +1,242 @@
+"""Properties of the Byzantine-robust aggregation rules.
+
+Three families of guarantees, per ISSUE's satellite checklist:
+
+* **Permutation invariance** — relabelling the parties (permuting update
+  rows together with weights and mask) must not change ``G_t``.
+* **Clean agreement** — on a clean homogeneous cohort every rule agrees
+  with the weighted mean (identical updates leave nothing to disagree
+  about; near-identical updates keep the rules within the cohort spread).
+* **Breakdown** — under ``f`` attackers shipping sign-flipped or boosted
+  updates (the transforms of :mod:`repro.hfl.attacks`), the robust rules
+  stay near the honest aggregate while the weighted mean is dragged away.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.hfl.attacks import scale, sign_flip
+from repro.robust import (
+    AGGREGATOR_NAMES,
+    CoordinateMedian,
+    Krum,
+    NormClipping,
+    TrimmedMean,
+    WeightedMean,
+    make_aggregator,
+)
+
+ROBUST_RULES = ("median", "trimmed", "clip", "krum", "multikrum")
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def updates_matrices(min_rows=3, max_rows=8, min_cols=2, max_cols=6):
+    return hnp.arrays(
+        np.float64,
+        st.tuples(
+            st.integers(min_rows, max_rows), st.integers(min_cols, max_cols)
+        ),
+        elements=finite,
+    )
+
+
+def _uniform(k):
+    return np.full(k, 1.0 / k)
+
+
+# --------------------------------------------------------------- invariance
+
+
+class TestPermutationInvariance:
+    # Krum breaks exact score ties by party index, so it is permutation
+    # invariant only for generic (tie-free) inputs — covered below with
+    # continuous random cohorts, where ties have measure zero.
+    @pytest.mark.parametrize("name", ("mean", "median", "trimmed", "clip"))
+    @given(updates=updates_matrices(), data=st.data())
+    def test_row_permutation_does_not_change_gt(self, name, updates, data):
+        k = len(updates)
+        perm = data.draw(st.permutations(range(k)).map(np.array))
+        agg = make_aggregator(name)
+        weights = _uniform(k)
+        mask = np.ones(k, dtype=bool)
+        original = agg.aggregate(updates, weights, mask)
+        permuted = agg.aggregate(updates[perm], weights[perm], mask[perm])
+        np.testing.assert_allclose(permuted, original, rtol=1e-9, atol=1e-9)
+
+    @pytest.mark.parametrize("name", ("krum", "multikrum"))
+    @pytest.mark.parametrize("seed", range(5))
+    def test_krum_permutation_invariant_on_generic_cohorts(self, name, seed):
+        rng = np.random.default_rng(seed)
+        updates = rng.normal(size=(7, 5))
+        perm = rng.permutation(7)
+        agg = make_aggregator(name)
+        weights = _uniform(7)
+        mask = np.ones(7, dtype=bool)
+        np.testing.assert_allclose(
+            agg.aggregate(updates[perm], weights[perm], mask[perm]),
+            agg.aggregate(updates, weights, mask),
+            rtol=1e-12,
+        )
+
+    @pytest.mark.parametrize("name", AGGREGATOR_NAMES)
+    def test_permutation_with_partial_mask(self, name):
+        rng = np.random.default_rng(0)
+        updates = rng.normal(size=(6, 4))
+        weights = np.array([0.25, 0.25, 0.0, 0.25, 0.25, 0.0])
+        mask = np.array([True, True, False, True, True, False])
+        updates[~mask] = 0.0
+        perm = np.array([3, 0, 5, 1, 4, 2])
+        agg = make_aggregator(name)
+        np.testing.assert_allclose(
+            agg.aggregate(updates[perm], weights[perm], mask[perm]),
+            agg.aggregate(updates, weights, mask),
+            rtol=1e-12,
+        )
+
+
+# ----------------------------------------------------------- clean agreement
+
+
+class TestCleanAgreement:
+    @pytest.mark.parametrize("name", AGGREGATOR_NAMES)
+    @given(
+        row=hnp.arrays(np.float64, st.integers(2, 6), elements=finite),
+        k=st.integers(3, 8),
+    )
+    def test_identical_updates_reproduce_weighted_mean(self, name, row, k):
+        """A perfectly homogeneous cohort leaves nothing to disagree about."""
+        updates = np.tile(row, (k, 1))
+        weights = _uniform(k)
+        mask = np.ones(k, dtype=bool)
+        expected = WeightedMean().aggregate(updates, weights, mask)
+        actual = make_aggregator(name).aggregate(updates, weights, mask)
+        np.testing.assert_allclose(actual, expected, rtol=1e-12, atol=1e-12)
+
+    @pytest.mark.parametrize("name", ROBUST_RULES)
+    def test_near_identical_updates_stay_within_cohort_spread(self, name):
+        rng = np.random.default_rng(1)
+        centre = rng.normal(size=10)
+        updates = centre + rng.normal(scale=1e-3, size=(7, 10))
+        weights = _uniform(7)
+        mask = np.ones(7, dtype=bool)
+        result = make_aggregator(name).aggregate(updates, weights, mask)
+        mean = WeightedMean().aggregate(updates, weights, mask)
+        spread = np.abs(updates - mean).max()
+        assert np.abs(result - mean).max() <= spread + 1e-12
+
+
+# ---------------------------------------------------------------- breakdown
+
+
+def _attacked_cohort(attack, n_honest=7, n_attackers=2, p=12, seed=2):
+    """Honest cluster plus ``f`` attacker rows built from an honest update."""
+    rng = np.random.default_rng(seed)
+    honest = 1.0 + rng.normal(scale=0.05, size=(n_honest, p))
+    base = honest.mean(axis=0)
+    attackers = np.tile(attack(base, epoch=1), (n_attackers, 1))
+    updates = np.vstack([honest, attackers])
+    k = len(updates)
+    return updates, _uniform(k), np.ones(k, dtype=bool), honest.mean(axis=0)
+
+
+class TestBreakdown:
+    @pytest.mark.parametrize(
+        "attack", [sign_flip(strength=50.0), scale(100.0)],
+        ids=["sign_flip", "scale"],
+    )
+    @pytest.mark.parametrize("name", ("median", "trimmed", "krum", "multikrum"))
+    def test_robust_rules_survive_f_attackers(self, name, attack):
+        updates, weights, mask, honest_mean = _attacked_cohort(attack)
+        if name in ("krum", "multikrum"):
+            agg = make_aggregator(name, n_byzantine=2)
+        elif name == "trimmed":
+            # Breakdown holds for β ≥ f/m: 2 attackers in 9 arrivals.
+            agg = make_aggregator(name, trim_ratio=2 / 9)
+        else:
+            agg = make_aggregator(name)
+        result = agg.aggregate(updates, weights, mask)
+        robust_err = np.linalg.norm(result - honest_mean)
+        mean_err = np.linalg.norm(
+            WeightedMean().aggregate(updates, weights, mask) - honest_mean
+        )
+        assert robust_err < 0.2 * np.linalg.norm(honest_mean)
+        assert mean_err > 10 * robust_err
+
+    @pytest.mark.parametrize(
+        "attack", [sign_flip(strength=50.0), scale(100.0)],
+        ids=["sign_flip", "scale"],
+    )
+    def test_clipping_bounds_the_attacker_pull(self, attack):
+        """Clipping only *bounds* the attacker — weaker than removal, but
+        its error must stay within the honest norm while the plain mean
+        is dragged far outside it."""
+        updates, weights, mask, honest_mean = _attacked_cohort(attack)
+        clipped = NormClipping().aggregate(updates, weights, mask)
+        mean = WeightedMean().aggregate(updates, weights, mask)
+        honest_norm = np.linalg.norm(honest_mean)
+        assert np.linalg.norm(clipped - honest_mean) < honest_norm
+        assert np.linalg.norm(mean - honest_mean) > honest_norm
+
+
+# -------------------------------------------------------------- edge cases
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("name", AGGREGATOR_NAMES)
+    def test_empty_round_returns_zero(self, name):
+        updates = np.zeros((4, 3))
+        weights = np.zeros(4)
+        mask = np.zeros(4, dtype=bool)
+        result = make_aggregator(name).aggregate(updates, weights, mask)
+        np.testing.assert_array_equal(result, np.zeros(3))
+
+    def test_krum_small_cohort_falls_back_to_mean(self):
+        updates = np.array([[1.0, 1.0], [3.0, 3.0]])
+        weights = np.array([0.5, 0.5])
+        mask = np.ones(2, dtype=bool)
+        np.testing.assert_allclose(
+            Krum().aggregate(updates, weights, mask), [2.0, 2.0]
+        )
+
+    def test_krum_selects_cluster_member(self):
+        rng = np.random.default_rng(3)
+        honest = rng.normal(size=(5, 4))
+        outlier = np.full((1, 4), 1e3)
+        updates = np.vstack([honest, outlier])
+        mask = np.ones(6, dtype=bool)
+        chosen = Krum(n_byzantine=1).aggregate(updates, _uniform(6), mask)
+        assert any(np.allclose(chosen, row) for row in honest)
+
+    def test_trimmed_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            TrimmedMean(trim_ratio=0.5)
+
+    def test_clip_rejects_bad_cap(self):
+        with pytest.raises(ValueError):
+            NormClipping(clip_norm=0.0)
+
+    def test_krum_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            Krum(n_byzantine=-1)
+        with pytest.raises(ValueError):
+            Krum(multi=0)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown aggregator"):
+            make_aggregator("average")
+
+    def test_multikrum_defaults_to_three(self):
+        agg = make_aggregator("multikrum")
+        assert isinstance(agg, Krum) and agg.multi == 3
+
+    def test_median_ignores_masked_rows(self):
+        updates = np.array([[1.0], [2.0], [3.0], [1e9]])
+        mask = np.array([True, True, True, False])
+        result = CoordinateMedian().aggregate(updates, _uniform(4), mask)
+        np.testing.assert_allclose(result, [2.0])

@@ -1,0 +1,267 @@
+"""Crash-safe checkpointing and bit-for-bit resume.
+
+The acceptance criterion of the robustness PR: kill a checkpointed run
+mid-training, resume it, and get the *identical* training log — same
+``θ_t``, same ``δ_{t,i}``, same DIG-FL scores — as a run that never
+crashed.  Plus the failure modes: corrupt checkpoints are refused loudly,
+mismatched coalitions are refused, a missing checkpoint resumes from
+scratch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import estimate_hfl_resource_saving, estimate_vfl_first_order
+from repro.data import boston_like, build_hfl_federation, build_vfl_federation, mnist_like
+from repro.hfl import HFLTrainer
+from repro.nn import LRSchedule
+from repro.robust import (
+    CheckpointError,
+    CheckpointManager,
+    RobustConfig,
+    ScreenConfig,
+    UpdateScreener,
+)
+from repro.vfl import VFLTrainer
+
+from tests.conftest import small_model_factory
+
+
+class _Killed(RuntimeError):
+    """The simulated crash."""
+
+
+class KillingCheckpoint(CheckpointManager):
+    """Checkpoint manager that crashes the run after saving round ``kill_after``."""
+
+    def __init__(self, directory, *, kind="hfl", kill_after=3):
+        super().__init__(directory, kind=kind)
+        self.kill_after = kill_after
+
+    def save(self, log):
+        super().save(log)
+        if log.n_epochs >= self.kill_after:
+            raise _Killed(f"killed after round {log.n_epochs}")
+
+
+@pytest.fixture(scope="module")
+def federation():
+    return build_hfl_federation(mnist_like(300, seed=0), 3, n_mislabeled=1, seed=0)
+
+
+def _trainer(epochs=6):
+    return HFLTrainer(
+        small_model_factory, epochs=epochs, lr_schedule=LRSchedule(0.5)
+    )
+
+
+def assert_logs_identical(log_a, log_b):
+    assert log_a.n_epochs == log_b.n_epochs
+    for a, b in zip(log_a.records, log_b.records):
+        np.testing.assert_array_equal(a.theta_before, b.theta_before)
+        np.testing.assert_array_equal(a.local_updates, b.local_updates)
+        np.testing.assert_array_equal(a.weights, b.weights)
+
+
+class TestHFLKillAndResume:
+    def test_resumed_log_bit_for_bit(self, federation, tmp_path):
+        reference = _trainer().train(
+            federation.locals, federation.validation, track_validation=True
+        )
+        killer = KillingCheckpoint(tmp_path, kill_after=3)
+        with pytest.raises(_Killed):
+            _trainer().train(
+                federation.locals, federation.validation,
+                track_validation=True, checkpoint=killer,
+            )
+        # The file on disk holds exactly the complete rounds.
+        ckpt = CheckpointManager(tmp_path)
+        assert ckpt.resume().n_epochs == 3
+        resumed = _trainer().train(
+            federation.locals, federation.validation,
+            track_validation=True, checkpoint=ckpt, resume=True,
+        )
+        assert_logs_identical(reference.log, resumed.log)
+        np.testing.assert_array_equal(
+            reference.final_theta, resumed.final_theta
+        )
+
+    def test_digfl_scores_identical_after_resume(self, federation, tmp_path):
+        reference = _trainer().train(
+            federation.locals, federation.validation, track_validation=True
+        )
+        killer = KillingCheckpoint(tmp_path, kill_after=2)
+        with pytest.raises(_Killed):
+            _trainer().train(
+                federation.locals, federation.validation,
+                track_validation=True, checkpoint=killer,
+            )
+        resumed = _trainer().train(
+            federation.locals, federation.validation, track_validation=True,
+            checkpoint=CheckpointManager(tmp_path), resume=True,
+        )
+        ref_report = estimate_hfl_resource_saving(
+            reference.log, federation.validation, small_model_factory
+        )
+        res_report = estimate_hfl_resource_saving(
+            resumed.log, federation.validation, small_model_factory
+        )
+        np.testing.assert_array_equal(ref_report.totals, res_report.totals)
+
+    def test_resume_with_screener_matches(self, federation, tmp_path):
+        """warm_start must leave the resumed screening state identical."""
+        reference = _trainer().train(
+            federation.locals, federation.validation,
+            screener=UpdateScreener(ScreenConfig()),
+        )
+        killer = KillingCheckpoint(tmp_path, kill_after=3)
+        with pytest.raises(_Killed):
+            _trainer().train(
+                federation.locals, federation.validation,
+                screener=UpdateScreener(ScreenConfig()), checkpoint=killer,
+            )
+        resumed = _trainer().train(
+            federation.locals, federation.validation,
+            screener=UpdateScreener(ScreenConfig()),
+            checkpoint=CheckpointManager(tmp_path), resume=True,
+        )
+        assert_logs_identical(reference.log, resumed.log)
+
+    def test_fresh_resume_trains_from_scratch(self, federation, tmp_path):
+        """resume=True with no checkpoint on disk is a cold start."""
+        ckpt = CheckpointManager(tmp_path / "empty")
+        result = _trainer(epochs=2).train(
+            federation.locals, checkpoint=ckpt, resume=True
+        )
+        assert result.log.n_epochs == 2
+        assert ckpt.exists()
+
+    def test_completed_run_resumes_to_noop(self, federation, tmp_path):
+        ckpt = CheckpointManager(tmp_path)
+        first = _trainer(epochs=3).train(
+            federation.locals, checkpoint=ckpt, resume=True
+        )
+        again = _trainer(epochs=3).train(
+            federation.locals, checkpoint=ckpt, resume=True
+        )
+        assert_logs_identical(first.log, again.log)
+
+    def test_resume_requires_checkpoint(self, federation):
+        with pytest.raises(ValueError, match="resume"):
+            _trainer().train(federation.locals, resume=True)
+
+    def test_coalition_mismatch_rejected(self, federation, tmp_path):
+        ckpt = CheckpointManager(tmp_path)
+        _trainer(epochs=2).train(federation.locals, checkpoint=ckpt)
+        with pytest.raises(ValueError, match="cannot resume"):
+            _trainer(epochs=2).train(
+                federation.locals, participants=[0, 1],
+                checkpoint=ckpt, resume=True,
+            )
+
+
+class TestVFLKillAndResume:
+    @pytest.fixture(scope="class")
+    def split(self):
+        return build_vfl_federation(
+            boston_like(seed=0).standardized(), 4, max_rows=150, seed=1
+        )
+
+    def _trainer(self, split, epochs=8):
+        return VFLTrainer(
+            "regression", split.feature_blocks, epochs, LRSchedule(0.1)
+        )
+
+    def test_resumed_log_bit_for_bit(self, split, tmp_path):
+        reference = self._trainer(split).train(
+            split.train, split.validation, track_losses=True
+        )
+        killer = KillingCheckpoint(tmp_path, kind="vfl", kill_after=4)
+        with pytest.raises(_Killed):
+            self._trainer(split).train(
+                split.train, split.validation, track_losses=True,
+                checkpoint=killer,
+            )
+        resumed = self._trainer(split).train(
+            split.train, split.validation, track_losses=True,
+            checkpoint=CheckpointManager(tmp_path, kind="vfl"), resume=True,
+        )
+        assert resumed.log.n_epochs == reference.log.n_epochs
+        for a, b in zip(reference.log.records, resumed.log.records):
+            np.testing.assert_array_equal(a.theta_before, b.theta_before)
+            np.testing.assert_array_equal(a.train_gradient, b.train_gradient)
+        np.testing.assert_array_equal(reference.theta, resumed.theta)
+        np.testing.assert_array_equal(
+            estimate_vfl_first_order(reference.log).totals,
+            estimate_vfl_first_order(resumed.log).totals,
+        )
+
+    def test_party_mismatch_rejected(self, split, tmp_path):
+        ckpt = CheckpointManager(tmp_path, kind="vfl")
+        self._trainer(split, epochs=2).train(
+            split.train, split.validation, checkpoint=ckpt
+        )
+        with pytest.raises(ValueError, match="cannot resume"):
+            self._trainer(split, epochs=2).train(
+                split.train, split.validation, parties=[0, 1],
+                checkpoint=ckpt, resume=True,
+            )
+
+
+class TestCheckpointIntegrity:
+    def test_truncated_checkpoint_refused(self, federation, tmp_path):
+        ckpt = CheckpointManager(tmp_path)
+        _trainer(epochs=2).train(federation.locals, checkpoint=ckpt)
+        raw = ckpt.path.read_bytes()
+        ckpt.path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(CheckpointError, match="integrity"):
+            ckpt.resume()
+
+    def test_wrong_kind_refused(self, federation, tmp_path):
+        ckpt = CheckpointManager(tmp_path)
+        _trainer(epochs=2).train(federation.locals, checkpoint=ckpt)
+        with pytest.raises(CheckpointError, match="not a VFL"):
+            CheckpointManager(tmp_path, kind="vfl").resume()
+
+    def test_bad_kind_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="kind"):
+            CheckpointManager(tmp_path, kind="xfl")
+
+    def test_clear_removes_file(self, federation, tmp_path):
+        ckpt = CheckpointManager(tmp_path)
+        _trainer(epochs=1).train(federation.locals, checkpoint=ckpt)
+        assert ckpt.exists()
+        ckpt.clear()
+        assert not ckpt.exists()
+        assert ckpt.resume() is None
+        ckpt.clear()  # idempotent
+
+    def test_no_tmp_litter_after_save(self, federation, tmp_path):
+        ckpt = CheckpointManager(tmp_path)
+        _trainer(epochs=2).train(federation.locals, checkpoint=ckpt)
+        assert [p.name for p in tmp_path.iterdir()] == [ckpt.FILENAME]
+
+
+class TestRobustConfig:
+    def test_default_is_seed_regime(self):
+        config = RobustConfig()
+        assert config.is_default()
+        assert config.make_aggregator() is None
+        assert config.make_screener() is None
+        assert config.make_checkpoint("hfl") is None
+
+    def test_resume_requires_dir(self):
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            RobustConfig(resume=True)
+
+    def test_factories_round_trip_the_flags(self, tmp_path):
+        config = RobustConfig(
+            aggregator="trimmed", trim_ratio=0.3, screen=True,
+            checkpoint_dir=tmp_path, resume=True,
+        )
+        assert not config.is_default()
+        agg = config.make_aggregator()
+        assert agg.name == "trimmed" and agg.trim_ratio == 0.3
+        assert config.make_screener() is not None
+        ckpt = config.make_checkpoint("vfl")
+        assert ckpt.kind == "vfl" and ckpt.directory == tmp_path

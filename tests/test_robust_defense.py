@@ -1,0 +1,266 @@
+"""End-to-end defense: attacked federations, robust aggregation, screening.
+
+The PR's acceptance scenario — a sign-flip attacker in the federation:
+
+* the plain weighted mean degrades badly,
+* trimmed mean and Krum stay within 10% of the attacker-free validation
+  loss,
+* screening quarantines the attacker, records the incidents in the
+  ledger, marks the party absent in the round participation masks, and
+  (on the runtime engine) emits ``quarantine`` events,
+* DIG-FL still ranks the attacker last.
+
+``REPRO_FAULT_SEED`` (CI matrix: 0/1/2) varies the data/model seeds so
+the defense guarantees are not an artifact of one draw.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import estimate_hfl_resource_saving
+from repro.data import build_hfl_federation, mnist_like
+from repro.hfl import HFLTrainer
+from repro.hfl.attacks import AdversarialHFLTrainer, scale, sign_flip
+from repro.nn import LRSchedule, make_mlp_classifier
+from repro.robust import (
+    QuarantineLedger,
+    ScreenConfig,
+    UpdateScreener,
+    make_aggregator,
+)
+from repro.runtime import FederatedRuntime, RuntimeConfig
+from repro.runtime.events import QUARANTINE
+
+SEED = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+ATTACKER = 9
+EPOCHS = 6
+
+
+def _factory():
+    return make_mlp_classifier(100, 10, hidden=(16,), seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def federation():
+    # 10 parties: enough redundancy that trimming/selection still averages
+    # a large honest majority (the robust rules' convergence premise).
+    return build_hfl_federation(mnist_like(600, seed=SEED), 10, seed=SEED)
+
+
+def _train(federation, *, attacks=None, aggregator=None, screener=None):
+    trainer = AdversarialHFLTrainer(
+        _factory, epochs=EPOCHS, lr_schedule=LRSchedule(0.5),
+        attacks=attacks or {},
+    )
+    return trainer.train(
+        federation.locals, federation.validation,
+        track_validation=True, aggregator=aggregator, screener=screener,
+    )
+
+
+@pytest.fixture(scope="module")
+def clean_loss(federation):
+    """Validation loss of the attacker-free federation."""
+    return _train(federation).log.val_loss_curve()[-1]
+
+
+class TestRobustAggregationUnderAttack:
+    @pytest.mark.parametrize("agg_name", ("trimmed", "multikrum"))
+    def test_robust_rules_within_10pct_of_attack_free(
+        self, federation, clean_loss, agg_name
+    ):
+        attacks = {ATTACKER: sign_flip(strength=5.0)}
+        mean_loss = _train(federation, attacks=attacks).log.val_loss_curve()[-1]
+        if agg_name == "multikrum":
+            agg = make_aggregator("multikrum", n_byzantine=1, multi=5)
+        else:
+            agg = make_aggregator("trimmed", trim_ratio=0.2)
+        robust_loss = _train(
+            federation, attacks=attacks, aggregator=agg
+        ).log.val_loss_curve()[-1]
+        # The attacked mean must visibly degrade; the robust rule must not.
+        assert mean_loss > 1.3 * clean_loss
+        assert robust_loss <= 1.10 * clean_loss
+
+    def test_applied_update_recorded_for_nonlinear_rule(self, federation):
+        result = _train(federation, aggregator=make_aggregator("median"))
+        record = result.log.records[0]
+        assert record.applied_update is not None
+        # The log's reconstruction must use the applied update verbatim.
+        np.testing.assert_array_equal(
+            record.global_update, record.applied_update
+        )
+
+    def test_linear_mean_aggregator_matches_seed_path(self, federation):
+        """WeightedMean through the Aggregator interface is the seed server."""
+        plain = _train(federation)
+        via_interface = _train(federation, aggregator=make_aggregator("mean"))
+        for a, b in zip(plain.log.records, via_interface.log.records):
+            assert b.applied_update is None
+            np.testing.assert_array_equal(a.theta_before, b.theta_before)
+        np.testing.assert_array_equal(plain.final_theta, via_interface.final_theta)
+
+
+class TestScreeningUnderAttack:
+    def test_boosting_attacker_quarantined_and_masked(self, federation):
+        ledger = QuarantineLedger()
+        screener = UpdateScreener(ScreenConfig(norm_factor=5.0), ledger)
+        result = _train(
+            federation, attacks={ATTACKER: scale(500.0)}, screener=screener
+        )
+        assert ledger.parties() == [ATTACKER]
+        assert len(ledger) > 0
+        # Every quarantined round is a hole in the participation matrix.
+        matrix = result.log.participation_matrix()
+        for incident in ledger:
+            assert not matrix[incident.round - 1, ATTACKER]
+            assert np.array_equal(
+                result.log.records[incident.round - 1].local_updates[ATTACKER],
+                np.zeros(result.log.records[0].local_updates.shape[1]),
+            )
+        # Honest parties keep full attendance.
+        assert matrix[:, :ATTACKER].all()
+
+    def test_sign_flip_attacker_cosine_quarantined(self, federation):
+        # Honest parties align ≈ +0.6 with the cohort median while the
+        # flipped update sits ≈ −0.4 (non-IID gradients are not mirror
+        # images), so a −0.3 threshold separates them with wide margin
+        # where the loose default −0.5 would not.
+        ledger = QuarantineLedger()
+        screener = UpdateScreener(ScreenConfig(cosine_threshold=-0.3), ledger)
+        _train(
+            federation,
+            attacks={ATTACKER: sign_flip(strength=1.0)},
+            screener=screener,
+        )
+        assert ledger.parties() == [ATTACKER]
+        assert set(ledger.by_rule()) == {"cosine"}
+
+    def test_screened_run_ranks_attacker_last(self, federation):
+        ledger = QuarantineLedger()
+        screener = UpdateScreener(ScreenConfig(norm_factor=5.0), ledger)
+        result = _train(
+            federation, attacks={ATTACKER: scale(500.0)}, screener=screener
+        )
+        report = estimate_hfl_resource_saving(
+            result.log, federation.validation, _factory
+        )
+        assert int(np.argmin(report.totals)) == ATTACKER
+
+    def test_clean_federation_not_quarantined(self, federation):
+        """Honest non-IID disagreement must not trip the default thresholds."""
+        ledger = QuarantineLedger()
+        noisy = build_hfl_federation(
+            mnist_like(600, seed=SEED), 5, n_mislabeled=1, n_noniid=1,
+            seed=SEED,
+        )
+        _train(noisy, screener=UpdateScreener(ScreenConfig(), ledger))
+        assert len(ledger) == 0
+
+
+class TestEngineQuarantineEvents:
+    def test_quarantine_events_emitted(self, federation):
+        ledger = QuarantineLedger()
+        screener = UpdateScreener(ScreenConfig(norm_factor=5.0), ledger)
+        trainer = AdversarialHFLTrainer(
+            _factory, epochs=EPOCHS, lr_schedule=LRSchedule(0.5),
+            attacks={ATTACKER: scale(500.0)},
+        )
+        runtime = FederatedRuntime(RuntimeConfig())
+        result = runtime.run_hfl(
+            trainer, federation.locals, federation.validation,
+            screener=screener,
+        )
+        events = runtime.event_log.of_kind(QUARANTINE)
+        assert len(events) == len(ledger) > 0
+        for event, incident in zip(events, ledger):
+            assert event.party == incident.party == ATTACKER
+            assert event.round == incident.round
+            assert event.detail["rule"] == incident.rule
+        assert runtime.event_log.summary()["quarantines"] == len(ledger)
+        # Engine and synchronous trainer agree on the screened log.
+        sync = trainer.train(
+            federation.locals, federation.validation,
+            screener=UpdateScreener(ScreenConfig(norm_factor=5.0)),
+        )
+        np.testing.assert_array_equal(
+            sync.log.participation_matrix(), result.log.participation_matrix()
+        )
+        np.testing.assert_array_equal(sync.final_theta, result.final_theta)
+
+    def test_screening_composes_with_faults(self, federation):
+        """An update must arrive *and* survive screening to enter G_t."""
+        from repro.runtime import FaultPlan
+
+        ledger = QuarantineLedger()
+        screener = UpdateScreener(ScreenConfig(norm_factor=5.0), ledger)
+        trainer = AdversarialHFLTrainer(
+            _factory, epochs=EPOCHS, lr_schedule=LRSchedule(0.5),
+            attacks={ATTACKER: scale(500.0)},
+        )
+        runtime = FederatedRuntime(
+            RuntimeConfig(faults=FaultPlan(dropout_rate=0.3, seed=SEED))
+        )
+        result = runtime.run_hfl(trainer, federation.locals)
+        matrix = result.log.participation_matrix()
+        dropouts = runtime.event_log.of_kind("dropout")
+        for event in dropouts:
+            assert not matrix[event.round - 1, event.party]
+        for incident in ledger:
+            assert not matrix[incident.round - 1, incident.party]
+        # No double counting: a dropped attacker round isn't also quarantined.
+        dropped = {(e.round, e.party) for e in dropouts}
+        quarantined = {(i.round, i.party) for i in ledger}
+        assert not dropped & quarantined
+
+
+class TestVFLScreening:
+    def test_nan_block_quarantined_and_frozen(self):
+        from repro.data import boston_like, build_vfl_federation
+        from repro.vfl import VFLTrainer
+
+        split = build_vfl_federation(
+            boston_like(seed=SEED).standardized(), 4, max_rows=150, seed=SEED
+        )
+
+        class PoisonedVFLTrainer(VFLTrainer):
+            """Party 2's gradient block is NaN from round 3 on."""
+
+            def train(self, *args, **kwargs):
+                real_gradient = self.model.gradient
+
+                def poisoned(theta, X, y):
+                    g = real_gradient(theta, X, y)
+                    if not np.isfinite(g).all():
+                        return g
+                    if self._round >= 3 and X.shape[0] > 60:  # train split only
+                        g = g.copy()
+                        g[self.feature_blocks[2]] = np.nan
+                    self._round += X.shape[0] > 60
+                    return g
+
+                self._round = 1
+                self.model.gradient = poisoned
+                try:
+                    return super().train(*args, **kwargs)
+                finally:
+                    self.model.gradient = real_gradient
+
+        trainer = PoisonedVFLTrainer(
+            "regression", split.feature_blocks, 6, LRSchedule(0.1)
+        )
+        ledger = QuarantineLedger()
+        screener = UpdateScreener(ScreenConfig(), ledger)
+        result = trainer.train(
+            split.train, split.validation, screener=screener
+        )
+        assert ledger.parties() == [2]
+        assert set(ledger.by_rule()) == {"nonfinite"}
+        # θ stays finite: the poisoned block was frozen, not applied.
+        assert np.isfinite(result.theta).all()
+        assert np.isfinite(result.log.final_theta).all()
+        matrix = result.log.participation_matrix()
+        for incident in ledger:
+            assert not matrix[incident.round - 1, 2]

@@ -1,0 +1,210 @@
+"""The pre-aggregation screening pass and its quarantine ledger."""
+
+import numpy as np
+import pytest
+
+from repro.data import build_hfl_federation, mnist_like
+from repro.hfl import HFLTrainer
+from repro.nn import LRSchedule
+from repro.robust import (
+    QuarantineLedger,
+    ScreenConfig,
+    UpdateScreener,
+    rms_norm,
+)
+from repro.robust.quarantine import RULE_COSINE, RULE_NONFINITE, RULE_NORM
+
+from tests.conftest import small_model_factory
+
+
+def _screener(**overrides):
+    config = ScreenConfig(**overrides)
+    return UpdateScreener(config, QuarantineLedger())
+
+
+class TestNonFiniteRule:
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_quarantines_poisoned_row(self, bad):
+        screener = _screener()
+        updates = np.ones((4, 6))
+        updates[2, 3] = bad
+        verdict = screener.screen(1, [0, 1, 2, 3], updates)
+        np.testing.assert_array_equal(verdict, [True, True, False, True])
+        (incident,) = screener.ledger.incidents
+        assert incident.rule == RULE_NONFINITE
+        assert incident.party == 2 and incident.round == 1
+        assert incident.detail["nonfinite_coordinates"] == 1.0
+
+    def test_disabled_by_config(self):
+        screener = _screener(check_nonfinite=False, cosine_threshold=None)
+        updates = np.ones((3, 4))
+        updates[0, 0] = np.nan
+        verdict = screener.screen(1, [0, 1, 2], updates)
+        assert verdict.all()
+
+
+class TestNormRule:
+    def test_blowup_against_warmed_scale(self):
+        screener = _screener(norm_factor=5.0, cosine_threshold=None)
+        screener.observe_norms([1.0, 1.0, 1.0])
+        updates = np.ones((3, 4))
+        updates[1] *= 100.0
+        verdict = screener.screen(3, [10, 11, 12], updates)
+        np.testing.assert_array_equal(verdict, [True, False, True])
+        (incident,) = screener.ledger.incidents
+        assert incident.rule == RULE_NORM and incident.party == 11
+        assert incident.detail["factor"] == pytest.approx(100.0)
+
+    def test_cold_start_uses_current_cohort(self):
+        """With no history the round's own norms arm the rule — an attacker
+        in a big enough first round is still caught."""
+        screener = _screener(norm_factor=5.0, cosine_threshold=None)
+        updates = np.ones((5, 4))
+        updates[4] *= 1000.0
+        verdict = screener.screen(1, list(range(5)), updates)
+        np.testing.assert_array_equal(verdict, [True] * 4 + [False])
+
+    def test_not_armed_below_min_samples(self):
+        screener = _screener(
+            norm_factor=5.0, min_scale_samples=3, cosine_threshold=None
+        )
+        updates = np.stack([np.ones(4), np.full(4, 1000.0)])
+        verdict = screener.screen(1, [0, 1], updates)
+        assert verdict.all()  # 2 candidate norms < min_scale_samples
+
+    def test_accepted_norms_feed_the_history(self):
+        screener = _screener(cosine_threshold=None)
+        updates = np.ones((3, 9))
+        screener.screen(1, [0, 1, 2], updates)
+        assert list(screener._norms) == [rms_norm(np.ones(9))] * 3
+
+
+class TestCosineRule:
+    def test_sign_flip_attacker_caught(self):
+        screener = _screener(norm_factor=100.0)
+        rng = np.random.default_rng(0)
+        honest = 1.0 + rng.normal(scale=0.05, size=(5, 8))
+        attacker = -honest.mean(axis=0)  # matches honest norm, flipped sign
+        updates = np.vstack([honest, attacker])
+        verdict = screener.screen(1, list(range(6)), updates)
+        np.testing.assert_array_equal(verdict, [True] * 5 + [False])
+        (incident,) = screener.ledger.incidents
+        assert incident.rule == RULE_COSINE
+        assert incident.detail["cosine"] < -0.5
+
+    def test_disabled_for_heterogeneous_blocks(self):
+        """VFL feature blocks have different dimensions — no cohort median."""
+        screener = _screener(norm_factor=100.0)
+        blocks = [np.ones(3), np.ones(5), -np.ones(4), np.ones(2)]
+        verdict = screener.screen(1, [0, 1, 2, 3], blocks, homogeneous=False)
+        assert verdict.all()
+
+    def test_skipped_below_min_cohort(self):
+        screener = _screener(min_cohort=4)
+        updates = np.vstack([np.ones((2, 6)), -np.ones((1, 6))])
+        verdict = screener.screen(1, [0, 1, 2], updates)
+        assert verdict.all()
+
+    def test_threshold_none_disables(self):
+        screener = _screener(cosine_threshold=None)
+        updates = np.vstack([np.ones((5, 6)), -np.ones((1, 6))])
+        verdict = screener.screen(1, list(range(6)), updates)
+        assert verdict.all()
+
+
+class TestMaskDiscipline:
+    def test_screen_only_clears_bits(self):
+        screener = _screener()
+        updates = np.ones((4, 5))
+        updates[0] = 0.0  # the absent row is zero, like the engine writes it
+        mask = np.array([False, True, True, True])
+        verdict = screener.screen(1, [0, 1, 2, 3], updates, mask)
+        assert not verdict[0]  # stayed absent
+        assert verdict[1:].all()
+
+    def test_absent_rows_not_screened_or_ledgered(self):
+        screener = _screener()
+        updates = np.ones((4, 5))
+        updates[0] = np.nan  # never arrived; garbage row must be ignored
+        mask = np.array([False, True, True, True])
+        verdict = screener.screen(1, [0, 1, 2, 3], updates, mask)
+        np.testing.assert_array_equal(verdict, mask)
+        assert len(screener.ledger) == 0
+
+    def test_party_id_count_mismatch(self):
+        with pytest.raises(ValueError, match="party ids"):
+            _screener().screen(1, [0, 1], np.ones((3, 4)))
+
+
+class TestWarmStart:
+    def test_resumed_screener_matches_uninterrupted(self):
+        """Replaying a checkpointed log rebuilds the identical scale state."""
+        federation = build_hfl_federation(mnist_like(300, seed=0), 3, seed=0)
+        trainer = HFLTrainer(
+            small_model_factory, epochs=4, lr_schedule=LRSchedule(0.5)
+        )
+        live = UpdateScreener(ScreenConfig())
+        result = trainer.train(
+            federation.locals, federation.validation, screener=live
+        )
+        warmed = UpdateScreener(ScreenConfig())
+        warmed.warm_start(result.log)
+        assert list(warmed._norms) == list(live._norms)
+
+    def test_warm_start_skips_quarantined_rounds(self):
+        from repro.hfl.log import EpochRecord, TrainingLog
+
+        log = TrainingLog(participant_ids=[0, 1])
+        log.records.append(
+            EpochRecord(
+                epoch=1,
+                lr=0.1,
+                theta_before=np.zeros(4),
+                local_updates=np.array([np.ones(4), np.zeros(4)]),
+                weights=np.array([1.0, 0.0]),
+                participation=np.array([True, False]),
+            )
+        )
+        screener = UpdateScreener(ScreenConfig())
+        screener.warm_start(log)
+        assert list(screener._norms) == [rms_norm(np.ones(4))]
+
+
+class TestScreenConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            ScreenConfig(norm_factor=1.0)
+        with pytest.raises(ValueError):
+            ScreenConfig(cosine_threshold=-2.0)
+        with pytest.raises(ValueError):
+            ScreenConfig(min_cohort=1)
+        with pytest.raises(ValueError):
+            ScreenConfig(history_window=0)
+
+
+class TestLedger:
+    def test_accessors(self):
+        ledger = QuarantineLedger()
+        ledger.record(1, 4, RULE_NONFINITE, nonfinite_coordinates=2.0)
+        ledger.record(2, 4, RULE_NORM, rms_norm=9.0, scale=1.0, factor=9.0)
+        ledger.record(2, 1, RULE_COSINE, cosine=-0.9)
+        assert ledger.parties() == [1, 4]
+        assert ledger.rounds_of(4) == [1, 2]
+        assert ledger.by_rule() == {
+            RULE_NONFINITE: 1, RULE_NORM: 1, RULE_COSINE: 1
+        }
+        assert ledger.summary()["incidents"] == 3
+
+    def test_json_roundtrip(self, tmp_path):
+        ledger = QuarantineLedger()
+        ledger.record(3, 2, RULE_NORM, rms_norm=50.0, scale=1.0, factor=50.0)
+        path = tmp_path / "ledger.json"
+        ledger.save(path)
+        loaded = QuarantineLedger.load(path)
+        assert loaded.incidents == ledger.incidents
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"format": "something.else", "incidents": []}')
+        with pytest.raises(ValueError, match="not a quarantine ledger"):
+            QuarantineLedger.load(path)

@@ -116,6 +116,62 @@ class TestHFLSerialEquivalence:
         np.testing.assert_array_equal(a.totals, b.totals)
 
 
+class TestDefaultRobustConfigEquivalence:
+    """The seed regime: a default RobustConfig must change *nothing*.
+
+    The robustness PR's acceptance criterion — with ``RobustConfig()``
+    (weighted mean, no screening, no checkpointing) the workload builders
+    and trainers produce bit-for-bit the same logs as omitting the config
+    entirely.
+    """
+
+    def test_hfl_default_config_bit_for_bit(self, federation):
+        from repro.robust import RobustConfig
+
+        config = RobustConfig()
+        assert config.is_default()
+        trainer = _trainer()
+        plain = trainer.train(
+            federation.locals, federation.validation, track_validation=True
+        )
+        configured = trainer.train(
+            federation.locals, federation.validation, track_validation=True,
+            aggregator=config.make_aggregator(),
+            screener=config.make_screener(),
+            checkpoint=config.make_checkpoint("hfl"),
+            resume=config.resume,
+        )
+        assert_hfl_logs_identical(plain.log, configured.log)
+        np.testing.assert_array_equal(plain.final_theta, configured.final_theta)
+        assert all(r.applied_update is None for r in configured.log.records)
+        assert all(r.participation is None for r in configured.log.records)
+
+    def test_hfl_workload_default_config_bit_for_bit(self):
+        from repro.experiments.workloads import build_hfl_workload
+        from repro.robust import RobustConfig
+
+        plain = build_hfl_workload("motor", epochs=3, seed=0)
+        configured = build_hfl_workload(
+            "motor", epochs=3, seed=0, robust=RobustConfig()
+        )
+        assert configured.quarantine is None
+        assert_hfl_logs_identical(plain.result.log, configured.result.log)
+
+    def test_vfl_workload_default_config_bit_for_bit(self):
+        from repro.robust import RobustConfig
+
+        plain = build_vfl_workload("iris", epochs=6, seed=0)
+        configured = build_vfl_workload(
+            "iris", epochs=6, seed=0, robust=RobustConfig()
+        )
+        assert configured.quarantine is None
+        for a, b in zip(plain.result.log.records, configured.result.log.records):
+            np.testing.assert_array_equal(a.theta_before, b.theta_before)
+            np.testing.assert_array_equal(a.train_gradient, b.train_gradient)
+            assert b.participation is None
+        np.testing.assert_array_equal(plain.result.theta, configured.result.theta)
+
+
 class TestHFLThreadEquivalence:
     @pytest.mark.parametrize("workers", [2, 4])
     def test_pool_matches_sync(self, federation, workers):

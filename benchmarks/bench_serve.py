@@ -1,0 +1,165 @@
+"""Streaming ingest vs. batch recompute, cold vs. warm query cache.
+
+The serving layer's two pitches, measured:
+
+1. **O(1) incremental ingest** (Lemma 3 additivity): feeding epoch
+   ``τ+1`` into a :class:`StreamingHFLEstimator` costs one validation
+   gradient and ``n`` dot products regardless of ``τ``, while a batch
+   ``estimate_hfl_resource_saving`` call re-reads the whole prefix —
+   O(τ) and growing.
+2. **Warm-cache queries**: a repeated leaderboard/contributions query is
+   answered from the content-addressed cache without touching the
+   estimator, ≥10× faster than recomputing the batch estimate.
+
+Run either way::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import estimate_hfl_resource_saving
+from repro.experiments.workloads import build_hfl_workload
+from repro.hfl.log import TrainingLog
+from repro.serve import EvaluationService, StreamingHFLEstimator
+
+DATASET = "mnist"
+EPOCHS = 24
+N_PARTIES = 5
+N_SAMPLES = 600
+PREFIXES = (6, 12, 24)
+WARM_QUERIES = 50
+
+
+@pytest.fixture(scope="module")
+def cell():
+    return build_hfl_workload(
+        DATASET, n_parties=N_PARTIES, epochs=EPOCHS, n_samples=N_SAMPLES, seed=0
+    )
+
+
+def _prefix(log: TrainingLog, epochs: int) -> TrainingLog:
+    return TrainingLog(
+        participant_ids=log.participant_ids, records=log.records[:epochs]
+    )
+
+
+def _ingest_one_more(cell, tau: int) -> float:
+    """Seconds to ingest epoch ``τ+1`` after ``τ`` epochs are in."""
+    estimator = StreamingHFLEstimator(
+        cell.result.log.participant_ids,
+        cell.federation.validation,
+        cell.model_factory,
+    )
+    estimator.ingest_log(_prefix(cell.result.log, tau))
+    start = time.perf_counter()
+    estimator.ingest(cell.result.log.records[tau])
+    return time.perf_counter() - start
+
+
+def _batch_recompute(cell, epochs: int) -> float:
+    """Seconds for one batch estimate of the ``epochs``-long prefix."""
+    start = time.perf_counter()
+    estimate_hfl_resource_saving(
+        _prefix(cell.result.log, epochs),
+        cell.federation.validation,
+        cell.model_factory,
+    )
+    return time.perf_counter() - start
+
+
+@pytest.mark.parametrize("tau", [p for p in PREFIXES if p < EPOCHS])
+def test_bench_incremental_ingest_is_o1(benchmark, cell, tau):
+    """Ingest cost of epoch τ+1 is flat in τ; batch recompute is not."""
+
+    def setup():
+        estimator = StreamingHFLEstimator(
+            cell.result.log.participant_ids,
+            cell.federation.validation,
+            cell.model_factory,
+        )
+        estimator.ingest_log(_prefix(cell.result.log, tau))
+        return (estimator,), {}
+
+    benchmark.pedantic(
+        lambda estimator: estimator.ingest(cell.result.log.records[tau]),
+        setup=setup,
+        rounds=3,
+        iterations=1,
+    )
+    batch_seconds = min(_batch_recompute(cell, tau + 1) for _ in range(3))
+    ingest_seconds = benchmark.stats.stats.min
+    benchmark.extra_info["tau"] = tau
+    benchmark.extra_info["batch_recompute_sec"] = batch_seconds
+    # One epoch of streaming work must undercut re-reading the prefix.
+    assert ingest_seconds < batch_seconds
+
+
+def test_bench_warm_cache_queries(benchmark, cell):
+    """Warm repeated queries beat batch recompute by ≥10×."""
+    with EvaluationService() as service:
+        run_id = service.register_hfl_log(
+            cell.result.log, cell.federation.validation, cell.model_factory
+        )
+        start = time.perf_counter()
+        cold = service.leaderboard(run_id)  # miss: populates the cache
+        cold_seconds = time.perf_counter() - start
+
+        def warm():
+            return service.leaderboard(run_id)
+
+        warm_payload = benchmark(warm)
+        assert warm_payload == cold
+        warm_seconds = benchmark.stats.stats.mean
+        batch_seconds = min(_batch_recompute(cell, EPOCHS) for _ in range(3))
+        stats = service.cache.stats()
+        benchmark.extra_info["cold_query_sec"] = cold_seconds
+        benchmark.extra_info["speedup_vs_batch"] = batch_seconds / warm_seconds
+        benchmark.extra_info["cache_hits"] = stats["hits"]
+        assert stats["hits"] > 0
+        assert warm_seconds < cold_seconds
+        assert batch_seconds / warm_seconds >= 10.0
+
+
+def main() -> int:
+    """Standalone report: the ingest-scaling table and the cache speedup."""
+    cell = build_hfl_workload(
+        DATASET, n_parties=N_PARTIES, epochs=EPOCHS, n_samples=N_SAMPLES, seed=0
+    )
+    print(f"{N_PARTIES}-party {DATASET} cell, {EPOCHS} logged epochs")
+    print("\nincremental ingest of epoch τ+1 vs batch recompute of 1..τ+1")
+    print(f"{'τ':>4}  {'ingest (ms)':>11}  {'batch (ms)':>10}  {'ratio':>7}")
+    for tau in [p for p in PREFIXES if p < EPOCHS]:
+        ingest = min(_ingest_one_more(cell, tau) for _ in range(3))
+        batch = min(_batch_recompute(cell, tau + 1) for _ in range(3))
+        print(
+            f"{tau:>4}  {ingest * 1e3:>11.2f}  {batch * 1e3:>10.2f}  "
+            f"{batch / ingest:>6.1f}x"
+        )
+
+    with EvaluationService() as service:
+        run_id = service.register_hfl_log(
+            cell.result.log, cell.federation.validation, cell.model_factory
+        )
+        service.leaderboard(run_id)
+        start = time.perf_counter()
+        for _ in range(WARM_QUERIES):
+            service.leaderboard(run_id)
+        warm = (time.perf_counter() - start) / WARM_QUERIES
+        batch = min(_batch_recompute(cell, EPOCHS) for _ in range(3))
+        print(
+            f"\nwarm cached leaderboard: {warm * 1e6:.0f} µs/query, "
+            f"batch recompute {batch * 1e3:.1f} ms "
+            f"({batch / warm:.0f}x slower)"
+        )
+        print("cache stats:", service.cache.stats())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,7 @@ Subcommands::
         --dropout-rate 0.2 --straggler-ms 30 --round-deadline 80
     python -m repro.cli audit-hfl --robust-agg trimmed --screen \
         --checkpoint-dir ckpt            # re-run with --resume after a crash
+    python -m repro.cli serve --port 8733  # streaming evaluation HTTP API
 
 Every audit builds the named synthetic dataset, trains the federation,
 runs DIG-FL and prints a contribution table.  The ``--runtime`` family of
@@ -20,7 +21,11 @@ deadline-based partial aggregation — and prints the fault summary.  The
 robust flags activate :mod:`repro.robust`: ``--robust-agg`` picks a
 Byzantine-robust aggregation rule, ``--screen`` quarantines bad updates
 before aggregation (and prints the quarantine summary), and
-``--checkpoint-dir`` / ``--resume`` give crash-safe audits.
+``--checkpoint-dir`` / ``--resume`` give crash-safe audits.  ``serve``
+boots the :mod:`repro.serve` query service: register saved training logs
+over HTTP and query contributions, leaderboards and reweight vectors —
+including live, mid-training, when an engine publishes into the same
+service.
 """
 
 from __future__ import annotations
@@ -259,6 +264,16 @@ def _cmd_audit_vfl(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    # Imported here so plain audits never pay for the server stack.
+    from repro.serve import EvaluationService, serve
+
+    service = EvaluationService(
+        cache_bytes=args.cache_mb * 1024 * 1024, max_workers=args.query_workers
+    )
+    return serve(args.host, args.port, service=service)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -295,6 +310,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runtime_flags(vfl)
     _add_robust_flags(vfl, vfl=True)
     vfl.set_defaults(func=_cmd_audit_vfl)
+
+    serve = sub.add_parser(
+        "serve", help="HTTP query service for streaming contribution evaluation"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8733)
+    serve.add_argument("--cache-mb", type=int, default=64,
+                       help="result/gradient cache budget in MiB")
+    serve.add_argument("--query-workers", type=int, default=4,
+                       help="thread-pool size for asynchronous queries")
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -41,6 +41,7 @@ from repro.core.selection import (
     select_top_k,
     select_under_budget,
 )
+from repro.core.valgrad import epoch_validation_gradient, validation_gradients
 
 __all__ = [
     "ContributionReport",
@@ -49,6 +50,7 @@ __all__ = [
     "SampleInfluenceReport",
     "SelectionResult",
     "VFLDIGFLReweighter",
+    "epoch_validation_gradient",
     "estimate_hfl_interactive",
     "estimate_hfl_resource_saving",
     "estimate_vfl_first_order",
@@ -70,5 +72,6 @@ __all__ = [
     "softmax_weights",
     "streaming_payments",
     "validation_gradient_norms",
+    "validation_gradients",
     "violation_fraction",
 ]

@@ -36,23 +36,12 @@ import numpy as np
 from repro.autodiff.grad import hvp
 from repro.autodiff.tensor import Tensor
 from repro.core.contribution import ContributionReport, from_per_epoch
+from repro.core.valgrad import GradientMemo, validation_gradients
 from repro.data.dataset import Dataset
 from repro.hfl.log import TrainingLog
-from repro.hfl.trainer import flat_gradient
 from repro.metrics.cost import FLOAT64_BYTES, CostLedger
 from repro.nn.models import Classifier
 from repro.utils.packing import unflatten_params
-
-
-def _validation_gradients(
-    log: TrainingLog, validation: Dataset, model: Classifier
-) -> np.ndarray:
-    """``∇loss^v(θ_{t-1})`` for every epoch, shape (τ, p)."""
-    grads = np.empty((log.n_epochs, log.records[0].theta_before.size))
-    for t, record in enumerate(log.records):
-        model.set_flat(record.theta_before)
-        grads[t] = flat_gradient(model, validation.X, validation.y)
-    return grads
 
 
 def estimate_hfl_resource_saving(
@@ -62,6 +51,8 @@ def estimate_hfl_resource_saving(
     *,
     use_logged_weights: bool = False,
     ledger: CostLedger | None = None,
+    val_grad_memo: GradientMemo | None = None,
+    val_grad_key: str | None = None,
 ) -> ContributionReport:
     """Algorithm 2: first-order per-epoch contributions from the log only.
 
@@ -77,6 +68,11 @@ def estimate_hfl_resource_saving(
     paper's per-epoch formulation has no term for it), and the uniform
     divisor becomes the number of updates the server actually aggregated
     that round.
+
+    ``val_grad_memo`` / ``val_grad_key`` thread an optional gradient memo
+    through :func:`repro.core.valgrad.validation_gradients`, so a caching
+    layer (:mod:`repro.serve`) computes each epoch's validation gradient
+    once per (log, epoch) no matter how many estimators consume it.
     """
     if log.n_epochs == 0:
         raise ValueError("training log is empty")
@@ -84,7 +80,9 @@ def estimate_hfl_resource_saving(
     model = model_factory()
     n = log.n_participants
     with ledger.computing():
-        val_grads = _validation_gradients(log, validation, model)
+        val_grads = validation_gradients(
+            log, validation, model, memo=val_grad_memo, key=val_grad_key
+        )
         per_epoch = np.empty((log.n_epochs, n))
         for t, record in enumerate(log.records):
             raw = record.local_updates @ val_grads[t]
@@ -148,7 +146,7 @@ def estimate_hfl_interactive(
         return np.concatenate([h.data.ravel() for h in hv])
 
     with ledger.computing():
-        val_grads = _validation_gradients(log, validation, model)
+        val_grads = validation_gradients(log, validation, model)
         per_epoch = np.empty((log.n_epochs, n))
         # running Σ_j ΔG_j^{-i} per participant
         delta_g_sum = np.zeros((n, p))

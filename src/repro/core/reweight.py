@@ -21,8 +21,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.valgrad import epoch_validation_gradient
 from repro.data.dataset import Dataset
-from repro.hfl.trainer import flat_gradient
 from repro.nn.models import Classifier
 
 
@@ -115,9 +115,10 @@ class DIGFLReweighter:
     ) -> np.ndarray:
         del lr, epoch
         saved = model.get_flat()
-        model.set_flat(theta_before)
         try:
-            val_grad = flat_gradient(model, self.validation.X, self.validation.y)
+            val_grad = epoch_validation_gradient(
+                model, theta_before, self.validation
+            )
         finally:
             model.set_flat(saved)
         n = len(local_updates)

@@ -38,15 +38,26 @@ class TrainingLogIntegrityError(ValueError):
     """A training-log file is unreadable, truncated, or fails its checksum."""
 
 
-def _content_checksum(arrays: dict[str, np.ndarray]) -> str:
-    """SHA-256 over every array's name, dtype, shape and raw bytes."""
-    digest = hashlib.sha256()
+def hash_arrays(digest, arrays: dict[str, np.ndarray]) -> None:
+    """Feed named arrays (name, dtype, shape, raw bytes) into ``digest``.
+
+    This is *the* array-hashing scheme of the repo: the embedded ``.npz``
+    checksums and the incremental per-epoch digests of
+    :mod:`repro.serve.cache` both use it, so a streamed run and a
+    round-tripped file agree on content identity.
+    """
     for name in sorted(arrays):
         array = np.ascontiguousarray(arrays[name])
         digest.update(name.encode())
         digest.update(str(array.dtype).encode())
         digest.update(str(array.shape).encode())
         digest.update(array.tobytes())
+
+
+def _content_checksum(arrays: dict[str, np.ndarray]) -> str:
+    """SHA-256 over every array's name, dtype, shape and raw bytes."""
+    digest = hashlib.sha256()
+    hash_arrays(digest, arrays)
     return digest.hexdigest()
 
 
@@ -79,18 +90,8 @@ def _verify_checksum(path: str | Path, meta: dict, arrays: dict[str, np.ndarray]
         )
 
 
-def save_training_log(log: TrainingLog, path: str | Path) -> None:
-    """Write an HFL training log to ``path`` (``.npz``), checksummed."""
-    if log.n_epochs == 0:
-        raise ValueError("refusing to save an empty training log")
-    meta = {
-        "format": _HFL_FORMAT,
-        "participant_ids": log.participant_ids,
-        "epochs": [r.epoch for r in log.records],
-        "lrs": [r.lr for r in log.records],
-        "val_losses": [r.val_loss for r in log.records],
-        "val_accuracies": [r.val_accuracy for r in log.records],
-    }
+def _hfl_arrays(log: TrainingLog) -> dict[str, np.ndarray]:
+    """The array payload of an HFL log, as :func:`save_training_log` writes it."""
     arrays = {
         "theta_before": np.stack([r.theta_before for r in log.records]),
         "local_updates": np.stack([r.local_updates for r in log.records]),
@@ -112,6 +113,34 @@ def save_training_log(log: TrainingLog, path: str | Path) -> None:
         arrays["applied_mask"] = np.array(
             [r.applied_update is not None for r in log.records], dtype=np.uint8
         )
+    return arrays
+
+
+def training_log_checksum(log: TrainingLog) -> str:
+    """The SHA-256 content checksum :func:`save_training_log` would embed.
+
+    Computable without touching disk, so an in-memory log and its saved
+    ``.npz`` share one content identity — :mod:`repro.serve` keys its
+    result cache on it.
+    """
+    if log.n_epochs == 0:
+        raise ValueError("cannot checksum an empty training log")
+    return _content_checksum(_hfl_arrays(log))
+
+
+def save_training_log(log: TrainingLog, path: str | Path) -> None:
+    """Write an HFL training log to ``path`` (``.npz``), checksummed."""
+    if log.n_epochs == 0:
+        raise ValueError("refusing to save an empty training log")
+    meta = {
+        "format": _HFL_FORMAT,
+        "participant_ids": log.participant_ids,
+        "epochs": [r.epoch for r in log.records],
+        "lrs": [r.lr for r in log.records],
+        "val_losses": [r.val_loss for r in log.records],
+        "val_accuracies": [r.val_accuracy for r in log.records],
+    }
+    arrays = _hfl_arrays(log)
     meta["checksum"] = _content_checksum(arrays)
     np.savez_compressed(path, meta=json.dumps(meta), **arrays)
 
@@ -172,6 +201,26 @@ def load_training_log(path: str | Path) -> TrainingLog:
     return log
 
 
+def _vfl_arrays(log: VFLTrainingLog) -> dict[str, np.ndarray]:
+    """The array payload of a VFL log, as :func:`save_vfl_training_log` writes it."""
+    return {
+        "theta_before": np.stack([r.theta_before for r in log.records]),
+        "train_gradient": np.stack([r.train_gradient for r in log.records]),
+        "val_gradient": np.stack([r.val_gradient for r in log.records]),
+        "weights": np.stack([r.weights for r in log.records]),
+        "participation": np.stack(
+            [r.participation_mask() for r in log.records]
+        ).astype(np.uint8),
+    }
+
+
+def vfl_training_log_checksum(log: VFLTrainingLog) -> str:
+    """The SHA-256 content checksum :func:`save_vfl_training_log` would embed."""
+    if log.n_epochs == 0:
+        raise ValueError("cannot checksum an empty training log")
+    return _content_checksum(_vfl_arrays(log))
+
+
 def save_vfl_training_log(log: VFLTrainingLog, path: str | Path) -> None:
     """Write a VFL training log to ``path`` (``.npz``), checksummed."""
     if log.n_epochs == 0:
@@ -185,15 +234,7 @@ def save_vfl_training_log(log: VFLTrainingLog, path: str | Path) -> None:
         "train_losses": [r.train_loss for r in log.records],
         "val_losses": [r.val_loss for r in log.records],
     }
-    arrays = {
-        "theta_before": np.stack([r.theta_before for r in log.records]),
-        "train_gradient": np.stack([r.train_gradient for r in log.records]),
-        "val_gradient": np.stack([r.val_gradient for r in log.records]),
-        "weights": np.stack([r.weights for r in log.records]),
-        "participation": np.stack(
-            [r.participation_mask() for r in log.records]
-        ).astype(np.uint8),
-    }
+    arrays = _vfl_arrays(log)
     meta["checksum"] = _content_checksum(arrays)
     np.savez_compressed(path, meta=json.dumps(meta), **arrays)
 

@@ -9,6 +9,8 @@ time, so benchmark tables can print both columns of Figs. 3–5.
 
 from __future__ import annotations
 
+import bisect
+import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
 
@@ -23,6 +25,7 @@ def nbytes(payload) -> int:
     """Size in bytes of a message payload.
 
     Arrays count their buffer size; lists/tuples sum their elements;
+    strings/bytes count their encoded length (JSON API responses);
     scalars count as one float64.  Ciphertext objects may provide
     ``payload.nbytes`` (Paillier ciphertexts do).
     """
@@ -30,6 +33,10 @@ def nbytes(payload) -> int:
         return 0
     if isinstance(payload, np.ndarray):
         return int(payload.nbytes)
+    if isinstance(payload, bytes):
+        return len(payload)
+    if isinstance(payload, str):
+        return len(payload.encode())
     if isinstance(payload, (list, tuple)):
         return sum(nbytes(item) for item in payload)
     if isinstance(payload, dict):
@@ -39,6 +46,80 @@ def nbytes(payload) -> int:
     if isinstance(payload, (int, float, np.floating, np.integer, bool)):
         return FLOAT64_BYTES
     raise TypeError(f"cannot size payload of type {type(payload).__name__}")
+
+
+# Default latency buckets: 1 µs … 10 s on a 1-2.5-5 log scale — wide enough
+# for in-process cache hits and cold validation-gradient recomputation alike.
+_LATENCY_BOUNDS = tuple(
+    base * scale for base in (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0) for scale in (1.0, 2.5, 5.0)
+) + (10.0,)
+
+
+class LatencyHistogram:
+    """Thread-safe fixed-bucket latency histogram (seconds).
+
+    The query service records one observation per request;
+    ``/metricz`` serialises :meth:`summary`.  Percentiles are read off the
+    bucket upper bounds — coarse, monotone, and allocation-free on the
+    hot path, which is what a per-request counter needs.
+    """
+
+    def __init__(self, bounds: tuple[float, ...] = _LATENCY_BOUNDS) -> None:
+        if list(bounds) != sorted(bounds) or len(bounds) != len(set(bounds)):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.bounds = tuple(float(b) for b in bounds)
+        self._counts = [0] * (len(self.bounds) + 1)  # +1: overflow bucket
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        """Count one observation of ``seconds``."""
+        if seconds < 0:
+            raise ValueError(f"latency must be non-negative, got {seconds}")
+        bucket = bisect.bisect_left(self.bounds, seconds)
+        with self._lock:
+            self._counts[bucket] += 1
+            self._count += 1
+            self._total += seconds
+            self._max = max(self._max, seconds)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._total / self._count if self._count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile observation."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            rank = q * self._count
+            seen = 0
+            for bucket, n in enumerate(self._counts):
+                seen += n
+                if seen >= rank and n:
+                    if bucket < len(self.bounds):
+                        return self.bounds[bucket]
+                    return self._max
+            return self._max
+
+    def summary(self) -> dict[str, float]:
+        """Counters for ``/metricz``: count, mean/p50/p95/max milliseconds."""
+        return {
+            "count": float(self.count),
+            "mean_ms": self.mean * 1e3,
+            "p50_ms": self.percentile(0.50) * 1e3,
+            "p95_ms": self.percentile(0.95) * 1e3,
+            "max_ms": self._max * 1e3,
+        }
 
 
 @dataclass

@@ -36,7 +36,7 @@ Quickstart::
 """
 
 from repro.runtime.clock import SimulatedClock
-from repro.runtime.engine import FederatedRuntime, RuntimeConfig
+from repro.runtime.engine import ContributionSink, FederatedRuntime, RuntimeConfig
 from repro.runtime.events import Event, EventLog
 from repro.runtime.executor import (
     Executor,
@@ -48,6 +48,7 @@ from repro.runtime.faults import NULL_PLAN, FaultInjector, FaultPlan, TaskFate
 from repro.runtime.scheduler import PartyOutcome, RoundOutcome, Scheduler
 
 __all__ = [
+    "ContributionSink",
     "Event",
     "EventLog",
     "Executor",

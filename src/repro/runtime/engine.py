@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Protocol, Sequence
 
 import numpy as np
 
@@ -52,6 +52,21 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.robust.aggregators import Aggregator
     from repro.robust.checkpoint import CheckpointManager
     from repro.robust.screening import UpdateScreener
+
+
+class ContributionSink(Protocol):
+    """Anything the engine can publish finished epoch records into.
+
+    :class:`repro.serve.service.ContributionPublisher` is the shipped
+    implementation — it streams each record into a live
+    :class:`~repro.serve.service.EvaluationService` run, so contributions
+    and leaderboards are queryable *while* training runs.  ``publish``
+    returns a detail dict which the engine attaches to the round's
+    ``contrib_updated`` event (keeping the dependency pointing from serve
+    to runtime, never back).
+    """
+
+    def publish(self, record) -> dict: ...
 
 
 @dataclass(frozen=True)
@@ -134,6 +149,7 @@ class FederatedRuntime:
         screener: "UpdateScreener | None" = None,
         checkpoint: "CheckpointManager | None" = None,
         resume: bool = False,
+        publisher: ContributionSink | None = None,
     ) -> HFLResult:
         """FedSGD/FedAvg on the engine; signature mirrors ``HFLTrainer.train``.
 
@@ -145,6 +161,11 @@ class FederatedRuntime:
         simulated clock at zero, but fault fates are keyed on (round,
         party), so the resumed training log is bit-for-bit the
         uninterrupted one.
+
+        ``publisher`` streams every finished round's :class:`EpochRecord`
+        into a live contribution service (see :class:`ContributionSink`),
+        emitting one ``contrib_updated`` event per round.  Publication is
+        read-only bookkeeping — it never changes the training numbers.
         """
         participants = resolve_coalition(locals_, participants)
         if (track_validation or reweighter is not None) and validation is None:
@@ -264,6 +285,8 @@ class FederatedRuntime:
                 )
                 if checkpoint is not None:
                     checkpoint.save(log)
+                if publisher is not None:
+                    self._publish_round(publisher, log.records[-1], outcome)
         finally:
             executor.shutdown()
         return HFLResult(model=model, log=log)
@@ -283,6 +306,7 @@ class FederatedRuntime:
         screener: "UpdateScreener | None" = None,
         checkpoint: "CheckpointManager | None" = None,
         resume: bool = False,
+        publisher: ContributionSink | None = None,
     ) -> VFLResult:
         """Vertical training on the engine; mirrors ``VFLTrainer.train``.
 
@@ -297,8 +321,8 @@ class FederatedRuntime:
         per-party gradient blocks of the parties that arrived (cosine rule
         disabled across disjoint blocks); quarantined parties are treated
         exactly like deadline misses and each incident is emitted as a
-        ``quarantine`` event.  ``checkpoint`` / ``resume`` behave as on
-        :meth:`run_hfl`.
+        ``quarantine`` event.  ``checkpoint`` / ``resume`` / ``publisher``
+        behave as on :meth:`run_hfl`.
         """
         if resume and checkpoint is None:
             raise ValueError("resume=True requires a checkpoint manager")
@@ -448,11 +472,25 @@ class FederatedRuntime:
                 theta = theta - lr * update
                 if checkpoint is not None:
                     checkpoint.save(log)
+                if publisher is not None:
+                    self._publish_round(publisher, log.records[-1], outcome)
         finally:
             executor.shutdown()
         return VFLResult(theta=theta, log=log, model=model)
 
     # ------------------------------------------------------------- plumbing
+
+    def _publish_round(
+        self, publisher: ContributionSink, record, outcome: RoundOutcome
+    ) -> None:
+        """Push one finished round into the sink; emit ``contrib_updated``."""
+        detail = publisher.publish(record)
+        self.event_log.record(
+            ev.CONTRIB_UPDATED,
+            outcome.ended_at,
+            record.epoch,
+            **(detail if isinstance(detail, dict) else {}),
+        )
 
     def _screen_round(
         self,

@@ -29,6 +29,9 @@ RETRY = "retry"
 # An update arrived but was excluded by the pre-aggregation screening pass
 # of repro.robust (detail carries the rule and its numbers).
 QUARANTINE = "quarantine"
+# The round's epoch record was published into a live contribution service
+# (repro.serve); detail carries the run id and the current leaderboard head.
+CONTRIB_UPDATED = "contrib_updated"
 
 EVENT_KINDS = frozenset(
     {
@@ -41,6 +44,7 @@ EVENT_KINDS = frozenset(
         CRASH,
         RETRY,
         QUARANTINE,
+        CONTRIB_UPDATED,
     }
 )
 
@@ -147,5 +151,6 @@ class EventLog:
             "crashes": float(counts[CRASH]),
             "retries": float(counts[RETRY]),
             "quarantines": float(counts[QUARANTINE]),
+            "contrib_updates": float(counts[CONTRIB_UPDATED]),
             "sim_seconds": self.sim_seconds,
         }

@@ -1,0 +1,39 @@
+"""Streaming contribution evaluation: estimators, cache, service, HTTP API.
+
+The batch DIG-FL estimators re-read the whole training log and recompute
+every validation gradient per call; at serving scale that cost — not the
+estimation math — is the bottleneck.  This package exploits the paper's
+per-epoch additivity (Lemma 3, Eq. 13–15) to make contributions
+*incrementally* computable and cheaply *queryable*:
+
+* :mod:`~repro.serve.streaming` — :class:`StreamingHFLEstimator` /
+  :class:`StreamingVFLEstimator` consume one epoch record at a time,
+  bit-for-bit equal to the batch estimators on any prefix;
+* :mod:`~repro.serve.cache` — :class:`ResultCache`, a content-addressed
+  LRU keyed on the same SHA-256 array hashes :mod:`repro.io` embeds in
+  saved logs;
+* :mod:`~repro.serve.service` — :class:`EvaluationService`, the
+  thread-safe in-process registry the :mod:`repro.runtime` engine
+  publishes live epochs into (``contrib_updated`` events);
+* :mod:`~repro.serve.http` — a stdlib ``ThreadingHTTPServer`` JSON API
+  (``repro serve --port``).
+"""
+
+from repro.serve.cache import CacheMemo, ResultCache, RunDigest, fingerprint_arrays
+from repro.serve.http import EvaluationHTTPServer, register_from_spec, serve
+from repro.serve.service import ContributionPublisher, EvaluationService
+from repro.serve.streaming import StreamingHFLEstimator, StreamingVFLEstimator
+
+__all__ = [
+    "CacheMemo",
+    "ContributionPublisher",
+    "EvaluationHTTPServer",
+    "EvaluationService",
+    "ResultCache",
+    "RunDigest",
+    "StreamingHFLEstimator",
+    "StreamingVFLEstimator",
+    "fingerprint_arrays",
+    "register_from_spec",
+    "serve",
+]

@@ -1,0 +1,245 @@
+"""Content-addressed result cache with an LRU byte budget.
+
+Every query answer the service hands out is a pure function of *content*:
+the training-log prefix ingested so far (hashed with the same array scheme
+as the checksums :mod:`repro.io` embeds in ``.npz`` files), the validation
+set and model architecture, the estimator configuration, and the query
+parameters.  Keying the cache on those digests — never on run ids — means
+two runs registered from the same saved log share every cached answer and
+every memoised validation gradient, and a re-registration after a server
+restart is warm from the first query.
+
+The cache is a plain LRU over a byte budget: small (a few MB) because the
+cached values are per-party score vectors and JSON payloads, not
+gradients.  Hit/miss/eviction counters feed ``/metricz``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Iterator, MutableMapping
+
+import numpy as np
+
+from repro.hfl.log import EpochRecord
+from repro.io import hash_arrays
+from repro.metrics.cost import nbytes
+from repro.vfl.log import VFLEpochRecord
+
+
+def payload_nbytes(value: Any) -> int:
+    """Byte cost charged against the budget for one cached value."""
+    try:
+        return max(nbytes(value), 1)
+    except TypeError:
+        # Unsized objects (reports, futures) are charged a flat guess; the
+        # budget is about bounding memory, not accounting it to the byte.
+        return 1024
+
+
+class RunDigest:
+    """Incremental content identity of a training-log prefix.
+
+    Seeded with the run's static fingerprint (estimator kind and options,
+    validation-set and model-architecture hashes) and updated with every
+    ingested epoch record — using :func:`repro.io.hash_arrays`, the exact
+    scheme behind the checksums embedded in saved ``.npz`` logs.  After
+    ingesting a full log the digest is therefore a deterministic function
+    of the same bytes :func:`repro.io.training_log_checksum` hashes, so
+    identical logs collapse onto identical cache keys.
+    """
+
+    def __init__(self, *seed_parts: str) -> None:
+        self._digest = hashlib.sha256()
+        for part in seed_parts:
+            self._digest.update(part.encode())
+            self._digest.update(b"\x00")
+        self._epochs = 0
+
+    @property
+    def epochs(self) -> int:
+        return self._epochs
+
+    def update_hfl(self, record: EpochRecord) -> str:
+        """Absorb one HFL epoch record; returns the new hex state."""
+        hash_arrays(
+            self._digest,
+            {
+                "theta_before": record.theta_before,
+                "local_updates": record.local_updates,
+                "weights": record.weights,
+                "participation": record.participation_mask().astype(np.uint8),
+            },
+        )
+        self._digest.update(repr((record.epoch, record.lr)).encode())
+        self._epochs += 1
+        return self.hexdigest()
+
+    def update_vfl(self, record: VFLEpochRecord) -> str:
+        """Absorb one VFL epoch record; returns the new hex state."""
+        hash_arrays(
+            self._digest,
+            {
+                "theta_before": record.theta_before,
+                "train_gradient": record.train_gradient,
+                "val_gradient": record.val_gradient,
+                "weights": record.weights,
+                "participation": record.participation_mask().astype(np.uint8),
+            },
+        )
+        self._digest.update(repr((record.epoch, record.lr)).encode())
+        self._epochs += 1
+        return self.hexdigest()
+
+    def hexdigest(self) -> str:
+        return self._digest.copy().hexdigest()
+
+
+def fingerprint_arrays(**arrays: np.ndarray) -> str:
+    """SHA-256 fingerprint of named arrays (validation sets, blocks)."""
+    digest = hashlib.sha256()
+    hash_arrays(digest, {k: np.asarray(v) for k, v in arrays.items()})
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Thread-safe LRU cache bounded by a byte budget.
+
+    ``get``/``put`` are the raw interface; :meth:`get_or_compute` is the
+    read-through form the service uses; :meth:`memo` adapts a key prefix
+    into the ``MutableMapping`` interface
+    :func:`repro.core.valgrad.epoch_validation_gradient` expects.
+
+    A value larger than the whole budget is never admitted (it would only
+    evict everything and then miss anyway); the ``rejected`` counter
+    records those.
+    """
+
+    def __init__(self, max_bytes: int = 64 * 1024 * 1024) -> None:
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self._entries: OrderedDict[Any, tuple[Any, int]] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.rejected = 0
+
+    def get(self, key) -> Any | None:
+        """The cached value, marked most-recently-used — or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[0]
+
+    def put(self, key, value, size: int | None = None) -> None:
+        """Insert (or refresh) ``key``, evicting LRU entries past the budget."""
+        size = payload_nbytes(value) if size is None else int(size)
+        with self._lock:
+            if size > self.max_bytes:
+                self.rejected += 1
+                return
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            self._entries[key] = (value, size)
+            self._bytes += size
+            while self._bytes > self.max_bytes:
+                _, (_, evicted_size) = self._entries.popitem(last=False)
+                self._bytes -= evicted_size
+                self.evictions += 1
+
+    def get_or_compute(self, key, compute: Callable[[], Any]) -> Any:
+        """Read-through lookup: one miss computes and caches the value.
+
+        The compute runs outside the cache lock — concurrent misses on the
+        same key may compute twice (both arrive at the same value, since
+        keys are content hashes), but a slow computation never blocks
+        unrelated hits.
+        """
+        value = self.get(key)
+        if value is None:
+            value = compute()
+            self.put(key, value)
+        return value
+
+    def __contains__(self, key) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def current_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def stats(self) -> dict[str, int]:
+        """Counters for ``/metricz``; ``lookups = hits + misses`` always."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "lookups": self.hits + self.misses,
+                "evictions": self.evictions,
+                "rejected": self.rejected,
+            }
+
+    def memo(self, prefix: str) -> "CacheMemo":
+        """A ``MutableMapping`` view of this cache under a key namespace."""
+        return CacheMemo(self, prefix)
+
+
+class CacheMemo(MutableMapping):
+    """Mapping adapter: ``memo[k]`` ⇄ ``cache[(prefix, k)]``.
+
+    Plugs a :class:`ResultCache` into memo-taking helpers like
+    :func:`repro.core.valgrad.validation_gradients`, so validation
+    gradients share the budget — and the eviction policy — with query
+    results.  Deletion and iteration are unsupported (an LRU cache is not
+    an inventory); ``len`` reports the whole cache.
+    """
+
+    def __init__(self, cache: ResultCache, prefix: str) -> None:
+        self.cache = cache
+        self.prefix = prefix
+
+    def __getitem__(self, key):
+        value = self.cache.get((self.prefix, key))
+        if value is None:
+            raise KeyError(key)
+        return value
+
+    def get(self, key, default=None):
+        value = self.cache.get((self.prefix, key))
+        return default if value is None else value
+
+    def __setitem__(self, key, value) -> None:
+        self.cache.put((self.prefix, key), value)
+
+    def __delitem__(self, key) -> None:
+        raise TypeError("cache-backed memos do not support deletion")
+
+    def __iter__(self) -> Iterator:
+        raise TypeError("cache-backed memos are not iterable")
+
+    def __len__(self) -> int:
+        return len(self.cache)

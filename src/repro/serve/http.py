@@ -1,0 +1,258 @@
+"""Stdlib-only HTTP JSON API over :class:`~repro.serve.service.EvaluationService`.
+
+Endpoints::
+
+    GET  /healthz                      liveness + run count
+    GET  /metricz                      latency histograms + cache counters
+    GET  /runs                         registered runs
+    POST /runs                         register a saved training log
+    GET  /runs/{id}/contributions      whole-process totals (Eq. 15)
+    GET  /runs/{id}/leaderboard?top=k  ranked parties, best first
+    GET  /runs/{id}/weights?scheme=s   Eq. 17-18 reweight vector
+
+``POST /runs`` body (JSON)::
+
+    {"kind": "hfl", "log_path": "run.npz", "dataset": "mnist",
+     "seed": 0, "n_samples": 1200, "run_id": "optional",
+     "use_logged_weights": false}
+    {"kind": "vfl", "log_path": "run.npz", "run_id": "optional"}
+
+A VFL log is self-contained (it embeds both gradient factors of Eq. 27).
+An HFL log needs the server-side validation set and model architecture,
+which are rebuilt from the dataset spec with the *same* derived seeds the
+CLI / workload builders use — so a log saved by ``repro.cli audit-hfl
+--save-log`` can be registered by (dataset, seed) alone.  The validation
+split is drawn before any corruption, so corruption parameters are not
+needed.
+
+The server is a :class:`ThreadingHTTPServer`: each request gets a thread,
+the service's per-run locks and thread-safe cache do the rest.  Run it
+with ``python -m repro.cli serve --port 8733``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.data import HFL_DATASETS, build_hfl_federation
+from repro.io import load_training_log, load_vfl_training_log
+from repro.metrics.cost import LatencyHistogram
+from repro.nn import make_hfl_model
+from repro.serve.service import EvaluationService
+from repro.utils.rng import derive_seed
+
+_DEFAULT_N_SAMPLES = 1200
+
+
+class ApiError(Exception):
+    """An error with an HTTP status, serialised as ``{"error": ...}``."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def hfl_validation_and_model(dataset: str, seed: int, n_samples: int | None = None):
+    """Rebuild the (validation set, model factory) pair of a workload.
+
+    Mirrors the seed derivation of
+    :func:`repro.experiments.workloads.build_hfl_workload`:
+    ``derive_seed(seed, 1)`` makes the data, ``derive_seed(seed, 2)``
+    splits it (validation first, so party counts and corruption do not
+    matter), ``derive_seed(seed, 3)`` seeds the model.
+    """
+    if dataset not in HFL_DATASETS:
+        raise ApiError(400, f"{dataset!r} is not an HFL dataset")
+    info = HFL_DATASETS[dataset]
+    data = info.make(
+        n_samples=n_samples or _DEFAULT_N_SAMPLES, seed=derive_seed(seed, 1)
+    )
+    federation = build_hfl_federation(data, 1, seed=derive_seed(seed, 2))
+
+    def model_factory():
+        return make_hfl_model(dataset, seed=derive_seed(seed, 3))
+
+    return federation.validation, model_factory
+
+
+def register_from_spec(service: EvaluationService, spec: dict) -> dict:
+    """Handle a ``POST /runs`` body: load the log, register, ingest."""
+    kind = spec.get("kind")
+    if kind not in ("hfl", "vfl"):
+        raise ApiError(400, "kind must be 'hfl' or 'vfl'")
+    log_path = spec.get("log_path")
+    if not log_path:
+        raise ApiError(400, "log_path is required")
+    run_id = spec.get("run_id")
+    try:
+        if kind == "hfl":
+            log = load_training_log(log_path)
+            validation, model_factory = hfl_validation_and_model(
+                spec.get("dataset", "mnist"),
+                int(spec.get("seed", 0)),
+                spec.get("n_samples"),
+            )
+            run_id = service.register_hfl_log(
+                log,
+                validation,
+                model_factory,
+                run_id=run_id,
+                use_logged_weights=bool(spec.get("use_logged_weights", False)),
+            )
+        else:
+            log = load_vfl_training_log(log_path)
+            run_id = service.register_vfl_log(log, run_id=run_id)
+    except ApiError:
+        raise
+    except FileNotFoundError:
+        raise ApiError(400, f"no training log at {log_path!r}") from None
+    except (ValueError, KeyError) as exc:
+        raise ApiError(400, str(exc)) from None
+    return {"run_id": run_id, "kind": kind, "epochs": log.n_epochs}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests onto the server's :class:`EvaluationService`."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> EvaluationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:  # type: ignore[attr-defined]
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------- plumbing
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _dispatch(self, handler) -> None:
+        started = time.perf_counter()
+        try:
+            payload, status = handler()
+        except ApiError as exc:
+            payload, status = {"error": str(exc)}, exc.status
+        except KeyError as exc:
+            payload, status = {"error": str(exc.args[0] if exc.args else exc)}, 404
+        except ValueError as exc:
+            payload, status = {"error": str(exc)}, 400
+        except Exception as exc:  # pragma: no cover - last-resort guard
+            payload, status = {"error": f"internal error: {exc}"}, 500
+        self._send_json(payload, status)
+        self.server.request_latency.record(  # type: ignore[attr-defined]
+            time.perf_counter() - started
+        )
+
+    # --------------------------------------------------------------- routes
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch(self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch(self._route_post)
+
+    def _route_get(self) -> tuple[dict, int]:
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        query = parse_qs(url.query)
+        if parts == ["healthz"]:
+            return {"status": "ok", "runs": len(self.service.runs())}, 200
+        if parts == ["metricz"]:
+            stats = self.service.stats()
+            stats["latency"]["http"] = self.server.request_latency.summary()  # type: ignore[attr-defined]
+            return stats, 200
+        if parts == ["runs"]:
+            return {"runs": self.service.runs()}, 200
+        if len(parts) == 3 and parts[0] == "runs":
+            run_id, endpoint = parts[1], parts[2]
+            if endpoint == "contributions":
+                return self.service.contributions(run_id), 200
+            if endpoint == "leaderboard":
+                top = query.get("top", [None])[0]
+                return (
+                    self.service.leaderboard(
+                        run_id, top=int(top) if top is not None else None
+                    ),
+                    200,
+                )
+            if endpoint == "weights":
+                scheme = query.get("scheme", ["rectified"])[0]
+                return self.service.weights(run_id, scheme=scheme), 200
+        raise ApiError(404, f"no such endpoint: GET {url.path}")
+
+    def _route_post(self) -> tuple[dict, int]:
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        if parts != ["runs"]:
+            raise ApiError(404, f"no such endpoint: POST {url.path}")
+        length = int(self.headers.get("Content-Length", 0))
+        try:
+            spec = json.loads(self.rfile.read(length) or b"{}")
+        except json.JSONDecodeError as exc:
+            raise ApiError(400, f"request body is not JSON: {exc}") from None
+        if not isinstance(spec, dict):
+            raise ApiError(400, "request body must be a JSON object")
+        return register_from_spec(self.service, spec), 201
+
+
+class EvaluationHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`EvaluationService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: EvaluationService | None = None,
+        *,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.service = service if service is not None else EvaluationService()
+        self.request_latency = LatencyHistogram()
+        self.verbose = verbose
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def serve_background(self) -> threading.Thread:
+        """Serve on a daemon thread (tests / in-process embedding)."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8733,
+    *,
+    service: EvaluationService | None = None,
+    verbose: bool = True,
+) -> int:
+    """Run the server until interrupted; the ``repro serve`` entry point."""
+    server = EvaluationHTTPServer((host, port), service, verbose=verbose)
+    print(f"repro-serve listening on http://{host}:{server.port}")
+    print("endpoints: /healthz /metricz /runs "
+          "/runs/{id}/contributions /runs/{id}/leaderboard /runs/{id}/weights")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+        server.service.close()
+    return 0

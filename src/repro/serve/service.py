@@ -1,0 +1,355 @@
+"""In-process contribution evaluation service.
+
+One :class:`EvaluationService` owns a registry of *runs* (streaming
+estimator + incremental content digest + lock), a shared
+:class:`~repro.serve.cache.ResultCache`, a request thread pool, and
+latency histograms.  Producers push epochs in — either batched from a
+saved log or live from the :mod:`repro.runtime` engine through a
+:class:`ContributionPublisher` — and any number of consumer threads query
+contributions, leaderboards and Eq. 17 reweight vectors mid-training.
+
+Concurrency model, in one paragraph: the registry is guarded by one lock;
+each run is guarded by its own re-entrant lock, held for the duration of
+every ingest *and* every query touching that run's estimator, so a query
+always observes a whole number of epochs.  Query answers are cached
+content-addressed (log-prefix digest + query parameters); the cache is
+itself thread-safe, so hits never take the run lock's slow path twice.
+Validation gradients are memoised through the same cache under the
+epoch's digest snapshot, which is what makes repeated and concurrent
+queries cheap (see ``benchmarks/bench_serve.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.contribution import ContributionReport
+from repro.data.dataset import Dataset
+from repro.hfl.log import EpochRecord, TrainingLog
+from repro.metrics.cost import LatencyHistogram
+from repro.nn.models import Classifier
+from repro.serve.cache import ResultCache, RunDigest, fingerprint_arrays
+from repro.serve.streaming import (
+    StreamingHFLEstimator,
+    StreamingVFLEstimator,
+    _StreamingBase,
+)
+from repro.vfl.log import VFLEpochRecord, VFLTrainingLog
+
+_VAL_GRAD_PREFIX = "valgrad"
+
+
+class _Run:
+    """One registered training run: estimator, digest, lock, metadata."""
+
+    def __init__(
+        self, run_id: str, kind: str, estimator: _StreamingBase, digest: RunDigest
+    ) -> None:
+        self.run_id = run_id
+        self.kind = kind
+        self.estimator = estimator
+        self.digest = digest
+        self.lock = threading.RLock()
+
+    def summary(self) -> dict:
+        with self.lock:
+            return {
+                "run_id": self.run_id,
+                "kind": self.kind,
+                "epochs": self.estimator.n_epochs,
+                "participants": list(self.estimator.participant_ids),
+            }
+
+
+class EvaluationService:
+    """Caching, concurrent query service over streaming DIG-FL estimators.
+
+    ``cache_bytes`` bounds the shared result/gradient cache;
+    ``max_workers`` sizes the pool behind :meth:`submit` (synchronous
+    callers can ignore it).  All public methods are thread-safe.
+    """
+
+    def __init__(self, *, cache_bytes: int = 64 * 1024 * 1024, max_workers: int = 4) -> None:
+        self.cache = ResultCache(cache_bytes)
+        self.ingest_latency = LatencyHistogram()
+        self.query_latency = LatencyHistogram()
+        self._runs: dict[str, _Run] = {}
+        self._registry_lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+        self._auto_ids = itertools.count(1)
+        self._started_at = time.perf_counter()
+
+    # --------------------------------------------------------- registration
+
+    def register_hfl(
+        self,
+        participant_ids: Sequence[int],
+        validation: Dataset,
+        model_factory: Callable[[], Classifier],
+        *,
+        run_id: str | None = None,
+        use_logged_weights: bool = False,
+    ) -> str:
+        """Register an (initially empty) HFL run; returns its id.
+
+        The run's content digest is seeded with the validation-set hash,
+        the model architecture and the estimator options, so cached
+        answers are shared exactly between runs that would compute
+        identical numbers.
+        """
+        probe = model_factory()
+        seed = RunDigest(
+            "hfl",
+            f"use_logged_weights={use_logged_weights}",
+            fingerprint_arrays(X=validation.X, y=validation.y),
+            f"{type(probe).__name__}:{probe.num_parameters()}",
+        )
+        estimator = StreamingHFLEstimator(
+            participant_ids,
+            validation,
+            model_factory,
+            use_logged_weights=use_logged_weights,
+            val_grad_memo=self.cache.memo(_VAL_GRAD_PREFIX),
+        )
+        return self._register(run_id, "hfl", estimator, seed)
+
+    def register_vfl(
+        self,
+        feature_blocks: Sequence[np.ndarray],
+        active_parties: Sequence[int],
+        *,
+        run_id: str | None = None,
+    ) -> str:
+        """Register an (initially empty) VFL run; returns its id."""
+        seed = RunDigest(
+            "vfl",
+            fingerprint_arrays(
+                **{f"block_{i}": np.asarray(b) for i, b in enumerate(feature_blocks)}
+            ),
+            repr(list(active_parties)),
+        )
+        estimator = StreamingVFLEstimator(feature_blocks, active_parties)
+        return self._register(run_id, "vfl", estimator, seed)
+
+    def register_hfl_log(self, log: TrainingLog, validation, model_factory, **kwargs) -> str:
+        """Register an HFL run and ingest a complete log in one call."""
+        run_id = self.register_hfl(
+            log.participant_ids, validation, model_factory, **kwargs
+        )
+        self.ingest_log(run_id, log)
+        return run_id
+
+    def register_vfl_log(self, log: VFLTrainingLog, *, run_id: str | None = None) -> str:
+        """Register a VFL run and ingest a complete log in one call."""
+        run_id = self.register_vfl(
+            log.feature_blocks, log.active_parties, run_id=run_id
+        )
+        self.ingest_log(run_id, log)
+        return run_id
+
+    def _register(
+        self, run_id: str | None, kind: str, estimator: _StreamingBase, digest: RunDigest
+    ) -> str:
+        with self._registry_lock:
+            if run_id is None:
+                run_id = f"{kind}-{next(self._auto_ids)}"
+            if run_id in self._runs:
+                raise ValueError(f"run id {run_id!r} already registered")
+            self._runs[run_id] = _Run(run_id, kind, estimator, digest)
+        return run_id
+
+    def runs(self) -> list[dict]:
+        """Summaries of every registered run."""
+        with self._registry_lock:
+            runs = list(self._runs.values())
+        return [run.summary() for run in runs]
+
+    def _run(self, run_id: str) -> _Run:
+        with self._registry_lock:
+            run = self._runs.get(run_id)
+        if run is None:
+            raise KeyError(f"unknown run id {run_id!r}")
+        return run
+
+    # ------------------------------------------------------------ ingestion
+
+    def ingest(self, run_id: str, record: EpochRecord | VFLEpochRecord) -> int:
+        """Feed one epoch record; returns the epoch count after ingestion."""
+        run = self._run(run_id)
+        started = time.perf_counter()
+        with run.lock:
+            if run.kind == "hfl":
+                memo_key = run.digest.update_hfl(record)
+            else:
+                memo_key = run.digest.update_vfl(record)
+            run.estimator.ingest(record, memo_key=memo_key)
+            epochs = run.estimator.n_epochs
+        self.ingest_latency.record(time.perf_counter() - started)
+        return epochs
+
+    def ingest_log(self, run_id: str, log: TrainingLog | VFLTrainingLog) -> int:
+        """Batched ingestion of every not-yet-seen record of ``log``.
+
+        Idempotent for a growing log: records before the run's current
+        epoch count are assumed already ingested and skipped, so a
+        producer can re-push the whole log each round.
+        """
+        run = self._run(run_id)
+        with run.lock:
+            start = run.estimator.n_epochs
+            for record in log.records[start:]:
+                self.ingest(run_id, record)
+            return run.estimator.n_epochs
+
+    def publisher(self, run_id: str) -> "ContributionPublisher":
+        """A live-publishing hook for :meth:`repro.runtime.FederatedRuntime.run_hfl`."""
+        return ContributionPublisher(self, run_id)
+
+    # -------------------------------------------------------------- queries
+
+    def _cached_query(self, run: _Run, name: str, params: str, compute):
+        """Run ``compute`` under the run lock unless the cache already knows.
+
+        The key is the digest of the ingested prefix — content, not run
+        id — so identical runs and repeated queries share one entry.
+        Cached payloads are therefore run-agnostic; the requesting run's
+        id is stamped on per request.
+        """
+        started = time.perf_counter()
+        with run.lock:
+            if run.estimator.n_epochs == 0:
+                raise ValueError(f"run {run.run_id!r} has no epochs ingested yet")
+            key = ("query", run.digest.hexdigest(), name, params)
+            value = self.cache.get_or_compute(key, compute)
+        self.query_latency.record(time.perf_counter() - started)
+        return {"run_id": run.run_id, **value}
+
+    def report(self, run_id: str) -> ContributionReport:
+        """The full :class:`ContributionReport` (uncached: callers mutate it)."""
+        run = self._run(run_id)
+        started = time.perf_counter()
+        with run.lock:
+            if run.estimator.n_epochs == 0:
+                raise ValueError(f"run {run_id!r} has no epochs ingested yet")
+            report = run.estimator.report()
+        self.query_latency.record(time.perf_counter() - started)
+        return report
+
+    def contributions(self, run_id: str) -> dict:
+        """Totals (and per-epoch shape metadata) as a JSON-ready dict."""
+        run = self._run(run_id)
+
+        def compute() -> dict:
+            estimator = run.estimator
+            return {
+                "method": estimator.method,
+                "epochs": estimator.n_epochs,
+                "participant_ids": list(estimator.participant_ids),
+                "totals": [float(v) for v in estimator.totals()],
+            }
+
+        return self._cached_query(run, "contributions", "", compute)
+
+    def leaderboard(self, run_id: str, *, top: int | None = None) -> dict:
+        """Ranked (participant, contribution) rows, best first."""
+        run = self._run(run_id)
+
+        def compute() -> dict:
+            rows = run.estimator.leaderboard(top)
+            return {
+                "epochs": run.estimator.n_epochs,
+                "leaderboard": [
+                    {"rank": i + 1, "participant": pid, "contribution": total}
+                    for i, (pid, total) in enumerate(rows)
+                ],
+            }
+
+        return self._cached_query(run, "leaderboard", f"top={top}", compute)
+
+    def weights(self, run_id: str, *, scheme: str = "rectified") -> dict:
+        """The Eq. 17–18 reweight vector after the latest ingested epoch."""
+        run = self._run(run_id)
+
+        def compute() -> dict:
+            vector = run.estimator.current_weights(scheme)
+            return {
+                "epochs": run.estimator.n_epochs,
+                "scheme": scheme,
+                "participant_ids": list(run.estimator.participant_ids),
+                "weights": [float(w) for w in vector],
+            }
+
+        return self._cached_query(run, "weights", f"scheme={scheme}", compute)
+
+    def submit(self, method: str, /, *args, **kwargs) -> Future:
+        """Thread-pool request handling: run a query method asynchronously.
+
+        ``service.submit("leaderboard", run_id, top=3)`` returns a
+        :class:`~concurrent.futures.Future` resolving to the same payload
+        the synchronous call would; the HTTP layer and bulk consumers use
+        it to overlap independent queries.
+        """
+        allowed = {"contributions", "leaderboard", "weights", "report", "ingest_log"}
+        if method not in allowed:
+            raise ValueError(f"method must be one of {sorted(allowed)}, got {method!r}")
+        return self._pool.submit(getattr(self, method), *args, **kwargs)
+
+    # ------------------------------------------------------------ metrics
+
+    def stats(self) -> dict:
+        """Everything ``/metricz`` serves: cache, latency, run inventory."""
+        return {
+            "uptime_seconds": time.perf_counter() - self._started_at,
+            "runs": len(self._runs),
+            "cache": self.cache.stats(),
+            "latency": {
+                "ingest": self.ingest_latency.summary(),
+                "query": self.query_latency.summary(),
+            },
+        }
+
+    def close(self) -> None:
+        """Shut the request pool down (idempotent)."""
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "EvaluationService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ContributionPublisher:
+    """Engine-side sink: pushes each finished round into a service run.
+
+    Matches the ``publisher`` hook of
+    :meth:`repro.runtime.engine.FederatedRuntime.run_hfl` /
+    :meth:`~repro.runtime.engine.FederatedRuntime.run_vfl`: the engine
+    calls :meth:`publish` after appending each epoch record and emits a
+    ``contrib_updated`` event carrying the returned detail — so the event
+    log shows the leaderboard evolving while training runs, and any other
+    thread can query the same service concurrently.
+    """
+
+    def __init__(self, service: EvaluationService, run_id: str) -> None:
+        self.service = service
+        self.run_id = run_id
+
+    def publish(self, record: EpochRecord | VFLEpochRecord) -> dict:
+        """Ingest one live epoch; returns event detail for the runtime log."""
+        epochs = self.service.ingest(self.run_id, record)
+        leader = self.service.leaderboard(self.run_id, top=1)["leaderboard"][0]
+        return {
+            "run_id": self.run_id,
+            "epochs": epochs,
+            "leader": leader["participant"],
+            "leader_contribution": leader["contribution"],
+        }

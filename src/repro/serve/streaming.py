@@ -1,0 +1,230 @@
+"""Incremental DIG-FL estimators: one epoch in, contributions out.
+
+The paper's per-epoch decomposition (Lemma 3, Eq. 13–15) makes the
+whole-process contribution a plain sum of per-epoch terms, so evaluation
+does not have to be a batch job: ingesting epoch ``τ+1`` costs exactly one
+validation gradient and ``n`` dot products (Algorithm 2's per-epoch step),
+never a re-read of epochs ``1..τ``.  These estimators are that loop turned
+inside out — and they are *bit-for-bit* the batch estimators:
+
+* every per-epoch row is computed through the same expressions, in the
+  same order, as :func:`repro.core.digfl_hfl.estimate_hfl_resource_saving`
+  / :func:`repro.core.digfl_vfl.estimate_vfl_first_order` (shared helper
+  :mod:`repro.core.valgrad` for the validation gradients, shared branch
+  structure for participation masks and quarantined parties);
+* :meth:`report` rebuilds totals via
+  :func:`repro.core.contribution.from_per_epoch` on the stacked matrix, so
+  even the float summation order matches the batch path.
+
+Running state is O(n + p): the per-epoch score rows (``n`` floats each, no
+gradients), the latest Eq. 17–18 reweight vector, and one transient
+``p``-vector per ingest for the validation gradient.  Thread safety is the
+caller's job — :class:`repro.serve.service.EvaluationService` holds a
+per-run lock around every ingest and query.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.contribution import ContributionReport, from_per_epoch
+from repro.core.reweight import rectified_weights, softmax_weights
+from repro.core.valgrad import GradientMemo, epoch_validation_gradient
+from repro.data.dataset import Dataset
+from repro.hfl.log import EpochRecord, TrainingLog
+from repro.metrics.cost import CostLedger
+from repro.nn.models import Classifier
+from repro.vfl.log import VFLEpochRecord, VFLTrainingLog
+
+
+class _StreamingBase:
+    """Shared bookkeeping: per-epoch rows, totals, running reweight vector."""
+
+    method: str
+
+    def __init__(self, participant_ids: Sequence[int]) -> None:
+        self.participant_ids = list(participant_ids)
+        self.ledger = CostLedger()
+        self._rows: list[np.ndarray] = []
+        self._weights: list[np.ndarray] = []
+
+    @property
+    def n_participants(self) -> int:
+        return len(self.participant_ids)
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self._rows)
+
+    def per_epoch(self) -> np.ndarray:
+        """The (τ, n) per-epoch contribution matrix ingested so far."""
+        if not self._rows:
+            return np.empty((0, self.n_participants))
+        return np.vstack(self._rows)
+
+    def totals(self) -> np.ndarray:
+        """Whole-process contributions (Eq. 15) over the ingested prefix.
+
+        Summed column-wise over the stacked matrix — the identical
+        reduction :func:`from_per_epoch` performs — so totals never drift
+        from what a batch re-estimate of the same prefix would report.
+        """
+        return self.per_epoch().sum(axis=0)
+
+    def report(self) -> ContributionReport:
+        """A :class:`ContributionReport` bit-for-bit equal to the batch one."""
+        if not self._rows:
+            raise ValueError("no epochs ingested yet")
+        return from_per_epoch(
+            self.method, self.participant_ids, self.per_epoch(), ledger=self.ledger
+        )
+
+    def leaderboard(self, top: int | None = None) -> list[tuple[int, float]]:
+        """(participant, total) pairs, best first; mid-training queryable."""
+        totals = self.totals()
+        order = np.argsort(totals)[::-1]
+        if top is not None:
+            order = order[:top]
+        return [(self.participant_ids[i], float(totals[i])) for i in order]
+
+    def current_weights(self, scheme: str = "rectified", temperature: float = 1.0) -> np.ndarray:
+        """Eq. 17–18 aggregation weights from the latest ingested epoch.
+
+        Exactly what the reweight mechanism would apply next round: the
+        latest per-epoch contributions pushed through the rectified
+        projection (or the softmax ablation).
+        """
+        if not self._rows:
+            raise ValueError("no epochs ingested yet")
+        if scheme == "rectified":
+            return rectified_weights(self._rows[-1])
+        if scheme == "softmax":
+            return softmax_weights(self._rows[-1], temperature)
+        raise ValueError(f"scheme must be 'rectified' or 'softmax', got {scheme!r}")
+
+    def weight_history(self) -> np.ndarray:
+        """(τ, n) matrix of the Eq. 17 weights after each ingested epoch."""
+        if not self._weights:
+            return np.empty((0, self.n_participants))
+        return np.vstack(self._weights)
+
+    def _push(self, row: np.ndarray) -> np.ndarray:
+        self._rows.append(row)
+        self._weights.append(rectified_weights(row))
+        return row
+
+
+class StreamingHFLEstimator(_StreamingBase):
+    """Algorithm 2 (Eq. 16), one :class:`EpochRecord` at a time.
+
+    Construction mirrors :func:`estimate_hfl_resource_saving`'s signature;
+    ``ingest`` accepts the records in log order and returns the epoch's
+    per-epoch contribution row.  ``memo``/``memo_key`` plug into the
+    content-addressed gradient memo of :mod:`repro.serve.cache`.
+    """
+
+    method = "digfl-resource-saving"
+
+    def __init__(
+        self,
+        participant_ids: Sequence[int],
+        validation: Dataset,
+        model_factory: Callable[[], Classifier],
+        *,
+        use_logged_weights: bool = False,
+        val_grad_memo: GradientMemo | None = None,
+    ) -> None:
+        super().__init__(participant_ids)
+        self.validation = validation
+        self.model = model_factory()
+        self.use_logged_weights = use_logged_weights
+        self.val_grad_memo = val_grad_memo
+
+    def ingest(self, record: EpochRecord, *, memo_key: str | None = None) -> np.ndarray:
+        """Consume one epoch: one validation gradient, ``n`` dot products."""
+        n = self.n_participants
+        if record.local_updates.shape[0] != n:
+            raise ValueError(
+                f"record carries {record.local_updates.shape[0]} update rows, "
+                f"expected {n}"
+            )
+        with self.ledger.computing():
+            val_grad = epoch_validation_gradient(
+                self.model,
+                record.theta_before,
+                self.validation,
+                memo=self.val_grad_memo,
+                key=memo_key,
+                epoch=self.n_epochs,
+            )
+            # The branch structure below is estimate_hfl_resource_saving's,
+            # verbatim — the bit-for-bit equivalence contract.
+            raw = record.local_updates @ val_grad
+            if self.use_logged_weights:
+                row = record.weights * raw
+            elif record.participation is None:
+                row = raw / n
+            else:
+                mask = record.participation
+                arrived = int(mask.sum())
+                if arrived == 0:
+                    row = np.zeros(n)
+                else:
+                    row = np.where(mask, raw, 0.0) / arrived
+        return self._push(row)
+
+    def ingest_log(self, log: TrainingLog, *, start: int = 0) -> int:
+        """Batch-ingest ``log.records[start:]``; returns epochs consumed."""
+        if list(log.participant_ids) != self.participant_ids:
+            raise ValueError(
+                f"log participants {log.participant_ids} do not match "
+                f"{self.participant_ids}"
+            )
+        for record in log.records[start:]:
+            self.ingest(record)
+        return log.n_epochs - start
+
+
+class StreamingVFLEstimator(_StreamingBase):
+    """Eq. 27, one :class:`VFLEpochRecord` at a time.
+
+    Needs no validation set or model: the VFL log already carries both
+    gradient factors of every per-epoch term.
+    """
+
+    method = "digfl-vfl"
+
+    def __init__(
+        self,
+        feature_blocks: Sequence[np.ndarray],
+        active_parties: Sequence[int],
+    ) -> None:
+        super().__init__(active_parties)
+        self.feature_blocks = [np.asarray(b) for b in feature_blocks]
+
+    def ingest(self, record: VFLEpochRecord, *, memo_key: str | None = None) -> np.ndarray:
+        """Consume one epoch: one scalar product per participating party."""
+        del memo_key  # Eq. 27 reads the record only; nothing to memoise
+        with self.ledger.computing():
+            row = np.zeros(self.n_participants)
+            for col, party in enumerate(self.participant_ids):
+                if not record.participated(party):
+                    continue  # the row entry stays 0 for the missed round
+                block = self.feature_blocks[party]
+                row[col] = record.lr * float(
+                    record.val_gradient[block] @ record.train_gradient[block]
+                )
+        return self._push(row)
+
+    def ingest_log(self, log: VFLTrainingLog, *, start: int = 0) -> int:
+        """Batch-ingest ``log.records[start:]``; returns epochs consumed."""
+        if list(log.active_parties) != self.participant_ids:
+            raise ValueError(
+                f"log parties {log.active_parties} do not match "
+                f"{self.participant_ids}"
+            )
+        for record in log.records[start:]:
+            self.ingest(record)
+        return log.n_epochs - start

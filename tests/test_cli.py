@@ -23,6 +23,22 @@ class TestParser:
         assert args.parties == 5
         assert not args.exact
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8733
+        assert args.cache_mb == 64
+        assert args.query_workers == 4
+
+    def test_serve_overrides(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--cache-mb", "8", "--query-workers", "2"]
+        )
+        assert args.port == 0
+        assert args.cache_mb == 8
+        assert args.query_workers == 2
+
 
 class TestDatasets:
     def test_lists_all_14(self, capsys):

@@ -64,3 +64,9 @@ class TestFastExamplesRun:
         assert "bit-for-bit equals an uninterrupted run: True" in out
         assert "rule=norm" in out
         assert "attacker ranked last: True" in out
+
+    def test_live_leaderboard(self, capsys):
+        load_example("live_leaderboard.py").main()
+        out = capsys.readouterr().out
+        assert "mislabeled party ranked last: True" in out
+        assert "live totals bit-for-bit equal batch audit: True" in out

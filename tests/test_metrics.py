@@ -116,9 +116,14 @@ class TestNbytes:
 
         assert nbytes(Cipher()) == 256
 
+    def test_str_and_bytes_count_encoded_length(self):
+        assert nbytes(b"abc") == 3
+        assert nbytes("abc") == 3
+        assert nbytes("μ") == 2  # UTF-8, not code points
+
     def test_unsupported(self):
         with pytest.raises(TypeError):
-            nbytes("string payload")
+            nbytes(object())
 
 
 class TestCostLedger:
@@ -157,3 +162,61 @@ class TestCostLedger:
     def test_summary_keys(self):
         summary = CostLedger().summary()
         assert set(summary) == {"compute_seconds", "comm_mb"}
+
+
+class TestLatencyHistogram:
+    def test_empty_summary(self):
+        from repro.metrics import LatencyHistogram
+
+        histogram = LatencyHistogram()
+        summary = histogram.summary()
+        assert summary["count"] == 0
+        assert summary["mean_ms"] == 0.0
+        assert summary["p50_ms"] == 0.0
+
+    def test_mean_and_count(self):
+        from repro.metrics import LatencyHistogram
+
+        histogram = LatencyHistogram()
+        for seconds in (0.001, 0.002, 0.003):
+            histogram.record(seconds)
+        assert histogram.count == 3
+        assert histogram.mean == pytest.approx(0.002)
+
+    def test_percentiles_are_bucket_upper_bounds(self):
+        from repro.metrics import LatencyHistogram
+
+        histogram = LatencyHistogram()
+        for _ in range(100):
+            histogram.record(0.0009)  # lands in the 1 ms bucket
+        assert histogram.percentile(0.5) == pytest.approx(0.001)
+        assert histogram.percentile(0.95) == pytest.approx(0.001)
+
+    def test_percentile_ordering(self):
+        from repro.metrics import LatencyHistogram
+
+        histogram = LatencyHistogram()
+        for i in range(1, 101):
+            histogram.record(i * 1e-4)  # 0.1 ms .. 10 ms spread
+        assert histogram.percentile(0.5) <= histogram.percentile(0.95)
+        summary = histogram.summary()
+        assert summary["p50_ms"] <= summary["p95_ms"]
+        assert summary["max_ms"] == pytest.approx(10.0, rel=1e-6)
+
+    def test_thread_safety_of_record(self):
+        import threading
+
+        from repro.metrics import LatencyHistogram
+
+        histogram = LatencyHistogram()
+
+        def hammer():
+            for _ in range(1000):
+                histogram.record(0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.count == 4000

@@ -21,7 +21,9 @@ PACKAGES = [
     "repro.metrics",
     "repro.models",
     "repro.nn",
+    "repro.robust",
     "repro.runtime",
+    "repro.serve",
     "repro.shapley",
     "repro.utils",
     "repro.vfl",

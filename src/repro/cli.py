@@ -269,8 +269,35 @@ def _cmd_serve(args) -> int:
     from repro.serve import EvaluationService, serve
 
     service = EvaluationService(
-        cache_bytes=args.cache_mb * 1024 * 1024, max_workers=args.query_workers
+        cache_bytes=args.cache_mb * 1024 * 1024,
+        max_workers=args.query_workers,
+        query_deadline_ms=args.query_deadline_ms,
+        admission_limit=args.max_queue,
     )
+    if args.chaos_ingest_ms:
+        # Test hook for the CI chaos job: a per-epoch ingest delay widens
+        # the window in which a SIGKILL lands mid-ingest.
+        import time as _time
+
+        from repro.serve.service import EvaluationService as _ES
+
+        _orig_ingest = _ES.ingest
+
+        def _slow_ingest(self, run_id, record, *, seq=None):
+            _time.sleep(args.chaos_ingest_ms / 1e3)
+            return _orig_ingest(self, run_id, record, seq=seq)
+
+        service.ingest = _slow_ingest.__get__(service, _ES)
+    if args.wal_dir:
+        from repro.serve.wal import WriteAheadLog, recover
+
+        wal = WriteAheadLog(args.wal_dir)
+        if args.recover:
+            report = recover(service, wal)
+            print(f"recovery: {report.summary()}")
+        service.attach_wal(wal)
+    elif args.recover:
+        raise SystemExit("--recover requires --wal-dir")
     return serve(args.host, args.port, service=service)
 
 
@@ -320,6 +347,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="result/gradient cache budget in MiB")
     serve.add_argument("--query-workers", type=int, default=4,
                        help="thread-pool size for asynchronous queries")
+    serve.add_argument("--query-deadline-ms", type=float, default=None,
+                       help="per-request deadline; overruns answer 504")
+    serve.add_argument("--max-queue", type=int, default=None,
+                       help="admission limit; a full queue sheds with 429")
+    serve.add_argument("--wal-dir", metavar="DIR", default=None,
+                       help="write-ahead log directory for a "
+                            "crash-recoverable run registry")
+    serve.add_argument("--recover", action="store_true",
+                       help="rebuild the registry from --wal-dir before "
+                            "serving (replays logs to the exact ingested "
+                            "epoch)")
+    serve.add_argument("--chaos-ingest-ms", type=float, default=0.0,
+                       help=argparse.SUPPRESS)  # CI chaos-job test hook
     serve.set_defaults(func=_cmd_serve)
     return parser
 

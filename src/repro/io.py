@@ -61,6 +61,20 @@ def _content_checksum(arrays: dict[str, np.ndarray]) -> str:
     return digest.hexdigest()
 
 
+def json_checksum(payload) -> str:
+    """SHA-256 of a JSON-serialisable payload in canonical form.
+
+    Canonical = sorted keys, no whitespace — so the checksum is a pure
+    function of the *content*, not of dict insertion order or formatting.
+    The write-ahead log of :mod:`repro.serve.wal` stamps every record
+    with this, making a torn or bit-rotted line detectable on replay,
+    exactly as :func:`hash_arrays` does for the array payloads the WAL's
+    ingested-prefix digests summarise.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
 def _open_npz(path: str | Path):
     """``np.load`` with unreadable/truncated files mapped to a clear error."""
     try:

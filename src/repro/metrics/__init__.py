@@ -6,11 +6,12 @@ from repro.metrics.correlation import (
     spearman_correlation,
     top_k_overlap,
 )
-from repro.metrics.cost import FLOAT64_BYTES, CostLedger, LatencyHistogram, nbytes
+from repro.metrics.cost import FLOAT64_BYTES, CostLedger, Gauge, LatencyHistogram, nbytes
 
 __all__ = [
     "CostLedger",
     "FLOAT64_BYTES",
+    "Gauge",
     "LatencyHistogram",
     "nbytes",
     "pearson_correlation",

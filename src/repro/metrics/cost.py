@@ -122,6 +122,51 @@ class LatencyHistogram:
         }
 
 
+class Gauge:
+    """A thread-safe current-value counter that remembers its peak.
+
+    The serving layer's admission control reports queue depth and
+    in-flight request counts through these; unlike the histogram they
+    answer "how loaded is the service *now*" (and "how loaded did it
+    get"), which is what load-shedding decisions and ``/metricz``
+    saturation panels need.
+    """
+
+    def __init__(self, value: int = 0) -> None:
+        self._value = int(value)
+        self._peak = int(value)
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> int:
+        """Add ``n`` (may be negative); returns the new value."""
+        with self._lock:
+            self._value += n
+            if self._value > self._peak:
+                self._peak = self._value
+            return self._value
+
+    def dec(self, n: int = 1) -> int:
+        return self.inc(-n)
+
+    def set(self, value: int) -> None:
+        with self._lock:
+            self._value = int(value)
+            if self._value > self._peak:
+                self._peak = self._value
+
+    @property
+    def value(self) -> int:
+        # Lock-free read: int rebinding is atomic under the GIL, and a
+        # gauge read is a point-in-time snapshot by definition.  The
+        # admission queue reads this on every request, so the lock here
+        # was measurable on the warm serving path.
+        return self._value
+
+    @property
+    def peak(self) -> int:
+        return self._peak
+
+
 @dataclass
 class CostLedger:
     """Accumulates seconds of computation and bytes of communication.

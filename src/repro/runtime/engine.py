@@ -483,14 +483,27 @@ class FederatedRuntime:
     def _publish_round(
         self, publisher: ContributionSink, record, outcome: RoundOutcome
     ) -> None:
-        """Push one finished round into the sink; emit ``contrib_updated``."""
-        detail = publisher.publish(record)
-        self.event_log.record(
-            ev.CONTRIB_UPDATED,
-            outcome.ended_at,
-            record.epoch,
-            **(detail if isinstance(detail, dict) else {}),
-        )
+        """Push one finished round into the sink; emit ``contrib_updated``.
+
+        Publication must never take down training: a sink that raises (a
+        retrying :class:`~repro.serve.service.ContributionPublisher`
+        never does — it returns a ``{"dead_letter": True}`` detail after
+        exhausting its backoff schedule, but arbitrary sinks may) is
+        recorded as a ``publish_dlq`` event and the round goes on.
+        """
+        try:
+            detail = publisher.publish(record)
+        except Exception as exc:
+            self.event_log.record(
+                ev.PUBLISH_DLQ,
+                outcome.ended_at,
+                record.epoch,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            return
+        detail = detail if isinstance(detail, dict) else {}
+        kind = ev.PUBLISH_DLQ if detail.get("dead_letter") else ev.CONTRIB_UPDATED
+        self.event_log.record(kind, outcome.ended_at, record.epoch, **detail)
 
     def _screen_round(
         self,

@@ -32,6 +32,10 @@ QUARANTINE = "quarantine"
 # The round's epoch record was published into a live contribution service
 # (repro.serve); detail carries the run id and the current leaderboard head.
 CONTRIB_UPDATED = "contrib_updated"
+# Publishing the round exhausted its retries (or the service was closed)
+# and the record was dead-lettered; detail carries the publisher's dead
+# letter (sequence number, attempts, final error).  Training continues.
+PUBLISH_DLQ = "publish_dlq"
 
 EVENT_KINDS = frozenset(
     {
@@ -45,6 +49,7 @@ EVENT_KINDS = frozenset(
         RETRY,
         QUARANTINE,
         CONTRIB_UPDATED,
+        PUBLISH_DLQ,
     }
 )
 
@@ -152,5 +157,6 @@ class EventLog:
             "retries": float(counts[RETRY]),
             "quarantines": float(counts[QUARANTINE]),
             "contrib_updates": float(counts[CONTRIB_UPDATED]),
+            "publish_dead_letters": float(counts[PUBLISH_DLQ]),
             "sim_seconds": self.sim_seconds,
         }

@@ -16,24 +16,62 @@ per-epoch additivity (Lemma 3, Eq. 13–15) to make contributions
   thread-safe in-process registry the :mod:`repro.runtime` engine
   publishes live epochs into (``contrib_updated`` events);
 * :mod:`~repro.serve.http` — a stdlib ``ThreadingHTTPServer`` JSON API
-  (``repro serve --port``).
+  (``repro serve --port``);
+* :mod:`~repro.serve.resilience` — deadlines, admission control /
+  load shedding, per-run circuit breakers serving stale-but-consistent
+  answers, and the typed error family behind 429/503/504;
+* :mod:`~repro.serve.wal` — an fsync'd, checksummed write-ahead log and
+  :func:`~repro.serve.wal.recover`, which rebuilds the registry after a
+  crash to the exact ingested epoch (``repro serve --wal-dir --recover``);
+* :mod:`~repro.serve.chaos` — seeded fault injection (latency spikes,
+  raised errors, corrupted payloads) that proves every degraded-mode
+  behaviour deterministically.
 """
 
 from repro.serve.cache import CacheMemo, ResultCache, RunDigest, fingerprint_arrays
+from repro.serve.chaos import ChaosError, ChaosPolicy, FlakyProxy, inject_chaos
 from repro.serve.http import EvaluationHTTPServer, register_from_spec, serve
+from repro.serve.resilience import (
+    AdmissionQueue,
+    CircuitBreaker,
+    CircuitOpen,
+    Deadline,
+    DeadlineExceeded,
+    QueryFailed,
+    RetryPolicy,
+    ServiceClosed,
+    ServiceOverloaded,
+)
 from repro.serve.service import ContributionPublisher, EvaluationService
 from repro.serve.streaming import StreamingHFLEstimator, StreamingVFLEstimator
+from repro.serve.wal import RecoveryReport, WriteAheadLog, recover
 
 __all__ = [
+    "AdmissionQueue",
     "CacheMemo",
+    "ChaosError",
+    "ChaosPolicy",
+    "CircuitBreaker",
+    "CircuitOpen",
     "ContributionPublisher",
+    "Deadline",
+    "DeadlineExceeded",
     "EvaluationHTTPServer",
     "EvaluationService",
+    "FlakyProxy",
+    "QueryFailed",
+    "RecoveryReport",
     "ResultCache",
+    "RetryPolicy",
     "RunDigest",
+    "ServiceClosed",
+    "ServiceOverloaded",
     "StreamingHFLEstimator",
     "StreamingVFLEstimator",
+    "WriteAheadLog",
     "fingerprint_arrays",
+    "inject_chaos",
+    "recover",
     "register_from_spec",
     "serve",
 ]

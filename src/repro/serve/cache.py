@@ -96,6 +96,20 @@ class RunDigest:
     def hexdigest(self) -> str:
         return self._digest.copy().hexdigest()
 
+    def fork(self) -> "RunDigest":
+        """An independent copy of the current digest state.
+
+        The service ingests *atomically*: it absorbs the record into a
+        fork, feeds the estimator, and only then commits the fork as the
+        run's digest — so a failed (or chaos-injected) ingest leaves the
+        run's content identity untouched and cache keys never point at
+        state the estimator does not hold.
+        """
+        copy = RunDigest()
+        copy._digest = self._digest.copy()
+        copy._epochs = self._epochs
+        return copy
+
 
 def fingerprint_arrays(**arrays: np.ndarray) -> str:
     """SHA-256 fingerprint of named arrays (validation sets, blocks)."""

@@ -2,8 +2,8 @@
 
 Endpoints::
 
-    GET  /healthz                      liveness + run count
-    GET  /metricz                      latency histograms + cache counters
+    GET  /healthz                      liveness: ok / degraded / closed
+    GET  /metricz                      latency, cache, admission, breakers
     GET  /runs                         registered runs
     POST /runs                         register a saved training log
     GET  /runs/{id}/contributions      whole-process totals (Eq. 15)
@@ -25,9 +25,28 @@ CLI / workload builders use — so a log saved by ``repro.cli audit-hfl
 split is drawn before any corruption, so corruption parameters are not
 needed.
 
+Every failure mode carries a distinct status — nothing resilience-related
+is ever a bare 500:
+
+* 429 + ``Retry-After`` — the admission queue shed the request
+  (:class:`~repro.serve.resilience.ServiceOverloaded`); the header is
+  computed from the query-latency p95 and the current queue depth.
+* 504 — the request overran its deadline
+  (:class:`~repro.serve.resilience.DeadlineExceeded`); the body carries
+  the budget, the elapsed time, and any partial-progress counters.
+* 503 — the service is closed
+  (:class:`~repro.serve.resilience.ServiceClosed`) or the estimator
+  failed with no stale answer to fall back on
+  (:class:`~repro.serve.resilience.QueryFailed` /
+  :class:`~repro.serve.resilience.CircuitOpen`).
+* 413 — ``POST /runs`` without a ``Content-Length``, or with one above
+  ``MAX_BODY_BYTES``; 400 — malformed JSON bodies.
+* 405 + ``Allow`` — a known path asked with the wrong method.
+
 The server is a :class:`ThreadingHTTPServer`: each request gets a thread,
-the service's per-run locks and thread-safe cache do the rest.  Run it
-with ``python -m repro.cli serve --port 8733``.
+the service's admission queue, per-run locks and thread-safe cache do the
+rest.  Run it with ``python -m repro.cli serve --port 8733``; add
+``--wal-dir``/``--recover`` for a crash-recoverable registry.
 """
 
 from __future__ import annotations
@@ -42,18 +61,32 @@ from repro.data import HFL_DATASETS, build_hfl_federation
 from repro.io import load_training_log, load_vfl_training_log
 from repro.metrics.cost import LatencyHistogram
 from repro.nn import make_hfl_model
+from repro.serve.resilience import (
+    DeadlineExceeded,
+    QueryFailed,
+    ServiceClosed,
+    ServiceOverloaded,
+)
 from repro.serve.service import EvaluationService
 from repro.utils.rng import derive_seed
 
 _DEFAULT_N_SAMPLES = 1200
+# POST /runs bodies are small JSON specs; anything bigger is a mistake
+# (or a memory-exhaustion attempt) and is refused before being read.
+MAX_BODY_BYTES = 1024 * 1024
+
+_RUN_ENDPOINTS = frozenset({"contributions", "leaderboard", "weights"})
 
 
 class ApiError(Exception):
-    """An error with an HTTP status, serialised as ``{"error": ...}``."""
+    """An error with an HTTP status (and optional extra response headers)."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(
+        self, status: int, message: str, *, headers: dict | None = None
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.headers = headers or {}
 
 
 def hfl_validation_and_model(dataset: str, seed: int, n_samples: int | None = None):
@@ -80,7 +113,14 @@ def hfl_validation_and_model(dataset: str, seed: int, n_samples: int | None = No
 
 
 def register_from_spec(service: EvaluationService, spec: dict) -> dict:
-    """Handle a ``POST /runs`` body: load the log, register, ingest."""
+    """Handle a ``POST /runs`` body: load the log, register, ingest.
+
+    Registration, WAL recording and ingestion happen in that order, so
+    an attached :class:`~repro.serve.wal.WriteAheadLog` sees the
+    ``register`` record before any of the run's ``ingest`` records —
+    exactly the replay order :func:`repro.serve.wal.recover` needs when
+    the process is killed mid-ingest.
+    """
     kind = spec.get("kind")
     if kind not in ("hfl", "vfl"):
         raise ApiError(400, "kind must be 'hfl' or 'vfl'")
@@ -96,16 +136,35 @@ def register_from_spec(service: EvaluationService, spec: dict) -> dict:
                 int(spec.get("seed", 0)),
                 spec.get("n_samples"),
             )
-            run_id = service.register_hfl_log(
-                log,
+            run_id = service.register_hfl(
+                log.participant_ids,
                 validation,
                 model_factory,
                 run_id=run_id,
                 use_logged_weights=bool(spec.get("use_logged_weights", False)),
             )
+            service.record_registration(
+                {
+                    "kind": "hfl",
+                    "log_path": str(log_path),
+                    "run_id": run_id,
+                    "dataset": spec.get("dataset", "mnist"),
+                    "seed": int(spec.get("seed", 0)),
+                    "n_samples": spec.get("n_samples"),
+                    "use_logged_weights": bool(
+                        spec.get("use_logged_weights", False)
+                    ),
+                }
+            )
         else:
             log = load_vfl_training_log(log_path)
-            run_id = service.register_vfl_log(log, run_id=run_id)
+            run_id = service.register_vfl(
+                log.feature_blocks, log.active_parties, run_id=run_id
+            )
+            service.record_registration(
+                {"kind": "vfl", "log_path": str(log_path), "run_id": run_id}
+            )
+        service.ingest_log(run_id, log)
     except ApiError:
         raise
     except FileNotFoundError:
@@ -113,6 +172,17 @@ def register_from_spec(service: EvaluationService, spec: dict) -> dict:
     except (ValueError, KeyError) as exc:
         raise ApiError(400, str(exc)) from None
     return {"run_id": run_id, "kind": kind, "epochs": log.n_epochs}
+
+
+def _allowed_methods(parts: list[str]) -> frozenset[str] | None:
+    """The methods a path supports, or ``None`` for an unknown path."""
+    if parts in (["healthz"], ["metricz"]):
+        return frozenset({"GET"})
+    if parts == ["runs"]:
+        return frozenset({"GET", "POST"})
+    if len(parts) == 3 and parts[0] == "runs" and parts[2] in _RUN_ENDPOINTS:
+        return frozenset({"GET"})
+    return None
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -131,29 +201,61 @@ class _Handler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------- plumbing
 
-    def _send_json(self, payload: dict, status: int = 200) -> None:
+    def _send_json(
+        self, payload: dict, status: int = 200, headers: dict | None = None
+    ) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _dispatch(self, handler) -> None:
         started = time.perf_counter()
+        headers: dict = {}
         try:
             payload, status = handler()
         except ApiError as exc:
-            payload, status = {"error": str(exc)}, exc.status
+            payload, status, headers = {"error": str(exc)}, exc.status, exc.headers
+        except ServiceOverloaded as exc:
+            payload = {"error": str(exc), "retry_after_s": exc.retry_after_s}
+            status = 429
+            headers = {"Retry-After": str(int(exc.retry_after_s))}
+        except DeadlineExceeded as exc:
+            payload = {
+                "error": str(exc),
+                "budget_ms": exc.budget_ms,
+                "elapsed_ms": exc.elapsed_ms,
+                "progress": exc.progress,
+            }
+            status = 504
+        except ServiceClosed as exc:
+            payload, status = {"error": str(exc)}, 503
+        except QueryFailed as exc:  # includes CircuitOpen
+            payload, status = {"error": str(exc)}, 503
         except KeyError as exc:
             payload, status = {"error": str(exc.args[0] if exc.args else exc)}, 404
         except ValueError as exc:
             payload, status = {"error": str(exc)}, 400
         except Exception as exc:  # pragma: no cover - last-resort guard
             payload, status = {"error": f"internal error: {exc}"}, 500
-        self._send_json(payload, status)
+        self._send_json(payload, status, headers)
         self.server.request_latency.record(  # type: ignore[attr-defined]
             time.perf_counter() - started
+        )
+
+    def _method_not_allowed(self, parts: list[str], method: str):
+        allowed = _allowed_methods(parts)
+        if allowed is None:
+            raise ApiError(404, f"no such endpoint: {method} /{'/'.join(parts)}")
+        raise ApiError(
+            405,
+            f"{method} is not supported here; allowed: "
+            f"{', '.join(sorted(allowed))}",
+            headers={"Allow": ", ".join(sorted(allowed))},
         )
 
     # --------------------------------------------------------------- routes
@@ -164,12 +266,29 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         self._dispatch(self._route_post)
 
+    def do_PUT(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch(self._route_other("PUT"))
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch(self._route_other("DELETE"))
+
+    def do_PATCH(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch(self._route_other("PATCH"))
+
+    def _route_other(self, method: str):
+        parts = [p for p in urlparse(self.path).path.split("/") if p]
+
+        def route():
+            self._method_not_allowed(parts, method)
+
+        return route
+
     def _route_get(self) -> tuple[dict, int]:
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
         query = parse_qs(url.query)
         if parts == ["healthz"]:
-            return {"status": "ok", "runs": len(self.service.runs())}, 200
+            return self.service.health(), 200
         if parts == ["metricz"]:
             stats = self.service.stats()
             stats["latency"]["http"] = self.server.request_latency.summary()  # type: ignore[attr-defined]
@@ -179,26 +298,40 @@ class _Handler(BaseHTTPRequestHandler):
         if len(parts) == 3 and parts[0] == "runs":
             run_id, endpoint = parts[1], parts[2]
             if endpoint == "contributions":
-                return self.service.contributions(run_id), 200
+                return self.service.query("contributions", run_id), 200
             if endpoint == "leaderboard":
                 top = query.get("top", [None])[0]
                 return (
-                    self.service.leaderboard(
-                        run_id, top=int(top) if top is not None else None
+                    self.service.query(
+                        "leaderboard", run_id, top=int(top) if top is not None else None
                     ),
                     200,
                 )
             if endpoint == "weights":
                 scheme = query.get("scheme", ["rectified"])[0]
-                return self.service.weights(run_id, scheme=scheme), 200
+                return self.service.query("weights", run_id, scheme=scheme), 200
         raise ApiError(404, f"no such endpoint: GET {url.path}")
 
     def _route_post(self) -> tuple[dict, int]:
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
         if parts != ["runs"]:
-            raise ApiError(404, f"no such endpoint: POST {url.path}")
-        length = int(self.headers.get("Content-Length", 0))
+            self._method_not_allowed(parts, "POST")
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            raise ApiError(
+                413, "POST /runs requires a Content-Length header"
+            )
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise ApiError(400, f"bad Content-Length: {length_header!r}") from None
+        if length > MAX_BODY_BYTES:
+            raise ApiError(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit",
+            )
         try:
             spec = json.loads(self.rfile.read(length) or b"{}")
         except json.JSONDecodeError as exc:

@@ -1,0 +1,304 @@
+"""Write-ahead log and crash recovery for the serving registry.
+
+PR 2's `CheckpointManager` made *training* crash-safe; this module does
+the same for *serving*.  A `repro serve` process accumulates state that
+is expensive to lose — registered runs and the exact log prefix each one
+has ingested — yet none of it was durable: a kill meant every client
+re-registering from scratch.  The :class:`WriteAheadLog` records, before
+the service acknowledges them, two kinds of facts:
+
+* ``register`` — the ``POST /runs`` spec (kind, log path, dataset/seed,
+  resolved run id): everything needed to rebuild the run's estimator;
+* ``ingest`` — one record per ingested epoch carrying the run's
+  incremental content digest *after* that epoch (the same
+  :func:`repro.io.hash_arrays`-based :class:`~repro.serve.cache.RunDigest`
+  the result cache keys on).
+
+Each line is JSON stamped with a :func:`repro.io.json_checksum`, written
+with ``flush + fsync`` so a SIGKILL can tear at most the final line.
+:func:`replay` tolerates exactly that torn tail (dropped with a
+warning); corruption *before* the tail raises :class:`WalCorruption` —
+a mid-file flip means the history cannot be trusted.
+
+:func:`recover` rebuilds an :class:`~repro.serve.service.EvaluationService`
+from a WAL: it re-registers every spec, replays each run's saved ``.npz``
+log **to the exact ingested epoch** recorded in the WAL, and verifies the
+rebuilt digest against the recorded one epoch by epoch — so the recovered
+service serves contributions bit-for-bit equal to an uninterrupted run of
+the same prefix (``np.array_equal``; CI kills the server with SIGKILL
+mid-ingest to prove it).  A digest mismatch means the log file changed
+since the WAL was written and raises :class:`RecoveryError` rather than
+silently serving different numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.io import (
+    TrainingLogIntegrityError,
+    json_checksum,
+    load_training_log,
+    load_vfl_training_log,
+)
+
+REGISTER = "register"
+INGEST = "ingest"
+_KINDS = frozenset({REGISTER, INGEST})
+
+
+class WalCorruption(RuntimeError):
+    """The WAL has a bad record *before* its final line; history is suspect."""
+
+
+class RecoveryError(RuntimeError):
+    """The WAL replayed, but the world no longer matches it.
+
+    Typically: a training-log file referenced by a ``register`` record is
+    missing epochs the WAL says were ingested, or its content digest no
+    longer matches the recorded one.  Recovery refuses rather than serve
+    numbers that differ from what the pre-crash service acknowledged.
+    """
+
+
+@dataclass(frozen=True)
+class WalEntry:
+    """One validated WAL record."""
+
+    seq: int
+    kind: str
+    payload: dict
+
+
+@dataclass
+class RecoveryReport:
+    """What :func:`recover` rebuilt, and what it had to leave behind."""
+
+    runs_restored: int = 0
+    epochs_replayed: int = 0
+    runs_skipped: list = field(default_factory=list)
+    epochs_skipped: int = 0
+    tail_dropped: bool = False
+
+    def summary(self) -> str:
+        line = (
+            f"recovered {self.runs_restored} run(s), "
+            f"{self.epochs_replayed} epoch(s) replayed"
+        )
+        if self.runs_skipped:
+            line += f"; skipped runs: {', '.join(self.runs_skipped)}"
+        if self.epochs_skipped:
+            line += f"; {self.epochs_skipped} unreplayable epoch record(s)"
+        if self.tail_dropped:
+            line += "; torn tail record dropped"
+        return line
+
+
+class WriteAheadLog:
+    """Append-only, fsync'd, checksummed record of registry mutations.
+
+    One WAL file (``serve.wal`` inside ``directory``) serves one
+    :class:`EvaluationService` process at a time.  Opening an existing
+    file resumes its sequence numbers and truncates any torn tail, so
+    append-after-recovery keeps the file replayable.  ``fsync=False``
+    trades the per-record ``fsync`` for speed in benchmarks; the CLI
+    always runs fsync'd.
+    """
+
+    FILENAME = "serve.wal"
+
+    def __init__(self, directory: str | Path, *, fsync: bool = True) -> None:
+        self.directory = Path(directory)
+        self.fsync = fsync
+        self.directory.mkdir(parents=True, exist_ok=True)
+        entries, good_bytes, torn = self._scan()
+        self._next_seq = (entries[-1].seq + 1) if entries else 1
+        self.tail_dropped = torn
+        if torn:
+            warnings.warn(
+                f"{self.path} ends in a torn record (crash mid-append); "
+                "dropping the tail",
+                UserWarning,
+                stacklevel=2,
+            )
+            # Appending after a torn line would corrupt mid-file; cut it.
+            with open(self.path, "rb+") as fh:
+                fh.truncate(good_bytes)
+        self._fh = open(self.path, "ab")
+
+    @property
+    def path(self) -> Path:
+        return self.directory / self.FILENAME
+
+    # ------------------------------------------------------------ writing
+
+    def append(self, kind: str, payload: dict) -> int:
+        """Durably record one fact; returns its sequence number."""
+        if kind not in _KINDS:
+            raise ValueError(f"kind must be one of {sorted(_KINDS)}, got {kind!r}")
+        seq = self._next_seq
+        record = {"seq": seq, "kind": kind, "payload": payload}
+        record["checksum"] = json_checksum(
+            {"seq": seq, "kind": kind, "payload": payload}
+        )
+        line = json.dumps(record, sort_keys=True) + "\n"
+        self._fh.write(line.encode())
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+        self._next_seq += 1
+        return seq
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ reading
+
+    def replay(self) -> list[WalEntry]:
+        """All validated entries, oldest first.
+
+        A bad or truncated *final* line is the expected signature of a
+        kill mid-append; it was dropped (with a :class:`UserWarning`) and
+        truncated away when this handle was opened.  A bad line with
+        valid records after it raises :class:`WalCorruption`.
+        """
+        entries, _, _ = self._scan()
+        return entries
+
+    def _scan(self) -> tuple[list[WalEntry], int, bool]:
+        """(valid entries, byte length of the valid prefix, torn tail?)."""
+        if not self.path.exists():
+            return [], 0, False
+        entries: list[WalEntry] = []
+        good_bytes = 0
+        raw_lines = self.path.read_bytes().split(b"\n")
+        # A well-formed file ends in "\n", so the final split element is "".
+        lines = raw_lines[:-1] if raw_lines and raw_lines[-1] == b"" else raw_lines
+        for index, raw in enumerate(lines):
+            entry = self._parse(raw, expected_seq=len(entries) + 1)
+            if entry is None:
+                if index == len(lines) - 1:
+                    return entries, good_bytes, True
+                raise WalCorruption(
+                    f"{self.path} has a corrupt record at line {index + 1} "
+                    "with valid records after it; refusing to replay"
+                )
+            entries.append(entry)
+            good_bytes += len(raw) + 1  # + the newline
+        return entries, good_bytes, False
+
+    def _parse(self, raw: bytes, expected_seq: int) -> WalEntry | None:
+        try:
+            record = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(record, dict):
+            return None
+        try:
+            seq = int(record["seq"])
+            kind = record["kind"]
+            payload = record["payload"]
+            checksum = record["checksum"]
+        except (KeyError, TypeError, ValueError):
+            return None
+        if kind not in _KINDS or not isinstance(payload, dict):
+            return None
+        if checksum != json_checksum({"seq": seq, "kind": kind, "payload": payload}):
+            return None
+        if seq != expected_seq:
+            return None
+        return WalEntry(seq=seq, kind=kind, payload=payload)
+
+
+def recover(service, wal: WriteAheadLog) -> RecoveryReport:
+    """Rebuild ``service``'s registry from ``wal``; returns a report.
+
+    The service must be fresh (no WAL attached yet — the caller attaches
+    it *after* recovery so replayed ingests are not re-logged).  Runs
+    whose log file has vanished are skipped and reported, not fatal:
+    losing one file must not take down recovery of the rest.  Digest
+    mismatches are fatal (:class:`RecoveryError`) — they mean the bytes
+    behind an acknowledged prefix changed.
+    """
+    # Imported here: http imports service, wal must stay importable first.
+    from repro.serve.http import hfl_validation_and_model
+
+    if getattr(service, "wal", None) is not None:
+        raise ValueError("recover() needs a service without an attached WAL")
+    report = RecoveryReport(tail_dropped=wal.tail_dropped)
+    entries = wal.replay()
+    logs: dict[str, object] = {}
+    for entry in entries:
+        if entry.kind == REGISTER:
+            spec = entry.payload
+            run_id = spec.get("run_id")
+            try:
+                if spec.get("kind") == "hfl":
+                    log = load_training_log(spec["log_path"])
+                    validation, model_factory = hfl_validation_and_model(
+                        spec.get("dataset", "mnist"),
+                        int(spec.get("seed", 0)),
+                        spec.get("n_samples"),
+                    )
+                    service.register_hfl(
+                        log.participant_ids,
+                        validation,
+                        model_factory,
+                        run_id=run_id,
+                        use_logged_weights=bool(
+                            spec.get("use_logged_weights", False)
+                        ),
+                    )
+                else:
+                    log = load_vfl_training_log(spec["log_path"])
+                    service.register_vfl(
+                        log.feature_blocks, log.active_parties, run_id=run_id
+                    )
+            except (FileNotFoundError, TrainingLogIntegrityError, KeyError) as exc:
+                report.runs_skipped.append(f"{run_id} ({exc})")
+                continue
+            logs[run_id] = log
+            report.runs_restored += 1
+        else:  # INGEST
+            run_id = entry.payload.get("run_id")
+            log = logs.get(run_id)
+            if log is None:
+                # Registered out-of-band (live publisher run) or its
+                # registration was skipped above — nothing to replay from.
+                report.epochs_skipped += 1
+                continue
+            epoch_count = int(entry.payload["epoch"])
+            if epoch_count > log.n_epochs:
+                raise RecoveryError(
+                    f"WAL says run {run_id!r} ingested {epoch_count} epochs "
+                    f"but its log file holds only {log.n_epochs}"
+                )
+            record = log.records[epoch_count - 1]
+            got = service.ingest(run_id, record, seq=epoch_count)
+            if got != epoch_count:
+                raise RecoveryError(
+                    f"replaying run {run_id!r} reached {got} epochs where the "
+                    f"WAL expected {epoch_count}"
+                )
+            rebuilt = service.run_digest(run_id)
+            recorded = entry.payload.get("digest")
+            if recorded is not None and rebuilt != recorded:
+                raise RecoveryError(
+                    f"run {run_id!r} epoch {epoch_count}: rebuilt digest "
+                    f"{rebuilt[:12]}… does not match the WAL's "
+                    f"{recorded[:12]}… — the log file changed since the "
+                    "crash; refusing to serve different numbers"
+                )
+            report.epochs_replayed += 1
+    return report

@@ -70,3 +70,11 @@ class TestFastExamplesRun:
         out = capsys.readouterr().out
         assert "mislabeled party ranked last: True" in out
         assert "live totals bit-for-bit equal batch audit: True" in out
+
+    def test_resilient_leaderboard(self, capsys):
+        load_example("resilient_leaderboard.py").main()
+        out = capsys.readouterr().out
+        assert "served last good leaderboard, stale=True" in out
+        assert "healthz status: degraded" in out
+        assert "healed: stale=False" in out
+        assert "recovered totals bit-for-bit equal pre-crash: True" in out

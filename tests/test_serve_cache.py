@@ -14,6 +14,8 @@ import pytest
 from repro.serve import CacheMemo, ResultCache, RunDigest, fingerprint_arrays
 from tests.test_runtime_partial_estimators import _build_hfl_log, _build_vfl_log
 
+pytestmark = pytest.mark.timeout(120)  # inert without pytest-timeout (CI has it)
+
 
 class TestResultCache:
     def test_get_put_roundtrip_and_counters(self):

@@ -7,6 +7,7 @@ does), and exercises every endpoint plus the error paths — all with
 stdlib ``urllib`` clients, matching how the CI smoke job drives it.
 """
 
+import http.client
 import json
 import urllib.error
 import urllib.request
@@ -19,6 +20,10 @@ from repro.experiments.workloads import build_hfl_workload
 from repro.io import save_training_log, save_vfl_training_log
 from repro.serve import EvaluationHTTPServer, EvaluationService
 from repro.serve.http import hfl_validation_and_model
+
+# Inert without the pytest-timeout plugin (CI installs it); a hung socket
+# test then fails instead of wedging the suite.
+pytestmark = pytest.mark.timeout(120)
 
 EPOCHS = 3
 SEED = 0
@@ -86,7 +91,7 @@ class TestEndpoints:
     def test_healthz(self, server):
         status, body = _get(server, "/healthz")
         assert status == 200
-        assert body == {"status": "ok", "runs": 0}
+        assert body == {"status": "ok", "runs": 0, "degraded_runs": []}
 
     def test_register_and_query_hfl_run(self, server, log_paths, workload):
         status, created = _register_hfl(server, log_paths, run_id="audit")
@@ -208,6 +213,116 @@ class TestErrorPaths:
         )
         assert code == 400
         assert "imagenet" in body["error"]
+
+    def _raw(self, server, method, path, *, headers=(), body=None):
+        """A request urllib refuses to make (bad lengths, odd methods)."""
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        try:
+            conn.putrequest(method, path, skip_accept_encoding=True)
+            for name, value in headers:
+                conn.putheader(name, value)
+            conn.endheaders(body)
+            response = conn.getresponse()
+            return response, json.loads(response.read())
+        finally:
+            conn.close()
+
+    def test_post_without_content_length_is_413(self, server):
+        response, body = self._raw(server, "POST", "/runs")
+        assert response.status == 413
+        assert "Content-Length" in body["error"]
+
+    def test_oversized_content_length_is_413(self, server):
+        response, body = self._raw(
+            server, "POST", "/runs",
+            headers=[("Content-Length", str(32 * 1024 * 1024))],
+        )
+        assert response.status == 413
+        assert "exceeds" in body["error"]
+
+    def test_garbled_content_length_is_400(self, server):
+        response, body = self._raw(
+            server, "POST", "/runs", headers=[("Content-Length", "banana")],
+        )
+        assert response.status == 400
+        assert "Content-Length" in body["error"]
+
+    def test_wrong_method_is_405_with_allow(self, server):
+        response, body = self._raw(server, "DELETE", "/runs")
+        assert response.status == 405
+        assert response.headers["Allow"] == "GET, POST"
+        assert "DELETE" in body["error"]
+
+    def test_post_to_get_only_path_is_405(self, server):
+        response, _ = self._raw(
+            server, "POST", "/healthz", headers=[("Content-Length", "0")],
+        )
+        assert response.status == 405
+        assert response.headers["Allow"] == "GET"
+
+    def test_put_to_unknown_path_is_404(self, server):
+        response, _ = self._raw(server, "PUT", "/bogus")
+        assert response.status == 404
+
+
+class TestResilienceStatuses:
+    """The typed-error HTTP mappings: 503 on closed, 429 + Retry-After."""
+
+    def _status(self, call):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            call()
+        return excinfo.value
+
+    def test_closed_service_is_503(self, server):
+        server.service.close()
+        error = self._status(lambda: _get(server, "/runs"))
+        assert error.code == 503
+        assert "closed" in json.loads(error.read())["error"]
+
+    def test_shed_request_is_429_with_retry_after(self, log_paths, vfl_result):
+        import threading
+
+        from repro.serve import ChaosPolicy, inject_chaos
+
+        release = threading.Event()
+        service = EvaluationService(max_workers=1, admission_limit=1)
+        httpd = EvaluationHTTPServer(("127.0.0.1", 0), service)
+        httpd.serve_background()
+        try:
+            run_id = service.register_vfl(
+                vfl_result.log.feature_blocks, vfl_result.log.active_parties
+            )
+            service.ingest(run_id, vfl_result.log.records[0])
+            # Wedge the only worker: the compute blocks until released.
+            inject_chaos(
+                service, run_id,
+                ChaosPolicy(
+                    latency_prob=1.0, latency_ms=1.0,
+                    sleep=lambda _s: release.wait(timeout=60),
+                ),
+            )
+            blocked = threading.Thread(
+                target=lambda: _get(httpd, f"/runs/{run_id}/contributions")
+            )
+            blocked.start()
+            try:
+                for _ in range(2000):
+                    if service.admission.depth.value >= 1:
+                        break
+                    threading.Event().wait(0.005)
+                error = self._status(
+                    lambda: _get(httpd, f"/runs/{run_id}/leaderboard")
+                )
+                assert error.code == 429
+                assert int(error.headers["Retry-After"]) >= 1
+                assert service.admission.shed >= 1
+            finally:
+                release.set()
+                blocked.join(timeout=60)
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.close()
 
 
 class TestValidationReconstruction:

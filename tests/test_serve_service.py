@@ -23,6 +23,10 @@ from repro.runtime.events import CONTRIB_UPDATED
 from repro.serve import ContributionPublisher, EvaluationService
 from tests.conftest import small_model_factory
 
+# Inert without the pytest-timeout plugin (CI installs it); a deadlocked
+# hammer then fails instead of wedging the suite.
+pytestmark = pytest.mark.timeout(180)
+
 
 @pytest.fixture()
 def service():

@@ -32,6 +32,8 @@ from tests.test_runtime_partial_estimators import (
     _factory as mnist_factory,
 )
 
+pytestmark = pytest.mark.timeout(180)  # inert without pytest-timeout (CI has it)
+
 
 def _stream_hfl(log, validation, **kwargs) -> StreamingHFLEstimator:
     estimator = StreamingHFLEstimator(

@@ -1,0 +1,276 @@
+"""The write-ahead log and crash recovery of the serving registry.
+
+The acceptance contract: kill a serving process at any moment — even
+mid-append, tearing the final WAL record — and ``recover`` rebuilds the
+registry and replays each run's saved log to the *exact* ingested epoch,
+with ``np.array_equal`` contributions against the uninterrupted service.
+Corruption anywhere before the tail refuses to replay; a log file whose
+bytes changed since the crash refuses to serve different numbers.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.io import save_vfl_training_log
+from repro.serve import EvaluationService, WriteAheadLog, recover
+from repro.serve.http import register_from_spec
+from repro.serve.wal import INGEST, REGISTER, RecoveryError, WalCorruption
+
+pytestmark = pytest.mark.timeout(180)  # inert without pytest-timeout (CI has it)
+
+
+@pytest.fixture()
+def vfl_log_path(vfl_result, tmp_path):
+    path = tmp_path / "vfl_run.npz"
+    save_vfl_training_log(vfl_result.log, path)
+    return str(path)
+
+
+def _abandon(service):
+    """Simulate a SIGKILL: drop the service without close() or wal.close().
+
+    Every append was already fsync'd, so the WAL on disk is exactly what
+    a killed process would leave behind; nothing else is flushed.
+    """
+    service.wal._fh.close()  # the OS would do this on process death
+
+
+class TestWriteAheadLog:
+    def test_append_replay_roundtrip(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(REGISTER, {"run_id": "r", "kind": "vfl"})
+            wal.append(INGEST, {"run_id": "r", "epoch": 1, "digest": "d1"})
+        entries = WriteAheadLog(tmp_path).replay()
+        assert [e.seq for e in entries] == [1, 2]
+        assert entries[0].kind == REGISTER
+        assert entries[1].payload["digest"] == "d1"
+
+    def test_sequence_numbers_resume_across_reopen(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.append(REGISTER, {"run_id": "r"}) == 1
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.append(INGEST, {"run_id": "r", "epoch": 1}) == 2
+        assert [e.seq for e in WriteAheadLog(tmp_path).replay()] == [1, 2]
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            with pytest.raises(ValueError, match="kind"):
+                wal.append("compact", {})
+
+    def test_torn_tail_is_dropped_with_warning_and_truncated(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(REGISTER, {"run_id": "r"})
+            wal.append(INGEST, {"run_id": "r", "epoch": 1})
+            path = wal.path
+        # A kill mid-append leaves a partial final line.
+        with open(path, "ab") as fh:
+            fh.write(b'{"seq": 3, "kind": "ingest", "payl')
+        with pytest.warns(UserWarning, match="torn"):
+            reopened = WriteAheadLog(tmp_path)
+        assert reopened.tail_dropped
+        assert [e.seq for e in reopened.replay()] == [1, 2]
+        # The tail was truncated, so appending keeps the file replayable.
+        assert reopened.append(INGEST, {"run_id": "r", "epoch": 2}) == 3
+        final = WriteAheadLog(tmp_path).replay()
+        assert [e.seq for e in final] == [1, 2, 3]
+
+    def test_mid_file_corruption_is_fatal(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(REGISTER, {"run_id": "r"})
+            wal.append(INGEST, {"run_id": "r", "epoch": 1})
+            path = wal.path
+        lines = path.read_bytes().splitlines(keepends=True)
+        record = json.loads(lines[0])
+        record["payload"]["run_id"] = "tampered"  # checksum now wrong
+        lines[0] = (json.dumps(record, sort_keys=True) + "\n").encode()
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(WalCorruption, match="line 1"):
+            WriteAheadLog(tmp_path)
+
+    def test_checksums_catch_single_byte_flips(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(INGEST, {"run_id": "r", "epoch": 1, "digest": "abc"})
+            path = wal.path
+        raw = bytearray(path.read_bytes())
+        flip = raw.index(b"abc")
+        raw[flip] = ord("x")
+        path.write_bytes(bytes(raw))
+        # The flipped line is the *final* line, so it reads as torn tail.
+        with pytest.warns(UserWarning, match="torn"):
+            assert WriteAheadLog(tmp_path).tail_dropped
+
+
+class TestRecovery:
+    def _spec(self, vfl_log_path, run_id="crashme"):
+        return {"kind": "vfl", "log_path": vfl_log_path, "run_id": run_id}
+
+    def test_full_register_then_recover_bit_for_bit(
+        self, tmp_path, vfl_log_path, vfl_result
+    ):
+        before = EvaluationService(wal=WriteAheadLog(tmp_path / "wal"))
+        register_from_spec(before, self._spec(vfl_log_path))
+        want = before.report("crashme").totals
+        _abandon(before)
+
+        after = EvaluationService()
+        report = recover(after, WriteAheadLog(tmp_path / "wal"))
+        assert report.runs_restored == 1
+        assert report.epochs_replayed == vfl_result.log.n_epochs
+        assert not report.runs_skipped
+        assert "recovered 1 run(s)" in report.summary()
+        assert np.array_equal(after.report("crashme").totals, want)
+        after.close()
+
+    def test_wal_order_is_register_then_that_runs_ingests(
+        self, tmp_path, vfl_log_path, vfl_result
+    ):
+        service = EvaluationService(wal=WriteAheadLog(tmp_path / "wal"))
+        register_from_spec(service, self._spec(vfl_log_path))
+        entries = service.wal.replay()
+        assert entries[0].kind == REGISTER
+        assert [e.kind for e in entries[1:]] == [INGEST] * vfl_result.log.n_epochs
+        assert [e.payload["epoch"] for e in entries[1:]] == list(
+            range(1, vfl_result.log.n_epochs + 1)
+        )
+        service.close()
+
+    def test_partial_prefix_recovers_to_the_exact_epoch(
+        self, tmp_path, vfl_log_path, vfl_result
+    ):
+        """The mid-ingest-kill scenario: the WAL holds k of n epochs."""
+        k = 3
+        before = EvaluationService(wal=WriteAheadLog(tmp_path / "wal"))
+        run_id = before.register_vfl(
+            vfl_result.log.feature_blocks,
+            vfl_result.log.active_parties,
+            run_id="partial",
+        )
+        before.record_registration(self._spec(vfl_log_path, run_id))
+        for record in vfl_result.log.records[:k]:
+            before.ingest(run_id, record)
+        want = before.report(run_id).totals  # the k-epoch prefix numbers
+        _abandon(before)
+
+        after = EvaluationService()
+        report = recover(after, WriteAheadLog(tmp_path / "wal"))
+        assert report.epochs_replayed == k
+        (summary,) = after.runs()
+        assert summary["epochs"] == k
+        assert np.array_equal(after.report(run_id).totals, want)
+        # The recovered service keeps serving: the remaining epochs
+        # ingest on top, converging on the full-log numbers.
+        after.ingest_log(run_id, vfl_result.log)
+        full = EvaluationService()
+        full_id = full.register_vfl_log(vfl_result.log)
+        assert np.array_equal(
+            after.report(run_id).totals, full.report(full_id).totals
+        )
+        full.close()
+        after.close()
+
+    def test_recovered_service_resumes_the_same_wal(
+        self, tmp_path, vfl_log_path, vfl_result
+    ):
+        """attach_wal after recovery: new ingests append, not re-log."""
+        k = 2
+        before = EvaluationService(wal=WriteAheadLog(tmp_path / "wal"))
+        before.register_vfl(
+            vfl_result.log.feature_blocks,
+            vfl_result.log.active_parties,
+            run_id="resume",
+        )
+        before.record_registration(self._spec(vfl_log_path, "resume"))
+        for record in vfl_result.log.records[:k]:
+            before.ingest("resume", record)
+        _abandon(before)
+
+        wal = WriteAheadLog(tmp_path / "wal")
+        after = EvaluationService()
+        recover(after, wal)
+        after.attach_wal(wal)
+        after.ingest("resume", vfl_result.log.records[k])
+        entries = wal.replay()
+        # 1 register + k replay-era ingests + 1 new one, no duplicates.
+        assert [e.kind for e in entries] == [REGISTER] + [INGEST] * (k + 1)
+        assert entries[-1].payload["epoch"] == k + 1
+        after.close()
+
+    def test_missing_log_file_skips_the_run_not_recovery(
+        self, tmp_path, vfl_log_path, vfl_result
+    ):
+        import os
+
+        before = EvaluationService(wal=WriteAheadLog(tmp_path / "wal"))
+        register_from_spec(before, self._spec(vfl_log_path, "doomed"))
+        _abandon(before)
+        os.remove(vfl_log_path)
+
+        after = EvaluationService()
+        report = recover(after, WriteAheadLog(tmp_path / "wal"))
+        assert report.runs_restored == 0
+        assert len(report.runs_skipped) == 1
+        assert "doomed" in report.runs_skipped[0]
+        assert report.epochs_skipped == vfl_result.log.n_epochs
+        assert "skipped runs" in report.summary()
+        assert after.runs() == []
+        after.close()
+
+    def test_changed_log_file_is_a_digest_mismatch(
+        self, tmp_path, vfl_log_path, vfl_result
+    ):
+        from repro.vfl.log import VFLTrainingLog
+
+        before = EvaluationService(wal=WriteAheadLog(tmp_path / "wal"))
+        register_from_spec(before, self._spec(vfl_log_path, "mutated"))
+        _abandon(before)
+        # Rewrite the log with a perturbed record: same shape, new bytes.
+        records = list(vfl_result.log.records)
+        tampered = records[0]
+        tampered = type(tampered)(
+            epoch=tampered.epoch,
+            lr=tampered.lr,
+            theta_before=tampered.theta_before + 1e-9,
+            train_gradient=tampered.train_gradient,
+            val_gradient=tampered.val_gradient,
+            weights=tampered.weights,
+            participation=tampered.participation,
+        )
+        save_vfl_training_log(
+            VFLTrainingLog(
+                feature_blocks=vfl_result.log.feature_blocks,
+                active_parties=vfl_result.log.active_parties,
+                records=[tampered] + records[1:],
+            ),
+            vfl_log_path,
+        )
+        after = EvaluationService()
+        with pytest.raises(RecoveryError, match="digest"):
+            recover(after, WriteAheadLog(tmp_path / "wal"))
+        after.close()
+
+    def test_recover_refuses_a_service_with_a_wal(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        service = EvaluationService(wal=wal)
+        with pytest.raises(ValueError, match="without an attached WAL"):
+            recover(service, wal)
+        service.close()
+
+    def test_live_published_runs_have_no_log_to_replay(
+        self, tmp_path, vfl_result
+    ):
+        """Ingest records for runs registered out-of-band (live publisher
+        runs, no POST spec) are counted, not fatal."""
+        before = EvaluationService(wal=WriteAheadLog(tmp_path / "wal"))
+        run_id = before.register_vfl(
+            vfl_result.log.feature_blocks, vfl_result.log.active_parties
+        )
+        before.ingest(run_id, vfl_result.log.records[0])
+        _abandon(before)
+
+        after = EvaluationService()
+        report = recover(after, WriteAheadLog(tmp_path / "wal"))
+        assert report.runs_restored == 0
+        assert report.epochs_skipped == 1
+        after.close()

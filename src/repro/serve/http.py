@@ -39,7 +39,7 @@ is ever a bare 500:
   failed with no stale answer to fall back on
   (:class:`~repro.serve.resilience.QueryFailed` /
   :class:`~repro.serve.resilience.CircuitOpen`).
-* 413 — ``POST /runs`` without a ``Content-Length``, or with one above
+* 411 — ``POST /runs`` without a ``Content-Length``; 413 — one above
   ``MAX_BODY_BYTES``; 400 — malformed JSON bodies.
 * 405 + ``Allow`` — a known path asked with the wrong method.
 
@@ -320,7 +320,7 @@ class _Handler(BaseHTTPRequestHandler):
         length_header = self.headers.get("Content-Length")
         if length_header is None:
             raise ApiError(
-                413, "POST /runs requires a Content-Length header"
+                411, "POST /runs requires a Content-Length header"
             )
         try:
             length = int(length_header)

@@ -260,6 +260,18 @@ class CircuitBreaker:
             self._failures = 0
             self._probing = False
 
+    def cancel_probe(self) -> None:
+        """Release a held half-open probe slot without recording an outcome.
+
+        Used when the admitted probe died of a *caller* error (bad
+        arguments reaching the estimator): that says nothing about the
+        estimator's health, so neither success nor failure is recorded —
+        but the slot must be freed, or a half-open breaker would refuse
+        every future compute forever.  No-op when no probe is held.
+        """
+        with self._lock:
+            self._probing = False
+
     def record_failure(self) -> None:
         with self._lock:
             self._failures += 1

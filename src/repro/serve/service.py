@@ -435,7 +435,11 @@ class EvaluationService:
             value = compute()
             self._validate_payload(name, value)
         except _CALLER_ERRORS:
-            raise  # the caller's mistake, not the estimator's health
+            # The caller's mistake, not the estimator's health: no success
+            # or failure recorded — but a held half-open probe slot must be
+            # released, or the breaker would stay probing forever.
+            run.breaker.cancel_probe()
+            raise
         except DeadlineExceeded:
             run.breaker.record_failure()
             raise
@@ -777,13 +781,20 @@ class ContributionPublisher:
     def publish(self, record: EpochRecord | VFLEpochRecord) -> dict:
         """Ingest one live epoch; returns event detail for the runtime log.
 
-        Never raises: on unrecoverable failure the detail is a dead
-        letter and the epoch is simply not served.  A dead letter also
-        *poisons the stream* — later records are dead-lettered without an
-        attempt, because ingesting them would splice a hole into the
-        served prefix and silently change the contribution numbers.  The
-        training log still holds every record, so one ``ingest_log``
-        replay after the sink heals backfills the whole gap.
+        Never raises: when the *ingest itself* is unrecoverable the
+        detail is a dead letter and the epoch is not served.  A dead
+        letter also *poisons the stream* — later records are
+        dead-lettered without an attempt, because ingesting them would
+        splice a hole into the served prefix and silently change the
+        contribution numbers.  The training log still holds every record,
+        so one ``ingest_log`` replay after the sink heals backfills the
+        whole gap.
+
+        An ingest that *landed* whose follow-up leaderboard query then
+        exhausted its retries is different: the epoch **is** being
+        served, there is no gap, so the detail reports the publish as
+        successful but ``detail_degraded`` (no leader fields) and the
+        stream is not poisoned.
         """
         seq = self._published + 1
         if self._poisoned:
@@ -801,12 +812,12 @@ class ContributionPublisher:
             try:
                 return self._attempt(record, seq)
             except ServiceClosed as exc:
-                return self._dead_letter(record, seq, attempts, exc)
+                return self._resolve_failure(record, seq, attempts, exc)
             except Exception as exc:
                 try:
                     delay = next(delays)
                 except StopIteration:
-                    return self._dead_letter(record, seq, attempts, exc)
+                    return self._resolve_failure(record, seq, attempts, exc)
                 self.retries += 1
                 self._sleep(delay)
 
@@ -820,6 +831,24 @@ class ContributionPublisher:
             "leader": leader["participant"],
             "leader_contribution": leader["contribution"],
         }
+
+    def _resolve_failure(self, record, seq: int, attempts: int, exc: Exception) -> dict:
+        """Out of retries (or the service closed): dead-letter or degrade.
+
+        ``self._published`` only advances once :meth:`EvaluationService.ingest`
+        returns, so ``_published >= seq`` means this record's epoch is in
+        the served prefix and only the leaderboard detail failed — report
+        it published-but-degraded rather than punching a phantom gap.
+        """
+        if self._published >= seq:
+            return {
+                "run_id": self.run_id,
+                "epochs": self._published,
+                "detail_degraded": True,
+                "attempts": attempts,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+        return self._dead_letter(record, seq, attempts, exc)
 
     def _dead_letter(self, record, seq: int, attempts: int, exc: Exception) -> dict:
         self._poisoned = True

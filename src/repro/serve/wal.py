@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -129,6 +130,11 @@ class WriteAheadLog:
             with open(self.path, "rb+") as fh:
                 fh.truncate(good_bytes)
         self._fh = open(self.path, "ab")
+        # append() is called from many server threads at once (each HTTP
+        # request is a thread; ingests lock per run, registrations not at
+        # all) — seq allocation and the write+flush+fsync must be atomic
+        # or replay() sees interleaved/out-of-order records as corruption.
+        self._lock = threading.Lock()
 
     @property
     def path(self) -> Path:
@@ -137,25 +143,31 @@ class WriteAheadLog:
     # ------------------------------------------------------------ writing
 
     def append(self, kind: str, payload: dict) -> int:
-        """Durably record one fact; returns its sequence number."""
+        """Durably record one fact; returns its sequence number.
+
+        Thread-safe: concurrent appends are serialised so sequence
+        numbers are dense and lines never interleave.
+        """
         if kind not in _KINDS:
             raise ValueError(f"kind must be one of {sorted(_KINDS)}, got {kind!r}")
-        seq = self._next_seq
-        record = {"seq": seq, "kind": kind, "payload": payload}
-        record["checksum"] = json_checksum(
-            {"seq": seq, "kind": kind, "payload": payload}
-        )
-        line = json.dumps(record, sort_keys=True) + "\n"
-        self._fh.write(line.encode())
-        self._fh.flush()
-        if self.fsync:
-            os.fsync(self._fh.fileno())
-        self._next_seq += 1
-        return seq
+        with self._lock:
+            seq = self._next_seq
+            record = {"seq": seq, "kind": kind, "payload": payload}
+            record["checksum"] = json_checksum(
+                {"seq": seq, "kind": kind, "payload": payload}
+            )
+            line = json.dumps(record, sort_keys=True) + "\n"
+            self._fh.write(line.encode())
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+            self._next_seq += 1
+            return seq
 
     def close(self) -> None:
-        if not self._fh.closed:
-            self._fh.close()
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
 
     def __enter__(self) -> "WriteAheadLog":
         return self

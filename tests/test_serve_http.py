@@ -227,9 +227,9 @@ class TestErrorPaths:
         finally:
             conn.close()
 
-    def test_post_without_content_length_is_413(self, server):
+    def test_post_without_content_length_is_411(self, server):
         response, body = self._raw(server, "POST", "/runs")
-        assert response.status == 413
+        assert response.status == 411
         assert "Content-Length" in body["error"]
 
     def test_oversized_content_length_is_413(self, server):

@@ -23,6 +23,7 @@ from repro.serve import (
     Deadline,
     DeadlineExceeded,
     EvaluationService,
+    QueryFailed,
     RetryPolicy,
     ServiceClosed,
     ServiceOverloaded,
@@ -159,6 +160,24 @@ class TestCircuitBreaker:
         clock.advance(0.2)
         assert breaker.allow()
 
+    def test_caller_error_cancels_the_probe_without_wedging(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(1, 30.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(30.0)
+        assert breaker.allow()  # the probe slot is taken...
+        breaker.cancel_probe()  # ...but the probe died of a caller error
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()  # the slot was freed: a new probe may run
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_cancel_probe_without_a_probe_is_a_no_op(self):
+        breaker = CircuitBreaker(2, 30.0, clock=FakeClock())
+        breaker.cancel_probe()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
     def test_stats_shape(self):
         breaker = CircuitBreaker(2, 5.0, clock=FakeClock())
         breaker.record_failure()
@@ -270,6 +289,30 @@ class TestLoadShedding:
         finally:
             release.set()
             svc.close()
+
+
+class TestBreakerProbeRelease:
+    def test_caller_error_during_probe_does_not_wedge_the_breaker(
+        self, vfl_result
+    ):
+        """A bad-argument query admitted as the half-open probe must free
+        the probe slot: it says nothing about the estimator's health, and
+        holding the slot would refuse every future compute forever."""
+        with EvaluationService(breaker_failures=1, breaker_reset_s=0.0) as svc:
+            run_id = svc.register_vfl_log(vfl_result.log)
+            policy = ChaosPolicy(error_prob=1.0)
+            inject_chaos(svc, run_id, policy)
+            with pytest.raises(QueryFailed):
+                svc.weights(run_id)  # trips the breaker (no stale yet)
+            policy.disarm()
+            # reset_s=0: immediately half-open.  The probe slot goes to a
+            # caller error (invalid scheme reaching the estimator)...
+            with pytest.raises(ValueError, match="scheme"):
+                svc.weights(run_id, scheme="not-a-scheme")
+            # ...and must be released: the next valid query probes,
+            # succeeds, and closes the breaker.
+            assert svc.weights(run_id)["stale"] is False
+            assert svc.health()["status"] == "ok"
 
 
 class TestClose:
@@ -434,6 +477,31 @@ class TestPublisherRetries:
             batch_row = vfl_result.log.records[0]
             assert svc.contributions(run_id)["epochs"] == 1
             del batch_row
+
+    def test_landed_ingest_with_failed_detail_degrades_not_dead_letters(
+        self, vfl_result
+    ):
+        """The epoch *is* being served: only the follow-up leaderboard
+        query died.  There is no gap, so the stream must not be poisoned
+        and the detail reports the publish as degraded, not dead."""
+        from repro.serve import FlakyProxy
+
+        svc, run_id = self._registered(vfl_result)
+        with svc:
+            flaky = FlakyProxy(svc, failures=100, methods=("leaderboard",))
+            publisher = ContributionPublisher(
+                flaky, run_id, max_retries=2, sleep=lambda _s: None
+            )
+            detail = publisher.publish(vfl_result.log.records[0])
+            assert detail["detail_degraded"] is True
+            assert "dead_letter" not in detail
+            assert detail["epochs"] == 1
+            assert publisher.dead_letters == []
+            # No gap: the next epoch publishes (and is served) normally.
+            later = publisher.publish(vfl_result.log.records[1])
+            assert "dead_letter" not in later
+            assert later["epochs"] == 2
+            assert svc.contributions(run_id)["epochs"] == 2
 
     def test_exhausted_retries_dead_letter_and_poison_the_stream(
         self, vfl_result

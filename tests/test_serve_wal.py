@@ -9,6 +9,7 @@ bytes changed since the crash refuses to serve different numbers.
 """
 
 import json
+import threading
 
 import numpy as np
 import pytest
@@ -53,6 +54,44 @@ class TestWriteAheadLog:
         with WriteAheadLog(tmp_path) as wal:
             assert wal.append(INGEST, {"run_id": "r", "epoch": 1}) == 2
         assert [e.seq for e in WriteAheadLog(tmp_path).replay()] == [1, 2]
+
+    def test_concurrent_appends_stay_dense_and_replayable(self, tmp_path):
+        """The server is threaded: registrations and ingests into
+        different runs append concurrently.  Sequence numbers must come
+        out dense and lines unmangled, or replay rejects the file."""
+        wal = WriteAheadLog(tmp_path, fsync=False)
+        workers, per_worker = 8, 25
+        barrier = threading.Barrier(workers)
+
+        def hammer(worker):
+            barrier.wait()
+            for epoch in range(1, per_worker + 1):
+                wal.append(
+                    INGEST,
+                    {"run_id": f"r{worker}", "epoch": epoch, "digest": "d"},
+                )
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+            assert not thread.is_alive()
+        entries = wal.replay()
+        assert [e.seq for e in entries] == list(
+            range(1, workers * per_worker + 1)
+        )
+        # Every worker's stream arrived whole and in its own order.
+        for worker in range(workers):
+            epochs = [
+                e.payload["epoch"]
+                for e in entries
+                if e.payload["run_id"] == f"r{worker}"
+            ]
+            assert epochs == list(range(1, per_worker + 1))
+        wal.close()
 
     def test_unknown_kind_rejected(self, tmp_path):
         with WriteAheadLog(tmp_path) as wal:

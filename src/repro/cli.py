@@ -12,6 +12,8 @@ Subcommands::
     python -m repro.cli audit-hfl --robust-agg trimmed --screen \
         --checkpoint-dir ckpt            # re-run with --resume after a crash
     python -m repro.cli serve --port 8733  # streaming evaluation HTTP API
+    python -m repro.cli serve --trace --trace-export spans.jsonl
+    python -m repro.cli profile run.npz --kind hfl --dataset mnist
 
 Every audit builds the named synthetic dataset, trains the federation,
 runs DIG-FL and prints a contribution table.  The ``--runtime`` family of
@@ -25,7 +27,11 @@ before aggregation (and prints the quarantine summary), and
 boots the :mod:`repro.serve` query service: register saved training logs
 over HTTP and query contributions, leaderboards and reweight vectors —
 including live, mid-training, when an engine publishes into the same
-service.
+service; ``--trace`` arms :mod:`repro.obs` span recording and
+``--trace-export`` writes the buffered spans as JSONL on shutdown.
+``profile`` replays a saved training log through the evaluation service
+with the :mod:`repro.obs` phase timers armed and prints where the
+estimator's time went (validation gradients, dot products, digests).
 """
 
 from __future__ import annotations
@@ -266,13 +272,16 @@ def _cmd_audit_vfl(args) -> int:
 
 def _cmd_serve(args) -> int:
     # Imported here so plain audits never pay for the server stack.
+    from repro.obs import Observability
     from repro.serve import EvaluationService, serve
 
+    obs = Observability(trace=args.trace)
     service = EvaluationService(
         cache_bytes=args.cache_mb * 1024 * 1024,
         max_workers=args.query_workers,
         query_deadline_ms=args.query_deadline_ms,
         admission_limit=args.max_queue,
+        obs=obs,
     )
     if args.chaos_ingest_ms:
         # Test hook for the CI chaos job: a per-epoch ingest delay widens
@@ -298,7 +307,51 @@ def _cmd_serve(args) -> int:
         service.attach_wal(wal)
     elif args.recover:
         raise SystemExit("--recover requires --wal-dir")
-    return serve(args.host, args.port, service=service)
+    try:
+        return serve(args.host, args.port, service=service)
+    finally:
+        if args.trace_export:
+            count = obs.tracer.export_jsonl(args.trace_export)
+            print(f"exported {count} span(s) -> {args.trace_export}")
+
+
+def _cmd_profile(args) -> int:
+    # Imported here so plain audits never pay for the server stack.
+    from repro.io import load_training_log, load_vfl_training_log
+    from repro.obs import Observability
+    from repro.serve import EvaluationService
+    from repro.serve.http import ApiError
+
+    obs = Observability(trace=False, profile=True)
+    service = EvaluationService(obs=obs)
+    run_id = "profile"
+    try:
+        if args.kind == "hfl":
+            from repro.serve.http import hfl_validation_and_model
+
+            log = load_training_log(args.log)
+            validation, model_factory = hfl_validation_and_model(
+                args.dataset, args.seed, args.n_samples
+            )
+            service.register_hfl(
+                log.participant_ids, validation, model_factory, run_id=run_id
+            )
+        else:
+            log = load_vfl_training_log(args.log)
+            service.register_vfl(
+                log.feature_blocks, log.active_parties, run_id=run_id
+            )
+        service.ingest_log(run_id, log)
+        # Exercise both cached queries so every estimator phase fires.
+        service.query("contributions", run_id)
+        service.query("leaderboard", run_id)
+    except (ApiError, FileNotFoundError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    finally:
+        service.close()
+    print(f"profile of {args.log} ({args.kind}, {log.n_epochs} epochs)")
+    print(obs.profiles.for_run(run_id).table())
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -360,7 +413,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "epoch)")
     serve.add_argument("--chaos-ingest-ms", type=float, default=0.0,
                        help=argparse.SUPPRESS)  # CI chaos-job test hook
+    serve.add_argument("--trace", action="store_true",
+                       help="arm repro.obs span recording (spans per "
+                            "request, per ingest, per WAL append)")
+    serve.add_argument("--trace-export", metavar="PATH", default=None,
+                       help="write buffered spans as JSONL on shutdown")
     serve.set_defaults(func=_cmd_serve)
+
+    profile = sub.add_parser(
+        "profile",
+        help="replay a saved training log and print estimator phase timings",
+    )
+    profile.add_argument("log", help="training log (.npz) to profile")
+    profile.add_argument("--kind", choices=("hfl", "vfl"), default="hfl")
+    profile.add_argument("--dataset", default="mnist",
+                         help="dataset the log was trained on (hfl only; "
+                              "rebuilds the validation set and model)")
+    profile.add_argument("--seed", type=int, default=0,
+                         help="seed the log was trained with (hfl only)")
+    profile.add_argument("--n-samples", type=int, default=None,
+                         help="dataset size override used at training time")
+    profile.set_defaults(func=_cmd_profile)
     return parser
 
 

@@ -41,6 +41,7 @@ from repro.data.dataset import Dataset
 from repro.hfl.log import TrainingLog
 from repro.metrics.cost import FLOAT64_BYTES, CostLedger
 from repro.nn.models import Classifier
+from repro.obs.profile import NULL_PROFILER, Profiler
 from repro.utils.packing import unflatten_params
 
 
@@ -53,6 +54,7 @@ def estimate_hfl_resource_saving(
     ledger: CostLedger | None = None,
     val_grad_memo: GradientMemo | None = None,
     val_grad_key: str | None = None,
+    profiler: Profiler | None = None,
 ) -> ContributionReport:
     """Algorithm 2: first-order per-epoch contributions from the log only.
 
@@ -73,32 +75,37 @@ def estimate_hfl_resource_saving(
     through :func:`repro.core.valgrad.validation_gradients`, so a caching
     layer (:mod:`repro.serve`) computes each epoch's validation gradient
     once per (log, epoch) no matter how many estimators consume it.
+    ``profiler`` attributes the two hot phases (validation gradients, the
+    per-epoch dot products) to :mod:`repro.obs` phase timers.
     """
     if log.n_epochs == 0:
         raise ValueError("training log is empty")
     ledger = ledger or CostLedger()
+    profiler = profiler if profiler is not None else NULL_PROFILER
     model = model_factory()
     n = log.n_participants
     with ledger.computing():
-        val_grads = validation_gradients(
-            log, validation, model, memo=val_grad_memo, key=val_grad_key
-        )
+        with profiler.phase("estimator.valgrad"):
+            val_grads = validation_gradients(
+                log, validation, model, memo=val_grad_memo, key=val_grad_key
+            )
         per_epoch = np.empty((log.n_epochs, n))
-        for t, record in enumerate(log.records):
-            raw = record.local_updates @ val_grads[t]
-            if use_logged_weights:
-                # Absent participants were renormalised to weight 0, so the
-                # logged weights already zero their round contribution.
-                per_epoch[t] = record.weights * raw
-            elif record.participation is None:
-                per_epoch[t] = raw / n
-            else:
-                mask = record.participation
-                arrived = int(mask.sum())
-                if arrived == 0:
-                    per_epoch[t] = 0.0
+        with profiler.phase("estimator.dot_products"):
+            for t, record in enumerate(log.records):
+                raw = record.local_updates @ val_grads[t]
+                if use_logged_weights:
+                    # Absent participants were renormalised to weight 0, so
+                    # the logged weights already zero their round share.
+                    per_epoch[t] = record.weights * raw
+                elif record.participation is None:
+                    per_epoch[t] = raw / n
                 else:
-                    per_epoch[t] = np.where(mask, raw, 0.0) / arrived
+                    mask = record.participation
+                    arrived = int(mask.sum())
+                    if arrived == 0:
+                        per_epoch[t] = 0.0
+                    else:
+                        per_epoch[t] = np.where(mask, raw, 0.0) / arrived
     return from_per_epoch(
         "digfl-resource-saving", log.participant_ids, per_epoch, ledger=ledger
     )
@@ -111,6 +118,7 @@ def estimate_hfl_interactive(
     locals_: Sequence[Dataset],
     *,
     ledger: CostLedger | None = None,
+    profiler: Profiler | None = None,
 ) -> ContributionReport:
     """Algorithm 1: adds the Hessian correction via participant-local HVPs.
 
@@ -126,6 +134,7 @@ def estimate_hfl_interactive(
     if log.n_epochs == 0:
         raise ValueError("training log is empty")
     ledger = ledger or CostLedger()
+    profiler = profiler if profiler is not None else NULL_PROFILER
     model = model_factory()
     spec = model.param_spec()
     n = log.n_participants
@@ -133,20 +142,22 @@ def estimate_hfl_interactive(
 
     def local_hvp(participant: int, theta: np.ndarray, vector: np.ndarray) -> np.ndarray:
         """Participant-side HVP of its local loss at θ against ``vector``."""
-        data = locals_[participant]
-        model.set_flat(theta)
-        params = model.parameters()
-        v_parts = unflatten_params(vector, spec)
+        with profiler.phase("estimator.hvp"):
+            data = locals_[participant]
+            model.set_flat(theta)
+            params = model.parameters()
+            v_parts = unflatten_params(vector, spec)
 
-        def loss_fn(ps):
-            del ps  # hvp re-reads the live parameters
-            return model.loss(data.X, data.y)
+            def loss_fn(ps):
+                del ps  # hvp re-reads the live parameters
+                return model.loss(data.X, data.y)
 
-        hv = hvp(loss_fn, params, [Tensor(vp) for vp in v_parts])
-        return np.concatenate([h.data.ravel() for h in hv])
+            hv = hvp(loss_fn, params, [Tensor(vp) for vp in v_parts])
+            return np.concatenate([h.data.ravel() for h in hv])
 
     with ledger.computing():
-        val_grads = validation_gradients(log, validation, model)
+        with profiler.phase("estimator.valgrad"):
+            val_grads = validation_gradients(log, validation, model)
         per_epoch = np.empty((log.n_epochs, n))
         # running Σ_j ΔG_j^{-i} per participant
         delta_g_sum = np.zeros((n, p))

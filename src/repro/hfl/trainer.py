@@ -31,6 +31,7 @@ from repro.hfl.log import EpochRecord, TrainingLog
 from repro.metrics.cost import FLOAT64_BYTES, CostLedger
 from repro.nn.models import Classifier
 from repro.nn.optim import LRSchedule
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.utils.rng import derive_seed
 from repro.utils.validation import check_positive_int
 
@@ -211,6 +212,7 @@ class HFLTrainer:
         screener: "UpdateScreener | None" = None,
         checkpoint: "CheckpointManager | None" = None,
         resume: bool = False,
+        tracer: Tracer | None = None,
     ) -> HFLResult:
         """Run FedSGD and return the final model plus the training log.
 
@@ -260,6 +262,10 @@ class HFLTrainer:
             round 1 (fresh start when no checkpoint file exists yet).
             Deterministic local updates make the resumed run bit-for-bit
             identical to an uninterrupted one.
+        tracer:
+            Optional :class:`repro.obs.trace.Tracer`; one
+            ``trainer.epoch`` span is emitted per round.  The default is
+            the shared no-op tracer, which costs one predicate per epoch.
         """
         participants = resolve_coalition(locals_, participants)
         if (track_validation or reweighter is not None) and validation is None:
@@ -288,7 +294,11 @@ class HFLTrainer:
                 if screener is not None:
                     screener.warm_start(log)
 
+        tracer = tracer if tracer is not None else NULL_TRACER
         for epoch in range(start_epoch, self.epochs + 1):
+            # Manual begin/end keeps the loop body untouched; a NULL_SPAN
+            # costs nothing when no tracer was passed.
+            epoch_span = tracer.span("trainer.epoch", epoch=epoch, kind="hfl")
             lr = self.lr_schedule.lr_at(epoch)
             theta_before = model.get_flat()
 
@@ -363,4 +373,5 @@ class HFLTrainer:
             )
             if checkpoint is not None:
                 checkpoint.save(log)
+            epoch_span.end()
         return HFLResult(model=model, log=log)

@@ -94,31 +94,86 @@ class LatencyHistogram:
         with self._lock:
             return self._total / self._count if self._count else 0.0
 
+    def snapshot(self) -> dict:
+        """Every accumulator under *one* lock acquisition.
+
+        The consistency primitive: ``summary()`` used to read count,
+        mean, percentiles and ``_max`` under four separate acquisitions
+        (``_max`` under none), so a summary taken during concurrent
+        :meth:`record` calls could report a count from one instant and a
+        mean from another — ``count * mean != total``.  Everything
+        derived (summaries, percentiles, the metrics registry's
+        Prometheus buckets) now reads from this snapshot, whose
+        invariants (``sum(bucket_counts) == count``,
+        ``mean * count == total``) hold exactly.
+        """
+        with self._lock:
+            return {
+                "bounds": self.bounds,
+                "bucket_counts": tuple(self._counts),
+                "count": self._count,
+                "total": self._total,
+                "max": self._max,
+                "mean": self._total / self._count if self._count else 0.0,
+            }
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Bucket-wise add ``other``'s observations into this histogram.
+
+        Both histograms must share bucket bounds.  ``other`` is read
+        through one :meth:`snapshot` (its own lock) and applied under
+        this histogram's lock — never both locks at once, so concurrent
+        ``a.merge(b)`` / ``b.merge(a)`` cannot deadlock.  This is how
+        per-worker histograms aggregate into registry totals.  Returns
+        ``self``.
+        """
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds "
+                f"({len(other.bounds)} vs {len(self.bounds)} buckets)"
+            )
+        snap = other.snapshot()
+        with self._lock:
+            for bucket, n in enumerate(snap["bucket_counts"]):
+                self._counts[bucket] += n
+            self._count += snap["count"]
+            self._total += snap["total"]
+            if snap["max"] > self._max:
+                self._max = snap["max"]
+        return self
+
     def percentile(self, q: float) -> float:
         """Upper bound of the bucket holding the ``q``-quantile observation."""
+        return self._percentile_of(self.snapshot(), q)
+
+    def _percentile_of(self, snap: dict, q: float) -> float:
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
-        with self._lock:
-            if self._count == 0:
-                return 0.0
-            rank = q * self._count
-            seen = 0
-            for bucket, n in enumerate(self._counts):
-                seen += n
-                if seen >= rank and n:
-                    if bucket < len(self.bounds):
-                        return self.bounds[bucket]
-                    return self._max
-            return self._max
+        if snap["count"] == 0:
+            return 0.0
+        rank = q * snap["count"]
+        seen = 0
+        for bucket, n in enumerate(snap["bucket_counts"]):
+            seen += n
+            if seen >= rank and n:
+                if bucket < len(self.bounds):
+                    return self.bounds[bucket]
+                return snap["max"]
+        return snap["max"]
 
     def summary(self) -> dict[str, float]:
-        """Counters for ``/metricz``: count, mean/p50/p95/max milliseconds."""
+        """Counters for ``/metricz``: count, mean/p50/p95/max milliseconds.
+
+        Derived from one :meth:`snapshot`, so the five numbers are
+        mutually consistent even under concurrent :meth:`record` calls.
+        """
+        snap = self.snapshot()
         return {
-            "count": float(self.count),
-            "mean_ms": self.mean * 1e3,
-            "p50_ms": self.percentile(0.50) * 1e3,
-            "p95_ms": self.percentile(0.95) * 1e3,
-            "max_ms": self._max * 1e3,
+            "count": float(snap["count"]),
+            "mean_ms": snap["mean"] * 1e3,
+            "p50_ms": self._percentile_of(snap, 0.50) * 1e3,
+            "p95_ms": self._percentile_of(snap, 0.95) * 1e3,
+            "max_ms": snap["max"] * 1e3,
         }
 
 

@@ -1,0 +1,175 @@
+"""Phase timers for the hot paths: where did this run spend its time?
+
+The paper's efficiency claim (§VI: evaluation in less than one training
+epoch) lives or dies in a handful of inner loops — the per-epoch
+validation gradient, the HVP of the interactive estimator, the ``n`` dot
+products of Algorithm 2's streaming step, the content-digest update and
+the WAL ``fsync``.  A :class:`Profiler` wraps each of those in a named
+*phase* and aggregates (calls, total, max) per name; a
+:class:`ProfileRegistry` keeps one profiler per run, which is what
+``GET /runs/{id}/profile`` and ``repro profile`` report.
+
+Phases are context managers costing two ``perf_counter`` calls and one
+locked dict update — invisible against a millisecond ingest, which is
+why profiling defaults *on* in the serving layer (the <5% budget is
+pinned by ``benchmarks/bench_obs.py``).  A disabled profiler hands out a
+shared no-op phase and records nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+
+class _Phase:
+    """One timed window; feeds its duration back on exit."""
+
+    __slots__ = ("_profiler", "_name", "_started")
+
+    def __init__(self, profiler: "Profiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+        self._started = 0.0
+
+    def __enter__(self) -> "_Phase":
+        self._started = self._profiler._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._profiler.add(self._name, self._profiler._clock() - self._started)
+        return False
+
+
+class _NullPhase:
+    """The shared do-nothing phase of a disabled profiler."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_PHASE = _NullPhase()
+
+
+class Profiler:
+    """Aggregates (calls, total seconds, max seconds) per phase name."""
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.enabled = enabled
+        self._clock = clock
+        self._phases: dict[str, list] = {}  # name -> [calls, total_s, max_s]
+        self._lock = threading.Lock()
+
+    def phase(self, name: str):
+        """A context manager timing one occurrence of ``name``."""
+        if not self.enabled:
+            return NULL_PHASE
+        return _Phase(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record one occurrence explicitly (callers that time themselves)."""
+        if not self.enabled:
+            return
+        if seconds < 0:
+            raise ValueError(f"phase duration must be non-negative, got {seconds}")
+        with self._lock:
+            stats = self._phases.get(name)
+            if stats is None:
+                self._phases[name] = [1, seconds, seconds]
+            else:
+                stats[0] += 1
+                stats[1] += seconds
+                if seconds > stats[2]:
+                    stats[2] = seconds
+
+    def report(self) -> list[dict]:
+        """Per-phase rows, largest total first; ``share`` sums to 1.0."""
+        with self._lock:
+            phases = {name: list(stats) for name, stats in self._phases.items()}
+        grand_total = sum(stats[1] for stats in phases.values())
+        rows = [
+            {
+                "phase": name,
+                "calls": calls,
+                "total_s": total,
+                "mean_s": total / calls if calls else 0.0,
+                "max_s": max_s,
+                "share": total / grand_total if grand_total else 0.0,
+            }
+            for name, (calls, total, max_s) in phases.items()
+        ]
+        rows.sort(key=lambda row: (-row["total_s"], row["phase"]))
+        return rows
+
+    def table(self) -> str:
+        """The aligned text table ``repro profile`` prints."""
+        rows = self.report()
+        if not rows:
+            return "no phases recorded"
+        width = max(len("phase"), max(len(row["phase"]) for row in rows))
+        header = (
+            f"{'phase':<{width}}  {'calls':>7}  {'total':>10}  "
+            f"{'mean':>10}  {'max':>10}  {'share':>6}"
+        )
+        lines = [header]
+        for row in rows:
+            lines.append(
+                f"{row['phase']:<{width}}  {row['calls']:>7}  "
+                f"{row['total_s'] * 1e3:>8.2f}ms  {row['mean_s'] * 1e3:>8.3f}ms  "
+                f"{row['max_s'] * 1e3:>8.3f}ms  {row['share']:>5.1%}"
+            )
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._phases.clear()
+
+
+# Shared disabled profiler: stateless by construction (add() returns
+# before touching the dict), so it is safe as a library-wide default.
+NULL_PROFILER = Profiler(enabled=False)
+
+
+class ProfileRegistry:
+    """One :class:`Profiler` per run id; the ``/runs/{id}/profile`` source.
+
+    A disabled registry hands out :data:`NULL_PROFILER` for every key, so
+    attaching profilers to estimators stays unconditional in the service
+    while costing nothing when profiling is off.
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._profilers: dict[str, Profiler] = {}
+        self._lock = threading.Lock()
+
+    def for_run(self, run_id: str) -> Profiler:
+        """Get or create the profiler aggregating ``run_id``'s phases."""
+        if not self.enabled:
+            return NULL_PROFILER
+        with self._lock:
+            profiler = self._profilers.get(run_id)
+            if profiler is None:
+                profiler = self._profilers[run_id] = Profiler()
+            return profiler
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return sorted(self._profilers)
+
+    def report(self, run_id: str) -> list[dict]:
+        """``run_id``'s phase rows (empty when nothing was recorded)."""
+        with self._lock:
+            profiler = self._profilers.get(run_id)
+        return profiler.report() if profiler is not None else []

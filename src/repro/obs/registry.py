@@ -1,0 +1,343 @@
+"""Label-aware metrics registry with a Prometheus text renderer.
+
+Instrumentation in this repo predates the registry — the serving layer
+already owns :class:`~repro.metrics.cost.LatencyHistogram` and
+:class:`~repro.metrics.cost.Gauge` instances, and counters live as plain
+ints on caches, admission queues and breakers.  The registry does not
+replace them: existing instruments are *absorbed* with
+:meth:`MetricsRegistry.register` (either the object itself or a
+zero-argument callback read at scrape time), new monotone counts get
+:class:`Counter`, and everything comes out of two sinks:
+
+* :meth:`MetricsRegistry.snapshot` — a point-in-time dict; histogram
+  series go through the single-lock
+  :meth:`~repro.metrics.cost.LatencyHistogram.snapshot`, so each
+  instrument's numbers are internally consistent (count·mean == total).
+* :meth:`MetricsRegistry.render_prometheus` — the Prometheus text
+  exposition format (``# HELP`` / ``# TYPE``, cumulative ``_bucket``
+  series with ``le`` labels, ``_sum`` / ``_count``), which is what
+  ``GET /metricz?format=prometheus`` serves.  The JSON ``/metricz``
+  payload is untouched — the renderer is an additional view, not a
+  replacement.
+
+Series are keyed ``(name, labels)``; :meth:`counter` / :meth:`gauge` /
+:meth:`histogram` are get-or-create, so concurrent callers share one
+instrument per key.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+
+from repro.metrics.cost import Gauge, LatencyHistogram
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class Counter:
+    """A thread-safe monotone counter (the Prometheus ``counter`` type)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, value: int = 0) -> None:
+        if value < 0:
+            raise ValueError(f"counter cannot start negative, got {value}")
+        self._value = int(value)
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> int:
+        """Add ``n`` (must be non-negative); returns the new value."""
+        if n < 0:
+            raise ValueError(f"counters only go up, got increment {n}")
+        with self._lock:
+            self._value += int(n)
+            return self._value
+
+    @property
+    def value(self) -> int:
+        # Lock-free read: int rebinding is atomic under the GIL (the same
+        # justification as Gauge.value).
+        return self._value
+
+
+class _Series:
+    """One (labels → instrument) family member."""
+
+    __slots__ = ("labels", "instrument", "callback")
+
+    def __init__(self, labels: tuple, instrument, callback) -> None:
+        self.labels = labels
+        self.instrument = instrument
+        self.callback = callback
+
+    def read(self):
+        if self.callback is not None:
+            return float(self.callback())
+        if isinstance(self.instrument, LatencyHistogram):
+            return self.instrument.snapshot()
+        return float(self.instrument.value)
+
+
+class _Family:
+    """All series sharing one metric name (and therefore one type)."""
+
+    __slots__ = ("name", "kind", "help", "series")
+
+    def __init__(self, name: str, kind: str, help: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.series: dict[tuple, _Series] = {}
+
+
+def _label_key(labels: dict | None) -> tuple:
+    return tuple(sorted((labels or {}).items()))
+
+
+class MetricsRegistry:
+    """Named, labelled instruments behind one consistent scrape surface."""
+
+    _KINDS = frozenset({"counter", "gauge", "histogram"})
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    # ------------------------------------------------------------- creation
+
+    def counter(
+        self, name: str, *, help: str = "", labels: dict | None = None
+    ) -> Counter:
+        """Get or create the :class:`Counter` at ``(name, labels)``."""
+        return self._get_or_create(
+            name, "counter", help, labels, factory=Counter
+        )
+
+    def gauge(
+        self, name: str, *, help: str = "", labels: dict | None = None
+    ) -> Gauge:
+        """Get or create the :class:`~repro.metrics.cost.Gauge` at the key."""
+        return self._get_or_create(name, "gauge", help, labels, factory=Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        help: str = "",
+        labels: dict | None = None,
+        bounds: tuple | None = None,
+    ) -> LatencyHistogram:
+        """Get or create the latency histogram at ``(name, labels)``."""
+        factory = (
+            LatencyHistogram
+            if bounds is None
+            else (lambda: LatencyHistogram(bounds))
+        )
+        return self._get_or_create(name, "histogram", help, labels, factory=factory)
+
+    def register(
+        self,
+        name: str,
+        instrument,
+        *,
+        kind: str | None = None,
+        help: str = "",
+        labels: dict | None = None,
+        exist_ok: bool = False,
+    ):
+        """Absorb an existing instrument (or a scrape-time callback).
+
+        ``instrument`` may be a :class:`Counter`, a
+        :class:`~repro.metrics.cost.Gauge`, a
+        :class:`~repro.metrics.cost.LatencyHistogram` (kind inferred), or
+        any zero-argument callable returning a number (``kind`` required:
+        ``"counter"`` or ``"gauge"``).  Registering an occupied key raises
+        unless ``exist_ok=True``, which replaces the series — the idiom
+        for components that may be re-attached to a live service.
+        """
+        callback = None
+        if isinstance(instrument, Counter):
+            inferred = "counter"
+        elif isinstance(instrument, Gauge):
+            inferred = "gauge"
+        elif isinstance(instrument, LatencyHistogram):
+            inferred = "histogram"
+        elif callable(instrument):
+            if kind is None:
+                raise ValueError(
+                    "callback instruments need an explicit kind= "
+                    "('counter' or 'gauge')"
+                )
+            if kind == "histogram":
+                raise ValueError("callback instruments cannot be histograms")
+            callback = instrument
+            inferred = kind
+        else:
+            raise TypeError(
+                f"cannot register instrument of type {type(instrument).__name__}"
+            )
+        if kind is not None and kind != inferred:
+            raise ValueError(
+                f"instrument is a {inferred} but kind={kind!r} was requested"
+            )
+        family = self._family(name, inferred, help)
+        key = _label_key(labels)
+        self._check_labels(key)
+        with self._lock:
+            existing = family.series.get(key)
+            if existing is not None:
+                if existing.instrument is instrument and callback is None:
+                    return instrument
+                if not exist_ok:
+                    raise ValueError(
+                        f"metric {name!r} with labels {dict(key)} is already "
+                        "registered (pass exist_ok=True to replace)"
+                    )
+            family.series[key] = _Series(key, instrument, callback)
+        return instrument
+
+    def _get_or_create(self, name, kind, help, labels, *, factory):
+        family = self._family(name, kind, help)
+        key = _label_key(labels)
+        self._check_labels(key)
+        with self._lock:
+            series = family.series.get(key)
+            if series is None:
+                series = _Series(key, factory(), None)
+                family.series[key] = series
+            elif series.callback is not None:
+                raise ValueError(
+                    f"metric {name!r} {dict(key)} is a callback series"
+                )
+            return series.instrument
+
+    def _family(self, name: str, kind: str, help: str) -> _Family:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        if kind not in self._KINDS:
+            raise ValueError(
+                f"kind must be one of {sorted(self._KINDS)}, got {kind!r}"
+            )
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, kind, help)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} is a {family.kind}, not a {kind}"
+                )
+            if help and not family.help:
+                family.help = help
+            return family
+
+    @staticmethod
+    def _check_labels(key: tuple) -> None:
+        for label, _ in key:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+
+    # -------------------------------------------------------------- reading
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._families)
+
+    def snapshot(self) -> dict:
+        """Point-in-time values of every series, keyed by metric name.
+
+        Histogram values are the raw per-instrument
+        :meth:`~repro.metrics.cost.LatencyHistogram.snapshot` dicts, so
+        each series is internally consistent; counters and gauges are
+        floats.  Consistency is per-instrument — a registry-wide scrape
+        is not a transaction across independent components.
+        """
+        out: dict[str, dict] = {}
+        for name, family, series_list in self._iter_series():
+            out[name] = {
+                "type": family.kind,
+                "help": family.help,
+                "series": [
+                    {"labels": dict(series.labels), "value": series.read()}
+                    for series in series_list
+                ],
+            }
+        return out
+
+    def _iter_series(self):
+        with self._lock:
+            families = sorted(self._families.items())
+            snapshot = [
+                (name, family, [family.series[k] for k in sorted(family.series)])
+                for name, family in families
+            ]
+        return snapshot
+
+    # ---------------------------------------------------------- prometheus
+
+    def render_prometheus(self) -> str:
+        """The text exposition format for ``GET /metricz?format=prometheus``."""
+        lines: list[str] = []
+        for name, family, series_list in self._iter_series():
+            if family.help:
+                lines.append(f"# HELP {name} {_escape_help(family.help)}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for series in series_list:
+                value = series.read()
+                if family.kind == "histogram":
+                    lines.extend(_render_histogram(name, series.labels, value))
+                else:
+                    lines.append(
+                        f"{name}{_render_labels(series.labels)} {_fmt(value)}"
+                    )
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _render_labels(key: tuple, extra: tuple = ()) -> str:
+    pairs = list(key) + list(extra)
+    if not pairs:
+        return ""
+    rendered = ",".join(
+        f'{label}="{_escape_label_value(str(value))}"' for label, value in pairs
+    )
+    return "{" + rendered + "}"
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _fmt(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_histogram(name: str, key: tuple, snap: dict) -> list[str]:
+    """Cumulative ``_bucket`` lines plus ``_sum`` / ``_count``."""
+    lines = []
+    cumulative = 0
+    for bound, count in zip(snap["bounds"], snap["bucket_counts"]):
+        cumulative += count
+        labels = _render_labels(key, (("le", _fmt(bound)),))
+        lines.append(f"{name}_bucket{labels} {cumulative}")
+    # The overflow bucket is the +Inf bucket; its cumulative count is the
+    # total observation count, as the exposition format requires.
+    inf_labels = _render_labels(key, (("le", "+Inf"),))
+    lines.append(f"{name}_bucket{inf_labels} {snap['count']}")
+    lines.append(f"{name}_sum{_render_labels(key)} {_fmt(snap['total'])}")
+    lines.append(f"{name}_count{_render_labels(key)} {snap['count']}")
+    return lines

@@ -1,0 +1,371 @@
+"""Thread-aware span tracing with deterministic ids and a bounded buffer.
+
+A :class:`Tracer` hands out :class:`Span` objects — named, timed windows
+with attributes and events — and keeps the finished ones in an in-memory
+ring buffer for JSONL export.  Three properties matter for this repo:
+
+* **Deterministic ids.**  Trace and span ids come from an injectable
+  monotone ``id_source`` (default: a process-local counter), not from a
+  random source, so a test can assert the exact parent/child wiring of a
+  request and two runs of the same scenario produce the same trace.
+* **Explicit context handles.**  ``with tracer.span(...)`` maintains a
+  *per-thread* active-span stack, so nested spans parent automatically —
+  but a :class:`SpanContext` can be captured and passed across a thread
+  pool (``tracer.span(name, parent=ctx)``), which is how one serve
+  request stays a single trace through
+  :class:`~repro.serve.service.EvaluationService`'s worker pool and the
+  runtime's executors.
+* **A disabled tracer is a no-op.**  ``Tracer(enabled=False)`` returns a
+  shared :data:`NULL_SPAN` whose every method is a pass; nothing is
+  allocated per call and nothing is ever buffered, which is what lets
+  instrumented hot paths stay within the <5% overhead budget pinned by
+  ``benchmarks/bench_obs.py``.
+
+Spans are buffered when they *end* (ring capacity ``capacity``; the
+oldest are dropped and counted).  A span closed by an exception is marked
+``status="error"`` with the exception on its attributes — the error-path
+contract ``tests/test_obs_propagation.py`` holds the serving layer to.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from typing import Callable, Iterable, NamedTuple
+
+
+class SpanContext(NamedTuple):
+    """An immutable handle naming a span; safe to ship across threads."""
+
+    trace_id: str
+    span_id: str
+
+
+class Span:
+    """One named, timed operation inside a trace.
+
+    Use as a context manager to activate it on the current thread (so
+    nested spans parent to it automatically), or call :meth:`end`
+    explicitly for manually managed lifetimes.  Mutators are single-
+    threaded by convention — a span belongs to the code path that opened
+    it; only the finished-span buffer is shared.
+    """
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start_s",
+        "end_s",
+        "status",
+        "thread",
+        "attributes",
+        "events",
+        "_tracer",
+        "_activated",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: str | None,
+        start_s: float,
+        attributes: dict | None,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_s = start_s
+        self.end_s: float | None = None
+        self.status = "ok"
+        self.thread = threading.current_thread().name
+        self.attributes = dict(attributes or {})
+        self.events: list[dict] = []
+        self._tracer = tracer
+        self._activated = False
+
+    # ------------------------------------------------------------- recording
+
+    @property
+    def recording(self) -> bool:
+        return self.end_s is None
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    @property
+    def duration_s(self) -> float | None:
+        return None if self.end_s is None else self.end_s - self.start_s
+
+    def set_attribute(self, key: str, value) -> None:
+        self.attributes[key] = value
+
+    def set_attributes(self, **attributes) -> None:
+        self.attributes.update(attributes)
+
+    def add_event(self, name: str, **attributes) -> None:
+        """Record a point-in-time occurrence inside the span."""
+        self.events.append(
+            {"name": name, "time_s": self._tracer._clock(), **attributes}
+        )
+
+    def end(self, status: str | None = None) -> None:
+        """Close the span and hand it to the tracer's ring buffer."""
+        if self.end_s is not None:
+            return  # idempotent: a double end must not double-buffer
+        if status is not None:
+            self.status = status
+        self.end_s = self._tracer._clock()
+        self._tracer._finish(self)
+
+    # ------------------------------------------------------- context manager
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self._activated = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._activated:
+            self._tracer._pop(self)
+            self._activated = False
+        if exc_type is not None:
+            self.attributes.setdefault("error", f"{exc_type.__name__}: {exc}")
+            self.end(status="error")
+        else:
+            self.end()
+        return False
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "duration_s": self.duration_s,
+            "status": self.status,
+            "thread": self.thread,
+            "attributes": self.attributes,
+            "events": self.events,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.recording else self.status
+        return f"Span({self.name!r}, {self.span_id}, {state})"
+
+
+class _NullSpan:
+    """The shared do-nothing span a disabled tracer hands out.
+
+    Stateless, so one instance serves every caller and every thread.
+    ``context`` is ``None`` — there is nothing to propagate.
+    """
+
+    __slots__ = ()
+
+    recording = False
+    context = None
+    status = "ok"
+    attributes: dict = {}
+    events: list = []
+
+    def set_attribute(self, key, value) -> None:
+        pass
+
+    def set_attributes(self, **attributes) -> None:
+        pass
+
+    def add_event(self, name, **attributes) -> None:
+        pass
+
+    def end(self, status=None) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NullSpan()"
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Factory and ring buffer for :class:`Span` objects.
+
+    ``enabled=False`` makes every :meth:`span` call return
+    :data:`NULL_SPAN` — one attribute check, no allocation.
+    ``id_source`` is any zero-argument callable yielding fresh integers
+    (injectable for tests; the default counter makes ids deterministic
+    per tracer).  ``capacity`` bounds the finished-span ring; overflow
+    drops the oldest span and bumps :attr:`dropped`.
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        capacity: int = 4096,
+        id_source: Callable[[], int] | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.enabled = enabled
+        self.capacity = capacity
+        self._ids = id_source if id_source is not None else itertools.count(1).__next__
+        self._clock = clock
+        self._finished: deque[Span] = deque(maxlen=capacity)
+        self._buffer_lock = threading.Lock()
+        self._local = threading.local()
+        self.dropped = 0
+
+    # ------------------------------------------------------------- span API
+
+    def span(
+        self,
+        name: str,
+        *,
+        parent: "Span | SpanContext | None" = None,
+        **attributes,
+    ) -> Span | _NullSpan:
+        """Open a span (use ``with``, or call ``.end()`` yourself).
+
+        Parenting: an explicit ``parent`` (a :class:`Span` or a
+        :class:`SpanContext` carried across a thread boundary) wins;
+        otherwise the thread's innermost active span; otherwise the span
+        roots a new trace.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        ctx = parent.context if isinstance(parent, Span) else parent
+        if ctx is None:
+            ctx = self.current_context()
+        if ctx is None:
+            trace_id = f"{self._ids():016x}"
+            parent_id = None
+        else:
+            trace_id = ctx.trace_id
+            parent_id = ctx.span_id
+        return Span(
+            self,
+            name,
+            trace_id,
+            f"{self._ids():016x}",
+            parent_id,
+            self._clock(),
+            attributes,
+        )
+
+    def current_context(self) -> SpanContext | None:
+        """The innermost active span's context on *this* thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return None
+        return stack[-1].context
+
+    # ------------------------------------------------------------- plumbing
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif stack and span in stack:  # pragma: no cover - defensive
+            stack.remove(span)
+
+    def _finish(self, span: Span) -> None:
+        with self._buffer_lock:
+            if len(self._finished) == self._finished.maxlen:
+                self.dropped += 1
+            self._finished.append(span)
+
+    # -------------------------------------------------------------- reading
+
+    def spans(self, *, trace_id: str | None = None) -> list[Span]:
+        """Finished spans, oldest first (optionally one trace's)."""
+        with self._buffer_lock:
+            spans = list(self._finished)
+        if trace_id is not None:
+            spans = [s for s in spans if s.trace_id == trace_id]
+        return spans
+
+    def traces(self) -> dict[str, list[Span]]:
+        """Finished spans grouped by trace id, each oldest first."""
+        grouped: dict[str, list[Span]] = {}
+        for span in self.spans():
+            grouped.setdefault(span.trace_id, []).append(span)
+        return grouped
+
+    def clear(self) -> None:
+        with self._buffer_lock:
+            self._finished.clear()
+            self.dropped = 0
+
+    def stats(self) -> dict:
+        with self._buffer_lock:
+            buffered = len(self._finished)
+        return {
+            "enabled": self.enabled,
+            "capacity": self.capacity,
+            "buffered": buffered,
+            "dropped": self.dropped,
+        }
+
+    def export_jsonl(self, path) -> int:
+        """Write finished spans (oldest first) as JSON lines; returns count."""
+        spans = self.spans()
+        with open(path, "w", encoding="utf-8") as fh:
+            for span in spans:
+                fh.write(json.dumps(span.to_dict(), default=str) + "\n")
+        return len(spans)
+
+
+def load_jsonl(path) -> list[dict]:
+    """Read back a :meth:`Tracer.export_jsonl` file (tests / examples)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+def slowest_spans(spans: Iterable, n: int = 5) -> list:
+    """The ``n`` longest finished spans, slowest first.
+
+    Accepts :class:`Span` objects or :meth:`Span.to_dict` dicts — the
+    example scripts run it straight off an exported JSONL file.
+    """
+
+    def duration(span) -> float:
+        value = (
+            span.get("duration_s")
+            if isinstance(span, dict)
+            else span.duration_s
+        )
+        return value if value is not None else 0.0
+
+    return sorted(spans, key=duration, reverse=True)[:n]
+
+
+# The shared disabled tracer: stateless (a disabled tracer never mutates
+# anything), so library code can default `tracer or NULL_TRACER` without
+# coupling independent components through a hidden singleton's state.
+NULL_TRACER = Tracer(enabled=False, capacity=1)

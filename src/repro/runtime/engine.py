@@ -40,6 +40,8 @@ from repro.hfl.trainer import (
     resolve_coalition,
 )
 from repro.metrics.cost import FLOAT64_BYTES, CostLedger
+from repro.obs import Observability
+from repro.obs.trace import NULL_SPAN
 from repro.runtime import events as ev
 from repro.runtime.events import EventLog
 from repro.runtime.executor import Executor, make_executor
@@ -118,10 +120,28 @@ class FederatedRuntime:
         config: RuntimeConfig | None = None,
         *,
         event_log: EventLog | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.config = config if config is not None else RuntimeConfig()
         # An empty EventLog is falsy (len == 0) — `or` would discard it.
         self.event_log = event_log if event_log is not None else EventLog()
+        # Tracing/metrics are pure bookkeeping on top of the protocols:
+        # the bit-for-bit equivalence guarantee is unaffected by obs
+        # because spans and counters never touch the training numbers.
+        self.obs = obs if obs is not None else Observability()
+        self.quarantines_total = self.obs.registry.counter(
+            "repro_runtime_quarantines_total",
+            help="Updates excluded by the pre-aggregation screening pass",
+        )
+        if self.obs.logger.enabled and self.event_log.sink is None:
+            event_logger = self.obs.logger.bind(source="runtime")
+            self.event_log.sink = lambda e: event_logger.log(
+                f"runtime.{e.kind}",
+                round=e.round,
+                party=e.party,
+                sim_time=e.sim_time,
+                detail=e.detail,
+            )
 
     def _scheduler(self, executor: Executor) -> Scheduler:
         return Scheduler(
@@ -196,18 +216,35 @@ class FederatedRuntime:
         replicas = _ModelReplicas(trainer.model_factory)
         executor = self.config.make_executor()
         scheduler = self._scheduler(executor)
+        tracer = self.obs.tracer
+        # Spans are opened/closed manually (not `with`) so the hot loop
+        # keeps its shape; ends are idempotent, and the except arm closes
+        # whatever round was in flight with status="error".
+        run_span = tracer.span(
+            "engine.run", kind="hfl", participants=k, epochs=trainer.epochs
+        )
+        round_span = NULL_SPAN
         try:
             for epoch in range(start_epoch, trainer.epochs + 1):
+                round_span = tracer.span(
+                    "engine.round", parent=run_span, epoch=epoch, kind="hfl"
+                )
+                round_ctx = round_span.context
                 lr = trainer.lr_schedule.lr_at(epoch)
                 theta_before = model.get_flat()
 
-                def make_task(i: int):
+                def make_task(i: int, ctx=round_ctx):
                     def task():
-                        worker_model = replicas.get()
-                        worker_model.set_flat(theta_before)
-                        return trainer.local_update(
-                            worker_model, theta_before, locals_[i], lr, epoch, i
-                        )
+                        # Explicit parent: pool workers have no thread-local
+                        # ancestry, the context handle keeps one trace tree.
+                        with tracer.span(
+                            "engine.task", parent=ctx, epoch=epoch, party=i
+                        ):
+                            worker_model = replicas.get()
+                            worker_model.set_flat(theta_before)
+                            return trainer.local_update(
+                                worker_model, theta_before, locals_[i], lr, epoch, i
+                            )
 
                     return task
 
@@ -287,8 +324,15 @@ class FederatedRuntime:
                     checkpoint.save(log)
                 if publisher is not None:
                     self._publish_round(publisher, log.records[-1], outcome)
+                round_span.set_attribute("arrived", int(mask.sum()))
+                round_span.end()
+        except BaseException:
+            round_span.end(status="error")
+            run_span.end(status="error")
+            raise
         finally:
             executor.shutdown()
+            run_span.end()
         return HFLResult(model=model, log=log)
 
     # ------------------------------------------------------------------ VFL
@@ -371,22 +415,34 @@ class FederatedRuntime:
                     screener.warm_start(log)
         executor = self.config.make_executor()
         scheduler = self._scheduler(executor)
+        tracer = self.obs.tracer
+        run_span = tracer.span(
+            "engine.run", kind="vfl", participants=len(parties), epochs=trainer.epochs
+        )
+        round_span = NULL_SPAN
         try:
             for epoch in range(start_epoch, trainer.epochs + 1):
+                round_span = tracer.span(
+                    "engine.round", parent=run_span, epoch=epoch, kind="vfl"
+                )
+                round_ctx = round_span.context
                 lr = trainer.lr_schedule.lr_at(epoch)
                 grad = model.gradient(theta, train.X, train.y)
                 grad = np.where(active_mask, grad, 0.0)
                 val_grad = model.gradient(theta, validation.X, validation.y)
                 val_grad = np.where(active_mask, val_grad, 0.0)
 
-                def make_task(i: int):
+                def make_task(i: int, ctx=round_ctx):
                     block = trainer.feature_blocks[i]
 
                     def task():
                         # The party's round work: pick up its gradient block
                         # (in the deployed protocol it computes this from
                         # the coordinator's residual).
-                        return grad[block].copy()
+                        with tracer.span(
+                            "engine.task", parent=ctx, epoch=epoch, party=i
+                        ):
+                            return grad[block].copy()
 
                     return task
 
@@ -474,8 +530,15 @@ class FederatedRuntime:
                     checkpoint.save(log)
                 if publisher is not None:
                     self._publish_round(publisher, log.records[-1], outcome)
+                round_span.set_attribute("arrived", len(arrived))
+                round_span.end()
+        except BaseException:
+            round_span.end(status="error")
+            run_span.end(status="error")
+            raise
         finally:
             executor.shutdown()
+            run_span.end()
         return VFLResult(theta=theta, log=log, model=model)
 
     # ------------------------------------------------------------- plumbing
@@ -522,6 +585,7 @@ class FederatedRuntime:
             round, party_ids, updates, mask, homogeneous=homogeneous
         )
         for incident in screener.ledger.incidents[before:]:
+            self.quarantines_total.inc()
             self.event_log.record(
                 ev.QUARANTINE,
                 sim_time,

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.metrics.cost import CostLedger
 
@@ -75,9 +75,17 @@ class Event:
 
 @dataclass
 class EventLog:
-    """Append-only record of everything the scheduler did."""
+    """Append-only record of everything the scheduler did.
+
+    ``sink`` is an optional tap called with every event as it is recorded
+    — the runtime wires a structured JSON logger through it (see
+    :class:`repro.obs.log.JsonLogger`), so scheduling decisions land in
+    the same correlated log stream as serve requests.  ``None`` (the
+    default) costs nothing.
+    """
 
     events: list[Event] = field(default_factory=list)
+    sink: Callable[[Event], None] | None = None
 
     def record(
         self,
@@ -92,6 +100,8 @@ class EventLog:
             kind=kind, sim_time=sim_time, round=round, party=party, detail=detail
         )
         self.events.append(event)
+        if self.sink is not None:
+            self.sink(event)
         return event
 
     def __len__(self) -> int:

@@ -203,6 +203,39 @@ class ResultCache:
             self._entries.clear()
             self._bytes = 0
 
+    def register_metrics(self, registry, *, prefix: str = "repro_serve_cache") -> None:
+        """Expose this cache on a :class:`repro.obs.registry.MetricsRegistry`.
+
+        Lookup outcomes become one labelled counter family
+        (``{prefix}_events_total{event=...}``: hits, misses, evictions,
+        rejections) read at scrape time — no extra work on the lookup
+        path — plus byte/entry gauges.  ``exist_ok``: re-registering
+        after a cache swap replaces the callbacks.
+        """
+        for event in ("hits", "misses", "evictions", "rejected"):
+            registry.register(
+                f"{prefix}_events_total",
+                (lambda e=event: getattr(self, e)),
+                kind="counter",
+                help="Result-cache lookup outcomes by event type",
+                labels={"event": event},
+                exist_ok=True,
+            )
+        registry.register(
+            f"{prefix}_bytes",
+            lambda: self.current_bytes,
+            kind="gauge",
+            help="Bytes currently held by the result cache",
+            exist_ok=True,
+        )
+        registry.register(
+            f"{prefix}_entries",
+            lambda: len(self),
+            kind="gauge",
+            help="Entries currently held by the result cache",
+            exist_ok=True,
+        )
+
     def stats(self) -> dict[str, int]:
         """Counters for ``/metricz``; ``lookups = hits + misses`` always."""
         with self._lock:

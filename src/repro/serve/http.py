@@ -4,11 +4,13 @@ Endpoints::
 
     GET  /healthz                      liveness: ok / degraded / closed
     GET  /metricz                      latency, cache, admission, breakers
+    GET  /metricz?format=prometheus    the same registry, Prometheus text
     GET  /runs                         registered runs
     POST /runs                         register a saved training log
     GET  /runs/{id}/contributions      whole-process totals (Eq. 15)
     GET  /runs/{id}/leaderboard?top=k  ranked parties, best first
     GET  /runs/{id}/weights?scheme=s   Eq. 17-18 reweight vector
+    GET  /runs/{id}/profile            per-run phase timers (repro.obs)
 
 ``POST /runs`` body (JSON)::
 
@@ -60,6 +62,7 @@ from urllib.parse import parse_qs, urlparse
 from repro.data import HFL_DATASETS, build_hfl_federation
 from repro.io import load_training_log, load_vfl_training_log
 from repro.metrics.cost import LatencyHistogram
+from repro.obs.registry import PROMETHEUS_CONTENT_TYPE
 from repro.nn import make_hfl_model
 from repro.serve.resilience import (
     DeadlineExceeded,
@@ -75,7 +78,22 @@ _DEFAULT_N_SAMPLES = 1200
 # (or a memory-exhaustion attempt) and is refused before being read.
 MAX_BODY_BYTES = 1024 * 1024
 
-_RUN_ENDPOINTS = frozenset({"contributions", "leaderboard", "weights"})
+_RUN_ENDPOINTS = frozenset({"contributions", "leaderboard", "weights", "profile"})
+
+
+class RawResponse:
+    """A non-JSON handler result: raw body bytes plus a content type.
+
+    Routes return this instead of a payload dict when the wire format is
+    not JSON — the Prometheus text exposition of ``/metricz`` is the one
+    current case.
+    """
+
+    __slots__ = ("body", "content_type")
+
+    def __init__(self, body: str, content_type: str) -> None:
+        self.body = body.encode()
+        self.content_type = content_type
 
 
 class ApiError(Exception):
@@ -201,12 +219,18 @@ class _Handler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------- plumbing
 
-    def _send_json(
-        self, payload: dict, status: int = 200, headers: dict | None = None
+    def _send_body(
+        self,
+        payload: "dict | RawResponse",
+        status: int = 200,
+        headers: dict | None = None,
     ) -> None:
-        body = json.dumps(payload).encode()
+        if isinstance(payload, RawResponse):
+            body, content_type = payload.body, payload.content_type
+        else:
+            body, content_type = json.dumps(payload).encode(), "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
@@ -216,36 +240,52 @@ class _Handler(BaseHTTPRequestHandler):
     def _dispatch(self, handler) -> None:
         started = time.perf_counter()
         headers: dict = {}
-        try:
-            payload, status = handler()
-        except ApiError as exc:
-            payload, status, headers = {"error": str(exc)}, exc.status, exc.headers
-        except ServiceOverloaded as exc:
-            payload = {"error": str(exc), "retry_after_s": exc.retry_after_s}
-            status = 429
-            headers = {"Retry-After": str(int(exc.retry_after_s))}
-        except DeadlineExceeded as exc:
-            payload = {
-                "error": str(exc),
-                "budget_ms": exc.budget_ms,
-                "elapsed_ms": exc.elapsed_ms,
-                "progress": exc.progress,
-            }
-            status = 504
-        except ServiceClosed as exc:
-            payload, status = {"error": str(exc)}, 503
-        except QueryFailed as exc:  # includes CircuitOpen
-            payload, status = {"error": str(exc)}, 503
-        except KeyError as exc:
-            payload, status = {"error": str(exc.args[0] if exc.args else exc)}, 404
-        except ValueError as exc:
-            payload, status = {"error": str(exc)}, 400
-        except Exception as exc:  # pragma: no cover - last-resort guard
-            payload, status = {"error": f"internal error: {exc}"}, 500
-        self._send_json(payload, status, headers)
+        tracer = self.service.obs.tracer
+        with tracer.span(
+            "http.request", http_method=self.command, path=self.path
+        ) as span:
+            try:
+                payload, status = handler()
+            except ApiError as exc:
+                payload, status, headers = {"error": str(exc)}, exc.status, exc.headers
+            except ServiceOverloaded as exc:
+                payload = {"error": str(exc), "retry_after_s": exc.retry_after_s}
+                status = 429
+                headers = {"Retry-After": str(int(exc.retry_after_s))}
+            except DeadlineExceeded as exc:
+                payload = {
+                    "error": str(exc),
+                    "budget_ms": exc.budget_ms,
+                    "elapsed_ms": exc.elapsed_ms,
+                    "progress": exc.progress,
+                }
+                status = 504
+            except ServiceClosed as exc:
+                payload, status = {"error": str(exc)}, 503
+            except QueryFailed as exc:  # includes CircuitOpen
+                payload, status = {"error": str(exc)}, 503
+            except KeyError as exc:
+                payload, status = {"error": str(exc.args[0] if exc.args else exc)}, 404
+            except ValueError as exc:
+                payload, status = {"error": str(exc)}, 400
+            except Exception as exc:  # pragma: no cover - last-resort guard
+                payload, status = {"error": f"internal error: {exc}"}, 500
+            span.set_attribute("status", status)
+            if status >= 400:
+                span.end(status="error")
+        self._send_body(payload, status, headers)
         self.server.request_latency.record(  # type: ignore[attr-defined]
             time.perf_counter() - started
         )
+        logger = self.service.obs.logger
+        if logger.enabled:
+            logger.log(
+                "http.request",
+                level="warning" if status >= 400 else "info",
+                http_method=self.command,
+                path=self.path,
+                status=status,
+            )
 
     def _method_not_allowed(self, parts: list[str], method: str):
         allowed = _allowed_methods(parts)
@@ -290,6 +330,17 @@ class _Handler(BaseHTTPRequestHandler):
         if parts == ["healthz"]:
             return self.service.health(), 200
         if parts == ["metricz"]:
+            fmt = query.get("format", ["json"])[0]
+            if fmt == "prometheus":
+                return (
+                    RawResponse(
+                        self.service.obs.registry.render_prometheus(),
+                        PROMETHEUS_CONTENT_TYPE,
+                    ),
+                    200,
+                )
+            if fmt != "json":
+                raise ApiError(400, f"format must be 'json' or 'prometheus', got {fmt!r}")
             stats = self.service.stats()
             stats["latency"]["http"] = self.server.request_latency.summary()  # type: ignore[attr-defined]
             return stats, 200
@@ -310,6 +361,8 @@ class _Handler(BaseHTTPRequestHandler):
             if endpoint == "weights":
                 scheme = query.get("scheme", ["rectified"])[0]
                 return self.service.query("weights", run_id, scheme=scheme), 200
+            if endpoint == "profile":
+                return self.service.profile(run_id), 200
         raise ApiError(404, f"no such endpoint: GET {url.path}")
 
     def _route_post(self) -> tuple[dict, int]:
@@ -357,6 +410,14 @@ class EvaluationHTTPServer(ThreadingHTTPServer):
         self.service = service if service is not None else EvaluationService()
         self.request_latency = LatencyHistogram()
         self.verbose = verbose
+        # exist_ok: a service outliving one HTTP frontend (tests, restarts)
+        # re-registers the fresh histogram over the dead one's.
+        self.service.obs.registry.register(
+            "repro_http_request_latency_seconds",
+            self.request_latency,
+            help="HTTP request wall time, routing through response write",
+            exist_ok=True,
+        )
 
     @property
     def port(self) -> int:
@@ -379,8 +440,9 @@ def serve(
     """Run the server until interrupted; the ``repro serve`` entry point."""
     server = EvaluationHTTPServer((host, port), service, verbose=verbose)
     print(f"repro-serve listening on http://{host}:{server.port}")
-    print("endpoints: /healthz /metricz /runs "
-          "/runs/{id}/contributions /runs/{id}/leaderboard /runs/{id}/weights")
+    print("endpoints: /healthz /metricz[?format=prometheus] /runs "
+          "/runs/{id}/contributions /runs/{id}/leaderboard /runs/{id}/weights "
+          "/runs/{id}/profile")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

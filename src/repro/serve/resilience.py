@@ -210,6 +210,7 @@ class CircuitBreaker:
         reset_s: float = 30.0,
         *,
         clock=time.monotonic,
+        on_open=None,
     ) -> None:
         if failure_threshold <= 0:
             raise ValueError(
@@ -226,6 +227,12 @@ class CircuitBreaker:
         self._probing = False
         self._lock = threading.Lock()
         self.opens = 0  # lifetime count, for /metricz
+        # Called once per closed/half-open -> open transition (the service
+        # feeds a repro.obs breaker-transition counter through this).  It
+        # runs under the breaker lock, so it must only touch leaf state —
+        # a Counter.inc qualifies; anything re-entering the breaker does
+        # not.
+        self._on_open = on_open
 
     @property
     def state(self) -> str:
@@ -287,6 +294,8 @@ class CircuitBreaker:
     def _trip(self) -> None:
         if self._state != self.OPEN:
             self.opens += 1
+            if self._on_open is not None:
+                self._on_open()
         self._state = self.OPEN
         self._opened_at = self._clock()
         self._probing = False

@@ -53,6 +53,8 @@ from repro.data.dataset import Dataset
 from repro.hfl.log import EpochRecord, TrainingLog
 from repro.metrics.cost import LatencyHistogram
 from repro.nn.models import Classifier
+from repro.obs import Observability
+from repro.obs.profile import NULL_PROFILER
 from repro.serve.cache import ResultCache, RunDigest, fingerprint_arrays
 from repro.serve.resilience import (
     AdmissionQueue,
@@ -99,6 +101,7 @@ class _Run:
         self.digest = digest
         self.lock = threading.RLock()
         self.breaker = breaker
+        self.profiler = NULL_PROFILER  # the service swaps in the run's own
         # (query name, params) -> the last successfully computed payload,
         # served stale-marked while the breaker refuses fresh computes.
         self.last_good: dict[tuple[str, str], dict] = {}
@@ -137,6 +140,7 @@ class EvaluationService:
         breaker_failures: int = 3,
         breaker_reset_s: float = 30.0,
         wal: "WriteAheadLog | None" = None,
+        obs: Observability | None = None,
     ) -> None:
         self.cache = ResultCache(cache_bytes)
         self.ingest_latency = LatencyHistogram()
@@ -146,6 +150,14 @@ class EvaluationService:
         self.breaker_failures = breaker_failures
         self.breaker_reset_s = breaker_reset_s
         self.wal = wal
+        # The default bundle keeps tracing off (no per-request spans) but
+        # metrics and per-run profiling on — they cost nothing on the warm
+        # query path (scrape-time callbacks / phase timers inside
+        # millisecond ingests; benchmarks/bench_obs.py holds the line).
+        self.obs = obs if obs is not None else Observability()
+        # Tracing posture is fixed at construction; the cached flag keeps
+        # the disabled query() fast path to a single attribute read.
+        self._trace_off = not self.obs.tracer.enabled
         self._runs: dict[str, _Run] = {}
         self._registry_lock = threading.Lock()
         self._pool = ThreadPoolExecutor(
@@ -155,6 +167,67 @@ class EvaluationService:
         self._started_at = time.perf_counter()
         self._closed = False
         self._close_lock = threading.Lock()
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Absorb the service's instruments into the obs metrics registry."""
+        reg = self.obs.registry
+        reg.register(
+            "repro_serve_ingest_latency_seconds",
+            self.ingest_latency,
+            help="EvaluationService.ingest wall time per epoch record",
+            exist_ok=True,
+        )
+        reg.register(
+            "repro_serve_query_latency_seconds",
+            self.query_latency,
+            help="EvaluationService query wall time per request",
+            exist_ok=True,
+        )
+        self.cache.register_metrics(reg)
+        reg.register(
+            "repro_serve_admission_depth",
+            self.admission.depth,
+            help="Admitted-but-unfinished requests",
+            exist_ok=True,
+        )
+        reg.register(
+            "repro_serve_admission_in_flight",
+            self.admission.in_flight,
+            help="Requests currently executing on the pool",
+            exist_ok=True,
+        )
+        reg.register(
+            "repro_serve_admission_shed_total",
+            lambda: self.admission.shed,
+            kind="counter",
+            help="Requests refused by the bounded admission queue",
+            exist_ok=True,
+        )
+        reg.register(
+            "repro_serve_runs",
+            lambda: len(self._runs),
+            kind="gauge",
+            help="Registered runs",
+            exist_ok=True,
+        )
+        reg.register(
+            "repro_serve_uptime_seconds",
+            lambda: time.perf_counter() - self._started_at,
+            kind="gauge",
+            help="Seconds since the service was constructed",
+            exist_ok=True,
+        )
+        # New first-class counters: breaker transitions (fed by the
+        # breakers' on_open hook) and publisher dead letters.
+        self.breaker_opens_total = reg.counter(
+            "repro_serve_breaker_opens_total",
+            help="Circuit-breaker closed/half-open to open transitions",
+        )
+        self.dlq_total = reg.counter(
+            "repro_serve_publish_dlq_total",
+            help="Epoch records dead-lettered by contribution publishers",
+        )
 
     @property
     def closed(self) -> bool:
@@ -236,13 +309,22 @@ class EvaluationService:
         self, run_id: str | None, kind: str, estimator: _StreamingBase, digest: RunDigest
     ) -> str:
         self._ensure_open()
-        breaker = CircuitBreaker(self.breaker_failures, self.breaker_reset_s)
+        breaker = CircuitBreaker(
+            self.breaker_failures,
+            self.breaker_reset_s,
+            on_open=self.breaker_opens_total.inc,
+        )
         with self._registry_lock:
             if run_id is None:
                 run_id = f"{kind}-{next(self._auto_ids)}"
             if run_id in self._runs:
                 raise ValueError(f"run id {run_id!r} already registered")
-            self._runs[run_id] = _Run(run_id, kind, estimator, digest, breaker)
+            run = _Run(run_id, kind, estimator, digest, breaker)
+            # Hand the estimator this run's phase profiler so its hot-path
+            # timers (valgrad, dot products) aggregate under the run id.
+            run.profiler = self.obs.profiles.for_run(run_id)
+            estimator.profiler = run.profiler
+            self._runs[run_id] = run
         return run_id
 
     def record_registration(self, spec: dict) -> None:
@@ -255,7 +337,8 @@ class EvaluationService:
         if self.wal is not None:
             from repro.serve import wal as _wal
 
-            self.wal.append(_wal.REGISTER, dict(spec))
+            with self.obs.tracer.span("wal.append", kind=_wal.REGISTER):
+                self.wal.append(_wal.REGISTER, dict(spec))
 
     def attach_wal(self, wal: "WriteAheadLog") -> None:
         """Start logging registry mutations to ``wal`` (post-recovery hook)."""
@@ -305,35 +388,45 @@ class EvaluationService:
         self._ensure_open()
         run = self._run(run_id)
         started = time.perf_counter()
-        with run.lock:
+        tracer = self.obs.tracer
+        with tracer.span("serve.ingest", run_id=run_id, seq=seq) as span, run.lock:
             if seq is not None:
                 if seq != run.estimator.n_epochs + 1:
                     if run.estimator.n_epochs >= seq:
+                        span.set_attribute("replayed", True)
                         return run.estimator.n_epochs  # idempotent replay
                     raise ValueError(
                         f"out-of-order ingest: run {run_id!r} holds "
                         f"{run.estimator.n_epochs} epochs, got seq {seq}"
                     )
-            candidate = run.digest.fork()
-            if run.kind == "hfl":
-                memo_key = candidate.update_hfl(record)
-            else:
-                memo_key = candidate.update_vfl(record)
+            with run.profiler.phase("cache.digest"):
+                candidate = run.digest.fork()
+                if run.kind == "hfl":
+                    memo_key = candidate.update_hfl(record)
+                else:
+                    memo_key = candidate.update_vfl(record)
             run.estimator.ingest(record, memo_key=memo_key)
             run.digest = candidate
             epochs = run.estimator.n_epochs
+            span.set_attribute("epochs", epochs)
             if self.wal is not None:
                 from repro.serve import wal as _wal
 
-                self.wal.append(
-                    _wal.INGEST,
-                    {
-                        "run_id": run_id,
-                        "epoch": epochs,
-                        "digest": candidate.hexdigest(),
-                    },
-                )
+                with tracer.span("wal.append", kind=_wal.INGEST), run.profiler.phase(
+                    "wal.fsync"
+                ):
+                    self.wal.append(
+                        _wal.INGEST,
+                        {
+                            "run_id": run_id,
+                            "epoch": epochs,
+                            "digest": candidate.hexdigest(),
+                        },
+                    )
         self.ingest_latency.record(time.perf_counter() - started)
+        self.obs.logger.debug(
+            "serve.ingest", run_id=run_id, epochs=epochs, seq=seq
+        )
         return epochs
 
     def ingest_log(
@@ -398,17 +491,24 @@ class EvaluationService:
         self._ensure_open()
         if deadline is not None:
             deadline.check()
+        tracer = self.obs.tracer
         started = time.perf_counter()
         with run.lock:
             if run.estimator.n_epochs == 0:
                 raise ValueError(f"run {run.run_id!r} has no epochs ingested yet")
             epochs = run.estimator.n_epochs
             key = ("query", run.digest.hexdigest(), name, params)
-            value = self.cache.get(key)
+            # Parented by the worker's thread-local serve.compute span, so
+            # the request trace shows where the time went: cache lookup vs
+            # guarded estimator compute.
+            with tracer.span("serve.cache", query=name) as cache_span:
+                value = self.cache.get(key)
+                cache_span.set_attribute("hit", value is not None)
             if value is None:
-                value = self._compute_guarded(
-                    run, name, params, key, compute, deadline, epochs
-                )
+                with tracer.span("serve.estimator", query=name, epochs=epochs):
+                    value = self._compute_guarded(
+                        run, name, params, key, compute, deadline, epochs
+                    )
         self.query_latency.record(time.perf_counter() - started)
         return self._stamp(run, value)
 
@@ -569,7 +669,34 @@ class EvaluationService:
         allowed = {"contributions", "leaderboard", "weights"}
         if method not in allowed:
             raise ValueError(f"method must be one of {sorted(allowed)}, got {method!r}")
-        if not self.admission.try_acquire():
+        if self._trace_off:
+            # Warm path stays span-free: one attribute read is the entire
+            # cost of disabled tracing (the bench_obs.py contract).
+            return self._admit_and_run(method, args, kwargs, None)
+        tracer = self.obs.tracer
+        with tracer.span(
+            "serve.query", method=method, run_id=args[0] if args else None
+        ) as root:
+            return self._admit_and_run(method, args, kwargs, root)
+
+    def _admit_and_run(self, method: str, args: tuple, kwargs: dict, root):
+        """The admission → warm-peek → pool → deadline ladder behind query().
+
+        ``root`` is the request's ``serve.query`` span (or ``None`` when
+        tracing is off); admission, cache outcome and the pool-side
+        compute hang off it as children/events, and the worker thread
+        parents its spans explicitly on the root's context — the handle
+        that survives the hop onto the pool thread.
+        """
+        if root is None:
+            tracer = None
+            admitted_now = self.admission.try_acquire()
+        else:
+            tracer = self.obs.tracer
+            with tracer.span("serve.admission", parent=root) as admission_span:
+                admitted_now = self.admission.try_acquire()
+                admission_span.set_attribute("admitted", admitted_now)
+        if not admitted_now:
             raise ServiceOverloaded(
                 self.admission.depth.value,
                 self.admission.limit,
@@ -582,13 +709,22 @@ class EvaluationService:
             raise
         if warm is not None:
             self.admission.release()
+            if root is not None:
+                root.set_attribute("cache", "warm_hit")
             return warm
         deadline = Deadline.start(self.query_deadline_ms)
+        ctx = root.context if root is not None else None
 
         def admitted():
             self.admission.enter()
             try:
-                return getattr(self, method)(*args, deadline=deadline, **kwargs)
+                if ctx is None:
+                    return getattr(self, method)(*args, deadline=deadline, **kwargs)
+                # Explicit parenting: the pool thread has no thread-local
+                # ancestry, so the compute span adopts the request's
+                # context handle and the trace stays one tree.
+                with tracer.span("serve.compute", parent=ctx, method=method):
+                    return getattr(self, method)(*args, deadline=deadline, **kwargs)
             finally:
                 self.admission.exit()
                 self.admission.release()
@@ -599,10 +735,18 @@ class EvaluationService:
             self.admission.release()
             raise ServiceClosed() from None
         timeout = deadline.remaining_s() if deadline is not None else None
-        try:
-            return future.result(timeout=timeout)
-        except FutureTimeout:
-            raise deadline.exceeded(stage="future boundary") from None
+        if root is None:
+            try:
+                return future.result(timeout=timeout)
+            except FutureTimeout:
+                raise deadline.exceeded(stage="future boundary") from None
+        with tracer.span("serve.response", parent=root) as response_span:
+            try:
+                result = future.result(timeout=timeout)
+            except FutureTimeout:
+                raise deadline.exceeded(stage="future boundary") from None
+            response_span.set_attribute("stale", result.get("stale", False))
+            return result
 
     # Cache-key param strings per query method; must mirror the params
     # each method hands to _cached_query.
@@ -705,6 +849,23 @@ class EvaluationService:
                 "ingest": self.ingest_latency.summary(),
                 "query": self.query_latency.summary(),
             },
+            "obs": self.obs.stats(),
+        }
+
+    def profile(self, run_id: str) -> dict:
+        """Per-run phase-timer report (``GET /runs/{id}/profile``).
+
+        Rows come from the run's :class:`repro.obs.profile.Profiler`
+        (valgrad, dot products, digest, WAL fsync); empty when the
+        service was built with profiling disabled.
+        """
+        self._ensure_open()
+        run = self._run(run_id)
+        return {
+            "run_id": run_id,
+            "epochs": run.estimator.n_epochs,
+            "enabled": self.obs.profiles.enabled,
+            "phases": self.obs.profiles.report(run_id),
         }
 
     def close(self) -> None:
@@ -861,4 +1022,8 @@ class ContributionPublisher:
             "error": f"{type(exc).__name__}: {exc}",
         }
         self.dead_letters.append(detail)
+        self.service.dlq_total.inc()
+        self.service.obs.logger.error(
+            "publish.dead_letter", run_id=self.run_id, seq=seq, error=detail["error"]
+        )
         return detail

@@ -36,6 +36,7 @@ from repro.data.dataset import Dataset
 from repro.hfl.log import EpochRecord, TrainingLog
 from repro.metrics.cost import CostLedger
 from repro.nn.models import Classifier
+from repro.obs.profile import NULL_PROFILER
 from repro.vfl.log import VFLEpochRecord, VFLTrainingLog
 
 
@@ -49,6 +50,10 @@ class _StreamingBase:
         self.ledger = CostLedger()
         self._rows: list[np.ndarray] = []
         self._weights: list[np.ndarray] = []
+        # Phase timers around the ingest hot path (valgrad, dot products).
+        # The service swaps in the run's profiler at registration; the
+        # default records nothing.
+        self.profiler = NULL_PROFILER
 
     @property
     def n_participants(self) -> int:
@@ -151,28 +156,30 @@ class StreamingHFLEstimator(_StreamingBase):
                 f"expected {n}"
             )
         with self.ledger.computing():
-            val_grad = epoch_validation_gradient(
-                self.model,
-                record.theta_before,
-                self.validation,
-                memo=self.val_grad_memo,
-                key=memo_key,
-                epoch=self.n_epochs,
-            )
+            with self.profiler.phase("estimator.valgrad"):
+                val_grad = epoch_validation_gradient(
+                    self.model,
+                    record.theta_before,
+                    self.validation,
+                    memo=self.val_grad_memo,
+                    key=memo_key,
+                    epoch=self.n_epochs,
+                )
             # The branch structure below is estimate_hfl_resource_saving's,
             # verbatim — the bit-for-bit equivalence contract.
-            raw = record.local_updates @ val_grad
-            if self.use_logged_weights:
-                row = record.weights * raw
-            elif record.participation is None:
-                row = raw / n
-            else:
-                mask = record.participation
-                arrived = int(mask.sum())
-                if arrived == 0:
-                    row = np.zeros(n)
+            with self.profiler.phase("estimator.dot_products"):
+                raw = record.local_updates @ val_grad
+                if self.use_logged_weights:
+                    row = record.weights * raw
+                elif record.participation is None:
+                    row = raw / n
                 else:
-                    row = np.where(mask, raw, 0.0) / arrived
+                    mask = record.participation
+                    arrived = int(mask.sum())
+                    if arrived == 0:
+                        row = np.zeros(n)
+                    else:
+                        row = np.where(mask, raw, 0.0) / arrived
         return self._push(row)
 
     def ingest_log(self, log: TrainingLog, *, start: int = 0) -> int:
@@ -207,7 +214,7 @@ class StreamingVFLEstimator(_StreamingBase):
     def ingest(self, record: VFLEpochRecord, *, memo_key: str | None = None) -> np.ndarray:
         """Consume one epoch: one scalar product per participating party."""
         del memo_key  # Eq. 27 reads the record only; nothing to memoise
-        with self.ledger.computing():
+        with self.ledger.computing(), self.profiler.phase("estimator.dot_products"):
             row = np.zeros(self.n_participants)
             for col, party in enumerate(self.participant_ids):
                 if not record.participated(party):

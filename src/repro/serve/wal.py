@@ -249,68 +249,73 @@ def recover(service, wal: WriteAheadLog) -> RecoveryReport:
     if getattr(service, "wal", None) is not None:
         raise ValueError("recover() needs a service without an attached WAL")
     report = RecoveryReport(tail_dropped=wal.tail_dropped)
-    entries = wal.replay()
-    logs: dict[str, object] = {}
-    for entry in entries:
-        if entry.kind == REGISTER:
-            spec = entry.payload
-            run_id = spec.get("run_id")
-            try:
-                if spec.get("kind") == "hfl":
-                    log = load_training_log(spec["log_path"])
-                    validation, model_factory = hfl_validation_and_model(
-                        spec.get("dataset", "mnist"),
-                        int(spec.get("seed", 0)),
-                        spec.get("n_samples"),
+    # One wal.replay span covers the scan and every replayed record; it is
+    # thread-local-active here, so the serve.ingest spans the replay loop
+    # triggers all parent under it — recovery reads as a single trace.
+    with service.obs.tracer.span("wal.replay", path=str(wal.path)) as replay_span:
+        entries = wal.replay()
+        replay_span.set_attribute("entries", len(entries))
+        logs: dict[str, object] = {}
+        for entry in entries:
+            if entry.kind == REGISTER:
+                spec = entry.payload
+                run_id = spec.get("run_id")
+                try:
+                    if spec.get("kind") == "hfl":
+                        log = load_training_log(spec["log_path"])
+                        validation, model_factory = hfl_validation_and_model(
+                            spec.get("dataset", "mnist"),
+                            int(spec.get("seed", 0)),
+                            spec.get("n_samples"),
+                        )
+                        service.register_hfl(
+                            log.participant_ids,
+                            validation,
+                            model_factory,
+                            run_id=run_id,
+                            use_logged_weights=bool(
+                                spec.get("use_logged_weights", False)
+                            ),
+                        )
+                    else:
+                        log = load_vfl_training_log(spec["log_path"])
+                        service.register_vfl(
+                            log.feature_blocks, log.active_parties, run_id=run_id
+                        )
+                except (FileNotFoundError, TrainingLogIntegrityError, KeyError) as exc:
+                    report.runs_skipped.append(f"{run_id} ({exc})")
+                    continue
+                logs[run_id] = log
+                report.runs_restored += 1
+            else:  # INGEST
+                run_id = entry.payload.get("run_id")
+                log = logs.get(run_id)
+                if log is None:
+                    # Registered out-of-band (live publisher run) or its
+                    # registration was skipped above — nothing to replay from.
+                    report.epochs_skipped += 1
+                    continue
+                epoch_count = int(entry.payload["epoch"])
+                if epoch_count > log.n_epochs:
+                    raise RecoveryError(
+                        f"WAL says run {run_id!r} ingested {epoch_count} epochs "
+                        f"but its log file holds only {log.n_epochs}"
                     )
-                    service.register_hfl(
-                        log.participant_ids,
-                        validation,
-                        model_factory,
-                        run_id=run_id,
-                        use_logged_weights=bool(
-                            spec.get("use_logged_weights", False)
-                        ),
+                record = log.records[epoch_count - 1]
+                got = service.ingest(run_id, record, seq=epoch_count)
+                if got != epoch_count:
+                    raise RecoveryError(
+                        f"replaying run {run_id!r} reached {got} epochs where the "
+                        f"WAL expected {epoch_count}"
                     )
-                else:
-                    log = load_vfl_training_log(spec["log_path"])
-                    service.register_vfl(
-                        log.feature_blocks, log.active_parties, run_id=run_id
+                rebuilt = service.run_digest(run_id)
+                recorded = entry.payload.get("digest")
+                if recorded is not None and rebuilt != recorded:
+                    raise RecoveryError(
+                        f"run {run_id!r} epoch {epoch_count}: rebuilt digest "
+                        f"{rebuilt[:12]}… does not match the WAL's "
+                        f"{recorded[:12]}… — the log file changed since the "
+                        "crash; refusing to serve different numbers"
                     )
-            except (FileNotFoundError, TrainingLogIntegrityError, KeyError) as exc:
-                report.runs_skipped.append(f"{run_id} ({exc})")
-                continue
-            logs[run_id] = log
-            report.runs_restored += 1
-        else:  # INGEST
-            run_id = entry.payload.get("run_id")
-            log = logs.get(run_id)
-            if log is None:
-                # Registered out-of-band (live publisher run) or its
-                # registration was skipped above — nothing to replay from.
-                report.epochs_skipped += 1
-                continue
-            epoch_count = int(entry.payload["epoch"])
-            if epoch_count > log.n_epochs:
-                raise RecoveryError(
-                    f"WAL says run {run_id!r} ingested {epoch_count} epochs "
-                    f"but its log file holds only {log.n_epochs}"
-                )
-            record = log.records[epoch_count - 1]
-            got = service.ingest(run_id, record, seq=epoch_count)
-            if got != epoch_count:
-                raise RecoveryError(
-                    f"replaying run {run_id!r} reached {got} epochs where the "
-                    f"WAL expected {epoch_count}"
-                )
-            rebuilt = service.run_digest(run_id)
-            recorded = entry.payload.get("digest")
-            if recorded is not None and rebuilt != recorded:
-                raise RecoveryError(
-                    f"run {run_id!r} epoch {epoch_count}: rebuilt digest "
-                    f"{rebuilt[:12]}… does not match the WAL's "
-                    f"{recorded[:12]}… — the log file changed since the "
-                    "crash; refusing to serve different numbers"
-                )
-            report.epochs_replayed += 1
+                report.epochs_replayed += 1
     return report

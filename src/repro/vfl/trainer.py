@@ -23,6 +23,7 @@ from repro.data.dataset import Dataset
 from repro.metrics.cost import FLOAT64_BYTES, CostLedger
 from repro.models.linear import make_vfl_model
 from repro.nn.optim import LRSchedule
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.utils.validation import check_positive_int
 from repro.vfl.log import VFLEpochRecord, VFLTrainingLog
 
@@ -108,6 +109,7 @@ class VFLTrainer:
         screener: "UpdateScreener | None" = None,
         checkpoint: "CheckpointManager | None" = None,
         resume: bool = False,
+        tracer: Tracer | None = None,
     ) -> VFLResult:
         """Gradient-descent training restricted to a coalition of parties.
 
@@ -124,6 +126,8 @@ class VFLTrainer:
         dropout semantics Eq. 27 already handles.  ``checkpoint`` /
         ``resume`` persist the log per round and continue from the last
         complete round, as in :meth:`repro.hfl.trainer.HFLTrainer.train`.
+        ``tracer`` emits one ``trainer.epoch`` span per round (defaults to
+        the shared no-op tracer).
         """
         if resume and checkpoint is None:
             raise ValueError("resume=True requires a checkpoint manager")
@@ -169,7 +173,11 @@ class VFLTrainer:
                 if screener is not None:
                     screener.warm_start(log)
 
+        tracer = tracer if tracer is not None else NULL_TRACER
         for epoch in range(start_epoch, self.epochs + 1):
+            # Manual begin/end keeps the loop body untouched; a NULL_SPAN
+            # costs nothing when no tracer was passed.
+            epoch_span = tracer.span("trainer.epoch", epoch=epoch, kind="vfl")
             lr = self.lr_schedule.lr_at(epoch)
             grad = self.model.gradient(theta, train.X, train.y)
             grad = np.where(active_mask, grad, 0.0)
@@ -243,5 +251,6 @@ class VFLTrainer:
             theta = theta - lr * update
             if checkpoint is not None:
                 checkpoint.save(log)
+            epoch_span.end()
 
         return VFLResult(theta=theta, log=log, model=self.model)

@@ -39,6 +39,23 @@ class TestParser:
         assert args.cache_mb == 8
         assert args.query_workers == 2
 
+    def test_serve_trace_flags(self):
+        args = build_parser().parse_args(["serve"])
+        assert not args.trace
+        assert args.trace_export is None
+        args = build_parser().parse_args(
+            ["serve", "--trace", "--trace-export", "spans.jsonl"]
+        )
+        assert args.trace
+        assert args.trace_export == "spans.jsonl"
+
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile", "run.npz"])
+        assert args.command == "profile"
+        assert args.log == "run.npz"
+        assert args.kind == "hfl"
+        assert args.dataset == "mnist"
+
 
 class TestDatasets:
     def test_lists_all_14(self, capsys):
@@ -123,3 +140,34 @@ class TestAuditVFL:
         assert code == 0
         log = load_vfl_training_log(path)
         assert log.n_epochs == 4
+
+
+class TestProfile:
+    def test_profiles_a_saved_hfl_log(self, tmp_path, capsys):
+        log_path = tmp_path / "run.npz"
+        assert main(
+            ["audit-hfl", "--parties", "3", "--epochs", "2", "--noniid", "0",
+             "--save-log", str(log_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["profile", str(log_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 epochs" in out
+        assert "phase" in out  # the table header
+        assert "estimator.valgrad" in out
+        assert "cache.digest" in out
+
+    def test_profiles_a_saved_vfl_log(self, tmp_path, capsys):
+        log_path = tmp_path / "vfl.npz"
+        assert main(
+            ["audit-vfl", "--dataset", "iris", "--epochs", "3",
+             "--save-log", str(log_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["profile", str(log_path), "--kind", "vfl"]) == 0
+        out = capsys.readouterr().out
+        assert "estimator.dot_products" in out
+
+    def test_missing_log_exits_with_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="error"):
+            main(["profile", str(tmp_path / "ghost.npz")])

@@ -71,6 +71,13 @@ class TestFastExamplesRun:
         assert "mislabeled party ranked last: True" in out
         assert "live totals bit-for-bit equal batch audit: True" in out
 
+    def test_traced_run(self, capsys):
+        load_example("traced_run.py").main()
+        out = capsys.readouterr().out
+        assert "slowest task" in out
+        assert "lowest total contribution: party 4 (mislabeled party is 4)" in out
+        assert "statuses all ok: True" in out
+
     def test_resilient_leaderboard(self, capsys):
         load_example("resilient_leaderboard.py").main()
         out = capsys.readouterr().out

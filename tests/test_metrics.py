@@ -220,3 +220,71 @@ class TestLatencyHistogram:
         for thread in threads:
             thread.join()
         assert histogram.count == 4000
+
+    def test_snapshot_is_internally_consistent_under_concurrent_records(self):
+        """Regression: summary() used to tear across lock acquisitions.
+
+        Every snapshot taken while four threads hammer record() must
+        satisfy the single-lock invariants exactly: the bucket counts sum
+        to the count and mean·count equals the total.  Before snapshot()
+        existed, count and mean were read under separate acquisitions and
+        could come from different instants.
+        """
+        import threading
+
+        from repro.metrics import LatencyHistogram
+
+        histogram = LatencyHistogram()
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                histogram.record(0.0003)
+                histogram.record(0.04)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(500):
+                snap = histogram.snapshot()
+                assert sum(snap["bucket_counts"]) == snap["count"]
+                assert snap["mean"] * snap["count"] == pytest.approx(
+                    snap["total"], rel=1e-9
+                )
+                summary = histogram.summary()
+                assert summary["count"] * summary["mean_ms"] >= 0.0
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=20.0), max_size=60),
+        st.lists(st.floats(min_value=0.0, max_value=20.0), max_size=60),
+    )
+    def test_merge_equals_histogram_of_concatenation(self, first, second):
+        """a.merge(b) is indistinguishable from observing a's and b's
+        samples into one fresh histogram — bucket by bucket."""
+        from repro.metrics import LatencyHistogram
+
+        a, b, combined = LatencyHistogram(), LatencyHistogram(), LatencyHistogram()
+        for seconds in first:
+            a.record(seconds)
+            combined.record(seconds)
+        for seconds in second:
+            b.record(seconds)
+            combined.record(seconds)
+        result = a.merge(b)
+        assert result is a
+        merged_snap, combined_snap = a.snapshot(), combined.snapshot()
+        assert merged_snap["bucket_counts"] == combined_snap["bucket_counts"]
+        assert merged_snap["count"] == combined_snap["count"]
+        assert merged_snap["total"] == pytest.approx(combined_snap["total"])
+        assert merged_snap["max"] == combined_snap["max"]
+
+    def test_merge_rejects_mismatched_bounds(self):
+        from repro.metrics import LatencyHistogram
+
+        with pytest.raises(ValueError, match="different bounds"):
+            LatencyHistogram((0.1, 1.0)).merge(LatencyHistogram((0.5, 2.0)))

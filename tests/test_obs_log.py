@@ -1,0 +1,110 @@
+"""Tests for the structured JSON logger and its trace correlation."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs.log import NULL_LOGGER, JsonLogger
+from repro.obs.trace import Tracer
+
+
+def lines_of(stream: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestJsonLogger:
+    def test_one_json_object_per_line(self):
+        stream = io.StringIO()
+        logger = JsonLogger(stream, clock=lambda: 12.5)
+        logger.info("serve.ingest", run_id="r1", epochs=3)
+        logger.error("publish.dead_letter", seq=9)
+        first, second = lines_of(stream)
+        assert first == {
+            "ts": 12.5,
+            "level": "info",
+            "event": "serve.ingest",
+            "run_id": "r1",
+            "epochs": 3,
+        }
+        assert second["level"] == "error"
+        assert second["seq"] == 9
+
+    def test_bind_attaches_fields_and_shares_the_stream(self):
+        stream = io.StringIO()
+        logger = JsonLogger(stream)
+        child = logger.bind(source="runtime", round=4)
+        child.debug("round.end")
+        (line,) = lines_of(stream)
+        assert line["source"] == "runtime"
+        assert line["round"] == 4
+        # Call-site fields override bound ones.
+        child.bind(round=9).info("round.end")
+        assert lines_of(stream)[1]["round"] == 9
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError, match="level"):
+            JsonLogger(io.StringIO()).log("e", level="fatal")
+
+    def test_non_serialisable_fields_fall_back_to_str(self):
+        stream = io.StringIO()
+        JsonLogger(stream).info("e", obj={1, 2})
+        (line,) = lines_of(stream)
+        assert "1" in line["obj"]
+
+    def test_disabled_logger_never_touches_the_stream(self):
+        class Explosive:
+            def write(self, *_):  # pragma: no cover - must not run
+                raise AssertionError("disabled logger wrote")
+
+            def flush(self):  # pragma: no cover - must not run
+                raise AssertionError("disabled logger flushed")
+
+        logger = JsonLogger(Explosive(), enabled=False)
+        logger.info("dropped")
+        assert not logger.enabled
+        NULL_LOGGER.error("also dropped")
+
+    def test_no_stream_means_disabled(self):
+        assert not JsonLogger(None).enabled
+
+    def test_concurrent_writers_never_interleave_lines(self):
+        stream = io.StringIO()
+        logger = JsonLogger(stream)
+
+        def hammer(worker: int):
+            for i in range(200):
+                logger.info("tick", worker=worker, i=i)
+
+        threads = [
+            threading.Thread(target=hammer, args=(worker,)) for worker in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        rows = lines_of(stream)  # json.loads raises on any torn line
+        assert len(rows) == 800
+
+
+class TestTraceCorrelation:
+    def test_lines_inside_a_span_carry_its_ids(self):
+        stream = io.StringIO()
+        tracer = Tracer()
+        logger = JsonLogger(stream, tracer=tracer)
+        logger.info("outside")
+        with tracer.span("request") as span:
+            logger.info("inside")
+        outside, inside = lines_of(stream)
+        assert "trace_id" not in outside
+        assert inside["trace_id"] == span.trace_id
+        assert inside["span_id"] == span.span_id
+
+    def test_disabled_tracer_adds_no_ids(self):
+        stream = io.StringIO()
+        logger = JsonLogger(stream, tracer=Tracer(enabled=False))
+        with logger.tracer.span("nope"):
+            logger.info("line")
+        (line,) = lines_of(stream)
+        assert "trace_id" not in line

@@ -1,0 +1,82 @@
+"""Tests for the phase timers and the per-run profile registry."""
+
+import pytest
+
+from repro.obs.profile import NULL_PHASE, NULL_PROFILER, Profiler, ProfileRegistry
+
+
+def ticking_profiler(step: float = 1.0) -> Profiler:
+    """A profiler whose clock advances ``step`` per reading."""
+    state = {"now": 0.0}
+
+    def clock() -> float:
+        state["now"] += step
+        return state["now"]
+
+    return Profiler(clock=clock)
+
+
+class TestProfiler:
+    def test_phase_aggregates_calls_total_and_max(self):
+        profiler = ticking_profiler()
+        for _ in range(3):
+            with profiler.phase("valgrad"):
+                pass
+        (row,) = profiler.report()
+        assert row["phase"] == "valgrad"
+        assert row["calls"] == 3
+        assert row["total_s"] == pytest.approx(3.0)  # each window ticks once
+        assert row["mean_s"] == pytest.approx(1.0)
+        assert row["max_s"] == pytest.approx(1.0)
+        assert row["share"] == pytest.approx(1.0)
+
+    def test_report_sorts_by_total_and_shares_sum_to_one(self):
+        profiler = Profiler()
+        profiler.add("small", 0.1)
+        profiler.add("large", 0.9)
+        rows = profiler.report()
+        assert [row["phase"] for row in rows] == ["large", "small"]
+        assert sum(row["share"] for row in rows) == pytest.approx(1.0)
+
+    def test_add_rejects_negative_durations(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Profiler().add("p", -0.1)
+
+    def test_clear(self):
+        profiler = Profiler()
+        profiler.add("p", 0.5)
+        profiler.clear()
+        assert profiler.report() == []
+
+    def test_table_is_aligned_and_handles_empty(self):
+        profiler = Profiler()
+        assert profiler.table() == "no phases recorded"
+        profiler.add("estimator.valgrad", 0.004)
+        profiler.add("cache.digest", 0.001)
+        table = profiler.table()
+        lines = table.splitlines()
+        assert lines[0].startswith("phase")
+        assert len(lines) == 3
+        assert "estimator.valgrad" in lines[1]  # largest total first
+
+    def test_disabled_profiler_records_nothing(self):
+        assert NULL_PROFILER.phase("anything") is NULL_PHASE
+        NULL_PROFILER.add("anything", 1.0)
+        assert NULL_PROFILER.report() == []
+
+
+class TestProfileRegistry:
+    def test_for_run_get_or_creates(self):
+        registry = ProfileRegistry()
+        a = registry.for_run("run-1")
+        assert registry.for_run("run-1") is a
+        assert registry.for_run("run-2") is not a
+        assert registry.keys() == ["run-1", "run-2"]
+
+    def test_report_for_unknown_run_is_empty(self):
+        assert ProfileRegistry().report("nope") == []
+
+    def test_disabled_registry_hands_out_the_null_profiler(self):
+        registry = ProfileRegistry(enabled=False)
+        assert registry.for_run("run-1") is NULL_PROFILER
+        assert registry.keys() == []

@@ -1,0 +1,222 @@
+"""Tests for the metrics registry and its Prometheus text renderer."""
+
+import threading
+
+import pytest
+
+from repro.metrics.cost import Gauge, LatencyHistogram
+from repro.obs.registry import Counter, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter()
+        assert counter.inc() == 1
+        assert counter.inc(4) == 5
+        assert counter.value == 5
+
+    def test_monotone(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+        with pytest.raises(ValueError):
+            Counter(-3)
+
+    def test_threaded_increments_do_not_lose_counts(self):
+        counter = Counter()
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 4000
+
+
+class TestRegistryCreation:
+    def test_get_or_create_shares_one_instrument_per_key(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_hits_total", help="hits")
+        b = registry.counter("repro_hits_total")
+        assert a is b
+        labelled = registry.counter("repro_hits_total", labels={"kind": "warm"})
+        assert labelled is not a
+
+    def test_kind_conflicts_are_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_thing")
+        with pytest.raises(ValueError, match="is a counter"):
+            registry.gauge("repro_thing")
+
+    def test_invalid_names_and_labels_are_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("bad-name")
+        with pytest.raises(ValueError, match="invalid label name"):
+            registry.counter("repro_ok", labels={"bad-label": "x"})
+
+    def test_register_absorbs_existing_instruments(self):
+        registry = MetricsRegistry()
+        histogram = LatencyHistogram()
+        gauge = Gauge()
+        registry.register("repro_latency_seconds", histogram)
+        registry.register("repro_depth", gauge)
+        snapshot = registry.snapshot()
+        assert snapshot["repro_latency_seconds"]["type"] == "histogram"
+        assert snapshot["repro_depth"]["type"] == "gauge"
+
+    def test_register_callback_needs_explicit_kind(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="explicit kind"):
+            registry.register("repro_cb", lambda: 1)
+        registry.register("repro_cb", lambda: 41, kind="counter")
+        (series,) = registry.snapshot()["repro_cb"]["series"]
+        assert series["value"] == 41.0
+
+    def test_register_occupied_key_needs_exist_ok(self):
+        registry = MetricsRegistry()
+        registry.register("repro_g", Gauge())
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("repro_g", Gauge())
+        replacement = Gauge(7)
+        registry.register("repro_g", replacement, exist_ok=True)
+        (series,) = registry.snapshot()["repro_g"]["series"]
+        assert series["value"] == 7.0
+
+    def test_register_same_object_twice_is_a_no_op(self):
+        registry = MetricsRegistry()
+        gauge = Gauge()
+        registry.register("repro_g", gauge)
+        assert registry.register("repro_g", gauge) is gauge
+
+
+class TestSnapshot:
+    def test_histogram_series_is_internally_consistent(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_lat_seconds")
+        for seconds in (0.001, 0.01, 2.0):
+            histogram.record(seconds)
+        (series,) = registry.snapshot()["repro_lat_seconds"]["series"]
+        snap = series["value"]
+        assert sum(snap["bucket_counts"]) == snap["count"] == 3
+        assert snap["mean"] * snap["count"] == pytest.approx(snap["total"])
+
+    def test_labelled_series_sorted_and_distinct(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_ev_total", labels={"event": "hit"}).inc(2)
+        registry.counter("repro_ev_total", labels={"event": "miss"}).inc(5)
+        series = registry.snapshot()["repro_ev_total"]["series"]
+        assert [s["labels"] for s in series] == [
+            {"event": "hit"},
+            {"event": "miss"},
+        ]
+        assert [s["value"] for s in series] == [2.0, 5.0]
+
+
+def parse_prometheus(text: str) -> dict:
+    """A deliberately strict mini-parser for the exposition format.
+
+    Returns ``{metric_name: {"type": ..., "samples": {(sample_name,
+    labels_tuple): value}}}`` and raises on any line it does not
+    understand — the round-trip contract the renderer is held to.
+    """
+    import re
+
+    metrics: dict = {}
+    current = None
+    sample_re = re.compile(
+        r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)$"
+    )
+    for line in text.splitlines():
+        if not line:
+            raise ValueError("blank line in exposition output")
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            if kind not in ("counter", "gauge", "histogram"):
+                raise ValueError(f"unknown type {kind!r}")
+            current = metrics.setdefault(name, {"type": kind, "samples": {}})
+            continue
+        match = sample_re.match(line)
+        if match is None or current is None:
+            raise ValueError(f"unparseable sample line {line!r}")
+        sample_name, _, raw_labels, raw_value = match.groups()
+        labels = []
+        if raw_labels:
+            for pair in raw_labels.split(","):
+                label, value = pair.split("=", 1)
+                if not (value.startswith('"') and value.endswith('"')):
+                    raise ValueError(f"unquoted label value in {line!r}")
+                labels.append((label, value[1:-1]))
+        value = float("inf") if raw_value == "+Inf" else float(raw_value)
+        current["samples"][(sample_name, tuple(labels))] = value
+    return metrics
+
+
+class TestPrometheusRendering:
+    def test_round_trips_through_a_parser(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_hits_total", help="cache hits").inc(12)
+        registry.gauge("repro_depth", labels={"queue": "admit"}).set(3)
+        histogram = registry.histogram("repro_lat_seconds", help="latency")
+        for seconds in (0.0005, 0.0005, 0.02):
+            histogram.record(seconds)
+
+        parsed = parse_prometheus(registry.render_prometheus())
+        assert parsed["repro_hits_total"]["type"] == "counter"
+        assert parsed["repro_hits_total"]["samples"][
+            ("repro_hits_total", ())
+        ] == 12.0
+        assert parsed["repro_depth"]["samples"][
+            ("repro_depth", (("queue", "admit"),))
+        ] == 3.0
+        histogram_samples = parsed["repro_lat_seconds"]["samples"]
+        assert histogram_samples[("repro_lat_seconds_count", ())] == 3.0
+        assert histogram_samples[("repro_lat_seconds_sum", ())] == pytest.approx(
+            0.021
+        )
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "repro_h_seconds", bounds=(0.001, 0.01, 0.1)
+        )
+        for seconds in (0.0005, 0.005, 0.05, 5.0):
+            histogram.record(seconds)
+        samples = parse_prometheus(registry.render_prometheus())[
+            "repro_h_seconds"
+        ]["samples"]
+        buckets = [
+            value
+            for (name, labels), value in sorted(samples.items())
+            if name == "repro_h_seconds_bucket"
+        ]
+        # Cumulative, monotone, and the +Inf bucket equals the count.
+        le_values = sorted(
+            (dict(labels)["le"], value)
+            for (name, labels), value in samples.items()
+            if name == "repro_h_seconds_bucket"
+        )
+        by_le = dict(le_values)
+        assert by_le["+Inf"] == 4.0
+        assert by_le["0.001"] <= by_le["0.01"] <= by_le["0.1"] <= by_le["+Inf"]
+        assert len(buckets) == 4
+
+    def test_escapes_label_values_and_help(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            'repro_esc_total',
+            help='line\nbreak',
+            labels={"path": 'a"b\\c'},
+        ).inc()
+        text = registry.render_prometheus()
+        assert '# HELP repro_esc_total line\\nbreak' in text
+        assert 'path="a\\"b\\\\c"' in text
+        parse_prometheus(text)  # still parseable after escaping
+
+    def test_empty_registry_renders_empty_string(self):
+        assert MetricsRegistry().render_prometheus() == ""

@@ -1,0 +1,195 @@
+"""Tests for the span tracer: ids, parenting, buffering, export."""
+
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    SpanContext,
+    Tracer,
+    load_jsonl,
+    slowest_spans,
+)
+
+
+def make_tracer(**kwargs):
+    """A tracer whose ids are deterministic small integers."""
+    counter = iter(range(1, 10_000))
+    kwargs.setdefault("id_source", lambda: next(counter))
+    return Tracer(**kwargs)
+
+
+class TestSpanLifecycle:
+    def test_with_block_records_duration_and_status(self):
+        tracer = make_tracer()
+        with tracer.span("work", size=3) as span:
+            assert span.recording
+        assert not span.recording
+        assert span.status == "ok"
+        assert span.duration_s >= 0.0
+        assert span.attributes == {"size": 3}
+
+    def test_ids_are_deterministic(self):
+        first = make_tracer()
+        second = make_tracer()
+        with first.span("a"):
+            pass
+        with second.span("a"):
+            pass
+        assert first.spans()[0].trace_id == second.spans()[0].trace_id
+        assert first.spans()[0].span_id == second.spans()[0].span_id
+
+    def test_exception_marks_error_status(self):
+        tracer = make_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom") as span:
+                raise RuntimeError("kaput")
+        assert span.status == "error"
+        assert "RuntimeError: kaput" in span.attributes["error"]
+
+    def test_end_is_idempotent_and_first_status_wins(self):
+        tracer = make_tracer()
+        span = tracer.span("once")
+        span.end(status="error")
+        span.end()  # a later plain end must not overwrite or re-buffer
+        assert span.status == "error"
+        assert len(tracer.spans()) == 1
+
+    def test_events_are_timestamped(self):
+        tracer = make_tracer()
+        with tracer.span("evented") as span:
+            span.add_event("shed", depth=7)
+        (event,) = span.events
+        assert event["name"] == "shed"
+        assert event["depth"] == 7
+        assert event["time_s"] >= span.start_s
+
+
+class TestParenting:
+    def test_nested_with_blocks_parent_automatically(self):
+        tracer = make_tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+
+    def test_explicit_context_wins_over_thread_local(self):
+        tracer = make_tracer()
+        with tracer.span("active") as active:
+            other = SpanContext("cafe", "f00d")
+            child = tracer.span("child", parent=other)
+            child.end()
+        assert child.trace_id == "cafe"
+        assert child.parent_id == "f00d"
+        assert active.trace_id != "cafe"
+
+    def test_context_survives_a_thread_pool_hop(self):
+        tracer = make_tracer()
+        results = []
+
+        def worker(ctx):
+            span = tracer.span("pooled", parent=ctx)
+            span.end()
+            results.append(span)
+
+        with tracer.span("request") as root:
+            thread = threading.Thread(target=worker, args=(root.context,))
+            thread.start()
+            thread.join()
+        (pooled,) = results
+        assert pooled.trace_id == root.trace_id
+        assert pooled.parent_id == root.span_id
+
+    def test_threads_do_not_leak_active_spans_to_each_other(self):
+        tracer = make_tracer()
+        seen = []
+
+        def worker():
+            seen.append(tracer.current_context())
+
+        with tracer.span("active"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            assert tracer.current_context() is not None
+        assert seen == [None]
+
+
+class TestBufferAndStats:
+    def test_ring_drops_oldest_and_counts(self):
+        tracer = make_tracer(capacity=2)
+        for name in ("a", "b", "c"):
+            tracer.span(name).end()
+        assert [s.name for s in tracer.spans()] == ["b", "c"]
+        assert tracer.dropped == 1
+        assert tracer.stats() == {
+            "enabled": True,
+            "capacity": 2,
+            "buffered": 2,
+            "dropped": 1,
+        }
+
+    def test_traces_groups_by_trace_id(self):
+        tracer = make_tracer()
+        with tracer.span("one"):
+            pass
+        with tracer.span("two") as outer:
+            tracer.span("two.child", parent=outer).end()
+        grouped = tracer.traces()
+        assert sorted(len(spans) for spans in grouped.values()) == [1, 2]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            Tracer(capacity=0)
+
+    def test_clear_resets_buffer_and_dropped(self):
+        tracer = make_tracer(capacity=1)
+        tracer.span("a").end()
+        tracer.span("b").end()
+        tracer.clear()
+        assert tracer.spans() == []
+        assert tracer.dropped == 0
+
+
+class TestDisabledTracer:
+    def test_disabled_span_is_the_shared_null_span(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("anything") is NULL_SPAN
+        assert NULL_TRACER.span("anything") is NULL_SPAN
+
+    def test_null_span_accepts_everything_and_buffers_nothing(self):
+        with NULL_TRACER.span("nope") as span:
+            span.set_attribute("k", 1)
+            span.set_attributes(a=2)
+            span.add_event("e")
+        span.end(status="error")
+        assert span.context is None
+        assert NULL_TRACER.spans() == []
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = make_tracer()
+        with tracer.span("outer", size=1) as outer:
+            tracer.span("inner", parent=outer).end()
+        path = tmp_path / "spans.jsonl"
+        assert tracer.export_jsonl(path) == 2
+        rows = load_jsonl(path)
+        assert [row["name"] for row in rows] == ["inner", "outer"]
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["outer"]["attributes"] == {"size": 1}
+
+    def test_slowest_spans_on_dicts_and_spans(self):
+        tracer = make_tracer()
+        for name, duration in (("fast", 0.0), ("slow", 0.002)):
+            span = tracer.span(name)
+            span.end()
+            span.end_s = span.start_s + duration  # pin a known duration
+        spans = tracer.spans()
+        assert slowest_spans(spans, 1)[0].name == "slow"
+        dicts = [span.to_dict() for span in spans]
+        assert slowest_spans(dicts, 1)[0]["name"] == "slow"

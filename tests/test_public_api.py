@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.metrics",
     "repro.models",
     "repro.nn",
+    "repro.obs",
     "repro.robust",
     "repro.runtime",
     "repro.serve",

@@ -9,6 +9,7 @@ stdlib ``urllib`` clients, matching how the CI smoke job drives it.
 
 import http.client
 import json
+import time
 import urllib.error
 import urllib.request
 
@@ -141,8 +142,20 @@ class TestEndpoints:
         _register_hfl(server, log_paths)
         _get(server, "/runs/hfl-1/leaderboard")
         _get(server, "/runs/hfl-1/leaderboard")
-        status, metrics = _get(server, "/metricz")
-        assert status == 200
+        # The request latency is recorded *after* the response bytes go
+        # out (the measurement includes the write), so the handler thread
+        # can still be about to record when the client moves on — poll
+        # instead of asserting the first scrape.
+        deadline = time.monotonic() + 5.0
+        while True:
+            status, metrics = _get(server, "/metricz")
+            assert status == 200
+            if (
+                metrics["latency"]["http"]["count"] >= 3
+                or time.monotonic() > deadline
+            ):
+                break
+            time.sleep(0.02)
         cache = metrics["cache"]
         assert cache["lookups"] == cache["hits"] + cache["misses"]
         assert cache["hits"] > 0  # the repeated leaderboard query

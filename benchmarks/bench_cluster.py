@@ -1,0 +1,243 @@
+"""Single-process serving vs. an N-shard cluster under concurrent load.
+
+The cluster's pitch is not per-request speed — a proxy hop can only add
+latency — but *isolation under mixed load*: streaming ingests are
+CPU-bound numpy work that holds the run lock and (partly) the GIL, so on
+a single process they stall concurrent leaderboard queries.  Sharding
+runs across worker processes lets ingest-heavy traffic land on one shard
+while queries on other shards stay fast.
+
+This bench drives both deployments with the same mixed workload —
+concurrent leaderboard queries against warm runs while fresh VFL runs
+stream in — and records throughput and p95 latency per operation kind.
+The standalone entry point writes ``BENCH_cluster.json`` at the repo
+root so successive PRs can track the gap.
+
+Run either way::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py
+    PYTHONPATH=src python -m pytest benchmarks/bench_cluster.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.experiments.workloads import build_vfl_workload
+from repro.io import save_vfl_training_log
+from repro.serve import (
+    ClusterRouter,
+    ClusterSupervisor,
+    EvaluationHTTPServer,
+    EvaluationService,
+)
+
+N_SHARDS = 3
+N_CLIENTS = 6
+SEED_RUNS = 6
+INGEST_RUNS = 6
+QUERIES_PER_CLIENT = 40
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def vfl_log_path(tmp_path_factory):
+    workload = build_vfl_workload("boston", n_parties=5, epochs=25, seed=0)
+    path = tmp_path_factory.mktemp("bench_cluster") / "vfl_run.npz"
+    save_vfl_training_log(workload.result.log, path)
+    return str(path)
+
+
+def _post_run(port: int, log_path: str, run_id: str) -> int:
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/runs",
+        data=json.dumps(
+            {"kind": "vfl", "log_path": log_path, "run_id": run_id}
+        ).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return response.status
+
+
+def _get(port: int, path: str) -> int:
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=120
+    ) as response:
+        response.read()
+        return response.status
+
+
+def _drive(port: int, log_path: str, tag: str) -> dict:
+    """One mixed-load episode against whatever serves ``port``.
+
+    ``N_CLIENTS`` query threads hammer the warm seed runs while one
+    ingest thread streams ``INGEST_RUNS`` fresh registrations.  Every
+    request's wall time is recorded; a non-2xx anywhere fails the bench.
+    """
+    for index in range(SEED_RUNS):
+        status = _post_run(port, log_path, f"seed-{tag}-{index}")
+        assert status == 201, status
+    for index in range(SEED_RUNS):  # warm the query caches
+        _get(port, f"/runs/seed-{tag}-{index}/leaderboard")
+
+    query_latencies: list[float] = []
+    ingest_latencies: list[float] = []
+    errors: list[str] = []
+    lock = threading.Lock()
+
+    def query_client(client: int) -> None:
+        for index in range(QUERIES_PER_CLIENT):
+            run = f"seed-{tag}-{(client + index) % SEED_RUNS}"
+            start = time.perf_counter()
+            try:
+                _get(port, f"/runs/{run}/leaderboard")
+            except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
+                with lock:
+                    errors.append(f"query {run}: {exc}")
+                continue
+            with lock:
+                query_latencies.append(time.perf_counter() - start)
+
+    def ingest_client() -> None:
+        for index in range(INGEST_RUNS):
+            start = time.perf_counter()
+            try:
+                _post_run(port, log_path, f"stream-{tag}-{index}")
+            except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
+                with lock:
+                    errors.append(f"ingest {index}: {exc}")
+                continue
+            with lock:
+                ingest_latencies.append(time.perf_counter() - start)
+
+    threads = [
+        threading.Thread(target=query_client, args=(client,))
+        for client in range(N_CLIENTS)
+    ]
+    threads.append(threading.Thread(target=ingest_client))
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+
+    assert not errors, errors[:3]
+    requests = len(query_latencies) + len(ingest_latencies)
+    return {
+        "requests": requests,
+        "elapsed_sec": elapsed,
+        "throughput_rps": requests / elapsed,
+        "query_p95_ms": _p95(query_latencies) * 1e3,
+        "query_mean_ms": sum(query_latencies) / len(query_latencies) * 1e3,
+        "ingest_p95_ms": _p95(ingest_latencies) * 1e3,
+    }
+
+
+def _p95(latencies: list[float]) -> float:
+    ordered = sorted(latencies)
+    return ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+
+
+def _bench_single(log_path: str, tag: str) -> dict:
+    server = EvaluationHTTPServer(("127.0.0.1", 0), EvaluationService())
+    server.serve_background()
+    try:
+        return _drive(server.port, log_path, tag)
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.service.close()
+
+
+def _bench_cluster(log_path: str, tag: str) -> dict:
+    with tempfile.TemporaryDirectory() as wal_root:
+        with ClusterSupervisor(N_SHARDS, wal_root=wal_root) as supervisor:
+            router = ClusterRouter(("127.0.0.1", 0), supervisor)
+            router.serve_background()
+            try:
+                return _drive(router.port, log_path, tag)
+            finally:
+                router.shutdown()
+                router.server_close()
+
+
+def test_bench_cluster_vs_single_process(benchmark, vfl_log_path):
+    """Both deployments absorb the identical mixed load with zero
+    errors, and the cluster stays within generous absolute bounds
+    despite the proxy hop.  Relative throughput is recorded, not raced:
+    warm-cache queries are sub-millisecond, so the single/cluster ratio
+    on a busy CI box swings 0.3x-2x run to run."""
+    single = _bench_single(vfl_log_path, "sp")
+
+    def episode():
+        return _bench_cluster(vfl_log_path, "cl")
+
+    cluster = benchmark.pedantic(episode, rounds=1, iterations=1)
+    benchmark.extra_info["single_throughput_rps"] = single["throughput_rps"]
+    benchmark.extra_info["cluster_throughput_rps"] = cluster["throughput_rps"]
+    benchmark.extra_info["single_query_p95_ms"] = single["query_p95_ms"]
+    benchmark.extra_info["cluster_query_p95_ms"] = cluster["query_p95_ms"]
+    assert cluster["requests"] == single["requests"]  # nothing dropped
+    assert cluster["throughput_rps"] >= 20.0
+    assert cluster["query_p95_ms"] <= 500.0
+
+
+def main() -> int:
+    """Standalone report: the comparison table plus ``BENCH_cluster.json``."""
+    workload = build_vfl_workload("boston", n_parties=5, epochs=25, seed=0)
+    with tempfile.TemporaryDirectory() as scratch:
+        log_path = str(pathlib.Path(scratch) / "vfl_run.npz")
+        save_vfl_training_log(workload.result.log, log_path)
+        print(
+            f"mixed load: {N_CLIENTS} query clients x {QUERIES_PER_CLIENT} "
+            f"leaderboard gets + {INGEST_RUNS} streaming ingests"
+        )
+        single = _bench_single(log_path, "sp")
+        cluster = _bench_cluster(log_path, "cl")
+
+    rows = [("single-process", single), (f"{N_SHARDS}-shard cluster", cluster)]
+    print(
+        f"\n{'deployment':>18}  {'req/s':>8}  {'query p95 (ms)':>14}  "
+        f"{'ingest p95 (ms)':>15}"
+    )
+    for name, stats in rows:
+        print(
+            f"{name:>18}  {stats['throughput_rps']:>8.1f}  "
+            f"{stats['query_p95_ms']:>14.2f}  {stats['ingest_p95_ms']:>15.1f}"
+        )
+    ratio = cluster["throughput_rps"] / single["throughput_rps"]
+    print(f"\ncluster/single throughput ratio: {ratio:.2f}x")
+
+    payload = {
+        "bench": "cluster_vs_single_process",
+        "config": {
+            "n_shards": N_SHARDS,
+            "n_query_clients": N_CLIENTS,
+            "queries_per_client": QUERIES_PER_CLIENT,
+            "seed_runs": SEED_RUNS,
+            "streaming_ingests": INGEST_RUNS,
+            "workload": "boston-like VFL, 5 parties, 25 epochs",
+        },
+        "single_process": single,
+        "cluster": cluster,
+        "throughput_ratio": ratio,
+    }
+    out = REPO_ROOT / "BENCH_cluster.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,173 @@
+"""A three-shard cluster that loses a worker and keeps its leaderboards.
+
+One router, three worker processes, each owning a consistent-hash shard
+of run ids with its own write-ahead log.  The demo registers VFL runs
+across all shards, streams one registration in slow motion, and — while
+those epochs are still flowing — SIGKILLs the worker that owns it.  The
+router answers queries for the dead shard with a typed 503 (``Retry-After``
+included, never a bare 500) while leaderboards on the surviving shards
+keep serving.  The supervisor's health probes notice the corpse within a
+probe interval, respawn the shard, and the replacement replays its WAL:
+the revived leaderboard is bit-for-bit the batch answer over every epoch
+the WAL acknowledged.
+
+Run:  PYTHONPATH=src python examples/cluster_leaderboard.py
+"""
+
+import json
+import os
+import signal
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.experiments.workloads import build_vfl_workload
+from repro.io import save_vfl_training_log
+from repro.serve import ClusterRouter, ClusterSupervisor
+
+N_SHARDS = 3
+N_RUNS = 6
+EPOCHS = 20
+
+
+def _get(port: int, path: str):
+    try:
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=30
+        ) as response:
+            return response.status, json.loads(response.read()), dict(
+                response.headers
+            )
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+def _register(port: int, log_path: str, run_id: str) -> None:
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/runs",
+        data=json.dumps(
+            {"kind": "vfl", "log_path": log_path, "run_id": run_id}
+        ).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        urllib.request.urlopen(request, timeout=120).read()
+    except (urllib.error.URLError, ConnectionError):
+        pass  # the demo kills the owner mid-stream; the tear is the point
+
+
+def main() -> int:
+    workload = build_vfl_workload("boston", n_parties=5, epochs=EPOCHS, seed=0)
+    with tempfile.TemporaryDirectory() as scratch:
+        log_path = str(Path(scratch) / "vfl_run.npz")
+        save_vfl_training_log(workload.result.log, log_path)
+
+        supervisor = ClusterSupervisor(
+            N_SHARDS,
+            wal_root=Path(scratch) / "wals",
+            probe_interval_s=0.2,
+            probe_reset_s=1.0,
+            chaos_ingest_ms=150.0,  # slow the stream so the kill lands mid-run
+        )
+        print(f"starting {N_SHARDS} shard workers + router ...")
+        with supervisor:
+            router = ClusterRouter(("127.0.0.1", 0), supervisor)
+            router.serve_background()
+            try:
+                _demo(router, supervisor, log_path)
+            finally:
+                router.shutdown()
+                router.server_close()
+    print("\nclean shutdown: workers SIGTERMed, WALs closed")
+    return 0
+
+
+def _demo(router, supervisor, log_path: str) -> None:
+    port = router.port
+    # Spread warm runs across every shard (fast path: no chaos on these
+    # because they are registered sequentially before the slow stream).
+    for index in range(N_RUNS):
+        threading.Thread(
+            target=_register, args=(port, log_path, f"warm-{index}")
+        ).start()
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline:
+        status, runs, _ = _get(port, "/runs")
+        if status == 200 and len(runs["runs"]) == N_RUNS:
+            break
+        time.sleep(0.2)
+    by_shard = {}
+    for run in runs["runs"]:
+        by_shard.setdefault(run["shard"], []).append(run["run_id"])
+    print(f"{N_RUNS} runs spread across shards: "
+          + ", ".join(f"{s}: {sorted(r)}" for s, r in sorted(by_shard.items())))
+
+    # Stream one more registration in slow motion, then kill its owner.
+    victim_run = "victim-stream"
+    owner = supervisor.ring.shard_for(victim_run)
+    wal = os.path.join(supervisor.specs[owner].wal_dir, "serve.wal")
+
+    def wal_lines() -> int:
+        try:
+            with open(wal, "rb") as fh:
+                return sum(1 for _ in fh)
+        except FileNotFoundError:
+            return 0
+
+    baseline = wal_lines()  # the owner may already hold warm runs
+    streamer = threading.Thread(
+        target=_register, args=(port, log_path, victim_run), daemon=True
+    )
+    streamer.start()
+    while wal_lines() < baseline + 4:  # register + >=3 acknowledged epochs
+        time.sleep(0.05)
+    _, info, _ = _get(port, f"/cluster?key={victim_run}")
+    pid = info["shards"][str(owner)]["pid"]
+    print(f"\nSIGKILL shard {owner} (pid {pid}) mid-ingest of {victim_run!r}")
+    os.kill(pid, signal.SIGKILL)
+
+    # The dead shard answers typed 503s; the others stay live.
+    status, body, headers = _get(port, f"/runs/{victim_run}/leaderboard")
+    print(f"query to dead shard  -> {status} {body.get('error', '')!r} "
+          f"(Retry-After: {headers.get('Retry-After')})")
+    survivor = next(r for r in runs["runs"] if r["shard"] != str(owner))
+    status, board, _ = _get(port, f"/runs/{survivor['run_id']}/leaderboard")
+    print(f"query to live shard  -> {status}, leaderboard of "
+          f"{survivor['run_id']!r} still serving "
+          f"(top: {board['leaderboard'][0]['participant']})")
+
+    streamer.join(timeout=120)
+    while True:  # supervisor respawn + WAL replay
+        status, health, _ = _get(port, "/healthz")
+        if status == 200 and health["status"] == "ok":
+            break
+        time.sleep(0.2)
+    _, info, _ = _get(port, "/cluster")
+    shard_info = info["shards"][str(owner)]
+    print(f"\nshard {owner} respawned (pid {shard_info['pid']}, "
+          f"respawns={shard_info['respawns']}) and replayed its WAL")
+    # Immediately after the respawn the breaker may still be half-open
+    # (one probe in flight at a time); the typed 503 tells us to retry.
+    deadline = time.monotonic() + 60
+    while True:
+        status, board, _ = _get(port, f"/runs/{victim_run}/leaderboard")
+        if status == 200:
+            break
+        assert status in (503, 504), (status, board)
+        assert time.monotonic() < deadline, "shard never came back"
+        time.sleep(0.2)
+    _, run_list, _ = _get(port, "/runs")
+    epochs = next(
+        r["epochs"] for r in run_list["runs"] if r["run_id"] == victim_run
+    )
+    print(f"revived leaderboard  -> {status}, {victim_run!r} at the "
+          f"{epochs} WAL-acknowledged epoch(s), top: "
+          f"{board['leaderboard'][0]['participant']}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,7 @@ Subcommands::
         --checkpoint-dir ckpt            # re-run with --resume after a crash
     python -m repro.cli serve --port 8733  # streaming evaluation HTTP API
     python -m repro.cli serve --trace --trace-export spans.jsonl
+    python -m repro.cli serve --cluster 3 --router-port 8733 --wal-dir wals
     python -m repro.cli profile run.npz --kind hfl --dataset mnist
 
 Every audit builds the named synthetic dataset, trains the federation,
@@ -275,6 +276,32 @@ def _cmd_serve(args) -> int:
     from repro.obs import Observability
     from repro.serve import EvaluationService, serve
 
+    if args.cluster:
+        from repro.serve import serve_cluster
+
+        if args.recover:
+            raise SystemExit(
+                "--recover is implicit in cluster mode: every shard "
+                "replays its own WAL on start"
+            )
+        if args.trace_export:
+            raise SystemExit(
+                "--trace-export is per-process; cluster workers export "
+                "spans via the router's propagated trace ids instead"
+            )
+        return serve_cluster(
+            args.host,
+            args.router_port,
+            args.cluster,
+            wal_root=args.wal_dir,
+            cache_bytes=args.cache_mb * 1024 * 1024,
+            max_workers=args.query_workers,
+            query_deadline_ms=args.query_deadline_ms,
+            admission_limit=args.max_queue,
+            chaos_ingest_ms=args.chaos_ingest_ms,
+            trace=args.trace,
+        )
+
     obs = Observability(trace=args.trace)
     service = EvaluationService(
         cache_bytes=args.cache_mb * 1024 * 1024,
@@ -396,6 +423,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8733)
+    serve.add_argument("--cluster", type=int, default=0, metavar="N",
+                       help="shard across N worker processes behind a "
+                            "consistent-hash router (0 = single process)")
+    serve.add_argument("--router-port", type=int, default=8733,
+                       help="router port in --cluster mode (workers take "
+                            "OS-assigned ports)")
     serve.add_argument("--cache-mb", type=int, default=64,
                        help="result/gradient cache budget in MiB")
     serve.add_argument("--query-workers", type=int, default=4,

@@ -127,19 +127,31 @@ class LatencyHistogram:
         per-worker histograms aggregate into registry totals.  Returns
         ``self``.
         """
-        if other.bounds != self.bounds:
+        return self.merge_snapshot(other.snapshot())
+
+    def merge_snapshot(self, snap: dict) -> "LatencyHistogram":
+        """Bucket-wise add a :meth:`snapshot` dict into this histogram.
+
+        Accepts snapshots that crossed a process or wire boundary (JSON
+        turns the bounds/counts tuples into lists), which is how a
+        cluster router folds per-worker histograms scraped from worker
+        ``/metricz?format=snapshot`` payloads into one series.  Bounds
+        must match exactly — merged percentiles are only meaningful over
+        identical buckets.  Returns ``self``.
+        """
+        bounds = tuple(float(b) for b in snap["bounds"])
+        if bounds != self.bounds:
             raise ValueError(
                 f"cannot merge histograms with different bounds "
-                f"({len(other.bounds)} vs {len(self.bounds)} buckets)"
+                f"({len(bounds)} vs {len(self.bounds)} buckets)"
             )
-        snap = other.snapshot()
         with self._lock:
             for bucket, n in enumerate(snap["bucket_counts"]):
-                self._counts[bucket] += n
-            self._count += snap["count"]
-            self._total += snap["total"]
+                self._counts[bucket] += int(n)
+            self._count += int(snap["count"])
+            self._total += float(snap["total"])
             if snap["max"] > self._max:
-                self._max = snap["max"]
+                self._max = float(snap["max"])
         return self
 
     def percentile(self, q: float) -> float:

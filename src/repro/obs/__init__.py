@@ -31,9 +31,13 @@ from repro.obs.registry import PROMETHEUS_CONTENT_TYPE, Counter, MetricsRegistry
 from repro.obs.trace import (
     NULL_SPAN,
     NULL_TRACER,
+    PARENT_SPAN_HEADER,
+    TRACE_ID_HEADER,
     Span,
     SpanContext,
     Tracer,
+    context_from_headers,
+    context_headers,
     load_jsonl,
     slowest_spans,
 )
@@ -48,12 +52,16 @@ __all__ = [
     "NULL_SPAN",
     "NULL_TRACER",
     "Observability",
+    "PARENT_SPAN_HEADER",
     "PROMETHEUS_CONTENT_TYPE",
     "ProfileRegistry",
     "Profiler",
     "Span",
     "SpanContext",
+    "TRACE_ID_HEADER",
     "Tracer",
+    "context_from_headers",
+    "context_headers",
     "load_jsonl",
     "slowest_spans",
 ]

@@ -65,6 +65,26 @@ class Counter:
         return self._value
 
 
+class _MergedScalar:
+    """A float accumulator behind merged counter/gauge series.
+
+    :meth:`MetricsRegistry.merge` cannot reuse :class:`Counter` /
+    :class:`~repro.metrics.cost.Gauge` for absorbed snapshots — those
+    are integer instruments, and a merged gauge (uptime seconds, cache
+    fill ratios) is a float.  ``add`` is additive so merging two worker
+    snapshots under the same label set sums them, exactly like
+    Prometheus federation would.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def add(self, v: float) -> None:
+        self.value += float(v)
+
+
 class _Series:
     """One (labels → instrument) family member."""
 
@@ -241,6 +261,68 @@ class MetricsRegistry:
         for label, _ in key:
             if not _LABEL_RE.match(label):
                 raise ValueError(f"invalid label name {label!r}")
+
+    # -------------------------------------------------------------- merging
+
+    def merge(self, snapshot: dict, *, labels: dict | None = None) -> "MetricsRegistry":
+        """Absorb a :meth:`snapshot` dict (possibly from another process).
+
+        This is the cluster-aggregation primitive: a router scrapes each
+        worker's ``/metricz?format=snapshot`` (the JSON form of
+        :meth:`snapshot`, which survives the wire — tuples come back as
+        lists) and merges every worker into one registry, stamping
+        ``labels`` (e.g. ``{"worker": "2"}``) onto each absorbed series
+        so per-worker streams stay distinguishable in the Prometheus
+        rendering.  Merging is *additive*: two snapshots landing on the
+        same ``(name, labels)`` key sum counters/gauges and bucket-add
+        histograms.  A key already occupied by a live (non-merged)
+        instrument refuses — merged and live series must not silently
+        mix.  Returns ``self`` so merges chain.
+        """
+        extra = dict(labels or {})
+        self._check_labels(_label_key(extra))
+        for name in sorted(snapshot):
+            family_snap = snapshot[name]
+            kind = family_snap["type"]
+            family = self._family(name, kind, family_snap.get("help", ""))
+            for series_snap in family_snap["series"]:
+                key = _label_key({**dict(series_snap.get("labels") or {}), **extra})
+                self._check_labels(key)
+                value = series_snap["value"]
+                if kind == "histogram":
+                    self._merge_histogram(family, key, value)
+                else:
+                    self._merge_scalar(family, key, float(value))
+        return self
+
+    def _merge_scalar(self, family: _Family, key: tuple, value: float) -> None:
+        with self._lock:
+            series = family.series.get(key)
+            if series is None:
+                series = _Series(key, _MergedScalar(), None)
+                family.series[key] = series
+            elif not isinstance(series.instrument, _MergedScalar):
+                raise ValueError(
+                    f"metric {family.name!r} {dict(key)} is a live instrument; "
+                    "refusing to merge a snapshot over it"
+                )
+            series.instrument.add(value)
+
+    def _merge_histogram(self, family: _Family, key: tuple, snap: dict) -> None:
+        bounds = tuple(float(b) for b in snap["bounds"])
+        with self._lock:
+            series = family.series.get(key)
+            if series is None:
+                series = _Series(key, LatencyHistogram(bounds), None)
+                family.series[key] = series
+            elif series.callback is not None or not isinstance(
+                series.instrument, LatencyHistogram
+            ):
+                raise ValueError(
+                    f"metric {family.name!r} {dict(key)} is not a histogram "
+                    "series; refusing to merge a snapshot over it"
+                )
+        series.instrument.merge_snapshot(snap)
 
     # -------------------------------------------------------------- reading
 

@@ -44,6 +44,42 @@ class SpanContext(NamedTuple):
     span_id: str
 
 
+# Wire propagation: a router (or any other HTTP client) stamps these two
+# headers on an outgoing request, and the receiving server parents its
+# request span on the carried context — so a client request proxied
+# through repro.serve.cluster's router is still ONE trace even though the
+# router and the shard worker are separate processes with separate
+# tracers.
+TRACE_ID_HEADER = "X-Repro-Trace-Id"
+PARENT_SPAN_HEADER = "X-Repro-Parent-Span"
+
+
+def context_headers(ctx: "SpanContext | None") -> dict:
+    """HTTP headers carrying ``ctx`` across a process hop (empty if None).
+
+    ``None`` covers both "no active span" and a disabled tracer (whose
+    :data:`NULL_SPAN` has ``context is None``), so callers can write
+    ``headers.update(context_headers(span.context))`` unconditionally.
+    """
+    if ctx is None:
+        return {}
+    return {TRACE_ID_HEADER: ctx.trace_id, PARENT_SPAN_HEADER: ctx.span_id}
+
+
+def context_from_headers(headers) -> "SpanContext | None":
+    """Recover a propagated :class:`SpanContext` from request headers.
+
+    ``headers`` is anything with ``.get`` (an
+    ``http.client.HTTPMessage``, a plain dict).  Both headers must be
+    present and non-empty; otherwise the request roots its own trace.
+    """
+    trace_id = headers.get(TRACE_ID_HEADER)
+    span_id = headers.get(PARENT_SPAN_HEADER)
+    if not trace_id or not span_id:
+        return None
+    return SpanContext(str(trace_id), str(span_id))
+
+
 class Span:
     """One named, timed operation inside a trace.
 

@@ -25,11 +25,28 @@ per-epoch additivity (Lemma 3, Eq. 13–15) to make contributions
   crash to the exact ingested epoch (``repro serve --wal-dir --recover``);
 * :mod:`~repro.serve.chaos` — seeded fault injection (latency spikes,
   raised errors, corrupted payloads) that proves every degraded-mode
-  behaviour deterministically.
+  behaviour deterministically;
+* :mod:`~repro.serve.ring` — :class:`HashRing`, consistent hashing of
+  run ids onto shards with minimal movement under membership change;
+* :mod:`~repro.serve.cluster` — sharded multi-process serving
+  (``repro serve --cluster N``): a :class:`ClusterSupervisor` of worker
+  processes, each owning one ring shard and its own WAL, behind a
+  :class:`ClusterRouter` that proxies by run id, aggregates
+  ``/healthz``/``/metricz``, and on worker death respawns the shard and
+  replays its WAL for bit-identical answers.
 """
 
 from repro.serve.cache import CacheMemo, ResultCache, RunDigest, fingerprint_arrays
 from repro.serve.chaos import ChaosError, ChaosPolicy, FlakyProxy, inject_chaos
+from repro.serve.cluster import (
+    ClusterRouter,
+    ClusterSupervisor,
+    ShardTimeout,
+    ShardUnavailable,
+    StaticTopology,
+    WorkerSpec,
+    serve_cluster,
+)
 from repro.serve.http import EvaluationHTTPServer, register_from_spec, serve
 from repro.serve.resilience import (
     AdmissionQueue,
@@ -42,6 +59,7 @@ from repro.serve.resilience import (
     ServiceClosed,
     ServiceOverloaded,
 )
+from repro.serve.ring import HashRing
 from repro.serve.service import ContributionPublisher, EvaluationService
 from repro.serve.streaming import StreamingHFLEstimator, StreamingVFLEstimator
 from repro.serve.wal import RecoveryReport, WriteAheadLog, recover
@@ -53,12 +71,15 @@ __all__ = [
     "ChaosPolicy",
     "CircuitBreaker",
     "CircuitOpen",
+    "ClusterRouter",
+    "ClusterSupervisor",
     "ContributionPublisher",
     "Deadline",
     "DeadlineExceeded",
     "EvaluationHTTPServer",
     "EvaluationService",
     "FlakyProxy",
+    "HashRing",
     "QueryFailed",
     "RecoveryReport",
     "ResultCache",
@@ -66,12 +87,17 @@ __all__ = [
     "RunDigest",
     "ServiceClosed",
     "ServiceOverloaded",
+    "ShardTimeout",
+    "ShardUnavailable",
+    "StaticTopology",
     "StreamingHFLEstimator",
     "StreamingVFLEstimator",
+    "WorkerSpec",
     "WriteAheadLog",
     "fingerprint_arrays",
     "inject_chaos",
     "recover",
     "register_from_spec",
     "serve",
+    "serve_cluster",
 ]

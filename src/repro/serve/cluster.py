@@ -1,0 +1,1001 @@
+"""Sharded multi-process serving: consistent-hash routing + WAL failover.
+
+One :class:`~repro.serve.service.EvaluationService` process tops out at
+its GIL: concurrent leaderboard queries and streaming ingests contend on
+one interpreter no matter how many threads the pool holds.  This module
+scales the serving layer *out* instead of up, stdlib-only:
+
+* :class:`ClusterSupervisor` spawns N worker processes
+  (``multiprocessing`` + the existing
+  :class:`~repro.serve.http.EvaluationHTTPServer` in each), every worker
+  owning a :class:`~repro.serve.ring.HashRing` shard of the run-id space
+  and its *own* :class:`~repro.serve.wal.WriteAheadLog` directory.
+* :class:`ClusterRouter` is a thin HTTP front: it maps ``run_id →
+  shard`` on the ring and proxies the request, carrying the trace across
+  the hop (:func:`repro.obs.trace.context_headers`) so one client
+  request is one trace across two processes.  Cluster ``/healthz`` and
+  ``/metricz`` aggregate every worker — the Prometheus view folds all
+  per-worker registry snapshots into one via
+  :meth:`~repro.obs.registry.MetricsRegistry.merge`, labelled
+  ``worker="0" … worker="router"``.
+* Failure is typed, never a bare 500.  A downed or unreachable shard
+  answers 503 with ``Retry-After`` (the expected respawn time); a proxy
+  read that overruns its budget answers 504; worker-side 429/503/504
+  pass through untouched.  The router's per-shard
+  :class:`~repro.serve.resilience.CircuitBreaker` stops it hammering a
+  dead port between probes.
+* The supervisor's monitor thread detects worker death
+  (``Process.is_alive`` + ``/healthz`` probes through the same
+  breakers), respawns the shard on its old port, and the replacement
+  replays its WAL — :func:`repro.serve.wal.recover` guarantees the
+  revived shard serves contributions bit-identical to an uninterrupted
+  run of the same prefix.  ``tests/test_cluster_chaos.py`` SIGKILLs a
+  worker mid-ingest to hold the cluster to exactly that.
+
+Run it with ``python -m repro.cli serve --cluster 3 --router-port 8733``;
+``benchmarks/bench_cluster.py`` measures the single-process-vs-sharded
+throughput gap this module exists for.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import multiprocessing
+import socket
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from http.client import HTTPConnection, HTTPException
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Hashable, Mapping
+from urllib.parse import parse_qs, urlparse
+
+from repro.metrics.cost import LatencyHistogram
+from repro.obs import Observability
+from repro.obs.registry import PROMETHEUS_CONTENT_TYPE, MetricsRegistry
+from repro.obs.trace import context_headers
+from repro.serve.http import _RUN_ENDPOINTS, ApiError, RawResponse, read_json_body
+from repro.serve.resilience import CircuitBreaker
+from repro.serve.ring import HashRing
+
+
+class ShardUnavailable(RuntimeError):
+    """A shard is down or unreachable; retry after ``retry_after_s``."""
+
+    def __init__(self, shard, reason: str, retry_after_s: float) -> None:
+        super().__init__(
+            f"shard {shard} is unavailable ({reason}); "
+            f"retry in {retry_after_s:.0f}s"
+        )
+        self.shard = shard
+        self.retry_after_s = retry_after_s
+
+
+class ShardTimeout(RuntimeError):
+    """A proxied request to a live shard overran the router's budget."""
+
+    def __init__(self, shard, timeout_s: float) -> None:
+        super().__init__(
+            f"shard {shard} did not answer within {timeout_s:.1f}s"
+        )
+        self.shard = shard
+        self.timeout_s = timeout_s
+
+
+# --------------------------------------------------------------------- workers
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything one shard worker needs; picklable for ``spawn``.
+
+    A respawned replacement is started from the *same* spec — same port,
+    same WAL directory — which is what makes failover transparent to the
+    ring: the shard's identity is its spec, not its pid.
+    """
+
+    shard: int
+    host: str
+    port: int
+    wal_dir: str
+    cache_bytes: int = 64 * 1024 * 1024
+    max_workers: int = 4
+    query_deadline_ms: float | None = None
+    admission_limit: int | None = None
+    breaker_failures: int = 3
+    breaker_reset_s: float = 30.0
+    chaos_ingest_ms: float = 0.0
+    trace: bool = False
+    verbose: bool = False
+
+
+def _worker_main(spec: WorkerSpec) -> None:
+    """Entry point of one shard process (top-level: ``spawn`` pickles it).
+
+    Boot order matters: recover from the shard's WAL *before* attaching
+    it (so replayed ingests are not re-logged), then serve.  SIGTERM is
+    the supervisor's clean-shutdown signal; SIGKILL is what the chaos
+    harness throws, and the WAL is the only thing that survives it.
+    """
+    import signal
+
+    from repro.serve.http import EvaluationHTTPServer
+    from repro.serve.service import EvaluationService
+    from repro.serve.wal import WriteAheadLog, recover
+
+    def _terminate(signum, frame):
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _terminate)
+    obs = Observability(
+        trace=spec.trace,
+        # Disjoint id blocks per shard: merged trace exports from several
+        # workers (and the router, which keeps the small default ids)
+        # must never collide on span ids within one propagated trace.
+        id_source=itertools.count((spec.shard + 1) * 2**48 + 1).__next__,
+    )
+    service = EvaluationService(
+        cache_bytes=spec.cache_bytes,
+        max_workers=spec.max_workers,
+        query_deadline_ms=spec.query_deadline_ms,
+        admission_limit=spec.admission_limit,
+        breaker_failures=spec.breaker_failures,
+        breaker_reset_s=spec.breaker_reset_s,
+        obs=obs,
+    )
+    if spec.chaos_ingest_ms:
+        # Chaos hook (mirrors repro.cli serve --chaos-ingest-ms): slow
+        # each epoch ingest so a SIGKILL reliably lands mid-ingest.
+        from repro.serve.service import EvaluationService as _ES
+
+        _orig_ingest = _ES.ingest
+
+        def _slow_ingest(self, run_id, record, *, seq=None):
+            time.sleep(spec.chaos_ingest_ms / 1e3)
+            return _orig_ingest(self, run_id, record, seq=seq)
+
+        service.ingest = _slow_ingest.__get__(service, _ES)
+    wal = WriteAheadLog(spec.wal_dir)
+    report = recover(service, wal)
+    service.attach_wal(wal)
+    if spec.verbose or report.runs_restored:
+        print(f"[shard {spec.shard}] recovery: {report.summary()}", flush=True)
+    server = EvaluationHTTPServer(
+        (spec.host, spec.port), service, verbose=spec.verbose
+    )
+    try:
+        server.serve_forever()
+    except (KeyboardInterrupt, SystemExit):
+        pass
+    finally:
+        server.server_close()
+        service.close()
+        wal.close()
+
+
+def _free_port(host: str) -> int:
+    """An OS-assigned free TCP port (bound briefly, then released)."""
+    with socket.socket() as sock:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+def _http_get_json(
+    host: str, port: int, path: str, timeout_s: float
+) -> tuple[int, dict]:
+    """One GET against a worker, JSON-decoded (probes and readiness)."""
+    conn = HTTPConnection(host, port, timeout=timeout_s)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        body = response.read()
+    finally:
+        conn.close()
+    return response.status, json.loads(body)
+
+
+# -------------------------------------------------------------------- topology
+
+
+class StaticTopology:
+    """A fixed routing table over already-running workers.
+
+    The router only needs four things from its topology — the ring, an
+    address per shard, a circuit breaker per shard, and a failure hint —
+    so tests (and embeddings that manage worker processes themselves)
+    can hand it this instead of a full :class:`ClusterSupervisor`.
+    """
+
+    def __init__(
+        self,
+        workers: Mapping[Hashable, tuple[str, int]],
+        *,
+        replicas: int = 64,
+        breaker_failures: int = 2,
+        breaker_reset_s: float = 1.0,
+        retry_after_hint_s: float = 1.0,
+    ) -> None:
+        if not workers:
+            raise ValueError("a topology needs at least one worker")
+        self.ring = HashRing(workers, replicas=replicas)
+        self._addresses = {
+            shard: (str(host), int(port))
+            for shard, (host, port) in workers.items()
+        }
+        self._breakers = {
+            shard: CircuitBreaker(breaker_failures, breaker_reset_s)
+            for shard in workers
+        }
+        self.retry_after_hint_s = retry_after_hint_s
+
+    def address(self, shard) -> tuple[str, int]:
+        return self._addresses[shard]
+
+    def breaker(self, shard) -> CircuitBreaker:
+        return self._breakers[shard]
+
+    def notify_failure(self, shard) -> None:
+        """No supervisor behind this topology; nothing to wake."""
+
+    def retry_after_s(self, shard) -> float:
+        return self.retry_after_hint_s
+
+    def describe(self) -> dict:
+        return {
+            "replicas": self.ring.replicas,
+            "supervised": False,
+            "shards": {
+                str(shard): {
+                    "address": list(self._addresses[shard]),
+                    "breaker": self._breakers[shard].stats(),
+                }
+                for shard in sorted(self._addresses, key=str)
+            },
+        }
+
+
+class ClusterSupervisor:
+    """Owns N shard worker processes: spawn, probe, respawn, stop.
+
+    The monitor thread wakes every ``probe_interval_s`` (or immediately,
+    when the router reports a proxy failure through
+    :meth:`notify_failure`) and walks the shards: a dead process is
+    respawned from its spec — the replacement replays the shard's WAL,
+    so the revived shard answers bit-identically for every acknowledged
+    epoch; a live process that fails enough ``/healthz`` probes to open
+    its breaker is presumed wedged, killed, and respawned the same way.
+    The per-shard breakers are *shared* with the router: proxy failures
+    and probe failures count against the same threshold, and a breaker
+    that opens both stops the router hammering the port and triggers the
+    monitor's replacement path.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        *,
+        wal_root: str | Path,
+        host: str = "127.0.0.1",
+        worker_ports: list[int] | None = None,
+        replicas: int = 64,
+        cache_bytes: int = 64 * 1024 * 1024,
+        max_workers: int = 4,
+        query_deadline_ms: float | None = None,
+        admission_limit: int | None = None,
+        breaker_failures: int = 3,
+        breaker_reset_s: float = 30.0,
+        chaos_ingest_ms: float = 0.0,
+        trace: bool = False,
+        probe_interval_s: float = 0.5,
+        probe_timeout_s: float = 2.0,
+        probe_failures: int = 2,
+        probe_reset_s: float = 2.0,
+        ready_timeout_s: float = 60.0,
+        max_respawns: int = 20,
+        retry_after_hint_s: float = 3.0,
+        verbose: bool = False,
+    ) -> None:
+        if n_shards <= 0:
+            raise ValueError(f"n_shards must be positive, got {n_shards}")
+        if worker_ports is not None and len(worker_ports) != n_shards:
+            raise ValueError(
+                f"worker_ports has {len(worker_ports)} entries "
+                f"for {n_shards} shards"
+            )
+        # spawn, not fork: the supervisor runs threads (monitor, router
+        # handlers) and a forked child inheriting their locked locks
+        # mid-operation can deadlock before it ever reaches exec.
+        self._ctx = multiprocessing.get_context("spawn")
+        self.ring = HashRing(range(n_shards), replicas=replicas)
+        self.probe_interval_s = probe_interval_s
+        self.probe_timeout_s = probe_timeout_s
+        self.ready_timeout_s = ready_timeout_s
+        self.max_respawns = max_respawns
+        self.retry_after_hint_s = retry_after_hint_s
+        self.verbose = verbose
+        wal_root = Path(wal_root)
+        self.specs: dict[int, WorkerSpec] = {}
+        for shard in range(n_shards):
+            port = (
+                worker_ports[shard]
+                if worker_ports is not None
+                else _free_port(host)
+            )
+            self.specs[shard] = WorkerSpec(
+                shard=shard,
+                host=host,
+                port=port,
+                wal_dir=str(wal_root / f"shard-{shard}"),
+                cache_bytes=cache_bytes,
+                max_workers=max_workers,
+                query_deadline_ms=query_deadline_ms,
+                admission_limit=admission_limit,
+                breaker_failures=breaker_failures,
+                breaker_reset_s=breaker_reset_s,
+                chaos_ingest_ms=chaos_ingest_ms,
+                trace=trace,
+                verbose=verbose,
+            )
+        self._procs: dict[int, multiprocessing.process.BaseProcess] = {}
+        self._breakers = {
+            shard: CircuitBreaker(probe_failures, probe_reset_s)
+            for shard in self.specs
+        }
+        self.respawns = {shard: 0 for shard in self.specs}
+        self._stop = threading.Event()
+        self._wake = threading.Event()
+        self._monitor: threading.Thread | None = None
+
+    # ---------------------------------------------------------- lifecycle
+
+    def start(self) -> "ClusterSupervisor":
+        """Spawn every worker, wait for readiness, start the monitor."""
+        for shard in self.specs:
+            self._procs[shard] = self._spawn(shard)
+        deadline = time.monotonic() + self.ready_timeout_s
+        for shard in self.specs:
+            self._wait_ready(shard, deadline)
+        self._monitor = threading.Thread(
+            target=self._monitor_loop,
+            daemon=True,
+            name="repro-cluster-monitor",
+        )
+        self._monitor.start()
+        return self
+
+    def stop(self) -> None:
+        """Terminate the monitor and every worker; idempotent."""
+        self._stop.set()
+        self._wake.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=10)
+        for proc in self._procs.values():
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs.values():
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - stuck-worker backstop
+                proc.kill()
+                proc.join(timeout=5)
+
+    def __enter__(self) -> "ClusterSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _spawn(self, shard: int):
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(self.specs[shard],),
+            name=f"repro-shard-{shard}",
+            daemon=True,
+        )
+        proc.start()
+        return proc
+
+    def _wait_ready(self, shard: int, deadline: float) -> None:
+        spec = self.specs[shard]
+        while True:
+            proc = self._procs[shard]
+            if not proc.is_alive() and proc.exitcode is not None:
+                raise RuntimeError(
+                    f"shard {shard} died during startup "
+                    f"(exit code {proc.exitcode})"
+                )
+            if self._probe(shard):
+                return
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"shard {shard} not ready on "
+                    f"{spec.host}:{spec.port} within {self.ready_timeout_s}s"
+                )
+            time.sleep(0.05)
+
+    # ---------------------------------------------------------- monitoring
+
+    def _probe(self, shard: int) -> bool:
+        spec = self.specs[shard]
+        try:
+            status, _ = _http_get_json(
+                spec.host, spec.port, "/healthz", self.probe_timeout_s
+            )
+        except (OSError, HTTPException, ValueError):
+            return False
+        return status == 200
+
+    def _monitor_loop(self) -> None:
+        while not self._stop.is_set():
+            self._wake.wait(self.probe_interval_s)
+            self._wake.clear()
+            if self._stop.is_set():
+                return
+            for shard in list(self.specs):
+                if self._stop.is_set():
+                    return
+                proc = self._procs[shard]
+                if not proc.is_alive():
+                    self._respawn(
+                        shard, reason=f"process exited ({proc.exitcode})"
+                    )
+                    continue
+                breaker = self._breakers[shard]
+                if not breaker.allow():
+                    continue  # open, not yet probe time: skip this tick
+                if self._probe(shard):
+                    breaker.record_success()
+                else:
+                    breaker.record_failure()
+                    if breaker.state == CircuitBreaker.OPEN:
+                        # Alive but failing probes past the threshold:
+                        # wedged.  Replace it like a death.
+                        proc.kill()
+                        proc.join(timeout=10)
+                        self._respawn(
+                            shard, reason="unresponsive (breaker open)"
+                        )
+
+    def _respawn(self, shard: int, *, reason: str) -> None:
+        if self._stop.is_set():
+            return
+        if self.respawns[shard] >= self.max_respawns:
+            return  # crash loop: leave it down, the router serves 503s
+        self.respawns[shard] += 1
+        if self.verbose:
+            print(
+                f"[cluster] respawning shard {shard} "
+                f"({reason}; attempt {self.respawns[shard]})",
+                flush=True,
+            )
+        self._procs[shard] = self._spawn(shard)
+        try:
+            self._wait_ready(shard, time.monotonic() + self.ready_timeout_s)
+        except (RuntimeError, TimeoutError):
+            # Died again before becoming ready; the next tick retries.
+            self._breakers[shard].record_failure()
+            return
+        self._breakers[shard].record_success()
+
+    # ------------------------------------------------- topology interface
+
+    def address(self, shard) -> tuple[str, int]:
+        spec = self.specs[shard]
+        return (spec.host, spec.port)
+
+    def breaker(self, shard) -> CircuitBreaker:
+        return self._breakers[shard]
+
+    def notify_failure(self, shard) -> None:
+        """Router hint: a proxy to ``shard`` just failed — probe now."""
+        self._wake.set()
+
+    def retry_after_s(self, shard) -> float:
+        return self.retry_after_hint_s
+
+    def describe(self) -> dict:
+        shards = {}
+        for shard, spec in self.specs.items():
+            proc = self._procs.get(shard)
+            shards[str(shard)] = {
+                "address": [spec.host, spec.port],
+                "wal_dir": spec.wal_dir,
+                "pid": proc.pid if proc is not None else None,
+                "alive": proc.is_alive() if proc is not None else False,
+                "breaker": self._breakers[shard].stats(),
+                "respawns": self.respawns[shard],
+            }
+        return {
+            "replicas": self.ring.replicas,
+            "supervised": True,
+            "shards": shards,
+        }
+
+
+# ---------------------------------------------------------------------- router
+
+
+class _ProxyResult:
+    """A worker response relayed verbatim: status, body, select headers."""
+
+    __slots__ = ("status", "body", "content_type", "headers")
+
+    def __init__(
+        self, status: int, body: bytes, content_type: str, headers: dict
+    ) -> None:
+        self.status = status
+        self.body = body
+        self.content_type = content_type
+        self.headers = headers
+
+
+# Response headers the router relays from a worker: the resilience
+# contract's retry hint and the 405 contract's method list.
+_RELAYED_HEADERS = ("Retry-After", "Allow")
+
+
+def _router_allowed_methods(parts: list[str]) -> frozenset[str] | None:
+    if parts in (["healthz"], ["metricz"], ["cluster"]):
+        return frozenset({"GET"})
+    if parts == ["runs"]:
+        return frozenset({"GET", "POST"})
+    if len(parts) == 3 and parts[0] == "runs" and parts[2] in _RUN_ENDPOINTS:
+        return frozenset({"GET"})
+    return None
+
+
+class _RouterHandler(BaseHTTPRequestHandler):
+    """Maps ``run_id → shard`` on the ring and proxies; aggregates the rest."""
+
+    server_version = "repro-serve-router/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def topology(self):
+        return self.server.topology  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:  # type: ignore[attr-defined]
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------- plumbing
+
+    def _send_body(self, payload, status: int, headers: dict) -> None:
+        if isinstance(payload, _ProxyResult):
+            body, content_type = payload.body, payload.content_type
+            headers = {**payload.headers, **headers}
+        elif isinstance(payload, RawResponse):
+            body, content_type = payload.body, payload.content_type
+        else:
+            body = json.dumps(payload).encode()
+            content_type = "application/json"
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _dispatch(self, handler) -> None:
+        started = time.perf_counter()
+        headers: dict = {}
+        obs = self.server.obs  # type: ignore[attr-defined]
+        with obs.tracer.span(
+            "router.request", http_method=self.command, path=self.path
+        ) as span:
+            try:
+                payload, status = handler()
+            except ApiError as exc:
+                payload, status, headers = (
+                    {"error": str(exc)},
+                    exc.status,
+                    exc.headers,
+                )
+            except ShardUnavailable as exc:
+                payload = {
+                    "error": str(exc),
+                    "shard": str(exc.shard),
+                    "retry_after_s": exc.retry_after_s,
+                }
+                status = 503
+                headers = {"Retry-After": str(max(1, int(exc.retry_after_s)))}
+                obs.registry.counter(
+                    "repro_router_proxy_errors_total",
+                    help="proxy attempts ending in a typed failure",
+                    labels={"kind": "unavailable"},
+                ).inc()
+            except ShardTimeout as exc:
+                payload = {
+                    "error": str(exc),
+                    "shard": str(exc.shard),
+                    "timeout_s": exc.timeout_s,
+                }
+                status = 504
+                obs.registry.counter(
+                    "repro_router_proxy_errors_total",
+                    help="proxy attempts ending in a typed failure",
+                    labels={"kind": "timeout"},
+                ).inc()
+            except KeyError as exc:
+                payload = {"error": str(exc.args[0] if exc.args else exc)}
+                status = 404
+            except ValueError as exc:
+                payload, status = {"error": str(exc)}, 400
+            except Exception as exc:  # pragma: no cover - last-resort guard
+                payload, status = {"error": f"internal error: {exc}"}, 500
+            if isinstance(payload, _ProxyResult):
+                status = payload.status
+            span.set_attribute("status", status)
+            if status >= 400:
+                span.end(status="error")
+        self._send_body(payload, status, headers)
+        self.server.request_latency.record(  # type: ignore[attr-defined]
+            time.perf_counter() - started
+        )
+
+    def _method_not_allowed(self, parts: list[str], method: str):
+        allowed = _router_allowed_methods(parts)
+        if allowed is None:
+            raise ApiError(404, f"no such endpoint: {method} /{'/'.join(parts)}")
+        raise ApiError(
+            405,
+            f"{method} is not supported here; allowed: "
+            f"{', '.join(sorted(allowed))}",
+            headers={"Allow": ", ".join(sorted(allowed))},
+        )
+
+    # ------------------------------------------------------------- proxying
+
+    def _proxy_raw(
+        self,
+        shard,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+    ) -> _ProxyResult:
+        """One request to ``shard``, through its breaker, typed on failure.
+
+        Failure mapping — the router-side half of the ladder:
+
+        * breaker open → :class:`ShardUnavailable` (503) with no network
+          attempt at all;
+        * connection refused / reset / protocol garbage →
+          ``record_failure`` + :class:`ShardUnavailable` (503);
+        * read overrunning ``proxy_timeout_s`` → ``record_failure`` +
+          :class:`ShardTimeout` (504).
+
+        Whatever status a *reachable* worker answers — including its own
+        429/503/504 — relays verbatim: the worker's refusals are typed
+        already, and re-wrapping them would lose the Retry-After math.
+        """
+        topology = self.topology
+        breaker = topology.breaker(shard)
+        if not breaker.allow():
+            raise ShardUnavailable(
+                shard, "circuit breaker open", topology.retry_after_s(shard)
+            )
+        host, port = topology.address(shard)
+        headers = dict(
+            context_headers(self.server.obs.tracer.current_context())  # type: ignore[attr-defined]
+        )
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        timeout_s = self.server.proxy_timeout_s  # type: ignore[attr-defined]
+        conn = HTTPConnection(host, port, timeout=timeout_s)
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+        except TimeoutError:
+            breaker.record_failure()
+            topology.notify_failure(shard)
+            raise ShardTimeout(shard, timeout_s) from None
+        except (OSError, HTTPException) as exc:
+            breaker.record_failure()
+            topology.notify_failure(shard)
+            raise ShardUnavailable(
+                shard,
+                f"{type(exc).__name__}: {exc}",
+                topology.retry_after_s(shard),
+            ) from None
+        finally:
+            conn.close()
+        breaker.record_success()
+        relayed = {
+            name: response.headers[name]
+            for name in _RELAYED_HEADERS
+            if response.headers.get(name) is not None
+        }
+        return _ProxyResult(
+            response.status,
+            data,
+            response.headers.get("Content-Type", "application/json"),
+            relayed,
+        )
+
+    def _proxy_json(self, shard, path: str) -> dict:
+        """GET ``path`` on ``shard`` and decode; worker errors re-raise typed."""
+        result = self._proxy_raw(shard, "GET", path)
+        payload = json.loads(result.body)
+        if result.status >= 400:
+            raise ApiError(
+                result.status,
+                payload.get("error", f"shard {shard} answered {result.status}"),
+                headers=result.headers,
+            )
+        return payload
+
+    def _sorted_shards(self) -> list:
+        return sorted(self.topology.ring.shards, key=str)
+
+    # --------------------------------------------------------------- routes
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch(self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch(self._route_post)
+
+    def do_PUT(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch(self._route_other("PUT"))
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch(self._route_other("DELETE"))
+
+    def do_PATCH(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch(self._route_other("PATCH"))
+
+    def _route_other(self, method: str):
+        parts = [p for p in urlparse(self.path).path.split("/") if p]
+
+        def route():
+            self._method_not_allowed(parts, method)
+
+        return route
+
+    def _route_get(self):
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        query = parse_qs(url.query)
+        if parts == ["healthz"]:
+            return self._aggregate_health(), 200
+        if parts == ["metricz"]:
+            fmt = query.get("format", ["json"])[0]
+            if fmt == "prometheus":
+                return self._merged_prometheus(), 200
+            if fmt != "json":
+                raise ApiError(
+                    400, f"format must be 'json' or 'prometheus', got {fmt!r}"
+                )
+            return self._aggregate_metrics(), 200
+        if parts == ["cluster"]:
+            info = self.topology.describe()
+            key = query.get("key", [None])[0]
+            if key is not None:
+                info["key"] = key
+                info["shard"] = str(self.topology.ring.shard_for(key))
+            return info, 200
+        if parts == ["runs"]:
+            return self._aggregate_runs(), 200
+        if len(parts) == 3 and parts[0] == "runs" and parts[2] in _RUN_ENDPOINTS:
+            shard = self.topology.ring.shard_for(parts[1])
+            result = self._proxy_raw(shard, "GET", self.path)
+            return result, result.status
+        raise ApiError(404, f"no such endpoint: GET {url.path}")
+
+    def _route_post(self):
+        parts = [p for p in urlparse(self.path).path.split("/") if p]
+        if parts != ["runs"]:
+            self._method_not_allowed(parts, "POST")
+        spec = read_json_body(self)
+        # The ring routes on run_id, so one must exist *before* the
+        # worker is chosen: the router mints ids the worker would have.
+        run_id = spec.get("run_id")
+        if not run_id:
+            kind = spec.get("kind")
+            if kind not in ("hfl", "vfl"):
+                raise ApiError(400, "kind must be 'hfl' or 'vfl'")
+            run_id = f"{kind}-c{self.server.next_auto_id()}"  # type: ignore[attr-defined]
+            spec["run_id"] = run_id
+        shard = self.topology.ring.shard_for(str(run_id))
+        result = self._proxy_raw(
+            shard, "POST", "/runs", body=json.dumps(spec).encode()
+        )
+        return result, result.status
+
+    # --------------------------------------------------------- aggregation
+
+    def _aggregate_health(self) -> dict:
+        shards: dict = {}
+        down: list[str] = []
+        status = "ok"
+        for shard in self._sorted_shards():
+            try:
+                payload = self._proxy_json(shard, "/healthz")
+            except (ShardUnavailable, ShardTimeout) as exc:
+                shards[str(shard)] = {"status": "down", "error": str(exc)}
+                down.append(str(shard))
+                status = "degraded"
+                continue
+            shards[str(shard)] = payload
+            if payload.get("status") != "ok":
+                status = "degraded"
+        return {
+            "status": status,
+            "workers": len(shards),
+            "down": down,
+            "shards": shards,
+        }
+
+    def _aggregate_runs(self) -> dict:
+        runs: list[dict] = []
+        unavailable: list[dict] = []
+        for shard in self._sorted_shards():
+            try:
+                payload = self._proxy_json(shard, "/runs")
+            except (ShardUnavailable, ShardTimeout) as exc:
+                unavailable.append({"shard": str(shard), "error": str(exc)})
+                continue
+            for run in payload.get("runs", []):
+                run["shard"] = str(shard)
+                runs.append(run)
+        return {"runs": runs, "unavailable": unavailable}
+
+    def _aggregate_metrics(self) -> dict:
+        workers: dict = {}
+        for shard in self._sorted_shards():
+            try:
+                workers[str(shard)] = self._proxy_json(shard, "/metricz")
+            except (ShardUnavailable, ShardTimeout) as exc:
+                workers[str(shard)] = {"status": "down", "error": str(exc)}
+        return {
+            "router": {
+                "latency": {
+                    "http": self.server.request_latency.summary()  # type: ignore[attr-defined]
+                },
+            },
+            "workers": workers,
+            "topology": self.topology.describe(),
+        }
+
+    def _merged_prometheus(self) -> RawResponse:
+        """One Prometheus page for the whole cluster.
+
+        Every worker's registry snapshot folds into a fresh registry via
+        :meth:`~repro.obs.registry.MetricsRegistry.merge` under a
+        ``worker="<shard>"`` label; the router's own registry merges
+        under ``worker="router"``.  Unreachable workers are counted, not
+        fatal — a scrape during failover still renders.
+        """
+        merged = MetricsRegistry()
+        merged.merge(
+            self.server.obs.registry.snapshot(),  # type: ignore[attr-defined]
+            labels={"worker": "router"},
+        )
+        shards = self._sorted_shards()
+        down = 0
+        for shard in shards:
+            try:
+                payload = self._proxy_json(shard, "/metricz?format=snapshot")
+            except (ShardUnavailable, ShardTimeout):
+                down += 1
+                continue
+            merged.merge(payload["snapshot"], labels={"worker": str(shard)})
+        merged.gauge(
+            "repro_cluster_shards", help="shards on the hash ring"
+        ).set(len(shards))
+        merged.gauge(
+            "repro_cluster_shards_down",
+            help="shards unreachable at scrape time",
+        ).set(down)
+        return RawResponse(
+            merged.render_prometheus(), PROMETHEUS_CONTENT_TYPE
+        )
+
+
+class ClusterRouter(ThreadingHTTPServer):
+    """The cluster's front door: one port, N shard workers behind it."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        topology,
+        *,
+        obs: Observability | None = None,
+        proxy_timeout_s: float = 30.0,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, _RouterHandler)
+        self.topology = topology
+        self.obs = obs if obs is not None else Observability()
+        self.proxy_timeout_s = proxy_timeout_s
+        self.verbose = verbose
+        self.request_latency = LatencyHistogram()
+        self.obs.registry.register(
+            "repro_router_request_latency_seconds",
+            self.request_latency,
+            help="router wall time, routing through response write",
+            exist_ok=True,
+        )
+        self._auto_ids = itertools.count(1)
+
+    def next_auto_id(self) -> int:
+        return next(self._auto_ids)
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def serve_background(self) -> threading.Thread:
+        """Serve on a daemon thread (tests / in-process embedding)."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+
+def serve_cluster(
+    host: str = "127.0.0.1",
+    router_port: int = 8733,
+    n_shards: int = 3,
+    *,
+    wal_root: str | None = None,
+    cache_bytes: int = 64 * 1024 * 1024,
+    max_workers: int = 4,
+    query_deadline_ms: float | None = None,
+    admission_limit: int | None = None,
+    chaos_ingest_ms: float = 0.0,
+    trace: bool = False,
+    verbose: bool = True,
+) -> int:
+    """Run a sharded cluster until interrupted; ``repro serve --cluster N``.
+
+    Without ``wal_root`` the WALs live in a fresh temporary directory
+    (printed) — failover still replays, but a *cluster* restart starts
+    empty.  Point ``--wal-dir`` somewhere durable for that.
+    """
+    if wal_root is None:
+        wal_root = tempfile.mkdtemp(prefix="repro-cluster-wal-")
+        print(f"cluster WALs (temporary): {wal_root}")
+    supervisor = ClusterSupervisor(
+        n_shards,
+        wal_root=wal_root,
+        host=host,
+        cache_bytes=cache_bytes,
+        max_workers=max_workers,
+        query_deadline_ms=query_deadline_ms,
+        admission_limit=admission_limit,
+        chaos_ingest_ms=chaos_ingest_ms,
+        trace=trace,
+        verbose=verbose,
+    )
+    supervisor.start()
+    router = ClusterRouter(
+        (host, router_port),
+        supervisor,
+        obs=Observability(trace=trace),
+        verbose=verbose,
+    )
+    print(
+        f"repro-serve cluster: router on http://{host}:{router.port}, "
+        f"{n_shards} shard worker(s)"
+    )
+    for shard, spec in sorted(supervisor.specs.items()):
+        print(f"  shard {shard}: http://{spec.host}:{spec.port} "
+              f"(wal: {spec.wal_dir})")
+    print("endpoints: /healthz /metricz[?format=prometheus] /cluster[?key=] "
+          "/runs /runs/{id}/contributions /runs/{id}/leaderboard "
+          "/runs/{id}/weights /runs/{id}/profile")
+    try:
+        router.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down cluster")
+    finally:
+        router.server_close()
+        supervisor.stop()
+    return 0

@@ -63,6 +63,7 @@ from repro.data import HFL_DATASETS, build_hfl_federation
 from repro.io import load_training_log, load_vfl_training_log
 from repro.metrics.cost import LatencyHistogram
 from repro.obs.registry import PROMETHEUS_CONTENT_TYPE
+from repro.obs.trace import context_from_headers
 from repro.nn import make_hfl_model
 from repro.serve.resilience import (
     DeadlineExceeded,
@@ -192,6 +193,35 @@ def register_from_spec(service: EvaluationService, spec: dict) -> dict:
     return {"run_id": run_id, "kind": kind, "epochs": log.n_epochs}
 
 
+def read_json_body(handler) -> dict:
+    """The ``POST`` body ladder: 411 / 400 / 413 before reading, then JSON.
+
+    Shared by the worker handler and the cluster router, so both speak
+    the same typed refusals: 411 without a ``Content-Length``, 400 for a
+    malformed one or a non-object body, 413 above ``MAX_BODY_BYTES``.
+    """
+    length_header = handler.headers.get("Content-Length")
+    if length_header is None:
+        raise ApiError(411, f"POST {handler.path} requires a Content-Length header")
+    try:
+        length = int(length_header)
+    except ValueError:
+        raise ApiError(400, f"bad Content-Length: {length_header!r}") from None
+    if length > MAX_BODY_BYTES:
+        raise ApiError(
+            413,
+            f"request body of {length} bytes exceeds the "
+            f"{MAX_BODY_BYTES}-byte limit",
+        )
+    try:
+        spec = json.loads(handler.rfile.read(length) or b"{}")
+    except json.JSONDecodeError as exc:
+        raise ApiError(400, f"request body is not JSON: {exc}") from None
+    if not isinstance(spec, dict):
+        raise ApiError(400, "request body must be a JSON object")
+    return spec
+
+
 def _allowed_methods(parts: list[str]) -> frozenset[str] | None:
     """The methods a path supports, or ``None`` for an unknown path."""
     if parts in (["healthz"], ["metricz"]):
@@ -241,8 +271,15 @@ class _Handler(BaseHTTPRequestHandler):
         started = time.perf_counter()
         headers: dict = {}
         tracer = self.service.obs.tracer
+        # A cluster router (or any instrumented client) propagates its
+        # trace through X-Repro-Trace-Id / X-Repro-Parent-Span, so the
+        # worker-side request span joins the caller's trace instead of
+        # rooting its own — one client request, one trace, two processes.
         with tracer.span(
-            "http.request", http_method=self.command, path=self.path
+            "http.request",
+            parent=context_from_headers(self.headers),
+            http_method=self.command,
+            path=self.path,
         ) as span:
             try:
                 payload, status = handler()
@@ -339,8 +376,17 @@ class _Handler(BaseHTTPRequestHandler):
                     ),
                     200,
                 )
+            if fmt == "snapshot":
+                # The raw registry snapshot, for cluster aggregation: a
+                # router scrapes every worker's snapshot and folds them
+                # into one registry via MetricsRegistry.merge().
+                return {"snapshot": self.service.obs.registry.snapshot()}, 200
             if fmt != "json":
-                raise ApiError(400, f"format must be 'json' or 'prometheus', got {fmt!r}")
+                raise ApiError(
+                    400,
+                    "format must be 'json', 'prometheus' or 'snapshot', "
+                    f"got {fmt!r}",
+                )
             stats = self.service.stats()
             stats["latency"]["http"] = self.server.request_latency.summary()  # type: ignore[attr-defined]
             return stats, 200
@@ -370,28 +416,7 @@ class _Handler(BaseHTTPRequestHandler):
         parts = [p for p in url.path.split("/") if p]
         if parts != ["runs"]:
             self._method_not_allowed(parts, "POST")
-        length_header = self.headers.get("Content-Length")
-        if length_header is None:
-            raise ApiError(
-                411, "POST /runs requires a Content-Length header"
-            )
-        try:
-            length = int(length_header)
-        except ValueError:
-            raise ApiError(400, f"bad Content-Length: {length_header!r}") from None
-        if length > MAX_BODY_BYTES:
-            raise ApiError(
-                413,
-                f"request body of {length} bytes exceeds the "
-                f"{MAX_BODY_BYTES}-byte limit",
-            )
-        try:
-            spec = json.loads(self.rfile.read(length) or b"{}")
-        except json.JSONDecodeError as exc:
-            raise ApiError(400, f"request body is not JSON: {exc}") from None
-        if not isinstance(spec, dict):
-            raise ApiError(400, "request body must be a JSON object")
-        return register_from_spec(self.service, spec), 201
+        return register_from_spec(self.service, read_json_body(self)), 201
 
 
 class EvaluationHTTPServer(ThreadingHTTPServer):

@@ -1,0 +1,119 @@
+"""Consistent-hash ring: run ids → shards, stable under membership change.
+
+The cluster router must answer "which worker owns run X" without a
+coordination service, and the answer must barely move when a shard is
+added or removed — every moved run means a WAL replay on its new owner.
+A consistent-hash ring gives both properties: each shard contributes
+``replicas`` virtual nodes at pseudo-random positions on a 64-bit circle
+(SHA-256 of ``"{type}:{shard}#{replica}"`` — type-qualified so ``0`` and
+``"0"`` are different shards with disjoint positions), and a key belongs
+to the first virtual node clockwise of the key's own hash.
+
+Two guarantees the property tests (``tests/test_cluster_ring.py``) pin:
+
+* **Minimal movement.**  Removing a shard only moves the keys that shard
+  owned (everything else keeps its owner, exactly); adding a shard only
+  moves keys *to* the new shard.
+* **Bounded spread.**  With enough virtual nodes (the default 64 per
+  shard) key ownership is balanced within a modest factor of fair share.
+
+Thread-safe: the router reads ``shard_for`` on every request while a
+rebalance may add/remove shards; all three take one small lock.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+from typing import Hashable, Iterable, Sequence
+
+
+class HashRing:
+    """Consistent hashing over an arbitrary set of hashable shard ids."""
+
+    def __init__(self, shards: Iterable[Hashable] = (), *, replicas: int = 64) -> None:
+        if replicas <= 0:
+            raise ValueError(f"replicas must be positive, got {replicas}")
+        self.replicas = replicas
+        self._lock = threading.Lock()
+        self._shards: set = set()
+        self._hashes: list[int] = []
+        self._owners: list = []  # parallel to _hashes
+        for shard in shards:
+            self.add(shard)
+
+    @staticmethod
+    def _hash(data: str) -> int:
+        """First 8 bytes of SHA-256 as an unsigned int — the circle position."""
+        return int.from_bytes(hashlib.sha256(data.encode()).digest()[:8], "big")
+
+    # ----------------------------------------------------------- membership
+
+    def add(self, shard: Hashable) -> None:
+        """Place ``shard``'s virtual nodes on the ring."""
+        with self._lock:
+            if shard in self._shards:
+                raise ValueError(f"shard {shard!r} is already on the ring")
+            self._shards.add(shard)
+            for replica in range(self.replicas):
+                # Type-qualified so distinct shards with equal string
+                # forms (0 vs "0") never share ring positions — str()
+                # alone would collide their virtual nodes and make
+                # ownership at the tied positions insertion-ordered.
+                position = self._hash(
+                    f"{type(shard).__name__}:{shard}#{replica}"
+                )
+                index = bisect.bisect(self._hashes, position)
+                self._hashes.insert(index, position)
+                self._owners.insert(index, shard)
+
+    def remove(self, shard: Hashable) -> None:
+        """Take ``shard`` off the ring; its keys fall to their successors."""
+        with self._lock:
+            if shard not in self._shards:
+                raise KeyError(f"shard {shard!r} is not on the ring")
+            self._shards.discard(shard)
+            kept = [
+                (position, owner)
+                for position, owner in zip(self._hashes, self._owners)
+                if owner != shard
+            ]
+            self._hashes = [position for position, _ in kept]
+            self._owners = [owner for _, owner in kept]
+
+    @property
+    def shards(self) -> frozenset:
+        with self._lock:
+            return frozenset(self._shards)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._shards)
+
+    def __contains__(self, shard: Hashable) -> bool:
+        with self._lock:
+            return shard in self._shards
+
+    # -------------------------------------------------------------- lookup
+
+    def shard_for(self, key: str) -> Hashable:
+        """The shard owning ``key``: first virtual node clockwise of its hash."""
+        with self._lock:
+            if not self._hashes:
+                raise ValueError("cannot route on an empty ring")
+            index = bisect.bisect(self._hashes, self._hash(key))
+            if index == len(self._hashes):  # wrap past 2^64 - 1
+                index = 0
+            return self._owners[index]
+
+    def spread(self, keys: Sequence[str]) -> dict:
+        """Ownership counts over ``keys`` — the balance diagnostic.
+
+        ``GET /cluster`` serves this for the registered run ids, and the
+        property tests bound ``max(spread) / fair_share`` with it.
+        """
+        counts: dict = {shard: 0 for shard in self.shards}
+        for key in keys:
+            counts[self.shard_for(key)] += 1
+        return counts

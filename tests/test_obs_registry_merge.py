@@ -1,0 +1,147 @@
+"""MetricsRegistry.merge — the cluster's metric-aggregation primitive.
+
+A router scrapes each worker's ``/metricz?format=snapshot`` and folds
+the JSON-decoded snapshots into one fresh registry under a ``worker``
+label.  These tests pin the contract that makes that safe: merges are
+additive per ``(name, labels)`` key, JSON round-trips (tuples → lists)
+are accepted, live instruments refuse to be merged over, and the merged
+registry's Prometheus rendering still satisfies the strict round-trip
+parser from ``tests/test_obs_registry``.
+"""
+
+import json
+
+import pytest
+
+from repro.metrics.cost import LatencyHistogram
+from repro.obs.registry import MetricsRegistry
+from tests.test_obs_registry import parse_prometheus
+
+
+def _worker_registry(worker_seed: int) -> MetricsRegistry:
+    """A registry shaped like one shard worker's: counters, gauge, histogram."""
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_requests_total", help="requests", labels={"path": "/runs"}
+    ).inc(10 + worker_seed)
+    registry.counter(
+        "repro_requests_total", help="requests", labels={"path": "/healthz"}
+    ).inc(2)
+    registry.gauge("repro_queue_depth", help="depth").set(worker_seed)
+    hist = registry.histogram("repro_latency_seconds", help="latency")
+    for value in (0.001, 0.01, 0.1 * (worker_seed + 1)):
+        hist.record(value)
+    return registry
+
+
+def test_merge_stamps_worker_label_and_keeps_series_apart():
+    merged = MetricsRegistry()
+    merged.merge(_worker_registry(0).snapshot(), labels={"worker": "0"})
+    merged.merge(_worker_registry(1).snapshot(), labels={"worker": "1"})
+    snap = merged.snapshot()
+    series = snap["repro_requests_total"]["series"]
+    by_labels = {tuple(sorted(s["labels"].items())): s["value"] for s in series}
+    assert by_labels[(("path", "/runs"), ("worker", "0"))] == 10.0
+    assert by_labels[(("path", "/runs"), ("worker", "1"))] == 11.0
+    assert len(series) == 4  # two paths x two workers, none collapsed
+
+
+def test_merge_is_additive_on_identical_keys():
+    merged = MetricsRegistry()
+    merged.merge(_worker_registry(0).snapshot(), labels={"worker": "0"})
+    merged.merge(_worker_registry(0).snapshot(), labels={"worker": "0"})
+    snap = merged.snapshot()
+    by_labels = {
+        tuple(sorted(s["labels"].items())): s["value"]
+        for s in snap["repro_requests_total"]["series"]
+    }
+    assert by_labels[(("path", "/runs"), ("worker", "0"))] == 20.0
+    hist = snap["repro_latency_seconds"]["series"][0]["value"]
+    assert hist["count"] == 6
+    assert hist["total"] == pytest.approx(2 * (0.001 + 0.01 + 0.1))
+
+
+def test_merge_accepts_json_round_tripped_snapshots():
+    """Over the wire, snapshot tuples become lists; merge must not care."""
+    wire = json.loads(json.dumps(_worker_registry(2).snapshot()))
+    merged = MetricsRegistry().merge(wire, labels={"worker": "2"})
+    snap = merged.snapshot()
+    hist = snap["repro_latency_seconds"]["series"][0]["value"]
+    assert hist["count"] == 3
+    assert snap["repro_queue_depth"]["series"][0]["value"] == 2.0
+
+
+def test_merged_histograms_bucket_add_and_track_max():
+    a = LatencyHistogram()
+    b = LatencyHistogram()
+    for value in (0.002, 0.02):
+        a.record(value)
+    b.record(1.5)
+    registry_a = MetricsRegistry()
+    registry_a.register("repro_h_seconds", a)
+    registry_b = MetricsRegistry()
+    registry_b.register("repro_h_seconds", b)
+    merged = MetricsRegistry()
+    merged.merge(registry_a.snapshot())
+    merged.merge(registry_b.snapshot())
+    snap = merged.snapshot()["repro_h_seconds"]["series"][0]["value"]
+    assert snap["count"] == 3
+    assert snap["max"] == pytest.approx(1.5)
+    assert snap["total"] == pytest.approx(0.002 + 0.02 + 1.5)
+
+
+def test_merge_refuses_mismatched_histogram_bounds():
+    coarse = MetricsRegistry()
+    coarse.register("repro_h_seconds", LatencyHistogram((0.1, 1.0)))
+    fine = MetricsRegistry()
+    fine.register("repro_h_seconds", LatencyHistogram((0.01, 0.1, 1.0)))
+    merged = MetricsRegistry().merge(coarse.snapshot())
+    with pytest.raises(ValueError, match="bounds"):
+        merged.merge(fine.snapshot())
+
+
+def test_merge_refuses_to_overwrite_live_instruments():
+    registry = MetricsRegistry()
+    registry.counter("repro_live_total", help="live").inc(5)
+    foreign = MetricsRegistry()
+    foreign.counter("repro_live_total", help="live").inc(1)
+    with pytest.raises(ValueError, match="live instrument"):
+        registry.merge(foreign.snapshot())
+
+
+def test_merge_refuses_kind_conflicts():
+    registry = MetricsRegistry()
+    registry.counter("repro_thing", help="as counter")
+    foreign = MetricsRegistry()
+    foreign.gauge("repro_thing", help="as gauge").set(1)
+    with pytest.raises(ValueError, match="counter"):
+        registry.merge(foreign.snapshot())
+
+
+def test_merge_rejects_invalid_extra_labels():
+    with pytest.raises(ValueError, match="label"):
+        MetricsRegistry().merge({}, labels={"bad-label": "x"})
+
+
+def test_merged_prometheus_rendering_round_trips():
+    """The cluster /metricz?format=prometheus contract: a registry built
+    purely from merged worker snapshots renders text the strict parser
+    accepts, with per-worker series distinguishable by label."""
+    merged = MetricsRegistry()
+    for worker in range(3):
+        merged.merge(
+            json.loads(json.dumps(_worker_registry(worker).snapshot())),
+            labels={"worker": str(worker)},
+        )
+    parsed = parse_prometheus(merged.render_prometheus())
+    assert parsed["repro_requests_total"]["type"] == "counter"
+    samples = parsed["repro_requests_total"]["samples"]
+    workers_seen = {dict(labels)["worker"] for _, labels in samples}
+    assert workers_seen == {"0", "1", "2"}
+    hist_samples = parsed["repro_latency_seconds"]["samples"]
+    counts = [
+        value
+        for (name, _), value in hist_samples.items()
+        if name == "repro_latency_seconds_count"
+    ]
+    assert counts == [3.0, 3.0, 3.0]

@@ -10,8 +10,11 @@ while queries on other shards stay fast.
 This bench drives both deployments with the same mixed workload —
 concurrent leaderboard queries against warm runs while fresh VFL runs
 stream in — and records throughput and p95 latency per operation kind.
-The standalone entry point writes ``BENCH_cluster.json`` at the repo
-root so successive PRs can track the gap.
+A second episode measures the *failover gap*: SIGKILL a shard's primary
+and time how long reads stay dark, once with a warm standby (promotion)
+and once without (cold respawn + WAL replay).  The standalone entry
+point writes both into ``BENCH_cluster.json`` at the repo root so
+successive PRs can track the gaps.
 
 Run either way::
 
@@ -172,6 +175,80 @@ def _bench_cluster(log_path: str, tag: str) -> dict:
                 router.server_close()
 
 
+def _failover_gap_ms(log_path: str, *, standby_replicas: int) -> float:
+    """SIGKILL a one-shard cluster's primary; return the read-dark gap.
+
+    The gap runs from the kill to the first 200 a poller sees on the
+    run's contributions.  With a warm standby the supervisor promotes
+    (catch up the lag); without, it cold-respawns and replays the WAL —
+    the difference is the replication tentpole's headline number.
+    """
+    import os
+    import signal as _signal
+
+    with tempfile.TemporaryDirectory() as wal_root:
+        with ClusterSupervisor(
+            1,
+            wal_root=wal_root,
+            standby_replicas=standby_replicas,
+            probe_interval_s=0.1,
+            probe_reset_s=0.5,
+        ) as supervisor:
+            router = ClusterRouter(("127.0.0.1", 0), supervisor)
+            router.serve_background()
+            try:
+                assert _post_run(router.port, log_path, "failover") == 201
+                if standby_replicas:
+                    _wait_standby_caught_up(supervisor)
+                victim = supervisor.describe()["shards"]["0"]["pid"]
+                killed = time.perf_counter()
+                os.kill(victim, _signal.SIGKILL)
+                deadline = killed + 120
+                while True:
+                    assert time.perf_counter() < deadline, "never recovered"
+                    try:
+                        status = _get(
+                            router.port, "/runs/failover/contributions"
+                        )
+                    except (urllib.error.URLError, ConnectionError, TimeoutError):
+                        status = -1
+                    if status == 200:
+                        return (time.perf_counter() - killed) * 1e3
+                    time.sleep(0.02)
+            finally:
+                router.shutdown()
+                router.server_close()
+
+
+def _wait_standby_caught_up(supervisor, deadline_s: float = 60.0) -> None:
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        shard = supervisor.describe()["shards"]["0"]
+        standby = shard.get("standby")
+        if standby is not None and standby["pid"] is not None:
+            host, port = standby["address"]
+            request = urllib.request.Request(
+                f"http://{host}:{port}/control/status",
+                data=b"{}",
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=5) as response:
+                    replication = json.loads(response.read())["replication"]
+            except (urllib.error.URLError, ConnectionError, TimeoutError):
+                replication = None
+            if (
+                replication is not None
+                and replication["lag_records"] == 0
+                and replication["applied_seq"] == replication["primary_end_seq"]
+                and replication["applied_seq"] > 0
+            ):
+                return
+        time.sleep(0.05)
+    raise AssertionError("standby never caught up")
+
+
 def test_bench_cluster_vs_single_process(benchmark, vfl_log_path):
     """Both deployments absorb the identical mixed load with zero
     errors, and the cluster stays within generous absolute bounds
@@ -193,6 +270,24 @@ def test_bench_cluster_vs_single_process(benchmark, vfl_log_path):
     assert cluster["query_p95_ms"] <= 500.0
 
 
+def test_bench_failover_gap_warm_vs_cold(benchmark, vfl_log_path):
+    """One SIGKILL each way; the warm (promotion) gap is recorded next
+    to the cold (respawn + replay) gap.  Only generous absolute bounds
+    are asserted — process spawn time on a loaded CI box dominates the
+    cold number, and the warm/cold ordering is already a hard assertion
+    in tests/test_cluster_replication.py under chaos-slowed replay."""
+
+    def episode():
+        return _failover_gap_ms(vfl_log_path, standby_replicas=1)
+
+    warm_ms = benchmark.pedantic(episode, rounds=1, iterations=1)
+    cold_ms = _failover_gap_ms(vfl_log_path, standby_replicas=0)
+    benchmark.extra_info["warm_failover_gap_ms"] = warm_ms
+    benchmark.extra_info["cold_failover_gap_ms"] = cold_ms
+    assert warm_ms <= 60_000
+    assert cold_ms <= 60_000
+
+
 def main() -> int:
     """Standalone report: the comparison table plus ``BENCH_cluster.json``."""
     workload = build_vfl_workload("boston", n_parties=5, epochs=25, seed=0)
@@ -205,6 +300,9 @@ def main() -> int:
         )
         single = _bench_single(log_path, "sp")
         cluster = _bench_cluster(log_path, "cl")
+        print("\nfailover: SIGKILL the primary, time until reads answer again")
+        warm_gap_ms = _failover_gap_ms(log_path, standby_replicas=1)
+        cold_gap_ms = _failover_gap_ms(log_path, standby_replicas=0)
 
     rows = [("single-process", single), (f"{N_SHARDS}-shard cluster", cluster)]
     print(
@@ -218,6 +316,11 @@ def main() -> int:
         )
     ratio = cluster["throughput_rps"] / single["throughput_rps"]
     print(f"\ncluster/single throughput ratio: {ratio:.2f}x")
+    print(
+        f"failover gap: warm standby {warm_gap_ms:.0f} ms, "
+        f"cold respawn+replay {cold_gap_ms:.0f} ms "
+        f"({cold_gap_ms / max(warm_gap_ms, 1e-9):.1f}x)"
+    )
 
     payload = {
         "bench": "cluster_vs_single_process",
@@ -232,6 +335,12 @@ def main() -> int:
         "single_process": single,
         "cluster": cluster,
         "throughput_ratio": ratio,
+        "failover": {
+            "workload": "1 shard, 1 run (26 WAL records), SIGKILL primary",
+            "warm_gap_ms": warm_gap_ms,
+            "cold_gap_ms": cold_gap_ms,
+            "cold_over_warm": cold_gap_ms / max(warm_gap_ms, 1e-9),
+        },
     }
     out = REPO_ROOT / "BENCH_cluster.json"
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -14,6 +14,9 @@ Subcommands::
     python -m repro.cli serve --port 8733  # streaming evaluation HTTP API
     python -m repro.cli serve --trace --trace-export spans.jsonl
     python -m repro.cli serve --cluster 3 --router-port 8733 --wal-dir wals
+    python -m repro.cli serve --cluster 3 --replicas 1   # warm standbys
+    python -m repro.cli cluster resize 4   # online rebalance, zero downtime
+    python -m repro.cli cluster status
     python -m repro.cli profile run.npz --kind hfl --dataset mnist
 
 Every audit builds the named synthetic dataset, trains the federation,
@@ -294,6 +297,8 @@ def _cmd_serve(args) -> int:
             args.router_port,
             args.cluster,
             wal_root=args.wal_dir,
+            standby_replicas=args.replicas,
+            drain_deadline_s=args.drain_deadline_s,
             cache_bytes=args.cache_mb * 1024 * 1024,
             max_workers=args.query_workers,
             query_deadline_ms=args.query_deadline_ms,
@@ -301,6 +306,8 @@ def _cmd_serve(args) -> int:
             chaos_ingest_ms=args.chaos_ingest_ms,
             trace=args.trace,
         )
+    if args.replicas:
+        raise SystemExit("--replicas requires --cluster N")
 
     obs = Observability(trace=args.trace)
     service = EvaluationService(
@@ -340,6 +347,39 @@ def _cmd_serve(args) -> int:
         if args.trace_export:
             count = obs.tracer.export_jsonl(args.trace_export)
             print(f"exported {count} span(s) -> {args.trace_export}")
+
+
+def _cmd_cluster(args) -> int:
+    # Talks to a running `repro serve --cluster N` router over HTTP.
+    import json as _json
+    from http.client import HTTPConnection, HTTPException
+
+    if args.action == "resize" and args.shards < 1:
+        raise SystemExit("error: resize needs at least 1 shard")
+    conn = HTTPConnection(args.host, args.router_port, timeout=args.timeout_s)
+    try:
+        if args.action == "resize":
+            body = _json.dumps({"shards": args.shards}).encode()
+            conn.request("POST", "/cluster/resize", body=body,
+                         headers={"Content-Type": "application/json"})
+        else:
+            conn.request("GET", "/cluster")
+        response = conn.getresponse()
+        payload = _json.loads(response.read().decode() or "{}")
+    except (OSError, HTTPException, ValueError) as exc:
+        raise SystemExit(
+            f"error: no router at http://{args.host}:{args.router_port} "
+            f"({exc})"
+        ) from exc
+    finally:
+        conn.close()
+    if response.status >= 400:
+        raise SystemExit(
+            f"error: router answered {response.status}: "
+            f"{payload.get('error', 'unknown error')}"
+        )
+    print(_json.dumps(payload, indent=2, sort_keys=True))
+    return 0
 
 
 def _cmd_profile(args) -> int:
@@ -429,6 +469,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--router-port", type=int, default=8733,
                        help="router port in --cluster mode (workers take "
                             "OS-assigned ports)")
+    serve.add_argument("--replicas", type=int, default=0,
+                       help="warm standbys per shard in --cluster mode "
+                            "(0 or 1; a standby tails its primary's WAL "
+                            "and is promoted on primary death)")
+    serve.add_argument("--drain-deadline-s", type=float, default=10.0,
+                       help="on SIGINT/SIGTERM in --cluster mode, wait "
+                            "this long for in-flight requests before "
+                            "stopping (new requests get 503+Retry-After)")
     serve.add_argument("--cache-mb", type=int, default=64,
                        help="result/gradient cache budget in MiB")
     serve.add_argument("--query-workers", type=int, default=4,
@@ -452,6 +500,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace-export", metavar="PATH", default=None,
                        help="write buffered spans as JSONL on shutdown")
     serve.set_defaults(func=_cmd_serve)
+
+    cluster = sub.add_parser(
+        "cluster", help="administer a running repro serve --cluster router"
+    )
+    cluster_sub = cluster.add_subparsers(dest="action", required=True)
+    resize = cluster_sub.add_parser(
+        "resize",
+        help="online rebalance to N shards (moves only the runs the "
+             "consistent-hash ring reassigns; serving continues)",
+    )
+    resize.add_argument("shards", type=int, metavar="N")
+    status = cluster_sub.add_parser(
+        "status", help="print the router's /cluster topology JSON"
+    )
+    for sub_parser in (resize, status):
+        sub_parser.add_argument("--host", default="127.0.0.1")
+        sub_parser.add_argument("--router-port", type=int, default=8733)
+        sub_parser.add_argument("--timeout-s", type=float, default=120.0)
+        sub_parser.set_defaults(func=_cmd_cluster)
 
     profile = sub.add_parser(
         "profile",

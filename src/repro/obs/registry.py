@@ -221,6 +221,24 @@ class MetricsRegistry:
             family.series[key] = _Series(key, instrument, callback)
         return instrument
 
+    def unregister(self, name: str, *, labels: dict | None = None) -> bool:
+        """Drop one series (and its family once empty); ``False`` if absent.
+
+        The idiom for instruments whose *meaning* ends with a lifecycle
+        transition — a standby's replication-lag gauge, say, stops being
+        a fact the moment the worker is promoted to primary, and a
+        frozen last value in ``/metricz`` would read as live lag.
+        """
+        key = _label_key(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None or key not in family.series:
+                return False
+            del family.series[key]
+            if not family.series:
+                del self._families[name]
+            return True
+
     def _get_or_create(self, name, kind, help, labels, *, factory):
         family = self._family(name, kind, help)
         key = _label_key(labels)

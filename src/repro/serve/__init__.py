@@ -33,7 +33,13 @@ per-epoch additivity (Lemma 3, Eq. 13–15) to make contributions
   processes, each owning one ring shard and its own WAL, behind a
   :class:`ClusterRouter` that proxies by run id, aggregates
   ``/healthz``/``/metricz``, and on worker death respawns the shard and
-  replays its WAL for bit-identical answers.
+  replays its WAL for bit-identical answers;
+* :mod:`~repro.serve.replication` — warm standby workers that tail
+  their primary's WAL over ``GET /wal/stream`` (:class:`WalFollower` /
+  :class:`WalApplier`) so failover is catch-up-the-lag instead of
+  replay-the-world, plus the ``/control/*`` plane the supervisor uses
+  for promotion and for shipping WAL subsets during an online
+  ``POST /cluster/resize`` rebalance.
 """
 
 from repro.serve.cache import CacheMemo, ResultCache, RunDigest, fingerprint_arrays
@@ -48,8 +54,15 @@ from repro.serve.cluster import (
     serve_cluster,
 )
 from repro.serve.http import EvaluationHTTPServer, register_from_spec, serve
+from repro.serve.replication import (
+    ReplicationError,
+    WalApplier,
+    WalFollower,
+    WorkerController,
+)
 from repro.serve.resilience import (
     AdmissionQueue,
+    Backoff,
     CircuitBreaker,
     CircuitOpen,
     Deadline,
@@ -59,13 +72,20 @@ from repro.serve.resilience import (
     ServiceClosed,
     ServiceOverloaded,
 )
-from repro.serve.ring import HashRing
+from repro.serve.ring import HashRing, ResizePlan
 from repro.serve.service import ContributionPublisher, EvaluationService
 from repro.serve.streaming import StreamingHFLEstimator, StreamingVFLEstimator
-from repro.serve.wal import RecoveryReport, WriteAheadLog, recover
+from repro.serve.wal import (
+    RecoveryReport,
+    WriteAheadLog,
+    recover,
+    scan_wal,
+    validate_wal_record,
+)
 
 __all__ = [
     "AdmissionQueue",
+    "Backoff",
     "CacheMemo",
     "ChaosError",
     "ChaosPolicy",
@@ -82,6 +102,8 @@ __all__ = [
     "HashRing",
     "QueryFailed",
     "RecoveryReport",
+    "ReplicationError",
+    "ResizePlan",
     "ResultCache",
     "RetryPolicy",
     "RunDigest",
@@ -92,12 +114,17 @@ __all__ = [
     "StaticTopology",
     "StreamingHFLEstimator",
     "StreamingVFLEstimator",
+    "WalApplier",
+    "WalFollower",
+    "WorkerController",
     "WorkerSpec",
     "WriteAheadLog",
     "fingerprint_arrays",
     "inject_chaos",
     "recover",
     "register_from_spec",
+    "scan_wal",
     "serve",
     "serve_cluster",
+    "validate_wal_record",
 ]

@@ -39,9 +39,12 @@ throughput gap this module exists for.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import json
 import multiprocessing
+import re
+import signal
 import socket
 import tempfile
 import threading
@@ -53,13 +56,14 @@ from pathlib import Path
 from typing import Hashable, Mapping
 from urllib.parse import parse_qs, urlparse
 
-from repro.metrics.cost import LatencyHistogram
+from repro.metrics.cost import Gauge, LatencyHistogram
 from repro.obs import Observability
 from repro.obs.registry import PROMETHEUS_CONTENT_TYPE, MetricsRegistry
 from repro.obs.trace import context_headers
 from repro.serve.http import _RUN_ENDPOINTS, ApiError, RawResponse, read_json_body
-from repro.serve.resilience import CircuitBreaker
+from repro.serve.resilience import Backoff, CircuitBreaker
 from repro.serve.ring import HashRing
+from repro.serve.wal import REGISTER, WriteAheadLog, scan_wal
 
 
 class ShardUnavailable(RuntimeError):
@@ -110,6 +114,15 @@ class WorkerSpec:
     chaos_ingest_ms: float = 0.0
     trace: bool = False
     verbose: bool = False
+    # Ring epoch the worker boots fenced at (see _check_ring_epoch).
+    ring_epoch: int = 0
+    # None → primary.  (host, port, wal_dir) of a primary → this worker
+    # is that primary's warm standby: it tails the primary's WAL over
+    # /wal/stream and applies every record to its own live service, so
+    # promotion costs only the replication lag.  wal_dir is kept for the
+    # final catch-up read of the (dead) primary's WAL *file*.
+    follow: tuple[str, int, str] | None = None
+    follow_poll_s: float = 0.05
 
 
 def _worker_main(spec: WorkerSpec) -> None:
@@ -123,8 +136,9 @@ def _worker_main(spec: WorkerSpec) -> None:
     import signal
 
     from repro.serve.http import EvaluationHTTPServer
+    from repro.serve.replication import WalApplier, WalFollower, WorkerController
     from repro.serve.service import EvaluationService
-    from repro.serve.wal import WriteAheadLog, recover
+    from repro.serve.wal import recover
 
     def _terminate(signum, frame):
         raise SystemExit(0)
@@ -159,18 +173,43 @@ def _worker_main(spec: WorkerSpec) -> None:
 
         service.ingest = _slow_ingest.__get__(service, _ES)
     wal = WriteAheadLog(spec.wal_dir)
-    report = recover(service, wal)
+    # One applier per worker, shared by boot recovery, the streaming
+    # follower (standbys) and /control/adopt (all roles — rebalance
+    # ships runs to primaries too).  Recovery warms its run-spec cache;
+    # once the WAL is attached, everything it applies is re-logged.
+    applier = WalApplier(service)
+    report = recover(service, wal, applier=applier)
     service.attach_wal(wal)
     if spec.verbose or report.runs_restored:
         print(f"[shard {spec.shard}] recovery: {report.summary()}", flush=True)
     server = EvaluationHTTPServer(
         (spec.host, spec.port), service, verbose=spec.verbose
     )
+    server.ring_epoch = spec.ring_epoch
+    follower = None
+    if spec.follow is not None:
+        primary_host, primary_port, primary_wal_dir = spec.follow
+        follower = WalFollower(
+            applier,
+            primary_host,
+            primary_port,
+            primary_wal_dir=primary_wal_dir,
+            # Resume from our own WAL length: every applied record was
+            # re-logged, so this is a safe (at worst conservative) bound
+            # on the primary sequence already absorbed.
+            start_seq=wal.next_seq,
+            poll_s=spec.follow_poll_s,
+            registry=service.obs.registry,
+        )
+        follower.start()
+    server.controller = WorkerController(server, service, applier, follower=follower)
     try:
         server.serve_forever()
     except (KeyboardInterrupt, SystemExit):
         pass
     finally:
+        if follower is not None:
+            follower.stop()
         server.server_close()
         service.close()
         wal.close()
@@ -196,6 +235,23 @@ def _http_get_json(
     finally:
         conn.close()
     return response.status, json.loads(body)
+
+
+def _http_post_json(
+    host: str, port: int, path: str, payload: dict, timeout_s: float
+) -> tuple[int, dict]:
+    """One JSON POST against a worker (the supervisor's control plane)."""
+    conn = HTTPConnection(host, port, timeout=timeout_s)
+    try:
+        body = json.dumps(payload).encode()
+        conn.request(
+            "POST", path, body=body, headers={"Content-Type": "application/json"}
+        )
+        response = conn.getresponse()
+        data = response.read()
+    finally:
+        conn.close()
+    return response.status, json.loads(data)
 
 
 # -------------------------------------------------------------------- topology
@@ -231,6 +287,7 @@ class StaticTopology:
             for shard in workers
         }
         self.retry_after_hint_s = retry_after_hint_s
+        self.ring_epoch = 0
 
     def address(self, shard) -> tuple[str, int]:
         return self._addresses[shard]
@@ -244,10 +301,15 @@ class StaticTopology:
     def retry_after_s(self, shard) -> float:
         return self.retry_after_hint_s
 
+    def dual_target(self, key: str):
+        """No rebalance machinery here; writes never need a second copy."""
+        return None
+
     def describe(self) -> dict:
         return {
             "replicas": self.ring.replicas,
             "supervised": False,
+            "ring_epoch": self.ring_epoch,
             "shards": {
                 str(shard): {
                     "address": list(self._addresses[shard]),
@@ -282,6 +344,7 @@ class ClusterSupervisor:
         host: str = "127.0.0.1",
         worker_ports: list[int] | None = None,
         replicas: int = 64,
+        standby_replicas: int = 0,
         cache_bytes: int = 64 * 1024 * 1024,
         max_workers: int = 4,
         query_deadline_ms: float | None = None,
@@ -297,10 +360,19 @@ class ClusterSupervisor:
         ready_timeout_s: float = 60.0,
         max_respawns: int = 20,
         retry_after_hint_s: float = 3.0,
+        respawn_backoff_base_s: float = 0.5,
+        respawn_backoff_cap_s: float = 30.0,
+        backoff_stability_s: float = 5.0,
+        backoff_seed: int = 0,
+        follow_poll_s: float = 0.05,
         verbose: bool = False,
     ) -> None:
         if n_shards <= 0:
             raise ValueError(f"n_shards must be positive, got {n_shards}")
+        if standby_replicas not in (0, 1):
+            raise ValueError(
+                f"standby_replicas must be 0 or 1, got {standby_replicas}"
+            )
         if worker_ports is not None and len(worker_ports) != n_shards:
             raise ValueError(
                 f"worker_ports has {len(worker_ports)} entries "
@@ -311,13 +383,34 @@ class ClusterSupervisor:
         # mid-operation can deadlock before it ever reaches exec.
         self._ctx = multiprocessing.get_context("spawn")
         self.ring = HashRing(range(n_shards), replicas=replicas)
+        self.ring_epoch = 0
+        self.standby_replicas = standby_replicas
         self.probe_interval_s = probe_interval_s
         self.probe_timeout_s = probe_timeout_s
         self.ready_timeout_s = ready_timeout_s
         self.max_respawns = max_respawns
         self.retry_after_hint_s = retry_after_hint_s
+        self.follow_poll_s = follow_poll_s
         self.verbose = verbose
-        wal_root = Path(wal_root)
+        self._wal_root = Path(wal_root)
+        self._host = host
+        self._spec_defaults = dict(
+            cache_bytes=cache_bytes,
+            max_workers=max_workers,
+            query_deadline_ms=query_deadline_ms,
+            admission_limit=admission_limit,
+            breaker_failures=breaker_failures,
+            breaker_reset_s=breaker_reset_s,
+            chaos_ingest_ms=chaos_ingest_ms,
+            trace=trace,
+            verbose=verbose,
+        )
+        self._probe_failures = probe_failures
+        self._probe_reset_s = probe_reset_s
+        self._backoff_base_s = respawn_backoff_base_s
+        self._backoff_cap_s = respawn_backoff_cap_s
+        self.backoff_stability_s = backoff_stability_s
+        self._backoff_seed = backoff_seed
         self.specs: dict[int, WorkerSpec] = {}
         for shard in range(n_shards):
             port = (
@@ -325,30 +418,65 @@ class ClusterSupervisor:
                 if worker_ports is not None
                 else _free_port(host)
             )
-            self.specs[shard] = WorkerSpec(
-                shard=shard,
-                host=host,
-                port=port,
-                wal_dir=str(wal_root / f"shard-{shard}"),
-                cache_bytes=cache_bytes,
-                max_workers=max_workers,
-                query_deadline_ms=query_deadline_ms,
-                admission_limit=admission_limit,
-                breaker_failures=breaker_failures,
-                breaker_reset_s=breaker_reset_s,
-                chaos_ingest_ms=chaos_ingest_ms,
-                trace=trace,
-                verbose=verbose,
+            self.specs[shard] = self._make_spec(
+                shard, port, str(self._wal_root / f"shard-{shard}")
             )
         self._procs: dict[int, multiprocessing.process.BaseProcess] = {}
-        self._breakers = {
-            shard: CircuitBreaker(probe_failures, probe_reset_s)
-            for shard in self.specs
-        }
-        self.respawns = {shard: 0 for shard in self.specs}
+        self._breakers: dict[int, CircuitBreaker] = {}
+        self._backoffs: dict[int, Backoff] = {}
+        self._respawned_at: dict[int, float] = {}
+        self.respawns: dict[int, int] = {}
+        for shard in self.specs:
+            self._init_shard_state(shard)
+        # Standby bookkeeping: spec + proc per shard, and a generation
+        # counter so each standby incarnation gets a fresh WAL directory
+        # (a promoted standby keeps its own; its replacement must not
+        # inherit it).
+        self._standby_specs: dict[int, WorkerSpec] = {}
+        self._standby_procs: dict[int, multiprocessing.process.BaseProcess] = {}
+        self._standby_backoffs: dict[int, Backoff] = {}
+        self._standby_generation: dict[int, int] = {}
+        self._standby_spawned_at: dict[int, float] = {}
+        self.promotions: dict[int, int] = {shard: 0 for shard in self.specs}
+        # Online-rebalance state: one resize at a time; while one is in
+        # flight, _pending_ring drives dual-writes (router asks
+        # dual_target per key) and _rebalance is what /cluster reports.
+        self._resize_lock = threading.Lock()
+        self._pending_ring: HashRing | None = None
+        self._rebalance: dict | None = None
         self._stop = threading.Event()
         self._wake = threading.Event()
         self._monitor: threading.Thread | None = None
+
+    def _make_spec(
+        self,
+        shard: int,
+        port: int,
+        wal_dir: str,
+        *,
+        follow: tuple[str, int, str] | None = None,
+    ) -> WorkerSpec:
+        return WorkerSpec(
+            shard=shard,
+            host=self._host,
+            port=port,
+            wal_dir=wal_dir,
+            ring_epoch=self.ring_epoch,
+            follow=follow,
+            follow_poll_s=self.follow_poll_s,
+            **self._spec_defaults,
+        )
+
+    def _init_shard_state(self, shard: int) -> None:
+        self._breakers[shard] = CircuitBreaker(
+            self._probe_failures, self._probe_reset_s
+        )
+        self._backoffs[shard] = Backoff(
+            self._backoff_base_s,
+            self._backoff_cap_s,
+            seed=self._backoff_seed + shard,
+        )
+        self.respawns[shard] = 0
 
     # ---------------------------------------------------------- lifecycle
 
@@ -359,6 +487,12 @@ class ClusterSupervisor:
         deadline = time.monotonic() + self.ready_timeout_s
         for shard in self.specs:
             self._wait_ready(shard, deadline)
+        if self.standby_replicas:
+            for shard in list(self.specs):
+                self._spawn_standby(shard)
+            deadline = time.monotonic() + self.ready_timeout_s
+            for shard in list(self._standby_specs):
+                self._wait_standby_ready(shard, deadline)
         self._monitor = threading.Thread(
             target=self._monitor_loop,
             daemon=True,
@@ -373,10 +507,11 @@ class ClusterSupervisor:
         self._wake.set()
         if self._monitor is not None:
             self._monitor.join(timeout=10)
-        for proc in self._procs.values():
+        procs = list(self._procs.values()) + list(self._standby_procs.values())
+        for proc in procs:
             if proc.is_alive():
                 proc.terminate()
-        for proc in self._procs.values():
+        for proc in procs:
             proc.join(timeout=10)
             if proc.is_alive():  # pragma: no cover - stuck-worker backstop
                 proc.kill()
@@ -389,6 +524,11 @@ class ClusterSupervisor:
         self.stop()
 
     def _spawn(self, shard: int):
+        # Respawns inherit the *current* ring epoch, not the boot one —
+        # a worker reborn mid-rebalance must come up already fenced.
+        self.specs[shard] = dataclasses.replace(
+            self.specs[shard], ring_epoch=self.ring_epoch
+        )
         proc = self._ctx.Process(
             target=_worker_main,
             args=(self.specs[shard],),
@@ -416,17 +556,124 @@ class ClusterSupervisor:
                 )
             time.sleep(0.05)
 
+    # ----------------------------------------------------------- standbys
+
+    def _spawn_standby(self, shard: int) -> None:
+        """Start a fresh warm standby tailing ``shard``'s primary."""
+        primary = self.specs[shard]
+        generation = self._standby_generation.get(shard, 0) + 1
+        self._standby_generation[shard] = generation
+        spec = self._make_spec(
+            shard,
+            _free_port(self._host),
+            str(self._wal_root / f"shard-{shard}-standby-g{generation}"),
+            follow=(primary.host, primary.port, primary.wal_dir),
+        )
+        self._standby_specs[shard] = spec
+        self._standby_spawned_at[shard] = time.monotonic()
+        self._standby_backoffs.setdefault(
+            shard,
+            Backoff(
+                self._backoff_base_s,
+                self._backoff_cap_s,
+                seed=self._backoff_seed + 10_000 + shard,
+            ),
+        )
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(spec,),
+            name=f"repro-shard-{shard}-standby",
+            daemon=True,
+        )
+        proc.start()
+        self._standby_procs[shard] = proc
+
+    def _wait_standby_ready(self, shard: int, deadline: float) -> None:
+        spec = self._standby_specs[shard]
+        while True:
+            if self._probe_addr(spec.host, spec.port):
+                return
+            proc = self._standby_procs[shard]
+            if not proc.is_alive() and proc.exitcode is not None:
+                raise RuntimeError(
+                    f"standby for shard {shard} died during startup "
+                    f"(exit code {proc.exitcode})"
+                )
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"standby for shard {shard} not ready on "
+                    f"{spec.host}:{spec.port} within {self.ready_timeout_s}s"
+                )
+            time.sleep(0.05)
+
+    def _try_promote(self, shard: int, *, reason: str) -> bool:
+        """Promote ``shard``'s standby to primary; ``False`` → cold respawn.
+
+        On success the standby's address *becomes* the shard's address
+        (the router routes by spec, not pid), its final catch-up drains
+        straight from the dead primary's WAL file, and a replacement
+        standby is spawned behind the new primary.
+        """
+        spec = self._standby_specs.get(shard)
+        proc = self._standby_procs.get(shard)
+        if spec is None or proc is None or not proc.is_alive():
+            return False
+        old_primary = self.specs[shard]
+        try:
+            status, body = _http_post_json(
+                spec.host,
+                spec.port,
+                "/control/promote",
+                {"primary_wal_dir": old_primary.wal_dir},
+                max(self.probe_timeout_s * 5, 10.0),
+            )
+        except (OSError, HTTPException, ValueError):
+            return False
+        if status != 200:
+            if self.verbose:
+                print(
+                    f"[cluster] standby for shard {shard} refused promotion "
+                    f"({status}: {body.get('error')}); falling back to respawn",
+                    flush=True,
+                )
+            return False
+        self.promotions[shard] += 1
+        del self._standby_specs[shard]
+        del self._standby_procs[shard]
+        # The promoted worker sheds its follow role and is the shard now.
+        self.specs[shard] = dataclasses.replace(
+            spec, follow=None, ring_epoch=self.ring_epoch
+        )
+        self._procs[shard] = proc
+        self._breakers[shard].record_success()
+        self._backoffs[shard].reset()
+        if self.verbose:
+            print(
+                f"[cluster] promoted standby to shard {shard} ({reason}; "
+                f"caught up {body.get('drained', 0)} record(s) from the "
+                "primary's WAL file)",
+                flush=True,
+            )
+        if self.standby_replicas and not self._stop.is_set():
+            # New warm standby behind the promoted primary; the monitor
+            # confirms its readiness on later ticks.
+            self._spawn_standby(shard)
+        return True
+
     # ---------------------------------------------------------- monitoring
 
-    def _probe(self, shard: int) -> bool:
-        spec = self.specs[shard]
+    def _probe_addr(self, host: str, port: int) -> bool:
         try:
             status, _ = _http_get_json(
-                spec.host, spec.port, "/healthz", self.probe_timeout_s
+                host, port, "/healthz", self.probe_timeout_s
             )
         except (OSError, HTTPException, ValueError):
             return False
         return status == 200
+
+    def _probe(self, shard: int) -> bool:
+        spec = self.specs[shard]
+        return self._probe_addr(spec.host, spec.port)
 
     def _monitor_loop(self) -> None:
         while not self._stop.is_set():
@@ -437,17 +684,20 @@ class ClusterSupervisor:
             for shard in list(self.specs):
                 if self._stop.is_set():
                     return
-                proc = self._procs[shard]
+                proc = self._procs.get(shard)
+                if proc is None:
+                    continue  # retired mid-iteration by a resize
                 if not proc.is_alive():
-                    self._respawn(
-                        shard, reason=f"process exited ({proc.exitcode})"
-                    )
+                    reason = f"process exited ({proc.exitcode})"
+                    if not self._try_promote(shard, reason=reason):
+                        self._respawn(shard, reason=reason)
                     continue
                 breaker = self._breakers[shard]
                 if not breaker.allow():
                     continue  # open, not yet probe time: skip this tick
                 if self._probe(shard):
                     breaker.record_success()
+                    self._maybe_reset_backoff(shard)
                 else:
                     breaker.record_failure()
                     if breaker.state == CircuitBreaker.OPEN:
@@ -455,16 +705,59 @@ class ClusterSupervisor:
                         # wedged.  Replace it like a death.
                         proc.kill()
                         proc.join(timeout=10)
-                        self._respawn(
-                            shard, reason="unresponsive (breaker open)"
+                        reason = "unresponsive (breaker open)"
+                        if not self._try_promote(shard, reason=reason):
+                            self._respawn(shard, reason=reason)
+            for shard in list(self._standby_specs):
+                if self._stop.is_set():
+                    return
+                proc = self._standby_procs.get(shard)
+                if proc is None:
+                    continue
+                backoff = self._standby_backoffs[shard]
+                if proc.is_alive():
+                    spawned_at = self._standby_spawned_at.get(shard, 0.0)
+                    if (
+                        backoff.attempts
+                        and time.monotonic() - spawned_at
+                        >= self.backoff_stability_s
+                    ):
+                        backoff.reset()
+                elif backoff.ready():
+                    backoff.record_failure()
+                    if self.verbose:
+                        print(
+                            f"[cluster] respawning standby for shard "
+                            f"{shard} (exit {proc.exitcode})",
+                            flush=True,
                         )
+                    self._spawn_standby(shard)
+
+    def _maybe_reset_backoff(self, shard: int) -> None:
+        backoff = self._backoffs[shard]
+        if backoff.attempts == 0:
+            return
+        respawned_at = self._respawned_at.get(shard)
+        if (
+            respawned_at is None
+            or time.monotonic() - respawned_at >= self.backoff_stability_s
+        ):
+            backoff.reset()
 
     def _respawn(self, shard: int, *, reason: str) -> None:
         if self._stop.is_set():
             return
         if self.respawns[shard] >= self.max_respawns:
             return  # crash loop: leave it down, the router serves 503s
+        backoff = self._backoffs[shard]
+        if not backoff.ready():
+            return  # crash-looping: the armed delay gates this tick
         self.respawns[shard] += 1
+        # Arm the delay before the *next* attempt now; a healthy worker
+        # resets it after backoff_stability_s of good probes, so only a
+        # true crash loop ever waits the exponential schedule out.
+        backoff.record_failure()
+        self._respawned_at[shard] = time.monotonic()
         if self.verbose:
             print(
                 f"[cluster] respawning shard {shard} "
@@ -496,23 +789,276 @@ class ClusterSupervisor:
     def retry_after_s(self, shard) -> float:
         return self.retry_after_hint_s
 
+    def dual_target(self, key: str):
+        """The shard a write must *also* land on during a rebalance.
+
+        ``None`` outside a handoff window, or when the pending ring
+        agrees with the live one for ``key``.  Computed live against the
+        pending ring (not the precomputed move set) so runs *created
+        during* the window are dual-written too — otherwise a run minted
+        mid-rebalance could become unreachable after the epoch flip.
+        """
+        pending = self._pending_ring
+        if pending is None:
+            return None
+        dest = pending.shard_for(key)
+        if dest == self.ring.shard_for(key):
+            return None
+        return dest
+
     def describe(self) -> dict:
         shards = {}
         for shard, spec in self.specs.items():
             proc = self._procs.get(shard)
-            shards[str(shard)] = {
+            entry = {
                 "address": [spec.host, spec.port],
                 "wal_dir": spec.wal_dir,
                 "pid": proc.pid if proc is not None else None,
                 "alive": proc.is_alive() if proc is not None else False,
                 "breaker": self._breakers[shard].stats(),
                 "respawns": self.respawns[shard],
+                "respawn_backoff_s": round(
+                    self._backoffs[shard].remaining_s(), 3
+                ),
+                "promotions": self.promotions.get(shard, 0),
             }
+            standby_spec = self._standby_specs.get(shard)
+            if standby_spec is not None:
+                standby_proc = self._standby_procs.get(shard)
+                entry["standby"] = {
+                    "address": [standby_spec.host, standby_spec.port],
+                    "wal_dir": standby_spec.wal_dir,
+                    "pid": standby_proc.pid if standby_proc is not None else None,
+                    "alive": (
+                        standby_proc.is_alive()
+                        if standby_proc is not None
+                        else False
+                    ),
+                    "generation": self._standby_generation.get(shard, 0),
+                }
+            shards[str(shard)] = entry
+        rebalance = self._rebalance
         return {
             "replicas": self.ring.replicas,
             "supervised": True,
+            "ring_epoch": self.ring_epoch,
+            "standby_replicas": self.standby_replicas,
+            "rebalance": dict(rebalance) if rebalance is not None else None,
             "shards": shards,
         }
+
+    # ------------------------------------------------------------ rebalance
+
+    def resize(self, n_target: int) -> dict:
+        """Online-resize the cluster to ``n_target`` shards; zero downtime.
+
+        The protocol (one resize at a time; a concurrent call gets a
+        typed 409):
+
+        1. **Grow**: spawn the added shards (and their standbys) and
+           wait until they answer ``/healthz`` — the live ring is
+           untouched, so traffic is unaffected.
+        2. **Plan**: collect every registered run id from the current
+           owners' WAL *files* (death-proof: a SIGKILLed source's runs
+           still move) and compute the exact move set with
+           :meth:`HashRing.plan_resize`.
+        3. **Dual-write window**: the router starts copying every
+           accepted write whose key moves (computed live against the
+           pending ring) to its future owner as well.
+        4. **Migrate**: ship each moving run's WAL subset (register +
+           ingests, checksummed frames) to its new owner via
+           ``/control/adopt`` — idempotent and digest-verified, with
+           retries riding out a worker death mid-migration.
+        5. **Flip**: swap the live ring, bump ``ring_epoch``, broadcast
+           it to every worker (stale-epoch writes now 409), close the
+           dual-write window.
+        6. **Shrink**: terminate shards no longer on the ring.
+        """
+        if n_target <= 0:
+            raise ValueError(f"shard count must be positive, got {n_target}")
+        if not self._resize_lock.acquire(blocking=False):
+            raise ApiError(409, "a rebalance is already in progress")
+        try:
+            return self._resize_locked(n_target)
+        finally:
+            self._pending_ring = None
+            self._rebalance = None
+            self._resize_lock.release()
+
+    def _resize_locked(self, n_target: int) -> dict:
+        current = sorted(self.specs)
+        n_current = len(current)
+        if n_target == n_current:
+            return {
+                "ring_epoch": self.ring_epoch,
+                "from": n_current,
+                "to": n_target,
+                "moved": 0,
+                "runs_moved": [],
+            }
+        added = [s for s in range(n_target) if s not in self.specs]
+        removed = [s for s in current if s >= n_target]
+        self._rebalance = {
+            "phase": "spawning",
+            "from": n_current,
+            "to": n_target,
+            "moved": 0,
+            "total": None,
+        }
+        for shard in added:
+            self.specs[shard] = self._make_spec(
+                shard,
+                _free_port(self._host),
+                str(self._wal_root / f"shard-{shard}"),
+            )
+            self._init_shard_state(shard)
+            self.promotions.setdefault(shard, 0)
+            self._procs[shard] = self._spawn(shard)
+        deadline = time.monotonic() + self.ready_timeout_s
+        for shard in added:
+            self._wait_ready(shard, deadline)
+        if self.standby_replicas:
+            for shard in added:
+                self._spawn_standby(shard)
+        # Open the dual-write window *before* scanning for keys: a run
+        # registered concurrently is then either in the scan (and gets
+        # migrated) or was dual-written to its future owner already —
+        # opening after the scan would leave a gap where it is neither.
+        self._pending_ring = HashRing(
+            range(n_target), replicas=self.ring.replicas
+        )
+        keys: list[str] = []
+        for shard in current:
+            entries, _, _ = scan_wal(
+                Path(self.specs[shard].wal_dir) / WriteAheadLog.FILENAME
+            )
+            keys.extend(
+                str(entry.payload["run_id"])
+                for entry in entries
+                if entry.kind == REGISTER and entry.payload.get("run_id")
+            )
+        plan = self.ring.plan_resize(range(n_target), keys)
+        # Only ship runs whose *current ring owner* is the scan source —
+        # a run that migrated in an earlier resize still sits in its old
+        # owner's WAL file, but the ring no longer maps it there.
+        self._rebalance.update(phase="migrating", total=len(plan.moves))
+        try:
+            for key in sorted(plan.moves):
+                source, dest = plan.moves[key]
+                self._migrate_run(key, source, dest)
+                self._rebalance["moved"] += 1
+            # Flip order matters: new ring first (reads route to owners
+            # that now hold the data), then the epoch fence, and only
+            # then the dual-write window closes — a write routed by the
+            # old ring in flight during the flip either lands before the
+            # fence (dual-written, so both owners have it) or answers a
+            # typed 409 the router retries against the fresh ring.
+            self.ring = plan.new_ring
+            self.ring_epoch += 1
+            self._broadcast_epoch()
+        finally:
+            self._pending_ring = None
+        self._rebalance["phase"] = "retiring"
+        for shard in removed:
+            self._retire(shard)
+        if self.verbose:
+            print(
+                f"[cluster] resized {n_current} -> {n_target} shards "
+                f"(epoch {self.ring_epoch}, {len(plan.moves)} run(s) moved)",
+                flush=True,
+            )
+        return {
+            "ring_epoch": self.ring_epoch,
+            "from": n_current,
+            "to": n_target,
+            "moved": len(plan.moves),
+            "runs_moved": sorted(plan.moves),
+        }
+
+    def _migrate_run(self, run_id: str, source: int, dest: int) -> None:
+        """Ship one run's WAL subset from ``source``'s file to ``dest``.
+
+        Reads the *file*, not the process — a SIGKILLed source mid-
+        rebalance doesn't lose the move; and retries the adopt POST
+        while the monitor thread recovers whichever side died (the
+        applier's idempotence makes re-shipping free).
+        """
+        deadline = time.monotonic() + self.ready_timeout_s
+        attempt = 0
+        last_error: str = "never attempted"
+        while True:
+            source_wal = Path(self.specs[source].wal_dir) / WriteAheadLog.FILENAME
+            entries, _, _ = scan_wal(source_wal)
+            frames = [
+                entry.frame()
+                for entry in entries
+                if str(entry.payload.get("run_id")) == run_id
+            ]
+            dest_spec = self.specs[dest]
+            try:
+                status, body = _http_post_json(
+                    dest_spec.host,
+                    dest_spec.port,
+                    "/control/adopt",
+                    {"frames": frames},
+                    self.ready_timeout_s,
+                )
+            except (OSError, HTTPException, ValueError) as exc:
+                status, body = 0, {"error": f"{type(exc).__name__}: {exc}"}
+            if status == 200:
+                return
+            if status == 409:
+                # Digest divergence: retrying cannot fix it.
+                raise RuntimeError(
+                    f"shard {dest} rejected run {run_id!r}: {body.get('error')}"
+                )
+            last_error = f"{status}: {body.get('error')}"
+            attempt += 1
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"could not ship run {run_id!r} from shard {source} to "
+                    f"shard {dest} within {self.ready_timeout_s}s "
+                    f"(last error {last_error})"
+                )
+            self._wake.set()  # nudge the monitor at whichever side died
+            time.sleep(min(2.0, 0.2 * attempt))
+
+    def _broadcast_epoch(self) -> None:
+        for shard, spec in list(self.specs.items()):
+            try:
+                _http_post_json(
+                    spec.host,
+                    spec.port,
+                    "/control/epoch",
+                    {"ring_epoch": self.ring_epoch},
+                    self.probe_timeout_s,
+                )
+            except (OSError, HTTPException, ValueError):
+                # Unreachable now → it is either dead (a respawn inherits
+                # the epoch through its spec) or about to be retired.
+                pass
+
+    def _retire(self, shard: int) -> None:
+        """Stop a shard removed from the ring (its WAL dir is left on disk)."""
+        standby = self._standby_procs.pop(shard, None)
+        self._standby_specs.pop(shard, None)
+        self._standby_backoffs.pop(shard, None)
+        self._standby_spawned_at.pop(shard, None)
+        proc = self._procs.pop(shard, None)
+        self.specs.pop(shard, None)
+        self._breakers.pop(shard, None)
+        self._backoffs.pop(shard, None)
+        self.respawns.pop(shard, None)
+        self._respawned_at.pop(shard, None)
+        for victim in (proc, standby):
+            if victim is not None and victim.is_alive():
+                victim.terminate()
+        for victim in (proc, standby):
+            if victim is not None:
+                victim.join(timeout=10)
+                if victim.is_alive():  # pragma: no cover - backstop
+                    victim.kill()
+                    victim.join(timeout=5)
 
 
 # ---------------------------------------------------------------------- router
@@ -533,8 +1079,14 @@ class _ProxyResult:
 
 
 # Response headers the router relays from a worker: the resilience
-# contract's retry hint and the 405 contract's method list.
-_RELAYED_HEADERS = ("Retry-After", "Allow")
+# contract's retry hint, the 405 contract's method list, and the epoch
+# a fencing 409 carries.
+_RELAYED_HEADERS = ("Retry-After", "Allow", "X-Repro-Ring-Epoch")
+
+# Auto-minted run ids (`{kind}-c{n}`): the seed scan after a router
+# restart parses these out of the shards' /runs so the counter resumes
+# past every id any previous router handed out.
+_AUTO_ID_RE = re.compile(r"^(?:hfl|vfl)-c(\d+)$")
 
 
 def _router_allowed_methods(parts: list[str]) -> frozenset[str] | None:
@@ -544,6 +1096,8 @@ def _router_allowed_methods(parts: list[str]) -> frozenset[str] | None:
         return frozenset({"GET", "POST"})
     if len(parts) == 3 and parts[0] == "runs" and parts[2] in _RUN_ENDPOINTS:
         return frozenset({"GET"})
+    if parts == ["cluster", "resize"]:
+        return frozenset({"POST"})
     return None
 
 
@@ -581,6 +1135,24 @@ class _RouterHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _dispatch(self, handler) -> None:
+        # Graceful drain: once begin_drain() fires, refuse new work with
+        # the ladder's typed 503 + Retry-After (health checks still
+        # answer, so orchestrators see the drain, not an outage) while
+        # already-admitted requests run to completion below.
+        if self.server.draining and urlparse(self.path).path != "/healthz":  # type: ignore[attr-defined]
+            self._send_body(
+                {"error": "router is draining; not accepting new requests"},
+                503,
+                {"Retry-After": str(max(1, int(self.server.drain_retry_after_s)))},  # type: ignore[attr-defined]
+            )
+            return
+        self.server.in_flight.inc()  # type: ignore[attr-defined]
+        try:
+            self._dispatch_admitted(handler)
+        finally:
+            self.server.in_flight.dec()  # type: ignore[attr-defined]
+
+    def _dispatch_admitted(self, handler) -> None:
         started = time.perf_counter()
         headers: dict = {}
         obs = self.server.obs  # type: ignore[attr-defined]
@@ -656,6 +1228,7 @@ class _RouterHandler(BaseHTTPRequestHandler):
         method: str,
         path: str,
         body: bytes | None = None,
+        extra_headers: dict | None = None,
     ) -> _ProxyResult:
         """One request to ``shard``, through its breaker, typed on failure.
 
@@ -684,6 +1257,8 @@ class _RouterHandler(BaseHTTPRequestHandler):
         )
         if body is not None:
             headers["Content-Type"] = "application/json"
+        if extra_headers:
+            headers.update(extra_headers)
         timeout_s = self.server.proxy_timeout_s  # type: ignore[attr-defined]
         conn = HTTPConnection(host, port, timeout=timeout_s)
         try:
@@ -789,23 +1364,90 @@ class _RouterHandler(BaseHTTPRequestHandler):
 
     def _route_post(self):
         parts = [p for p in urlparse(self.path).path.split("/") if p]
+        if parts == ["cluster", "resize"]:
+            return self._route_resize(), 200
         if parts != ["runs"]:
             self._method_not_allowed(parts, "POST")
         spec = read_json_body(self)
         # The ring routes on run_id, so one must exist *before* the
         # worker is chosen: the router mints ids the worker would have.
         run_id = spec.get("run_id")
-        if not run_id:
+        minted = run_id is None or run_id == ""
+        if minted:
             kind = spec.get("kind")
             if kind not in ("hfl", "vfl"):
                 raise ApiError(400, "kind must be 'hfl' or 'vfl'")
             run_id = f"{kind}-c{self.server.next_auto_id()}"  # type: ignore[attr-defined]
             spec["run_id"] = run_id
-        shard = self.topology.ring.shard_for(str(run_id))
-        result = self._proxy_raw(
-            shard, "POST", "/runs", body=json.dumps(spec).encode()
-        )
+        for attempt in range(3):
+            result = self._proxy_write("/runs", spec)
+            if (
+                result.status == 409
+                and "X-Repro-Ring-Epoch" in result.headers
+                and attempt == 0
+            ):
+                # The worker is fenced at a newer ring epoch than the one
+                # this write was stamped with: a rebalance flipped the
+                # ring mid-flight.  Re-resolve against the (now fresh)
+                # ring and retry once — the fence exists exactly so this
+                # race is a retry, not a misplaced write.
+                continue
+            if (
+                minted
+                and result.status == 400
+                and b"already registered" in result.body
+            ):
+                # A previous router (or a raced sibling) already handed
+                # this id out; mint the next one and retry.  Bounded:
+                # the seed scan makes collisions a one-off, not a walk.
+                run_id = f"{spec['kind']}-c{self.server.next_auto_id()}"  # type: ignore[attr-defined]
+                spec["run_id"] = run_id
+                continue
+            break
         return result, result.status
+
+    def _proxy_write(self, path: str, spec: dict) -> _ProxyResult:
+        """One routed write: epoch-stamped, dual-written during rebalance."""
+        topology = self.topology
+        run_id = str(spec["run_id"])
+        shard = topology.ring.shard_for(run_id)
+        epoch_stamp = {
+            "X-Repro-Ring-Epoch": str(getattr(topology, "ring_epoch", 0))
+        }
+        body = json.dumps(spec).encode()
+        result = self._proxy_raw(
+            shard, "POST", path, body=body, extra_headers=epoch_stamp
+        )
+        if result.status < 400:
+            dual = topology.dual_target(run_id)
+            if dual is not None and dual != shard:
+                # Handoff window: the key's future owner gets a copy so
+                # the epoch flip never strands an accepted write.  A
+                # failed copy is counted, not fatal — the migration pass
+                # re-ships the run's WAL subset anyway.
+                try:
+                    self._proxy_raw(
+                        dual, "POST", path, body=body, extra_headers=epoch_stamp
+                    )
+                except (ShardUnavailable, ShardTimeout):
+                    self.server.obs.registry.counter(  # type: ignore[attr-defined]
+                        "repro_router_dual_write_failures_total",
+                        help="rebalance dual-writes that could not reach "
+                        "the future owner",
+                    ).inc()
+        return result
+
+    def _route_resize(self) -> dict:
+        body = read_json_body(self)
+        shards = body.get("shards")
+        if not isinstance(shards, int) or isinstance(shards, bool) or shards <= 0:
+            raise ApiError(400, "body must carry a positive integer 'shards'")
+        resize = getattr(self.topology, "resize", None)
+        if resize is None:
+            raise ApiError(
+                400, "this topology is static and cannot be resized"
+            )
+        return resize(shards)
 
     # --------------------------------------------------------- aggregation
 
@@ -832,7 +1474,7 @@ class _RouterHandler(BaseHTTPRequestHandler):
         }
 
     def _aggregate_runs(self) -> dict:
-        runs: list[dict] = []
+        collected: list[tuple[object, dict]] = []
         unavailable: list[dict] = []
         for shard in self._sorted_shards():
             try:
@@ -842,7 +1484,24 @@ class _RouterHandler(BaseHTTPRequestHandler):
                 continue
             for run in payload.get("runs", []):
                 run["shard"] = str(shard)
-                runs.append(run)
+                collected.append((shard, run))
+        # A rebalance leaves the moved run's WAL (and registry entry) on
+        # its old owner too; the ring decides which copy is canonical.
+        # Runs registered out-of-band (no ring owner among the queried
+        # shards) stay visible as long as no owned copy shadows them.
+        owned: dict = {}
+        extras: list[dict] = []
+        for shard, run in collected:
+            run_id = run.get("run_id")
+            if run_id is not None and str(
+                self.topology.ring.shard_for(str(run_id))
+            ) == str(shard):
+                owned[run_id] = run
+            else:
+                extras.append(run)
+        runs = list(owned.values()) + [
+            run for run in extras if run.get("run_id") not in owned
+        ]
         return {"runs": runs, "unavailable": unavailable}
 
     def _aggregate_metrics(self) -> dict:
@@ -923,10 +1582,73 @@ class ClusterRouter(ThreadingHTTPServer):
             help="router wall time, routing through response write",
             exist_ok=True,
         )
+        self.in_flight = Gauge()
+        self.obs.registry.register(
+            "repro_router_requests_in_flight",
+            self.in_flight,
+            help="requests admitted and not yet answered",
+            exist_ok=True,
+        )
+        self.drain_retry_after_s = 5.0
+        self._draining = threading.Event()
+        self._auto_lock = threading.Lock()
+        self._auto_seeded = False
         self._auto_ids = itertools.count(1)
 
+    # -- collision-safe run-id minting ---------------------------------
+
     def next_auto_id(self) -> int:
+        """Mint the next ``{kind}-cN`` counter value.
+
+        The counter is seeded lazily from the shards' ``/runs`` listings
+        so a router restarted over a populated cluster does not re-mint
+        ``hfl-c1``.  Seeding failures fall back to 1 — the handler's
+        ``already registered`` retry loop then walks past collisions.
+        """
+        if not self._auto_seeded:
+            self._seed_auto_ids()
         return next(self._auto_ids)
+
+    def _seed_auto_ids(self) -> None:
+        with self._auto_lock:
+            if self._auto_seeded:
+                return
+            highest = 0
+            for shard in self.topology.ring.shards:
+                try:
+                    host, port = self.topology.address(shard)
+                    status, payload = _http_get_json(
+                        host, port, "/runs", self.proxy_timeout_s
+                    )
+                except (OSError, HTTPException, ValueError):
+                    continue
+                if status != 200:
+                    continue
+                for run in payload.get("runs", []):
+                    match = _AUTO_ID_RE.match(str(run.get("run_id", "")))
+                    if match:
+                        highest = max(highest, int(match.group(1)))
+            self._auto_ids = itertools.count(highest + 1)
+            self._auto_seeded = True
+
+    # -- graceful drain ------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def begin_drain(self) -> None:
+        """Stop admitting requests; in-flight ones keep running."""
+        self._draining.set()
+
+    def await_drained(self, timeout_s: float) -> bool:
+        """Wait for in-flight requests to finish; True when they did."""
+        deadline = time.monotonic() + timeout_s
+        while self.in_flight.value > 0:
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.02)
+        return True
 
     @property
     def port(self) -> int:
@@ -945,6 +1667,8 @@ def serve_cluster(
     n_shards: int = 3,
     *,
     wal_root: str | None = None,
+    standby_replicas: int = 0,
+    drain_deadline_s: float = 10.0,
     cache_bytes: int = 64 * 1024 * 1024,
     max_workers: int = 4,
     query_deadline_ms: float | None = None,
@@ -958,6 +1682,10 @@ def serve_cluster(
     Without ``wal_root`` the WALs live in a fresh temporary directory
     (printed) — failover still replays, but a *cluster* restart starts
     empty.  Point ``--wal-dir`` somewhere durable for that.
+
+    SIGINT/SIGTERM drain rather than drop: the router answers new
+    requests 503 + ``Retry-After``, in-flight ones run to completion (up
+    to ``drain_deadline_s``), then the workers stop.
     """
     if wal_root is None:
         wal_root = tempfile.mkdtemp(prefix="repro-cluster-wal-")
@@ -966,6 +1694,7 @@ def serve_cluster(
         n_shards,
         wal_root=wal_root,
         host=host,
+        standby_replicas=standby_replicas,
         cache_bytes=cache_bytes,
         max_workers=max_workers,
         query_deadline_ms=query_deadline_ms,
@@ -984,18 +1713,52 @@ def serve_cluster(
     print(
         f"repro-serve cluster: router on http://{host}:{router.port}, "
         f"{n_shards} shard worker(s)"
+        + (f", {standby_replicas} standby per shard" if standby_replicas else "")
     )
     for shard, spec in sorted(supervisor.specs.items()):
         print(f"  shard {shard}: http://{spec.host}:{spec.port} "
               f"(wal: {spec.wal_dir})")
     print("endpoints: /healthz /metricz[?format=prometheus] /cluster[?key=] "
-          "/runs /runs/{id}/contributions /runs/{id}/leaderboard "
-          "/runs/{id}/weights /runs/{id}/profile")
+          "POST /cluster/resize /runs /runs/{id}/contributions "
+          "/runs/{id}/leaderboard /runs/{id}/weights /runs/{id}/profile")
+
+    draining = threading.Event()
+
+    def _drain(signum, frame) -> None:
+        if draining.is_set():
+            return
+        draining.set()
+
+        def _finish() -> None:
+            print(
+                f"\ndraining: refusing new requests, waiting up to "
+                f"{drain_deadline_s:.0f}s for in-flight work"
+            )
+            router.begin_drain()
+            if not router.await_drained(drain_deadline_s):
+                print("drain deadline passed with requests still in "
+                      "flight; stopping anyway")
+            # shutdown() must run off the main thread: it blocks until
+            # serve_forever (below, on the main thread) exits its loop.
+            router.shutdown()
+
+        threading.Thread(target=_finish, daemon=True).start()
+
+    previous: dict[int, object] = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _drain)
+        except ValueError:
+            pass  # not the main thread (embedded use); Ctrl-C still works
     try:
         router.serve_forever()
+        if draining.is_set():
+            print("drained; shutting down cluster")
     except KeyboardInterrupt:
         print("\nshutting down cluster")
     finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
         router.server_close()
         supervisor.stop()
     return 0

@@ -11,6 +11,9 @@ Endpoints::
     GET  /runs/{id}/leaderboard?top=k  ranked parties, best first
     GET  /runs/{id}/weights?scheme=s   Eq. 17-18 reweight vector
     GET  /runs/{id}/profile            per-run phase timers (repro.obs)
+    GET  /wal/stream?from_seq=n        checksummed WAL frames (replication)
+    POST /control/{verb}               supervisor plane: status / epoch /
+                                       promote / adopt (cluster workers)
 
 ``POST /runs`` body (JSON)::
 
@@ -224,12 +227,14 @@ def read_json_body(handler) -> dict:
 
 def _allowed_methods(parts: list[str]) -> frozenset[str] | None:
     """The methods a path supports, or ``None`` for an unknown path."""
-    if parts in (["healthz"], ["metricz"]):
+    if parts in (["healthz"], ["metricz"], ["wal", "stream"]):
         return frozenset({"GET"})
     if parts == ["runs"]:
         return frozenset({"GET", "POST"})
     if len(parts) == 3 and parts[0] == "runs" and parts[2] in _RUN_ENDPOINTS:
         return frozenset({"GET"})
+    if len(parts) == 2 and parts[0] == "control":
+        return frozenset({"POST"})
     return None
 
 
@@ -409,14 +414,58 @@ class _Handler(BaseHTTPRequestHandler):
                 return self.service.query("weights", run_id, scheme=scheme), 200
             if endpoint == "profile":
                 return self.service.profile(run_id), 200
+        if parts == ["wal", "stream"]:
+            wal = getattr(self.service, "wal", None)
+            if wal is None:
+                raise ApiError(
+                    404, "no write-ahead log is attached to this worker"
+                )
+            from_seq = int(query.get("from_seq", ["1"])[0])
+            limit = int(query.get("limit", ["512"])[0])
+            return wal.frames_from(from_seq, limit=limit), 200
         raise ApiError(404, f"no such endpoint: GET {url.path}")
 
     def _route_post(self) -> tuple[dict, int]:
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
+        if len(parts) == 2 and parts[0] == "control":
+            controller = getattr(self.server, "controller", None)
+            if controller is None:
+                raise ApiError(404, "this server has no cluster controller")
+            return controller.handle(parts[1], read_json_body(self)), 200
         if parts != ["runs"]:
             self._method_not_allowed(parts, "POST")
+        self._check_ring_epoch()
         return register_from_spec(self.service, read_json_body(self)), 201
+
+    def _check_ring_epoch(self) -> None:
+        """Fence stale-epoch writes during an online rebalance.
+
+        The cluster router stamps proxied writes with the ring epoch it
+        routed by (``X-Repro-Ring-Epoch``); a worker that has been told a
+        newer epoch answers a typed 409 carrying its own epoch, which the
+        router uses to re-route against the refreshed ring instead of
+        landing the write on a shard that no longer owns the key.  Both
+        sides are opt-in: a standalone server (``server.ring_epoch is
+        None``) or an unstamped client skips the check entirely.
+        """
+        fence = getattr(self.server, "ring_epoch", None)
+        header = self.headers.get("X-Repro-Ring-Epoch")
+        if fence is None or header is None:
+            return
+        try:
+            claimed = int(header)
+        except ValueError:
+            raise ApiError(
+                400, f"bad X-Repro-Ring-Epoch header: {header!r}"
+            ) from None
+        if claimed < fence:
+            raise ApiError(
+                409,
+                f"stale ring epoch {claimed}: this worker is fenced at "
+                f"epoch {fence}",
+                headers={"X-Repro-Ring-Epoch": str(fence)},
+            )
 
 
 class EvaluationHTTPServer(ThreadingHTTPServer):
@@ -435,6 +484,11 @@ class EvaluationHTTPServer(ThreadingHTTPServer):
         self.service = service if service is not None else EvaluationService()
         self.request_latency = LatencyHistogram()
         self.verbose = verbose
+        # Cluster plumbing, both off for a standalone server: the worker
+        # bootstrap installs a WorkerController (POST /control/*) and the
+        # current ring epoch (stale-write fencing); see serve/replication.
+        self.controller = None
+        self.ring_epoch: int | None = None
         # exist_ok: a service outliving one HTTP frontend (tests, restarts)
         # re-registers the fresh histogram over the dead one's.
         self.service.obs.registry.register(

@@ -350,6 +350,70 @@ class RetryPolicy:
             yield delay
 
 
+class Backoff:
+    """Capped exponential backoff gate for respawn/crash loops, seeded.
+
+    The cluster supervisor keeps one per shard: every spawn attempt calls
+    :meth:`record_failure`, which arms a not-before deadline of
+    ``min(cap, base · 2^(attempts-1))`` scaled by uniform jitter in
+    ``[0.5, 1.5)`` (seeded, so chaos tests see one schedule).  Until that
+    deadline :meth:`ready` answers ``False`` and the monitor loop skips
+    the respawn instead of hot-spinning on a shard that dies on boot.
+    The first attempt is always immediate — a fresh ``Backoff`` (or one
+    just :meth:`reset` after a stability window of healthy probes) has no
+    deadline armed, so a one-off crash still fails over at probe speed.
+
+    ``clock`` is injectable for deterministic tests; ``remaining_s`` is
+    what ``GET /cluster`` surfaces as ``respawn_backoff_s``.
+    """
+
+    def __init__(
+        self,
+        base_s: float = 0.5,
+        cap_s: float = 30.0,
+        *,
+        seed: int = 0,
+        clock=time.monotonic,
+    ) -> None:
+        if base_s <= 0 or cap_s < base_s:
+            raise ValueError(f"need 0 < base_s <= cap_s, got {base_s} / {cap_s}")
+        self.base_s = base_s
+        self.cap_s = cap_s
+        self.attempts = 0
+        self._clock = clock
+        self._rng = np.random.default_rng(seed)
+        self._not_before = float("-inf")
+        self._lock = threading.Lock()
+
+    def ready(self) -> bool:
+        """May the next spawn attempt proceed now?"""
+        with self._lock:
+            return self._clock() >= self._not_before
+
+    def remaining_s(self) -> float:
+        """Seconds until the next attempt is admitted (0.0 when ready)."""
+        with self._lock:
+            return max(0.0, self._not_before - self._clock())
+
+    def record_failure(self) -> float:
+        """Count one spawn attempt and arm the delay before the next.
+
+        Returns the armed delay in seconds (0 < delay <= 1.5·cap).
+        """
+        with self._lock:
+            self.attempts += 1
+            delay = min(self.cap_s, self.base_s * 2.0 ** (self.attempts - 1))
+            delay *= float(self._rng.uniform(0.5, 1.5))
+            self._not_before = self._clock() + delay
+            return delay
+
+    def reset(self) -> None:
+        """The shard proved stable; the next failure starts over at base."""
+        with self._lock:
+            self.attempts = 0
+            self._not_before = float("-inf")
+
+
 def retry_after_seconds(p95_s: float, depth: int) -> float:
     """A ``Retry-After`` hint from the latency histogram's p95.
 

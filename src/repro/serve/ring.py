@@ -26,7 +26,33 @@ from __future__ import annotations
 import bisect
 import hashlib
 import threading
+from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class ResizePlan:
+    """The exact key-movement set for a ring membership change.
+
+    ``moves`` maps each key whose owner changes to ``(source, dest)``;
+    everything not in it stays put — the minimal-movement ring invariants
+    make that an *exact* statement, which is what lets the supervisor's
+    online rebalance ship only the moving runs' WAL subsets.  ``new_ring``
+    is the post-resize ring, built but not yet live: the caller dual-
+    writes against it during migration and flips to it (bumping the ring
+    epoch) only once every move has landed.
+    """
+
+    old_shards: frozenset
+    new_shards: frozenset
+    added: frozenset
+    removed: frozenset
+    moves: dict = field(default_factory=dict)
+    new_ring: "HashRing" = None
+
+    @property
+    def empty(self) -> bool:
+        return not self.moves and not self.added and not self.removed
 
 
 class HashRing:
@@ -117,3 +143,38 @@ class HashRing:
         for key in keys:
             counts[self.shard_for(key)] += 1
         return counts
+
+    # ------------------------------------------------------------- resize
+
+    def plan_resize(
+        self, new_shards: Iterable[Hashable], keys: Sequence[str]
+    ) -> ResizePlan:
+        """Plan the move set for changing membership to ``new_shards``.
+
+        Builds the would-be ring and diffs ownership of every key in
+        ``keys`` (dense duplicates collapse; order is preserved).  This
+        ring is left untouched — the caller migrates per ``plan.moves``
+        and then adopts ``plan.new_ring`` atomically.  The exact ring
+        invariants bound the plan: pure addition moves keys only *onto*
+        added shards, pure removal moves only the removed shards' keys
+        (``tests/test_cluster_ring.py`` pins both over Hypothesis).
+        """
+        old = self.shards
+        new = frozenset(new_shards)
+        if not new:
+            raise ValueError("cannot resize to an empty ring")
+        new_ring = HashRing(sorted(new, key=str), replicas=self.replicas)
+        moves: dict = {}
+        for key in dict.fromkeys(keys):
+            source = self.shard_for(key)
+            dest = new_ring.shard_for(key)
+            if source != dest:
+                moves[key] = (source, dest)
+        return ResizePlan(
+            old_shards=old,
+            new_shards=new,
+            added=new - old,
+            removed=old - new,
+            moves=moves,
+            new_ring=new_ring,
+        )

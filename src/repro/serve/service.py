@@ -353,6 +353,11 @@ class EvaluationService:
             runs = list(self._runs.values())
         return [run.summary() for run in runs]
 
+    def has_run(self, run_id: str) -> bool:
+        """Is ``run_id`` registered?  (Idempotent-apply guard for replication.)"""
+        with self._registry_lock:
+            return run_id in self._runs
+
     def _run(self, run_id: str) -> _Run:
         with self._registry_lock:
             run = self._runs.get(run_id)

@@ -40,12 +40,7 @@ import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.io import (
-    TrainingLogIntegrityError,
-    json_checksum,
-    load_training_log,
-    load_vfl_training_log,
-)
+from repro.io import json_checksum
 
 REGISTER = "register"
 INGEST = "ingest"
@@ -73,6 +68,87 @@ class WalEntry:
     seq: int
     kind: str
     payload: dict
+
+    def frame(self) -> dict:
+        """The wire form of this entry: record dict *with* its checksum.
+
+        ``GET /wal/stream`` responses and ``/control/adopt`` bodies carry
+        frames so the receiving side re-verifies integrity end to end
+        with :func:`validate_wal_record` — the checksum is a pure
+        function of ``(seq, kind, payload)``, so rebuilding it here is
+        byte-equivalent to what :meth:`WriteAheadLog.append` wrote.
+        """
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "payload": self.payload,
+            "checksum": json_checksum(
+                {"seq": self.seq, "kind": self.kind, "payload": self.payload}
+            ),
+        }
+
+
+def validate_wal_record(record: object, *, expected_seq: int | None = None) -> WalEntry | None:
+    """Validate one parsed WAL record dict; ``None`` if it cannot be trusted.
+
+    Shape, kind, and checksum are always enforced.  ``expected_seq`` adds
+    the dense-sequence check a full-file scan needs; replication frames
+    shipped as a per-run *subset* (the rebalance adopt path) legitimately
+    have gaps, so they validate with ``expected_seq=None``.
+    """
+    if not isinstance(record, dict):
+        return None
+    try:
+        seq = int(record["seq"])
+        kind = record["kind"]
+        payload = record["payload"]
+        checksum = record["checksum"]
+    except (KeyError, TypeError, ValueError):
+        return None
+    if kind not in _KINDS or not isinstance(payload, dict):
+        return None
+    if checksum != json_checksum({"seq": seq, "kind": kind, "payload": payload}):
+        return None
+    if expected_seq is not None and seq != expected_seq:
+        return None
+    return WalEntry(seq=seq, kind=kind, payload=payload)
+
+
+def scan_wal(path: str | Path) -> tuple[list[WalEntry], int, bool]:
+    """Scan a WAL file: (valid entries, bytes of valid prefix, torn tail?).
+
+    Module-level (not a method) because *non-owning* readers need it too:
+    the supervisor reads a dead primary's file during promotion catch-up
+    and a source shard's file when shipping a run's WAL subset to its new
+    owner — the file outlives the SIGKILLed process that wrote it.  A
+    torn final line is tolerated (crash mid-append, or a concurrent
+    appender mid-write); a bad line *before* the tail raises
+    :class:`WalCorruption`.
+    """
+    path = Path(path)
+    if not path.exists():
+        return [], 0, False
+    entries: list[WalEntry] = []
+    good_bytes = 0
+    raw_lines = path.read_bytes().split(b"\n")
+    # A well-formed file ends in "\n", so the final split element is "".
+    lines = raw_lines[:-1] if raw_lines and raw_lines[-1] == b"" else raw_lines
+    for index, raw in enumerate(lines):
+        try:
+            record = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            record = None
+        entry = validate_wal_record(record, expected_seq=len(entries) + 1)
+        if entry is None:
+            if index == len(lines) - 1:
+                return entries, good_bytes, True
+            raise WalCorruption(
+                f"{path} has a corrupt record at line {index + 1} "
+                "with valid records after it; refusing to replay"
+            )
+        entries.append(entry)
+        good_bytes += len(raw) + 1  # + the newline
+    return entries, good_bytes, False
 
 
 @dataclass
@@ -140,6 +216,12 @@ class WriteAheadLog:
     def path(self) -> Path:
         return self.directory / self.FILENAME
 
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next :meth:`append` will get."""
+        with self._lock:
+            return self._next_seq
+
     # ------------------------------------------------------------ writing
 
     def append(self, kind: str, payload: dict) -> int:
@@ -190,50 +272,36 @@ class WriteAheadLog:
 
     def _scan(self) -> tuple[list[WalEntry], int, bool]:
         """(valid entries, byte length of the valid prefix, torn tail?)."""
-        if not self.path.exists():
-            return [], 0, False
-        entries: list[WalEntry] = []
-        good_bytes = 0
-        raw_lines = self.path.read_bytes().split(b"\n")
-        # A well-formed file ends in "\n", so the final split element is "".
-        lines = raw_lines[:-1] if raw_lines and raw_lines[-1] == b"" else raw_lines
-        for index, raw in enumerate(lines):
-            entry = self._parse(raw, expected_seq=len(entries) + 1)
-            if entry is None:
-                if index == len(lines) - 1:
-                    return entries, good_bytes, True
-                raise WalCorruption(
-                    f"{self.path} has a corrupt record at line {index + 1} "
-                    "with valid records after it; refusing to replay"
-                )
-            entries.append(entry)
-            good_bytes += len(raw) + 1  # + the newline
-        return entries, good_bytes, False
+        return scan_wal(self.path)
 
-    def _parse(self, raw: bytes, expected_seq: int) -> WalEntry | None:
-        try:
-            record = json.loads(raw)
-        except (json.JSONDecodeError, UnicodeDecodeError):
-            return None
-        if not isinstance(record, dict):
-            return None
-        try:
-            seq = int(record["seq"])
-            kind = record["kind"]
-            payload = record["payload"]
-            checksum = record["checksum"]
-        except (KeyError, TypeError, ValueError):
-            return None
-        if kind not in _KINDS or not isinstance(payload, dict):
-            return None
-        if checksum != json_checksum({"seq": seq, "kind": kind, "payload": payload}):
-            return None
-        if seq != expected_seq:
-            return None
-        return WalEntry(seq=seq, kind=kind, payload=payload)
+    def frames_from(self, from_seq: int, *, limit: int = 512) -> dict:
+        """Validated frames with ``seq >= from_seq``, for ``GET /wal/stream``.
+
+        Returns ``{"frames": [...], "next_seq": n, "end_seq": m}`` where
+        ``next_seq`` is what the follower should ask for next and
+        ``end_seq`` is the highest durable sequence in the file right now
+        (0 when empty) — their difference is the follower's replication
+        lag.  Re-reads the file rather than holding state: the append
+        handle and lock stay untouched, so streaming never slows writes.
+        A torn final line (a concurrent append caught mid-write) is
+        simply not served yet.
+        """
+        if from_seq < 1:
+            raise ValueError(f"from_seq must be >= 1, got {from_seq}")
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        entries, _, _ = scan_wal(self.path)
+        end_seq = entries[-1].seq if entries else 0
+        window = [e for e in entries if e.seq >= from_seq][:limit]
+        next_seq = (window[-1].seq + 1) if window else max(from_seq, end_seq + 1)
+        return {
+            "frames": [e.frame() for e in window],
+            "next_seq": next_seq,
+            "end_seq": end_seq,
+        }
 
 
-def recover(service, wal: WriteAheadLog) -> RecoveryReport:
+def recover(service, wal: WriteAheadLog, *, applier=None) -> RecoveryReport:
     """Rebuild ``service``'s registry from ``wal``; returns a report.
 
     The service must be fresh (no WAL attached yet — the caller attaches
@@ -242,9 +310,16 @@ def recover(service, wal: WriteAheadLog) -> RecoveryReport:
     losing one file must not take down recovery of the rest.  Digest
     mismatches are fatal (:class:`RecoveryError`) — they mean the bytes
     behind an acknowledged prefix changed.
+
+    ``applier`` lets a cluster worker pass the
+    :class:`~repro.serve.replication.WalApplier` it will keep using for
+    streaming replication / adoption, so recovery warms the applier's
+    run-spec cache — a restarted standby can then apply fresh ingest
+    frames for runs it recovered locally.
     """
-    # Imported here: http imports service, wal must stay importable first.
-    from repro.serve.http import hfl_validation_and_model
+    # Imported here: replication imports this module; recover is the only
+    # hop back, so the lazy import keeps both importable in either order.
+    from repro.serve.replication import WalApplier
 
     if getattr(service, "wal", None) is not None:
         raise ValueError("recover() needs a service without an attached WAL")
@@ -255,67 +330,12 @@ def recover(service, wal: WriteAheadLog) -> RecoveryReport:
     with service.obs.tracer.span("wal.replay", path=str(wal.path)) as replay_span:
         entries = wal.replay()
         replay_span.set_attribute("entries", len(entries))
-        logs: dict[str, object] = {}
+        if applier is None:
+            applier = WalApplier(service)
         for entry in entries:
-            if entry.kind == REGISTER:
-                spec = entry.payload
-                run_id = spec.get("run_id")
-                try:
-                    if spec.get("kind") == "hfl":
-                        log = load_training_log(spec["log_path"])
-                        validation, model_factory = hfl_validation_and_model(
-                            spec.get("dataset", "mnist"),
-                            int(spec.get("seed", 0)),
-                            spec.get("n_samples"),
-                        )
-                        service.register_hfl(
-                            log.participant_ids,
-                            validation,
-                            model_factory,
-                            run_id=run_id,
-                            use_logged_weights=bool(
-                                spec.get("use_logged_weights", False)
-                            ),
-                        )
-                    else:
-                        log = load_vfl_training_log(spec["log_path"])
-                        service.register_vfl(
-                            log.feature_blocks, log.active_parties, run_id=run_id
-                        )
-                except (FileNotFoundError, TrainingLogIntegrityError, KeyError) as exc:
-                    report.runs_skipped.append(f"{run_id} ({exc})")
-                    continue
-                logs[run_id] = log
-                report.runs_restored += 1
-            else:  # INGEST
-                run_id = entry.payload.get("run_id")
-                log = logs.get(run_id)
-                if log is None:
-                    # Registered out-of-band (live publisher run) or its
-                    # registration was skipped above — nothing to replay from.
-                    report.epochs_skipped += 1
-                    continue
-                epoch_count = int(entry.payload["epoch"])
-                if epoch_count > log.n_epochs:
-                    raise RecoveryError(
-                        f"WAL says run {run_id!r} ingested {epoch_count} epochs "
-                        f"but its log file holds only {log.n_epochs}"
-                    )
-                record = log.records[epoch_count - 1]
-                got = service.ingest(run_id, record, seq=epoch_count)
-                if got != epoch_count:
-                    raise RecoveryError(
-                        f"replaying run {run_id!r} reached {got} epochs where the "
-                        f"WAL expected {epoch_count}"
-                    )
-                rebuilt = service.run_digest(run_id)
-                recorded = entry.payload.get("digest")
-                if recorded is not None and rebuilt != recorded:
-                    raise RecoveryError(
-                        f"run {run_id!r} epoch {epoch_count}: rebuilt digest "
-                        f"{rebuilt[:12]}… does not match the WAL's "
-                        f"{recorded[:12]}… — the log file changed since the "
-                        "crash; refusing to serve different numbers"
-                    )
-                report.epochs_replayed += 1
+            applier.apply(entry)
+    report.runs_restored = applier.runs_restored
+    report.epochs_replayed = applier.epochs_replayed
+    report.runs_skipped = list(applier.runs_skipped)
+    report.epochs_skipped = applier.epochs_skipped
     return report

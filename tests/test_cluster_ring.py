@@ -117,6 +117,78 @@ def test_remove_then_readd_restores_every_owner(shards):
     assert {key: ring.shard_for(key) for key in KEYS[:200]} == before
 
 
+# ----------------------------------------------------------------- plan_resize
+
+
+@given(shards=shard_sets, new_shards=shard_sets, keys=key_lists)
+def test_plan_resize_moves_equal_the_observed_ownership_diff(
+    shards, new_shards, keys
+):
+    """The plan is *exact*: its move set is precisely the keys whose
+    owner differs between the live ring and the would-be ring — nothing
+    missing, nothing extra — and the live ring is left untouched."""
+    ring = HashRing(sorted(shards, key=str))
+    before = {key: ring.shard_for(key) for key in keys}
+    plan = ring.plan_resize(new_shards, keys)
+    after = {key: plan.new_ring.shard_for(key) for key in keys}
+    assert plan.moves == {
+        key: (before[key], after[key])
+        for key in dict.fromkeys(keys)
+        if before[key] != after[key]
+    }
+    assert plan.added == frozenset(new_shards) - frozenset(shards)
+    assert plan.removed == frozenset(shards) - frozenset(new_shards)
+    # Planning didn't mutate the live ring.
+    assert {key: ring.shard_for(key) for key in keys} == before
+
+
+@given(shards=shard_sets, newcomer=st.integers(1000, 1999))
+def test_plan_resize_growth_moves_keys_only_onto_the_newcomer(
+    shards, newcomer
+):
+    ring = HashRing(shards)
+    plan = ring.plan_resize(set(shards) | {newcomer}, KEYS[:300])
+    assert all(dest == newcomer for _, dest in plan.moves.values())
+    assert all(src in shards for src, _ in plan.moves.values())
+
+
+@given(shards=shard_sets.filter(lambda s: len(s) >= 2), data=st.data())
+def test_plan_resize_shrink_moves_only_the_victims_keys(shards, data):
+    victim = data.draw(st.sampled_from(sorted(shards, key=str)))
+    ring = HashRing(shards)
+    plan = ring.plan_resize(set(shards) - {victim}, KEYS[:300])
+    assert all(src == victim for src, _ in plan.moves.values())
+    assert all(dest != victim for _, dest in plan.moves.values())
+
+
+@given(shards=shard_sets, keys=key_lists)
+def test_plan_resize_to_the_same_membership_is_empty(shards, keys):
+    plan = HashRing(shards).plan_resize(set(shards), keys)
+    assert plan.empty
+    assert plan.moves == {}
+    assert plan.added == plan.removed == frozenset()
+
+
+def test_plan_resize_collapses_duplicate_keys_and_rejects_empty():
+    ring = HashRing([0, 1])
+    plan = ring.plan_resize([0, 1, 2], ["k"] * 50 + ["j"] * 50)
+    assert set(plan.moves) <= {"k", "j"}
+    with pytest.raises(ValueError, match="empty"):
+        ring.plan_resize([], ["k"])
+
+
+def test_plan_resize_new_ring_matches_a_fresh_ring():
+    """Determinism the rebalance protocol leans on: the pending ring the
+    router dual-writes against and ``plan.new_ring`` must agree."""
+    ring = HashRing(range(3))
+    plan = ring.plan_resize(range(4), KEYS[:500])
+    fresh = HashRing(range(4), replicas=ring.replicas)
+    assert all(
+        plan.new_ring.shard_for(key) == fresh.shard_for(key)
+        for key in KEYS[:500]
+    )
+
+
 # ---------------------------------------------------------------------- spread
 
 

@@ -10,8 +10,11 @@ routing failure may ever surface as a bare 500.
 """
 
 import http.client
+import itertools
 import json
 import socket
+import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -412,6 +415,148 @@ class TestAggregation:
         router, _, _ = cluster
         status, body, _ = _get(router, "/metricz?format=yaml")
         assert status == 400 and "format" in body["error"]
+
+
+# ----------------------------------------------------- collision-safe minting
+
+
+class TestAutoIdSeeding:
+    def test_minting_resumes_past_ids_already_on_the_shards(
+        self, cluster, vfl_log_path
+    ):
+        """A restarted router must not re-mint ids a previous router
+        handed out: the first mint seeds from the shards' registries."""
+        router, topology, workers = cluster
+        owner = topology.ring.shard_for("vfl-c7")
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", workers[owner].port, timeout=30
+        )
+        conn.request(
+            "POST",
+            "/runs",
+            body=json.dumps(
+                {"kind": "vfl", "log_path": vfl_log_path, "run_id": "vfl-c7"}
+            ),
+            headers={"Content-Type": "application/json"},
+        )
+        assert conn.getresponse().status == 201
+        conn.close()
+
+        status, body, _ = _post(
+            router, "/runs", {"kind": "vfl", "log_path": vfl_log_path}
+        )
+        assert status == 201
+        assert body["run_id"] == "vfl-c8"
+
+    def test_collision_with_an_unseen_id_remints_instead_of_400(
+        self, cluster, vfl_log_path
+    ):
+        """A run registered behind the router's back after seeding: the
+        mint collides, the worker answers 'already registered', and the
+        router retries with the next id rather than relaying the 400."""
+        router, topology, workers = cluster
+        # Pretend seeding already happened on an empty cluster...
+        router._auto_seeded = True
+        router._auto_ids = itertools.count(1)
+        # ...then an out-of-band registration takes vfl-c1.
+        owner = topology.ring.shard_for("vfl-c1")
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", workers[owner].port, timeout=30
+        )
+        conn.request(
+            "POST",
+            "/runs",
+            body=json.dumps(
+                {"kind": "vfl", "log_path": vfl_log_path, "run_id": "vfl-c1"}
+            ),
+            headers={"Content-Type": "application/json"},
+        )
+        assert conn.getresponse().status == 201
+        conn.close()
+
+        status, body, _ = _post(
+            router, "/runs", {"kind": "vfl", "log_path": vfl_log_path}
+        )
+        assert status == 201
+        assert body["run_id"] == "vfl-c2"
+
+    def test_explicit_duplicate_run_id_still_relays_the_400(
+        self, cluster, vfl_log_path
+    ):
+        router, _, _ = cluster
+        spec = {"kind": "vfl", "log_path": vfl_log_path, "run_id": "vfl-dup"}
+        status, _, _ = _post(router, "/runs", spec)
+        assert status == 201
+        status, body, _ = _post(router, "/runs", spec)
+        assert status == 400
+        assert "already registered" in body["error"]
+
+
+# ------------------------------------------------------------ graceful drain
+
+
+class TestGracefulDrain:
+    def test_drain_sheds_new_work_and_finishes_in_flight(
+        self, cluster, vfl_log_path, monkeypatch
+    ):
+        router, topology, workers = cluster
+        run_id = "vfl-drain"
+        status, _, _ = _post(
+            router, "/runs", {"kind": "vfl", "log_path": vfl_log_path,
+                              "run_id": run_id}
+        )
+        assert status == 201
+        owner = workers[topology.ring.shard_for(run_id)]
+
+        # Hold the owner's query open until released, so one request is
+        # reliably in flight when the drain begins.
+        release = threading.Event()
+        real_query = owner.service.query
+
+        def slow_query(method, *args, **kwargs):
+            release.wait(30)
+            return real_query(method, *args, **kwargs)
+
+        monkeypatch.setattr(owner.service, "query", slow_query)
+        results = {}
+
+        def fetch():
+            results["status"], results["body"], _ = _get(
+                router, f"/runs/{run_id}/contributions"
+            )
+
+        in_flight = threading.Thread(target=fetch, daemon=True)
+        in_flight.start()
+        deadline = time.monotonic() + 10
+        while router.in_flight.value < 1:
+            assert time.monotonic() < deadline, "request never admitted"
+            time.sleep(0.01)
+
+        router.begin_drain()
+        assert router.draining
+        # New work: typed 503 with the drain's Retry-After hint.
+        status, body, headers = _get(router, f"/runs/{run_id}/contributions")
+        assert status == 503
+        assert "draining" in body["error"]
+        assert headers["Retry-After"] == "5"
+        status, _, _ = _post(
+            router, "/runs", {"kind": "vfl", "log_path": vfl_log_path}
+        )
+        assert status == 503
+        # Health checks still answer: orchestrators see a drain, not an
+        # outage.
+        status, _, _ = _get(router, "/healthz")
+        assert status == 200
+        # The slow request is still running, so the drain isn't done...
+        assert not router.await_drained(0.2)
+        # ...until it finishes, successfully, despite the drain.
+        release.set()
+        in_flight.join(timeout=30)
+        assert not in_flight.is_alive()
+        assert results["status"] == 200
+        assert "totals" in results["body"]
+        assert router.await_drained(10)
+        assert router.in_flight.value == 0
 
 
 # ------------------------------------------------------------------ tracing

@@ -92,6 +92,23 @@ class TestRegistryCreation:
         registry.register("repro_g", gauge)
         assert registry.register("repro_g", gauge) is gauge
 
+    def test_unregister_drops_series_then_family(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_lag", labels={"worker": "a"}).set(3)
+        registry.gauge("repro_lag", labels={"worker": "b"}).set(5)
+        assert registry.unregister("repro_lag", labels={"worker": "a"})
+        snapshot = registry.snapshot()
+        (series,) = snapshot["repro_lag"]["series"]
+        assert series["labels"] == {"worker": "b"}
+        # Dropping the last series removes the family entirely, and the
+        # name becomes reusable (even under a different kind).
+        assert registry.unregister("repro_lag", labels={"worker": "b"})
+        assert "repro_lag" not in registry.snapshot()
+        registry.counter("repro_lag").inc()
+        # Absent name or labels: False, not an error.
+        assert not registry.unregister("repro_never")
+        assert not registry.unregister("repro_lag", labels={"worker": "z"})
+
 
 class TestSnapshot:
     def test_histogram_series_is_internally_consistent(self):

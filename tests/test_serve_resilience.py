@@ -29,7 +29,7 @@ from repro.serve import (
     ServiceOverloaded,
     inject_chaos,
 )
-from repro.serve.resilience import retry_after_seconds
+from repro.serve.resilience import Backoff, retry_after_seconds
 
 # Inert without the pytest-timeout plugin (CI installs it); a deadlock in
 # the close-race hammer then fails instead of wedging the suite.
@@ -535,6 +535,58 @@ class TestPublisherRetries:
         with svc:
             with pytest.raises(ValueError, match="out-of-order"):
                 svc.ingest(run_id, vfl_result.log.records[0], seq=5)
+
+
+class TestBackoff:
+    def test_first_attempt_is_immediate(self):
+        backoff = Backoff(0.5, 30.0, clock=FakeClock())
+        assert backoff.ready()
+        assert backoff.remaining_s() == 0.0
+        assert backoff.attempts == 0
+
+    def test_delays_double_up_to_the_cap_with_bounded_jitter(self):
+        clock = FakeClock()
+        backoff = Backoff(1.0, 8.0, seed=3, clock=clock)
+        delays = [backoff.record_failure() for _ in range(6)]
+        for nominal, delay in zip([1.0, 2.0, 4.0, 8.0, 8.0, 8.0], delays):
+            assert 0.5 * nominal <= delay < 1.5 * nominal
+        assert backoff.attempts == 6
+
+    def test_ready_flips_exactly_at_the_armed_deadline(self):
+        clock = FakeClock()
+        backoff = Backoff(1.0, 30.0, seed=0, clock=clock)
+        delay = backoff.record_failure()
+        assert not backoff.ready()
+        assert backoff.remaining_s() == pytest.approx(delay)
+        clock.advance(delay / 2)
+        assert not backoff.ready()
+        clock.advance(delay / 2)
+        assert backoff.ready()
+        assert backoff.remaining_s() == 0.0
+
+    def test_reset_restarts_the_schedule_at_base(self):
+        clock = FakeClock()
+        backoff = Backoff(1.0, 30.0, seed=0, clock=clock)
+        for _ in range(5):
+            backoff.record_failure()
+        backoff.reset()
+        assert backoff.attempts == 0
+        assert backoff.ready()
+        # The next failure arms a base-scale delay again, not 16s.
+        assert backoff.record_failure() < 1.5 * 1.0
+
+    def test_same_seed_same_schedule(self):
+        a = Backoff(0.5, 30.0, seed=42, clock=FakeClock())
+        b = Backoff(0.5, 30.0, seed=42, clock=FakeClock())
+        assert [a.record_failure() for _ in range(4)] == [
+            b.record_failure() for _ in range(4)
+        ]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="base_s"):
+            Backoff(0.0, 1.0)
+        with pytest.raises(ValueError, match="base_s"):
+            Backoff(2.0, 1.0)
 
 
 class TestHealthAndStats:

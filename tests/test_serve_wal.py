@@ -17,7 +17,14 @@ import pytest
 from repro.io import save_vfl_training_log
 from repro.serve import EvaluationService, WriteAheadLog, recover
 from repro.serve.http import register_from_spec
-from repro.serve.wal import INGEST, REGISTER, RecoveryError, WalCorruption
+from repro.serve.wal import (
+    INGEST,
+    REGISTER,
+    RecoveryError,
+    WalCorruption,
+    scan_wal,
+    validate_wal_record,
+)
 
 pytestmark = pytest.mark.timeout(180)  # inert without pytest-timeout (CI has it)
 
@@ -139,6 +146,94 @@ class TestWriteAheadLog:
         # The flipped line is the *final* line, so it reads as torn tail.
         with pytest.warns(UserWarning, match="torn"):
             assert WriteAheadLog(tmp_path).tail_dropped
+
+
+class TestFramesAndValidation:
+    """The replication wire format: frames, validation, file scanning."""
+
+    def test_frame_is_byte_equivalent_to_the_written_record(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(REGISTER, {"run_id": "r", "kind": "vfl"})
+            wal.append(INGEST, {"run_id": "r", "epoch": 1, "digest": "d"})
+            path = wal.path
+        on_disk = [json.loads(line) for line in path.read_bytes().splitlines()]
+        entries, _, torn = scan_wal(path)
+        assert not torn
+        assert [e.frame() for e in entries] == on_disk
+
+    def test_validate_round_trips_a_frame(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(INGEST, {"run_id": "r", "epoch": 1, "digest": "d"})
+        (entry,) = WriteAheadLog(tmp_path).replay()
+        again = validate_wal_record(entry.frame(), expected_seq=1)
+        assert again == entry
+
+    def test_validate_rejects_tampering_and_garbage(self):
+        from repro.serve.wal import WalEntry
+
+        frame = WalEntry(1, INGEST, {"run_id": "r", "epoch": 1}).frame()
+        tampered = dict(frame, payload={"run_id": "r", "epoch": 2})
+        assert validate_wal_record(tampered) is None
+        assert validate_wal_record(dict(frame, checksum="nope")) is None
+        assert validate_wal_record("not a dict") is None
+        assert validate_wal_record({}) is None
+        assert validate_wal_record(dict(frame, kind="compact")) is None
+
+    def test_expected_seq_is_opt_in(self):
+        """Adopt bodies ship per-run *subsets*: seq gaps are legitimate
+        there, so the dense check only runs when a stream asks for it."""
+        from repro.serve.wal import WalEntry
+
+        frame = WalEntry(7, INGEST, {"run_id": "r", "epoch": 3}).frame()
+        assert validate_wal_record(frame) is not None
+        assert validate_wal_record(frame, expected_seq=7) is not None
+        assert validate_wal_record(frame, expected_seq=1) is None
+
+    def test_scan_wal_missing_file_and_torn_tail(self, tmp_path):
+        assert scan_wal(tmp_path / "nope.wal") == ([], 0, False)
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(REGISTER, {"run_id": "r"})
+            path = wal.path
+        good = path.stat().st_size
+        with open(path, "ab") as fh:
+            fh.write(b'{"torn')
+        entries, good_bytes, torn = scan_wal(path)
+        assert [e.seq for e in entries] == [1]
+        assert good_bytes == good
+        assert torn
+
+    def test_frames_from_pagination_and_lag_arithmetic(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        for epoch in range(1, 6):
+            wal.append(INGEST, {"run_id": "r", "epoch": epoch})
+        page = wal.frames_from(1, limit=2)
+        assert [f["seq"] for f in page["frames"]] == [1, 2]
+        assert page["next_seq"] == 3 and page["end_seq"] == 5
+        page = wal.frames_from(page["next_seq"], limit=10)
+        assert [f["seq"] for f in page["frames"]] == [3, 4, 5]
+        assert page["next_seq"] == 6 and page["end_seq"] == 5
+        # Caught up: no frames, next_seq holds position.
+        page = wal.frames_from(6)
+        assert page == {"frames": [], "next_seq": 6, "end_seq": 5}
+        with pytest.raises(ValueError, match="from_seq"):
+            wal.frames_from(0)
+        with pytest.raises(ValueError, match="limit"):
+            wal.frames_from(1, limit=0)
+        wal.close()
+
+    def test_frames_from_empty_wal(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.frames_from(1) == {
+                "frames": [],
+                "next_seq": 1,
+                "end_seq": 0,
+            }
+
+    def test_next_seq_property_tracks_appends(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.next_seq == 1
+            wal.append(REGISTER, {"run_id": "r"})
+            assert wal.next_seq == 2
 
 
 class TestRecovery:

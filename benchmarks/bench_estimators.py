@@ -1,0 +1,129 @@
+"""Backend face-off: wall time and Shapley fidelity per estimator.
+
+One small federation, one training log, every registered contribution
+backend — and the ``2^n``-retraining exact Shapley value as ground
+truth.  For each backend the bench records the whole-log estimation wall
+time and the Spearman correlation of its totals against the exact value,
+which is the trade-off the registry exists to expose: DIG-FL is
+gradient-cheap but first-order, the sampling backends pay model
+reconstructions for Shapley-shaped answers.
+
+The standalone entry point writes ``BENCH_estimators.json`` at the repo
+root so successive PRs can track both columns.  Run either way::
+
+    PYTHONPATH=src python benchmarks/bench_estimators.py
+    PYTHONPATH=src python -m pytest benchmarks/bench_estimators.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import backend_names, get_backend
+from repro.data import build_hfl_federation, mnist_like
+from repro.hfl import HFLTrainer
+from repro.metrics import spearman_correlation
+from repro.nn import LRSchedule, make_mlp_classifier
+from repro.shapley import HFLRetrainUtility, exact_shapley
+
+N_PARTIES = 4
+EPOCHS = 4
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _model_factory():
+    return make_mlp_classifier(100, 10, hidden=(16,), seed=0)
+
+
+def _world():
+    federation = build_hfl_federation(
+        mnist_like(400, seed=0), N_PARTIES, n_mislabeled=1, seed=0
+    )
+    trainer = HFLTrainer(_model_factory, epochs=EPOCHS, lr_schedule=LRSchedule(0.5))
+    result = trainer.train(
+        federation.locals, federation.validation, track_validation=True
+    )
+    return federation, trainer, result
+
+
+def _exact(federation, trainer, result):
+    utility = HFLRetrainUtility(
+        trainer,
+        federation.locals,
+        federation.validation,
+        init_theta=result.log.initial_theta,
+    )
+    return exact_shapley(utility)
+
+
+def run_backends(federation, log, *, repeats: int = 3) -> dict:
+    """Per-backend totals and best-of-``repeats`` wall seconds."""
+    rows = {}
+    for name in backend_names():
+        backend = get_backend(name)
+        if not backend.supports("hfl"):
+            continue
+        best = float("inf")
+        report = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            report = backend.estimate_hfl(
+                log, federation.validation, _model_factory
+            )
+            best = min(best, time.perf_counter() - started)
+        rows[name] = {"totals": report.totals, "seconds": best}
+    return rows
+
+
+def test_bench_backends_rank_against_exact(benchmark):
+    """Fidelity gate: every backend positively rank-correlates with exact
+    Shapley on a log with one clearly-worse participant."""
+    federation, trainer, result = _world()
+    exact = _exact(federation, trainer, result)
+    rows = benchmark(run_backends, federation, result.log, repeats=1)
+    for name, row in rows.items():
+        rho = spearman_correlation(row["totals"], exact.totals)
+        benchmark.extra_info[f"spearman_{name}"] = round(float(rho), 4)
+        assert rho > 0.0, f"{name}: spearman {rho} vs exact"
+
+
+def main() -> int:
+    federation, trainer, result = _world()
+    started = time.perf_counter()
+    exact = _exact(federation, trainer, result)
+    exact_seconds = time.perf_counter() - started
+    rows = run_backends(federation, result.log)
+    print(
+        f"{N_PARTIES} parties, {EPOCHS} epochs; exact Shapley: "
+        f"{exact_seconds:.2f}s ({2 ** N_PARTIES} retrainings)"
+    )
+    print(f"{'backend':<12} {'seconds':>8} {'spearman':>9}  totals")
+    payload: dict = {
+        "config": {"parties": N_PARTIES, "epochs": EPOCHS},
+        "exact_seconds": round(exact_seconds, 4),
+        "backends": {},
+    }
+    for name, row in rows.items():
+        rho = spearman_correlation(row["totals"], exact.totals)
+        print(
+            f"{name:<12} {row['seconds']:>8.3f} {rho:>+9.3f}  "
+            f"{np.round(row['totals'], 4)}"
+        )
+        payload["backends"][name] = {
+            "seconds": round(row["seconds"], 4),
+            "spearman_vs_exact": round(float(rho), 4),
+            "totals": [round(float(v), 6) for v in row["totals"]],
+        }
+    out = REPO_ROOT / "BENCH_estimators.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"-> {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

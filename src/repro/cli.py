@@ -18,6 +18,10 @@ Subcommands::
     python -m repro.cli cluster resize 4   # online rebalance, zero downtime
     python -m repro.cli cluster status
     python -m repro.cli profile run.npz --kind hfl --dataset mnist
+    python -m repro.cli estimate run.npz --estimator gtg_shapley
+    python -m repro.cli estimate run.npz --estimator gtg_shapley \
+        --option seed=3 --option max_permutations=32
+    python -m repro.cli compare run.npz --estimators digfl,gtg_shapley,dpvs
 
 Every audit builds the named synthetic dataset, trains the federation,
 runs DIG-FL and prints a contribution table.  The ``--runtime`` family of
@@ -35,7 +39,14 @@ service; ``--trace`` arms :mod:`repro.obs` span recording and
 ``--trace-export`` writes the buffered spans as JSONL on shutdown.
 ``profile`` replays a saved training log through the evaluation service
 with the :mod:`repro.obs` phase timers armed and prints where the
-estimator's time went (validation gradients, dot products, digests).
+estimator's time went (validation gradients, dot products, digests — and
+``gtg.reconstruct`` / ``gtg.eval_round`` for the Shapley backends).
+``estimate`` replays a saved log through any registered contribution
+backend (:mod:`repro.estimators`; ``--estimator`` choices come from the
+registry, ``--option KEY=VALUE`` tunes it); ``compare`` runs several
+backends over one log and prints the volatility report — per-participant
+coefficient of variation, rank stability, and cross-backend Spearman
+agreement.
 """
 
 from __future__ import annotations
@@ -45,7 +56,11 @@ import sys
 
 import numpy as np
 
-from repro.core import estimate_hfl_resource_saving, estimate_vfl_first_order
+from repro.core import (
+    backend_names,
+    estimate_hfl_resource_saving,
+    estimate_vfl_first_order,
+)
 from repro.core.selection import flag_low_quality
 from repro.data import ALL_DATASETS, HFL_DATASETS, VFL_DATASETS
 from repro.experiments.workloads import build_hfl_workload, build_vfl_workload
@@ -421,6 +436,113 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _parse_backend_options(pairs) -> dict:
+    """Turn repeated ``--option KEY=VALUE`` flags into a backend kwargs dict.
+
+    Values parse as JSON when they can (``seed=3`` → int, ``tol=0.01`` →
+    float) and fall back to the raw string otherwise.
+    """
+    import json as _json
+
+    options: dict = {}
+    for pair in pairs or []:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"error: --option needs KEY=VALUE, got {pair!r}")
+        try:
+            options[key] = _json.loads(raw)
+        except _json.JSONDecodeError:
+            options[key] = raw
+    return options
+
+
+def _load_log_for_estimation(args):
+    """Load the saved log plus, for HFL, its validation set and model."""
+    from repro.io import load_training_log, load_vfl_training_log
+
+    if args.kind == "hfl":
+        from repro.serve.http import hfl_validation_and_model
+
+        log = load_training_log(args.log)
+        validation, model_factory = hfl_validation_and_model(
+            args.dataset, args.seed, args.n_samples
+        )
+        return log, validation, model_factory
+    return load_vfl_training_log(args.log), None, None
+
+
+def _run_estimator_backend(name, options, args, log, validation, model_factory):
+    from repro.core import get_backend
+
+    backend = get_backend(name, **options)
+    backend.require(args.kind)
+    if args.kind == "hfl":
+        return backend.estimate_hfl(log, validation, model_factory)
+    return backend.estimate_vfl(log)
+
+
+def _cmd_estimate(args) -> int:
+    options = _parse_backend_options(args.option)
+    try:
+        log, validation, model_factory = _load_log_for_estimation(args)
+        report = _run_estimator_backend(
+            args.estimator, options, args, log, validation, model_factory
+        )
+    except FileNotFoundError:
+        raise SystemExit(f"error: no training log at {args.log!r}") from None
+    except (ValueError, TypeError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    print(
+        f"estimator {args.estimator} (method {report.method}) over "
+        f"{log.n_epochs} epochs"
+    )
+    _print_contribution_table(report)
+    if args.save_report:
+        save_report(report, args.save_report)
+        print(f"report -> {args.save_report}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.core import get_backend
+    from repro.estimators import volatility_report
+
+    if args.estimators == "all":
+        names = [
+            n for n in backend_names() if get_backend(n).supports(args.kind)
+        ]
+    else:
+        names = [s.strip() for s in args.estimators.split(",") if s.strip()]
+    if len(names) < 2:
+        raise SystemExit(
+            "error: --estimators needs at least two backends to compare "
+            f"(registered: {', '.join(backend_names())})"
+        )
+    try:
+        log, validation, model_factory = _load_log_for_estimation(args)
+        reports = {
+            name: _run_estimator_backend(
+                name, {}, args, log, validation, model_factory
+            )
+            for name in names
+        }
+    except FileNotFoundError:
+        raise SystemExit(f"error: no training log at {args.log!r}") from None
+    except (ValueError, TypeError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    width = max(len(n) for n in names)
+    print(f"totals over {log.n_epochs} epochs")
+    print(f"{'backend':<{width}}  " + "  ".join(
+        f"p{pid:<9}" for pid in reports[names[0]].participant_ids
+    ))
+    for name in names:
+        cells = "  ".join(f"{v:+10.5f}" for v in reports[name].totals)
+        print(f"{name:<{width}}  {cells}")
+    print()
+    print(volatility_report(reports).table())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -534,6 +656,42 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--n-samples", type=int, default=None,
                          help="dataset size override used at training time")
     profile.set_defaults(func=_cmd_profile)
+
+    def _add_log_context_flags(p) -> None:
+        p.add_argument("log", help="training log (.npz) to evaluate")
+        p.add_argument("--kind", choices=("hfl", "vfl"), default="hfl")
+        p.add_argument("--dataset", default="mnist",
+                       help="dataset the log was trained on (hfl only; "
+                            "rebuilds the validation set and model)")
+        p.add_argument("--seed", type=int, default=0,
+                       help="seed the log was trained with (hfl only)")
+        p.add_argument("--n-samples", type=int, default=None,
+                       help="dataset size override used at training time")
+
+    estimate = sub.add_parser(
+        "estimate",
+        help="replay a saved log through any registered contribution backend",
+    )
+    _add_log_context_flags(estimate)
+    estimate.add_argument("--estimator", choices=backend_names(),
+                          default="digfl",
+                          help="registered backend (see repro.estimators)")
+    estimate.add_argument("--option", action="append", metavar="KEY=VALUE",
+                          help="backend option override (repeatable); values "
+                               "parse as JSON, e.g. --option seed=3")
+    estimate.add_argument("--save-report", metavar="PATH")
+    estimate.set_defaults(func=_cmd_estimate)
+
+    compare = sub.add_parser(
+        "compare",
+        help="run several backends over one log and print the volatility "
+             "report",
+    )
+    _add_log_context_flags(compare)
+    compare.add_argument("--estimators", default="all", metavar="A,B,...",
+                         help="comma-separated backend names (default: every "
+                              "registered backend supporting --kind)")
+    compare.set_defaults(func=_cmd_compare)
     return parser
 
 

@@ -1,5 +1,22 @@
-"""DIG-FL: the paper's contribution estimators and the reweight mechanism."""
+"""DIG-FL: the paper's contribution estimators and the reweight mechanism.
 
+:mod:`repro.core.backends` adds the estimator *registry*: competing
+contribution methods (:mod:`repro.estimators`) register under a name and
+are served interchangeably (``get_backend("gtg_shapley")``).
+"""
+
+from repro.core.backends import (
+    BackendInfo,
+    EstimatorBackend,
+    HFLRunContext,
+    UnknownBackendError,
+    UnsupportedLogKind,
+    VFLRunContext,
+    backend_infos,
+    backend_names,
+    get_backend,
+    register_backend,
+)
 from repro.core.contribution import ContributionReport, from_per_epoch
 from repro.core.digfl_hfl import (
     estimate_hfl_interactive,
@@ -44,12 +61,20 @@ from repro.core.selection import (
 from repro.core.valgrad import epoch_validation_gradient, validation_gradients
 
 __all__ = [
+    "BackendInfo",
     "ContributionReport",
     "DIGFLReweighter",
+    "EstimatorBackend",
+    "HFLRunContext",
     "RateFit",
     "SampleInfluenceReport",
     "SelectionResult",
+    "UnknownBackendError",
+    "UnsupportedLogKind",
     "VFLDIGFLReweighter",
+    "VFLRunContext",
+    "backend_infos",
+    "backend_names",
     "epoch_validation_gradient",
     "estimate_hfl_interactive",
     "estimate_hfl_resource_saving",
@@ -58,11 +83,13 @@ __all__ = [
     "fit_inverse_power_rate",
     "flag_low_quality",
     "from_per_epoch",
+    "get_backend",
     "is_monotone_decreasing",
     "mislabel_detection_score",
     "payment_summary",
     "proportional_payments",
     "rectified_weights",
+    "register_backend",
     "running_min",
     "sample_influences",
     "select_covering_fraction",

@@ -1,0 +1,73 @@
+"""The ``digfl`` backend: the paper's estimators behind the registry.
+
+This is a *rebinding*, not a reimplementation: the streaming classes are
+:class:`repro.serve.streaming.StreamingHFLEstimator` /
+:class:`~repro.serve.streaming.StreamingVFLEstimator` exactly as the
+evaluation service has always constructed them, and the batch entry
+points delegate to :func:`repro.core.digfl_hfl.estimate_hfl_resource_saving`
+/ :func:`repro.core.digfl_vfl.estimate_vfl_first_order` — so every number
+the ``digfl`` backend produces is ``np.array_equal`` to the pre-registry
+code paths (the seed contract the registry tests pin).
+"""
+
+from __future__ import annotations
+
+from repro.core.backends import (
+    EstimatorBackend,
+    HFLRunContext,
+    VFLRunContext,
+    register_backend,
+)
+from repro.core.contribution import ContributionReport
+from repro.core.digfl_hfl import estimate_hfl_resource_saving
+from repro.core.digfl_vfl import estimate_vfl_first_order
+from repro.serve.streaming import StreamingHFLEstimator, StreamingVFLEstimator
+
+
+@register_backend
+class DigFLBackend(EstimatorBackend):
+    """First-order DIG-FL (Alg. 2 / Eq. 16 for HFL, Eq. 27 for VFL)."""
+
+    name = "digfl"
+    kinds = ("hfl", "vfl")
+    summary = "per-epoch gradient inner products (the paper's Alg. 2 / Eq. 27)"
+    option_defaults: dict = {}
+
+    def streaming_hfl(self, ctx: HFLRunContext) -> StreamingHFLEstimator:
+        return StreamingHFLEstimator(
+            ctx.participant_ids,
+            ctx.validation,
+            ctx.model_factory,
+            use_logged_weights=ctx.use_logged_weights,
+            val_grad_memo=ctx.val_grad_memo,
+        )
+
+    def streaming_vfl(self, ctx: VFLRunContext) -> StreamingVFLEstimator:
+        return StreamingVFLEstimator(ctx.feature_blocks, ctx.active_parties)
+
+    def estimate_hfl(
+        self,
+        log,
+        validation,
+        model_factory,
+        *,
+        use_logged_weights: bool = False,
+        ledger=None,
+        val_grad_memo=None,
+        profiler=None,
+    ) -> ContributionReport:
+        # The original batch algorithm, untouched: same floats, same
+        # summation order, same report as before the registry existed.
+        return estimate_hfl_resource_saving(
+            log,
+            validation,
+            model_factory,
+            use_logged_weights=use_logged_weights,
+            ledger=ledger,
+            val_grad_memo=val_grad_memo,
+            profiler=profiler,
+        )
+
+    def estimate_vfl(self, log, *, ledger=None, profiler=None) -> ContributionReport:
+        del profiler  # Eq. 27 has no profiled hot phase of its own
+        return estimate_vfl_first_order(log, ledger=ledger)

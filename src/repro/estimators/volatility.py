@@ -1,0 +1,176 @@
+"""Cross-backend volatility analysis of contribution estimates.
+
+Geimer et al. (arXiv:2405.08044) show that contribution scores are often
+unstable — across training rounds and across estimation methods — and
+that reporting a single leaderboard hides it.  This module computes the
+stability artifact for any set of :class:`~repro.core.contribution.ContributionReport`
+objects over the *same* participants (typically: several registered
+backends evaluating one training log, via ``repro compare``):
+
+* **coefficient of variation** per participant and backend — the spread
+  of its per-epoch contributions relative to their mean; high CoV means
+  the participant's credit depends heavily on *which* rounds you count;
+* **rank stability** per backend — the mean Spearman correlation between
+  the cumulative rankings after consecutive epochs; 1.0 means the
+  leaderboard never reshuffled while training progressed;
+* **cross-backend agreement** — pairwise Spearman correlation of the
+  whole-process totals, the "do the methods even agree on the ordering"
+  number (and DIG-FL's first external accuracy baseline when one of the
+  backends is a Shapley sampler).
+
+Degenerate statistics (a zero-mean contribution stream, fewer than two
+epochs) are ``nan``; :meth:`VolatilityReport.to_dict` renders those as
+``None`` so the report stays JSON-serialisable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.contribution import ContributionReport
+from repro.metrics.correlation import spearman_correlation
+
+_EPS = 1e-300
+
+
+@dataclass
+class VolatilityReport:
+    """Stability of contribution estimates across epochs and backends."""
+
+    backends: list[str]
+    participant_ids: list[int]
+    totals: dict[str, np.ndarray]
+    cov: dict[str, np.ndarray]
+    rank_stability: dict[str, float]
+    cross_backend: dict[str, dict[str, float]]
+
+    def agreement(self, a: str, b: str) -> float:
+        """Spearman correlation of totals between two backends."""
+        return self.cross_backend[a][b]
+
+    def to_dict(self) -> dict:
+        """JSON-safe rendering (``nan`` → ``None``)."""
+
+        def scrub(x):
+            if isinstance(x, dict):
+                return {k: scrub(v) for k, v in x.items()}
+            if isinstance(x, np.ndarray):
+                return [scrub(float(v)) for v in x]
+            if isinstance(x, float) and not np.isfinite(x):
+                return None
+            return x
+
+        return {
+            "backends": list(self.backends),
+            "participant_ids": list(self.participant_ids),
+            "totals": scrub({k: v for k, v in self.totals.items()}),
+            "cov": scrub({k: v for k, v in self.cov.items()}),
+            "rank_stability": scrub(dict(self.rank_stability)),
+            "cross_backend": scrub(self.cross_backend),
+        }
+
+    def table(self) -> str:
+        """The aligned text report ``repro compare`` prints."""
+        lines = []
+        width = max(len(b) for b in self.backends)
+        lines.append("per-participant coefficient of variation (per-epoch spread)")
+        header = f"{'backend':<{width}}  " + "  ".join(
+            f"p{pid:<6}" for pid in self.participant_ids
+        )
+        lines.append(header)
+        for backend in self.backends:
+            cells = "  ".join(
+                f"{v:7.3f}" if np.isfinite(v) else "      -"
+                for v in self.cov[backend]
+            )
+            lines.append(f"{backend:<{width}}  {cells}")
+        lines.append("")
+        lines.append("rank stability across epochs (mean consecutive Spearman)")
+        for backend in self.backends:
+            rho = self.rank_stability[backend]
+            shown = f"{rho:+.3f}" if np.isfinite(rho) else "-"
+            lines.append(f"{backend:<{width}}  {shown}")
+        lines.append("")
+        lines.append("cross-backend agreement (Spearman of totals)")
+        lines.append(
+            f"{'':<{width}}  " + "  ".join(f"{b:>{width}}" for b in self.backends)
+        )
+        for a in self.backends:
+            cells = "  ".join(
+                (
+                    f"{self.cross_backend[a][b]:>{width}.3f}"
+                    if np.isfinite(self.cross_backend[a][b])
+                    else f"{'-':>{width}}"
+                )
+                for b in self.backends
+            )
+            lines.append(f"{a:<{width}}  {cells}")
+        return "\n".join(lines)
+
+
+def volatility_report(reports: Mapping[str, ContributionReport]) -> VolatilityReport:
+    """Build the stability report for named reports over shared participants.
+
+    All reports must cover the same participant ids (any order); they are
+    aligned onto the first report's ordering.
+    """
+    if not reports:
+        raise ValueError("need at least one contribution report")
+    backends = list(reports)
+    first = reports[backends[0]]
+    ids = list(first.participant_ids)
+    totals: dict[str, np.ndarray] = {}
+    cov: dict[str, np.ndarray] = {}
+    stability: dict[str, float] = {}
+    for name, report in reports.items():
+        if sorted(report.participant_ids) != sorted(ids):
+            raise ValueError(
+                f"report {name!r} covers participants {report.participant_ids}, "
+                f"expected {ids}"
+            )
+        cols = [report.participant_ids.index(pid) for pid in ids]
+        totals[name] = report.totals[cols]
+        if report.per_epoch is None or report.per_epoch.shape[0] == 0:
+            cov[name] = np.full(len(ids), np.nan)
+            stability[name] = float("nan")
+            continue
+        per_epoch = report.per_epoch[:, cols]
+        cov[name] = _coefficient_of_variation(per_epoch)
+        stability[name] = _rank_stability(per_epoch)
+    cross = {
+        a: {b: spearman_correlation(totals[a], totals[b]) for b in backends}
+        for a in backends
+    }
+    return VolatilityReport(
+        backends=backends,
+        participant_ids=ids,
+        totals=totals,
+        cov=cov,
+        rank_stability=stability,
+        cross_backend=cross,
+    )
+
+
+def _coefficient_of_variation(per_epoch: np.ndarray) -> np.ndarray:
+    """Per-column std/|mean|; ``nan`` where the mean is (numerically) zero."""
+    mean = per_epoch.mean(axis=0)
+    std = per_epoch.std(axis=0)
+    out = np.full(per_epoch.shape[1], np.nan)
+    nonzero = np.abs(mean) > _EPS
+    out[nonzero] = std[nonzero] / np.abs(mean[nonzero])
+    return out
+
+
+def _rank_stability(per_epoch: np.ndarray) -> float:
+    """Mean Spearman between consecutive epochs' cumulative rankings."""
+    if per_epoch.shape[0] < 2:
+        return float("nan")
+    cumulative = np.cumsum(per_epoch, axis=0)
+    rhos = [
+        spearman_correlation(cumulative[t - 1], cumulative[t])
+        for t in range(1, cumulative.shape[0])
+    ]
+    return float(np.nanmean(rhos)) if rhos else float("nan")

@@ -3,8 +3,12 @@
 The paper's efficiency claim (§VI: evaluation in less than one training
 epoch) lives or dies in a handful of inner loops — the per-epoch
 validation gradient, the HVP of the interactive estimator, the ``n`` dot
-products of Algorithm 2's streaming step, the content-digest update and
-the WAL ``fsync``.  A :class:`Profiler` wraps each of those in a named
+products of Algorithm 2's streaming step, the content-digest update, the
+WAL ``fsync`` — and, for the sampling backends of
+:mod:`repro.estimators`, the coalition-model reconstructions
+(``gtg.reconstruct`` / ``dpvs.reconstruct``) and the per-round
+permutation walks (``gtg.eval_round`` / ``dpvs.eval_round``).
+A :class:`Profiler` wraps each of those in a named
 *phase* and aggregates (calls, total, max) per name; a
 :class:`ProfileRegistry` keeps one profiler per run, which is what
 ``GET /runs/{id}/profile`` and ``repro profile`` report.

@@ -8,7 +8,11 @@ per-epoch additivity (Lemma 3, Eq. 13–15) to make contributions
 
 * :mod:`~repro.serve.streaming` — :class:`StreamingHFLEstimator` /
   :class:`StreamingVFLEstimator` consume one epoch record at a time,
-  bit-for-bit equal to the batch estimators on any prefix;
+  bit-for-bit equal to the batch estimators on any prefix; these are the
+  default ``digfl`` backend of the :mod:`repro.estimators` registry, and
+  ``POST /runs`` accepts any registered backend via its ``estimator:``
+  field (``gtg_shapley``, ``dpvs``, ...), folding the backend name and
+  options into the run's cache digest;
 * :mod:`~repro.serve.cache` — :class:`ResultCache`, a content-addressed
   LRU keyed on the same SHA-256 array hashes :mod:`repro.io` embeds in
   saved logs;

@@ -19,8 +19,15 @@ Endpoints::
 
     {"kind": "hfl", "log_path": "run.npz", "dataset": "mnist",
      "seed": 0, "n_samples": 1200, "run_id": "optional",
-     "use_logged_weights": false}
+     "use_logged_weights": false,
+     "estimator": "digfl", "estimator_options": {}}
     {"kind": "vfl", "log_path": "run.npz", "run_id": "optional"}
+
+``estimator`` picks the contribution backend (default ``digfl``; see
+:mod:`repro.estimators`); an unknown name is a typed 400 listing the
+registered backends, and a backend that cannot evaluate the log's kind
+(``gtg_shapley`` on a VFL log) is a 400 too.  The answering backend is
+echoed in the 201 body and in every query payload.
 
 A VFL log is self-contained (it embeds both gradient factors of Eq. 27).
 An HFL log needs the server-side validation set and model architecture,
@@ -149,6 +156,7 @@ def register_from_spec(service: EvaluationService, spec: dict) -> dict:
     log_path = spec.get("log_path")
     if not log_path:
         raise ApiError(400, "log_path is required")
+    estimator, estimator_options = _resolve_estimator(spec, kind)
     run_id = spec.get("run_id")
     try:
         if kind == "hfl":
@@ -164,6 +172,8 @@ def register_from_spec(service: EvaluationService, spec: dict) -> dict:
                 model_factory,
                 run_id=run_id,
                 use_logged_weights=bool(spec.get("use_logged_weights", False)),
+                estimator=estimator,
+                estimator_options=estimator_options,
             )
             service.record_registration(
                 {
@@ -176,15 +186,27 @@ def register_from_spec(service: EvaluationService, spec: dict) -> dict:
                     "use_logged_weights": bool(
                         spec.get("use_logged_weights", False)
                     ),
+                    "estimator": estimator,
+                    "estimator_options": estimator_options,
                 }
             )
         else:
             log = load_vfl_training_log(log_path)
             run_id = service.register_vfl(
-                log.feature_blocks, log.active_parties, run_id=run_id
+                log.feature_blocks,
+                log.active_parties,
+                run_id=run_id,
+                estimator=estimator,
+                estimator_options=estimator_options,
             )
             service.record_registration(
-                {"kind": "vfl", "log_path": str(log_path), "run_id": run_id}
+                {
+                    "kind": "vfl",
+                    "log_path": str(log_path),
+                    "run_id": run_id,
+                    "estimator": estimator,
+                    "estimator_options": estimator_options,
+                }
             )
         service.ingest_log(run_id, log)
     except ApiError:
@@ -193,7 +215,44 @@ def register_from_spec(service: EvaluationService, spec: dict) -> dict:
         raise ApiError(400, f"no training log at {log_path!r}") from None
     except (ValueError, KeyError) as exc:
         raise ApiError(400, str(exc)) from None
-    return {"run_id": run_id, "kind": kind, "epochs": log.n_epochs}
+    return {
+        "run_id": run_id,
+        "kind": kind,
+        "estimator": estimator,
+        "epochs": log.n_epochs,
+    }
+
+
+def _resolve_estimator(spec: dict, kind: str) -> tuple[str, dict]:
+    """Validate the spec's estimator choice *before* touching the log.
+
+    Typed refusals, never a bare 500: an unknown backend name answers
+    400 listing every registered backend, an unknown option or a
+    kind-unsupporting backend answers 400 with the constructor's
+    message.
+    """
+    from repro.core.backends import UnknownBackendError, backend_names, get_backend
+
+    name = spec.get("estimator", "digfl")
+    if not isinstance(name, str):
+        raise ApiError(400, f"estimator must be a string, got {name!r}")
+    options = spec.get("estimator_options") or {}
+    if not isinstance(options, dict):
+        raise ApiError(
+            400, f"estimator_options must be a JSON object, got {options!r}"
+        )
+    try:
+        backend = get_backend(name, **options)
+        backend.require(kind)
+    except UnknownBackendError:
+        raise ApiError(
+            400,
+            f"unknown estimator {name!r}; registered backends: "
+            f"{', '.join(backend_names())}",
+        ) from None
+    except (TypeError, ValueError) as exc:
+        raise ApiError(400, str(exc)) from None
+    return backend.name, options
 
 
 def read_json_body(handler) -> dict:

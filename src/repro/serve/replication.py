@@ -144,15 +144,27 @@ class WalApplier:
                         use_logged_weights=bool(
                             spec.get("use_logged_weights", False)
                         ),
+                        estimator=spec.get("estimator", "digfl"),
+                        estimator_options=spec.get("estimator_options"),
                     )
                 else:
                     self.service.register_vfl(
-                        log.feature_blocks, log.active_parties, run_id=run_id
+                        log.feature_blocks,
+                        log.active_parties,
+                        run_id=run_id,
+                        estimator=spec.get("estimator", "digfl"),
+                        estimator_options=spec.get("estimator_options"),
                     )
-        except (FileNotFoundError, TrainingLogIntegrityError, KeyError) as exc:
-            # Losing one run's log file must not take down recovery (or
-            # replication) of everything else; its ingests will be
-            # counted under epochs_skipped.
+        except (
+            FileNotFoundError,
+            TrainingLogIntegrityError,
+            KeyError,
+            ValueError,
+        ) as exc:
+            # Losing one run's log file — or a WAL spec naming an
+            # estimator backend this process doesn't register — must not
+            # take down recovery (or replication) of everything else;
+            # its ingests will be counted under epochs_skipped.
             self.runs_skipped.append(f"{run_id} ({exc})")
             return
         if not already:

@@ -48,6 +48,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
+from repro.core.backends import HFLRunContext, VFLRunContext, get_backend
 from repro.core.contribution import ContributionReport
 from repro.data.dataset import Dataset
 from repro.hfl.log import EpochRecord, TrainingLog
@@ -68,11 +69,7 @@ from repro.serve.resilience import (
     ServiceOverloaded,
     retry_after_seconds,
 )
-from repro.serve.streaming import (
-    StreamingHFLEstimator,
-    StreamingVFLEstimator,
-    _StreamingBase,
-)
+from repro.serve.streaming import _StreamingBase
 from repro.vfl.log import VFLEpochRecord, VFLTrainingLog
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
@@ -94,10 +91,12 @@ class _Run:
         estimator: _StreamingBase,
         digest: RunDigest,
         breaker: CircuitBreaker,
+        estimator_name: str = "digfl",
     ) -> None:
         self.run_id = run_id
         self.kind = kind
         self.estimator = estimator
+        self.estimator_name = estimator_name
         self.digest = digest
         self.lock = threading.RLock()
         self.breaker = breaker
@@ -111,6 +110,7 @@ class _Run:
             return {
                 "run_id": self.run_id,
                 "kind": self.kind,
+                "estimator": self.estimator_name,
                 "epochs": self.estimator.n_epochs,
                 "participants": list(self.estimator.participant_ids),
                 "breaker": self.breaker.state,
@@ -247,29 +247,46 @@ class EvaluationService:
         *,
         run_id: str | None = None,
         use_logged_weights: bool = False,
+        estimator: str = "digfl",
+        estimator_options: dict | None = None,
     ) -> str:
         """Register an (initially empty) HFL run; returns its id.
 
-        The run's content digest is seeded with the validation-set hash,
-        the model architecture and the estimator options, so cached
-        answers are shared exactly between runs that would compute
-        identical numbers.
+        ``estimator`` names a registered backend
+        (:func:`repro.core.backends.get_backend`); ``estimator_options``
+        parameterise it.  The run's content digest is seeded with the
+        validation-set hash, the model architecture and the backend's
+        digest token (name + options), so cached answers are shared
+        exactly between runs that would compute identical numbers — and
+        never across backends.  Validation gradients are memoised in a
+        namespace keyed on the validation set and model architecture
+        *only*, so every backend and option combination over the same
+        data shares them.
         """
+        backend = get_backend(estimator, **(estimator_options or {}))
+        backend.require("hfl")
         probe = model_factory()
+        val_fingerprint = fingerprint_arrays(X=validation.X, y=validation.y)
+        architecture = f"{type(probe).__name__}:{probe.num_parameters()}"
         seed = RunDigest(
             "hfl",
+            backend.digest_token(),
             f"use_logged_weights={use_logged_weights}",
-            fingerprint_arrays(X=validation.X, y=validation.y),
-            f"{type(probe).__name__}:{probe.num_parameters()}",
+            val_fingerprint,
+            architecture,
         )
-        estimator = StreamingHFLEstimator(
+        ctx = HFLRunContext(
             participant_ids,
             validation,
             model_factory,
             use_logged_weights=use_logged_weights,
-            val_grad_memo=self.cache.memo(_VAL_GRAD_PREFIX),
+            val_grad_memo=self.cache.memo(
+                f"{_VAL_GRAD_PREFIX}:{val_fingerprint}:{architecture}"
+            ),
         )
-        return self._register(run_id, "hfl", estimator, seed)
+        return self._register(
+            run_id, "hfl", backend.streaming_hfl(ctx), seed, backend.name
+        )
 
     def register_vfl(
         self,
@@ -277,17 +294,24 @@ class EvaluationService:
         active_parties: Sequence[int],
         *,
         run_id: str | None = None,
+        estimator: str = "digfl",
+        estimator_options: dict | None = None,
     ) -> str:
         """Register an (initially empty) VFL run; returns its id."""
+        backend = get_backend(estimator, **(estimator_options or {}))
+        backend.require("vfl")
         seed = RunDigest(
             "vfl",
+            backend.digest_token(),
             fingerprint_arrays(
                 **{f"block_{i}": np.asarray(b) for i, b in enumerate(feature_blocks)}
             ),
             repr(list(active_parties)),
         )
-        estimator = StreamingVFLEstimator(feature_blocks, active_parties)
-        return self._register(run_id, "vfl", estimator, seed)
+        ctx = VFLRunContext(feature_blocks, active_parties)
+        return self._register(
+            run_id, "vfl", backend.streaming_vfl(ctx), seed, backend.name
+        )
 
     def register_hfl_log(self, log: TrainingLog, validation, model_factory, **kwargs) -> str:
         """Register an HFL run and ingest a complete log in one call."""
@@ -297,16 +321,21 @@ class EvaluationService:
         self.ingest_log(run_id, log)
         return run_id
 
-    def register_vfl_log(self, log: VFLTrainingLog, *, run_id: str | None = None) -> str:
+    def register_vfl_log(self, log: VFLTrainingLog, *, run_id: str | None = None, **kwargs) -> str:
         """Register a VFL run and ingest a complete log in one call."""
         run_id = self.register_vfl(
-            log.feature_blocks, log.active_parties, run_id=run_id
+            log.feature_blocks, log.active_parties, run_id=run_id, **kwargs
         )
         self.ingest_log(run_id, log)
         return run_id
 
     def _register(
-        self, run_id: str | None, kind: str, estimator: _StreamingBase, digest: RunDigest
+        self,
+        run_id: str | None,
+        kind: str,
+        estimator: _StreamingBase,
+        digest: RunDigest,
+        estimator_name: str = "digfl",
     ) -> str:
         self._ensure_open()
         breaker = CircuitBreaker(
@@ -319,7 +348,7 @@ class EvaluationService:
                 run_id = f"{kind}-{next(self._auto_ids)}"
             if run_id in self._runs:
                 raise ValueError(f"run id {run_id!r} already registered")
-            run = _Run(run_id, kind, estimator, digest, breaker)
+            run = _Run(run_id, kind, estimator, digest, breaker, estimator_name)
             # Hand the estimator this run's phase profiler so its hot-path
             # timers (valgrad, dot products) aggregate under the run id.
             run.profiler = self.obs.profiles.for_run(run_id)
@@ -407,7 +436,13 @@ class EvaluationService:
             with run.profiler.phase("cache.digest"):
                 candidate = run.digest.fork()
                 if run.kind == "hfl":
-                    memo_key = candidate.update_hfl(record)
+                    candidate.update_hfl(record)
+                    # The gradient memo key is the *model state*, not the
+                    # run digest: ∇loss^v(θ) depends only on θ (the memo
+                    # namespace already pins the validation set and
+                    # architecture), so runs that differ in backend or
+                    # options — or replay the same log — share gradients.
+                    memo_key = fingerprint_arrays(theta=record.theta_before)
                 else:
                     memo_key = candidate.update_vfl(record)
             run.estimator.ingest(record, memo_key=memo_key)
@@ -520,9 +555,12 @@ class EvaluationService:
     @staticmethod
     def _stamp(run: _Run, value: dict) -> dict:
         """Stamp a run-agnostic cached payload with the requesting run's id."""
-        return {"run_id": run.run_id, "stale": value.get("_stale", False), **{
-            k: v for k, v in value.items() if k != "_stale"
-        }}
+        return {
+            "run_id": run.run_id,
+            "estimator": run.estimator_name,
+            "stale": value.get("_stale", False),
+            **{k: v for k, v in value.items() if k != "_stale"},
+        }
 
     def _compute_guarded(
         self, run: _Run, name: str, params: str, key, compute, deadline, epochs

@@ -1,0 +1,160 @@
+"""GTG-Shapley backend: determinism, truncation, masks, rank agreement.
+
+The backend is Monte-Carlo but *seeded per round*, so the same log must
+yield bit-identical estimates however it is batched; and on a log whose
+participants are well-separated by construction (each ships a scaled
+copy of the descent direction) its ranking must agree exactly with
+DIG-FL's first-order scores.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import get_backend
+from repro.core.backends import HFLRunContext
+from repro.data import mnist_like
+from repro.estimators import StreamingGTGShapley
+from repro.hfl.log import EpochRecord, TrainingLog
+from repro.hfl.trainer import flat_gradient
+from repro.metrics import spearman_correlation
+from repro.obs import Profiler
+from tests.test_runtime_partial_estimators import (
+    MASKS,
+    _build_hfl_log,
+    _factory,
+)
+
+
+@pytest.fixture(scope="module")
+def validation():
+    return mnist_like(40, seed=1)
+
+
+@pytest.fixture(scope="module")
+def partial_log():
+    return _build_hfl_log()
+
+
+def _separated_log(coefficients, epochs=3, lr=0.25):
+    """A log whose participant ``i`` ships ``c_i`` times the true descent
+    direction: bigger coefficient, strictly better participant."""
+    validation = mnist_like(40, seed=1)
+    model = _factory()
+    theta = model.get_flat()
+    log = TrainingLog(participant_ids=list(range(len(coefficients))))
+    for t in range(1, epochs + 1):
+        model.set_flat(theta)
+        g = flat_gradient(model, validation.X, validation.y)
+        updates = np.stack([lr * c * g for c in coefficients])
+        weights = np.full(len(coefficients), 1.0 / len(coefficients))
+        log.records.append(
+            EpochRecord(
+                epoch=t,
+                lr=1.0,
+                theta_before=theta.copy(),
+                local_updates=updates,
+                weights=weights,
+            )
+        )
+        theta = theta - updates.mean(axis=0)
+    return log, validation
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical(self, partial_log, validation):
+        backend = get_backend("gtg_shapley", seed=7)
+        first = backend.estimate_hfl(partial_log, validation, _factory)
+        second = get_backend("gtg_shapley", seed=7).estimate_hfl(
+            partial_log, validation, _factory
+        )
+        assert np.array_equal(first.per_epoch, second.per_epoch)
+        assert np.array_equal(first.totals, second.totals)
+
+    def test_different_seed_changes_sampling(self, validation):
+        # 5 well-separated parties, loose convergence so several random
+        # permutations actually run and the seed can matter.
+        log, validation = _separated_log([1.0, 0.6, 0.35, 0.2, 0.05])
+        kwargs = dict(
+            min_permutations=4,
+            convergence_tolerance=0.0,
+            truncation_tolerance=0.0,
+        )
+        a = get_backend("gtg_shapley", seed=0, **kwargs).estimate_hfl(
+            log, validation, _factory
+        )
+        b = get_backend("gtg_shapley", seed=123, **kwargs).estimate_hfl(
+            log, validation, _factory
+        )
+        assert not np.array_equal(a.per_epoch, b.per_epoch)
+
+    def test_streaming_matches_batch_ingest(self, partial_log, validation):
+        backend = get_backend("gtg_shapley")
+        batch = backend.estimate_hfl(partial_log, validation, _factory)
+        streaming = backend.streaming_hfl(
+            HFLRunContext(partial_log.participant_ids, validation, _factory)
+        )
+        for record in partial_log.records:
+            streaming.ingest(record)
+        assert np.array_equal(streaming.per_epoch(), batch.per_epoch)
+
+
+class TestMasksAndTruncation:
+    def test_absent_participants_score_zero(self, partial_log, validation):
+        report = get_backend("gtg_shapley").estimate_hfl(
+            partial_log, validation, _factory
+        )
+        for t, mask in enumerate(MASKS):
+            if mask is None:
+                continue
+            assert (report.per_epoch[t, ~mask] == 0.0).all()
+        assert (report.per_epoch[3] == 0.0).all()  # nobody arrived
+
+    def test_round_truncation_zeroes_everything(self, partial_log, validation):
+        # A huge between-round tolerance declares every round converged.
+        report = get_backend("gtg_shapley", round_tolerance=1e9).estimate_hfl(
+            partial_log, validation, _factory
+        )
+        assert (report.per_epoch == 0.0).all()
+        assert report.extra["gtg"]["rounds_truncated"] == 3  # round 4 is empty
+
+    def test_diagnostics_and_budget(self, partial_log, validation):
+        report = get_backend("gtg_shapley", max_permutations=4).estimate_hfl(
+            partial_log, validation, _factory
+        )
+        diag = report.extra["gtg"]
+        assert diag["coalition_evaluations"] > 0
+        assert 0 < diag["permutations_run"] <= 4 * 3  # <= cap x active rounds
+
+    def test_profiler_phases_recorded(self, partial_log, validation):
+        profiler = Profiler()
+        get_backend("gtg_shapley").estimate_hfl(
+            partial_log, validation, _factory, profiler=profiler
+        )
+        phases = {entry["phase"] for entry in profiler.report()}
+        assert "gtg.reconstruct" in phases
+        assert "gtg.eval_round" in phases
+
+    def test_constructor_validation(self, validation):
+        with pytest.raises(ValueError, match="max_permutations"):
+            StreamingGTGShapley(
+                [0, 1], validation, _factory, max_permutations=0
+            )
+        with pytest.raises(ValueError, match="do not match"):
+            backend = get_backend("gtg_shapley")
+            est = backend.streaming_hfl(
+                HFLRunContext([0, 1], validation, _factory)
+            )
+            est.ingest_log(_build_hfl_log())  # 3-party log, 2-party estimator
+
+
+class TestRankAgreement:
+    def test_agrees_with_digfl_on_separated_log(self):
+        log, validation = _separated_log([1.0, 0.5, 0.25, 0.05])
+        digfl = get_backend("digfl").estimate_hfl(log, validation, _factory)
+        gtg = get_backend("gtg_shapley").estimate_hfl(log, validation, _factory)
+        assert spearman_correlation(gtg.totals, digfl.totals) == pytest.approx(
+            1.0
+        )
+        # Both orderings recover the construction: party 0 first.
+        assert list(np.argsort(-gtg.totals)) == [0, 1, 2, 3]
+        assert list(np.argsort(-digfl.totals)) == [0, 1, 2, 3]

@@ -1,0 +1,151 @@
+"""DPVS pruning behaviour and the cross-backend volatility report."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import get_backend
+from repro.core.backends import HFLRunContext
+from repro.core.contribution import from_per_epoch
+from repro.data import mnist_like
+from repro.estimators import StreamingDPVSEstimator, volatility_report
+from repro.obs import Profiler
+from tests.test_estimators_gtg import _separated_log
+from tests.test_runtime_partial_estimators import (
+    MASKS,
+    _build_hfl_log,
+    _factory,
+)
+
+
+@pytest.fixture(scope="module")
+def validation():
+    return mnist_like(40, seed=1)
+
+
+class TestDPVS:
+    def test_deterministic_under_seed(self, validation):
+        log = _build_hfl_log()
+        a = get_backend("dpvs", seed=5).estimate_hfl(log, validation, _factory)
+        b = get_backend("dpvs", seed=5).estimate_hfl(log, validation, _factory)
+        assert np.array_equal(a.per_epoch, b.per_epoch)
+
+    def test_absent_participants_score_zero(self, validation):
+        log = _build_hfl_log()
+        report = get_backend("dpvs").estimate_hfl(log, validation, _factory)
+        for t, mask in enumerate(MASKS):
+            if mask is None:
+                continue
+            assert (report.per_epoch[t, ~mask] == 0.0).all()
+
+    def test_weak_participant_pruned_and_evaluations_saved(self):
+        # Party 2's running |total| settles under 10% of the leader's on
+        # this log: once warmup passes it must be pruned, and its fixed
+        # prefix position must start hitting the coalition cache.
+        log, validation = _separated_log([1.5, 1.0, 0.5, 1.0], epochs=5)
+        backend = get_backend(
+            "dpvs", warmup_rounds=2, prune_below=0.1, revive_above=0.2,
+            min_active=2,
+        )
+        estimator = backend.streaming_hfl(
+            HFLRunContext(log.participant_ids, validation, _factory)
+        )
+        estimator.ingest_log(log)
+        report = estimator.report()
+        diag = report.extra["dpvs"]
+        assert 2 in diag["pruned"]
+        assert diag["prune_events"] >= 1
+        assert diag["evaluations_saved"] > 0
+        assert estimator.pruned_participants == diag["pruned"]
+
+    def test_min_active_floor_blocks_pruning(self):
+        log, validation = _separated_log([1.0, 0.001], epochs=4)
+        report = get_backend(
+            "dpvs", warmup_rounds=1, min_active=2
+        ).estimate_hfl(log, validation, _factory)
+        assert report.extra["dpvs"]["pruned"] == []
+
+    def test_profiler_phases_recorded(self, validation):
+        profiler = Profiler()
+        get_backend("dpvs").estimate_hfl(
+            _build_hfl_log(), validation, _factory, profiler=profiler
+        )
+        phases = {entry["phase"] for entry in profiler.report()}
+        assert "dpvs.reconstruct" in phases
+        assert "dpvs.eval_round" in phases
+
+    def test_constructor_validation(self, validation):
+        with pytest.raises(ValueError, match="permutations"):
+            StreamingDPVSEstimator(
+                [0, 1], validation, _factory, permutations=0
+            )
+        with pytest.raises(ValueError, match="prune_below"):
+            StreamingDPVSEstimator(
+                [0, 1], validation, _factory, prune_below=0.5, revive_above=0.1
+            )
+
+
+def _report(name, per_epoch, ids=(0, 1, 2)):
+    return from_per_epoch(name, list(ids), np.asarray(per_epoch, dtype=float))
+
+
+class TestVolatilityReport:
+    def test_cov_matches_hand_computation(self):
+        per_epoch = [[1.0, 2.0, 0.0], [3.0, 2.0, 0.0]]
+        report = volatility_report({"a": _report("a", per_epoch)})
+        np.testing.assert_allclose(report.cov["a"][0], 1.0 / 2.0)  # std/|mean|
+        np.testing.assert_allclose(report.cov["a"][1], 0.0)
+        assert np.isnan(report.cov["a"][2])  # zero-mean stream -> nan
+
+    def test_rank_stability(self):
+        stable = _report("stable", [[3.0, 2.0, 1.0], [3.0, 2.0, 1.0]])
+        # Cumulative ranking flips completely between the two epochs.
+        churn = _report("churn", [[3.0, 2.0, 1.0], [-9.0, 0.0, 9.0]])
+        report = volatility_report({"stable": stable, "churn": churn})
+        assert report.rank_stability["stable"] == pytest.approx(1.0)
+        assert report.rank_stability["churn"] == pytest.approx(-1.0)
+
+    def test_cross_backend_agreement_matrix(self):
+        agree = _report("agree", [[3.0, 2.0, 1.0]])
+        invert = _report("invert", [[1.0, 2.0, 3.0]])
+        report = volatility_report({"agree": agree, "invert": invert})
+        assert report.agreement("agree", "agree") == pytest.approx(1.0)
+        assert report.agreement("agree", "invert") == pytest.approx(-1.0)
+        assert report.agreement("invert", "agree") == pytest.approx(-1.0)
+
+    def test_alignment_across_participant_orders(self):
+        a = _report("a", [[3.0, 2.0, 1.0]], ids=(0, 1, 2))
+        b = _report("b", [[1.0, 2.0, 3.0]], ids=(2, 1, 0))
+        report = volatility_report({"a": a, "b": b})
+        # b's totals re-aligned onto a's id order are identical to a's.
+        np.testing.assert_allclose(report.totals["b"], report.totals["a"])
+        assert report.agreement("a", "b") == pytest.approx(1.0)
+
+    def test_mismatched_participants_refused(self):
+        a = _report("a", [[1.0, 2.0, 3.0]], ids=(0, 1, 2))
+        b = _report("b", [[1.0, 2.0, 3.0]], ids=(0, 1, 9))
+        with pytest.raises(ValueError, match="covers participants"):
+            volatility_report({"a": a, "b": b})
+        with pytest.raises(ValueError, match="at least one"):
+            volatility_report({})
+
+    def test_to_dict_is_json_safe(self):
+        report = volatility_report(
+            {"a": _report("a", [[1.0, 0.0, 2.0]])}  # single epoch -> nan rank
+        )
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["rank_stability"]["a"] is None
+        assert payload["backends"] == ["a"]
+
+    def test_table_renders_all_sections(self, validation):
+        log = _build_hfl_log()
+        reports = {
+            name: get_backend(name).estimate_hfl(log, validation, _factory)
+            for name in ("digfl", "gtg_shapley")
+        }
+        text = volatility_report(reports).table()
+        assert "coefficient of variation" in text
+        assert "rank stability" in text
+        assert "cross-backend agreement" in text
+        assert "gtg_shapley" in text

@@ -52,6 +52,13 @@ class TestFastExamplesRun:
         out = capsys.readouterr().out
         assert "FedSGD" in out and "DIG-FL" in out
 
+    def test_backend_faceoff(self, capsys):
+        load_example("backend_faceoff.py").main()
+        out = capsys.readouterr().out
+        assert "leaderboards (best participant first)" in out
+        assert "cross-backend agreement" in out
+        assert "gtg_shapley budget" in out
+
     def test_adversarial_detection(self, capsys):
         load_example("adversarial_detection.py").main()
         out = capsys.readouterr().out

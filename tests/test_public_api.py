@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.core",
     "repro.crypto",
     "repro.data",
+    "repro.estimators",
     "repro.experiments",
     "repro.hfl",
     "repro.metrics",

@@ -1,0 +1,208 @@
+"""Estimator backends served end-to-end: registry -> service -> HTTP -> WAL.
+
+The serving contract for pluggable backends: ``POST /runs`` carries an
+``estimator:`` field, unknown names are typed 400s listing the registry,
+the backend rides the run's cache digest (no cross-backend cache leaks),
+every query payload names the answering backend, WAL recovery rebuilds
+the run under the same backend, and validation gradients are memoised
+*across* runs sharing a validation set.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import UnknownBackendError, backend_names
+from repro.data import build_hfl_federation, mnist_like
+from repro.hfl import HFLTrainer
+from repro.io import save_training_log
+from repro.nn import LRSchedule
+from repro.serve import EvaluationService, WriteAheadLog, recover
+from repro.serve.http import ApiError, register_from_spec
+from tests.test_runtime_partial_estimators import _factory
+
+pytestmark = pytest.mark.timeout(180)  # inert without pytest-timeout
+
+
+@pytest.fixture(scope="module")
+def world():
+    federation = build_hfl_federation(mnist_like(300, seed=0), 3, seed=0)
+    trainer = HFLTrainer(_factory, epochs=3, lr_schedule=LRSchedule(0.5))
+    result = trainer.train(
+        federation.locals, federation.validation, track_validation=True
+    )
+    return federation, result.log
+
+
+def _register(service, federation, log, **kwargs):
+    run_id = service.register_hfl(
+        log.participant_ids, federation.validation, _factory, **kwargs
+    )
+    service.ingest_log(run_id, log)
+    return run_id
+
+
+def _summary(service, run_id):
+    return next(r for r in service.runs() if r["run_id"] == run_id)
+
+
+class TestServiceBackendSelection:
+    def test_default_is_digfl_and_payload_names_backend(self, world):
+        federation, log = world
+        with EvaluationService() as service:
+            run_id = _register(service, federation, log)
+            payload = service.contributions(run_id)
+            assert payload["estimator"] == "digfl"
+            assert payload["method"] == "digfl-resource-saving"
+            assert _summary(service, run_id)["estimator"] == "digfl"
+
+    def test_each_backend_serves_under_its_own_digest(self, world):
+        federation, log = world
+        with EvaluationService() as service:
+            payloads = {}
+            for name in ("digfl", "gtg_shapley", "dpvs"):
+                run_id = _register(
+                    service, federation, log, estimator=name, run_id=name
+                )
+                payloads[name] = service.contributions(run_id)
+            digests = {service.run_digest(name) for name in payloads}
+            assert len(digests) == 3  # backend folded into the cache key
+            for name, payload in payloads.items():
+                assert payload["estimator"] == name
+            assert not np.array_equal(
+                payloads["digfl"]["totals"], payloads["gtg_shapley"]["totals"]
+            )
+
+    def test_options_fork_the_digest(self, world):
+        federation, log = world
+        with EvaluationService() as service:
+            a = _register(
+                service, federation, log, estimator="gtg_shapley", run_id="a"
+            )
+            b = _register(
+                service, federation, log, estimator="gtg_shapley", run_id="b",
+                estimator_options={"seed": 9},
+            )
+            assert service.run_digest(a) != service.run_digest(b)
+
+    def test_unknown_backend_and_wrong_kind_are_valueerrors(self, world):
+        federation, log = world
+        with EvaluationService() as service:
+            with pytest.raises(UnknownBackendError, match="registered backends"):
+                service.register_hfl(
+                    log.participant_ids, federation.validation, _factory,
+                    estimator="nope",
+                )
+            with pytest.raises(ValueError, match="does not support 'vfl'"):
+                service.register_vfl(
+                    [np.array([0, 1]), np.array([2, 3])],
+                    [0, 1],
+                    estimator="gtg_shapley",
+                )
+
+    def test_validation_gradients_shared_across_runs(self, world):
+        """Two digfl runs over the same log hit the cross-run gradient memo."""
+        federation, log = world
+        with EvaluationService() as service:
+            _register(service, federation, log, run_id="first")
+            before = service.cache.stats()["hits"]
+            _register(service, federation, log, run_id="second")
+            hits = service.cache.stats()["hits"] - before
+            assert hits >= log.n_epochs  # every epoch's gradient was memoised
+
+
+@pytest.fixture()
+def hfl_log_path(world, tmp_path):
+    _, log = world
+    path = tmp_path / "run.npz"
+    save_training_log(log, path)
+    return str(path)
+
+
+class TestHttpSpec:
+    def _spec(self, hfl_log_path, **extra):
+        return {
+            "kind": "hfl",
+            "log_path": hfl_log_path,
+            "dataset": "mnist",
+            "seed": 0,
+            "n_samples": 300,
+            **extra,
+        }
+
+    def test_response_names_backend(self, hfl_log_path):
+        with EvaluationService() as service:
+            answer = register_from_spec(
+                service, self._spec(hfl_log_path, estimator="gtg_shapley")
+            )
+            assert answer["estimator"] == "gtg_shapley"
+            payload = service.contributions(answer["run_id"])
+            assert payload["estimator"] == "gtg_shapley"
+
+    def test_default_estimator_recorded(self, hfl_log_path):
+        with EvaluationService() as service:
+            answer = register_from_spec(service, self._spec(hfl_log_path))
+            assert answer["estimator"] == "digfl"
+
+    def test_unknown_estimator_is_400_listing_backends(self, hfl_log_path):
+        with EvaluationService() as service:
+            with pytest.raises(ApiError) as excinfo:
+                register_from_spec(
+                    service, self._spec(hfl_log_path, estimator="nope")
+                )
+            assert excinfo.value.status == 400
+            for name in backend_names():
+                assert name in str(excinfo.value)
+
+    def test_bad_option_and_bad_types_are_400(self, hfl_log_path):
+        with EvaluationService() as service:
+            for broken in (
+                {"estimator": "gtg_shapley", "estimator_options": {"zap": 1}},
+                {"estimator": "gtg_shapley", "estimator_options": [1, 2]},
+                {"estimator": 7},
+            ):
+                with pytest.raises(ApiError) as excinfo:
+                    register_from_spec(
+                        service, self._spec(hfl_log_path, **broken)
+                    )
+                assert excinfo.value.status == 400
+
+    def test_wrong_kind_backend_is_400_before_loading_log(self):
+        with EvaluationService() as service:
+            with pytest.raises(ApiError) as excinfo:
+                register_from_spec(
+                    service,
+                    {
+                        "kind": "vfl",
+                        "log_path": "does-not-exist.npz",
+                        "estimator": "gtg_shapley",
+                    },
+                )
+            assert excinfo.value.status == 400
+            assert "does not support 'vfl'" in str(excinfo.value)
+
+
+class TestWalRecovery:
+    def test_recovered_run_keeps_its_backend(self, hfl_log_path, tmp_path):
+        spec = {
+            "kind": "hfl",
+            "log_path": hfl_log_path,
+            "dataset": "mnist",
+            "seed": 0,
+            "n_samples": 300,
+            "estimator": "gtg_shapley",
+            "run_id": "gtg-run",
+        }
+        with WriteAheadLog(tmp_path / "wal") as wal:
+            service = EvaluationService()
+            service.attach_wal(wal)
+            register_from_spec(service, spec)
+            original = service.contributions("gtg-run")
+            service.close()
+
+        recovered = EvaluationService()
+        report = recover(recovered, WriteAheadLog(tmp_path / "wal"))
+        assert report.runs_restored == 1
+        replayed = recovered.contributions("gtg-run")
+        assert replayed["estimator"] == "gtg_shapley"
+        assert np.array_equal(replayed["totals"], original["totals"])
+        recovered.close()

@@ -97,7 +97,12 @@ class TestEndpoints:
     def test_register_and_query_hfl_run(self, server, log_paths, workload):
         status, created = _register_hfl(server, log_paths, run_id="audit")
         assert status == 201
-        assert created == {"run_id": "audit", "kind": "hfl", "epochs": EPOCHS}
+        assert created == {
+            "run_id": "audit",
+            "kind": "hfl",
+            "estimator": "digfl",
+            "epochs": EPOCHS,
+        }
 
         status, contributions = _get(server, "/runs/audit/contributions")
         assert status == 200

@@ -9,7 +9,11 @@ gradient-cheap but first-order, the sampling backends pay model
 reconstructions for Shapley-shaped answers.
 
 The standalone entry point writes ``BENCH_estimators.json`` at the repo
-root so successive PRs can track both columns.  Run either way::
+root so successive PRs can track both columns.  A second sweep times
+``gtg_shapley`` against ``dpvs`` across party counts and records the
+crossover — the party count where dynamic pruning starts beating guided
+truncation — which :func:`repro.core.backends.choose_backend` reads for
+backend auto-selection.  Run either way::
 
     PYTHONPATH=src python benchmarks/bench_estimators.py
     PYTHONPATH=src python -m pytest benchmarks/bench_estimators.py --benchmark-only
@@ -33,6 +37,9 @@ from repro.shapley import HFLRetrainUtility, exact_shapley
 
 N_PARTIES = 4
 EPOCHS = 4
+#: Party counts swept for the gtg_shapley/dpvs crossover.
+CROSSOVER_PARTIES = (3, 4, 6, 8, 10)
+CROSSOVER_EPOCHS = 3
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
@@ -80,6 +87,44 @@ def run_backends(federation, log, *, repeats: int = 3) -> dict:
     return rows
 
 
+def crossover_sweep(
+    parties=CROSSOVER_PARTIES, *, epochs: int = CROSSOVER_EPOCHS, repeats: int = 2
+) -> dict:
+    """Time gtg_shapley vs dpvs per party count; find where dpvs wins.
+
+    Returns ``{"n_parties": smallest n where dpvs is at least as fast,
+    or None if it never is, "sweep": {n: {backend: seconds}}}`` — the
+    shape :func:`repro.core.backends.choose_backend` consumes.
+    """
+    sweep: dict = {}
+    crossover = None
+    for n in parties:
+        federation = build_hfl_federation(
+            mnist_like(100 * n, seed=0), n, n_mislabeled=1, seed=0
+        )
+        trainer = HFLTrainer(
+            _model_factory, epochs=epochs, lr_schedule=LRSchedule(0.5)
+        )
+        result = trainer.train(
+            federation.locals, federation.validation, track_validation=True
+        )
+        row = {}
+        for name in ("gtg_shapley", "dpvs"):
+            best = float("inf")
+            for _ in range(repeats):
+                backend = get_backend(name)
+                started = time.perf_counter()
+                backend.estimate_hfl(
+                    result.log, federation.validation, _model_factory
+                )
+                best = min(best, time.perf_counter() - started)
+            row[name] = round(best, 4)
+        sweep[n] = row
+        if crossover is None and row["dpvs"] <= row["gtg_shapley"]:
+            crossover = n
+    return {"n_parties": crossover, "sweep": sweep}
+
+
 def test_bench_backends_rank_against_exact(benchmark):
     """Fidelity gate: every backend positively rank-correlates with exact
     Shapley on a log with one clearly-worse participant."""
@@ -119,6 +164,14 @@ def main() -> int:
             "spearman_vs_exact": round(float(rho), 4),
             "totals": [round(float(v), 6) for v in row["totals"]],
         }
+    payload["crossover"] = crossover_sweep()
+    crossover = payload["crossover"]["n_parties"]
+    print(
+        f"gtg_shapley/dpvs crossover: "
+        f"{'never (dpvs always slower)' if crossover is None else f'{crossover} parties'}"
+    )
+    for n, row in payload["crossover"]["sweep"].items():
+        print(f"  {n:>3} parties: gtg={row['gtg_shapley']:.3f}s dpvs={row['dpvs']:.3f}s")
     out = REPO_ROOT / "BENCH_estimators.json"
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"-> {out}")

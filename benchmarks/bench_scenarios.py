@@ -1,0 +1,60 @@
+"""Robustness-matrix bench: full scenario × backend grid, verdicts + timings.
+
+Runs :class:`repro.scenario.RobustnessMatrix` over the default adverse
+grid (Dirichlet α ∈ {0.1, 1.0}, symmetric and pairwise label noise,
+free-riders, VFL modality dropout) with every registered backend, and
+writes the per-cell verdicts — bad parties in the bottom-``k``,
+streaming == batch, Spearman vs exact Shapley, wall seconds — to
+``BENCH_scenarios.json`` at the repo root, so the robustness posture is
+diffable across PRs.  The pytest entry point gates the policy the CI
+matrix job rehearses: ``digfl`` must pass rank correctness everywhere
+and every backend must keep streaming bit-equal to batch.  Run either
+way::
+
+    PYTHONPATH=src python benchmarks/bench_scenarios.py
+    PYTHONPATH=src python -m pytest benchmarks/bench_scenarios.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.scenario import RobustnessMatrix
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SEED = 0
+
+
+def run_matrix() -> "repro.scenario.MatrixResult":  # noqa: F821
+    return RobustnessMatrix(seed=SEED).run()
+
+
+def test_bench_scenario_matrix(benchmark):
+    """The full grid passes its verdict policy (and is timed)."""
+    result = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    for cell in result.cells:
+        benchmark.extra_info[f"{cell.scenario}:{cell.backend}"] = {
+            "bad_in_bottom_k": cell.bad_in_bottom_k,
+            "streaming_equals_batch": cell.streaming_equals_batch,
+            "spearman_vs_exact": cell.spearman_vs_exact,
+        }
+    result.assert_robustness()
+
+
+def main() -> int:
+    result = run_matrix()
+    print(result.table())
+    payload = result.to_dict()
+    out = REPO_ROOT / "BENCH_scenarios.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"-> {out}")
+    if not result.ok:
+        for problem in result.failures():
+            print(f"REGRESSION: {problem}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

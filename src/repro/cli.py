@@ -22,6 +22,10 @@ Subcommands::
     python -m repro.cli estimate run.npz --estimator gtg_shapley \
         --option seed=3 --option max_permutations=32
     python -m repro.cli compare run.npz --estimators digfl,gtg_shapley,dpvs
+    python -m repro.cli scenario run free_rider --backend digfl
+    python -m repro.cli scenario matrix --backends all --check
+    python -m repro.cli scenario matrix --scenarios free_rider,label_noise_symmetric \
+        --backends digfl,gtg_shapley --save BENCH_scenarios.json
 
 Every audit builds the named synthetic dataset, trains the federation,
 runs DIG-FL and prints a contribution table.  The ``--runtime`` family of
@@ -46,7 +50,13 @@ backend (:mod:`repro.estimators`; ``--estimator`` choices come from the
 registry, ``--option KEY=VALUE`` tunes it); ``compare`` runs several
 backends over one log and prints the volatility report — per-participant
 coefficient of variation, rank stability, and cross-backend Spearman
-agreement.
+agreement.  ``scenario`` drives the adversarial suite of
+:mod:`repro.scenario`: ``scenario run`` generates one adverse federation
+(Dirichlet skew, label noise, free-riders, VFL modality dropout) and
+judges one backend against it; ``scenario matrix`` runs the full
+scenario × backend grid and prints per-cell verdicts (``--check`` exits
+nonzero on any rank-correctness or streaming-equality regression — the
+CI gate).
 """
 
 from __future__ import annotations
@@ -543,6 +553,87 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _matrix_scenarios(raw: str):
+    from repro.scenario import get_scenario, scenario_grid, scenario_names
+
+    if raw == "all":
+        return scenario_grid()
+    try:
+        return [get_scenario(token.strip())
+                for token in raw.split(",") if token.strip()]
+    except KeyError:
+        raise SystemExit(
+            f"error: unknown scenario in {raw!r} "
+            f"(known: {', '.join(scenario_names())})"
+        ) from None
+
+
+def _matrix_backends(raw: str):
+    """``all`` → None (every capable backend per scenario kind)."""
+    if raw == "all":
+        return None
+    names = [token.strip() for token in raw.split(",") if token.strip()]
+    unknown = sorted(set(names) - set(backend_names()))
+    if unknown:
+        raise SystemExit(
+            f"error: unknown backend(s) {', '.join(unknown)} "
+            f"(registered: {', '.join(backend_names())})"
+        )
+    return names
+
+
+def _cmd_scenario_run(args) -> int:
+    import json as _json
+
+    from repro.scenario import RobustnessMatrix
+
+    scenarios = _matrix_scenarios(args.name)
+    result = RobustnessMatrix(
+        scenarios=scenarios,
+        backends=[args.backend],
+        seed=args.seed,
+        exact_max_parties=args.exact_max_parties,
+    ).run()
+    if not result.cells:
+        raise SystemExit(
+            f"error: backend {args.backend!r} supports none of the "
+            f"requested scenarios' log kinds"
+        )
+    print(result.table())
+    if args.json:
+        print(_json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_scenario_matrix(args) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.scenario import RobustnessMatrix
+
+    result = RobustnessMatrix(
+        scenarios=_matrix_scenarios(args.scenarios),
+        backends=_matrix_backends(args.backends),
+        seed=args.seed,
+        exact_max_parties=args.exact_max_parties,
+    ).run()
+    print(result.table())
+    if args.save:
+        Path(args.save).write_text(
+            _json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"matrix -> {args.save}")
+    failures = result.failures()
+    if failures:
+        print()
+        print("verdict regressions:", file=sys.stderr)
+        for problem in failures:
+            print(f"  {problem}", file=sys.stderr)
+        if args.check:
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -692,6 +783,54 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated backend names (default: every "
                               "registered backend supporting --kind)")
     compare.set_defaults(func=_cmd_compare)
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="adversarial scenario suite: generate adverse federations and "
+             "judge estimator robustness",
+    )
+    scenario_sub = scenario.add_subparsers(dest="action", required=True)
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run one adverse scenario against one backend"
+    )
+    scenario_run.add_argument(
+        "name",
+        help="scenario name from the default grid (e.g. free_rider, "
+             "dirichlet_a0.1, vfl_modality_dropout), or 'all'",
+    )
+    scenario_run.add_argument("--backend", choices=backend_names(),
+                              default="digfl")
+    scenario_run.add_argument("--json", action="store_true",
+                              help="also print the full verdict JSON")
+    scenario_run.set_defaults(func=_cmd_scenario_run)
+    scenario_matrix = scenario_sub.add_parser(
+        "matrix",
+        help="run the scenario × backend robustness grid and print verdicts",
+    )
+    scenario_matrix.add_argument(
+        "--scenarios", default="all", metavar="A,B,...",
+        help="comma-separated scenario names (default: the full grid)",
+    )
+    scenario_matrix.add_argument(
+        "--backends", default="all", metavar="A,B,...",
+        help="comma-separated backend names (default: every registered "
+             "backend capable of each scenario's log kind)",
+    )
+    scenario_matrix.add_argument(
+        "--check", action="store_true",
+        help="exit 1 on any rank-correctness or streaming-equality "
+             "regression (the CI gate)",
+    )
+    scenario_matrix.add_argument("--save", metavar="PATH",
+                                 help="write the verdict grid as JSON")
+    scenario_matrix.set_defaults(func=_cmd_scenario_matrix)
+    for sub_parser in (scenario_run, scenario_matrix):
+        sub_parser.add_argument("--seed", type=int, default=0)
+        sub_parser.add_argument(
+            "--exact-max-parties", type=int, default=6,
+            help="cap on the 2^n exact-Shapley reference (larger "
+                 "federations skip the Spearman cell)",
+        )
     return parser
 
 

@@ -14,7 +14,9 @@ from repro.core.backends import (
     VFLRunContext,
     backend_infos,
     backend_names,
+    choose_backend,
     get_backend,
+    kind_capable_backends,
     register_backend,
 )
 from repro.core.contribution import ContributionReport, from_per_epoch
@@ -75,6 +77,7 @@ __all__ = [
     "VFLRunContext",
     "backend_infos",
     "backend_names",
+    "choose_backend",
     "epoch_validation_gradient",
     "estimate_hfl_interactive",
     "estimate_hfl_resource_saving",
@@ -85,6 +88,7 @@ __all__ = [
     "from_per_epoch",
     "get_backend",
     "is_monotone_decreasing",
+    "kind_capable_backends",
     "mislabel_detection_score",
     "payment_summary",
     "proportional_payments",

@@ -56,15 +56,35 @@ class UnknownBackendError(ValueError):
 
 
 class UnsupportedLogKind(ValueError):
-    """A backend asked to evaluate a log kind it has no algorithm for."""
+    """A backend asked to evaluate a log kind it has no algorithm for.
 
-    def __init__(self, backend: str, kind: str, supported: Sequence[str]) -> None:
-        super().__init__(
+    The message names the backends that *do* support the kind — "gtg
+    can't do vfl" is only actionable if the error also says which
+    registered backends can.
+    """
+
+    def __init__(
+        self,
+        backend: str,
+        kind: str,
+        supported: Sequence[str],
+        capable: Sequence[str] | None = None,
+    ) -> None:
+        if capable is None:
+            capable = kind_capable_backends(kind)
+        capable = [name for name in capable if name != backend]
+        message = (
             f"estimator backend {backend!r} does not support {kind!r} logs "
             f"(supported: {', '.join(supported)})"
         )
+        if capable:
+            message += (
+                f"; backends supporting {kind!r}: {', '.join(capable)}"
+            )
+        super().__init__(message)
         self.backend = backend
         self.kind = kind
+        self.capable = list(capable)
 
 
 @dataclass
@@ -262,6 +282,69 @@ def backend_infos() -> list[BackendInfo]:
     """One :class:`BackendInfo` per registered backend, name-sorted."""
     _ensure_populated()
     return [_REGISTRY[name]().info() for name in sorted(_REGISTRY)]
+
+
+def kind_capable_backends(kind: str) -> list[str]:
+    """Names of registered backends supporting ``kind``, sorted.
+
+    This is what :class:`UnsupportedLogKind` embeds in its message, and
+    what the robustness matrix uses to enumerate the backend axis for a
+    scenario's log kind.
+    """
+    _ensure_populated()
+    return sorted(name for name, cls in _REGISTRY.items() if kind in cls.kinds)
+
+
+#: BENCH_estimators.json lives at the repo root, three levels above this file.
+_BENCH_ESTIMATORS = "BENCH_estimators.json"
+
+
+def _crossover_parties(bench_path=None) -> int | None:
+    """The gtg→dpvs crossover party count recorded by the benchmark, if any."""
+    from pathlib import Path
+
+    candidates = []
+    if bench_path is not None:
+        candidates.append(Path(bench_path))
+    else:
+        candidates.append(Path.cwd() / _BENCH_ESTIMATORS)
+        candidates.append(Path(__file__).resolve().parents[3] / _BENCH_ESTIMATORS)
+    for path in candidates:
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        crossover = payload.get("crossover")
+        if isinstance(crossover, dict):
+            n = crossover.get("n_parties")
+            if isinstance(n, (int, float)) and n > 0:
+                return int(n)
+    return None
+
+
+def choose_backend(n_parties: int, kind: str, *, bench_path=None) -> str:
+    """Auto-select a backend name for a federation of ``n_parties``.
+
+    Policy: ``digfl`` is the safe default (the only VFL-capable backend,
+    and the cheapest HFL one).  For HFL, when ``BENCH_estimators.json``
+    records a measured ``gtg_shapley``/``dpvs`` crossover, Shapley-style
+    answers come from ``gtg_shapley`` below the crossover party count and
+    ``dpvs`` at or above it; with no benchmark file (or a pre-crossover
+    format) the choice falls back to ``digfl``.
+    """
+    if n_parties < 1:
+        raise ValueError(f"n_parties must be positive, got {n_parties}")
+    if kind not in ("hfl", "vfl"):
+        raise ValueError(f"kind must be 'hfl' or 'vfl', got {kind!r}")
+    if kind == "vfl":
+        return "digfl"
+    crossover = _crossover_parties(bench_path)
+    if crossover is None:
+        return "digfl"
+    names = set(backend_names())
+    if not {"gtg_shapley", "dpvs"} <= names:
+        return "digfl"
+    return "gtg_shapley" if n_parties < crossover else "dpvs"
 
 
 def get_backend(name: str, **options) -> EstimatorBackend:

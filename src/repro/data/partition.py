@@ -14,8 +14,8 @@ a disjoint block of feature columns.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Literal
+from dataclasses import dataclass, field
+from typing import Literal, Mapping
 
 import numpy as np
 
@@ -193,6 +193,35 @@ def mislabel(
     return y, mask
 
 
+def pairwise_mislabel(
+    y: np.ndarray,
+    fraction: float,
+    num_classes: int,
+    *,
+    seed=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Structured label noise: class ``c`` flips to ``(c + 1) % num_classes``.
+
+    Unlike :func:`mislabel` (symmetric — a corrupted label lands uniformly
+    on any *other* class), pairwise noise confuses each class with exactly
+    one neighbour, the harder-to-detect "annotator confusion" regime.
+    Returns ``(corrupted_labels, corrupted_mask)``.
+    """
+    check_fraction(fraction, "fraction")
+    check_positive_int(num_classes, "num_classes")
+    rng = make_rng(seed)
+    y = np.asarray(y).copy()
+    n = len(y)
+    n_bad = int(round(fraction * n))
+    mask = np.zeros(n, dtype=bool)
+    if n_bad == 0:
+        return y, mask
+    bad_idx = rng.choice(n, size=n_bad, replace=False)
+    y[bad_idx] = (y[bad_idx] + 1) % num_classes
+    mask[bad_idx] = True
+    return y, mask
+
+
 def vertical_partition(
     n_features: int, n_parties: int, *, seed=None
 ) -> list[np.ndarray]:
@@ -220,6 +249,9 @@ class FederatedSplit:
     locals: list[Dataset]
     qualities: list[Quality]
     validation: Dataset
+    #: How the split was generated (partition scheme, alpha, per-party class
+    #: histograms, noise rates, ...) — JSON-friendly, for scenario verdicts.
+    metadata: Mapping = field(default_factory=dict)
 
     @property
     def n_parties(self) -> int:
@@ -290,6 +322,56 @@ def build_hfl_federation(
             final_qualities.append(qualities[i])
         locals_.append(local)
     return FederatedSplit(locals=locals_, qualities=final_qualities, validation=validation)
+
+
+def class_histogram(y: np.ndarray, num_classes: int) -> list[int]:
+    """Per-class sample counts of one party's labels (JSON-friendly)."""
+    return np.bincount(np.asarray(y, dtype=np.int64), minlength=num_classes).tolist()
+
+
+def build_dirichlet_federation(
+    dataset: Dataset,
+    n_parties: int,
+    *,
+    alpha: float,
+    validation_fraction: float = 0.1,
+    seed=None,
+) -> FederatedSplit:
+    """Dirichlet(α) label-skew federation with histogram metadata.
+
+    Every party is tagged ``"noniid"`` (α is a global skew dial, not a
+    per-party corruption), and ``metadata["class_histograms"]`` records the
+    per-party label distribution the skew produced, so scenario verdicts
+    can report *how* non-IID each party actually came out.
+    """
+    if dataset.task not in ("binary", "multiclass"):
+        raise ValueError("HFL federations require a classification dataset")
+    rng = make_rng(seed)
+    train, validation = dataset.validation_split(validation_fraction, seed=rng)
+    parts = dirichlet_label_partition(
+        train.y,
+        n_parties,
+        alpha,
+        num_classes=dataset.num_classes,
+        seed=rng,
+    )
+    locals_ = [
+        train.subset(part, name=f"{dataset.name}/party{i}")
+        for i, part in enumerate(parts)
+    ]
+    histograms = [
+        class_histogram(local.y, dataset.num_classes) for local in locals_
+    ]
+    return FederatedSplit(
+        locals=locals_,
+        qualities=["noniid"] * n_parties,
+        validation=validation,
+        metadata={
+            "partition": "dirichlet",
+            "alpha": float(alpha),
+            "class_histograms": histograms,
+        },
+    )
 
 
 @dataclass(frozen=True)

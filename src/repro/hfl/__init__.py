@@ -3,9 +3,11 @@
 from repro.hfl.attacks import (
     AdversarialHFLTrainer,
     gaussian_noise,
+    noise_echo,
     random_update,
     scale,
     sign_flip,
+    stale_update,
     zero_update,
 )
 from repro.hfl.compression import quantize, random_sparsify, topk_sparsify
@@ -31,11 +33,13 @@ __all__ = [
     "TrainingLog",
     "flat_gradient",
     "gaussian_noise",
+    "noise_echo",
     "quantize",
     "random_sparsify",
     "random_update",
     "scale",
     "sign_flip",
+    "stale_update",
     "topk_sparsify",
     "validation_gradient",
     "zero_update",

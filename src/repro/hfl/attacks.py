@@ -89,6 +89,46 @@ def random_update(sigma: float = 1.0, *, seed: int = 0) -> UpdateTransform:
     return transform
 
 
+def stale_update() -> UpdateTransform:
+    """The lazy free-rider: always re-ships the *previous* round's update.
+
+    The first round is honest (there is nothing to replay yet); from then
+    on the party trains but uploads last round's result — plausible-looking
+    traffic carrying one-round-stale information.
+    """
+    last: dict[str, np.ndarray] = {}
+
+    def transform(update: np.ndarray, epoch: int) -> np.ndarray:
+        shipped = last.get("update", update)
+        last["update"] = update
+        return shipped
+
+    return transform
+
+
+def noise_echo(sigma: float = 0.05, *, seed: int = 0) -> UpdateTransform:
+    """The camouflaged free-rider: echoes its own past upload plus noise.
+
+    Round 0 ships pure seeded noise; afterwards the party re-ships its own
+    previous upload perturbed by fresh N(0, σ²) noise — the "delta-weights
+    attack" shape: statistically plausible updates that never encode any
+    local training.
+    """
+    if sigma < 0:
+        raise ValueError(f"sigma must be non-negative, got {sigma}")
+    last: dict[str, np.ndarray] = {}
+
+    def transform(update: np.ndarray, epoch: int) -> np.ndarray:
+        rng = np.random.default_rng(derive_seed(seed, epoch))
+        noise = sigma * rng.normal(size=update.shape)
+        shipped = last.get("shipped")
+        shipped = noise if shipped is None else shipped + noise
+        last["shipped"] = shipped
+        return shipped
+
+    return transform
+
+
 class AdversarialHFLTrainer(HFLTrainer):
     """HFLTrainer where selected participants manipulate their updates.
 

@@ -44,7 +44,7 @@ from repro.runtime.executor import (
     SerialExecutor,
     make_executor,
 )
-from repro.runtime.faults import NULL_PLAN, FaultInjector, FaultPlan, TaskFate
+from repro.runtime.faults import NULL_PLAN, FaultInjector, FaultPlan, Outage, TaskFate
 from repro.runtime.scheduler import PartyOutcome, RoundOutcome, Scheduler
 
 __all__ = [
@@ -56,6 +56,7 @@ __all__ = [
     "FaultPlan",
     "FederatedRuntime",
     "NULL_PLAN",
+    "Outage",
     "PartyOutcome",
     "PoolExecutor",
     "RoundOutcome",

@@ -35,12 +35,51 @@ MS = 1e-3  # plan fields are milliseconds; simulated time runs in seconds
 
 
 @dataclass(frozen=True)
+class Outage:
+    """A scripted, deterministic absence: one party dark for a round span.
+
+    Unlike the statistical ``dropout_rate``, an outage names *which* party
+    goes dark and *when* — the scenario suite's "modality dropout" knob,
+    where a VFL party's feature block disappears mid-training.  Rounds in
+    ``[start_round, end_round]`` (inclusive; ``end_round=None`` means "for
+    the rest of the run") drop the party without consuming any rng draws,
+    so adding an outage never perturbs the other parties' sampled fates.
+    Round numbers follow whatever the scheduler dispatches — the engine
+    passes the trainers' 1-indexed epoch numbers.
+    """
+
+    party: int
+    start_round: int
+    end_round: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.party < 0:
+            raise ValueError(f"party must be non-negative, got {self.party}")
+        if self.start_round < 0:
+            raise ValueError(
+                f"start_round must be non-negative, got {self.start_round}"
+            )
+        if self.end_round is not None and self.end_round < self.start_round:
+            raise ValueError(
+                f"end_round {self.end_round} precedes start_round {self.start_round}"
+            )
+
+    def covers(self, round: int, party: int) -> bool:
+        return (
+            party == self.party
+            and round >= self.start_round
+            and (self.end_round is None or round <= self.end_round)
+        )
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Statistical description of a federation's failure behaviour.
 
     The default plan is fault-free: every task completes after ``base_ms``
     of simulated compute.  ``NULL_PLAN.is_null()`` is how the engine knows
     it can promise bit-for-bit equivalence with the synchronous trainers.
+    ``outages`` adds *scripted* absences on top of the statistical knobs.
     """
 
     dropout_rate: float = 0.0
@@ -50,6 +89,7 @@ class FaultPlan:
     backoff_ms: float = 50.0
     base_ms: float = 1.0
     seed: int = 0
+    outages: tuple[Outage, ...] = ()
 
     def __post_init__(self) -> None:
         for name in ("dropout_rate", "crash_rate"):
@@ -61,6 +101,10 @@ class FaultPlan:
                 raise ValueError(f"{name} must be non-negative")
         if self.max_retries < 0:
             raise ValueError(f"max_retries must be non-negative, got {self.max_retries}")
+        object.__setattr__(self, "outages", tuple(self.outages))
+        for outage in self.outages:
+            if not isinstance(outage, Outage):
+                raise TypeError(f"outages must hold Outage instances, got {outage!r}")
 
     def is_null(self) -> bool:
         """True when no fault can ever fire (pure timing simulation)."""
@@ -68,7 +112,12 @@ class FaultPlan:
             self.dropout_rate == 0.0
             and self.straggler_ms == 0.0
             and self.crash_rate == 0.0
+            and not self.outages
         )
+
+    def in_outage(self, round: int, party: int) -> bool:
+        """True when a scripted outage covers ``(round, party)``."""
+        return any(outage.covers(round, party) for outage in self.outages)
 
 
 NULL_PLAN = FaultPlan()
@@ -105,6 +154,12 @@ class FaultInjector:
     def fate(self, round: int, party: int) -> TaskFate:
         """The fate of ``party``'s task in ``round`` (stable across calls)."""
         plan = self.plan
+        # Scripted outages fire before any statistical draw — they consume
+        # no rng state, so scripting one party never changes another's fate.
+        if plan.outages and plan.in_outage(round, party):
+            return TaskFate(
+                dropped=True, gave_up=False, attempts=0, crashes=0, duration_s=0.0
+            )
         if plan.is_null():
             return TaskFate(
                 dropped=False,

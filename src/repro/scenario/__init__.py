@@ -1,0 +1,67 @@
+"""Declarative scenarios: one-call runners plus the adverse-condition suite.
+
+Two layers:
+
+* :mod:`repro.scenario.base` — the original declarative facade
+  (:class:`HFLScenario`, :class:`VFLScenario`, :func:`quick_audit`):
+  federation → training → estimation → summary in one call.
+* :mod:`repro.scenario.generators` / :mod:`repro.scenario.matrix` — the
+  robustness suite: generators for adverse federations (Dirichlet label
+  skew, per-party label noise, free-riders, VFL modality dropout) and the
+  :class:`RobustnessMatrix` harness that runs every registered estimator
+  backend across the scenario grid and judges each cell (bad parties in
+  the bottom-``k``, streaming ``np.array_equal`` batch, Spearman vs exact
+  Shapley).
+
+Quickstart::
+
+    from repro.scenario import RobustnessMatrix
+
+    result = RobustnessMatrix(seed=0).run()
+    print(result.table())
+    result.assert_robustness()
+"""
+
+from repro.scenario.base import (
+    HFLScenario,
+    ScenarioResult,
+    VFLScenario,
+    VFLScenarioResult,
+    quick_audit,
+)
+from repro.scenario.generators import (
+    RIDER_KINDS,
+    AdverseRun,
+    AdverseScenario,
+    DirichletLabelSkew,
+    FreeRiders,
+    LabelNoise,
+    VFLModalityDropout,
+    cell_seed,
+    get_scenario,
+    scenario_grid,
+    scenario_names,
+)
+from repro.scenario.matrix import CellVerdict, MatrixResult, RobustnessMatrix
+
+__all__ = [
+    "AdverseRun",
+    "AdverseScenario",
+    "CellVerdict",
+    "DirichletLabelSkew",
+    "FreeRiders",
+    "HFLScenario",
+    "LabelNoise",
+    "MatrixResult",
+    "RIDER_KINDS",
+    "RobustnessMatrix",
+    "ScenarioResult",
+    "VFLModalityDropout",
+    "VFLScenario",
+    "VFLScenarioResult",
+    "cell_seed",
+    "get_scenario",
+    "quick_audit",
+    "scenario_grid",
+    "scenario_names",
+]

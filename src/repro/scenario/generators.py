@@ -1,0 +1,514 @@
+"""Adverse-federation generators: the scenario axis of the robustness matrix.
+
+Each generator is a small frozen dataclass describing one adverse
+condition — Dirichlet label skew, per-party label noise, free-riding
+participants, a VFL modality going dark mid-training — and
+``generate(seed)`` turns it into an :class:`AdverseRun`: a completed,
+fully deterministic training run whose log carries the injected damage,
+plus the ground truth the matrix needs to judge an estimator (which
+parties are bad, how large a bottom-``k`` they should occupy, how to
+compute the exact Shapley reference).
+
+The generators deliberately *train through the normal stack* — the
+trainers, the runtime engine, the participation-mask path — instead of
+fabricating logs, so a backend that passes the matrix passed it against
+exactly the records production serving would feed it.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.core.contribution import ContributionReport
+from repro.data import HFL_DATASETS, build_dirichlet_federation, build_hfl_federation
+from repro.data.dataset import Dataset
+from repro.data.partition import class_histogram, mislabel, pairwise_mislabel
+from repro.hfl import AdversarialHFLTrainer, HFLTrainer
+from repro.hfl.attacks import UpdateTransform, noise_echo, stale_update, zero_update
+from repro.nn import LRSchedule, make_hfl_model
+from repro.shapley import HFLRetrainUtility, exact_shapley
+from repro.utils.rng import derive_seed, make_rng
+
+#: Free-rider flavours ``FreeRiders`` knows how to build.
+RIDER_KINDS = ("zero", "noise_echo", "stale")
+
+
+def _salt(token) -> int:
+    """Map arbitrary (string) tokens into ``derive_seed``'s int salts."""
+    if isinstance(token, (int, np.integer)):
+        return int(token)
+    return zlib.crc32(str(token).encode("utf-8"))
+
+
+def cell_seed(seed: int, *tokens) -> int:
+    """Stable per-(scenario, backend, ...) seed from string/int tokens."""
+    return derive_seed(seed, *(_salt(t) for t in tokens))
+
+
+@dataclass
+class AdverseRun:
+    """One generated adverse federation, trained and ready to estimate.
+
+    ``bad_parties`` are the injected low-quality participants a correct
+    estimator must expose; ``bottom_k`` is the ranking window they are
+    required to occupy (sized to the number of *suspect* parties, which
+    may exceed ``bad_parties`` — e.g. a stale free-rider is suspect but
+    its one-round-old updates genuinely help, so it is not asserted on).
+    ``exact_fn`` lazily computes the exact-Shapley reference (``None``
+    when no faithful ground truth exists, e.g. the VFL outage scenario —
+    retraining has no fault model to replay the absence).
+    """
+
+    name: str
+    kind: str  # "hfl" | "vfl"
+    seed: int
+    n_parties: int
+    bad_parties: tuple[int, ...]
+    bottom_k: int
+    log: object  # TrainingLog | VFLTrainingLog
+    metadata: dict
+    validation: Dataset | None = None
+    model_factory: Callable | None = None
+    exact_fn: Callable[[], ContributionReport] | None = None
+
+
+class AdverseScenario:
+    """Interface every generator implements (duck-typed, no registry)."""
+
+    kind: str = "hfl"
+
+    @property
+    def name(self) -> str:  # pragma: no cover - overridden everywhere
+        raise NotImplementedError
+
+    def generate(self, seed: int = 0) -> AdverseRun:
+        raise NotImplementedError
+
+
+def _corrupt_labels(
+    local: Dataset, fraction: float, noise: str, *, seed: int
+) -> tuple[Dataset, int]:
+    """One party's labels corrupted in place; returns (dataset, n_flipped)."""
+    corrupt = mislabel if noise == "symmetric" else pairwise_mislabel
+    corrupted, mask = corrupt(local.y, fraction, local.num_classes, seed=seed)
+    return (
+        Dataset(
+            name=local.name,
+            X=local.X,
+            y=corrupted,
+            task=local.task,
+            num_classes=local.num_classes,
+        ),
+        int(mask.sum()),
+    )
+
+
+def _hfl_exact_fn(trainer, federation, log) -> Callable[[], ContributionReport]:
+    def compute() -> ContributionReport:
+        utility = HFLRetrainUtility(
+            trainer,
+            federation.locals,
+            federation.validation,
+            init_theta=log.initial_theta,
+        )
+        return exact_shapley(utility)
+
+    return compute
+
+
+@dataclass(frozen=True)
+class DirichletLabelSkew(AdverseScenario):
+    """Dirichlet(α) non-IID sharding with one heavily-mislabeled party.
+
+    The α dial sets how hostile the *backdrop* is (0.1 ⇒ each class lives
+    on few parties; 1.0 ⇒ mild skew); the injected bad party — chosen by a
+    seeded draw, ``mislabel_fraction`` of its labels flipped — is what the
+    estimator must still separate from merely-skewed honest parties.
+    Per-party class histograms land in the split metadata so verdicts can
+    report how non-IID each party actually came out.
+    """
+
+    alpha: float = 0.1
+    dataset: str = "mnist"
+    n_parties: int = 5
+    epochs: int = 6
+    lr: float = 0.5
+    n_samples: int = 600
+    mislabel_fraction: float = 0.9
+    bottom_k: int = 2
+
+    kind = "hfl"
+
+    @property
+    def name(self) -> str:
+        return f"dirichlet_a{self.alpha:g}"
+
+    def generate(self, seed: int = 0) -> AdverseRun:
+        info = HFL_DATASETS[self.dataset]
+        data = info.make(n_samples=self.n_samples, seed=derive_seed(seed, 1))
+        federation = build_dirichlet_federation(
+            data, self.n_parties, alpha=self.alpha, seed=derive_seed(seed, 2)
+        )
+        bad = int(make_rng(derive_seed(seed, 4)).integers(self.n_parties))
+        corrupted, n_flipped = _corrupt_labels(
+            federation.locals[bad],
+            self.mislabel_fraction,
+            "symmetric",
+            seed=derive_seed(seed, 5),
+        )
+        locals_ = list(federation.locals)
+        locals_[bad] = corrupted
+        qualities = list(federation.qualities)
+        qualities[bad] = "mislabeled"
+        federation = replace(
+            federation,
+            locals=locals_,
+            qualities=qualities,
+            metadata={
+                **federation.metadata,
+                "mislabeled_party": bad,
+                "mislabel_fraction": self.mislabel_fraction,
+                "n_flipped": n_flipped,
+                "class_histograms": [
+                    class_histogram(local.y, data.num_classes) for local in locals_
+                ],
+            },
+        )
+
+        def model_factory():
+            return make_hfl_model(self.dataset, seed=derive_seed(seed, 3))
+
+        trainer = HFLTrainer(
+            model_factory, epochs=self.epochs, lr_schedule=LRSchedule(self.lr)
+        )
+        training = trainer.train(
+            federation.locals, federation.validation, track_validation=True
+        )
+        return AdverseRun(
+            name=self.name,
+            kind="hfl",
+            seed=seed,
+            n_parties=self.n_parties,
+            bad_parties=(bad,),
+            bottom_k=self.bottom_k,
+            log=training.log,
+            metadata=dict(federation.metadata),
+            validation=federation.validation,
+            model_factory=model_factory,
+            exact_fn=_hfl_exact_fn(trainer, federation, training.log),
+        )
+
+
+@dataclass(frozen=True)
+class LabelNoise(AdverseScenario):
+    """Per-party label noise at explicit rates, symmetric or pairwise.
+
+    ``rates[i]`` is party ``i``'s corruption rate over an otherwise-IID
+    split; parties at or above ``bad_threshold`` are the injected bad
+    participants.  The default profile has one ruined party (0.8) and one
+    merely-degraded party (0.4) — ``bottom_k=2`` allows the degraded one
+    to share the bottom without being asserted on.
+    """
+
+    noise: str = "symmetric"  # "symmetric" | "pairwise"
+    rates: tuple[float, ...] = (0.8, 0.4, 0.0, 0.0, 0.0)
+    dataset: str = "mnist"
+    epochs: int = 6
+    lr: float = 0.5
+    n_samples: int = 600
+    bad_threshold: float = 0.5
+    bottom_k: int = 2
+
+    kind = "hfl"
+
+    def __post_init__(self) -> None:
+        if self.noise not in ("symmetric", "pairwise"):
+            raise ValueError(
+                f"noise must be 'symmetric' or 'pairwise', got {self.noise!r}"
+            )
+
+    @property
+    def name(self) -> str:
+        return f"label_noise_{self.noise}"
+
+    @property
+    def n_parties(self) -> int:
+        return len(self.rates)
+
+    def generate(self, seed: int = 0) -> AdverseRun:
+        info = HFL_DATASETS[self.dataset]
+        data = info.make(n_samples=self.n_samples, seed=derive_seed(seed, 1))
+        federation = build_hfl_federation(
+            data, self.n_parties, seed=derive_seed(seed, 2)
+        )
+        locals_ = list(federation.locals)
+        qualities = list(federation.qualities)
+        flipped: list[int] = []
+        for i, rate in enumerate(self.rates):
+            if rate <= 0.0:
+                flipped.append(0)
+                continue
+            locals_[i], n_flipped = _corrupt_labels(
+                locals_[i], rate, self.noise, seed=derive_seed(seed, 4, i)
+            )
+            qualities[i] = "mislabeled"
+            flipped.append(n_flipped)
+        bad = tuple(
+            i for i, rate in enumerate(self.rates) if rate >= self.bad_threshold
+        )
+        federation = replace(
+            federation,
+            locals=locals_,
+            qualities=qualities,
+            metadata={
+                "noise": self.noise,
+                "rates": list(self.rates),
+                "n_flipped": flipped,
+                "bad_threshold": self.bad_threshold,
+            },
+        )
+
+        def model_factory():
+            return make_hfl_model(self.dataset, seed=derive_seed(seed, 3))
+
+        trainer = HFLTrainer(
+            model_factory, epochs=self.epochs, lr_schedule=LRSchedule(self.lr)
+        )
+        training = trainer.train(
+            federation.locals, federation.validation, track_validation=True
+        )
+        return AdverseRun(
+            name=self.name,
+            kind="hfl",
+            seed=seed,
+            n_parties=self.n_parties,
+            bad_parties=bad,
+            bottom_k=self.bottom_k,
+            log=training.log,
+            metadata=dict(federation.metadata),
+            validation=federation.validation,
+            model_factory=model_factory,
+            exact_fn=_hfl_exact_fn(trainer, federation, training.log),
+        )
+
+
+@dataclass(frozen=True)
+class FreeRiders(AdverseScenario):
+    """Update-level free-riders: zero, noise-echo and stale uploaders.
+
+    ``riders`` maps party index → flavour.  ``zero`` and ``noise_echo``
+    riders contribute nothing real and are asserted into the bottom-``k``;
+    a ``stale`` rider's one-round-old updates still carry genuine signal,
+    so it widens ``bottom_k`` (it is *allowed* in the bottom) without
+    being asserted on.
+    """
+
+    riders: Mapping[int, str] = field(
+        default_factory=lambda: {0: "zero", 1: "noise_echo", 2: "stale"}
+    )
+    dataset: str = "mnist"
+    n_parties: int = 6
+    epochs: int = 6
+    lr: float = 0.5
+    n_samples: int = 720
+    echo_sigma: float = 0.05
+
+    kind = "hfl"
+
+    def __post_init__(self) -> None:
+        unknown = {k for k in self.riders.values() if k not in RIDER_KINDS}
+        if unknown:
+            raise ValueError(
+                f"unknown rider kind(s) {sorted(unknown)}; known: {RIDER_KINDS}"
+            )
+        outside = [i for i in self.riders if not 0 <= i < self.n_parties]
+        if outside:
+            raise ValueError(f"rider parties {outside} outside the federation")
+        if len(self.riders) >= self.n_parties:
+            raise ValueError("at least one honest party is required")
+
+    @property
+    def name(self) -> str:
+        return "free_rider"
+
+    def _attacks(self, seed: int) -> dict[int, UpdateTransform]:
+        attacks: dict[int, UpdateTransform] = {}
+        for party, flavour in self.riders.items():
+            if flavour == "zero":
+                attacks[party] = zero_update()
+            elif flavour == "stale":
+                attacks[party] = stale_update()
+            else:
+                attacks[party] = noise_echo(
+                    self.echo_sigma, seed=derive_seed(seed, 5, party)
+                )
+        return attacks
+
+    def generate(self, seed: int = 0) -> AdverseRun:
+        info = HFL_DATASETS[self.dataset]
+        data = info.make(n_samples=self.n_samples, seed=derive_seed(seed, 1))
+        federation = build_hfl_federation(
+            data, self.n_parties, seed=derive_seed(seed, 2)
+        )
+        federation = replace(
+            federation,
+            metadata={"riders": {int(k): v for k, v in self.riders.items()}},
+        )
+
+        def model_factory():
+            return make_hfl_model(self.dataset, seed=derive_seed(seed, 3))
+
+        trainer = AdversarialHFLTrainer(
+            model_factory,
+            self.epochs,
+            LRSchedule(self.lr),
+            attacks=self._attacks(seed),
+        )
+        training = trainer.train(
+            federation.locals, federation.validation, track_validation=True
+        )
+        bad = tuple(
+            sorted(p for p, kind in self.riders.items() if kind != "stale")
+        )
+        return AdverseRun(
+            name=self.name,
+            kind="hfl",
+            seed=seed,
+            n_parties=self.n_parties,
+            bad_parties=bad,
+            bottom_k=len(self.riders),
+            log=training.log,
+            metadata=dict(federation.metadata),
+            validation=federation.validation,
+            model_factory=model_factory,
+            exact_fn=_hfl_exact_fn(trainer, federation, training.log),
+        )
+
+
+@dataclass(frozen=True)
+class VFLModalityDropout(AdverseScenario):
+    """A VFL party's feature block goes dark mid-training.
+
+    A scripted :class:`repro.runtime.Outage` drops ``dark_party`` from
+    round ``dark_from`` onward (rounds are 1-indexed, matching the epoch
+    numbering in the logs; ``None`` = halfway through the run); the
+    engine's participation-mask path then records the absence exactly the
+    way crashes do today, and the estimators see zero per-epoch
+    contribution for the dark rounds.
+
+    ``dark_party=None`` picks the party the *clean* reference run ranks
+    weakest, so "dark party lands bottom-1" is the genuinely correct
+    ranking — the vertical blocks carry geometrically decaying signal,
+    and darkening a strong block mid-run leaves it more early-round
+    credit than a weak block earns in a whole run.  The clean totals are
+    recorded in the metadata either way.  No exact-Shapley reference
+    exists here — retraining a coalition has no fault model to replay
+    the outage — so the Spearman cell stays empty by design.
+    """
+
+    dataset: str = "boston"
+    n_parties: int = 4
+    epochs: int = 20
+    dark_party: int | None = None  # None = weakest party of the clean run
+    dark_from: int | None = None  # 1-indexed round; None = epochs // 2 + 1
+    max_rows: int = 400
+
+    kind = "vfl"
+
+    def __post_init__(self) -> None:
+        if self.dark_party is not None and not 0 <= self.dark_party < self.n_parties:
+            raise ValueError(
+                f"dark_party {self.dark_party} outside the {self.n_parties}-party federation"
+            )
+        if self.dark_from is not None and not 1 <= self.dark_from <= self.epochs:
+            raise ValueError(
+                f"dark_from {self.dark_from} outside rounds 1..{self.epochs}"
+            )
+
+    @property
+    def name(self) -> str:
+        return "vfl_modality_dropout"
+
+    def generate(self, seed: int = 0) -> AdverseRun:
+        from repro.core import estimate_vfl_first_order
+        from repro.experiments.workloads import build_vfl_workload
+        from repro.runtime import FaultPlan, Outage, RuntimeConfig
+
+        clean = build_vfl_workload(
+            self.dataset,
+            n_parties=self.n_parties,
+            epochs=self.epochs,
+            max_rows=self.max_rows,
+            seed=seed,
+        )
+        clean_totals = estimate_vfl_first_order(clean.result.log).totals
+        dark_party = (
+            int(np.argmin(clean_totals))
+            if self.dark_party is None
+            else self.dark_party
+        )
+        dark_from = (
+            self.epochs // 2 + 1 if self.dark_from is None else self.dark_from
+        )
+        runtime = RuntimeConfig(
+            executor="serial",
+            faults=FaultPlan(outages=(Outage(dark_party, dark_from),)),
+        )
+        workload = build_vfl_workload(
+            self.dataset,
+            n_parties=self.n_parties,
+            epochs=self.epochs,
+            max_rows=self.max_rows,
+            seed=seed,
+            runtime=runtime,
+        )
+        log = workload.result.log
+        masks = np.stack([r.participation_mask() for r in log.records])
+        return AdverseRun(
+            name=self.name,
+            kind="vfl",
+            seed=seed,
+            n_parties=self.n_parties,
+            bad_parties=(dark_party,),
+            bottom_k=1,
+            log=log,
+            metadata={
+                "dark_party": dark_party,
+                "dark_from": dark_from,
+                "dark_rounds": int((~masks[:, dark_party]).sum()),
+                "epochs": self.epochs,
+                "clean_totals": [float(t) for t in clean_totals],
+            },
+            exact_fn=None,
+        )
+
+
+def scenario_grid() -> list[AdverseScenario]:
+    """The default adverse-condition axis of the robustness matrix."""
+    return [
+        DirichletLabelSkew(alpha=0.1),
+        DirichletLabelSkew(alpha=1.0),
+        LabelNoise(noise="symmetric"),
+        LabelNoise(noise="pairwise"),
+        FreeRiders(),
+        VFLModalityDropout(),
+    ]
+
+
+def scenario_names() -> list[str]:
+    """Names of the default grid, grid order."""
+    return [scenario.name for scenario in scenario_grid()]
+
+
+def get_scenario(name: str) -> AdverseScenario:
+    """Look one default-grid scenario up by name."""
+    for scenario in scenario_grid():
+        if scenario.name == name:
+            return scenario
+    raise KeyError(
+        f"unknown scenario {name!r}; known: {', '.join(scenario_names())}"
+    )

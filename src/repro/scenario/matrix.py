@@ -1,0 +1,238 @@
+"""The robustness matrix: every backend × every adverse scenario, judged.
+
+For each cell the harness computes three facts:
+
+* **rank correctness** — do the scenario's injected bad participants land
+  in the bottom-``k`` of the backend's ranking,
+* **streaming integrity** — is a record-by-record streaming estimate
+  ``np.array_equal`` to the batch estimate under the adverse condition,
+* **fidelity** — Spearman ρ against the exact Shapley value, when the
+  scenario admits a faithful ground truth (small federations, no faults).
+
+``MatrixResult.assert_robustness()`` is the CI gate: ``digfl`` (the
+paper's estimator) must pass rank correctness in every cell, and *every*
+backend must keep streaming == batch; other backends' rank verdicts are
+recorded — the matrix documents where they degrade — without failing the
+build.  Each scenario trains once per matrix run; each (scenario,
+backend) cell gets its own ``derive_seed``-derived seed, so the whole
+grid is reproducible and diffable across PRs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.backends import (
+    HFLRunContext,
+    VFLRunContext,
+    get_backend,
+    kind_capable_backends,
+)
+from repro.core.contribution import ContributionReport
+from repro.metrics import spearman_correlation
+from repro.scenario.generators import (
+    AdverseRun,
+    AdverseScenario,
+    cell_seed,
+    scenario_grid,
+)
+
+
+@dataclass
+class CellVerdict:
+    """One (scenario, backend) cell of the matrix, fully evaluated."""
+
+    scenario: str
+    backend: str
+    kind: str
+    seed: int
+    bad_parties: list[int]
+    bottom_k: int
+    ranking: list[int]
+    bad_in_bottom_k: bool
+    streaming_equals_batch: bool
+    spearman_vs_exact: float | None
+    seconds: float
+    totals: list[float]
+
+    @property
+    def bottom(self) -> list[int]:
+        """The worst-ranked ``bottom_k`` participant ids."""
+        return self.ranking[-self.bottom_k:] if self.bottom_k else []
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "backend": self.backend,
+            "kind": self.kind,
+            "seed": self.seed,
+            "bad_parties": self.bad_parties,
+            "bottom_k": self.bottom_k,
+            "ranking": self.ranking,
+            "bad_in_bottom_k": self.bad_in_bottom_k,
+            "streaming_equals_batch": self.streaming_equals_batch,
+            "spearman_vs_exact": self.spearman_vs_exact,
+            "seconds": self.seconds,
+            "totals": self.totals,
+        }
+
+
+@dataclass
+class MatrixResult:
+    """All cells of one matrix run, plus the policy that judges them."""
+
+    cells: list[CellVerdict]
+    seed: int
+
+    def failures(self) -> list[str]:
+        """Human-readable verdict regressions (empty ⇒ the matrix passes)."""
+        problems: list[str] = []
+        for cell in self.cells:
+            where = f"{cell.scenario} × {cell.backend}"
+            if not cell.streaming_equals_batch:
+                problems.append(f"{where}: streaming != batch")
+            if cell.backend == "digfl" and not cell.bad_in_bottom_k:
+                problems.append(
+                    f"{where}: bad parties {cell.bad_parties} not in "
+                    f"bottom-{cell.bottom_k} {cell.bottom} of ranking {cell.ranking}"
+                )
+        return problems
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures()
+
+    def assert_robustness(self) -> None:
+        """Raise ``AssertionError`` listing every verdict regression."""
+        problems = self.failures()
+        if problems:
+            raise AssertionError(
+                "robustness matrix regressions:\n  " + "\n  ".join(problems)
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "ok": self.ok,
+            "failures": self.failures(),
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    def table(self) -> str:
+        """Fixed-width text table, one row per cell (CLI output)."""
+        header = (
+            f"{'scenario':<24} {'backend':<12} {'bad→bottom-k':<12} "
+            f"{'stream==batch':<13} {'spearman':<9} {'seconds':<8}"
+        )
+        lines = [header, "-" * len(header)]
+        for cell in self.cells:
+            rho = (
+                "-"
+                if cell.spearman_vs_exact is None
+                else f"{cell.spearman_vs_exact:.3f}"
+            )
+            lines.append(
+                f"{cell.scenario:<24} {cell.backend:<12} "
+                f"{'PASS' if cell.bad_in_bottom_k else 'FAIL':<12} "
+                f"{'PASS' if cell.streaming_equals_batch else 'FAIL':<13} "
+                f"{rho:<9} {cell.seconds:<8.4f}"
+            )
+        return "\n".join(lines)
+
+
+def _streaming_report(backend, run: AdverseRun) -> ContributionReport:
+    """Record-by-record streaming estimate over the run's whole log."""
+    if run.kind == "hfl":
+        estimator = backend.streaming_hfl(
+            HFLRunContext(
+                run.log.participant_ids, run.validation, run.model_factory
+            )
+        )
+    else:
+        estimator = backend.streaming_vfl(
+            VFLRunContext(run.log.feature_blocks, run.log.active_parties)
+        )
+    for record in run.log.records:
+        estimator.ingest(record)
+    return estimator.report()
+
+
+def _batch_report(backend, run: AdverseRun) -> ContributionReport:
+    if run.kind == "hfl":
+        return backend.estimate_hfl(run.log, run.validation, run.model_factory)
+    return backend.estimate_vfl(run.log)
+
+
+@dataclass
+class RobustnessMatrix:
+    """Scenario grid × backend axis, one :class:`CellVerdict` per cell.
+
+    ``backends=None`` enumerates, per scenario, every registered backend
+    supporting the scenario's log kind; an explicit list is filtered the
+    same way (asking for ``gtg_shapley`` never errors on the VFL row, it
+    just skips it).  ``exact_max_parties`` caps the 2^n exact-Shapley
+    reference; larger federations get an empty Spearman cell.
+    """
+
+    scenarios: Sequence[AdverseScenario] = field(default_factory=scenario_grid)
+    backends: Sequence[str] | None = None
+    seed: int = 0
+    exact_max_parties: int = 6
+
+    def run(self) -> MatrixResult:
+        cells: list[CellVerdict] = []
+        for scenario in self.scenarios:
+            run = scenario.generate(cell_seed(self.seed, scenario.name))
+            exact = None
+            if run.exact_fn is not None and run.n_parties <= self.exact_max_parties:
+                exact = run.exact_fn()
+            names = (
+                kind_capable_backends(run.kind)
+                if self.backends is None
+                else [
+                    name
+                    for name in self.backends
+                    if run.kind in get_backend(name).kinds
+                ]
+            )
+            for name in names:
+                cells.append(self._evaluate_cell(run, name, exact))
+        return MatrixResult(cells=cells, seed=self.seed)
+
+    def _evaluate_cell(
+        self, run: AdverseRun, backend_name: str, exact: ContributionReport | None
+    ) -> CellVerdict:
+        seed = cell_seed(self.seed, run.name, backend_name)
+        options = {}
+        if "seed" in get_backend(backend_name).option_defaults:
+            options["seed"] = seed
+        start = time.perf_counter()
+        batch = _batch_report(get_backend(backend_name, **options), run)
+        seconds = time.perf_counter() - start
+        stream = _streaming_report(get_backend(backend_name, **options), run)
+        ranking = batch.ranking()
+        bottom = set(ranking[-run.bottom_k:]) if run.bottom_k else set()
+        spearman = None
+        if exact is not None:
+            mine, theirs = batch.aligned_with(exact)
+            spearman = float(spearman_correlation(mine, theirs))
+        return CellVerdict(
+            scenario=run.name,
+            backend=backend_name,
+            kind=run.kind,
+            seed=seed,
+            bad_parties=list(run.bad_parties),
+            bottom_k=run.bottom_k,
+            ranking=ranking,
+            bad_in_bottom_k=set(run.bad_parties) <= bottom,
+            streaming_equals_batch=bool(
+                np.array_equal(batch.totals, stream.totals)
+            ),
+            spearman_vs_exact=spearman,
+            seconds=round(seconds, 6),
+            totals=[float(t) for t in batch.totals],
+        )

@@ -56,6 +56,32 @@ class TestParser:
         assert args.kind == "hfl"
         assert args.dataset == "mnist"
 
+    def test_scenario_run_defaults(self):
+        args = build_parser().parse_args(["scenario", "run", "free_rider"])
+        assert args.command == "scenario"
+        assert args.name == "free_rider"
+        assert args.backend == "digfl"
+        assert args.seed == 0
+        assert args.exact_max_parties == 6
+        assert not args.json
+
+    def test_scenario_matrix_defaults(self):
+        args = build_parser().parse_args(["scenario", "matrix"])
+        assert args.scenarios == "all"
+        assert args.backends == "all"
+        assert not args.check
+        assert args.save is None
+
+    def test_scenario_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario"])
+
+    def test_scenario_run_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["scenario", "run", "free_rider", "--backend", "ouija"]
+            )
+
 
 class TestDatasets:
     def test_lists_all_14(self, capsys):
@@ -171,3 +197,51 @@ class TestProfile:
     def test_missing_log_exits_with_error(self, tmp_path):
         with pytest.raises(SystemExit, match="error"):
             main(["profile", str(tmp_path / "ghost.npz")])
+
+
+class TestScenario:
+    def test_run_one_scenario(self, capsys):
+        assert main(
+            ["scenario", "run", "label_noise_symmetric", "--backend", "digfl"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "label_noise_symmetric" in out
+        assert "digfl" in out
+        assert "PASS" in out
+
+    def test_run_json_output(self, capsys):
+        assert main(
+            ["scenario", "run", "free_rider", "--backend", "digfl", "--json"]
+        ) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["ok"] is True
+        assert payload["cells"][0]["scenario"] == "free_rider"
+
+    def test_matrix_reduced_with_save_and_check(self, tmp_path, capsys):
+        out_path = tmp_path / "matrix.json"
+        assert main(
+            ["scenario", "matrix",
+             "--scenarios", "label_noise_symmetric,free_rider",
+             "--backends", "digfl",
+             "--check", "--save", str(out_path)]
+        ) == 0
+        assert "PASS" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        assert payload["ok"] is True
+        assert len(payload["cells"]) == 2
+
+    def test_unknown_scenario_exits(self):
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main(["scenario", "matrix", "--scenarios", "meteor_strike"])
+
+    def test_unknown_matrix_backend_exits(self):
+        with pytest.raises(SystemExit, match="unknown backend"):
+            main(["scenario", "matrix", "--backends", "ouija"])
+
+    def test_incapable_backend_exits(self):
+        with pytest.raises(SystemExit, match="supports none"):
+            main(
+                ["scenario", "run", "vfl_modality_dropout",
+                 "--backend", "gtg_shapley"]
+            )

@@ -6,13 +6,16 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.data import (
+    build_dirichlet_federation,
     build_hfl_federation,
     build_vfl_federation,
     boston_like,
+    class_histogram,
     iid_partition,
     mislabel,
     mnist_like,
     noniid_class_partition,
+    pairwise_mislabel,
     vertical_partition,
 )
 
@@ -135,6 +138,95 @@ class TestMislabel:
         assert mask.sum() == int(round(fraction * 60))
         assert (corrupted[mask] != y[mask]).all()
         np.testing.assert_array_equal(corrupted[~mask], y[~mask])
+
+
+class TestPairwiseMislabel:
+    def test_flip_is_next_class(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 5, size=200)
+        corrupted, mask = pairwise_mislabel(y, 0.4, 5, seed=1)
+        np.testing.assert_array_equal(corrupted[mask], (y[mask] + 1) % 5)
+        np.testing.assert_array_equal(corrupted[~mask], y[~mask])
+
+    def test_fraction_applied(self):
+        y = np.arange(100) % 3
+        _, mask = pairwise_mislabel(y, 0.3, 3, seed=0)
+        assert mask.sum() == 30
+
+    def test_zero_fraction(self):
+        y = np.arange(30) % 4
+        corrupted, mask = pairwise_mislabel(y, 0.0, 4, seed=0)
+        np.testing.assert_array_equal(corrupted, y)
+        assert not mask.any()
+
+    def test_input_not_mutated(self):
+        y = np.zeros(20, dtype=int)
+        pairwise_mislabel(y, 0.5, 3, seed=0)
+        assert (y == 0).all()
+
+    @given(fraction=st.floats(0.0, 1.0), seed=st.integers(0, 200))
+    def test_property_structured_flip(self, fraction, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 6, size=50)
+        corrupted, mask = pairwise_mislabel(y, fraction, 6, seed=seed)
+        assert mask.sum() == int(round(fraction * 50))
+        np.testing.assert_array_equal(corrupted[mask], (y[mask] + 1) % 6)
+
+
+class TestClassHistogram:
+    def test_counts(self):
+        hist = class_histogram(np.array([0, 0, 2, 1, 2, 2]), 4)
+        assert hist == [2, 1, 3, 0]
+
+    def test_empty(self):
+        assert class_histogram(np.array([], dtype=int), 3) == [0, 0, 0]
+
+
+class TestBuildDirichletFederation:
+    def test_metadata_histograms_account_for_every_sample(self):
+        fed = build_dirichlet_federation(
+            mnist_like(600, seed=0), 5, alpha=0.5, seed=0
+        )
+        histograms = fed.metadata["class_histograms"]
+        assert len(histograms) == 5
+        assert sum(sum(h) for h in histograms) == sum(len(l) for l in fed.locals)
+        for local, hist in zip(fed.locals, histograms):
+            assert class_histogram(local.y, 10) == hist
+
+    def test_metadata_records_partition(self):
+        fed = build_dirichlet_federation(
+            mnist_like(400, seed=0), 4, alpha=0.1, seed=1
+        )
+        assert fed.metadata["partition"] == "dirichlet"
+        assert fed.metadata["alpha"] == 0.1
+        assert all(q == "noniid" for q in fed.qualities)
+
+    def test_low_alpha_is_skewed_high_alpha_is_not(self):
+        def imbalance(alpha):
+            fed = build_dirichlet_federation(
+                mnist_like(2000, seed=0), 5, alpha=alpha, seed=0
+            )
+            hists = np.array(fed.metadata["class_histograms"], dtype=float)
+            shares = hists / np.maximum(hists.sum(axis=0), 1.0)
+            return shares.max(axis=0).mean()  # 0.2 = perfectly even
+
+        assert imbalance(0.1) > imbalance(100.0) + 0.1
+
+    def test_deterministic(self):
+        a = build_dirichlet_federation(mnist_like(400, seed=0), 4, alpha=0.3, seed=7)
+        b = build_dirichlet_federation(mnist_like(400, seed=0), 4, alpha=0.3, seed=7)
+        for la, lb in zip(a.locals, b.locals):
+            np.testing.assert_array_equal(la.X, lb.X)
+            np.testing.assert_array_equal(la.y, lb.y)
+
+    def test_validation_held_out(self):
+        fed = build_dirichlet_federation(mnist_like(500, seed=0), 4, seed=0, alpha=1.0)
+        assert len(fed.validation) == 50
+        assert sum(len(l) for l in fed.locals) + 50 <= 500
+
+    def test_split_metadata_defaults_empty(self):
+        fed = build_hfl_federation(mnist_like(300, seed=0), 3, seed=0)
+        assert fed.metadata == {}
 
 
 class TestVerticalPartition:

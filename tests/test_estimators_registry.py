@@ -16,9 +16,11 @@ from repro.core import (
     UnsupportedLogKind,
     backend_infos,
     backend_names,
+    choose_backend,
     estimate_hfl_resource_saving,
     estimate_vfl_first_order,
     get_backend,
+    kind_capable_backends,
     register_backend,
 )
 from repro.core.backends import EstimatorBackend, HFLRunContext, _REGISTRY
@@ -88,6 +90,24 @@ class TestRegistryContract:
         digfl.require("hfl")
         digfl.require("vfl")
 
+    def test_kind_gating_names_capable_backends(self):
+        """Regression: the VFL gating error must point at usable backends."""
+        with pytest.raises(UnsupportedLogKind) as excinfo:
+            get_backend("gtg_shapley").require("vfl")
+        message = str(excinfo.value)
+        assert "backends supporting 'vfl': digfl" in message
+        assert excinfo.value.capable == ["digfl"]
+        # The offending backend never recommends itself.
+        assert "gtg_shapley" not in excinfo.value.capable
+
+    def test_kind_capable_backends(self):
+        vfl_capable = kind_capable_backends("vfl")
+        assert "digfl" in vfl_capable
+        assert "gtg_shapley" not in vfl_capable
+        hfl_capable = kind_capable_backends("hfl")
+        assert {"digfl", "dpvs", "gtg_shapley"} <= set(hfl_capable)
+        assert hfl_capable == sorted(hfl_capable)
+
     def test_digest_tokens_distinguish_backend_and_options(self):
         tokens = {
             get_backend("digfl").digest_token(),
@@ -107,6 +127,64 @@ class TestRegistryContract:
         assert infos["gtg_shapley"].option_defaults["max_permutations"] == 16
         assert infos["digfl"].kinds == ("hfl", "vfl")
         assert infos["dpvs"].summary
+
+
+class TestChooseBackend:
+    """Crossover-driven auto-selection from BENCH_estimators.json."""
+
+    def _bench(self, tmp_path, payload):
+        import json
+
+        path = tmp_path / "BENCH_estimators.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_vfl_always_digfl(self, tmp_path):
+        bench = self._bench(tmp_path, {"crossover": {"n_parties": 3}})
+        assert choose_backend(2, "vfl", bench_path=bench) == "digfl"
+        assert choose_backend(50, "vfl", bench_path=bench) == "digfl"
+
+    def test_hfl_crossover_switches_backend(self, tmp_path):
+        bench = self._bench(tmp_path, {"crossover": {"n_parties": 6}})
+        assert choose_backend(3, "hfl", bench_path=bench) == "gtg_shapley"
+        assert choose_backend(5, "hfl", bench_path=bench) == "gtg_shapley"
+        assert choose_backend(6, "hfl", bench_path=bench) == "dpvs"
+        assert choose_backend(40, "hfl", bench_path=bench) == "dpvs"
+
+    def test_missing_bench_falls_back_to_digfl(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        assert choose_backend(5, "hfl", bench_path=missing) == "digfl"
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},  # no crossover key
+            {"crossover": {}},  # no n_parties
+            {"crossover": {"n_parties": None}},  # sweep found no crossover
+            {"crossover": {"n_parties": "soon"}},  # not numeric
+            {"crossover": {"n_parties": 0}},  # nonsense value
+        ],
+    )
+    def test_malformed_crossover_falls_back(self, tmp_path, payload):
+        bench = self._bench(tmp_path, payload)
+        assert choose_backend(5, "hfl", bench_path=bench) == "digfl"
+
+    def test_invalid_json_falls_back(self, tmp_path):
+        bench = tmp_path / "BENCH_estimators.json"
+        bench.write_text("{not json")
+        assert choose_backend(5, "hfl", bench_path=bench) == "digfl"
+
+    def test_repo_bench_file_drives_selection(self):
+        # The checked-in bench records a crossover, so HFL picks a
+        # Shapley-family backend and never errors.
+        name = choose_backend(4, "hfl")
+        assert name in backend_names()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_parties"):
+            choose_backend(0, "hfl")
+        with pytest.raises(ValueError, match="kind"):
+            choose_backend(4, "diagonal")
 
 
 @pytest.fixture(scope="module")

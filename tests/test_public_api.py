@@ -25,13 +25,14 @@ PACKAGES = [
     "repro.obs",
     "repro.robust",
     "repro.runtime",
+    "repro.scenario",
     "repro.serve",
     "repro.shapley",
     "repro.utils",
     "repro.vfl",
 ]
 
-MODULES_WITHOUT_ALL = ["repro.io", "repro.cli", "repro.render", "repro.scenario"]
+MODULES_WITHOUT_ALL = ["repro.io", "repro.cli", "repro.render"]
 
 
 class TestAllExportsResolve:

@@ -19,6 +19,7 @@ from repro.runtime import (
     FaultPlan,
     FederatedRuntime,
     NULL_PLAN,
+    Outage,
     RuntimeConfig,
     Scheduler,
     SerialExecutor,
@@ -49,6 +50,73 @@ class TestFaultPlan:
     def test_validation(self, kwargs):
         with pytest.raises(ValueError):
             FaultPlan(**kwargs)
+
+
+class TestOutage:
+    def test_covers_inclusive_1_indexed_span(self):
+        outage = Outage(party=2, start_round=3, end_round=5)
+        assert not outage.covers(2, 2)
+        assert all(outage.covers(r, 2) for r in (3, 4, 5))
+        assert not outage.covers(6, 2)
+        assert not outage.covers(4, 1)  # other parties unaffected
+
+    def test_open_ended_outage(self):
+        outage = Outage(party=0, start_round=4)
+        assert not outage.covers(3, 0)
+        assert outage.covers(4, 0) and outage.covers(1000, 0)
+
+    def test_plan_accounting(self):
+        plan = FaultPlan(outages=(Outage(1, 2, 3),))
+        assert plan.is_null() is False
+        assert not plan.in_outage(1, 1)
+        assert plan.in_outage(2, 1) and plan.in_outage(3, 1)
+        assert not plan.in_outage(2, 0)
+        assert FaultPlan(outages=()).is_null()
+
+    def test_outages_coerced_to_tuple(self):
+        plan = FaultPlan(outages=[Outage(0, 1)])
+        assert isinstance(plan.outages, tuple)
+        with pytest.raises(TypeError, match="Outage"):
+            FaultPlan(outages=("party 0 down",))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"party": -1, "start_round": 1},
+            {"party": 0, "start_round": -1},
+            {"party": 0, "start_round": 3, "end_round": 2},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            Outage(**kwargs)
+
+    def test_fate_drops_without_perturbing_other_draws(self):
+        # An outage must not consume rng draws: every non-outage fate is
+        # identical to the same plan without the outage.
+        base = FaultPlan(dropout_rate=0.3, straggler_ms=20.0, seed=5)
+        with_outage = FaultPlan(
+            dropout_rate=0.3, straggler_ms=20.0, seed=5,
+            outages=(Outage(party=1, start_round=2, end_round=3),),
+        )
+        a, b = FaultInjector(base), FaultInjector(with_outage)
+        for round in range(1, 6):
+            for party in range(4):
+                fate = b.fate(round, party)
+                if with_outage.in_outage(round, party):
+                    assert fate.dropped and fate.attempts == 0
+                    assert fate.duration_s == 0.0
+                else:
+                    assert fate == a.fate(round, party)
+
+    def test_outage_only_plan_drops_exactly_the_span(self):
+        plan = FaultPlan(outages=(Outage(party=0, start_round=2),))
+        injector = FaultInjector(plan)
+        for round in range(1, 5):
+            for party in range(3):
+                fate = injector.fate(round, party)
+                expected_drop = party == 0 and round >= 2
+                assert fate.dropped is expected_drop
 
 
 class TestFaultInjector:

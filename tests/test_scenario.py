@@ -96,6 +96,17 @@ class TestQuickAudit:
         assert "pcc" in summary
         assert len(summary["contributions"]) == 5
 
+    def test_smoke_flags_and_json(self):
+        import json
+
+        summary = quick_audit(seed=11)
+        json.dumps(summary)  # end-to-end summary stays JSON-safe
+        assert set(summary["ranking"]) == set(range(5))
+        assert all(i in range(5) for i in summary["flagged"])
+
+    def test_deterministic(self):
+        assert quick_audit(seed=6) == quick_audit(seed=6)
+
 
 class TestVFLScenario:
     @pytest.fixture(scope="class")
@@ -128,6 +139,16 @@ class TestVFLScenario:
         ).run()
         assert result.digfl.n_participants == 3
         assert result.exact is None
+
+    def test_deterministic(self):
+        from repro.scenario import VFLScenario
+
+        a = VFLScenario(dataset="boston", n_parties=3, epochs=8,
+                        max_rows=150, seed=9).run()
+        b = VFLScenario(dataset="boston", n_parties=3, epochs=8,
+                        max_rows=150, seed=9).run()
+        np.testing.assert_array_equal(a.digfl.totals, b.digfl.totals)
+        np.testing.assert_array_equal(a.theta, b.theta)
 
     def test_top_level_reexports(self):
         import repro

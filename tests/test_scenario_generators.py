@@ -1,0 +1,180 @@
+"""Tests for the adverse-federation generators of the robustness suite."""
+
+import numpy as np
+import pytest
+
+from repro.scenario import (
+    AdverseRun,
+    DirichletLabelSkew,
+    FreeRiders,
+    LabelNoise,
+    VFLModalityDropout,
+    cell_seed,
+    get_scenario,
+    scenario_grid,
+    scenario_names,
+)
+
+
+class TestGrid:
+    def test_default_grid_covers_the_issue_conditions(self):
+        names = scenario_names()
+        assert "dirichlet_a0.1" in names
+        assert "dirichlet_a1" in names
+        assert "label_noise_symmetric" in names
+        assert "label_noise_pairwise" in names
+        assert "free_rider" in names
+        assert "vfl_modality_dropout" in names
+
+    def test_get_scenario_roundtrip(self):
+        for scenario in scenario_grid():
+            assert get_scenario(scenario.name).name == scenario.name
+
+    def test_get_scenario_unknown(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("meteor_strike")
+
+    def test_cell_seed_stable_and_distinct(self):
+        assert cell_seed(0, "free_rider", "digfl") == cell_seed(
+            0, "free_rider", "digfl"
+        )
+        assert cell_seed(0, "free_rider", "digfl") != cell_seed(
+            0, "free_rider", "dpvs"
+        )
+        assert cell_seed(0, "free_rider") != cell_seed(1, "free_rider")
+
+
+class TestDirichlet:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return DirichletLabelSkew(alpha=0.1, epochs=3, n_samples=400).generate(7)
+
+    def test_run_shape(self, run):
+        assert isinstance(run, AdverseRun)
+        assert run.kind == "hfl"
+        assert run.log.n_epochs == 3
+        assert len(run.bad_parties) == 1
+
+    def test_histograms_in_metadata(self, run):
+        histograms = run.metadata["class_histograms"]
+        assert len(histograms) == run.n_parties
+        # Histogram totals account for every training sample of each party.
+        assert all(sum(h) > 0 for h in histograms)
+        # alpha=0.1 skew: some party is missing some class entirely.
+        assert any(0 in h for h in histograms)
+
+    def test_bad_party_recorded(self, run):
+        assert run.metadata["mislabeled_party"] == run.bad_parties[0]
+        assert run.metadata["n_flipped"] > 0
+
+    def test_deterministic(self):
+        scenario = DirichletLabelSkew(alpha=0.1, epochs=3, n_samples=400)
+        a, b = scenario.generate(3), scenario.generate(3)
+        np.testing.assert_array_equal(
+            a.log.records[-1].theta_after, b.log.records[-1].theta_after
+        )
+        assert a.bad_parties == b.bad_parties
+
+    def test_seed_changes_bad_party_eventually(self):
+        scenario = DirichletLabelSkew(alpha=0.1, epochs=1, n_samples=400)
+        picks = {scenario.generate(s).bad_parties[0] for s in range(8)}
+        assert len(picks) > 1
+
+
+class TestLabelNoise:
+    def test_rates_drive_bad_parties(self):
+        scenario = LabelNoise(rates=(0.8, 0.4, 0.0), epochs=2, n_samples=300)
+        run = scenario.generate(0)
+        assert run.bad_parties == (0,)
+        assert run.metadata["n_flipped"][0] > run.metadata["n_flipped"][1]
+        assert run.metadata["n_flipped"][2] == 0
+
+    def test_pairwise_noise_kind(self):
+        run = LabelNoise(
+            noise="pairwise", rates=(0.8, 0.0), epochs=2, n_samples=300
+        ).generate(0)
+        assert run.metadata["noise"] == "pairwise"
+
+    def test_unknown_noise_refused(self):
+        with pytest.raises(ValueError, match="symmetric.*pairwise"):
+            LabelNoise(noise="salt_and_pepper")
+
+
+class TestFreeRiders:
+    def test_stale_rider_widens_k_but_is_not_asserted(self):
+        scenario = FreeRiders(
+            riders={0: "zero", 1: "noise_echo", 2: "stale"},
+            epochs=2,
+            n_samples=360,
+        )
+        run = scenario.generate(0)
+        assert run.bad_parties == (0, 1)  # stale excluded
+        assert run.bottom_k == 3  # but allowed in the bottom
+
+    def test_unknown_rider_kind(self):
+        with pytest.raises(ValueError, match="unknown rider kind"):
+            FreeRiders(riders={0: "sloth"})
+
+    def test_rider_outside_federation(self):
+        with pytest.raises(ValueError, match="outside the federation"):
+            FreeRiders(riders={9: "zero"}, n_parties=4)
+
+    def test_all_riders_refused(self):
+        with pytest.raises(ValueError, match="honest party"):
+            FreeRiders(riders={0: "zero", 1: "zero"}, n_parties=2)
+
+    def test_zero_rider_ships_zero_updates(self):
+        run = FreeRiders(
+            riders={0: "zero"}, n_parties=4, epochs=2, n_samples=320
+        ).generate(1)
+        for record in run.log.records:
+            np.testing.assert_array_equal(
+                record.local_updates[0], np.zeros_like(record.local_updates[0])
+            )
+
+
+class TestVFLModalityDropout:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return VFLModalityDropout(epochs=8, max_rows=200).generate(0)
+
+    def test_participation_holes_after_dark_from(self, run):
+        dark = run.metadata["dark_party"]
+        dark_from = run.metadata["dark_from"]
+        masks = np.stack([r.participation_mask() for r in run.log.records])
+        # 1-indexed rounds: record i is round i+1.
+        for i in range(run.log.n_epochs):
+            assert masks[i, dark] == (i + 1 < dark_from)
+        others = [p for p in range(run.n_parties) if p != dark]
+        assert masks[:, others].all()
+
+    def test_dark_rounds_counted(self, run):
+        assert run.metadata["dark_rounds"] == 8 - (run.metadata["dark_from"] - 1)
+
+    def test_auto_picks_clean_weakest(self, run):
+        clean = run.metadata["clean_totals"]
+        assert run.metadata["dark_party"] == int(np.argmin(clean))
+
+    def test_no_exact_reference(self, run):
+        assert run.exact_fn is None
+
+    def test_deterministic(self):
+        scenario = VFLModalityDropout(epochs=6, max_rows=200)
+        a, b = scenario.generate(4), scenario.generate(4)
+        assert a.bad_parties == b.bad_parties
+        for ra, rb in zip(a.log.records, b.log.records):
+            np.testing.assert_array_equal(ra.participation_mask(),
+                                          rb.participation_mask())
+
+    def test_explicit_dark_party_honoured(self):
+        run = VFLModalityDropout(
+            dark_party=2, dark_from=3, epochs=6, max_rows=200
+        ).generate(0)
+        assert run.bad_parties == (2,)
+        assert run.metadata["dark_from"] == 3
+
+    def test_dark_from_validated(self):
+        with pytest.raises(ValueError, match="outside rounds"):
+            VFLModalityDropout(dark_from=99, epochs=6)
+        with pytest.raises(ValueError, match="outside the"):
+            VFLModalityDropout(dark_party=9, n_parties=4)

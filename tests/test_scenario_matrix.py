@@ -1,0 +1,148 @@
+"""Tests for the robustness matrix — including the reduced CI rehearsal.
+
+The full grid runs in ``benchmarks/bench_scenarios.py``; here a reduced
+2-scenario × 2-backend matrix (the shape the CI ``scenario-matrix`` job
+runs under pytest-timeout) pins the verdict policy: injected bad
+participants land in ``digfl``'s bottom-``k``, streaming stays
+``np.array_equal`` to batch in every cell, and the whole grid is
+bit-reproducible under one seed.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.scenario import (
+    FreeRiders,
+    LabelNoise,
+    MatrixResult,
+    RobustnessMatrix,
+    VFLModalityDropout,
+)
+
+REDUCED = [
+    LabelNoise(rates=(0.8, 0.0, 0.0, 0.0), epochs=3, n_samples=320),
+    FreeRiders(riders={0: "zero"}, n_parties=4, epochs=3, n_samples=320),
+]
+
+
+class TestReducedMatrix:
+    """The exact shape the CI scenario-matrix job rehearses."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return RobustnessMatrix(
+            scenarios=REDUCED, backends=["digfl", "gtg_shapley"], seed=0
+        ).run()
+
+    def test_grid_shape(self, result):
+        assert len(result.cells) == 4  # 2 scenarios x 2 backends
+
+    def test_rank_correctness_verdicts(self, result):
+        result.assert_robustness()
+        # Not just digfl: on these clear-cut scenarios gtg passes too.
+        assert all(cell.bad_in_bottom_k for cell in result.cells)
+
+    def test_streaming_equals_batch_everywhere(self, result):
+        assert all(cell.streaming_equals_batch for cell in result.cells)
+
+    def test_spearman_reference_present(self, result):
+        for cell in result.cells:
+            assert cell.spearman_vs_exact is not None
+            assert -1.0 <= cell.spearman_vs_exact <= 1.0
+
+    def test_backend_cells_get_distinct_seeds(self, result):
+        seeds = {(cell.scenario, cell.backend): cell.seed for cell in result.cells}
+        assert len(set(seeds.values())) == len(seeds)
+
+    def test_to_dict_json_safe(self, result):
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["ok"] is True
+        assert payload["failures"] == []
+        assert len(payload["cells"]) == 4
+
+    def test_table_renders_every_cell(self, result):
+        table = result.table()
+        for cell in result.cells:
+            assert cell.scenario in table
+            assert cell.backend in table
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical(self):
+        matrix = RobustnessMatrix(
+            scenarios=[REDUCED[0]], backends=["digfl"], seed=3
+        )
+        a, b = matrix.run(), matrix.run()
+        for cell_a, cell_b in zip(a.cells, b.cells):
+            np.testing.assert_array_equal(cell_a.totals, cell_b.totals)
+            assert cell_a.ranking == cell_b.ranking
+            assert cell_a.seed == cell_b.seed
+
+    def test_different_matrix_seed_changes_cell_seeds(self):
+        cells_a = RobustnessMatrix(
+            scenarios=[REDUCED[0]], backends=["digfl"], seed=0
+        ).run().cells
+        cells_b = RobustnessMatrix(
+            scenarios=[REDUCED[0]], backends=["digfl"], seed=1
+        ).run().cells
+        assert cells_a[0].seed != cells_b[0].seed
+
+
+class TestBackendFiltering:
+    def test_hfl_only_backend_skips_vfl_scenario(self):
+        result = RobustnessMatrix(
+            scenarios=[VFLModalityDropout(epochs=6, max_rows=200)],
+            backends=["digfl", "gtg_shapley"],
+            seed=0,
+        ).run()
+        assert [cell.backend for cell in result.cells] == ["digfl"]
+
+    def test_vfl_cell_has_no_spearman(self):
+        result = RobustnessMatrix(
+            scenarios=[VFLModalityDropout(epochs=6, max_rows=200)],
+            backends=["digfl"],
+            seed=0,
+        ).run()
+        assert result.cells[0].spearman_vs_exact is None
+        result.assert_robustness()
+
+    def test_exact_max_parties_gates_spearman(self):
+        result = RobustnessMatrix(
+            scenarios=[REDUCED[0]],
+            backends=["digfl"],
+            seed=0,
+            exact_max_parties=2,
+        ).run()
+        assert result.cells[0].spearman_vs_exact is None
+
+
+class TestVerdictPolicy:
+    def test_failures_name_the_cell(self):
+        bad_cell = RobustnessMatrix(
+            scenarios=[REDUCED[0]], backends=["digfl"], seed=0
+        ).run().cells[0]
+        bad_cell.bad_in_bottom_k = False
+        broken = MatrixResult(cells=[bad_cell], seed=0)
+        problems = broken.failures()
+        assert len(problems) == 1
+        assert "label_noise_symmetric × digfl" in problems[0]
+        with pytest.raises(AssertionError, match="robustness matrix"):
+            broken.assert_robustness()
+
+    def test_streaming_break_fails_any_backend(self):
+        cell = RobustnessMatrix(
+            scenarios=[REDUCED[0]], backends=["gtg_shapley"], seed=0
+        ).run().cells[0]
+        cell.streaming_equals_batch = False
+        broken = MatrixResult(cells=[cell], seed=0)
+        assert any("streaming != batch" in p for p in broken.failures())
+
+    def test_non_digfl_rank_miss_is_recorded_not_fatal(self):
+        cell = RobustnessMatrix(
+            scenarios=[REDUCED[0]], backends=["gtg_shapley"], seed=0
+        ).run().cells[0]
+        cell.bad_in_bottom_k = False
+        tolerated = MatrixResult(cells=[cell], seed=0)
+        assert tolerated.failures() == []

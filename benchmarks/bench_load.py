@@ -1,0 +1,396 @@
+"""Open-loop load harness: is the serving stack fast enough, judged by SLO.
+
+The other serving benches (``bench_serve.py``, ``bench_cluster.py``) are
+*closed-loop*: each client thread fires its next request only after the
+previous one answers, so a slow server quietly slows the offered load
+and the recorded percentiles flatter it — the coordinated-omission trap.
+This harness is **open-loop**: requests depart on a fixed arrival
+schedule (``target_rps``, uniform spacing) regardless of how the server
+is doing, and every latency is measured from the request's *intended*
+send time.  A request that waited behind a backlog is charged that wait,
+exactly as a real client arriving on its own clock would experience it.
+
+The workload mixes concurrent leaderboard queries against warm runs with
+streaming ``POST /runs`` ingests (one in every ``INGEST_EVERY``
+arrivals), driven against both deployments — a single worker process and
+an in-process N-shard cluster behind the consistent-hash router.  Each
+episode reports p50/p95/p99/p99.9 from the client's clock, the shed
+rate (429/503+Retry-After — the designed overload behaviour, counted
+separately from failures), and the *server's own* SLO verdict scraped
+from ``GET /statusz`` afterwards.  The standalone entry point writes
+``BENCH_load.json`` at the repo root; ``--check`` turns the verdict into
+an exit code for CI (non-zero on a burning SLO, a bare 500, or a
+connection error).
+
+Run either way::
+
+    PYTHONPATH=src python benchmarks/bench_load.py
+    PYTHONPATH=src python benchmarks/bench_load.py --cluster 2 --check
+    PYTHONPATH=src python -m pytest benchmarks/bench_load.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import tempfile
+import threading
+import time
+from http.client import HTTPConnection, HTTPException
+
+import pytest
+
+from repro.experiments.workloads import build_vfl_workload
+from repro.io import save_vfl_training_log
+from repro.serve import (
+    ClusterRouter,
+    ClusterSupervisor,
+    EvaluationHTTPServer,
+    EvaluationService,
+)
+
+N_SHARDS = 3
+SEED_RUNS = 4
+INGEST_EVERY = 25          # one streaming registration per 25 arrivals
+TARGET_RPS = 120.0
+DURATION_S = 6.0
+N_SENDERS = 8              # sender threads; arrivals stride across them
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+PERCENTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99), ("p99.9", 0.999))
+
+
+@pytest.fixture(scope="module")
+def vfl_log_path(tmp_path_factory):
+    workload = build_vfl_workload("boston", n_parties=5, epochs=25, seed=0)
+    path = tmp_path_factory.mktemp("bench_load") / "vfl_run.npz"
+    save_vfl_training_log(workload.result.log, path)
+    return str(path)
+
+
+def _request(
+    port: int, method: str, path: str, body: bytes | None = None
+) -> tuple[int, bool]:
+    """One HTTP request; returns ``(status, retry_after_present)``.
+
+    A connection-level failure returns status ``-1`` — the open loop
+    never stops for it, it just lands in the episode's error count.
+    """
+    conn = HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        response.read()
+        return response.status, response.headers.get("Retry-After") is not None
+    except (OSError, HTTPException):
+        return -1, False
+    finally:
+        conn.close()
+
+
+def _get_json(port: int, path: str) -> dict:
+    conn = HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def _seed(port: int, log_path: str, tag: str) -> None:
+    """Register the warm query targets and prime their leaderboard caches."""
+    for index in range(SEED_RUNS):
+        body = json.dumps(
+            {"kind": "vfl", "log_path": log_path, "run_id": f"seed-{tag}-{index}"}
+        ).encode()
+        status, _ = _request(port, "POST", "/runs", body)
+        assert status == 201, f"seeding failed with {status}"
+    for index in range(SEED_RUNS):
+        status, _ = _request(port, "GET", f"/runs/seed-{tag}-{index}/leaderboard")
+        assert status == 200, f"warmup failed with {status}"
+
+
+def _open_loop(
+    port: int,
+    log_path: str,
+    tag: str,
+    *,
+    target_rps: float,
+    duration_s: float,
+    n_senders: int = N_SENDERS,
+) -> list[tuple[int, bool, float]]:
+    """Fire the fixed arrival schedule; return samples and wall elapsed.
+
+    Each sample is ``(status, shed, latency)``.
+
+    Arrival ``i`` is due at ``t0 + i/target_rps`` and its latency is
+    measured from that *intended* instant, so sender backlog (the server
+    falling behind) shows up in the tail instead of silently thinning
+    the offered load.  Arrivals stride across ``n_senders`` threads;
+    each sleeps until its next due time only when it is ahead.
+    """
+    n_arrivals = int(target_rps * duration_s)
+    interval = 1.0 / target_rps
+    samples: list = [None] * n_arrivals
+    t0 = time.perf_counter() + 0.25  # lead-in so arrival 0 is never late
+
+    def sender(lane: int) -> None:
+        for i in range(lane, n_arrivals, n_senders):
+            intended = t0 + i * interval
+            now = time.perf_counter()
+            if intended > now:
+                time.sleep(intended - now)
+            if i % INGEST_EVERY == INGEST_EVERY - 1:
+                body = json.dumps(
+                    {
+                        "kind": "vfl",
+                        "log_path": log_path,
+                        "run_id": f"stream-{tag}-{i}",
+                    }
+                ).encode()
+                status, retry_after = _request(port, "POST", "/runs", body)
+            else:
+                run = f"seed-{tag}-{i % SEED_RUNS}"
+                status, retry_after = _request(
+                    port, "GET", f"/runs/{run}/leaderboard"
+                )
+            shed = status == 429 or (status == 503 and retry_after)
+            samples[i] = (status, shed, time.perf_counter() - intended)
+
+    threads = [
+        threading.Thread(target=sender, args=(lane,)) for lane in range(n_senders)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - t0
+    return samples, elapsed
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def _summarize(
+    samples: list[tuple[int, bool, float]],
+    elapsed: float,
+    statusz: dict,
+    *,
+    topology: str,
+    target_rps: float,
+    duration_s: float,
+) -> dict:
+    latencies = sorted(s[2] for s in samples)
+    shed = sum(1 for s in samples if s[1])
+    bare_500 = sum(1 for s in samples if s[0] == 500)
+    errors_5xx = sum(1 for s in samples if s[0] >= 500 and not s[1])
+    connection_errors = sum(1 for s in samples if s[0] == -1)
+    slo = statusz.get("slo", {})
+    burning = [
+        entry["name"] for entry in slo.get("slos", []) if entry.get("burning")
+    ]
+    return {
+        "topology": topology,
+        "target_rps": target_rps,
+        "duration_s": duration_s,
+        "requests": len(samples),
+        "achieved_rps": len(samples) / elapsed,
+        "shed": shed,
+        "shed_rate": shed / len(samples),
+        "errors_5xx": errors_5xx,
+        "bare_500": bare_500,
+        "connection_errors": connection_errors,
+        "latency_ms": {
+            **{name: _percentile(latencies, q) * 1e3 for name, q in PERCENTILES},
+            "max": latencies[-1] * 1e3,
+            "mean": sum(latencies) / len(latencies) * 1e3,
+        },
+        "slo": {
+            "status": statusz.get("status", "unknown"),
+            "burning": burning,
+        },
+    }
+
+
+def _episode_single(
+    log_path: str, *, target_rps: float, duration_s: float
+) -> dict:
+    server = EvaluationHTTPServer(("127.0.0.1", 0), EvaluationService())
+    server.serve_background()
+    try:
+        _seed(server.port, log_path, "sp")
+        samples, elapsed = _open_loop(
+            server.port, log_path, "sp",
+            target_rps=target_rps, duration_s=duration_s,
+        )
+        statusz = _get_json(server.port, "/statusz")
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.service.close()
+    return _summarize(
+        samples, elapsed, statusz,
+        topology="single", target_rps=target_rps, duration_s=duration_s,
+    )
+
+
+def _episode_cluster(
+    log_path: str, *, n_shards: int, target_rps: float, duration_s: float
+) -> dict:
+    with tempfile.TemporaryDirectory() as wal_root:
+        with ClusterSupervisor(n_shards, wal_root=wal_root) as supervisor:
+            router = ClusterRouter(("127.0.0.1", 0), supervisor)
+            router.serve_background()
+            try:
+                _seed(router.port, log_path, "cl")
+                samples, elapsed = _open_loop(
+                    router.port, log_path, "cl",
+                    target_rps=target_rps, duration_s=duration_s,
+                )
+                statusz = _get_json(router.port, "/statusz")
+            finally:
+                router.shutdown()
+                router.server_close()
+    return _summarize(
+        samples, elapsed, statusz,
+        topology=f"cluster-{n_shards}",
+        target_rps=target_rps, duration_s=duration_s,
+    )
+
+
+def _print_episode(stats: dict) -> None:
+    lat = stats["latency_ms"]
+    print(
+        f"{stats['topology']:>12}  {stats['achieved_rps']:>7.1f} req/s  "
+        f"p50 {lat['p50']:>7.2f}  p95 {lat['p95']:>7.2f}  "
+        f"p99 {lat['p99']:>8.2f}  p99.9 {lat['p99.9']:>8.2f} ms  "
+        f"shed {stats['shed_rate'] * 100:>4.1f}%  "
+        f"slo {stats['slo']['status']}"
+    )
+
+
+def _check_failures(stats: dict) -> list[str]:
+    """The ``--check`` contract: what disqualifies an episode."""
+    failures = []
+    if stats["slo"]["status"] == "burning":
+        failures.append(
+            f"{stats['topology']}: SLO burning ({stats['slo']['burning']})"
+        )
+    if stats["bare_500"]:
+        failures.append(
+            f"{stats['topology']}: {stats['bare_500']} bare 500 response(s)"
+        )
+    if stats["connection_errors"]:
+        failures.append(
+            f"{stats['topology']}: {stats['connection_errors']} connection "
+            "error(s)"
+        )
+    return failures
+
+
+# ------------------------------------------------------------------- pytest
+
+def test_bench_load_open_loop_single(benchmark, vfl_log_path):
+    """A short open-loop episode against one worker: no bare 500s, no
+    connection errors, and the server's own SLO verdict stays clean.
+    The load is modest (warm-cache leaderboards are sub-millisecond)
+    so the assertion is about *correct classification under load*, not
+    about racing the CI box."""
+
+    def episode():
+        return _episode_single(
+            vfl_log_path, target_rps=60.0, duration_s=3.0
+        )
+
+    stats = benchmark.pedantic(episode, rounds=1, iterations=1)
+    benchmark.extra_info["p99_ms"] = stats["latency_ms"]["p99"]
+    benchmark.extra_info["shed_rate"] = stats["shed_rate"]
+    assert stats["requests"] == int(60.0 * 3.0)
+    assert stats["bare_500"] == 0
+    assert stats["connection_errors"] == 0
+    assert stats["slo"]["status"] in ("ok", "burning")
+    assert _check_failures(stats) == [], _check_failures(stats)
+
+
+# --------------------------------------------------------------- standalone
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--cluster", type=int, default=None, metavar="N",
+        help=f"drive only an N-shard cluster (default: both single-process "
+             f"and a {N_SHARDS}-shard cluster; 0 = single only)"
+    )
+    parser.add_argument("--rps", type=float, default=TARGET_RPS,
+                        help="open-loop arrival rate (default %(default)s)")
+    parser.add_argument("--duration-s", type=float, default=DURATION_S,
+                        help="episode length (default %(default)s)")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_load.json"),
+                        help="report path (default %(default)s)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero on a burning SLO, a bare 500, "
+                             "or a connection error")
+    args = parser.parse_args(argv)
+
+    workload = build_vfl_workload("boston", n_parties=5, epochs=25, seed=0)
+    episodes: list[dict] = []
+    with tempfile.TemporaryDirectory() as scratch:
+        log_path = str(pathlib.Path(scratch) / "vfl_run.npz")
+        save_vfl_training_log(workload.result.log, log_path)
+        print(
+            f"open loop: {args.rps:.0f} req/s for {args.duration_s:.0f}s, "
+            f"1 ingest per {INGEST_EVERY} arrivals, latency from intended "
+            "send time"
+        )
+        if args.cluster is None or args.cluster == 0:
+            episodes.append(
+                _episode_single(
+                    log_path, target_rps=args.rps, duration_s=args.duration_s
+                )
+            )
+            _print_episode(episodes[-1])
+        n_shards = N_SHARDS if args.cluster is None else args.cluster
+        if n_shards:
+            episodes.append(
+                _episode_cluster(
+                    log_path,
+                    n_shards=n_shards,
+                    target_rps=args.rps,
+                    duration_s=args.duration_s,
+                )
+            )
+            _print_episode(episodes[-1])
+
+    failures = [f for stats in episodes for f in _check_failures(stats)]
+    payload = {
+        "bench": "open_loop_load",
+        "config": {
+            "target_rps": args.rps,
+            "duration_s": args.duration_s,
+            "ingest_every": INGEST_EVERY,
+            "seed_runs": SEED_RUNS,
+            "senders": N_SENDERS,
+            "workload": "boston-like VFL, 5 parties, 25 epochs",
+            "measurement": "open-loop; latency from intended send time",
+        },
+        "episodes": episodes,
+        "check_failures": failures,
+    }
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    if args.check and failures:
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}")
+        return 1
+    if args.check:
+        print("check passed: no burning SLO, no bare 500, no connection errors")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,7 @@ Subcommands::
     python -m repro.cli serve --cluster 3 --replicas 1   # warm standbys
     python -m repro.cli cluster resize 4   # online rebalance, zero downtime
     python -m repro.cli cluster status
+    python -m repro.cli slo check          # exit 1 if any SLO is burning
     python -m repro.cli profile run.npz --kind hfl --dataset mnist
     python -m repro.cli estimate run.npz --estimator gtg_shapley
     python -m repro.cli estimate run.npz --estimator gtg_shapley \
@@ -330,6 +331,7 @@ def _cmd_serve(args) -> int:
             admission_limit=args.max_queue,
             chaos_ingest_ms=args.chaos_ingest_ms,
             trace=args.trace,
+            robustness_file=args.robustness_file,
         )
     if args.replicas:
         raise SystemExit("--replicas requires --cluster N")
@@ -367,7 +369,12 @@ def _cmd_serve(args) -> int:
     elif args.recover:
         raise SystemExit("--recover requires --wal-dir")
     try:
-        return serve(args.host, args.port, service=service)
+        return serve(
+            args.host,
+            args.port,
+            service=service,
+            robustness_file=args.robustness_file,
+        )
     finally:
         if args.trace_export:
             count = obs.tracer.export_jsonl(args.trace_export)
@@ -405,6 +412,58 @@ def _cmd_cluster(args) -> int:
         )
     print(_json.dumps(payload, indent=2, sort_keys=True))
     return 0
+
+
+def _cmd_slo(args) -> int:
+    # Scrapes /statusz on a running server (worker or router) and turns
+    # the SLO verdict into an exit code a CI gate can consume:
+    # 0 = every objective healthy, 1 = a burn-rate alert is firing,
+    # 2 = the server could not be reached or answered an error.
+    import json as _json
+    import sys
+    from http.client import HTTPConnection, HTTPException
+
+    from repro.obs.slo import SloReport
+
+    conn = HTTPConnection(args.host, args.port, timeout=args.timeout_s)
+    try:
+        conn.request("GET", "/statusz")
+        response = conn.getresponse()
+        payload = _json.loads(response.read().decode() or "{}")
+    except (OSError, HTTPException, ValueError) as exc:
+        print(
+            f"error: no server at http://{args.host}:{args.port} ({exc})",
+            file=sys.stderr,
+        )
+        return 2
+    finally:
+        conn.close()
+    if response.status >= 400:
+        print(
+            f"error: server answered {response.status}: "
+            f"{payload.get('error', 'unknown error')}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json:
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        slo = payload.get("slo", {})
+        report = SloReport(
+            generated_at=slo.get("generated_at", 0.0),
+            results=slo.get("slos", []),
+            counts=slo.get("counts", {}),
+        )
+        print(report.table())
+        counts = slo.get("counts", {})
+        print(
+            f"requests={counts.get('requests', 0)} "
+            f"shed={counts.get('shed', 0)} errors={counts.get('errors', 0)}"
+        )
+        # A router's /statusz carries every worker's verdict too.
+        for shard, worker in sorted(payload.get("workers", {}).items()):
+            print(f"worker {shard}: {worker.get('status', 'unknown')}")
+    return 1 if payload.get("status") == "burning" else 0
 
 
 def _cmd_profile(args) -> int:
@@ -712,6 +771,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "request, per ingest, per WAL append)")
     serve.add_argument("--trace-export", metavar="PATH", default=None,
                        help="write buffered spans as JSONL on shutdown")
+    serve.add_argument("--robustness-file", metavar="PATH", default=None,
+                       help="scenario-matrix verdict file served by GET "
+                            "/robustness (default BENCH_scenarios.json)")
     serve.set_defaults(func=_cmd_serve)
 
     cluster = sub.add_parser(
@@ -732,6 +794,23 @@ def build_parser() -> argparse.ArgumentParser:
         sub_parser.add_argument("--router-port", type=int, default=8733)
         sub_parser.add_argument("--timeout-s", type=float, default=120.0)
         sub_parser.set_defaults(func=_cmd_cluster)
+
+    slo = sub.add_parser(
+        "slo", help="judge a running server's SLOs from its /statusz"
+    )
+    slo_sub = slo.add_subparsers(dest="action", required=True)
+    slo_check = slo_sub.add_parser(
+        "check",
+        help="exit 0 when every objective is healthy, 1 when a "
+             "burn-rate alert is firing, 2 when the server is unreachable",
+    )
+    slo_check.add_argument("--host", default="127.0.0.1")
+    slo_check.add_argument("--port", type=int, default=8733)
+    slo_check.add_argument("--timeout-s", type=float, default=30.0)
+    slo_check.add_argument("--json", action="store_true",
+                           help="print the raw /statusz payload instead "
+                                "of the verdict table")
+    slo_check.set_defaults(func=_cmd_slo)
 
     profile = sub.add_parser(
         "profile",

@@ -72,10 +72,21 @@ class LatencyHistogram:
         self._count = 0
         self._total = 0.0
         self._max = 0.0
+        # bucket index -> (trace_id, seconds): the slowest traced
+        # observation that landed in each bucket (OpenMetrics exemplars).
+        self._exemplars: dict[int, tuple[str, float]] = {}
         self._lock = threading.Lock()
 
-    def record(self, seconds: float) -> None:
-        """Count one observation of ``seconds``."""
+    def record(self, seconds: float, *, trace_id: str | None = None) -> None:
+        """Count one observation of ``seconds``.
+
+        When the caller is inside a recorded trace it may pass the
+        ``trace_id``; the bucket then retains an *exemplar* — the id of
+        its slowest traced landing (ties go to the most recent) — so a
+        p99 spike in ``/metricz`` links directly to a span tree.
+        Untraced observations (the default, zero-overhead posture) leave
+        exemplars untouched.
+        """
         if seconds < 0:
             raise ValueError(f"latency must be non-negative, got {seconds}")
         bucket = bisect.bisect_left(self.bounds, seconds)
@@ -84,6 +95,10 @@ class LatencyHistogram:
             self._count += 1
             self._total += seconds
             self._max = max(self._max, seconds)
+            if trace_id is not None:
+                current = self._exemplars.get(bucket)
+                if current is None or seconds >= current[1]:
+                    self._exemplars[bucket] = (str(trace_id), seconds)
 
     @property
     def count(self) -> int:
@@ -115,6 +130,12 @@ class LatencyHistogram:
                 "total": self._total,
                 "max": self._max,
                 "mean": self._total / self._count if self._count else 0.0,
+                "exemplars": {
+                    bucket: {"trace_id": trace_id, "value": value}
+                    for bucket, (trace_id, value) in sorted(
+                        self._exemplars.items()
+                    )
+                },
             }
 
     def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
@@ -152,7 +173,35 @@ class LatencyHistogram:
             self._total += float(snap["total"])
             if snap["max"] > self._max:
                 self._max = float(snap["max"])
+            # Exemplar merge is keep-slowest and *order-independent*:
+            # when two workers report the same bucket, the higher value
+            # wins, and an exact tie breaks on the lexicographically
+            # greater trace id — merging A into B and B into A agree, so
+            # a router folding worker snapshots in any order renders the
+            # same exemplar (and never sums or drops one).
+            for raw_bucket, exemplar in (snap.get("exemplars") or {}).items():
+                bucket = int(raw_bucket)  # JSON turns int keys into strings
+                incoming = (str(exemplar["trace_id"]), float(exemplar["value"]))
+                current = self._exemplars.get(bucket)
+                if current is None or incoming[1] > current[1] or (
+                    incoming[1] == current[1] and incoming[0] > current[0]
+                ):
+                    self._exemplars[bucket] = incoming
         return self
+
+    def slowest_exemplar(self) -> dict | None:
+        """The slowest traced observation across all buckets, or ``None``.
+
+        The ``/statusz`` surface shows this per endpoint: the one trace
+        id worth pulling up first when the tail looks wrong.
+        """
+        with self._lock:
+            if not self._exemplars:
+                return None
+            trace_id, value = max(
+                self._exemplars.values(), key=lambda item: (item[1], item[0])
+            )
+            return {"trace_id": trace_id, "value": value}
 
     def percentile(self, q: float) -> float:
         """Upper bound of the bucket holding the ``q``-quantile observation."""

@@ -28,6 +28,15 @@ from typing import IO, Callable
 from repro.obs.log import NULL_LOGGER, JsonLogger
 from repro.obs.profile import NULL_PHASE, NULL_PROFILER, Profiler, ProfileRegistry
 from repro.obs.registry import PROMETHEUS_CONTENT_TYPE, Counter, MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_BURN_WINDOWS,
+    SLO,
+    BurnWindow,
+    SloReport,
+    SloTracker,
+    default_slos,
+    shed_from_response,
+)
 from repro.obs.trace import (
     NULL_SPAN,
     NULL_TRACER,
@@ -43,7 +52,9 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "BurnWindow",
     "Counter",
+    "DEFAULT_BURN_WINDOWS",
     "JsonLogger",
     "MetricsRegistry",
     "NULL_LOGGER",
@@ -56,13 +67,18 @@ __all__ = [
     "PROMETHEUS_CONTENT_TYPE",
     "ProfileRegistry",
     "Profiler",
+    "SLO",
+    "SloReport",
+    "SloTracker",
     "Span",
     "SpanContext",
     "TRACE_ID_HEADER",
     "Tracer",
     "context_from_headers",
     "context_headers",
+    "default_slos",
     "load_jsonl",
+    "shed_from_response",
     "slowest_spans",
 ]
 

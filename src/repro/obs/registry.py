@@ -426,18 +426,46 @@ def _fmt(value: float) -> str:
     return repr(float(value))
 
 
+def _exemplar_suffix(exemplars: dict, bucket: int) -> str:
+    """The OpenMetrics exemplar tail for one bucket line, or ``""``.
+
+    ``{name}_bucket{{le="..."}} N # {{trace_id="..."}} 0.0031`` — the
+    trace id of the slowest observation that landed in the bucket, so a
+    scrape of a p99 outlier resolves to a span tree.
+    """
+    exemplar = exemplars.get(bucket)
+    if exemplar is None:
+        return ""
+    trace_id = _escape_label_value(str(exemplar["trace_id"]))
+    return f' # {{trace_id="{trace_id}"}} {_fmt(float(exemplar["value"]))}'
+
+
 def _render_histogram(name: str, key: tuple, snap: dict) -> list[str]:
     """Cumulative ``_bucket`` lines plus ``_sum`` / ``_count``."""
     lines = []
     cumulative = 0
-    for bound, count in zip(snap["bounds"], snap["bucket_counts"]):
+    # Exemplar keys are bucket indices; they may arrive as strings when a
+    # snapshot crossed a JSON boundary before rendering.
+    exemplars = {
+        int(bucket): exemplar
+        for bucket, exemplar in (snap.get("exemplars") or {}).items()
+    }
+    for bucket, (bound, count) in enumerate(
+        zip(snap["bounds"], snap["bucket_counts"])
+    ):
         cumulative += count
         labels = _render_labels(key, (("le", _fmt(bound)),))
-        lines.append(f"{name}_bucket{labels} {cumulative}")
+        lines.append(
+            f"{name}_bucket{labels} {cumulative}"
+            f"{_exemplar_suffix(exemplars, bucket)}"
+        )
     # The overflow bucket is the +Inf bucket; its cumulative count is the
     # total observation count, as the exposition format requires.
     inf_labels = _render_labels(key, (("le", "+Inf"),))
-    lines.append(f"{name}_bucket{inf_labels} {snap['count']}")
+    lines.append(
+        f"{name}_bucket{inf_labels} {snap['count']}"
+        f"{_exemplar_suffix(exemplars, len(snap['bounds']))}"
+    )
     lines.append(f"{name}_sum{_render_labels(key)} {_fmt(snap['total'])}")
     lines.append(f"{name}_count{_render_labels(key)} {snap['count']}")
     return lines

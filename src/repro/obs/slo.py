@@ -1,0 +1,370 @@
+"""Declarative SLOs, windowed burn-rate evaluation, error budgets.
+
+The registry (:mod:`repro.obs.registry`) answers "what happened"; this
+module answers "is that *good enough*".  An :class:`SLO` declares a
+target — availability, a latency threshold, or a shed-rate ceiling — and
+an :class:`SloTracker` classifies every request the serving layer
+handles into good/bad events per objective, bucketed into fixed-width
+time bins so rolling-window ratios are O(window/bin) to read and O(1) to
+record.
+
+Classification follows the typed failure ladder of
+:mod:`repro.serve.resilience`:
+
+* a **shed** response (429, or 503 carrying ``Retry-After`` — the
+  admission queue or a breaker deliberately refusing work) counts
+  against the *shed* objective, **not** against availability: load
+  shedding is the designed overload behaviour, and an SLO that punished
+  it would teach the service to fall over instead;
+* any other 5xx (a bare 500, a 504 deadline overrun, a 503 with no
+  retry hint) is an availability failure;
+* the latency objective judges only successful answers — a shed or
+  errored request has no meaningful service latency.
+
+Burn rates use the multi-window scheme from the SRE workbook: a window
+pair fires only when *both* the short window (fast detection) and the
+long window (sustained evidence) burn error budget faster than
+``max_burn`` × the sustainable rate.  The clock is injectable, so the
+unit tests drive hours of traffic through the math without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BurnWindow:
+    """One fast/slow window pair with its burn-rate alert threshold.
+
+    ``max_burn`` is a multiple of the sustainable burn rate (1.0 means
+    "spending budget exactly as fast as the objective allows").  The
+    default pairs are the workbook's 2%-in-1h / 5%-in-6h page points.
+    """
+
+    short_s: float
+    long_s: float
+    max_burn: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.short_s < self.long_s:
+            raise ValueError(
+                f"need 0 < short_s < long_s, got {self.short_s}/{self.long_s}"
+            )
+        if self.max_burn <= 0:
+            raise ValueError(f"max_burn must be positive, got {self.max_burn}")
+
+
+DEFAULT_BURN_WINDOWS = (
+    BurnWindow(short_s=300.0, long_s=3600.0, max_burn=14.4),
+    BurnWindow(short_s=1800.0, long_s=21600.0, max_burn=6.0),
+)
+
+_SLO_KINDS = ("availability", "latency", "shed")
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One declarative objective over a rolling request stream.
+
+    ``objective`` is the target good-fraction (0.999 == "three nines");
+    its complement is the error budget.  ``kind`` picks the classifier:
+    ``availability`` (non-shed 5xx is bad), ``latency`` (a successful
+    answer slower than ``threshold_s`` is bad), ``shed`` (a shed
+    response is bad — the budget for deliberate refusals).
+    """
+
+    name: str
+    kind: str = "availability"
+    objective: float = 0.999
+    threshold_s: float | None = None
+    windows: tuple[BurnWindow, ...] = DEFAULT_BURN_WINDOWS
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _SLO_KINDS:
+            raise ValueError(
+                f"kind must be one of {_SLO_KINDS}, got {self.kind!r}"
+            )
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"objective must be in (0, 1), got {self.objective}"
+            )
+        if self.kind == "latency" and (
+            self.threshold_s is None or self.threshold_s <= 0
+        ):
+            raise ValueError("a latency SLO needs a positive threshold_s")
+        if not self.windows:
+            raise ValueError("an SLO needs at least one burn window")
+
+    @property
+    def budget(self) -> float:
+        """The error budget: the tolerated bad-fraction."""
+        return 1.0 - self.objective
+
+    def classify(
+        self, *, status: int, latency_s: float, shed: bool
+    ) -> bool | None:
+        """``True`` good, ``False`` bad, ``None`` excluded from this SLO."""
+        if self.kind == "availability":
+            if shed:
+                return None
+            return status < 500
+        if self.kind == "latency":
+            if shed or status >= 400:
+                return None
+            return latency_s <= self.threshold_s
+        return not shed  # kind == "shed"
+
+
+def default_slos() -> tuple[SLO, ...]:
+    """The serving stack's out-of-the-box objectives.
+
+    Availability 99.9%, p99-style latency (99% of successful answers
+    within 250 ms — warm cache hits are microseconds, cold estimator
+    runs dominate the tail), and at most 1% of traffic shed.
+    """
+    return (
+        SLO(
+            "availability",
+            kind="availability",
+            objective=0.999,
+            description="non-shed responses that are not 5xx",
+        ),
+        SLO(
+            "latency",
+            kind="latency",
+            objective=0.99,
+            threshold_s=0.25,
+            description="successful answers within 250ms",
+        ),
+        SLO(
+            "shed",
+            kind="shed",
+            objective=0.99,
+            description="requests not deliberately refused (429/503+Retry-After)",
+        ),
+    )
+
+
+def shed_from_response(status: int, *, retry_after: bool) -> bool:
+    """Is this response a deliberate load-shed per the failure ladder?
+
+    429 always is; 503 only when it carried ``Retry-After`` (a drain or
+    breaker refusing politely) — a 503 without the header is a failure.
+    """
+    return status == 429 or (status == 503 and retry_after)
+
+
+class SloTracker:
+    """Classifies a request stream against a set of SLOs, windowed.
+
+    Thread-safe and cheap on the hot path: one :meth:`observe` call is a
+    lock, one classification per SLO, and one dict increment per SLO.
+    Events land in fixed-width time bins (``bin_s``); bins older than
+    the longest burn window are pruned as they age out, so memory is
+    bounded by ``retention / bin_s`` regardless of traffic volume.
+
+    ``clock`` is injectable (default ``time.monotonic``) so tests can
+    march simulated hours through the burn-rate math deterministically.
+    """
+
+    def __init__(
+        self,
+        slos: tuple[SLO, ...] | list[SLO] | None = None,
+        *,
+        clock=time.monotonic,
+        bin_s: float = 5.0,
+    ) -> None:
+        if bin_s <= 0:
+            raise ValueError(f"bin_s must be positive, got {bin_s}")
+        self.slos = tuple(slos) if slos is not None else default_slos()
+        if len({slo.name for slo in self.slos}) != len(self.slos):
+            raise ValueError("SLO names must be unique")
+        self.clock = clock
+        self.bin_s = float(bin_s)
+        self._retention_s = max(
+            window.long_s for slo in self.slos for window in slo.windows
+        )
+        self._lock = threading.Lock()
+        # slo name -> bin index -> [good, bad]
+        self._bins: dict[str, dict[int, list[int]]] = {
+            slo.name: {} for slo in self.slos
+        }
+        self._total = 0
+        self._shed = 0
+        self._errors = 0
+
+    # ------------------------------------------------------------ recording
+
+    def observe(
+        self, *, status: int, latency_s: float, shed: bool = False
+    ) -> None:
+        """Record one finished request against every SLO."""
+        now = self.clock()
+        bin_idx = int(now // self.bin_s)
+        min_bin = bin_idx - int(self._retention_s // self.bin_s) - 1
+        with self._lock:
+            self._total += 1
+            if shed:
+                self._shed += 1
+            elif status >= 500:
+                self._errors += 1
+            for slo in self.slos:
+                verdict = slo.classify(
+                    status=status, latency_s=latency_s, shed=shed
+                )
+                if verdict is None:
+                    continue
+                bins = self._bins[slo.name]
+                cell = bins.get(bin_idx)
+                if cell is None:
+                    cell = bins[bin_idx] = [0, 0]
+                    # Prune on the bin-creation edge only: at most once
+                    # per bin_s, not per request.
+                    for stale in [b for b in bins if b < min_bin]:
+                        del bins[stale]
+                cell[0 if verdict else 1] += 1
+
+    def counts(self) -> dict:
+        """Lifetime totals for the status surface."""
+        with self._lock:
+            return {
+                "requests": self._total,
+                "shed": self._shed,
+                "errors": self._errors,
+            }
+
+    # ----------------------------------------------------------- evaluation
+
+    def _window_ratio(
+        self, bins: dict[int, list[int]], now: float, window_s: float
+    ) -> tuple[int, int]:
+        """(good, bad) counts inside ``(now - window_s, now]``."""
+        first = int((now - window_s) // self.bin_s)
+        last = int(now // self.bin_s)
+        good = bad = 0
+        for idx, (g, b) in bins.items():
+            if first < idx <= last:
+                good += g
+                bad += b
+        return good, bad
+
+    def evaluate(self, now: float | None = None) -> "SloReport":
+        """Judge every SLO's burn windows and error budget at ``now``."""
+        if now is None:
+            now = self.clock()
+        with self._lock:
+            frozen = {
+                name: {idx: list(cell) for idx, cell in bins.items()}
+                for name, bins in self._bins.items()
+            }
+            counts = {
+                "requests": self._total,
+                "shed": self._shed,
+                "errors": self._errors,
+            }
+        results = []
+        for slo in self.slos:
+            bins = frozen[slo.name]
+            windows = []
+            burning = False
+            for window in slo.windows:
+                sg, sb = self._window_ratio(bins, now, window.short_s)
+                lg, lb = self._window_ratio(bins, now, window.long_s)
+                short_ratio = sb / (sg + sb) if sg + sb else 0.0
+                long_ratio = lb / (lg + lb) if lg + lb else 0.0
+                short_burn = short_ratio / slo.budget
+                long_burn = long_ratio / slo.budget
+                firing = (
+                    sg + sb > 0
+                    and short_burn > window.max_burn
+                    and long_burn > window.max_burn
+                )
+                burning = burning or firing
+                windows.append(
+                    {
+                        "short_s": window.short_s,
+                        "long_s": window.long_s,
+                        "max_burn": window.max_burn,
+                        "short_burn": short_burn,
+                        "long_burn": long_burn,
+                        "firing": firing,
+                    }
+                )
+            budget_window = max(w.long_s for w in slo.windows)
+            bg, bb = self._window_ratio(bins, now, budget_window)
+            consumed = (bb / (bg + bb) if bg + bb else 0.0) / slo.budget
+            results.append(
+                {
+                    "name": slo.name,
+                    "kind": slo.kind,
+                    "objective": slo.objective,
+                    "threshold_s": slo.threshold_s,
+                    "description": slo.description,
+                    "window_good": bg,
+                    "window_bad": bb,
+                    "budget_window_s": budget_window,
+                    "budget_consumed": consumed,
+                    "budget_remaining": 1.0 - consumed,
+                    "budget_exhausted": consumed >= 1.0,
+                    "burning": burning,
+                    "windows": windows,
+                }
+            )
+        return SloReport(generated_at=now, results=results, counts=counts)
+
+
+@dataclass
+class SloReport:
+    """One :meth:`SloTracker.evaluate` verdict set, renderable two ways."""
+
+    generated_at: float
+    results: list[dict]
+    counts: dict = field(default_factory=dict)
+
+    @property
+    def burning(self) -> bool:
+        return any(result["burning"] for result in self.results)
+
+    def result(self, name: str) -> dict:
+        for entry in self.results:
+            if entry["name"] == name:
+                return entry
+        raise KeyError(f"no SLO named {name!r} in this report")
+
+    def to_dict(self) -> dict:
+        """The JSON shape ``/statusz`` serves (and ``repro slo check`` reads)."""
+        return {
+            "burning": self.burning,
+            "generated_at": self.generated_at,
+            "counts": dict(self.counts),
+            "slos": [dict(result) for result in self.results],
+        }
+
+    def table(self) -> str:
+        """An aligned text table, one row per SLO, for the CLI."""
+        header = ("slo", "kind", "objective", "budget left", "burn", "state")
+        rows = [header]
+        for result in self.results:
+            fastest = max(
+                (w["short_burn"] for w in result["windows"]), default=0.0
+            )
+            rows.append(
+                (
+                    result["name"],
+                    result["kind"],
+                    f"{result['objective']:.4g}",
+                    f"{result['budget_remaining'] * 100:.1f}%",
+                    f"{fastest:.2f}x",
+                    "BURNING" if result["burning"] else "ok",
+                )
+            )
+        widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+        lines = [
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+            for row in rows
+        ]
+        return "\n".join(lines)

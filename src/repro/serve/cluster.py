@@ -60,7 +60,15 @@ from repro.metrics.cost import Gauge, LatencyHistogram
 from repro.obs import Observability
 from repro.obs.registry import PROMETHEUS_CONTENT_TYPE, MetricsRegistry
 from repro.obs.trace import context_headers
-from repro.serve.http import _RUN_ENDPOINTS, ApiError, RawResponse, read_json_body
+from repro.serve.http import (
+    _RUN_ENDPOINTS,
+    DEFAULT_ROBUSTNESS_FILE,
+    ApiError,
+    RawResponse,
+    RequestTelemetry,
+    load_robustness,
+    read_json_body,
+)
 from repro.serve.resilience import Backoff, CircuitBreaker
 from repro.serve.ring import HashRing
 from repro.serve.wal import REGISTER, WriteAheadLog, scan_wal
@@ -123,6 +131,9 @@ class WorkerSpec:
     # final catch-up read of the (dead) primary's WAL *file*.
     follow: tuple[str, int, str] | None = None
     follow_poll_s: float = 0.05
+    # Scenario-matrix verdict file served by GET /robustness (None →
+    # the worker's default, BENCH_scenarios.json in the cwd).
+    robustness_file: str | None = None
 
 
 def _worker_main(spec: WorkerSpec) -> None:
@@ -183,7 +194,10 @@ def _worker_main(spec: WorkerSpec) -> None:
     if spec.verbose or report.runs_restored:
         print(f"[shard {spec.shard}] recovery: {report.summary()}", flush=True)
     server = EvaluationHTTPServer(
-        (spec.host, spec.port), service, verbose=spec.verbose
+        (spec.host, spec.port),
+        service,
+        verbose=spec.verbose,
+        robustness_file=spec.robustness_file,
     )
     server.ring_epoch = spec.ring_epoch
     follower = None
@@ -365,6 +379,7 @@ class ClusterSupervisor:
         backoff_stability_s: float = 5.0,
         backoff_seed: int = 0,
         follow_poll_s: float = 0.05,
+        robustness_file: str | None = None,
         verbose: bool = False,
     ) -> None:
         if n_shards <= 0:
@@ -391,6 +406,7 @@ class ClusterSupervisor:
         self.max_respawns = max_respawns
         self.retry_after_hint_s = retry_after_hint_s
         self.follow_poll_s = follow_poll_s
+        self.robustness_file = robustness_file
         self.verbose = verbose
         self._wal_root = Path(wal_root)
         self._host = host
@@ -403,6 +419,7 @@ class ClusterSupervisor:
             breaker_reset_s=breaker_reset_s,
             chaos_ingest_ms=chaos_ingest_ms,
             trace=trace,
+            robustness_file=robustness_file,
             verbose=verbose,
         )
         self._probe_failures = probe_failures
@@ -1090,7 +1107,9 @@ _AUTO_ID_RE = re.compile(r"^(?:hfl|vfl)-c(\d+)$")
 
 
 def _router_allowed_methods(parts: list[str]) -> frozenset[str] | None:
-    if parts in (["healthz"], ["metricz"], ["cluster"]):
+    if parts in (
+        ["healthz"], ["metricz"], ["cluster"], ["statusz"], ["robustness"]
+    ):
         return frozenset({"GET"})
     if parts == ["runs"]:
         return frozenset({"GET", "POST"})
@@ -1140,10 +1159,16 @@ class _RouterHandler(BaseHTTPRequestHandler):
         # answer, so orchestrators see the drain, not an outage) while
         # already-admitted requests run to completion below.
         if self.server.draining and urlparse(self.path).path != "/healthz":  # type: ignore[attr-defined]
+            started = time.perf_counter()
             self._send_body(
                 {"error": "router is draining; not accepting new requests"},
                 503,
                 {"Retry-After": str(max(1, int(self.server.drain_retry_after_s)))},  # type: ignore[attr-defined]
+            )
+            # A drain refusal carries Retry-After, so the SLO engine
+            # books it against the shed budget, not availability.
+            self.server.telemetry.observe(  # type: ignore[attr-defined]
+                self.path, 503, time.perf_counter() - started, retry_after=True
             )
             return
         self.server.in_flight.inc()  # type: ignore[attr-defined]
@@ -1204,9 +1229,22 @@ class _RouterHandler(BaseHTTPRequestHandler):
             span.set_attribute("status", status)
             if status >= 400:
                 span.end(status="error")
+            trace_id = span.trace_id if span.context is not None else None
         self._send_body(payload, status, headers)
-        self.server.request_latency.record(  # type: ignore[attr-defined]
-            time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        self.server.request_latency.record(elapsed)  # type: ignore[attr-defined]
+        # The router judges the traffic *it* answered: a relayed worker
+        # refusal (Retry-After in the proxied headers) is a shed here too.
+        retry_after = "Retry-After" in headers or (
+            isinstance(payload, _ProxyResult)
+            and "Retry-After" in payload.headers
+        )
+        self.server.telemetry.observe(  # type: ignore[attr-defined]
+            self.path,
+            status,
+            elapsed,
+            retry_after=retry_after,
+            trace_id=trace_id,
         )
 
     def _method_not_allowed(self, parts: list[str], method: str):
@@ -1338,6 +1376,10 @@ class _RouterHandler(BaseHTTPRequestHandler):
         query = parse_qs(url.query)
         if parts == ["healthz"]:
             return self._aggregate_health(), 200
+        if parts == ["statusz"]:
+            return self._aggregate_statusz(), 200
+        if parts == ["robustness"]:
+            return load_robustness(self.server.robustness_file), 200  # type: ignore[attr-defined]
         if parts == ["metricz"]:
             fmt = query.get("format", ["json"])[0]
             if fmt == "prometheus":
@@ -1504,6 +1546,36 @@ class _RouterHandler(BaseHTTPRequestHandler):
         ]
         return {"runs": runs, "unavailable": unavailable}
 
+    def _aggregate_statusz(self) -> dict:
+        """Fleet ``/statusz``: the router's own verdicts plus every worker's.
+
+        The router's SLO engine judges end-to-end traffic (what clients
+        actually experienced, sheds and proxy failures included); each
+        worker's payload rides along under ``"workers"`` so one scrape
+        shows which shard is burning.  Down shards are reported, not
+        fatal — a status check during failover still answers.
+        """
+        payload = self.server.telemetry.status()  # type: ignore[attr-defined]
+        workers: dict = {}
+        down: list[str] = []
+        for shard in self._sorted_shards():
+            try:
+                workers[str(shard)] = self._proxy_json(shard, "/statusz")
+            except (ShardUnavailable, ShardTimeout, ApiError) as exc:
+                workers[str(shard)] = {"status": "down", "error": str(exc)}
+                down.append(str(shard))
+        # A down shard does not flip the verdict by itself: the router's
+        # own SLO engine already books every failed proxy as a bad
+        # request, so sustained damage burns availability the honest way.
+        payload.update(
+            {
+                "workers": workers,
+                "shards_down": down,
+                "topology": self.topology.describe(),
+            }
+        )
+        return payload
+
     def _aggregate_metrics(self) -> dict:
         workers: dict = {}
         for shard in self._sorted_shards():
@@ -1568,6 +1640,8 @@ class ClusterRouter(ThreadingHTTPServer):
         *,
         obs: Observability | None = None,
         proxy_timeout_s: float = 30.0,
+        slos=None,
+        robustness_file: str | None = None,
         verbose: bool = False,
     ) -> None:
         super().__init__(address, _RouterHandler)
@@ -1575,6 +1649,12 @@ class ClusterRouter(ThreadingHTTPServer):
         self.obs = obs if obs is not None else Observability()
         self.proxy_timeout_s = proxy_timeout_s
         self.verbose = verbose
+        # The router runs its own SLO engine over end-to-end traffic —
+        # what clients experienced, proxy failures and sheds included —
+        # independent of each worker's view; GET /statusz merges both.
+        self.telemetry = RequestTelemetry(self.obs.registry, slos=slos)
+        self.slo_tracker = self.telemetry.slo_tracker
+        self.robustness_file = robustness_file or DEFAULT_ROBUSTNESS_FILE
         self.request_latency = LatencyHistogram()
         self.obs.registry.register(
             "repro_router_request_latency_seconds",
@@ -1675,6 +1755,7 @@ def serve_cluster(
     admission_limit: int | None = None,
     chaos_ingest_ms: float = 0.0,
     trace: bool = False,
+    robustness_file: str | None = None,
     verbose: bool = True,
 ) -> int:
     """Run a sharded cluster until interrupted; ``repro serve --cluster N``.
@@ -1701,6 +1782,7 @@ def serve_cluster(
         admission_limit=admission_limit,
         chaos_ingest_ms=chaos_ingest_ms,
         trace=trace,
+        robustness_file=robustness_file,
         verbose=verbose,
     )
     supervisor.start()
@@ -1708,6 +1790,7 @@ def serve_cluster(
         (host, router_port),
         supervisor,
         obs=Observability(trace=trace),
+        robustness_file=robustness_file,
         verbose=verbose,
     )
     print(
@@ -1718,7 +1801,8 @@ def serve_cluster(
     for shard, spec in sorted(supervisor.specs.items()):
         print(f"  shard {shard}: http://{spec.host}:{spec.port} "
               f"(wal: {spec.wal_dir})")
-    print("endpoints: /healthz /metricz[?format=prometheus] /cluster[?key=] "
+    print("endpoints: /healthz /statusz /robustness "
+          "/metricz[?format=prometheus] /cluster[?key=] "
           "POST /cluster/resize /runs /runs/{id}/contributions "
           "/runs/{id}/leaderboard /runs/{id}/weights /runs/{id}/profile")
 

@@ -3,6 +3,8 @@
 Endpoints::
 
     GET  /healthz                      liveness: ok / degraded / closed
+    GET  /statusz                      SLO verdicts, burn rates, exemplars
+    GET  /robustness                   latest scenario-matrix verdicts
     GET  /metricz                      latency, cache, admission, breakers
     GET  /metricz?format=prometheus    the same registry, Prometheus text
     GET  /runs                         registered runs
@@ -73,6 +75,7 @@ from repro.data import HFL_DATASETS, build_hfl_federation
 from repro.io import load_training_log, load_vfl_training_log
 from repro.metrics.cost import LatencyHistogram
 from repro.obs.registry import PROMETHEUS_CONTENT_TYPE
+from repro.obs.slo import SloTracker, shed_from_response
 from repro.obs.trace import context_from_headers
 from repro.nn import make_hfl_model
 from repro.serve.resilience import (
@@ -90,6 +93,149 @@ _DEFAULT_N_SAMPLES = 1200
 MAX_BODY_BYTES = 1024 * 1024
 
 _RUN_ENDPOINTS = frozenset({"contributions", "leaderboard", "weights", "profile"})
+_CONTROL_VERBS = frozenset({"status", "epoch", "promote", "adopt"})
+# Default robustness-matrix file (written by benchmarks/bench_scenarios.py
+# or `repro scenario matrix --save`), served by GET /robustness.
+DEFAULT_ROBUSTNESS_FILE = "BENCH_scenarios.json"
+
+
+def normalize_route(path: str) -> str:
+    """Collapse a request path onto its endpoint *template*.
+
+    This is the RED-metrics cardinality bound: run ids, unknown paths and
+    query strings must never become label values, or a load test
+    registering a thousand runs mints a thousand series.  Every possible
+    input maps onto one of a fixed, small set of templates —
+    ``/runs/{id}/leaderboard``, ``/control/promote``, ... — with
+    everything unrecognised pooled under ``/other``.
+    """
+    parts = [p for p in urlparse(path).path.split("/") if p]
+    if not parts:
+        return "/"
+    if parts[0] in (
+        "healthz", "metricz", "runs", "statusz", "robustness", "cluster"
+    ) and len(parts) == 1:
+        return f"/{parts[0]}"
+    if parts == ["wal", "stream"]:
+        return "/wal/stream"
+    if parts == ["cluster", "resize"]:
+        return "/cluster/resize"
+    if len(parts) == 3 and parts[0] == "runs" and parts[2] in _RUN_ENDPOINTS:
+        return "/runs/{id}/" + parts[2]
+    if len(parts) == 2 and parts[0] == "control" and parts[1] in _CONTROL_VERBS:
+        return "/control/" + parts[1]
+    return "/other"
+
+
+def load_robustness(path) -> dict:
+    """The ``GET /robustness`` payload: the saved matrix verdicts, fresh.
+
+    Re-read per request so a re-run of the scenario matrix is queryable
+    immediately.  A missing or unreadable file is a typed 404 (the
+    matrix simply has not been produced yet), never a bare 500.
+    """
+    from pathlib import Path
+
+    file = Path(path)
+    try:
+        payload = json.loads(file.read_text())
+    except FileNotFoundError:
+        raise ApiError(
+            404,
+            f"no robustness matrix at {str(file)!r}; run "
+            "benchmarks/bench_scenarios.py (or `repro scenario matrix "
+            "--save`) to produce one",
+        ) from None
+    except (OSError, ValueError) as exc:
+        raise ApiError(
+            404, f"robustness matrix at {str(file)!r} is unreadable: {exc}"
+        ) from None
+    if not isinstance(payload, dict):
+        raise ApiError(
+            404, f"robustness matrix at {str(file)!r} is not a JSON object"
+        )
+    payload = dict(payload)
+    payload["file"] = str(file)
+    return payload
+
+
+class RequestTelemetry:
+    """SLO tracking + per-endpoint RED series for one HTTP frontend.
+
+    Composed by both the worker server and the cluster router (each front
+    door judges the traffic *it* answered): every finished request is
+    classified against the SLOs and recorded into request/error/duration
+    series labelled by endpoint *template* — the route normalizer bounds
+    cardinality, so a thousand run ids still cost one series — with the
+    request's trace id captured as a duration-bucket exemplar when
+    tracing is armed.
+    """
+
+    def __init__(self, registry, *, slos=None, clock=time.monotonic) -> None:
+        self.registry = registry
+        self.slo_tracker = SloTracker(slos, clock=clock)
+        self.red_histograms: dict[str, LatencyHistogram] = {}
+
+    def observe(
+        self,
+        path: str,
+        status: int,
+        seconds: float,
+        *,
+        retry_after: bool = False,
+        trace_id: str | None = None,
+    ) -> None:
+        """Feed one finished request into the SLO tracker and RED series."""
+        endpoint = normalize_route(path)
+        shed = shed_from_response(status, retry_after=retry_after)
+        self.slo_tracker.observe(status=status, latency_s=seconds, shed=shed)
+        self.registry.counter(
+            "repro_http_requests_total",
+            help="requests by endpoint template and status code (RED rate)",
+            labels={"endpoint": endpoint, "code": str(status)},
+        ).inc()
+        if shed:
+            self.registry.counter(
+                "repro_http_shed_total",
+                help="requests deliberately refused (429/503+Retry-After)",
+                labels={"endpoint": endpoint},
+            ).inc()
+        elif status >= 500:
+            self.registry.counter(
+                "repro_http_errors_total",
+                help="non-shed 5xx responses by endpoint template (RED errors)",
+                labels={"endpoint": endpoint},
+            ).inc()
+        histogram = self.red_histograms.get(endpoint)
+        if histogram is None:
+            # get-or-create is idempotent, so a racing sibling lands on
+            # the same instrument; the local index is just a fast path.
+            histogram = self.registry.histogram(
+                "repro_http_request_duration_seconds",
+                help="request duration by endpoint template (RED duration)",
+                labels={"endpoint": endpoint},
+            )
+            self.red_histograms[endpoint] = histogram
+        histogram.record(seconds, trace_id=trace_id)
+
+    def endpoints(self) -> dict:
+        """Per-endpoint latency summaries plus the slowest exemplar each."""
+        out = {}
+        for endpoint in sorted(self.red_histograms):
+            histogram = self.red_histograms[endpoint]
+            summary = histogram.summary()
+            summary["slowest"] = histogram.slowest_exemplar()
+            out[endpoint] = summary
+        return out
+
+    def status(self) -> dict:
+        """The common ``/statusz`` core: verdicts + per-endpoint tails."""
+        report = self.slo_tracker.evaluate()
+        return {
+            "status": "burning" if report.burning else "ok",
+            "slo": report.to_dict(),
+            "endpoints": self.endpoints(),
+        }
 
 
 class RawResponse:
@@ -157,10 +303,15 @@ def register_from_spec(service: EvaluationService, spec: dict) -> dict:
     if not log_path:
         raise ApiError(400, "log_path is required")
     estimator, estimator_options = _resolve_estimator(spec, kind)
+    requested = estimator
     run_id = spec.get("run_id")
     try:
         if kind == "hfl":
             log = load_training_log(log_path)
+            if estimator == "auto":
+                estimator = _auto_estimator(
+                    kind, len(log.participant_ids), estimator_options
+                )
             validation, model_factory = hfl_validation_and_model(
                 spec.get("dataset", "mnist"),
                 int(spec.get("seed", 0)),
@@ -192,6 +343,10 @@ def register_from_spec(service: EvaluationService, spec: dict) -> dict:
             )
         else:
             log = load_vfl_training_log(log_path)
+            if estimator == "auto":
+                estimator = _auto_estimator(
+                    kind, len(log.feature_blocks), estimator_options
+                )
             run_id = service.register_vfl(
                 log.feature_blocks,
                 log.active_parties,
@@ -215,12 +370,17 @@ def register_from_spec(service: EvaluationService, spec: dict) -> dict:
         raise ApiError(400, f"no training log at {log_path!r}") from None
     except (ValueError, KeyError) as exc:
         raise ApiError(400, str(exc)) from None
-    return {
+    summary = {
         "run_id": run_id,
         "kind": kind,
         "estimator": estimator,
         "epochs": log.n_epochs,
     }
+    if requested == "auto":
+        # The 201 echoes the *concretely chosen* backend (and that it was
+        # auto-selected); queries report it too via the run summary.
+        summary["estimator_requested"] = "auto"
+    return summary
 
 
 def _resolve_estimator(spec: dict, kind: str) -> tuple[str, dict]:
@@ -229,7 +389,10 @@ def _resolve_estimator(spec: dict, kind: str) -> tuple[str, dict]:
     Typed refusals, never a bare 500: an unknown backend name answers
     400 listing every registered backend, an unknown option or a
     kind-unsupporting backend answers 400 with the constructor's
-    message.
+    message.  ``"auto"`` passes through unresolved — the crossover
+    policy needs the log's party count, so :func:`register_from_spec`
+    resolves it (via :func:`repro.core.backends.choose_backend`) right
+    after loading the log.
     """
     from repro.core.backends import UnknownBackendError, backend_names, get_backend
 
@@ -241,6 +404,8 @@ def _resolve_estimator(spec: dict, kind: str) -> tuple[str, dict]:
         raise ApiError(
             400, f"estimator_options must be a JSON object, got {options!r}"
         )
+    if name == "auto":
+        return name, options
     try:
         backend = get_backend(name, **options)
         backend.require(kind)
@@ -253,6 +418,29 @@ def _resolve_estimator(spec: dict, kind: str) -> tuple[str, dict]:
     except (TypeError, ValueError) as exc:
         raise ApiError(400, str(exc)) from None
     return backend.name, options
+
+
+def _auto_estimator(kind: str, n_parties: int, options: dict) -> str:
+    """Resolve ``"estimator": "auto"`` to a concrete, validated backend.
+
+    :func:`repro.core.backends.choose_backend` applies the measured
+    gtg↔dpvs crossover from ``BENCH_estimators.json`` (falling back to
+    ``digfl``); the chosen backend is then constructed with the spec's
+    options and checked against the log kind, so an option the chosen
+    backend does not take is a typed 400 — and the WAL records the
+    concrete name, keeping replay deterministic even if the benchmark
+    file changes later.
+    """
+    from repro.core.backends import choose_backend, get_backend
+
+    chosen = choose_backend(n_parties, kind)
+    try:
+        get_backend(chosen, **options).require(kind)
+    except (TypeError, ValueError) as exc:
+        raise ApiError(
+            400, f"auto-selected estimator {chosen!r}: {exc}"
+        ) from None
+    return chosen
 
 
 def read_json_body(handler) -> dict:
@@ -286,7 +474,13 @@ def read_json_body(handler) -> dict:
 
 def _allowed_methods(parts: list[str]) -> frozenset[str] | None:
     """The methods a path supports, or ``None`` for an unknown path."""
-    if parts in (["healthz"], ["metricz"], ["wal", "stream"]):
+    if parts in (
+        ["healthz"],
+        ["metricz"],
+        ["statusz"],
+        ["robustness"],
+        ["wal", "stream"],
+    ):
         return frozenset({"GET"})
     if parts == ["runs"]:
         return frozenset({"GET", "POST"})
@@ -374,9 +568,16 @@ class _Handler(BaseHTTPRequestHandler):
             span.set_attribute("status", status)
             if status >= 400:
                 span.end(status="error")
+            trace_id = span.trace_id if span.context is not None else None
         self._send_body(payload, status, headers)
-        self.server.request_latency.record(  # type: ignore[attr-defined]
-            time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        self.server.request_latency.record(elapsed)  # type: ignore[attr-defined]
+        self.server.observe_request(  # type: ignore[attr-defined]
+            self.path,
+            status,
+            elapsed,
+            retry_after="Retry-After" in headers,
+            trace_id=trace_id,
         )
         logger = self.service.obs.logger
         if logger.enabled:
@@ -430,6 +631,10 @@ class _Handler(BaseHTTPRequestHandler):
         query = parse_qs(url.query)
         if parts == ["healthz"]:
             return self.service.health(), 200
+        if parts == ["statusz"]:
+            return self.server.statusz(), 200  # type: ignore[attr-defined]
+        if parts == ["robustness"]:
+            return load_robustness(self.server.robustness_file), 200  # type: ignore[attr-defined]
         if parts == ["metricz"]:
             fmt = query.get("format", ["json"])[0]
             if fmt == "prometheus":
@@ -538,6 +743,8 @@ class EvaluationHTTPServer(ThreadingHTTPServer):
         service: EvaluationService | None = None,
         *,
         verbose: bool = False,
+        slos: tuple | list | None = None,
+        robustness_file: str | None = None,
     ) -> None:
         super().__init__(address, _Handler)
         self.service = service if service is not None else EvaluationService()
@@ -548,6 +755,11 @@ class EvaluationHTTPServer(ThreadingHTTPServer):
         # current ring epoch (stale-write fencing); see serve/replication.
         self.controller = None
         self.ring_epoch: int | None = None
+        # The SLO engine + RED series: every finished request is
+        # classified good/bad per objective; GET /statusz serves verdicts.
+        self.telemetry = RequestTelemetry(self.service.obs.registry, slos=slos)
+        self.slo_tracker = self.telemetry.slo_tracker
+        self.robustness_file = robustness_file or DEFAULT_ROBUSTNESS_FILE
         # exist_ok: a service outliving one HTTP frontend (tests, restarts)
         # re-registers the fresh histogram over the dead one's.
         self.service.obs.registry.register(
@@ -556,6 +768,43 @@ class EvaluationHTTPServer(ThreadingHTTPServer):
             help="HTTP request wall time, routing through response write",
             exist_ok=True,
         )
+
+    def observe_request(
+        self,
+        path: str,
+        status: int,
+        seconds: float,
+        *,
+        retry_after: bool = False,
+        trace_id: str | None = None,
+    ) -> None:
+        """One finished request into the SLO tracker and RED series."""
+        self.telemetry.observe(
+            path, status, seconds, retry_after=retry_after, trace_id=trace_id
+        )
+
+    def statusz(self) -> dict:
+        """The ``GET /statusz`` payload: verdicts, not raw series.
+
+        SLO burn rates and budgets, per-endpoint latency summaries with
+        the slowest exemplar (a trace id to pull up first), breaker
+        states, and — on a standby — replication lag.
+        """
+        payload = self.telemetry.status()
+        stats = self.service.stats()
+        follower = getattr(self.controller, "follower", None)
+        payload.update(
+            {
+                "health": self.service.health()["status"],
+                "breakers": stats["breakers"],
+                "replication": (
+                    follower.stats() if follower is not None else None
+                ),
+                "uptime_seconds": stats["uptime_seconds"],
+                "ring_epoch": self.ring_epoch,
+            }
+        )
+        return payload
 
     @property
     def port(self) -> int:
@@ -574,11 +823,15 @@ def serve(
     *,
     service: EvaluationService | None = None,
     verbose: bool = True,
+    robustness_file: str | None = None,
 ) -> int:
     """Run the server until interrupted; the ``repro serve`` entry point."""
-    server = EvaluationHTTPServer((host, port), service, verbose=verbose)
+    server = EvaluationHTTPServer(
+        (host, port), service, verbose=verbose, robustness_file=robustness_file
+    )
     print(f"repro-serve listening on http://{host}:{server.port}")
-    print("endpoints: /healthz /metricz[?format=prometheus] /runs "
+    print("endpoints: /healthz /statusz /robustness "
+          "/metricz[?format=prometheus] /runs "
           "/runs/{id}/contributions /runs/{id}/leaderboard /runs/{id}/weights "
           "/runs/{id}/profile")
     try:

@@ -137,16 +137,37 @@ def parse_prometheus(text: str) -> dict:
     """A deliberately strict mini-parser for the exposition format.
 
     Returns ``{metric_name: {"type": ..., "samples": {(sample_name,
-    labels_tuple): value}}}`` and raises on any line it does not
-    understand — the round-trip contract the renderer is held to.
+    labels_tuple): value}, "exemplars": {...}}}`` and raises on any line
+    it does not understand — the round-trip contract the renderer is
+    held to.  An OpenMetrics exemplar tail (`` # {trace_id="..."} v``)
+    is only legal on histogram ``_bucket`` samples, and its labels obey
+    the same quoting rules as sample labels.
     """
     import re
 
     metrics: dict = {}
     current = None
+    # One label pair: name="value" with backslash escapes — the value may
+    # contain '}' and ',' (route templates do), so the grammar is built
+    # from quoted pairs, not from "anything but a closing brace".
+    pair = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    labels_block = rf"(?:{pair}(?:,{pair})*)?"
     sample_re = re.compile(
-        r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)$"
+        rf"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{{({labels_block})\}})? (\S+)"
+        rf"(?: # \{{({labels_block})\}} (\S+))?$"
     )
+    pair_re = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"(?:,|$)')
+
+    def parse_labels(raw: str, line: str) -> tuple:
+        labels, pos = [], 0
+        while pos < len(raw):
+            match = pair_re.match(raw, pos)
+            if match is None:
+                raise ValueError(f"bad label pair in {line!r}")
+            labels.append((match.group(1), match.group(2)))
+            pos = match.end()
+        return tuple(labels)
+
     for line in text.splitlines():
         if not line:
             raise ValueError("blank line in exposition output")
@@ -156,21 +177,27 @@ def parse_prometheus(text: str) -> dict:
             _, _, name, kind = line.split(" ", 3)
             if kind not in ("counter", "gauge", "histogram"):
                 raise ValueError(f"unknown type {kind!r}")
-            current = metrics.setdefault(name, {"type": kind, "samples": {}})
+            current = metrics.setdefault(
+                name, {"type": kind, "samples": {}, "exemplars": {}}
+            )
             continue
         match = sample_re.match(line)
         if match is None or current is None:
             raise ValueError(f"unparseable sample line {line!r}")
-        sample_name, _, raw_labels, raw_value = match.groups()
-        labels = []
-        if raw_labels:
-            for pair in raw_labels.split(","):
-                label, value = pair.split("=", 1)
-                if not (value.startswith('"') and value.endswith('"')):
-                    raise ValueError(f"unquoted label value in {line!r}")
-                labels.append((label, value[1:-1]))
+        sample_name, _, raw_labels, raw_value, raw_ex_labels, raw_ex_value = (
+            match.groups()
+        )
+        labels = parse_labels(raw_labels, line) if raw_labels else ()
         value = float("inf") if raw_value == "+Inf" else float(raw_value)
-        current["samples"][(sample_name, tuple(labels))] = value
+        key = (sample_name, labels)
+        current["samples"][key] = value
+        if raw_ex_labels is not None:
+            if not sample_name.endswith("_bucket"):
+                raise ValueError(f"exemplar on a non-bucket sample {line!r}")
+            current["exemplars"][key] = {
+                "labels": parse_labels(raw_ex_labels, line),
+                "value": float(raw_ex_value),
+            }
     return metrics
 
 
@@ -237,3 +264,122 @@ class TestPrometheusRendering:
 
     def test_empty_registry_renders_empty_string(self):
         assert MetricsRegistry().render_prometheus() == ""
+
+
+class TestExemplars:
+    def test_record_keeps_slowest_trace_per_bucket_ties_to_latest(self):
+        histogram = LatencyHistogram(bounds=(0.01, 0.1))
+        histogram.record(0.002, trace_id="t-fast")
+        histogram.record(0.009, trace_id="t-slow")
+        histogram.record(0.004, trace_id="t-mid")
+        histogram.record(0.009, trace_id="t-tie-latest")
+        histogram.record(0.05)  # untraced: no exemplar for this bucket
+        snap = histogram.snapshot()
+        assert snap["exemplars"] == {
+            0: {"trace_id": "t-tie-latest", "value": 0.009}
+        }
+        assert histogram.slowest_exemplar() == {
+            "trace_id": "t-tie-latest",
+            "value": 0.009,
+        }
+
+    def test_merge_snapshot_is_keep_slowest_and_order_independent(self):
+        def make(trace_id, seconds):
+            histogram = LatencyHistogram(bounds=(0.01, 0.1))
+            histogram.record(seconds, trace_id=trace_id)
+            return histogram.snapshot()
+
+        a, b = make("worker-a", 0.003), make("worker-b", 0.007)
+        ab = LatencyHistogram(bounds=(0.01, 0.1))
+        ab.merge_snapshot(a)
+        ab.merge_snapshot(b)
+        ba = LatencyHistogram(bounds=(0.01, 0.1))
+        ba.merge_snapshot(b)
+        ba.merge_snapshot(a)
+        # Counts add; exemplars do NOT add — the slowest one wins in
+        # either merge order, and the other is dropped, not summed.
+        for merged in (ab, ba):
+            snap = merged.snapshot()
+            assert snap["count"] == 2
+            assert snap["exemplars"] == {
+                0: {"trace_id": "worker-b", "value": 0.007}
+            }
+
+    def test_merge_snapshot_equal_values_break_ties_on_trace_id(self):
+        def snap_with(trace_id):
+            histogram = LatencyHistogram(bounds=(0.01,))
+            histogram.record(0.005, trace_id=trace_id)
+            return histogram.snapshot()
+
+        for order in (("aaa", "zzz"), ("zzz", "aaa")):
+            merged = LatencyHistogram(bounds=(0.01,))
+            for trace_id in order:
+                merged.merge_snapshot(snap_with(trace_id))
+            assert merged.snapshot()["exemplars"][0]["trace_id"] == "zzz"
+
+    def test_merge_snapshot_survives_json_round_trip(self):
+        import json
+
+        histogram = LatencyHistogram(bounds=(0.01, 0.1))
+        histogram.record(0.05, trace_id="deadbeef")
+        wire = json.loads(json.dumps(histogram.snapshot()))
+        merged = LatencyHistogram(bounds=(0.01, 0.1)).merge_snapshot(wire)
+        assert merged.snapshot()["exemplars"] == {
+            1: {"trace_id": "deadbeef", "value": 0.05}
+        }
+
+    def test_renderer_emits_openmetrics_exemplars(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "repro_ex_seconds", bounds=(0.01, 0.1), labels={"endpoint": "/runs"}
+        )
+        histogram.record(0.003, trace_id="abc123")
+        histogram.record(5.0, trace_id="overflow1")  # lands in +Inf
+        text = registry.render_prometheus()
+        parsed = parse_prometheus(text)
+        exemplars = parsed["repro_ex_seconds"]["exemplars"]
+        key_fast = (
+            "repro_ex_seconds_bucket",
+            (("endpoint", "/runs"), ("le", "0.01")),
+        )
+        key_inf = (
+            "repro_ex_seconds_bucket",
+            (("endpoint", "/runs"), ("le", "+Inf")),
+        )
+        assert exemplars[key_fast] == {
+            "labels": (("trace_id", "abc123"),),
+            "value": 0.003,
+        }
+        assert exemplars[key_inf] == {
+            "labels": (("trace_id", "overflow1"),),
+            "value": 5.0,
+        }
+
+    def test_registry_merge_same_bucket_from_two_workers(self):
+        # Regression for the merge hazard: two workers land in the same
+        # bucket; the merged registry must count both observations but
+        # keep exactly one exemplar — the slowest — regardless of which
+        # worker is merged first.
+        def worker_snapshot(trace_id, seconds):
+            registry = MetricsRegistry()
+            registry.histogram("repro_m_seconds", bounds=(0.01,)).record(
+                seconds, trace_id=trace_id
+            )
+            return registry.snapshot()
+
+        merged = MetricsRegistry()
+        merged.merge(worker_snapshot("w0-trace", 0.004), labels={"worker": "x"})
+        merged.merge(worker_snapshot("w1-trace", 0.002), labels={"worker": "x"})
+        (series,) = merged.snapshot()["repro_m_seconds"]["series"]
+        assert series["value"]["count"] == 2
+        assert series["value"]["exemplars"] == {
+            0: {"trace_id": "w0-trace", "value": 0.004}
+        }
+        parse_prometheus(merged.render_prometheus())
+
+    def test_exemplar_on_non_bucket_sample_is_rejected_by_parser(self):
+        with pytest.raises(ValueError, match="non-bucket"):
+            parse_prometheus(
+                "# TYPE repro_x counter\n"
+                'repro_x 3 # {trace_id="oops"} 0.1\n'
+            )

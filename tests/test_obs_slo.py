@@ -1,0 +1,272 @@
+"""The SLO engine: classification, burn-rate windows, error budgets.
+
+Every test drives :class:`SloTracker` through an injectable fake clock —
+hours of simulated traffic march through the multi-window burn-rate math
+without a single ``sleep``.  The scenarios mirror the SRE-workbook
+properties the engine exists to provide: a sustained error rate fires
+both windows, a short blip fires neither (the long window vetoes it),
+sheds burn the shed budget and never availability, and budgets exhaust
+exactly when the bad fraction crosses the objective's complement.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.slo import (
+    DEFAULT_BURN_WINDOWS,
+    SLO,
+    BurnWindow,
+    SloTracker,
+    default_slos,
+    shed_from_response,
+)
+
+
+class FakeClock:
+    def __init__(self, t: float = 1000.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, seconds: float) -> None:
+        self.t += seconds
+
+
+def tracker(slos=None, *, bin_s: float = 5.0):
+    clock = FakeClock()
+    return SloTracker(slos, clock=clock, bin_s=bin_s), clock
+
+
+def drive(trk, clock, *, seconds, rate_s=1.0, status=200, latency_s=0.001,
+          shed=False, bad_every=None, bad_status=500):
+    """``seconds`` of traffic at ``rate_s`` req/s; every ``bad_every``-th
+    request answers ``bad_status`` instead."""
+    n = int(seconds * rate_s)
+    for i in range(n):
+        clock.advance(1.0 / rate_s)
+        if bad_every and i % bad_every == bad_every - 1:
+            trk.observe(status=bad_status, latency_s=latency_s, shed=False)
+        else:
+            trk.observe(status=status, latency_s=latency_s, shed=shed)
+
+
+# ------------------------------------------------------------- declarations
+
+
+class TestDeclarations:
+    def test_burn_window_validates_ordering(self):
+        with pytest.raises(ValueError, match="short_s < long_s"):
+            BurnWindow(short_s=600.0, long_s=300.0, max_burn=14.4)
+        with pytest.raises(ValueError, match="max_burn"):
+            BurnWindow(short_s=300.0, long_s=3600.0, max_burn=0.0)
+
+    def test_slo_validates_kind_objective_threshold(self):
+        with pytest.raises(ValueError, match="kind"):
+            SLO("x", kind="vibes")
+        with pytest.raises(ValueError, match="objective"):
+            SLO("x", objective=1.0)
+        with pytest.raises(ValueError, match="threshold_s"):
+            SLO("x", kind="latency", objective=0.99)
+
+    def test_budget_is_the_objective_complement(self):
+        assert SLO("x", objective=0.999).budget == pytest.approx(0.001)
+
+    def test_default_slos_are_unique_and_cover_the_three_kinds(self):
+        slos = default_slos()
+        assert sorted(slo.kind for slo in slos) == [
+            "availability", "latency", "shed",
+        ]
+        assert len({slo.name for slo in slos}) == len(slos)
+
+    def test_duplicate_slo_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            SloTracker((SLO("a"), SLO("a", objective=0.95)))
+
+
+class TestClassification:
+    def test_shed_detection_follows_the_failure_ladder(self):
+        assert shed_from_response(429, retry_after=False)
+        assert shed_from_response(429, retry_after=True)
+        assert shed_from_response(503, retry_after=True)
+        assert not shed_from_response(503, retry_after=False)
+        assert not shed_from_response(500, retry_after=True)
+        assert not shed_from_response(200, retry_after=False)
+
+    def test_availability_excludes_sheds(self):
+        slo = SLO("avail", kind="availability")
+        assert slo.classify(status=200, latency_s=0.0, shed=False) is True
+        assert slo.classify(status=500, latency_s=0.0, shed=False) is False
+        assert slo.classify(status=503, latency_s=0.0, shed=True) is None
+
+    def test_latency_judges_only_successes(self):
+        slo = SLO("lat", kind="latency", objective=0.99, threshold_s=0.25)
+        assert slo.classify(status=200, latency_s=0.1, shed=False) is True
+        assert slo.classify(status=200, latency_s=0.3, shed=False) is False
+        assert slo.classify(status=404, latency_s=0.3, shed=False) is None
+        assert slo.classify(status=429, latency_s=0.3, shed=True) is None
+
+    def test_shed_slo_counts_sheds_as_bad(self):
+        slo = SLO("shed", kind="shed", objective=0.99)
+        assert slo.classify(status=200, latency_s=0.0, shed=False) is True
+        assert slo.classify(status=429, latency_s=0.0, shed=True) is False
+
+
+# ---------------------------------------------------------------- burn rates
+
+
+class TestBurnRates:
+    def test_clean_traffic_never_burns(self):
+        trk, clock = tracker()
+        drive(trk, clock, seconds=3600)
+        report = trk.evaluate()
+        assert not report.burning
+        avail = report.result("availability")
+        assert avail["budget_remaining"] == pytest.approx(1.0)
+        assert not avail["budget_exhausted"]
+
+    def test_sustained_error_rate_fires_both_windows(self):
+        # 2% bad for an hour: burn = 0.02/0.001 = 20x in the 5m *and* 1h
+        # windows, over the fast pair's 14.4x threshold.
+        trk, clock = tracker()
+        drive(trk, clock, seconds=3600, bad_every=50)
+        report = trk.evaluate()
+        avail = report.result("availability")
+        assert avail["burning"]
+        fast = avail["windows"][0]
+        assert fast["firing"]
+        assert fast["short_burn"] == pytest.approx(20.0, rel=0.2)
+        assert fast["long_burn"] == pytest.approx(20.0, rel=0.2)
+        assert report.burning
+
+    def test_short_blip_is_vetoed_by_the_long_window(self):
+        # Six clean hours, then 30 seconds of 100% errors: the 5m window
+        # burns far past threshold, but each pair's long window holds
+        # under its own — the multi-window scheme must NOT page.
+        trk, clock = tracker()
+        drive(trk, clock, seconds=6 * 3600)
+        drive(trk, clock, seconds=30, status=500)
+        report = trk.evaluate()
+        avail = report.result("availability")
+        fast = avail["windows"][0]
+        assert fast["short_burn"] > fast["max_burn"]
+        assert fast["long_burn"] < fast["max_burn"]
+        assert not fast["firing"]
+        assert not avail["burning"]
+
+    def test_recovery_stops_the_burn(self):
+        # An hour of 5% errors fires; ten clean minutes later the fast
+        # window has rolled clean and the alert clears.
+        trk, clock = tracker()
+        drive(trk, clock, seconds=3600, bad_every=20)
+        assert trk.evaluate().result("availability")["burning"]
+        drive(trk, clock, seconds=600)
+        report = trk.evaluate()
+        fast = report.result("availability")["windows"][0]
+        assert fast["short_burn"] == pytest.approx(0.0)
+        assert not fast["firing"]
+
+    def test_empty_windows_do_not_fire(self):
+        trk, _ = tracker()
+        report = trk.evaluate()
+        assert not report.burning
+        for result in report.results:
+            assert result["budget_remaining"] == pytest.approx(1.0)
+
+    def test_sheds_burn_the_shed_budget_not_availability(self):
+        trk, clock = tracker()
+        # 20% of traffic shed for an hour (20x the 1% shed budget, over
+        # the fast pair's 14.4x): availability must stay clean — sheds
+        # are excluded from it — while the shed objective burns.
+        n = 3600
+        for i in range(n):
+            clock.advance(1.0)
+            if i % 5 == 4:
+                trk.observe(status=429, latency_s=0.0, shed=True)
+            else:
+                trk.observe(status=200, latency_s=0.001)
+        report = trk.evaluate()
+        assert not report.result("availability")["burning"]
+        assert report.result("shed")["burning"]
+        counts = report.counts
+        assert counts["shed"] == n // 5
+        assert counts["errors"] == 0
+
+    def test_latency_slo_burns_on_slow_successes(self):
+        trk, clock = tracker()
+        # 10% of successful answers over the 250ms threshold for an
+        # hour: 10x the 1% budget — over the slow pair's 6x and within
+        # the fast pair's 14.4x, so exactly one window pair fires.
+        for i in range(3600):
+            clock.advance(1.0)
+            slow = i % 10 == 9
+            trk.observe(status=200, latency_s=0.4 if slow else 0.001)
+        report = trk.evaluate()
+        latency = report.result("latency")
+        assert latency["burning"]
+        assert not report.result("availability")["burning"]
+
+
+class TestBudgets:
+    def test_budget_exhaustion_at_the_objective_complement(self):
+        # 0.2% bad over the 6h budget window against a 0.1% budget:
+        # consumed 2x, exhausted, remaining negative.
+        trk, clock = tracker()
+        drive(trk, clock, seconds=21600, bad_every=500)
+        avail = trk.evaluate().result("availability")
+        assert avail["budget_consumed"] == pytest.approx(2.0, rel=0.1)
+        assert avail["budget_exhausted"]
+        assert avail["budget_remaining"] < 0.0
+
+    def test_old_events_age_out_of_the_budget_window(self):
+        trk, clock = tracker()
+        drive(trk, clock, seconds=600, status=500)  # 10 bad minutes
+        assert trk.evaluate().result("availability")["budget_exhausted"]
+        # Seven hours later the bad bins are outside every window (and
+        # pruned from memory by the next recorded bin).
+        clock.advance(7 * 3600.0)
+        drive(trk, clock, seconds=60)
+        avail = trk.evaluate().result("availability")
+        assert avail["budget_remaining"] == pytest.approx(1.0)
+
+    def test_bin_memory_is_bounded_by_retention(self):
+        trk, clock = tracker(bin_s=5.0)
+        drive(trk, clock, seconds=8 * 3600, rate_s=1.0)
+        # Retention is the longest window (6h); at 5s bins that is 4320
+        # bins plus the pruning slack — never the full 8h of traffic.
+        retention_bins = int(21600 / 5.0) + 2
+        for bins in trk._bins.values():
+            assert len(bins) <= retention_bins
+
+
+class TestReport:
+    def test_to_dict_is_json_clean_and_carries_counts(self):
+        trk, clock = tracker()
+        drive(trk, clock, seconds=600, bad_every=100)
+        payload = trk.evaluate().to_dict()
+        round_tripped = json.loads(json.dumps(payload))
+        assert round_tripped["counts"]["requests"] == 600
+        assert {entry["name"] for entry in round_tripped["slos"]} == {
+            "availability", "latency", "shed",
+        }
+        assert isinstance(round_tripped["burning"], bool)
+
+    def test_table_renders_one_row_per_slo(self):
+        trk, clock = tracker()
+        drive(trk, clock, seconds=60)
+        table = trk.evaluate().table()
+        lines = table.splitlines()
+        assert len(lines) == 1 + len(default_slos())
+        assert "availability" in table
+        assert "ok" in table
+
+    def test_result_raises_on_unknown_name(self):
+        trk, _ = tracker()
+        with pytest.raises(KeyError, match="nope"):
+            trk.evaluate().result("nope")
+
+    def test_burn_windows_default_pairs_match_the_workbook(self):
+        assert DEFAULT_BURN_WINDOWS[0].short_s == 300.0
+        assert DEFAULT_BURN_WINDOWS[0].long_s == 3600.0
+        assert DEFAULT_BURN_WINDOWS[1].max_burn == 6.0
